@@ -1,0 +1,95 @@
+// Performance microbenchmarks (google-benchmark) for the §3.3 complexity
+// analysis: Saturate_Network dominates (O(([visit]+Var)·V log V)),
+// Make_Group is near-linear in V+E, Assign_CBIT is O(w log w)-ish in the
+// cluster count.
+#include <benchmark/benchmark.h>
+
+#include "circuits/registry.h"
+#include "core/merced.h"
+#include "flow/saturate_network.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "partition/assign_cbit.h"
+#include "partition/make_group.h"
+
+namespace merced {
+namespace {
+
+const Netlist& circuit(const std::string& name) {
+  static std::map<std::string, Netlist> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, load_benchmark(name)).first;
+  return it->second;
+}
+
+// Small-to-mid circuits keep the full suite of microbenches fast; the big
+// table benches exercise the large circuits.
+const char* kCircuits[] = {"s27", "s510", "s820", "s1423", "s5378"};
+
+void BM_GraphAndScc(benchmark::State& state) {
+  const Netlist& nl = circuit(kCircuits[state.range(0)]);
+  for (auto _ : state) {
+    CircuitGraph g(nl);
+    benchmark::DoNotOptimize(find_sccs(g));
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_GraphAndScc)->DenseRange(0, 4);
+
+void BM_SaturateNetwork(benchmark::State& state) {
+  const Netlist& nl = circuit(kCircuits[state.range(0)]);
+  const CircuitGraph g(nl);
+  SaturateParams p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saturate_network(g, p));
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_SaturateNetwork)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_MakeGroup(benchmark::State& state) {
+  const Netlist& nl = circuit(kCircuits[state.range(0)]);
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  SaturateParams p;
+  const SaturationResult sat = saturate_network(g, p);
+  MakeGroupParams mg;
+  mg.lk = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_group(g, sccs, sat, mg));
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_MakeGroup)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_AssignCbit(benchmark::State& state) {
+  const Netlist& nl = circuit(kCircuits[state.range(0)]);
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  SaturateParams p;
+  const SaturationResult sat = saturate_network(g, p);
+  MakeGroupParams mg;
+  mg.lk = 16;
+  const MakeGroupResult groups = make_group(g, sccs, sat, mg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign_cbit(g, groups.clustering, mg.lk));
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_AssignCbit)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_FullCompile(benchmark::State& state) {
+  const Netlist& nl = circuit(kCircuits[state.range(0)]);
+  MercedConfig config;
+  config.lk = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile(nl, config));
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_FullCompile)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace merced
+
+BENCHMARK_MAIN();

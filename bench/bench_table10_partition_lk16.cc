@@ -1,0 +1,23 @@
+// Reproduces Table 10: "Partition Results for l_k = 16" over the 17-circuit
+// suite — DFFs on SCC, cut nets on SCC, nets cut, CPU time; measured
+// next to the published values.
+//
+// Absolute cut counts differ from the paper (the netlists are synthesized
+// to the published statistics, not the MCNC originals); the qualitative
+// shapes to check: cut counts grow with circuit size, and circuits with
+// high DFF-on-SCC fractions put most of their cuts on SCCs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "partition_bench_common.h"
+
+int main() {
+  using namespace merced;
+  std::cout << "Table 10: partition results for l_k = 16 (measured | paper)\n\n";
+  std::vector<std::string> names;
+  for (const auto& row : paper::table10_lk16()) names.emplace_back(row.name);
+  benchrun::run_partition_table(names, 16, paper::table10_lk16());
+  std::cout << "\nCPU seconds: this machine vs the paper's SUN Sparc10.\n";
+  return 0;
+}

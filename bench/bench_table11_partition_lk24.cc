@@ -1,0 +1,21 @@
+// Reproduces Table 11: "Partition Results for l_k = 24" — the ten circuits
+// the paper lists (the ones with internal cuts at l_k = 24).
+//
+// Key shape vs Table 10: the wider CBIT accommodates more nets, so every
+// circuit cuts fewer nets at l_k = 24 than at l_k = 16.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "partition_bench_common.h"
+
+int main() {
+  using namespace merced;
+  std::cout << "Table 11: partition results for l_k = 24 (measured | paper)\n\n";
+  std::vector<std::string> names;
+  for (const auto& row : paper::table11_lk24()) names.emplace_back(row.name);
+  benchrun::run_partition_table(names, 24, paper::table11_lk24());
+  std::cout << "\nCompare the 'nets cut' column with Table 10: larger CBITs cut fewer"
+               " nets.\n";
+  return 0;
+}

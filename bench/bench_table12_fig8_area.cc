@@ -1,0 +1,82 @@
+// Reproduces Table 12 and Figure 8: "CBIT Area Comparison for l_k = 16 and
+// l_k = 24" — A_CBIT / A_Total with and without retiming.
+//
+// Accounting (paper §4.2): with retiming, each retimable cut costs 0.9 DFF
+// (three added gates, Fig. 3b); cuts exceeding an SCC's register supply
+// cost 2.3 DFF (A_CELL + MUX, Fig. 3c). Without retiming every internal cut
+// costs 2.3 DFF. The flow saturation is reused across the two l_k runs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/merced.h"
+#include "core/paper_data.h"
+#include "core/table_printer.h"
+
+int main() {
+  using namespace merced;
+  std::cout << "Table 12: A_CBIT / A_Total (%) with and without retiming\n"
+            << "          (measured | paper)\n\n";
+  TablePrinter t({"circuit", "w/ ret 16", "(paper)", "w/o ret 16", "(paper)",
+                  "w/ ret 24", "(paper)", "w/o ret 24", "(paper)"});
+
+  struct Saving {
+    std::string name;
+    double points16, points24, relative16;
+  };
+  std::vector<Saving> savings;
+  double sum_rel = 0, sum_pts = 0;
+  std::size_t n_nonzero = 0;
+
+  for (const auto& row : paper::table12()) {
+    const Netlist nl = load_benchmark(row.name);
+    MercedConfig config;
+    const PreparedCircuit prepared(nl, config.flow);
+
+    config.lk = 16;
+    const MercedResult r16 = compile(prepared, config);
+    config.lk = 24;
+    const MercedResult r24 = compile(prepared, config);
+
+    t.add_row({std::string(row.name), TablePrinter::num(r16.area.pct_with_retiming(), 1),
+               TablePrinter::num(row.with_retiming_16, 1),
+               TablePrinter::num(r16.area.pct_without_retiming(), 1),
+               TablePrinter::num(row.without_retiming_16, 1),
+               TablePrinter::num(r24.area.pct_with_retiming(), 1),
+               TablePrinter::num(row.with_retiming_24, 1),
+               TablePrinter::num(r24.area.pct_without_retiming(), 1),
+               TablePrinter::num(row.without_retiming_24, 1)});
+
+    const double pts16 =
+        r16.area.pct_without_retiming() - r16.area.pct_with_retiming();
+    const double pts24 =
+        r24.area.pct_without_retiming() - r24.area.pct_with_retiming();
+    savings.push_back({std::string(row.name), pts16, pts24, r16.area.saving_relative()});
+    if (r16.cuts.nets_cut > 0) {
+      sum_rel += r16.area.saving_relative();
+      sum_pts += pts16;
+      ++n_nonzero;
+    }
+    std::cerr << "  [" << row.name << " done]\n";
+  }
+  t.print(std::cout);
+
+  std::cout << "\nFigure 8: retiming saving per circuit, l_k = 16 "
+               "(percentage points of A_CBIT/A_Total)\n";
+  for (const Saving& s : savings) {
+    std::cout << "  " << s.name;
+    for (std::size_t pad = s.name.size(); pad < 10; ++pad) std::cout << ' ';
+    std::cout << "|";
+    for (int i = 0; i < static_cast<int>(s.points16 * 2); ++i) std::cout << '#';
+    std::cout << " " << TablePrinter::num(s.points16, 1) << " pts\n";
+  }
+  if (n_nonzero > 0) {
+    std::cout << "\nAverages over circuits with internal cuts (l_k = 16): "
+              << TablePrinter::num(sum_pts / static_cast<double>(n_nonzero), 1)
+              << " percentage points; CBIT-area reduction "
+              << TablePrinter::num(sum_rel / static_cast<double>(n_nonzero), 1)
+              << "% (paper: average ~20% area reduction, 2%..32% per circuit).\n";
+  }
+  return 0;
+}

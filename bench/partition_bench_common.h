@@ -1,0 +1,51 @@
+// Shared runner for the Table 10/11/12 partition benches.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/merced.h"
+#include "core/paper_data.h"
+#include "core/table_printer.h"
+
+namespace merced::benchrun {
+
+/// Runs the compiler on every named circuit at one lk and prints the
+/// Table 10/11 columns (measured | paper).
+inline std::vector<MercedResult> run_partition_table(
+    const std::vector<std::string>& names, std::size_t lk,
+    std::span<const paper::PartitionRow> paper_rows) {
+  TablePrinter t({"circuit", "DFFs", "DFFs on SCC", "(paper)", "cuts on SCC", "(paper)",
+                  "nets cut", "(paper)", "CPU s", "(Sparc10 s)"});
+  std::vector<MercedResult> results;
+  for (const std::string& name : names) {
+    const Netlist nl = load_benchmark(name);
+    MercedConfig config;
+    config.lk = lk;
+    const MercedResult r = compile(nl, config);
+    std::optional<paper::PartitionRow> row;
+    for (const auto& pr : paper_rows) {
+      if (pr.name == name) row = pr;
+    }
+    auto paper_num = [&](auto get) {
+      return row ? std::to_string(get(*row)) : std::string("-");
+    };
+    t.add_row({name, std::to_string(r.stats.num_dffs), std::to_string(r.dffs_on_scc),
+               paper_num([](const auto& x) { return x.dffs_on_scc; }),
+               std::to_string(r.cuts.cut_nets_on_scc),
+               paper_num([](const auto& x) { return x.cut_nets_on_scc; }),
+               std::to_string(r.cuts.nets_cut),
+               paper_num([](const auto& x) { return x.nets_cut; }),
+               TablePrinter::num(r.total_seconds, 2),
+               row ? TablePrinter::num(row->cpu_seconds, 2) : std::string("-")});
+    results.push_back(std::move(r));
+    std::cerr << "  [" << name << " done]\n";
+  }
+  t.print(std::cout);
+  return results;
+}
+
+}  // namespace merced::benchrun

@@ -1,0 +1,98 @@
+// fault_coverage — the paper's testing story, end to end on s27.
+//
+// 1. Random sequential BIST at the primary output gets poor stuck-at
+//    coverage (s27 even has an absorbing state that locks one loop).
+// 2. Merced partitions the circuit into CUTs; each CUT driven exhaustively
+//    by a TPG-mode CBIT and observed by a PSA-mode CBIT detects every
+//    non-redundant fault — the pseudo-exhaustive guarantee.
+// 3. The MISR signature of a faulty CUT differs from the good signature.
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "bist/cbit.h"
+#include "bist/misr.h"
+#include "circuits/s27.h"
+#include "core/merced.h"
+#include "graph/circuit_graph.h"
+#include "sim/cone.h"
+#include "sim/fault_sim.h"
+
+int main() {
+  using namespace merced;
+  const Netlist s27 = make_s27();
+
+  // --- 1. random sequential BIST baseline -------------------------------
+  const auto faults = collapse_faults(s27, enumerate_faults(s27));
+  std::mt19937_64 rng(99);
+  std::vector<std::vector<bool>> stream(2000, std::vector<bool>(4));
+  for (auto& v : stream) {
+    for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = rng() & 1;
+  }
+  const auto random_bist =
+      simulate_faults(s27, faults, stream, std::vector<bool>(3, false));
+  std::cout << "Random sequential BIST (2000 cycles, observe PO only): "
+            << random_bist.num_detected << "/" << faults.size()
+            << " stuck-at faults detected\n";
+
+  // --- 2. PPET: pseudo-exhaustive per partition --------------------------
+  MercedConfig config;
+  config.lk = 3;
+  config.flow.seed = 27;
+  const MercedResult plan = compile(s27, config);
+  const CircuitGraph graph(s27);
+
+  std::size_t pe_total = 0, pe_detected = 0;
+  for (std::size_t ci = 0; ci < plan.partitions.count(); ++ci) {
+    const ConeSimulator cone(graph, plan.partitions, ci);
+    if (cone.gates().empty()) continue;
+    const CoverageResult cov = exhaustive_coverage(cone);
+    pe_total += cov.total_faults;
+    pe_detected += cov.detected;
+    std::cout << "  CUT " << ci << ": iota=" << cone.cut_inputs().size() << ", 2^"
+              << cone.cut_inputs().size() << " patterns, " << cov.detected << "/"
+              << cov.total_faults << " faults detected";
+    if (!cov.undetected.empty()) {
+      std::cout << " (" << cov.undetected.size() << " combinationally redundant)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Pseudo-exhaustive testing: " << pe_detected << "/" << pe_total
+            << " detected; every miss is provably redundant.\n";
+
+  // --- 3. signature analysis ---------------------------------------------
+  for (std::size_t ci = 0; ci < plan.partitions.count(); ++ci) {
+    const ConeSimulator cone(graph, plan.partitions, ci);
+    const std::size_t n = cone.cut_inputs().size();
+    if (cone.gates().empty() || n < 2) continue;
+    const auto cut_faults = cone.cluster_faults();
+    const Fault& fault = cut_faults.front();
+
+    auto signature = [&](const Fault* f) {
+      Cbit tpg(static_cast<unsigned>(n));
+      tpg.set_mode(CbitMode::kTpg);
+      tpg.set_state(0);
+      Misr psa(16);
+      for (std::uint64_t c = 0; c < tpg.tpg_cycles(); ++c) {
+        std::vector<std::uint64_t> in(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          in[i] = (tpg.state() >> i) & 1 ? ~std::uint64_t{0} : 0;
+        }
+        const auto out = cone.eval(in, f);
+        std::uint64_t word = 0;
+        for (std::size_t o = 0; o < out.size(); ++o) word |= (out[o] & 1) << o;
+        psa.step(word);
+        tpg.step(0);
+      }
+      return psa.signature();
+    };
+    const std::uint64_t good = signature(nullptr);
+    const std::uint64_t bad = signature(&fault);
+    std::cout << "CUT " << ci << " MISR signature: good=0x" << std::hex << good
+              << " faulty=0x" << bad << std::dec
+              << (good != bad ? "  -> fault caught by signature\n"
+                              : "  (aliased)\n");
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// merced_cli — the "Merced BIST compiler" as a command-line tool.
+//
+// Usage:
+//   merced_cli <circuit|path.bench> [--lk N] [--beta N] [--seed N]
+//              [--alpha F] [--delta F] [--min-visit N]
+//
+// <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
+// or a path to an ISCAS89 .bench file.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "circuits/registry.h"
+#include "core/merced.h"
+#include "netlist/bench_io.h"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: merced_cli <circuit|file.bench> [--lk N] [--beta N] [--seed N]\n"
+               "                  [--alpha F] [--delta F] [--min-visit N]\n"
+               "bundled circuits:";
+  for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
+  std::cerr << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merced;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string target = argv[1];
+  MercedConfig config;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string_view flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--lk") {
+      config.lk = std::stoul(value);
+    } else if (flag == "--beta") {
+      config.beta = std::stoi(value);
+    } else if (flag == "--seed") {
+      config.flow.seed = std::stoull(value);
+    } else if (flag == "--alpha") {
+      config.flow.alpha = std::stod(value);
+    } else if (flag == "--delta") {
+      config.flow.delta = std::stod(value);
+    } else if (flag == "--min-visit") {
+      config.flow.min_visit = std::stoi(value);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const Netlist netlist = target.ends_with(".bench") ? parse_bench_file(target)
+                                                       : load_benchmark(target);
+    const MercedResult result = compile(netlist, config);
+    print_report(std::cout, result);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: the paper's s27 walk-through (Figures 2, 5, 6, 7).
+//
+// Builds the graph of s27, saturates the network with random multicommodity
+// flow, clusters under an input constraint of lk = 3 (the paper's toy
+// setting), merges clusters with Assign_CBIT, and plans retiming for the
+// cuts — printing each intermediate the paper illustrates.
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <vector>
+
+#include "circuits/s27.h"
+#include "core/merced.h"
+#include "flow/saturate_network.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "partition/assign_cbit.h"
+#include "partition/make_group.h"
+
+int main() {
+  using namespace merced;
+
+  // --- Figure 2: circuit and graph representation -----------------------
+  const Netlist s27 = make_s27();
+  const CircuitGraph graph(s27);
+  std::cout << "s27: " << s27.inputs().size() << " PIs, " << s27.dffs().size()
+            << " DFFs, " << graph.num_nodes() << " graph nodes, "
+            << graph.num_branches() << " branches\n";
+
+  const SccInfo sccs = find_sccs(graph);
+  std::cout << "\nStrongly connected components (the feedback structure):\n";
+  for (std::size_t i = 0; i < sccs.count(); ++i) {
+    std::cout << "  SCC " << i << " (" << sccs.dff_count[i] << " DFFs):";
+    for (NodeId v : sccs.components[i]) std::cout << " " << s27.gate(v).name;
+    std::cout << "\n";
+  }
+
+  // --- Figure 5: Saturate_Network --------------------------------------
+  SaturateParams flow;   // b=1, min_visit=20, alpha=4, delta=0.01 (paper §4.1)
+  flow.seed = 27;
+  const SaturationResult sat = saturate_network(graph, flow);
+  std::cout << "\nMost congested nets after Saturate_Network ("
+            << sat.iterations << " flow trees):\n";
+  std::vector<NetId> by_flow;
+  for (NetId n = 0; n < graph.num_nets(); ++n) {
+    if (sat.flow[n] > 0) by_flow.push_back(n);
+  }
+  std::sort(by_flow.begin(), by_flow.end(),
+            [&](NetId a, NetId b) { return sat.flow[a] > sat.flow[b]; });
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, by_flow.size()); ++i) {
+    const NetId n = by_flow[i];
+    std::cout << "  net " << s27.gate(graph.driver(n)).name << ": flow=" << sat.flow[n]
+              << " d=" << sat.distance[n] << "\n";
+  }
+
+  // --- Figure 6: Make_Group with lk = 3 ---------------------------------
+  MakeGroupParams mg;
+  mg.lk = 3;
+  const MakeGroupResult groups = make_group(graph, sccs, sat, mg);
+  std::cout << "\nClusters after Make_Group (lk=3"
+            << (groups.feasible ? "" : ", infeasible") << "):\n";
+  for (std::size_t i = 0; i < groups.clustering.count(); ++i) {
+    std::cout << "  {";
+    for (std::size_t j = 0; j < groups.clustering.clusters[i].size(); ++j) {
+      std::cout << (j ? ", " : " ")
+                << s27.gate(groups.clustering.clusters[i][j]).name;
+    }
+    std::cout << " }  iota=" << input_count(graph, groups.clustering, i) << "\n";
+  }
+
+  // --- Figure 7: Assign_CBIT merge --------------------------------------
+  const AssignCbitResult merged = assign_cbit(graph, groups.clustering, mg.lk);
+  std::cout << "\nPartitions after Assign_CBIT (" << merged.merges_performed
+            << " merges):\n";
+  for (std::size_t i = 0; i < merged.partitions.count(); ++i) {
+    std::cout << "  P" << i << " (iota=" << merged.input_counts[i] << "): {";
+    for (std::size_t j = 0; j < merged.partitions.clusters[i].size(); ++j) {
+      std::cout << (j ? ", " : " ") << s27.gate(merged.partitions.clusters[i][j]).name;
+    }
+    std::cout << " }\n";
+  }
+
+  // --- Full pipeline via the compiler API --------------------------------
+  MercedConfig config;
+  config.lk = 3;
+  config.flow.seed = 27;
+  const MercedResult result = compile(s27, config);
+  std::cout << "\n";
+  print_report(std::cout, result);
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "bist/cbit.h"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace merced {
+
+Cbit::Cbit(unsigned width)
+    : width_(width),
+      mask_(width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1),
+      taps_(primitive_tap_mask(width)) {
+  if (width < kMinLfsrDegree || width > kMaxLfsrDegree) {
+    throw std::invalid_argument("Cbit: unsupported width " + std::to_string(width));
+  }
+}
+
+std::uint64_t Cbit::step(std::uint64_t parallel_in, bool scan_in) {
+  switch (mode_) {
+    case CbitMode::kNormal:
+      state_ = parallel_in & mask_;
+      break;
+    case CbitMode::kTpg: {
+      // Complete-cycle LFSR: data gated off by the A_CELL AND gates.
+      std::uint64_t fb = std::popcount(state_ & taps_) & 1u;
+      if ((state_ & (mask_ >> 1)) == 0) fb ^= 1u;  // NOR zero-splice
+      state_ = ((state_ << 1) | fb) & mask_;
+      break;
+    }
+    case CbitMode::kPsa: {
+      const std::uint64_t fb = std::popcount(state_ & taps_) & 1u;
+      state_ = (((state_ << 1) | fb) ^ parallel_in) & mask_;
+      break;
+    }
+    case CbitMode::kScan:
+      state_ = ((state_ << 1) | (scan_in ? 1u : 0u)) & mask_;
+      break;
+  }
+  return state_;
+}
+
+std::uint64_t pipe_testing_time(std::uint64_t widest_cbit_width) {
+  return std::uint64_t{1} << widest_cbit_width;
+}
+
+}  // namespace merced

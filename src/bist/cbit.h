@@ -1,0 +1,62 @@
+// CBIT — Cascadable Built-In Tester (paper §1, after Lin/Liou [8]).
+//
+// A CBIT is a register of A_CELLs with four modes:
+//  * kNormal — transparent pipeline register (system operation);
+//  * kTpg    — exhaustive test-pattern generation: data inputs are gated
+//              off (the A_CELL's AND), the register free-runs as a
+//              complete-cycle LFSR through all 2^n states;
+//  * kPsa    — parallel signature analysis: a MISR compacting the CUT's
+//              outputs;
+//  * kScan   — serial shift for initialization and signature read-out.
+//
+// The dual TPG/PSA capability is what makes PPET pipelines work: the CBIT
+// that captures CUT_i's responses is simultaneously the generator for
+// CUT_{i+1} — its MISR state sequence doubles as a pseudo-exhaustive-like
+// stimulus, and every CUT's *generating* CBIT runs in TPG mode in some test
+// session so that each CUT observes all 2^ι patterns across the schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "bist/lfsr.h"
+#include "bist/misr.h"
+
+namespace merced {
+
+enum class CbitMode : std::uint8_t { kNormal, kTpg, kPsa, kScan };
+
+class Cbit {
+ public:
+  /// Width in [2, 32] (the paper's d1..d6 lengths are 4..32).
+  explicit Cbit(unsigned width);
+
+  unsigned width() const noexcept { return width_; }
+  CbitMode mode() const noexcept { return mode_; }
+  void set_mode(CbitMode m) noexcept { mode_ = m; }
+
+  std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t s) noexcept { state_ = s & mask_; }
+
+  /// One clock. `parallel_in` is the data word at the D inputs (used in
+  /// kNormal and kPsa); `scan_in` feeds the chain in kScan. Returns the new
+  /// parallel output word.
+  std::uint64_t step(std::uint64_t parallel_in, bool scan_in = false);
+
+  /// Serial output (MSB of the chain), valid in kScan.
+  bool scan_out() const noexcept { return (state_ >> (width_ - 1)) & 1u; }
+
+  /// Clock cycles for one full TPG sweep: 2^width (Figure 1b / Figure 4).
+  std::uint64_t tpg_cycles() const noexcept { return std::uint64_t{1} << width_; }
+
+ private:
+  unsigned width_;
+  std::uint64_t mask_;
+  std::uint64_t taps_;
+  std::uint64_t state_ = 0;
+  CbitMode mode_ = CbitMode::kNormal;
+};
+
+/// Testing time of one PPET pipe: dominated by its widest CBIT (Fig. 1b).
+std::uint64_t pipe_testing_time(std::uint64_t widest_cbit_width);
+
+}  // namespace merced

@@ -1,0 +1,61 @@
+#include "bist/cbit_area.h"
+
+#include <array>
+
+#include "bist/polynomials.h"
+
+namespace merced {
+
+namespace {
+
+constexpr std::array<CbitAreaRow, 6> kPublished = {{
+    {1, 4, 8.14, 2.04},
+    {2, 8, 16.68, 2.09},
+    {3, 12, 24.48, 2.04},
+    {4, 16, 32.21, 2.01},
+    {5, 24, 47.66, 1.99},
+    {6, 32, 63.12, 1.97},
+}};
+
+/// Per-bit overhead (area units) for zero-detect NOR tree + cascade/mode
+/// steering, fitted to Table 1 (see header).
+constexpr double kPerBitOverhead = 0.35;
+
+}  // namespace
+
+std::span<const CbitAreaRow> published_cbit_areas() { return kPublished; }
+
+std::optional<double> published_area_per_dff(unsigned length) {
+  for (const auto& row : kPublished) {
+    if (row.length == length) return row.area_per_dff;
+  }
+  return std::nullopt;
+}
+
+double modeled_cbit_area_units(unsigned length) {
+  const double acell = static_cast<double>(length) * static_cast<double>(kACellArea);
+  const double fb = static_cast<double>(feedback_xor_count(length)) * 4.0;
+  return acell + fb + kPerBitOverhead * static_cast<double>(length);
+}
+
+double modeled_area_per_dff(unsigned length) {
+  return modeled_cbit_area_units(length) / static_cast<double>(kDffArea);
+}
+
+std::uint64_t testing_time_cycles(unsigned length) {
+  return std::uint64_t{1} << length;
+}
+
+double cut_cell_area_per_dff(bool retimed) {
+  return retimed ? static_cast<double>(kACellFromDffArea) / kDffArea
+                 : static_cast<double>(kACellWithMuxArea) / kDffArea;
+}
+
+std::optional<unsigned> smallest_standard_length(std::size_t inputs) {
+  for (unsigned l : {4u, 8u, 12u, 16u, 24u, 32u}) {
+    if (inputs <= l) return l;
+  }
+  return std::nullopt;
+}
+
+}  // namespace merced

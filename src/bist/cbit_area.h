@@ -1,0 +1,57 @@
+// CBIT area model — paper Table 1 and Figure 4.
+//
+// Two views are provided:
+//  * the *published* Table 1 values (d1..d6), carried verbatim so benches
+//    can print the paper's numbers next to ours;
+//  * a *first-principles* model derived from the unit-area library:
+//
+//      area(l) = l · A_CELL(19) + (taps(l) − 1) · XOR2(4) + l · 0.35
+//
+//    — l A_CELLs, the feedback XOR network of the primitive polynomial,
+//    and a per-bit 0.35-unit overhead for the zero-detect NOR tree and
+//    cascade/mode steering that the paper's Table 1 includes implicitly
+//    (fitting the published values to within ~2 %).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/area_model.h"
+
+namespace merced {
+
+/// One row of Table 1.
+struct CbitAreaRow {
+  unsigned type_index;    ///< k of d_k (1-based)
+  unsigned length;        ///< l_k
+  double area_per_dff;    ///< p_k  (CBIT area / DFF area)
+  double area_per_bit;    ///< σ_k = p_k / l_k
+};
+
+/// The six published rows (d1..d6).
+std::span<const CbitAreaRow> published_cbit_areas();
+
+/// Published p_k for a given length, if that length is one of d1..d6.
+std::optional<double> published_area_per_dff(unsigned length);
+
+/// First-principles model, in raw area units.
+double modeled_cbit_area_units(unsigned length);
+
+/// First-principles model as DFF multiples (comparable to Table 1 col 3).
+double modeled_area_per_dff(unsigned length);
+
+/// Testing time in clock cycles for CBIT length l: 2^l (Figure 4 x-axis).
+std::uint64_t testing_time_cycles(unsigned length);
+
+/// Area of the test hardware for one cut net (DFF multiples):
+///   retimed conversion: 0.9   — Fig. 3(b)
+///   new multiplexed A_CELL: 2.3 — Fig. 3(c)
+double cut_cell_area_per_dff(bool retimed);
+
+/// Smallest standard CBIT length (4,8,12,16,24,32) that fits `inputs`
+/// inputs; returns nullopt when inputs > 32.
+std::optional<unsigned> smallest_standard_length(std::size_t inputs);
+
+}  // namespace merced

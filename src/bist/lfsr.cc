@@ -1,0 +1,39 @@
+#include "bist/lfsr.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace merced {
+
+Lfsr::Lfsr(unsigned degree, bool complete_cycle, std::uint64_t initial_state)
+    : degree_(degree),
+      complete_cycle_(complete_cycle),
+      taps_(primitive_tap_mask(degree)),
+      mask_(degree == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << degree) - 1),
+      state_(initial_state & mask_) {
+  if (!complete_cycle && state_ == 0) {
+    throw std::invalid_argument("Lfsr: all-zero state is absorbing without the "
+                                "complete-cycle modification");
+  }
+}
+
+std::uint64_t Lfsr::step() {
+  // Fibonacci form, shifting towards the MSB: the new bit 0 is the XOR of
+  // the tapped bits.
+  std::uint64_t fb = std::popcount(state_ & taps_) & 1u;
+  if (complete_cycle_) {
+    // Invert feedback when bits [0, n-2] are all zero (state is 0...0 or
+    // 10...0): splices the all-zero state after 10...0.
+    const std::uint64_t low = state_ & (mask_ >> 1);
+    if (low == 0) fb ^= 1u;
+  }
+  state_ = ((state_ << 1) | fb) & mask_;
+  return state_;
+}
+
+std::uint64_t Lfsr::period() const noexcept {
+  const std::uint64_t full = (degree_ == 64) ? 0 : (std::uint64_t{1} << degree_);
+  return complete_cycle_ ? full : full - 1;
+}
+
+}  // namespace merced

@@ -1,0 +1,40 @@
+// Fibonacci LFSR with optional complete-cycle (de Bruijn) modification.
+//
+// In TPG mode a CBIT must apply *all* 2^n input combinations to its CUT —
+// including the all-zero vector. The A_CELL's NOR gate implements the
+// classic de Bruijn modification: the feedback bit is inverted exactly when
+// the low n−1 state bits are zero, splicing the all-zero state into the
+// maximal-length sequence, giving period 2^n.
+#pragma once
+
+#include <cstdint>
+
+#include "bist/polynomials.h"
+
+namespace merced {
+
+class Lfsr {
+ public:
+  /// `degree` in [2, 32]; `complete_cycle` enables the de Bruijn splice.
+  explicit Lfsr(unsigned degree, bool complete_cycle = true,
+                std::uint64_t initial_state = 1);
+
+  unsigned degree() const noexcept { return degree_; }
+  std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t s) noexcept { state_ = s & mask_; }
+
+  /// Advances one clock; returns the new state.
+  std::uint64_t step();
+
+  /// Period of the configured register: 2^n (complete) or 2^n − 1.
+  std::uint64_t period() const noexcept;
+
+ private:
+  unsigned degree_;
+  bool complete_cycle_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace merced

@@ -1,0 +1,18 @@
+#include "bist/misr.h"
+
+#include <bit>
+
+namespace merced {
+
+Misr::Misr(unsigned degree, std::uint64_t initial_state)
+    : degree_(degree),
+      taps_(primitive_tap_mask(degree)),
+      mask_(degree == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << degree) - 1),
+      state_(initial_state & mask_) {}
+
+void Misr::step(std::uint64_t inputs) {
+  const std::uint64_t fb = std::popcount(state_ & taps_) & 1u;
+  state_ = (((state_ << 1) | fb) ^ inputs) & mask_;
+}
+
+}  // namespace merced

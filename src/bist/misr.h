@@ -1,0 +1,33 @@
+// Multiple-input signature register (MISR) for parallel signature analysis.
+//
+// Each clock the register shifts with primitive-polynomial feedback and
+// XORs the parallel input word into the state; after T cycles the state is
+// the test signature. A single-bit error stream is missed with probability
+// ~2^-n (aliasing), the standard PSA argument.
+#pragma once
+
+#include <cstdint>
+
+#include "bist/polynomials.h"
+
+namespace merced {
+
+class Misr {
+ public:
+  explicit Misr(unsigned degree, std::uint64_t initial_state = 0);
+
+  unsigned degree() const noexcept { return degree_; }
+  std::uint64_t signature() const noexcept { return state_; }
+  void set_state(std::uint64_t s) noexcept { state_ = s & mask_; }
+
+  /// Compacts one parallel input word (low `degree` bits used).
+  void step(std::uint64_t inputs);
+
+ private:
+  unsigned degree_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace merced

@@ -1,0 +1,72 @@
+#include "bist/polynomials.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace merced {
+
+namespace {
+
+// Maximal-length LFSR taps (XAPP052-style table), degree 2..32.
+const std::array<std::vector<std::uint8_t>, 33>& tap_table() {
+  static const std::array<std::vector<std::uint8_t>, 33> kTaps = [] {
+    std::array<std::vector<std::uint8_t>, 33> t{};
+    t[2] = {2, 1};
+    t[3] = {3, 2};
+    t[4] = {4, 3};
+    t[5] = {5, 3};
+    t[6] = {6, 5};
+    t[7] = {7, 6};
+    t[8] = {8, 6, 5, 4};
+    t[9] = {9, 5};
+    t[10] = {10, 7};
+    t[11] = {11, 9};
+    t[12] = {12, 6, 4, 1};
+    t[13] = {13, 4, 3, 1};
+    t[14] = {14, 5, 3, 1};
+    t[15] = {15, 14};
+    t[16] = {16, 15, 13, 4};
+    t[17] = {17, 14};
+    t[18] = {18, 11};
+    t[19] = {19, 6, 2, 1};
+    t[20] = {20, 17};
+    t[21] = {21, 19};
+    t[22] = {22, 21};
+    t[23] = {23, 18};
+    t[24] = {24, 23, 22, 17};
+    t[25] = {25, 22};
+    t[26] = {26, 6, 2, 1};
+    t[27] = {27, 5, 2, 1};
+    t[28] = {28, 25};
+    t[29] = {29, 27};
+    t[30] = {30, 6, 4, 1};
+    t[31] = {31, 28};
+    t[32] = {32, 22, 2, 1};
+    return t;
+  }();
+  return kTaps;
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> primitive_taps(unsigned degree) {
+  if (degree < kMinLfsrDegree || degree > kMaxLfsrDegree) {
+    throw std::invalid_argument("primitive_taps: unsupported degree " +
+                                std::to_string(degree));
+  }
+  return tap_table()[degree];
+}
+
+std::uint64_t primitive_tap_mask(unsigned degree) {
+  std::uint64_t mask = 0;
+  for (std::uint8_t t : primitive_taps(degree)) mask |= std::uint64_t{1} << (t - 1);
+  return mask;
+}
+
+unsigned feedback_xor_count(unsigned degree) {
+  return static_cast<unsigned>(primitive_taps(degree).size()) - 1;
+}
+
+}  // namespace merced

@@ -1,0 +1,27 @@
+// Primitive feedback polynomials for maximal-length LFSRs/MISRs, degrees
+// 2..32 — the "simple primitive feedback polynomial" of the paper's Table 1.
+//
+// Taps follow the standard maximal-length table (two- or four-tap
+// pentanomial forms): an LFSR of degree n with these taps cycles through
+// all 2^n − 1 nonzero states.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace merced {
+
+inline constexpr unsigned kMinLfsrDegree = 2;
+inline constexpr unsigned kMaxLfsrDegree = 32;
+
+/// Tap positions (1-indexed bit numbers, descending, first element == n)
+/// of a primitive polynomial of degree n. Throws for unsupported degrees.
+std::span<const std::uint8_t> primitive_taps(unsigned degree);
+
+/// Same information as a bit mask: bit (t-1) set for each tap t.
+std::uint64_t primitive_tap_mask(unsigned degree);
+
+/// Number of 2-input XOR gates the feedback network needs (#taps − 1).
+unsigned feedback_xor_count(unsigned degree);
+
+}  // namespace merced

@@ -1,0 +1,393 @@
+#include "circuits/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace merced {
+
+namespace {
+
+struct CellPlan {
+  GateType type = GateType::kNand;
+  std::size_t planned_pins = 2;
+  std::vector<GateId> fanins;
+
+  bool has_free_pin() const { return fanins.size() < planned_pins; }
+};
+
+}  // namespace
+
+Netlist generate_circuit(const SyntheticSpec& spec) {
+  if (spec.num_gates == 0 || spec.num_pis == 0) {
+    throw std::invalid_argument("generate_circuit: need at least one gate and one PI");
+  }
+  std::mt19937_64 rng(spec.seed);
+  auto rand_below = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+  auto rand_prob = [&] { return std::uniform_real_distribution<double>(0.0, 1.0)(rng); };
+
+  const std::size_t total_cells = spec.num_gates + spec.num_invs;
+
+  // ---- plan cell types and pin counts ---------------------------------
+  std::vector<CellPlan> cells(total_cells);
+  {
+    std::vector<std::size_t> idx(total_cells);
+    for (std::size_t i = 0; i < total_cells; ++i) idx[i] = i;
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t i = 0; i < spec.num_invs; ++i) {
+      cells[idx[i]].type = GateType::kNot;
+      cells[idx[i]].planned_pins = 1;
+    }
+  }
+  std::vector<std::size_t> gate_cells;
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    if (cells[i].type != GateType::kNot) {
+      cells[i].type = (rng() & 1) ? GateType::kNand : GateType::kNor;
+      gate_cells.push_back(i);
+    }
+  }
+
+  // Hit the published estimated area: base = DFFs(10) + INVs(1) + gates(2);
+  // a NAND→AND / NOR→OR upgrade or an extra fan-in each add one unit.
+  const AreaUnits base = static_cast<AreaUnits>(10 * spec.num_dffs + spec.num_invs +
+                                                2 * spec.num_gates);
+  AreaUnits deficit = spec.target_area > base ? spec.target_area - base : 0;
+  {
+    std::vector<std::size_t> shuffled = gate_cells;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    const std::size_t upgrades =
+        std::min<std::size_t>(shuffled.size(), static_cast<std::size_t>(deficit / 2));
+    for (std::size_t i = 0; i < upgrades; ++i) {
+      CellPlan& c = cells[shuffled[i]];
+      c.type = (c.type == GateType::kNand) ? GateType::kAnd : GateType::kOr;
+      --deficit;
+    }
+    std::size_t guard = static_cast<std::size_t>(deficit) * 4 + 64;
+    while (deficit > 0 && guard-- > 0) {
+      CellPlan& c = cells[gate_cells[rand_below(gate_cells.size())]];
+      if (c.planned_pins < 8) {
+        ++c.planned_pins;
+        --deficit;
+      }
+    }
+  }
+
+  // ---- netlist skeleton ------------------------------------------------
+  Netlist nl(spec.name);
+  std::vector<GateId> pi_ids(spec.num_pis);
+  for (std::size_t p = 0; p < spec.num_pis; ++p) {
+    pi_ids[p] = nl.add_gate(GateType::kInput, "pi" + std::to_string(p));
+  }
+  std::vector<GateId> cell_ids(total_cells);
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    cell_ids[i] = nl.add_gate(cells[i].type, "n" + std::to_string(i));
+  }
+  std::vector<GateId> dff_ids(spec.num_dffs);
+  std::vector<GateId> dff_fanin(spec.num_dffs, kNoGate);
+  std::vector<std::size_t> dff_fanin_cell(spec.num_dffs, static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < spec.num_dffs; ++k) {
+    dff_ids[k] = nl.add_gate(GateType::kDff, "r" + std::to_string(k));
+  }
+
+  // Claiming a pin may exceed the plan by one (structural wiring takes
+  // priority over exact area; the slack is a handful of units per circuit).
+  auto claim_pin = [&](std::size_t cell, GateId source) -> bool {
+    // One pin of overflow is tolerated on multi-input gates (structural
+    // wiring beats exact area by a few units); inverters are strictly 1-pin.
+    const std::size_t cap = cells[cell].type == GateType::kNot
+                                ? 1
+                                : cells[cell].planned_pins + 1;
+    if (cells[cell].fanins.size() >= cap) return false;
+    cells[cell].fanins.push_back(source);
+    return true;
+  };
+  auto find_free_cell = [&](std::size_t lo, std::size_t hi,
+                            std::size_t min_pins = 1) -> std::size_t {
+    if (lo >= hi) return static_cast<std::size_t>(-1);
+    auto usable = [&](std::size_t i) {
+      return cells[i].has_free_pin() && cells[i].planned_pins >= min_pins;
+    };
+    for (std::size_t t = 0; t < 40; ++t) {
+      const std::size_t i = lo + rand_below(hi - lo);
+      if (usable(i)) return i;
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (usable(i)) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  };
+
+  // ---- feedback structure (SCCs) ---------------------------------------
+  // Feedback DFF k gets a loop DFF→c0→…→cm→DFF over ascending gate indices
+  // (combinational logic stays acyclic; the cycle closes through the DFF).
+  // Loops of one group share a gate with the previous loop, chaining them
+  // into a single SCC.
+  const auto n_fb = static_cast<std::size_t>(spec.scc_dff_fraction *
+                                                 static_cast<double>(spec.num_dffs) +
+                                             0.5);
+  std::vector<std::vector<std::size_t>> group_gates;  // wired cells per SCC group
+  std::size_t scc_cells_wired = 0;
+  std::size_t fb_done = 0;
+  std::size_t attempts = 0;
+  while (fb_done < n_fb && attempts++ < 4 * spec.num_dffs + 64) {
+    const std::size_t remaining = n_fb - fb_done;
+    const std::size_t max_group = std::min<std::size_t>(remaining, 8 + n_fb / 4);
+    const std::size_t group = 1 + rand_below(max_group);
+    // Wide regions: real feedback structures (FSMs, datapath loops) span
+    // large parts of a circuit, which is why the paper sees most cut nets
+    // land on SCCs (Tables 10/11 column 4).
+    const std::size_t region_len = std::clamp<std::size_t>(90 * group, 12, total_cells);
+    const std::size_t region_lo =
+        total_cells > region_len ? rand_below(total_cells - region_len) : 0;
+    const std::size_t region_hi = std::min(region_lo + region_len, total_cells);
+
+    std::size_t shared = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> wired_here;
+    for (std::size_t j = 0; j < group && fb_done < n_fb; ++j) {
+      const std::size_t k = fb_done;
+      std::vector<std::size_t> chain;
+      if (shared == static_cast<std::size_t>(-1)) {
+        // First loop of the group: 1..3 ascending gates.
+        std::size_t lo = region_lo;
+        const std::size_t hops = 1 + rand_below(3);
+        for (std::size_t h = 0; h < hops; ++h) {
+          // Junction gates get revisited by the next loop: need >= 2 pins.
+          const std::size_t c = find_free_cell(lo, region_hi, 2);
+          if (c == static_cast<std::size_t>(-1)) break;
+          chain.push_back(c);
+          lo = c + 1;
+        }
+      } else {
+        // Later loops pass through `shared` to merge into the group's SCC.
+        // A fresh gate c anywhere in the region keeps chains ascending
+        // (c→shared or shared→c) and spreads pin load; `shared` then rotates
+        // to c so no gate serves as the junction more than twice.
+        const std::size_t c = find_free_cell(region_lo, region_hi, 2);
+        if (c == static_cast<std::size_t>(-1) || c == shared) {
+          chain.push_back(shared);
+        } else if (c < shared) {
+          chain.push_back(c);
+          chain.push_back(shared);
+        } else {
+          chain.push_back(shared);
+          chain.push_back(c);
+        }
+      }
+      if (chain.empty()) break;  // region saturated; retry another region
+
+      GateId prev = dff_ids[k];
+      bool ok = true;
+      for (std::size_t c : chain) {
+        if (!claim_pin(c, prev)) {
+          ok = false;
+          break;
+        }
+        prev = cell_ids[c];
+      }
+      if (!ok || prev == dff_ids[k]) break;
+      dff_fanin[k] = prev;  // last chain gate → DFF input
+      dff_fanin_cell[k] = chain.back();
+      // Rotate the junction to the freshest gate of this loop's chain.
+      shared = (chain.front() != shared) ? chain.front() : chain.back();
+      for (std::size_t c : chain) wired_here.push_back(c);
+      ++fb_done;
+    }
+    if (!wired_here.empty()) {
+      std::sort(wired_here.begin(), wired_here.end());
+      wired_here.erase(std::unique(wired_here.begin(), wired_here.end()),
+                       wired_here.end());
+      scc_cells_wired += wired_here.size();
+      group_gates.push_back(std::move(wired_here));
+    }
+  }
+  const std::size_t fb_actual = fb_done;
+
+  // ---- SCC enlargement ---------------------------------------------------
+  // Pull additional gates into the feedback structures: for gates a < b of
+  // one SCC, wiring a→x→b (a < x < b) puts x on a cycle (x reaches b, and b
+  // reaches a within the SCC), so x joins the SCC without touching any
+  // register. Budgeted by scc_gate_coverage.
+  if (!group_gates.empty() && spec.scc_gate_coverage > 0) {
+    const auto target = static_cast<std::size_t>(spec.scc_gate_coverage *
+                                                 static_cast<double>(total_cells));
+    std::size_t failures = 0;
+    while (scc_cells_wired < target && failures < 2 * total_cells + 256) {
+      auto& gg = group_gates[rand_below(group_gates.size())];
+      if (gg.size() < 2 || gg.back() - gg.front() < 2) {
+        ++failures;
+        continue;
+      }
+      // Fresh cell x strictly inside the group's index span, then bracket it
+      // by the nearest members: a (predecessor) and some successor b with
+      // pin capacity.
+      const std::size_t x = find_free_cell(gg.front() + 1, gg.back());
+      auto it = std::lower_bound(gg.begin(), gg.end(), x);
+      if (x == static_cast<std::size_t>(-1) || it == gg.begin() || it == gg.end() ||
+          *it == x) {
+        ++failures;
+        continue;
+      }
+      const std::size_t a = *(it - 1);
+      std::size_t b = static_cast<std::size_t>(-1);
+      for (auto bt = it; bt != gg.end() && bt != it + 16; ++bt) {
+        if (cells[*bt].fanins.size() < cells[*bt].planned_pins) {
+          b = *bt;
+          break;
+        }
+      }
+      if (b == static_cast<std::size_t>(-1) || b <= x) {
+        ++failures;
+        continue;
+      }
+      // Wire a whole ascending chain a -> x -> x2 -> ... -> xm -> b: every
+      // chain cell joins the SCC at the cost of a single pin on b, and the
+      // multi-pin cells among them replenish the pool of pins available to
+      // future insertions.
+      std::vector<std::size_t> xs{x};
+      for (std::size_t lo = x + 1; xs.size() < 12;) {
+        const std::size_t c = find_free_cell(lo, b);
+        if (c == static_cast<std::size_t>(-1)) break;
+        xs.push_back(c);
+        lo = c + 1;
+      }
+      std::size_t prev = a;
+      bool ok = true;
+      for (std::size_t c : xs) {
+        if (!claim_pin(c, cell_ids[prev])) { ok = false; break; }
+        prev = c;
+      }
+      if (!ok || !claim_pin(b, cell_ids[prev])) {
+        ++failures;
+        continue;
+      }
+      for (std::size_t c : xs) {
+        gg.insert(std::lower_bound(gg.begin(), gg.end(), c), c);
+      }
+      scc_cells_wired += xs.size();
+    }
+  }
+
+  // ---- pipeline DFFs (forward-only, never on a cycle) ------------------
+  for (std::size_t k = fb_actual; k < spec.num_dffs; ++k) {
+    const std::size_t a = rand_below(std::max<std::size_t>(1, total_cells * 4 / 5));
+    dff_fanin[k] = cell_ids[a];
+    dff_fanin_cell[k] = a;
+    const std::size_t sink = find_free_cell(a + 1, total_cells);
+    if (sink != static_cast<std::size_t>(-1)) claim_pin(sink, dff_ids[k]);
+  }
+
+  // ---- every PI drives at least one gate -------------------------------
+  for (std::size_t p = 0; p < spec.num_pis; ++p) {
+    const std::size_t sink = find_free_cell(0, total_cells);
+    if (sink != static_cast<std::size_t>(-1)) claim_pin(sink, pi_ids[p]);
+  }
+
+  // ---- fill the remaining pins -----------------------------------------
+  // Real circuits are modular: a region of logic reads a few nearby PIs and
+  // registers, not uniformly random ones. Cells are grouped into blocks;
+  // each block sees a small home pool of PIs and of DFFs homed nearby.
+  const std::size_t block_size = std::clamp<std::size_t>(total_cells / 24, 24, 400);
+  const std::size_t num_blocks = (total_cells + block_size - 1) / block_size;
+  std::vector<std::vector<std::size_t>> home_pis(num_blocks);
+  for (std::size_t p = 0; p < spec.num_pis; ++p) {
+    home_pis[p % num_blocks].push_back(p);  // every PI has a home block
+  }
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    while (home_pis[b].size() < std::min<std::size_t>(3, spec.num_pis)) {
+      home_pis[b].push_back(rand_below(spec.num_pis));
+    }
+  }
+  std::vector<std::vector<std::size_t>> home_dffs(num_blocks);
+  for (std::size_t k = 0; k < spec.num_dffs; ++k) {
+    if (dff_fanin_cell[k] != static_cast<std::size_t>(-1)) {
+      home_dffs[dff_fanin_cell[k] / block_size].push_back(k);
+    }
+  }
+
+  std::geometric_distribution<std::size_t> near(0.15);
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    CellPlan& c = cells[i];
+    const std::size_t blk = i / block_size;
+    std::size_t dup_retries = 0;
+    while (c.fanins.size() < c.planned_pins) {
+      GateId src = kNoGate;
+      if (i > 0 && rand_prob() < spec.locality) {
+        const std::size_t back = std::min<std::size_t>(1 + near(rng), i);
+        src = cell_ids[i - back];
+      } else if (rand_prob() < 0.95) {
+        // Home pool: a nearby block's PIs or DFFs.
+        const std::size_t pb =
+            std::min(num_blocks - 1, blk + rand_below(3) - std::min<std::size_t>(1, blk));
+        if ((rng() & 1) && !home_dffs[pb].empty()) {
+          const std::size_t k = home_dffs[pb][rand_below(home_dffs[pb].size())];
+          // Feedback DFFs may feed anything (only enlarges their SCC);
+          // pipeline DFFs must stay forward of their input gate.
+          if (k < fb_actual || dff_fanin_cell[k] < i) src = dff_ids[k];
+        }
+        if (src == kNoGate && !home_pis[pb].empty()) {
+          src = pi_ids[home_pis[pb][rand_below(home_pis[pb].size())]];
+        }
+      } else {
+        // Occasional global connection (clock-tree-like broadcast nets).
+        const std::size_t pick = rand_below(2);
+        if (pick == 0 && spec.num_dffs > 0) {
+          const std::size_t k = rand_below(spec.num_dffs);
+          if (k < fb_actual || dff_fanin_cell[k] < i) src = dff_ids[k];
+        }
+        if (src == kNoGate) src = pi_ids[rand_below(spec.num_pis)];
+      }
+      if (src == kNoGate && i > 0) src = cell_ids[rand_below(i)];
+      if (src == kNoGate) src = pi_ids[rand_below(spec.num_pis)];
+      // A gate reading the same net twice (AND(a,a)) or a net plus its own
+      // inversion (NAND(x, NOT(x)) is constant) is pure redundancy; real
+      // netlists avoid both and they only breed undetectable faults.
+      auto inverter_of = [&](GateId g1, GateId g2) {
+        // True when g1 is a NOT/BUF cell reading g2.
+        if (g1 < cell_ids[0] || g1 >= cell_ids[0] + total_cells) return false;
+        const CellPlan& cp = cells[g1 - cell_ids[0]];
+        return cp.planned_pins == 1 && !cp.fanins.empty() && cp.fanins[0] == g2;
+      };
+      bool clashes = false;
+      for (GateId f : c.fanins) {
+        if (f == src || inverter_of(f, src) || inverter_of(src, f)) {
+          clashes = true;
+          break;
+        }
+      }
+      if (clashes && dup_retries++ < 8) continue;
+      c.fanins.push_back(src);
+    }
+  }
+
+  // ---- commit ------------------------------------------------------------
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    nl.set_fanins(cell_ids[i], cells[i].fanins);
+  }
+  for (std::size_t k = 0; k < spec.num_dffs; ++k) {
+    if (dff_fanin[k] == kNoGate) {
+      // Feedback budget ran out for this DFF: degrade to pipeline register.
+      const std::size_t a = rand_below(total_cells);
+      dff_fanin[k] = cell_ids[a];
+    }
+    nl.set_fanins(dff_ids[k], {dff_fanin[k]});
+  }
+  nl.finalize();
+
+  // ---- primary outputs: every sink gate is observable --------------------
+  bool any_output = false;
+  for (std::size_t i = 0; i < total_cells; ++i) {
+    if (nl.fanouts(cell_ids[i]).empty()) {
+      nl.mark_output(cell_ids[i]);
+      any_output = true;
+    }
+  }
+  if (!any_output) nl.mark_output(cell_ids[total_cells - 1]);
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace merced

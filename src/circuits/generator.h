@@ -1,0 +1,50 @@
+// Seeded synthetic sequential-circuit generator.
+//
+// The MCNC ISCAS89 netlist files are not redistributable here, so the
+// benchmark suite is reproduced *statistically*: for each circuit the
+// generator builds a netlist matching the published Table 9 row exactly
+// (#PI, #DFF, #gates, #INV) and the published estimated area (by tuning the
+// gate-type mix and extra fan-ins), plus the published feedback character
+// (fraction of DFFs inside strongly connected components, Tables 10/11
+// column 3). See DESIGN.md "Substitutions".
+//
+// Construction guarantees:
+//  * combinational logic is acyclic (gate fan-ins only reference
+//    lower-indexed gates, PIs or DFF outputs);
+//  * every feedback DFF lies on a directed cycle through at least one gate
+//    (never a pure register ring); feedback loops of one group share a
+//    terminal gate, merging them into one SCC;
+//  * pipeline (non-feedback) DFFs only move data forward, so they join no
+//    cycle;
+//  * every PI and DFF output drives at least one gate; sink gates become
+//    primary outputs (observability, and POs never sit on DFFs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/area_model.h"
+#include "netlist/netlist.h"
+
+namespace merced {
+
+struct SyntheticSpec {
+  std::string name;
+  std::size_t num_pis = 0;
+  std::size_t num_dffs = 0;
+  std::size_t num_gates = 0;  ///< combinational gates excluding inverters
+  std::size_t num_invs = 0;
+  AreaUnits target_area = 0;  ///< Table 9 "Estimated Area"
+  double scc_dff_fraction = 1.0;  ///< DFFs-on-SCC / DFFs (Table 10 col 3)
+  /// Fraction of combinational cells pulled into SCCs. Real sequential
+  /// circuits keep much of their logic inside feedback structures, which is
+  /// why the paper's cut nets mostly land on SCCs (Tables 10/11).
+  double scc_gate_coverage = 0.4;
+  double locality = 0.85;  ///< probability a fan-in comes from a nearby gate
+  std::uint64_t seed = 1;
+};
+
+/// Builds a finalized netlist for the spec. Deterministic in `seed`.
+Netlist generate_circuit(const SyntheticSpec& spec);
+
+}  // namespace merced

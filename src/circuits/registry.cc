@@ -1,0 +1,74 @@
+#include "circuits/registry.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/s27.h"
+
+namespace merced {
+
+namespace {
+
+SyntheticSpec spec(std::string name, std::size_t pis, std::size_t dffs,
+                   std::size_t gates, std::size_t invs, AreaUnits area,
+                   double scc_frac, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = std::move(name);
+  s.num_pis = pis;
+  s.num_dffs = dffs;
+  s.num_gates = gates;
+  s.num_invs = invs;
+  s.target_area = area;
+  s.scc_dff_fraction = scc_frac;
+  s.seed = seed;
+  return s;
+}
+
+const std::vector<BenchmarkEntry>& suite() {
+  // Table 9 statistics; scc_dff_fraction from Table 10 column 3
+  // ("DFFs on SCC" / "No. of DFFs").
+  static const std::vector<BenchmarkEntry> kSuite = {
+      {spec("s27", 4, 3, 10, 2, 0, 1.0, 27), /*embedded=*/true},
+      {spec("s510", 19, 6, 179, 32, 547, 6.0 / 6, 510), false},
+      {spec("s420.1", 18, 16, 140, 78, 620, 16.0 / 16, 420), false},
+      {spec("s641", 35, 19, 107, 272, 832, 15.0 / 19, 641), false},
+      {spec("s713", 35, 19, 139, 254, 892, 15.0 / 19, 713), false},
+      {spec("s820", 18, 5, 256, 33, 943, 5.0 / 5, 820), false},
+      {spec("s832", 18, 5, 262, 25, 961, 5.0 / 5, 832), false},
+      {spec("s838.1", 34, 32, 288, 158, 1268, 32.0 / 32, 838), false},
+      {spec("s1423", 17, 74, 490, 167, 2238, 71.0 / 74, 1423), false},
+      {spec("s5378", 35, 179, 1004, 1775, 6241, 124.0 / 179, 5378), false},
+      {spec("s9234.1", 36, 211, 2027, 3570, 11467, 172.0 / 211, 92341), false},
+      {spec("s9234", 19, 228, 2027, 3570, 11637, 173.0 / 228, 9234), false},
+      {spec("s13207.1", 62, 638, 2573, 5378, 19171, 462.0 / 638, 132071), false},
+      {spec("s13207", 31, 669, 2573, 5378, 19476, 463.0 / 669, 13207), false},
+      {spec("s15850.1", 77, 534, 3448, 6324, 21305, 487.0 / 534, 158501), false},
+      {spec("s35932", 35, 1728, 12204, 3861, 50625, 1728.0 / 1728, 35932), false},
+      {spec("s38417", 28, 1636, 8709, 13470, 52768, 1166.0 / 1636, 38417), false},
+      {spec("s38584.1", 38, 1426, 11448, 7805, 55147, 1424.0 / 1426, 385841), false},
+  };
+  return kSuite;
+}
+
+}  // namespace
+
+std::span<const BenchmarkEntry> benchmark_suite() { return suite(); }
+
+const BenchmarkEntry* find_benchmark(std::string_view name) {
+  for (const BenchmarkEntry& e : suite()) {
+    if (e.spec.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Netlist load_benchmark(std::string_view name) {
+  const BenchmarkEntry* e = find_benchmark(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("load_benchmark: unknown circuit '" + std::string(name) +
+                                "'");
+  }
+  if (e->embedded) return make_s27();
+  return generate_circuit(e->spec);
+}
+
+}  // namespace merced

@@ -1,0 +1,33 @@
+// Benchmark registry: the 17 ISCAS89 circuits of the paper's Table 9 plus
+// the s27 running example.
+//
+// s27 is embedded verbatim; the other circuits are synthesized to match
+// their published statistics (see generator.h and DESIGN.md).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "circuits/generator.h"
+#include "netlist/netlist.h"
+
+namespace merced {
+
+/// One suite entry with its published Table 9 row.
+struct BenchmarkEntry {
+  SyntheticSpec spec;        ///< generation parameters (name included)
+  bool embedded = false;     ///< true for s27 (exact netlist)
+};
+
+/// All suite entries in Table 9 order (s27 first, then s510 … s38584.1).
+std::span<const BenchmarkEntry> benchmark_suite();
+
+/// Entry by name, or nullptr.
+const BenchmarkEntry* find_benchmark(std::string_view name);
+
+/// Loads (parses or generates) a finalized benchmark netlist by name.
+/// Throws std::invalid_argument for unknown names.
+Netlist load_benchmark(std::string_view name);
+
+}  // namespace merced

@@ -1,0 +1,33 @@
+#include "circuits/s27.h"
+
+#include "netlist/bench_io.h"
+
+namespace merced {
+
+std::string_view s27_bench_text() {
+  // MCNC ISCAS89 distribution text (Brglez/Bryan/Kozminski 1989).
+  return R"(# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+}
+
+Netlist make_s27() { return parse_bench(s27_bench_text(), "s27"); }
+
+}  // namespace merced

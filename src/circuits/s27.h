@@ -1,0 +1,16 @@
+// The ISCAS89 s27 benchmark — the paper's running example (Fig. 2).
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+/// The s27 netlist in `.bench` syntax (4 PIs, 3 DFFs, 10 gates).
+std::string_view s27_bench_text();
+
+/// Parsed and finalized s27.
+Netlist make_s27();
+
+}  // namespace merced

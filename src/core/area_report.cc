@@ -1,0 +1,66 @@
+#include "core/area_report.h"
+
+#include "bist/cbit_area.h"
+
+namespace merced {
+
+AreaUnits AreaReport::cbit_area_with_retiming() const {
+  return static_cast<AreaUnits>(retimable_cuts) * kACellFromDffArea +
+         static_cast<AreaUnits>(multiplexed_cuts) * kACellWithMuxArea;
+}
+
+AreaUnits AreaReport::cbit_area_without_retiming() const {
+  return static_cast<AreaUnits>(retimable_cuts + multiplexed_cuts) * kACellWithMuxArea;
+}
+
+namespace {
+
+double pct(AreaUnits cbit, AreaUnits circuit) {
+  if (cbit == 0) return 0.0;
+  return 100.0 * static_cast<double>(cbit) / static_cast<double>(circuit + cbit);
+}
+
+}  // namespace
+
+double AreaReport::pct_with_retiming() const {
+  return pct(cbit_area_with_retiming(), circuit_area);
+}
+
+double AreaReport::pct_without_retiming() const {
+  return pct(cbit_area_without_retiming(), circuit_area);
+}
+
+double AreaReport::saving_relative() const {
+  const AreaUnits without = cbit_area_without_retiming();
+  if (without == 0) return 0.0;
+  return 100.0 * static_cast<double>(without - cbit_area_with_retiming()) /
+         static_cast<double>(without);
+}
+
+CbitAssignmentCost assign_cbit_cost(const std::vector<std::size_t>& partition_inputs) {
+  CbitAssignmentCost cost;
+  cost.count_by_type.assign(7, 0);
+  for (std::size_t inputs : partition_inputs) {
+    if (inputs == 0) continue;  // register-only partition: no CBIT needed
+    ++cost.total_cbits;
+    if (auto len = smallest_standard_length(inputs)) {
+      const auto p = published_area_per_dff(*len);
+      cost.total_area_dff += p ? *p : modeled_area_per_dff(*len);
+      // d1..d6 index from length.
+      unsigned k = 0;
+      for (unsigned l : {4u, 8u, 12u, 16u, 24u, 32u}) {
+        if (*len == l) break;
+        ++k;
+      }
+      ++cost.count_by_type[k];
+    } else {
+      // Oversized (infeasible leftovers): pro-rata at the 32-bit rate.
+      cost.total_area_dff +=
+          modeled_area_per_dff(32) / 32.0 * static_cast<double>(inputs);
+      ++cost.count_by_type[6];
+    }
+  }
+  return cost;
+}
+
+}  // namespace merced

@@ -1,0 +1,57 @@
+// CBIT area accounting — paper §4.2 (Table 12, Figure 8) and Eq. 4.
+//
+// With retiming, each retimable cut net costs an A_CELL conversion of an
+// existing flip-flop: the 3 extra gates = 0.9 DFF (Fig. 3b). Excess cut
+// nets on SCCs (beyond what legal retiming can supply, Eq. 2/6) need a new
+// A_CELL plus a 2:1 MUX = 2.3 DFF (Fig. 3c). Without retiming, functional
+// registers stay put, so *every* internal cut net costs a full multiplexed
+// A_CELL = 2.3 DFF. The paper reports A_CBIT / A_Total where
+// A_Total = A_circuit + A_CBIT.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/area_model.h"
+
+namespace merced {
+
+struct AreaReport {
+  AreaUnits circuit_area = 0;         ///< Table 9 estimated area
+  /// Paper accounting (Table 12): per-SCC aggregate — multiplexed cuts are
+  /// Σ_λ max(0, χ(λ) − f(λ)), everything else is a retimed conversion.
+  std::size_t retimable_cuts = 0;
+  std::size_t multiplexed_cuts = 0;
+  /// Exact legal-retiming plan (per-cycle Eq. 2 analysis; stricter than the
+  /// paper's aggregate, provided for users who want a provably legal ρ).
+  std::size_t exact_retimable_cuts = 0;
+  std::size_t exact_multiplexed_cuts = 0;
+
+  /// CBIT area in units: retimable*9 + multiplexed*23.
+  AreaUnits cbit_area_with_retiming() const;
+  /// CBIT area in units without retiming: (retimable+multiplexed)*23.
+  AreaUnits cbit_area_without_retiming() const;
+
+  /// A_CBIT / A_Total in percent, Table 12 columns.
+  double pct_with_retiming() const;
+  double pct_without_retiming() const;
+
+  /// Percentage-point saving (Table 12 column difference).
+  double saving_points() const { return pct_without_retiming() - pct_with_retiming(); }
+  /// Relative CBIT-area reduction (the paper's "area reduction").
+  double saving_relative() const;
+};
+
+/// Σ of Eq. 4: total cost of the assigned CBITs, choosing for each
+/// partition the smallest standard length (4/8/12/16/24/32) that fits its
+/// input count, priced by the Table 1 model. Partitions wider than 32
+/// inputs are priced pro-rata at the 32-bit per-bit cost.
+struct CbitAssignmentCost {
+  double total_area_dff = 0;              ///< Σ p_k n_k in DFF multiples
+  std::vector<std::size_t> count_by_type; ///< n_k for d1..d6 (+1 slot for >32)
+  std::size_t total_cbits = 0;
+};
+
+CbitAssignmentCost assign_cbit_cost(const std::vector<std::size_t>& partition_inputs);
+
+}  // namespace merced

@@ -1,0 +1,67 @@
+#include "core/emit_bist.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace merced {
+
+BistNetlist emit_bist_netlist(const CircuitGraph& g, const Clustering& clustering,
+                              std::span<const NetId> cut_nets) {
+  const Netlist& nl = g.netlist();
+  BistNetlist out;
+  out.netlist.set_name(nl.name() + "_bist");
+  out.test_mode_input = "ppet_test_mode";
+  out.test_enable_input = "ppet_test_en";
+
+  // Copy every original gate (fanins rewired below).
+  std::vector<GateId> new_id(nl.size(), kNoGate);
+  for (GateId id = 0; id < nl.size(); ++id) {
+    new_id[id] = out.netlist.add_gate(nl.gate(id).type, nl.gate(id).name);
+  }
+  const GateId tmode = out.netlist.add_gate(GateType::kInput, out.test_mode_input);
+  const GateId ten = out.netlist.add_gate(GateType::kInput, out.test_enable_input);
+
+  // One multiplexed A_CELL per cut net (Fig. 3a/3c gate structure:
+  // AND + XOR + NOR + DFF + MUX = 3+4+2+10+3 = 22 units per cut; the paper
+  // quotes 2.3 DFF including routing). Cells chain through the NOR (the
+  // zero-splice feed of the complete-cycle LFSR).
+  std::unordered_set<NetId> cut_set(cut_nets.begin(), cut_nets.end());
+  std::vector<GateId> mux_of_net(nl.size(), kNoGate);
+  GateId chain_prev = ten;  // benign in normal mode; scan head in test mode
+  for (NetId net : cut_nets) {
+    const GateId driver = new_id[g.driver(net)];
+    const std::string base = nl.gate(g.driver(net)).name + "_acell";
+    const GateId gate_and =
+        out.netlist.add_gate(GateType::kAnd, base + "_and", {driver, ten});
+    const GateId gate_xor =
+        out.netlist.add_gate(GateType::kXor, base + "_xor", {gate_and, chain_prev});
+    const GateId dff = out.netlist.add_gate(GateType::kDff, base + "_ff", {gate_xor});
+    const GateId gate_nor =
+        out.netlist.add_gate(GateType::kNor, base + "_nor", {dff, ten});
+    // MUX pins: select, a (sel=0 -> normal path), b (sel=1 -> test register).
+    const GateId mux =
+        out.netlist.add_gate(GateType::kMux, base + "_mux", {tmode, driver, dff});
+    mux_of_net[net] = mux;
+    chain_prev = gate_nor;
+    out.acell_registers.push_back(out.netlist.gate(dff).name);
+  }
+
+  // Rewire: crossing gate sinks of a cut net read the MUX instead.
+  for (GateId sink = 0; sink < nl.size(); ++sink) {
+    const Gate& gate = nl.gate(sink);
+    std::vector<GateId> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (GateId src : gate.fanins) {
+      const bool crossing =
+          cut_set.contains(src) && !is_sequential(gate.type) &&
+          clustering.cluster_of[sink] != clustering.cluster_of[src];
+      fanins.push_back(crossing ? mux_of_net[src] : new_id[src]);
+    }
+    out.netlist.set_fanins(new_id[sink], fanins);
+  }
+  for (GateId id : nl.outputs()) out.netlist.mark_output(new_id[id]);
+  out.netlist.finalize();
+  return out;
+}
+
+}  // namespace merced

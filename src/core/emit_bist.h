@@ -1,0 +1,41 @@
+// Materializing the PPET design: inserting the test hardware into the
+// netlist — what the Merced compiler ultimately emits.
+//
+// For every cut net the emitted circuit carries a multiplexed A_CELL
+// (Fig. 3c): the cut data `d` feeds AND(d, test_en) → XOR(·, chain_in) →
+// DFF, and a 2:1 MUX steers either the original net (normal mode,
+// test_mode = 0) or the A_CELL's register (self-test mode) into the
+// crossing sinks. The A_CELLs are chained in cut order (each XOR's second
+// input is the previous A_CELL's register), forming the CBIT/scan spine.
+//
+// Invariants the tests verify:
+//  * with test_mode = 0 the emitted circuit is cycle-exact equivalent to
+//    the original;
+//  * the emitted area equals the original plus 2.3 DFF (23 units) per cut
+//    net — the exact "without retiming" figure of the Table 12 accounting.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+#include "netlist/netlist.h"
+#include "partition/clustering.h"
+
+namespace merced {
+
+struct BistNetlist {
+  Netlist netlist;                 ///< original + test hardware, finalized
+  std::string test_mode_input;     ///< PI selecting self-test data paths
+  std::string test_enable_input;   ///< PI gating CUT data into the A_CELLs
+  std::vector<std::string> acell_registers;  ///< DFF names, in chain order
+};
+
+/// Emits the testable netlist with one multiplexed A_CELL per cut net of
+/// `clustering` (`cut_nets` must be its cut set).
+BistNetlist emit_bist_netlist(const CircuitGraph& graph,
+                              const Clustering& clustering,
+                              std::span<const NetId> cut_nets);
+
+}  // namespace merced

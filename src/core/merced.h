@@ -1,0 +1,70 @@
+// Merced — the BIST compiler (paper §3, Table 2).
+//
+//   STEP 1  Construct the graph representation G(V, E).
+//   STEP 2  Identify strongly connected components, SCC(G).
+//   STEP 3  Assign_CBIT(G, Δ, α, l_k) with the Eq. 6 retiming budget:
+//             Saturate_Network → Make_Group → Assign_CBIT,
+//           then plan legal retiming for the resulting cut set.
+//   STEP 4  Return the partition, cut statistics, retiming plan and the
+//           CBIT area report (with/without retiming).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/area_report.h"
+#include "flow/saturate_network.h"
+#include "graph/scc.h"
+#include "netlist/stats.h"
+#include "partition/clustering.h"
+#include "partition/make_group.h"
+#include "retiming/cut_retiming.h"
+
+namespace merced {
+
+struct MercedConfig {
+  std::size_t lk = 16;        ///< CBIT length / input constraint (Eq. 5)
+  int beta = 50;              ///< SCC cut-budget multiplier (Eq. 6, §4.1)
+  SaturateParams flow;        ///< b=1, min_visit=20, α=4, Δ=0.01 (§4.1)
+};
+
+struct MercedResult {
+  CircuitStats stats;                       ///< Table 9 row of the input
+  std::size_t num_sccs = 0;
+  std::size_t dffs_on_scc = 0;              ///< Tables 10/11 column 3
+  bool feasible = true;                     ///< all partitions meet ι ≤ lk
+  Clustering partitions;                    ///< final P (after Assign_CBIT)
+  std::vector<std::size_t> partition_inputs;///< ι(π) per partition
+  std::vector<NetId> cut_net_ids;           ///< internal cut nets
+  CutReport cuts;                           ///< nets cut / cut nets on SCC
+  CutRetimingPlan retiming;                 ///< retimable vs multiplexed
+  AreaReport area;                          ///< Table 12 numbers
+  CbitAssignmentCost cbit_cost;             ///< Σ of Eq. 4
+  double saturate_seconds = 0;
+  double total_seconds = 0;                 ///< Tables 10/11 "CPU time"
+  std::size_t flow_iterations = 0;
+};
+
+/// STEP 1–3a artifacts, reusable across lk values (the flow saturation does
+/// not depend on the input constraint).
+struct PreparedCircuit {
+  const Netlist* netlist = nullptr;
+  CircuitGraph graph;
+  SccInfo sccs;
+  SaturationResult saturation;
+  double saturate_seconds = 0;
+
+  PreparedCircuit(const Netlist& nl, const SaturateParams& flow);
+};
+
+/// Runs the full pipeline on a finalized netlist.
+MercedResult compile(const Netlist& netlist, const MercedConfig& config);
+
+/// Runs STEP 3b–4 on prepared artifacts (cheap to repeat per lk).
+MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config);
+
+/// Human-readable report (used by the CLI example).
+void print_report(std::ostream& os, const MercedResult& result);
+
+}  // namespace merced

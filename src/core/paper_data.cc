@@ -1,0 +1,87 @@
+#include "core/paper_data.h"
+
+#include <array>
+
+namespace merced::paper {
+
+namespace {
+
+constexpr std::array<PartitionRow, 17> kTable10 = {{
+    {"s510", 6, 6, 77, 92, 0.1},
+    {"s420.1", 16, 16, 0, 8, 0.05},
+    {"s641", 19, 15, 19, 28, 0.05},
+    {"s713", 19, 15, 24, 34, 0.05},
+    {"s820", 5, 5, 68, 88, 0.05},
+    {"s832", 5, 5, 77, 96, 0.05},
+    {"s838.1", 32, 32, 0, 23, 0.05},
+    {"s1423", 74, 71, 53, 65, 0.05},
+    {"s5378", 179, 124, 283, 420, 0.6},
+    {"s9234.1", 211, 172, 497, 700, 1.2},
+    {"s9234", 228, 173, 471, 649, 4.9},
+    {"s13207.1", 638, 462, 794, 975, 3.3},
+    {"s13207", 669, 463, 817, 978, 2.9},
+    {"s15850.1", 534, 487, 720, 1014, 2.0},
+    {"s35932", 1728, 1728, 2881, 2926, 191.6},
+    {"s38417", 1636, 1166, 1703, 2506, 66.9},
+    {"s38584.1", 1426, 1424, 3110, 3322, 97.9},
+}};
+
+constexpr std::array<PartitionRow, 10> kTable11 = {{
+    {"s641", 19, 15, 12, 17, 0.05},
+    {"s713", 19, 15, 32, 38, 0.05},
+    {"s5378", 179, 124, 254, 392, 0.4},
+    {"s9234.1", 211, 172, 379, 531, 1.0},
+    {"s13207.1", 638, 462, 749, 931, 10.7},
+    {"s13207", 669, 463, 689, 845, 4.8},
+    {"s15850.1", 534, 487, 602, 872, 18.1},
+    {"s35932", 1728, 1728, 2639, 2667, 85.4},
+    {"s38417", 1636, 1166, 1555, 2279, 60.4},
+    {"s38584.1", 1426, 1424, 2593, 2764, 95.0},
+}};
+
+constexpr std::array<AreaRow, 17> kTable12 = {{
+    {"s510", 78.8, 80.6, 0, 0},
+    {"s420.1", 19.7, 24.2, 0, 0},
+    {"s641", 18.9, 45.4, 13.2, 33.5},
+    {"s713", 27.4, 48.5, 33.9, 51.3},
+    {"s820", 67.2, 69.7, 0, 0},
+    {"s832", 69.0, 71.2, 0, 0},
+    {"s838.1", 25.6, 30.9, 0, 0},
+    {"s1423", 22.5, 41.8, 0, 0},
+    {"s5378", 46.8, 62.4, 43.4, 60.8},
+    {"s9234.1", 49.3, 60.1, 38.8, 53.4},
+    {"s9234", 45.5, 57.9, 0, 0},
+    {"s13207.1", 30.2, 55.7, 27.3, 54.5},
+    {"s13207", 34.4, 55.4, 26.4, 51.7},
+    {"s15850.1", 32.9, 54.0, 24.9, 50.3},
+    {"s35932", 36.7, 58.8, 31.3, 56.5},
+    {"s38417", 27.1, 54.0, 21.5, 51.6},
+    {"s38584.1", 45.3, 59.8, 36.8, 55.3},
+}};
+
+template <typename Rows>
+auto find_row(const Rows& rows, std::string_view name)
+    -> std::optional<typename Rows::value_type> {
+  for (const auto& r : rows) {
+    if (r.name == name) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::span<const PartitionRow> table10_lk16() { return kTable10; }
+std::span<const PartitionRow> table11_lk24() { return kTable11; }
+std::span<const AreaRow> table12() { return kTable12; }
+
+std::optional<PartitionRow> table10_row(std::string_view name) {
+  return find_row(kTable10, name);
+}
+std::optional<PartitionRow> table11_row(std::string_view name) {
+  return find_row(kTable11, name);
+}
+std::optional<AreaRow> table12_row(std::string_view name) {
+  return find_row(kTable12, name);
+}
+
+}  // namespace merced::paper

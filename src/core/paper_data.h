@@ -1,0 +1,38 @@
+// Published numbers from the paper (Tables 10, 11, 12), carried verbatim so
+// benches can print paper-vs-measured side by side.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace merced::paper {
+
+/// One row of Table 10 / Table 11 (partition results).
+struct PartitionRow {
+  std::string_view name;
+  unsigned dffs;
+  unsigned dffs_on_scc;
+  unsigned cut_nets_on_scc;
+  unsigned nets_cut;
+  double cpu_seconds;  ///< SUN Sparc10; "< 0.05" recorded as 0.05
+};
+
+/// One row of Table 12 (A_CBIT / A_Total in %).
+struct AreaRow {
+  std::string_view name;
+  double with_retiming_16;
+  double without_retiming_16;
+  double with_retiming_24;
+  double without_retiming_24;
+};
+
+std::span<const PartitionRow> table10_lk16();
+std::span<const PartitionRow> table11_lk24();
+std::span<const AreaRow> table12();
+
+std::optional<PartitionRow> table10_row(std::string_view name);
+std::optional<PartitionRow> table11_row(std::string_view name);
+std::optional<AreaRow> table12_row(std::string_view name);
+
+}  // namespace merced::paper

@@ -1,0 +1,112 @@
+#include "core/ppet_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace merced {
+
+PpetSession::PpetSession(const CircuitGraph& graph, const MercedResult& result,
+                         unsigned psa_width)
+    : graph_(&graph), psa_width_(psa_width) {
+  if (psa_width < kMinLfsrDegree || psa_width > kMaxLfsrDegree) {
+    throw std::invalid_argument("PpetSession: unsupported PSA width");
+  }
+  for (std::size_t ci = 0; ci < result.partitions.count(); ++ci) {
+    ConeSimulator cone(graph, result.partitions, ci);
+    if (cone.gates().empty() || cone.cut_inputs().size() < kMinLfsrDegree) {
+      continue;  // register-only or trivial partitions need no session
+    }
+    const auto iota = static_cast<unsigned>(cone.cut_inputs().size());
+    if (iota > kMaxLfsrDegree) {
+      throw std::invalid_argument("PpetSession: CUT wider than 32 inputs");
+    }
+    CutStation st;
+    st.partition_index = ci;
+    st.tpg_width = iota;
+    st.psa_width = psa_width;
+    st.cycles = std::uint64_t{1} << iota;
+    stations_.push_back(st);
+    cones_.push_back(std::move(cone));
+  }
+}
+
+std::uint64_t PpetSession::session_cycles() const noexcept {
+  std::uint64_t cycles = 0;
+  for (const CutStation& st : stations_) cycles = std::max(cycles, st.cycles);
+  return cycles;
+}
+
+SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
+  SessionResult out;
+  out.cycles_run = session_cycles();
+
+  // Global initialization: scan zero into every CBIT (Fig. 1a's chain).
+  std::vector<Cbit> tpgs;
+  std::vector<Cbit> psas;
+  for (const CutStation& st : stations_) {
+    Cbit tpg(st.tpg_width);
+    tpg.set_mode(CbitMode::kScan);
+    for (unsigned b = 0; b < st.tpg_width; ++b) tpg.step(0, false);
+    tpg.set_mode(CbitMode::kTpg);
+    tpgs.push_back(tpg);
+
+    Cbit psa(st.psa_width);
+    psa.set_mode(CbitMode::kScan);
+    for (unsigned b = 0; b < st.psa_width; ++b) psa.step(0, false);
+    psa.set_mode(CbitMode::kPsa);
+    psas.push_back(psa);
+  }
+
+  // Which station carries the fault (if any)?
+  std::vector<const Fault*> station_fault(stations_.size(), nullptr);
+  if (fault) {
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      const auto gates = cones_[s].gates();
+      if (std::find(gates.begin(), gates.end(), fault->gate) != gates.end()) {
+        station_fault[s] = &*fault;
+      }
+    }
+  }
+
+  // Concurrent sweep: every cycle each still-active station applies its TPG
+  // state to its CUT and compacts the outputs; stations whose sweep is done
+  // idle (their CBITs would be serving other pipes in a real device).
+  for (std::uint64_t cycle = 0; cycle < out.cycles_run; ++cycle) {
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      if (cycle >= stations_[s].cycles) continue;
+      const ConeSimulator& cone = cones_[s];
+      const std::size_t n = cone.cut_inputs().size();
+      std::vector<std::uint64_t> in(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        in[i] = (tpgs[s].state() >> i) & 1 ? ~std::uint64_t{0} : 0;
+      }
+      const auto outputs = cone.eval(in, station_fault[s]);
+      std::uint64_t word = 0;
+      for (std::size_t o = 0; o < outputs.size(); ++o) {
+        word ^= (outputs[o] & 1) << (o % stations_[s].psa_width);
+      }
+      psas[s].step(word);
+      tpgs[s].step(0);
+    }
+  }
+
+  // Signature read-out through the scan chain: shift every PSA out serially
+  // (MSB first), concatenated in station order.
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    out.signatures.push_back(psas[s].state());
+    psas[s].set_mode(CbitMode::kScan);
+    for (unsigned b = 0; b < stations_[s].psa_width; ++b) {
+      out.scan_stream.push_back(psas[s].scan_out());
+      psas[s].step(0, false);
+    }
+  }
+  return out;
+}
+
+bool PpetSession::detects(const Fault& fault) const {
+  const SessionResult golden = run();
+  const SessionResult faulty = run(fault);
+  return golden.signatures != faulty.signatures;
+}
+
+}  // namespace merced

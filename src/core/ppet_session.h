@@ -1,0 +1,76 @@
+// PPET self-test session — the system of Figure 1(a).
+//
+// After Merced compiles a circuit, every partition (CUT) is surrounded by
+// CBITs: the generating CBIT spans the CUT's ι input nets and runs in TPG
+// mode; the capturing CBIT compacts the CUT's observed outputs in PSA mode.
+// All CUTs are tested *concurrently*; one session lasts 2^max(ι) cycles
+// (the widest CBIT dominates, Fig. 1b). A scan chain threads every CBIT for
+// global initialization and signature read-out.
+//
+// This module materializes that flow on the simulator: it builds the CBIT
+// network for a MercedResult, drives a full self-test session (optionally
+// with an injected stuck-at fault), shifts the signatures out through the
+// modeled scan chain, and compares them against the golden run — the
+// complete BIST use-case a downstream adopter needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bist/cbit.h"
+#include "core/merced.h"
+#include "graph/circuit_graph.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+
+namespace merced {
+
+/// One CUT's test fixture inside the session.
+struct CutStation {
+  std::size_t partition_index = 0;
+  unsigned tpg_width = 0;       ///< = ι of the CUT (CBIT slice driving it)
+  unsigned psa_width = 0;       ///< MISR width compacting its outputs
+  std::uint64_t cycles = 0;     ///< 2^ι exhaustive sweep length
+};
+
+/// Result of one complete self-test session.
+struct SessionResult {
+  std::vector<std::uint64_t> signatures;  ///< per station, PSA state at end
+  std::uint64_t cycles_run = 0;           ///< dominated by the widest CUT
+  /// Signatures serialized through the scan chain (MSB-first per CBIT),
+  /// exactly what a tester would shift out.
+  std::vector<bool> scan_stream;
+};
+
+class PpetSession {
+ public:
+  /// Builds the CBIT network for a compiled result. `graph` must be the
+  /// graph of the compiled netlist and outlive the session.
+  PpetSession(const CircuitGraph& graph, const MercedResult& result,
+              unsigned psa_width = 16);
+
+  std::size_t num_stations() const noexcept { return stations_.size(); }
+  const CutStation& station(std::size_t i) const { return stations_.at(i); }
+
+  /// Total testing time of the pipe: 2^max(ι) (Figure 1b).
+  std::uint64_t session_cycles() const noexcept;
+
+  /// Runs one self-test session. All TPG CBITs are initialized (via the
+  /// modeled scan chain) to the all-zero state, every CUT is swept
+  /// exhaustively and concurrently, and the PSA signatures are shifted out.
+  /// If `fault` is set, it is injected into its CUT for the whole session.
+  SessionResult run(const std::optional<Fault>& fault = std::nullopt) const;
+
+  /// Convenience: golden vs faulty signature comparison. Returns true when
+  /// the fault changes at least one signature (the tester flags the part).
+  bool detects(const Fault& fault) const;
+
+ private:
+  const CircuitGraph* graph_;
+  std::vector<CutStation> stations_;
+  std::vector<ConeSimulator> cones_;
+  unsigned psa_width_;
+};
+
+}  // namespace merced

@@ -1,0 +1,28 @@
+// Minimal fixed-width text table printer for benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace merced {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cells are stringified by the caller.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` decimals.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::size_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace merced

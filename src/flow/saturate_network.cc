@@ -1,0 +1,104 @@
+#include "flow/saturate_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/dijkstra.h"
+
+namespace merced {
+
+namespace {
+
+/// Tracks the set of nodes whose visit count is still <= threshold, with
+/// O(1) random sampling and removal.
+class UnderVisitedSet {
+ public:
+  explicit UnderVisitedSet(std::size_t n) : pos_(n), members_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      pos_[i] = i;
+      members_[i] = static_cast<NodeId>(i);
+    }
+  }
+
+  bool empty() const noexcept { return members_.empty(); }
+  std::size_t size() const noexcept { return members_.size(); }
+
+  NodeId sample(std::mt19937_64& rng) const {
+    std::uniform_int_distribution<std::size_t> pick(0, members_.size() - 1);
+    return members_[pick(rng)];
+  }
+
+  bool contains(NodeId v) const noexcept {
+    return pos_[v] < members_.size() && members_[pos_[v]] == v;
+  }
+
+  void remove(NodeId v) {
+    if (!contains(v)) return;
+    const std::size_t p = pos_[v];
+    const NodeId last = members_.back();
+    members_[p] = last;
+    pos_[last] = p;
+    members_.pop_back();
+    pos_[v] = static_cast<std::size_t>(-1);
+  }
+
+ private:
+  std::vector<std::size_t> pos_;
+  std::vector<NodeId> members_;
+};
+
+}  // namespace
+
+SaturationResult saturate_network(const CircuitGraph& g, const SaturateParams& p) {
+  if (p.capacity <= 0) throw std::invalid_argument("saturate_network: capacity must be > 0");
+  if (p.delta <= 0) throw std::invalid_argument("saturate_network: delta must be > 0");
+  if (p.min_visit < 0) throw std::invalid_argument("saturate_network: min_visit must be >= 0");
+
+  const std::size_t n = g.num_nodes();
+  SaturationResult r;
+  r.flow.assign(g.num_nets(), 0.0);
+  r.distance.assign(g.num_nets(), 1.0);  // STEP 1.1: d(e) = 1
+  r.visit.assign(n, 0);                  // STEP 2.1: visit(v) = 0
+  if (n == 0) return r;
+
+  std::mt19937_64 rng(p.seed);
+  UnderVisitedSet under(n);
+  std::uniform_int_distribution<std::size_t> any_node(0, n - 1);
+
+  const auto threshold = static_cast<std::uint32_t>(p.min_visit);
+
+  auto bump_visit = [&](NodeId v) {
+    if (++r.visit[v] > threshold) under.remove(v);
+  };
+
+  // STEP 3: while some node is insufficiently visited.
+  while (!under.empty() && r.iterations < p.max_iterations) {
+    NodeId src;
+    if (p.source_policy == SaturateParams::SourcePolicy::kUniform) {
+      src = static_cast<NodeId>(any_node(rng));
+    } else {
+      src = under.sample(rng);
+    }
+    if (p.visit_policy == SaturateParams::VisitPolicy::kSourceOnly) {
+      bump_visit(src);
+    }
+
+    // STEP 3.2: shortest path tree from src to all (reachable) sinks.
+    const ShortestPathTree tree = dijkstra(g, src, r.distance);
+    ++r.iterations;
+
+    if (p.visit_policy == SaturateParams::VisitPolicy::kTreeNodes) {
+      for (NodeId v : tree.reached) bump_visit(v);
+    }
+
+    // STEP 3.3: inject Δ flow on each net of the tree and re-price it.
+    for (NetId net : tree_nets(g, tree)) {
+      r.flow[net] += p.delta;
+      r.distance[net] = std::exp(p.alpha * r.flow[net] / p.capacity);
+    }
+  }
+  return r;
+}
+
+}  // namespace merced

@@ -1,0 +1,25 @@
+#include "graph/circuit_graph.h"
+
+#include <stdexcept>
+
+namespace merced {
+
+CircuitGraph::CircuitGraph(const Netlist& netlist) : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("CircuitGraph: netlist must be finalized");
+  }
+  const std::size_t n = netlist.size();
+  out_.assign(n, {});
+  in_.assign(n, {});
+  num_nets_ = n;
+  for (GateId sink = 0; sink < n; ++sink) {
+    for (GateId src : netlist.gate(sink).fanins) {
+      const BranchId b = static_cast<BranchId>(branches_.size());
+      branches_.push_back(Branch{/*net=*/src, /*source=*/src, /*sink=*/sink});
+      out_[src].push_back(b);
+      in_[sink].push_back(b);
+    }
+  }
+}
+
+}  // namespace merced

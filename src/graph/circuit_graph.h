@@ -1,0 +1,76 @@
+// Directed multi-pin circuit graph G(V = R ∪ C, E) — paper §2.1, Fig. 2(b).
+//
+// Nodes are the netlist's gates (registers R, combinational cells C, and
+// primary-input sources). Each gate drives exactly one *net*; a net is a
+// single directed hyper-edge from its driver with one *branch* per fanout
+// pin (the multi-pin model of Yeh/Cheng/Lin [6]). Flow, congestion distance
+// and cut decisions live at net granularity; traversal uses branches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+using NodeId = GateId;            ///< graph nodes are netlist gates
+using NetId = std::uint32_t;      ///< one net per driving gate (same index space)
+using BranchId = std::uint32_t;   ///< one branch per (net, sink pin)
+
+inline constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+/// One fanout branch of a net.
+struct Branch {
+  NetId net = kNoNet;
+  NodeId source = kNoGate;
+  NodeId sink = kNoGate;
+};
+
+/// Immutable graph view over a finalized Netlist.
+class CircuitGraph {
+ public:
+  /// Builds the graph. `netlist` must outlive the graph and be finalized.
+  explicit CircuitGraph(const Netlist& netlist);
+
+  const Netlist& netlist() const noexcept { return *netlist_; }
+
+  std::size_t num_nodes() const noexcept { return netlist_->size(); }
+  std::size_t num_nets() const noexcept { return num_nets_; }
+  std::size_t num_branches() const noexcept { return branches_.size(); }
+
+  const Branch& branch(BranchId b) const { return branches_.at(b); }
+
+  /// All branches, in id order.
+  std::span<const Branch> branches() const noexcept { return branches_; }
+
+  /// Branches leaving `node` (the branches of the net it drives).
+  std::span<const BranchId> out_branches(NodeId node) const { return out_[node]; }
+
+  /// Branches entering `node` (one per fanin pin).
+  std::span<const BranchId> in_branches(NodeId node) const { return in_[node]; }
+
+  /// The net driven by `node`; every node drives exactly one (possibly
+  /// sinkless) net, so NetId == NodeId. Kept as a function for clarity.
+  NetId net_of(NodeId node) const noexcept { return node; }
+  NodeId driver(NetId net) const noexcept { return net; }
+
+  /// Branch ids belonging to `net`.
+  std::span<const BranchId> net_branches(NetId net) const { return out_[net]; }
+
+  /// True if the node is a primary-input source (excluded from clusters).
+  bool is_pi(NodeId node) const { return is_input(netlist_->gate(node).type); }
+
+  /// True if the node is a register.
+  bool is_register(NodeId node) const { return is_sequential(netlist_->gate(node).type); }
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Branch> branches_;
+  std::vector<std::vector<BranchId>> out_;  // per node == per net
+  std::vector<std::vector<BranchId>> in_;
+  std::size_t num_nets_ = 0;
+};
+
+}  // namespace merced

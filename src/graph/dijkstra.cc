@@ -1,0 +1,62 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace merced {
+
+ShortestPathTree dijkstra(const CircuitGraph& g, NodeId source,
+                          std::span<const double> net_distance) {
+  if (net_distance.size() != g.num_nets()) {
+    throw std::invalid_argument("dijkstra: net_distance size mismatch");
+  }
+  const std::size_t n = g.num_nodes();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  ShortestPathTree t;
+  t.source = source;
+  t.parent_branch.assign(n, ShortestPathTree::kNoBranch);
+  t.distance.assign(n, kInf);
+  t.distance[source] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (dist, node), min-heap
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  std::vector<bool> settled(n, false);
+
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    t.reached.push_back(u);
+    for (BranchId b : g.out_branches(u)) {
+      const Branch& br = g.branch(b);
+      const double w = net_distance[br.net];
+      if (w < 0) throw std::invalid_argument("dijkstra: negative net distance");
+      const double nd = dist + w;
+      if (nd < t.distance[br.sink]) {
+        t.distance[br.sink] = nd;
+        t.parent_branch[br.sink] = b;
+        heap.emplace(nd, br.sink);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<NetId> tree_nets(const CircuitGraph& g, const ShortestPathTree& t) {
+  std::vector<NetId> nets;
+  nets.reserve(t.reached.size());
+  for (NodeId v : t.reached) {
+    const BranchId b = t.parent_branch[v];
+    if (b != ShortestPathTree::kNoBranch) nets.push_back(g.branch(b).net);
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+}  // namespace merced

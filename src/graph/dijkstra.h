@@ -1,0 +1,37 @@
+// Dijkstra shortest-path trees over net distances — paper Table 3 STEP 3.2.
+//
+// Edge weight of a branch is the congestion distance d(net) of its net. The
+// tree rooted at a source covers all reachable nodes; Saturate_Network then
+// injects flow on every net used by the tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+
+namespace merced {
+
+/// Shortest-path tree from one source.
+struct ShortestPathTree {
+  NodeId source = kNoGate;
+  /// Per node: branch used to reach it (kNoBranch if unreached/source).
+  std::vector<BranchId> parent_branch;
+  /// Per node: shortest distance (infinity if unreached).
+  std::vector<double> distance;
+  /// Nodes reached, in settle order (source first).
+  std::vector<NodeId> reached;
+
+  static constexpr BranchId kNoBranch = static_cast<BranchId>(-1);
+};
+
+/// Runs Dijkstra from `source` with per-net weights `net_distance`
+/// (size = graph.num_nets(), all values must be >= 0).
+ShortestPathTree dijkstra(const CircuitGraph& graph, NodeId source,
+                          std::span<const double> net_distance);
+
+/// Distinct nets used by the tree's parent branches.
+std::vector<NetId> tree_nets(const CircuitGraph& graph, const ShortestPathTree& tree);
+
+}  // namespace merced

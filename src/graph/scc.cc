@@ -1,0 +1,97 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace merced {
+
+std::uint64_t SccInfo::total_dffs_on_scc() const {
+  return std::accumulate(dff_count.begin(), dff_count.end(), std::uint64_t{0});
+}
+
+SccInfo find_sccs(const CircuitGraph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+
+  SccInfo info;
+  info.component_of.assign(n, kNoScc);
+
+  // Iterative Tarjan: frame = (node, position in its out-branch list).
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto out = g.out_branches(f.node);
+      if (f.edge_pos < out.size()) {
+        const NodeId w = g.branch(out[f.edge_pos]).sink;
+        ++f.edge_pos;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+        continue;
+      }
+      // f.node finished: pop component if root.
+      const NodeId v = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<NodeId> comp;
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.push_back(w);
+        } while (w != v);
+
+        // Keep only non-trivial SCCs: size >= 2 or an explicit self-loop.
+        bool nontrivial = comp.size() >= 2;
+        if (!nontrivial) {
+          for (BranchId b : g.out_branches(comp[0])) {
+            if (g.branch(b).sink == comp[0]) {
+              nontrivial = true;
+              break;
+            }
+          }
+        }
+        if (nontrivial) {
+          const auto cid = static_cast<std::int32_t>(info.components.size());
+          std::uint32_t dffs = 0;
+          for (NodeId m : comp) {
+            info.component_of[m] = cid;
+            if (g.is_register(m)) ++dffs;
+          }
+          info.components.push_back(std::move(comp));
+          info.dff_count.push_back(dffs);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace merced

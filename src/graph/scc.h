@@ -1,0 +1,35 @@
+// Strongly connected components (Tarjan 1972, iterative) — paper Table 2
+// STEP 2. SCC membership bounds how many nets legal retiming may cut inside
+// feedback structures (Eq. 2 / Eq. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+
+namespace merced {
+
+/// Sentinel: node is not part of any non-trivial SCC ("loop").
+inline constexpr std::int32_t kNoScc = -1;
+
+/// SCC decomposition restricted to non-trivial components (size >= 2, or a
+/// single node with a self-loop) — the paper's "loops".
+struct SccInfo {
+  /// Per node: index into `components`, or kNoScc.
+  std::vector<std::int32_t> component_of;
+  /// Member nodes of each non-trivial component.
+  std::vector<std::vector<NodeId>> components;
+  /// Number of registers (DFFs) in each component — f(λ) of Eq. (6).
+  std::vector<std::uint32_t> dff_count;
+
+  std::size_t count() const noexcept { return components.size(); }
+
+  /// Total DFFs sitting on any non-trivial SCC (Tables 10/11, column 3).
+  std::uint64_t total_dffs_on_scc() const;
+};
+
+/// Computes the non-trivial SCCs of the circuit graph.
+SccInfo find_sccs(const CircuitGraph& graph);
+
+}  // namespace merced

@@ -1,0 +1,48 @@
+#include "netlist/area_model.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+AreaUnits gate_area(GateType type, std::size_t fanin_count) {
+  // Base cost at the type's reference arity (2 inputs for logic gates),
+  // +1 unit per additional input beyond the reference.
+  AreaUnits base = 0;
+  std::size_t ref_arity = 2;
+  switch (type) {
+    case GateType::kInput: return 0;
+    case GateType::kConst0:
+    case GateType::kConst1: return 0;
+    case GateType::kDff: return kDffArea;
+    case GateType::kBuf: base = 1; ref_arity = 1; break;
+    case GateType::kNot: base = 1; ref_arity = 1; break;
+    case GateType::kAnd: base = 3; break;
+    case GateType::kNand: base = 2; break;
+    case GateType::kOr: base = 3; break;
+    case GateType::kNor: base = 2; break;
+    case GateType::kXor: base = 4; break;
+    case GateType::kXnor: base = 4; break;
+    case GateType::kMux: base = 3; ref_arity = 3; break;
+  }
+  if (fanin_count < min_fanin(type)) {
+    throw std::invalid_argument("gate_area: fanin count " + std::to_string(fanin_count) +
+                                " below minimum for " + std::string(to_string(type)));
+  }
+  const AreaUnits extra =
+      fanin_count > ref_arity ? static_cast<AreaUnits>(fanin_count - ref_arity) : 0;
+  return base + extra;
+}
+
+AreaUnits circuit_area(const Netlist& nl) {
+  AreaUnits total = 0;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    total += gate_area(g.type, g.fanins.size());
+  }
+  return total;
+}
+
+}  // namespace merced

@@ -1,0 +1,45 @@
+// The paper's CMOS unit-area model (Section 4, citing Geiger/Allen/Strader).
+//
+//   INV = 1, 2-input NAND = 2, 2-input NOR = 2, 2-input AND = 3,
+//   2-input OR = 3, 2-input XOR = 4, 2:1 MUX = 3, DFF = 10.
+//   Gates with higher fan-ins scale +1 unit per additional input.
+//
+// All BIST-hardware costs in the paper derive from these units:
+//   A_CELL          = AND2 + NOR2 + XOR2 + DFF = 3+2+4+10 = 19  (1.9 DFF)
+//   A_CELL from DFF = AND2 + NOR2 + XOR2       = 9            (0.9 DFF)
+//   A_CELL + MUX    = 19 + 3 + 1(extra mux load) = 23          (2.3 DFF)
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/gate.h"
+
+namespace merced {
+
+class Netlist;
+
+/// Area in the paper's abstract CMOS units.
+using AreaUnits = std::int64_t;
+
+/// Area of one DFF; the paper reports BIST costs as multiples of this.
+inline constexpr AreaUnits kDffArea = 10;
+
+/// Full A_CELL (Fig. 3a): AND2 + NOR2 + XOR2 + DFF = 19 units = 1.9 DFF.
+inline constexpr AreaUnits kACellArea = 19;
+
+/// A_CELL realized by converting an existing (retimed) DFF (Fig. 3b): only
+/// the three gates are added = 9 units = 0.9 DFF.
+inline constexpr AreaUnits kACellFromDffArea = 9;
+
+/// A_CELL plus the 2:1 MUX needed when no functional register can be
+/// retimed to the cut (Fig. 3c): 2.3 DFF = 23 units.
+inline constexpr AreaUnits kACellWithMuxArea = 23;
+
+/// Area of a single gate with `fanin_count` inputs under the paper's model.
+/// Primary inputs cost 0. Throws std::invalid_argument for invalid arity.
+AreaUnits gate_area(GateType type, std::size_t fanin_count);
+
+/// Total estimated area of a netlist (Table 9's last column).
+AreaUnits circuit_area(const Netlist& netlist);
+
+}  // namespace merced

@@ -1,0 +1,164 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace merced {
+
+namespace {
+
+struct PendingGate {
+  GateType type;
+  std::string name;
+  std::vector<std::string> fanin_names;
+  std::size_t line;
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error(".bench parse error at line " + std::to_string(line) + ": " + what);
+}
+
+/// Splits "NOR(G14, G11)" into function name and arg list.
+void parse_call(std::string_view rhs, std::size_t line, std::string& fn,
+                std::vector<std::string>& args) {
+  const std::size_t open = rhs.find('(');
+  const std::size_t close = rhs.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    fail(line, "expected FUNC(args): '" + std::string(rhs) + "'");
+  }
+  fn = std::string(trim(rhs.substr(0, open)));
+  std::string_view inner = rhs.substr(open + 1, close - open - 1);
+  args.clear();
+  std::size_t start = 0;
+  while (start <= inner.size()) {
+    std::size_t comma = inner.find(',', start);
+    std::string_view tok = comma == std::string_view::npos ? inner.substr(start)
+                                                           : inner.substr(start, comma - start);
+    tok = trim(tok);
+    if (!tok.empty()) args.emplace_back(tok);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string name) {
+  Netlist nl(std::move(name));
+  std::vector<PendingGate> pendings;
+  std::vector<std::pair<std::string, std::size_t>> output_names;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view raw = eol == std::string_view::npos ? text.substr(pos)
+                                                         : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    std::string_view line = raw;
+    if (std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      std::string fn;
+      std::vector<std::string> args;
+      parse_call(line, line_no, fn, args);
+      if (args.size() != 1) fail(line_no, "INPUT/OUTPUT take exactly one net");
+      std::string upper = fn;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (upper == "INPUT") {
+        nl.add_gate(GateType::kInput, args[0]);
+      } else if (upper == "OUTPUT") {
+        output_names.emplace_back(args[0], line_no);
+      } else {
+        fail(line_no, "expected INPUT or OUTPUT, got '" + fn + "'");
+      }
+      continue;
+    }
+
+    // name = FUNC(args)
+    std::string lhs(trim(line.substr(0, eq)));
+    if (lhs.empty()) fail(line_no, "empty net name before '='");
+    std::string fn;
+    std::vector<std::string> args;
+    parse_call(trim(line.substr(eq + 1)), line_no, fn, args);
+    GateType type;
+    if (!gate_type_from_string(fn, type)) fail(line_no, "unknown gate function '" + fn + "'");
+    if (type == GateType::kInput) fail(line_no, "INPUT cannot appear on an assignment");
+    pendings.push_back(PendingGate{type, std::move(lhs), std::move(args), line_no});
+  }
+
+  // Second pass: create all gates, then resolve fanins (forward refs OK).
+  for (PendingGate& p : pendings) nl.add_gate(p.type, p.name);
+  for (const PendingGate& p : pendings) {
+    std::vector<GateId> fanins;
+    fanins.reserve(p.fanin_names.size());
+    for (const std::string& fn_name : p.fanin_names) {
+      const GateId f = nl.find(fn_name);
+      if (f == kNoGate) fail(p.line, "undefined net '" + fn_name + "'");
+      fanins.push_back(f);
+    }
+    nl.set_fanins(nl.find(p.name), std::move(fanins));
+  }
+  for (const auto& [out_name, line] : output_names) {
+    const GateId id = nl.find(out_name);
+    if (id == kNoGate) fail(line, "OUTPUT references undefined net '" + out_name + "'");
+    nl.mark_output(id);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open .bench file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string stem = path;
+  if (std::size_t slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (std::size_t dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return parse_bench(ss.str(), stem);
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream out;
+  out << "# " << nl.name() << "\n";
+  for (GateId id : nl.inputs()) out << "INPUT(" << nl.gate(id).name << ")\n";
+  for (GateId id : nl.outputs()) out << "OUTPUT(" << nl.gate(id).name << ")\n";
+  out << "\n";
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kInput) continue;
+    out << g.name << " = " << to_string(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << nl.gate(g.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace merced

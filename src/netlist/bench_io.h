@@ -1,0 +1,33 @@
+// ISCAS89 `.bench` format reader/writer.
+//
+// Grammar (as used by the MCNC ISCAS89 distribution):
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NOR(G14, G11)
+//   G5  = DFF(G10)
+//
+// Net names may be referenced before they are defined; the parser resolves
+// forward references in a second pass.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+/// Parses `.bench` text. `name` becomes the netlist name. Throws
+/// std::runtime_error with line diagnostics on malformed input.
+Netlist parse_bench(std::string_view text, std::string name = "bench");
+
+/// Parses a `.bench` file from disk.
+Netlist parse_bench_file(const std::string& path);
+
+/// Serializes a netlist back to `.bench` text (INPUT/OUTPUT decls first,
+/// then gates in id order). Round-trips through parse_bench.
+std::string write_bench(const Netlist& netlist);
+
+}  // namespace merced

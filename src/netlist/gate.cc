@@ -1,0 +1,154 @@
+#include "netlist/gate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace merced {
+
+std::string_view to_string(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kDff: return "DFF";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+  }
+  return "?";
+}
+
+bool gate_type_from_string(std::string_view name, GateType& out) noexcept {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  struct Entry {
+    std::string_view key;
+    GateType value;
+  };
+  static constexpr Entry kTable[] = {
+      {"INPUT", GateType::kInput}, {"DFF", GateType::kDff},
+      {"BUF", GateType::kBuf},     {"BUFF", GateType::kBuf},
+      {"NOT", GateType::kNot},     {"INV", GateType::kNot},
+      {"AND", GateType::kAnd},     {"NAND", GateType::kNand},
+      {"OR", GateType::kOr},       {"NOR", GateType::kNor},
+      {"XOR", GateType::kXor},     {"XNOR", GateType::kXnor},
+      {"MUX", GateType::kMux},     {"CONST0", GateType::kConst0},
+      {"CONST1", GateType::kConst1},
+  };
+  for (const auto& e : kTable) {
+    if (upper == e.key) {
+      out = e.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t min_fanin(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kDff:
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+std::size_t max_fanin(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kDff:
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return std::numeric_limits<std::size_t>::max();
+    default:
+      return std::numeric_limits<std::size_t>::max();
+  }
+}
+
+namespace {
+
+template <typename T, typename AndOp, typename OrOp, typename XorOp, typename NotOp>
+T eval_generic(GateType type, const std::vector<T>& in, AndOp and_op, OrOp or_op,
+               XorOp xor_op, NotOp not_op, T all_ones, T all_zeros) {
+  switch (type) {
+    case GateType::kConst0:
+      return all_zeros;
+    case GateType::kConst1:
+      return all_ones;
+    case GateType::kBuf:
+      return in.at(0);
+    case GateType::kNot:
+      return not_op(in.at(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      T acc = all_ones;
+      for (const T& v : in) acc = and_op(acc, v);
+      return type == GateType::kAnd ? acc : not_op(acc);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      T acc = all_zeros;
+      for (const T& v : in) acc = or_op(acc, v);
+      return type == GateType::kOr ? acc : not_op(acc);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      T acc = all_zeros;
+      for (const T& v : in) acc = xor_op(acc, v);
+      return type == GateType::kXor ? acc : not_op(acc);
+    }
+    case GateType::kMux: {
+      const T& sel = in.at(0);
+      // out = (~sel & a) | (sel & b)
+      return or_op(and_op(not_op(sel), in.at(1)), and_op(sel, in.at(2)));
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      throw std::logic_error("eval_gate: INPUT/DFF have no combinational function");
+  }
+  throw std::logic_error("eval_gate: unknown gate type");
+}
+
+}  // namespace
+
+bool eval_gate(GateType type, const std::vector<bool>& fanins) {
+  return eval_generic<bool>(
+      type, fanins, [](bool a, bool b) { return a && b; },
+      [](bool a, bool b) { return a || b; }, [](bool a, bool b) { return a != b; },
+      [](bool a) { return !a; }, true, false);
+}
+
+std::uint64_t eval_gate_u64(GateType type, const std::vector<std::uint64_t>& fanins) {
+  return eval_generic<std::uint64_t>(
+      type, fanins, [](std::uint64_t a, std::uint64_t b) { return a & b; },
+      [](std::uint64_t a, std::uint64_t b) { return a | b; },
+      [](std::uint64_t a, std::uint64_t b) { return a ^ b; },
+      [](std::uint64_t a) { return ~a; }, ~std::uint64_t{0}, std::uint64_t{0});
+}
+
+}  // namespace merced

@@ -1,0 +1,89 @@
+// Gate-level primitive library for the Merced PPET compiler.
+//
+// The gate set matches what appears in the ISCAS89 `.bench` sequential
+// benchmark format (Brglez/Bryan/Kozminski, ISCAS 1989) plus the handful of
+// test-hardware primitives the paper's A_CELL uses (2:1 MUX, XOR).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace merced {
+
+/// Index of a gate inside a Netlist. Dense, assigned in insertion order.
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate".
+inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+
+/// Primitive cell types.
+///
+/// `kInput` models a primary input (a source with no fanin); `kDff` is a
+/// positive-edge D flip-flop with exactly one fanin. All other types are
+/// combinational. Primary outputs are a *property* of a net (tracked by the
+/// Netlist), not a gate type, mirroring the `.bench` format.
+enum class GateType : std::uint8_t {
+  kInput,
+  kDff,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,     // 2:1 mux: fanin[0]=select, fanin[1]=a (sel=0), fanin[2]=b (sel=1)
+  kConst0,
+  kConst1,
+};
+
+/// Number of distinct GateType values (for array-indexed tables).
+inline constexpr std::size_t kGateTypeCount = 13;
+
+/// Canonical (upper-case, `.bench`-style) name of a gate type.
+std::string_view to_string(GateType type) noexcept;
+
+/// Parses a `.bench` function name (case-insensitive). Returns true on
+/// success and stores the type in `out`.
+bool gate_type_from_string(std::string_view name, GateType& out) noexcept;
+
+/// True for gates with state (currently only DFF).
+constexpr bool is_sequential(GateType type) noexcept { return type == GateType::kDff; }
+
+/// True for primary inputs.
+constexpr bool is_input(GateType type) noexcept { return type == GateType::kInput; }
+
+/// True for gates that compute a boolean function of their fanins.
+constexpr bool is_combinational(GateType type) noexcept {
+  return !is_sequential(type) && !is_input(type) && type != GateType::kConst0 &&
+         type != GateType::kConst1;
+}
+
+/// Minimum number of fanins a valid gate of this type may have.
+std::size_t min_fanin(GateType type) noexcept;
+
+/// Maximum number of fanins a valid gate of this type may have
+/// (SIZE_MAX when unbounded, e.g. AND/OR trees).
+std::size_t max_fanin(GateType type) noexcept;
+
+/// Evaluates the combinational function of `type` over boolean fanin values.
+/// Precondition: fanin count is valid for the type and the type is
+/// combinational or constant. DFF/INPUT are not evaluable here.
+bool eval_gate(GateType type, const std::vector<bool>& fanins);
+
+/// Bit-parallel evaluation: each std::uint64_t lane carries 64 independent
+/// patterns. Used by the fault simulator for 64x speedup.
+std::uint64_t eval_gate_u64(GateType type, const std::vector<std::uint64_t>& fanins);
+
+/// One gate instance. Kept POD-like; the Netlist owns connectivity.
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::string name;            ///< net name this gate drives (unique per netlist)
+  std::vector<GateId> fanins;  ///< driver gates, in pin order
+};
+
+}  // namespace merced

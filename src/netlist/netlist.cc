@@ -1,0 +1,128 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace merced {
+
+GateId Netlist::add_gate(GateType type, std::string net_name, std::vector<GateId> fanins) {
+  if (net_name.empty()) throw std::invalid_argument("Netlist::add_gate: empty net name");
+  if (by_name_.contains(net_name)) {
+    throw std::invalid_argument("Netlist::add_gate: duplicate net name '" + net_name + "'");
+  }
+  for (GateId f : fanins) check_id(f);
+  const GateId id = static_cast<GateId>(gates_.size());
+  by_name_.emplace(net_name, id);
+  gates_.push_back(Gate{type, std::move(net_name), std::move(fanins)});
+  if (type == GateType::kInput) inputs_.push_back(id);
+  if (type == GateType::kDff) dffs_.push_back(id);
+  is_output_.push_back(false);
+  invalidate();
+  return id;
+}
+
+void Netlist::set_fanins(GateId id, std::vector<GateId> fanins) {
+  check_id(id);
+  for (GateId f : fanins) check_id(f);
+  gates_[id].fanins = std::move(fanins);
+  invalidate();
+}
+
+void Netlist::mark_output(GateId id) {
+  check_id(id);
+  if (!is_output_[id]) {
+    is_output_[id] = true;
+    outputs_.push_back(id);
+  }
+}
+
+GateId Netlist::find(std::string_view net_name) const {
+  auto it = by_name_.find(std::string(net_name));
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+bool Netlist::is_output(GateId id) const {
+  check_id(id);
+  return is_output_[id];
+}
+
+std::span<const GateId> Netlist::fanouts(GateId id) const {
+  if (!finalized_) throw std::logic_error("Netlist::fanouts: call finalize() first");
+  check_id(id);
+  return fanouts_[id];
+}
+
+std::span<const GateId> Netlist::topo_order() const {
+  if (!finalized_) throw std::logic_error("Netlist::topo_order: call finalize() first");
+  return topo_;
+}
+
+std::size_t Netlist::count_of(GateType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [type](const Gate& g) { return g.type == type; }));
+}
+
+void Netlist::check_id(GateId id) const {
+  if (id >= gates_.size()) {
+    throw std::out_of_range("Netlist: gate id " + std::to_string(id) + " out of range");
+  }
+}
+
+void Netlist::finalize() {
+  // Arity checks.
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    const std::size_t n = g.fanins.size();
+    if (n < min_fanin(g.type) || n > max_fanin(g.type)) {
+      throw std::runtime_error("Netlist: gate '" + g.name + "' (" +
+                               std::string(to_string(g.type)) + ") has invalid fanin count " +
+                               std::to_string(n));
+    }
+  }
+
+  // Fanout lists.
+  fanouts_.assign(gates_.size(), {});
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (GateId f : gates_[id].fanins) fanouts_[f].push_back(id);
+  }
+
+  // Topological order with Kahn's algorithm over the combinational
+  // dependency graph: INPUT and DFF gates are sources (a DFF's value is its
+  // previous-cycle state, so its fanin edge is not a combinational
+  // dependency). Any leftover gate sits on a combinational cycle.
+  topo_.clear();
+  topo_.reserve(gates_.size());
+  std::vector<std::size_t> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (is_input(g.type) || is_sequential(g.type) || g.type == GateType::kConst0 ||
+        g.type == GateType::kConst1) {
+      ready.push_back(id);
+    } else {
+      pending[id] = g.fanins.size();
+      if (pending[id] == 0) ready.push_back(id);  // degenerate, caught by arity above
+    }
+  }
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    topo_.push_back(id);
+    for (GateId s : fanouts_[id]) {
+      const Gate& sink = gates_[s];
+      if (is_sequential(sink.type) || is_input(sink.type)) continue;
+      if (pending[s] > 0 && --pending[s] == 0) ready.push_back(s);
+    }
+  }
+  if (topo_.size() != gates_.size()) {
+    throw std::runtime_error("Netlist '" + name_ +
+                             "': combinational cycle detected (" +
+                             std::to_string(gates_.size() - topo_.size()) +
+                             " gates unreachable in topological sort)");
+  }
+  finalized_ = true;
+}
+
+}  // namespace merced

@@ -1,0 +1,100 @@
+// Netlist: the central gate-level circuit container.
+//
+// A Netlist is a bag of gates (see gate.h) with named nets. Every gate
+// drives exactly one net whose name is the gate's name — the `.bench`
+// convention. Fanout lists and a combinational topological order are built
+// lazily by finalize() and invalidated by mutation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace merced {
+
+/// A gate-level synchronous circuit.
+///
+/// Invariants after finalize():
+///  * every fanin GateId is valid;
+///  * fanin counts respect min_fanin/max_fanin;
+///  * net names are unique;
+///  * the combinational part is acyclic (all cycles pass through a DFF).
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // --- construction ---------------------------------------------------
+
+  /// Adds a gate driving a net called `net_name`. Fanins may be empty and
+  /// filled in later with set_fanins (to allow forward references while
+  /// parsing). Throws std::invalid_argument on duplicate names.
+  GateId add_gate(GateType type, std::string net_name, std::vector<GateId> fanins = {});
+
+  /// Replaces the fanins of `id`. Throws on invalid ids.
+  void set_fanins(GateId id, std::vector<GateId> fanins);
+
+  /// Marks the net driven by `id` as a primary output. Idempotent.
+  void mark_output(GateId id);
+
+  /// Validates invariants and builds fanout lists + topological order.
+  /// Throws std::runtime_error with a diagnostic on violation.
+  void finalize();
+
+  // --- queries ----------------------------------------------------------
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t size() const noexcept { return gates_.size(); }
+  bool empty() const noexcept { return gates_.empty(); }
+
+  const Gate& gate(GateId id) const { return gates_.at(id); }
+
+  /// Gate driving the net named `net_name`, or kNoGate.
+  GateId find(std::string_view net_name) const;
+
+  std::span<const GateId> inputs() const noexcept { return inputs_; }
+  std::span<const GateId> outputs() const noexcept { return outputs_; }
+  std::span<const GateId> dffs() const noexcept { return dffs_; }
+
+  bool is_output(GateId id) const;
+
+  /// Sink gates of the net driven by `id` (valid after finalize()).
+  std::span<const GateId> fanouts(GateId id) const;
+
+  /// Topological order of all gates: inputs and DFFs first (as sources),
+  /// then combinational gates in dependency order (valid after finalize()).
+  std::span<const GateId> topo_order() const;
+
+  /// True between finalize() and the next mutation.
+  bool finalized() const noexcept { return finalized_; }
+
+  /// Number of combinational gates that are inverters (area bookkeeping).
+  std::size_t count_of(GateType type) const;
+
+ private:
+  void check_id(GateId id) const;
+  void invalidate() noexcept { finalized_ = false; }
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<bool> is_output_;
+
+  // Built by finalize().
+  bool finalized_ = false;
+  std::vector<std::vector<GateId>> fanouts_;
+  std::vector<GateId> topo_;
+};
+
+}  // namespace merced

@@ -1,0 +1,31 @@
+#include "netlist/stats.h"
+
+#include <ostream>
+
+namespace merced {
+
+CircuitStats compute_stats(const Netlist& nl) {
+  CircuitStats s;
+  s.name = nl.name();
+  s.num_inputs = nl.inputs().size();
+  s.num_outputs = nl.outputs().size();
+  s.num_dffs = nl.dffs().size();
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kNot || g.type == GateType::kBuf) {
+      ++s.num_invs;
+    } else if (is_combinational(g.type)) {
+      ++s.num_gates;
+    }
+  }
+  s.estimated_area = circuit_area(nl);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s) {
+  return os << s.name << ": PI=" << s.num_inputs << " PO=" << s.num_outputs
+            << " DFF=" << s.num_dffs << " gates=" << s.num_gates << " INV=" << s.num_invs
+            << " area=" << s.estimated_area;
+}
+
+}  // namespace merced

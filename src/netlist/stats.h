@@ -1,0 +1,31 @@
+// Circuit statistics — one row of the paper's Table 9.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "netlist/area_model.h"
+#include "netlist/netlist.h"
+
+namespace merced {
+
+/// Summary statistics of a netlist in the shape of Table 9.
+struct CircuitStats {
+  std::string name;
+  std::size_t num_inputs = 0;   ///< primary inputs (PIs)
+  std::size_t num_dffs = 0;     ///< D flip-flops
+  std::size_t num_gates = 0;    ///< combinational gates excluding inverters/buffers
+  std::size_t num_invs = 0;     ///< inverters (and buffers, which ISCAS89 counts with INVs)
+  std::size_t num_outputs = 0;  ///< primary outputs
+  AreaUnits estimated_area = 0; ///< Table 9 unit-area model
+
+  friend bool operator==(const CircuitStats&, const CircuitStats&) = default;
+};
+
+/// Computes Table 9-style statistics for a netlist.
+CircuitStats compute_stats(const Netlist& netlist);
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s);
+
+}  // namespace merced

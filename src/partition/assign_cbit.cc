@@ -1,0 +1,145 @@
+#include "partition/assign_cbit.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace merced {
+
+namespace {
+
+bool is_comb_gate(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
+struct WorkCluster {
+  std::vector<NodeId> nodes;
+  std::unordered_set<NetId> inputs;  ///< current input nets (ι = size)
+  bool alive = true;
+  bool finalized = false;  ///< already moved from S to P (Table 8 STEP 3.3)
+};
+
+/// Inputs of a merged pair and the number of cut nets internalized.
+struct MergeEval {
+  std::size_t merged_inputs = 0;
+  std::size_t cuts_removed = 0;
+};
+
+MergeEval evaluate_merge(const CircuitGraph& g, const std::vector<std::int32_t>& owner,
+                         const WorkCluster& a, std::int32_t a_id, const WorkCluster& b,
+                         std::int32_t b_id) {
+  MergeEval ev;
+  std::size_t union_size = a.inputs.size();
+  for (NetId n : b.inputs) {
+    if (!a.inputs.contains(n)) ++union_size;
+  }
+  // Nets that stop being inputs because their driver lands inside the merge.
+  // A net may appear in both input sets (it fed both clusters); the union
+  // counted it once, so collect internalized nets as a set and subtract once.
+  std::unordered_set<NetId> internal_nets;
+  for (NetId n : a.inputs) {
+    const NodeId d = g.driver(n);
+    if (is_comb_gate(g, d) && owner[d] == b_id) internal_nets.insert(n);
+  }
+  for (NetId n : b.inputs) {
+    const NodeId d = g.driver(n);
+    if (is_comb_gate(g, d) && owner[d] == a_id) internal_nets.insert(n);
+  }
+  ev.cuts_removed = internal_nets.size();
+  ev.merged_inputs = union_size - internal_nets.size();
+  return ev;
+}
+
+}  // namespace
+
+AssignCbitResult assign_cbit(const CircuitGraph& g, const Clustering& initial,
+                             std::size_t lk) {
+  if (lk == 0) throw std::invalid_argument("assign_cbit: lk must be >= 1");
+  initial.validate(g);
+
+  std::vector<WorkCluster> work(initial.count());
+  std::vector<std::int32_t> owner = initial.cluster_of;
+  for (std::size_t i = 0; i < initial.count(); ++i) {
+    work[i].nodes = initial.clusters[i];
+    for (NetId n : input_nets(g, initial, i)) work[i].inputs.insert(n);
+  }
+
+  AssignCbitResult result;
+  // S sorted by ι descending (Table 4 STEP 6 / Table 8 STEP 3.1); we pick
+  // the max-ι alive cluster each round.
+  std::vector<std::size_t> order(work.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return work[a].inputs.size() > work[b].inputs.size();
+  });
+
+  std::vector<std::size_t> final_ids;
+  for (std::size_t oi : order) {
+    if (!work[oi].alive) continue;
+    WorkCluster& O = work[oi];
+    const auto o_id = static_cast<std::int32_t>(oi);
+
+    if (O.inputs.size() <= lk) {
+      // Absorb the best feasible candidate while any exists (Table 8
+      // STEP 3.2; γ = 0 merges are explicitly allowed by Eq. 7 and still
+      // pack clusters behind one CBIT / internalize cut nets).
+      bool merged_any = true;
+      while (merged_any) {
+        merged_any = false;
+        std::size_t best = static_cast<std::size_t>(-1);
+        MergeEval best_ev;
+        for (std::size_t gi = 0; gi < work.size(); ++gi) {
+          if (gi == oi || !work[gi].alive || work[gi].finalized) continue;
+          // Oversized leftovers from make_group are never merge fodder.
+          if (work[gi].inputs.size() > lk) continue;
+          const MergeEval ev = evaluate_merge(g, owner, O, o_id, work[gi],
+                                              static_cast<std::int32_t>(gi));
+          if (ev.merged_inputs > lk) continue;  // γ < 0: infeasible (Eq. 7)
+          const bool better =
+              best == static_cast<std::size_t>(-1) ||
+              ev.merged_inputs < best_ev.merged_inputs ||
+              (ev.merged_inputs == best_ev.merged_inputs &&
+               ev.cuts_removed > best_ev.cuts_removed);
+          if (better) {
+            best = gi;
+            best_ev = ev;
+          }
+        }
+        if (best != static_cast<std::size_t>(-1)) {
+          WorkCluster& G = work[best];
+          for (NodeId v : G.nodes) {
+            owner[v] = o_id;
+            O.nodes.push_back(v);
+          }
+          for (NetId n : G.inputs) O.inputs.insert(n);
+          // Drop nets that became internal.
+          std::erase_if(O.inputs, [&](NetId n) {
+            const NodeId d = g.driver(n);
+            return is_comb_gate(g, d) && owner[d] == o_id;
+          });
+          G.alive = false;
+          G.nodes.clear();
+          G.inputs.clear();
+          ++result.merges_performed;
+          merged_any = true;
+        }
+      }
+    }
+    O.finalized = true;
+    final_ids.push_back(oi);
+  }
+
+  // Assemble final partition list.
+  Clustering& parts = result.partitions;
+  parts.cluster_of.assign(g.num_nodes(), kNoCluster);
+  for (std::size_t oi : final_ids) {
+    const auto idx = static_cast<std::int32_t>(parts.clusters.size());
+    for (NodeId v : work[oi].nodes) parts.cluster_of[v] = idx;
+    parts.clusters.push_back(std::move(work[oi].nodes));
+    result.input_counts.push_back(work[oi].inputs.size());
+  }
+  parts.validate(g);
+  return result;
+}
+
+}  // namespace merced

@@ -1,0 +1,37 @@
+// Assign_CBIT — paper §3.2, Table 8.
+//
+// Make_Group typically leaves many small clusters. Because the per-bit CBIT
+// area σ_k falls as the CBIT length grows (Table 1), it is cheaper to pack
+// several small clusters behind one full-width CBIT than to give each its
+// own small CBIT. Assign_CBIT greedily merges clusters:
+//
+//   repeatedly take the cluster O with the largest input count, then absorb
+//   the feasible cluster g maximizing the gain γ(O+g) = l_k − ι(O+g) ≥ 0
+//   (Eq. 7); ties are broken by the number of cut nets the merge
+//   internalizes. Stop when ι(O) = l_k or no feasible candidate remains.
+//
+// Merging can *reduce* ι below the naive sum: shared input nets are counted
+// once, and cut nets between O and g become internal (removing their
+// A_CELLs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/clustering.h"
+
+namespace merced {
+
+struct AssignCbitResult {
+  Clustering partitions;                   ///< final merged partition list P
+  std::vector<std::size_t> input_counts;   ///< ι(π) per partition
+  std::size_t merges_performed = 0;
+};
+
+/// Merges `initial` clusters under the input constraint `lk`. `initial`
+/// normally comes from make_group; clusters already over `lk` (infeasible
+/// leftovers) are passed through unmerged.
+AssignCbitResult assign_cbit(const CircuitGraph& graph, const Clustering& initial,
+                             std::size_t lk);
+
+}  // namespace merced

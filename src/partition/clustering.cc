@@ -1,0 +1,114 @@
+#include "partition/clustering.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace merced {
+
+namespace {
+
+bool is_comb_gate(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
+}  // namespace
+
+void Clustering::validate(const CircuitGraph& g) const {
+  if (cluster_of.size() != g.num_nodes()) {
+    throw std::runtime_error("Clustering: cluster_of size mismatch");
+  }
+  std::vector<std::size_t> seen(clusters.size(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::int32_t c = cluster_of[v];
+    if (g.is_pi(v)) {
+      if (c != kNoCluster) {
+        throw std::runtime_error("Clustering: PI node assigned to a cluster");
+      }
+      continue;
+    }
+    if (c == kNoCluster || static_cast<std::size_t>(c) >= clusters.size()) {
+      throw std::runtime_error("Clustering: node " + std::to_string(v) +
+                               " has invalid cluster index");
+    }
+    ++seen[static_cast<std::size_t>(c)];
+  }
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (seen[i] != clusters[i].size()) {
+      throw std::runtime_error("Clustering: cluster " + std::to_string(i) +
+                               " membership inconsistent with cluster_of");
+    }
+    for (NodeId v : clusters[i]) {
+      if (cluster_of[v] != static_cast<std::int32_t>(i)) {
+        throw std::runtime_error("Clustering: cluster list / map mismatch");
+      }
+    }
+  }
+}
+
+std::vector<NetId> input_nets(const CircuitGraph& g, const Clustering& c,
+                              std::size_t ci) {
+  std::unordered_set<NetId> inputs;
+  const auto cluster_index = static_cast<std::int32_t>(ci);
+  for (NodeId v : c.clusters.at(ci)) {
+    if (!is_comb_gate(g, v)) continue;  // only combinational logic consumes test inputs
+    for (BranchId b : g.in_branches(v)) {
+      const Branch& br = g.branch(b);
+      const NodeId d = br.source;
+      // Sources: PIs, DFFs anywhere, and gates of *other* clusters.
+      if (g.is_pi(d) || g.is_register(d) || c.cluster_of[d] != cluster_index) {
+        inputs.insert(br.net);
+      }
+    }
+  }
+  std::vector<NetId> out(inputs.begin(), inputs.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t input_count(const CircuitGraph& g, const Clustering& c, std::size_t ci) {
+  return input_nets(g, c, ci).size();
+}
+
+std::vector<NetId> cut_nets(const CircuitGraph& g, const Clustering& c) {
+  std::vector<NetId> cuts;
+  for (NodeId d = 0; d < g.num_nodes(); ++d) {
+    if (!is_comb_gate(g, d)) continue;
+    const std::int32_t dc = c.cluster_of[d];
+    for (BranchId b : g.out_branches(d)) {
+      const Branch& br = g.branch(b);
+      if (is_comb_gate(g, br.sink) && c.cluster_of[br.sink] != dc) {
+        cuts.push_back(br.net);
+        break;  // one A_CELL per net regardless of how many branches cross
+      }
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+CutReport make_cut_report(const CircuitGraph& g, const Clustering& c,
+                          const SccInfo& sccs) {
+  CutReport r;
+  r.cuts_per_scc.assign(sccs.count(), 0);
+  for (NetId net : cut_nets(g, c)) {
+    ++r.nets_cut;
+    const NodeId d = g.driver(net);
+    const std::int32_t scc = sccs.component_of[d];
+    if (scc == kNoScc) continue;
+    const std::int32_t dc = c.cluster_of[d];
+    for (BranchId b : g.net_branches(net)) {
+      const Branch& br = g.branch(b);
+      if (c.cluster_of[br.sink] != dc && sccs.component_of[br.sink] == scc &&
+          !g.is_register(br.sink) && !g.is_pi(br.sink)) {
+        ++r.cut_nets_on_scc;
+        ++r.cuts_per_scc[static_cast<std::size_t>(scc)];
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace merced

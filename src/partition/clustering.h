@@ -1,0 +1,73 @@
+// Clustering model for the partition-with-input-constraint (PIC) problem —
+// paper §2.3.
+//
+// A clustering assigns every non-PI node (combinational gates and DFFs,
+// V = R ∪ C) to exactly one cluster. Primary-input sources stay outside all
+// clusters: they feed clusters but are not partitioned.
+//
+// Test semantics fix the two key counts:
+//
+//  * ι(π) — the *input count* of cluster π: the number of distinct sources
+//    that drive combinational logic inside π during pseudo-exhaustive test:
+//    primary-input nets, DFF-output nets (the DFF becomes a CBIT cell that
+//    generates patterns, whether it sits inside or outside π), and cut nets
+//    driven by gates of other clusters. 2^ι(π) bounds the exhaustive test
+//    length of π, so the PIC constraint is ι(π) ≤ l_k (Eq. 5, "including
+//    primary inputs").
+//
+//  * cut nets — combinational nets severed by the partition: driver is a
+//    gate of cluster A with at least one *gate* sink in cluster B ≠ A. Each
+//    needs an A_CELL (a register inserted at the cut). Crossing nets driven
+//    by PIs or DFFs, or terminating in a DFF's D pin, already have a
+//    register/TPG at the boundary and cost nothing extra — this is why the
+//    paper's Table 12 reports zero A_CBIT for circuits that partition along
+//    existing register boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+
+namespace merced {
+
+/// Cluster index sentinel for nodes outside all clusters (PIs).
+inline constexpr std::int32_t kNoCluster = -1;
+
+/// A partition of the non-PI nodes into disjoint clusters.
+struct Clustering {
+  std::vector<std::int32_t> cluster_of;        ///< per node; PIs = kNoCluster
+  std::vector<std::vector<NodeId>> clusters;   ///< member nodes per cluster
+
+  std::size_t count() const noexcept { return clusters.size(); }
+
+  /// Validates disjointness/coverage against the graph; throws on violation.
+  void validate(const CircuitGraph& graph) const;
+};
+
+/// ι(π): input count of one cluster (see file comment).
+std::size_t input_count(const CircuitGraph& graph, const Clustering& c,
+                        std::size_t cluster_index);
+
+/// The set of distinct input nets of one cluster (ι = its size).
+std::vector<NetId> input_nets(const CircuitGraph& graph, const Clustering& c,
+                              std::size_t cluster_index);
+
+/// All cut nets of the clustering (see file comment), sorted ascending.
+std::vector<NetId> cut_nets(const CircuitGraph& graph, const Clustering& c);
+
+/// Per-experiment cut summary (Tables 10/11 columns).
+struct CutReport {
+  std::size_t nets_cut = 0;          ///< total cut nets
+  std::size_t cut_nets_on_scc = 0;   ///< cut nets severing a connection inside an SCC
+  std::vector<std::size_t> cuts_per_scc;  ///< indexed like SccInfo::components
+};
+
+/// Classifies the clustering's cut nets against the SCC structure. A cut
+/// net is "on an SCC" when its driver and at least one crossing gate sink
+/// lie in the same non-trivial SCC (severing a feedback connection).
+CutReport make_cut_report(const CircuitGraph& graph, const Clustering& c,
+                          const SccInfo& sccs);
+
+}  // namespace merced

@@ -1,0 +1,233 @@
+#include "partition/make_group.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace merced {
+
+namespace {
+
+bool is_comb_gate(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
+/// True when removing `net` severs a connection inside SCC `scc` (it then
+/// consumes retiming budget). Only combinational connections count; a net
+/// driven by a DFF already has its register at the cut.
+bool net_consumes_scc_budget(const CircuitGraph& g, const SccInfo& sccs, NetId net,
+                             std::int32_t& scc_out) {
+  const NodeId d = g.driver(net);
+  if (!is_comb_gate(g, d)) return false;
+  const std::int32_t scc = sccs.component_of[d];
+  if (scc == kNoScc) return false;
+  for (BranchId b : g.net_branches(net)) {
+    if (sccs.component_of[g.branch(b).sink] == scc) {
+      scc_out = scc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// State shared by the boundary-lowering loop.
+struct Cutter {
+  const CircuitGraph& g;
+  const SccInfo& sccs;
+  std::vector<double> d_eff;        // effective distance (0 = pinned)
+  std::vector<bool> removed;        // per net
+  std::vector<std::size_t> c_scc;   // cuts used per SCC
+  std::vector<std::size_t> budget;  // β·f(λ) per SCC
+
+  Cutter(const CircuitGraph& graph, const SccInfo& scc_info,
+         const SaturationResult& sat, int beta)
+      : g(graph),
+        sccs(scc_info),
+        d_eff(sat.distance),
+        removed(graph.num_nets(), false),
+        c_scc(scc_info.count(), 0),
+        budget(scc_info.count(), 0) {
+    for (std::size_t i = 0; i < scc_info.count(); ++i) {
+      budget[i] = static_cast<std::size_t>(beta) * scc_info.dff_count[i];
+    }
+  }
+
+  /// Attempts to remove `net` under the SCC budget (Table 7 STEP 2.1).
+  /// Returns true when the net ends up removed.
+  bool try_remove(NetId net) {
+    if (removed[net]) return true;
+    std::int32_t scc = kNoScc;
+    if (net_consumes_scc_budget(g, sccs, net, scc)) {
+      auto s = static_cast<std::size_t>(scc);
+      if (c_scc[s] < budget[s]) {
+        ++c_scc[s];
+      } else {
+        // Budget exhausted: pin every uncut net of this SCC (STEP 2.1.2.1)
+        // so no future boundary can cut it.
+        for (NodeId m : sccs.components[s]) {
+          if (!removed[g.net_of(m)]) d_eff[g.net_of(m)] = 0.0;
+        }
+        d_eff[net] = 0.0;
+        return false;
+      }
+    }
+    removed[net] = true;
+    return true;
+  }
+};
+
+/// Weakly-connected components among `nodes` over alive branches. PI-driven
+/// branches never connect (PIs are not partitioned; a shared input must not
+/// glue two clusters together).
+std::vector<std::vector<NodeId>> weak_components(const CircuitGraph& g,
+                                                 const std::vector<bool>& removed,
+                                                 const std::vector<NodeId>& nodes) {
+  std::vector<std::int32_t> mark(g.num_nodes(), -2);  // -2 = not in scope
+  for (NodeId v : nodes) mark[v] = -1;                // -1 = in scope, unvisited
+
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<NodeId> dfs;
+  for (NodeId root : nodes) {
+    if (mark[root] != -1) continue;
+    const auto cid = static_cast<std::int32_t>(comps.size());
+    comps.emplace_back();
+    dfs.push_back(root);
+    mark[root] = cid;
+    while (!dfs.empty()) {
+      const NodeId v = dfs.back();
+      dfs.pop_back();
+      comps.back().push_back(v);
+      auto visit = [&](NodeId w) {
+        if (mark[w] == -1) {
+          mark[w] = cid;
+          dfs.push_back(w);
+        }
+      };
+      for (BranchId b : g.out_branches(v)) {
+        const Branch& br = g.branch(b);
+        if (!removed[br.net] && !g.is_pi(br.source)) visit(br.sink);
+      }
+      for (BranchId b : g.in_branches(v)) {
+        const Branch& br = g.branch(b);
+        if (!removed[br.net] && !g.is_pi(br.source)) visit(br.source);
+      }
+    }
+  }
+  return comps;
+}
+
+/// ι of a candidate node set (not yet a registered cluster): distinct nets
+/// feeding its combinational gates from PIs, DFFs, or nodes outside the set.
+std::size_t set_input_count(const CircuitGraph& g, const std::vector<NodeId>& nodes,
+                            std::vector<bool>& in_set_scratch) {
+  for (NodeId v : nodes) in_set_scratch[v] = true;
+  std::vector<NetId> inputs;
+  for (NodeId v : nodes) {
+    if (!is_comb_gate(g, v)) continue;
+    for (BranchId b : g.in_branches(v)) {
+      const Branch& br = g.branch(b);
+      const NodeId d = br.source;
+      if (g.is_pi(d) || g.is_register(d) || !in_set_scratch[d]) inputs.push_back(br.net);
+    }
+  }
+  for (NodeId v : nodes) in_set_scratch[v] = false;
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+  return inputs.size();
+}
+
+}  // namespace
+
+MakeGroupResult make_group(const CircuitGraph& g, const SccInfo& sccs,
+                           const SaturationResult& sat, const MakeGroupParams& p) {
+  if (sat.distance.size() != g.num_nets()) {
+    throw std::invalid_argument("make_group: saturation result size mismatch");
+  }
+  if (p.beta < 1) throw std::invalid_argument("make_group: beta must be >= 1");
+  if (p.lk == 0) throw std::invalid_argument("make_group: lk must be >= 1");
+
+  Cutter cut(g, sccs, sat, p.beta);
+
+  // Sorted stack of distinct distance values, max first (Table 4 STEP 3).
+  std::vector<double> levels = cut.d_eff;
+  std::sort(levels.begin(), levels.end(), std::greater<>());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  std::size_t level_pos = 0;
+
+  // Initial boundary = max d; cut all nets at or above it (Table 4 STEP 4).
+  MakeGroupResult result;
+  double boundary = levels.empty() ? 0.0 : levels[0];
+  if (!levels.empty()) {
+    ++result.boundary_steps;
+    for (NetId net = 0; net < g.num_nets(); ++net) {
+      if (cut.d_eff[net] >= boundary) cut.try_remove(net);
+    }
+    ++level_pos;
+  }
+
+  std::vector<NodeId> scope;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) scope.push_back(v);
+  }
+
+  std::vector<bool> scratch(g.num_nodes(), false);
+  std::vector<std::vector<NodeId>> feasible;
+  std::vector<std::vector<NodeId>> oversized;
+  for (auto& comp : weak_components(g, cut.removed, scope)) {
+    (set_input_count(g, comp, scratch) <= p.lk ? feasible : oversized)
+        .push_back(std::move(comp));
+  }
+
+  // Lower the boundary; re-split only oversized groups (Table 4 STEP 5).
+  while (!oversized.empty() && level_pos < levels.size()) {
+    // Jump to the highest remaining d value actually present inside an
+    // oversized group, so every step removes at least one net.
+    double target = 0.0;
+    for (const auto& grp : oversized) {
+      for (NodeId v : grp) {
+        const NetId net = g.net_of(v);
+        if (!cut.removed[net] && cut.d_eff[net] > target) target = cut.d_eff[net];
+      }
+    }
+    if (target <= 0.0) break;  // everything left is pinned — cannot split further
+    while (level_pos < levels.size() && levels[level_pos] > target) ++level_pos;
+    if (level_pos >= levels.size()) break;
+    boundary = levels[level_pos];
+    ++level_pos;
+    ++result.boundary_steps;
+
+    std::vector<std::vector<NodeId>> still_oversized;
+    for (auto& grp : oversized) {
+      for (NodeId v : grp) {
+        const NetId net = g.net_of(v);
+        if (!cut.removed[net] && cut.d_eff[net] >= boundary) cut.try_remove(net);
+      }
+      for (auto& comp : weak_components(g, cut.removed, grp)) {
+        (set_input_count(g, comp, scratch) <= p.lk ? feasible : still_oversized)
+            .push_back(std::move(comp));
+      }
+    }
+    oversized = std::move(still_oversized);
+  }
+
+  result.feasible = oversized.empty();
+
+  // Assemble the clustering (feasible groups first, then any leftovers).
+  Clustering& c = result.clustering;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  auto add_cluster = [&](std::vector<NodeId>&& nodes) {
+    const auto idx = static_cast<std::int32_t>(c.clusters.size());
+    for (NodeId v : nodes) c.cluster_of[v] = idx;
+    c.clusters.push_back(std::move(nodes));
+  };
+  for (auto& grp : feasible) add_cluster(std::move(grp));
+  for (auto& grp : oversized) {
+    result.oversized_clusters.push_back(c.clusters.size());
+    add_cluster(std::move(grp));
+  }
+
+  result.net_removed = std::move(cut.removed);
+  result.scc_cuts_used = std::move(cut.c_scc);
+  return result;
+}
+
+}  // namespace merced

@@ -1,0 +1,50 @@
+// Make_Group / Make_Set — paper §3.1, Tables 4–7.
+//
+// Starting from the congestion distances d(E) produced by Saturate_Network,
+// nets are removed ("cut") in decreasing congestion order until every
+// cluster (weakly connected component over the remaining nets) satisfies the
+// input constraint ι(π) ≤ l_k.
+//
+// Boundary semantics (Table 4/5): a net is removed when d(e) ≥ boundary.
+// The boundary starts at max d(E) and is lowered one distinct value at a
+// time; only still-oversized clusters are re-split at the new boundary, so
+// feasible clusters keep their (cheaper) earlier cut set.
+//
+// SCC cut budget (Eq. 6, Table 7 STEP 2.1): removing a combinational net
+// that severs a connection inside a non-trivial SCC λ consumes one unit of
+// that SCC's budget β·f(λ), where f(λ) is the number of registers on λ.
+// Once exhausted, every remaining net of λ is pinned (d(e) := 0) and can
+// never be cut — legal retiming (Eq. 2) could not supply registers for more
+// cuts. Nets driven by DFFs or PIs are free: a register/TPG already exists
+// at that boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/saturate_network.h"
+#include "graph/scc.h"
+#include "partition/clustering.h"
+
+namespace merced {
+
+struct MakeGroupParams {
+  std::size_t lk = 16;  ///< input constraint ι(π) ≤ lk (CBIT length)
+  int beta = 50;        ///< Eq. 6 multiplier on SCC cut budgets (β ≥ 1)
+};
+
+struct MakeGroupResult {
+  Clustering clustering;
+  std::vector<bool> net_removed;   ///< per net: removed during clustering
+  std::vector<std::size_t> scc_cuts_used;  ///< c(λ) per SccInfo component
+  std::size_t boundary_steps = 0;  ///< distinct boundary values consumed
+  bool feasible = true;            ///< all clusters satisfy ι ≤ lk
+  std::vector<std::size_t> oversized_clusters;  ///< indices if !feasible
+};
+
+/// Runs the clustering pass. `saturation` must come from the same graph.
+MakeGroupResult make_group(const CircuitGraph& graph, const SccInfo& sccs,
+                           const SaturationResult& saturation,
+                           const MakeGroupParams& params);
+
+}  // namespace merced

@@ -1,0 +1,227 @@
+#include "partition/sa_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+
+namespace merced {
+
+namespace {
+
+bool is_comb_gate(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
+/// Incremental SA state: cluster membership plus per-cluster input sets and
+/// the global cut-net count, all maintained under single-node moves.
+class SaState {
+ public:
+  SaState(const CircuitGraph& g, const Clustering& c, const SaParams& p)
+      : g_(g), p_(p), cluster_of_(c.cluster_of), inputs_(c.count()),
+        members_(c.clusters) {
+    for (std::size_t i = 0; i < c.count(); ++i) {
+      for (NetId n : input_nets(g, c, i)) inputs_[i].insert(n);
+      penalty_ += overflow_penalty(inputs_[i].size());
+    }
+    for (NetId n : cut_nets(g, c)) cut_set_.insert(n);
+  }
+
+  double cost() const { return static_cast<double>(cut_set_.size()) + penalty_; }
+
+  std::size_t cuts() const { return cut_set_.size(); }
+
+  bool feasible() const {
+    for (const auto& in : inputs_) {
+      if (in.size() > p_.lk) return false;
+    }
+    return true;
+  }
+
+  /// Moves node v to cluster `to`; O(degree) full local recompute of the
+  /// two touched clusters' input sets and the affected cut nets.
+  void apply_move(NodeId v, std::int32_t to) {
+    const std::int32_t from = cluster_of_[v];
+    cluster_of_[v] = to;
+    auto& fm = members_[static_cast<std::size_t>(from)];
+    fm.erase(std::find(fm.begin(), fm.end(), v));
+    members_[static_cast<std::size_t>(to)].push_back(v);
+    rebuild_cluster(from);
+    rebuild_cluster(to);
+    // Cut status can only change for nets touching v.
+    refresh_net(g_.net_of(v));
+    for (BranchId b : g_.in_branches(v)) refresh_net(g_.branch(b).net);
+  }
+
+  std::int32_t cluster_of(NodeId v) const { return cluster_of_[v]; }
+
+  Clustering snapshot() const {
+    Clustering c;
+    c.cluster_of = cluster_of_;
+    c.clusters.resize(inputs_.size());
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (cluster_of_[v] != kNoCluster) {
+        c.clusters[static_cast<std::size_t>(cluster_of_[v])].push_back(v);
+      }
+    }
+    // Drop empty clusters, remapping ids.
+    Clustering packed;
+    packed.cluster_of.assign(g_.num_nodes(), kNoCluster);
+    for (auto& members : c.clusters) {
+      if (members.empty()) continue;
+      const auto id = static_cast<std::int32_t>(packed.clusters.size());
+      for (NodeId v : members) packed.cluster_of[v] = id;
+      packed.clusters.push_back(std::move(members));
+    }
+    return packed;
+  }
+
+ private:
+  double overflow_penalty(std::size_t inputs) const {
+    return inputs > p_.lk
+               ? p_.infeasibility_penalty * static_cast<double>(inputs - p_.lk)
+               : 0.0;
+  }
+
+  void rebuild_cluster(std::int32_t ci) {
+    auto& in = inputs_[static_cast<std::size_t>(ci)];
+    penalty_ -= overflow_penalty(in.size());
+    in.clear();
+    for (NodeId v : members_[static_cast<std::size_t>(ci)]) {
+      if (!is_comb_gate(g_, v)) continue;
+      for (BranchId b : g_.in_branches(v)) {
+        const Branch& br = g_.branch(b);
+        if (g_.is_pi(br.source) || g_.is_register(br.source) ||
+            cluster_of_[br.source] != ci) {
+          in.insert(br.net);
+        }
+      }
+    }
+    penalty_ += overflow_penalty(in.size());
+  }
+
+  void refresh_net(NetId n) {
+    const NodeId d = g_.driver(n);
+    bool cut = false;
+    if (is_comb_gate(g_, d)) {
+      for (BranchId b : g_.net_branches(n)) {
+        const Branch& br = g_.branch(b);
+        if (is_comb_gate(g_, br.sink) && cluster_of_[br.sink] != cluster_of_[d]) {
+          cut = true;
+          break;
+        }
+      }
+    }
+    if (cut) {
+      cut_set_.insert(n);
+    } else {
+      cut_set_.erase(n);
+    }
+  }
+
+  const CircuitGraph& g_;
+  const SaParams& p_;
+  std::vector<std::int32_t> cluster_of_;
+  std::vector<std::unordered_set<NetId>> inputs_;
+  std::vector<std::vector<NodeId>> members_;
+  std::unordered_set<NetId> cut_set_;
+  double penalty_ = 0.0;
+};
+
+}  // namespace
+
+Clustering singleton_clustering(const CircuitGraph& g) {
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.is_pi(v)) continue;
+    c.cluster_of[v] = static_cast<std::int32_t>(c.clusters.size());
+    c.clusters.push_back({v});
+  }
+  return c;
+}
+
+SaResult sa_partition(const CircuitGraph& g, const Clustering& initial,
+                      const SaParams& p) {
+  initial.validate(g);
+  std::mt19937_64 rng(p.seed);
+  SaState state(g, initial, p);
+
+  std::vector<NodeId> movable;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) movable.push_back(v);
+  }
+
+  SaResult result;
+  const std::size_t moves_per_t =
+      p.moves_per_temperature > 0 ? p.moves_per_temperature : 8 * movable.size();
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  double cost = state.cost();
+  for (double temp = p.initial_temperature; temp > p.min_temperature;
+       temp *= p.cooling) {
+    for (std::size_t m = 0; m < moves_per_t; ++m) {
+      ++result.moves_tried;
+      const NodeId v = movable[rng() % movable.size()];
+      // Candidate target: the cluster of a random neighbour (keeps moves
+      // local and meaningful).
+      std::int32_t to = kNoCluster;
+      const auto& in_b = g.in_branches(v);
+      const auto& out_b = g.out_branches(v);
+      const std::size_t deg = in_b.size() + out_b.size();
+      if (deg == 0) continue;
+      const std::size_t pick = rng() % deg;
+      const Branch& br =
+          g.branch(pick < in_b.size() ? in_b[pick] : out_b[pick - in_b.size()]);
+      const NodeId peer = br.source == v ? br.sink : br.source;
+      if (g.is_pi(peer)) continue;
+      to = state.cluster_of(peer);
+      if (to == state.cluster_of(v)) continue;
+
+      const std::int32_t from = state.cluster_of(v);
+      state.apply_move(v, to);
+      const double new_cost = state.cost();
+      const double delta = new_cost - cost;
+      if (delta <= 0 || coin(rng) < std::exp(-delta / temp)) {
+        cost = new_cost;
+        ++result.moves_accepted;
+      } else {
+        state.apply_move(v, from);  // revert
+      }
+    }
+  }
+
+  result.clustering = state.snapshot();
+
+  // Repair pass: annealing can freeze in a local minimum with an oversized
+  // cluster that no single-node move can fix. Splitting such a cluster into
+  // singletons restores feasibility whenever every gate fan-in fits lk
+  // (the same guarantee Make_Group relies on).
+  {
+    Clustering repaired;
+    repaired.cluster_of.assign(g.num_nodes(), kNoCluster);
+    for (std::size_t i = 0; i < result.clustering.count(); ++i) {
+      if (input_count(g, result.clustering, i) <= p.lk) {
+        const auto id = static_cast<std::int32_t>(repaired.clusters.size());
+        for (NodeId v : result.clustering.clusters[i]) repaired.cluster_of[v] = id;
+        repaired.clusters.push_back(result.clustering.clusters[i]);
+      } else {
+        for (NodeId v : result.clustering.clusters[i]) {
+          repaired.cluster_of[v] = static_cast<std::int32_t>(repaired.clusters.size());
+          repaired.clusters.push_back({v});
+        }
+      }
+    }
+    result.clustering = std::move(repaired);
+  }
+
+  result.clustering.validate(g);
+  result.nets_cut = cut_nets(g, result.clustering).size();
+  result.feasible = true;
+  for (std::size_t i = 0; i < result.clustering.count(); ++i) {
+    if (input_count(g, result.clustering, i) > p.lk) result.feasible = false;
+  }
+  return result;
+}
+
+}  // namespace merced

@@ -1,0 +1,47 @@
+// Simulated-annealing baseline for the PIC problem — after the authors'
+// prior work, Liou/Lin/Cheng/Liu, "Circuit Partitioning for Pipelined
+// Pseudo-Exhaustive Testing Using Simulated Annealing", CICC 1994 (the
+// paper's reference [4]).
+//
+// The DAC'96 paper replaces this with the multicommodity-flow clustering;
+// this implementation exists as the comparison baseline: same clustering
+// model (partition/clustering.h), same feasibility constraint ι(π) ≤ l_k,
+// cost = number of cut nets + a penalty for constraint violations. Moves
+// reassign one node to a neighbouring cluster; the temperature follows a
+// geometric schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/clustering.h"
+
+namespace merced {
+
+struct SaParams {
+  std::size_t lk = 16;
+  double initial_temperature = 5.0;
+  double cooling = 0.95;
+  std::size_t moves_per_temperature = 0;  ///< 0 = 8·|V| (scaled default)
+  double min_temperature = 0.05;
+  double infeasibility_penalty = 10.0;  ///< per input over the lk budget
+  std::uint64_t seed = 1;
+};
+
+struct SaResult {
+  Clustering clustering;
+  std::size_t nets_cut = 0;
+  bool feasible = true;       ///< all clusters meet ι ≤ lk
+  std::size_t moves_tried = 0;
+  std::size_t moves_accepted = 0;
+};
+
+/// Runs simulated annealing from an initial clustering (typically a
+/// fine-grained seed, e.g. singletons or a cheap greedy cover).
+SaResult sa_partition(const CircuitGraph& graph, const Clustering& initial,
+                      const SaParams& params);
+
+/// Convenience seed: every weakly-connected pair collapsed — here simply
+/// one singleton cluster per non-PI node.
+Clustering singleton_clustering(const CircuitGraph& graph);
+
+}  // namespace merced

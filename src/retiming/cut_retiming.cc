@@ -1,0 +1,272 @@
+#include "retiming/cut_retiming.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace merced {
+
+namespace {
+
+/// Constraint edge for the difference system ρ(u) − ρ(v) ≤ w − req,
+/// i.e. a shortest-path edge v→u with weight (w − req).
+struct CEdge {
+  RVertexId from;      // v
+  RVertexId to;        // u
+  std::int32_t base;   // w(e)
+  NetId cut_net;       // kNoNet when this edge is not a required cut
+};
+
+/// SPFA with negative-cycle extraction. Returns an empty vector and fills
+/// `rho` when feasible; otherwise returns the vertices of one negative
+/// cycle (in constraint-graph orientation).
+std::vector<std::size_t> spfa(std::size_t n, const std::vector<CEdge>& edges,
+                              const std::vector<bool>& required, Retiming& rho) {
+  std::vector<std::vector<std::size_t>> out(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) out[edges[i].from].push_back(i);
+
+  std::vector<std::int64_t> dist(n, 0);
+  std::vector<std::size_t> parent_edge(n, static_cast<std::size_t>(-1));
+  std::vector<std::uint32_t> relax_count(n, 0);
+  std::vector<bool> in_queue(n, true);
+  std::deque<RVertexId> queue;
+  for (std::size_t v = 0; v < n; ++v) queue.push_back(static_cast<RVertexId>(v));
+
+  while (!queue.empty()) {
+    const RVertexId v = queue.front();
+    queue.pop_front();
+    in_queue[v] = false;
+    for (std::size_t ei : out[v]) {
+      const CEdge& e = edges[ei];
+      const std::int64_t w = e.base - (required[ei] ? 1 : 0);
+      if (dist[v] + w < dist[e.to]) {
+        dist[e.to] = dist[v] + w;
+        parent_edge[e.to] = ei;
+        // A vertex relaxed many times is likely on (or fed by) a negative
+        // cycle; the parent walk below *verifies* before reporting, so a low
+        // threshold is safe — false alarms just reset the counter.
+        if (++relax_count[e.to] > 32) {
+          // Negative cycle: walking n+1 parent steps from e.to must land on
+          // the cycle (every vertex on a long-enough parent chain repeats).
+          RVertexId cur = e.to;
+          bool complete = true;
+          for (std::size_t step = 0; step <= n; ++step) {
+            if (parent_edge[cur] == static_cast<std::size_t>(-1)) {
+              complete = false;  // transient chain; the cycle will resurface
+              break;
+            }
+            cur = edges[parent_edge[cur]].from;
+          }
+          if (complete) {
+            std::vector<std::size_t> cycle;
+            RVertexId walk = cur;
+            do {
+              const std::size_t pe = parent_edge[walk];
+              cycle.push_back(pe);
+              walk = edges[pe].from;
+            } while (walk != cur && cycle.size() <= n);
+            if (walk == cur) return cycle;
+          }
+          relax_count[e.to] = 0;  // retry later if it was transient
+        }
+        if (!in_queue[e.to]) {
+          in_queue[e.to] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+  }
+  rho.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) rho[v] = static_cast<std::int32_t>(dist[v]);
+  return {};
+}
+
+}  // namespace
+
+CutRetimingPlan plan_cut_retiming(const CircuitGraph& g, const RetimeGraph& rg,
+                                  const SccInfo& sccs, std::span<const NetId> cut_nets,
+                                  const Clustering& clustering) {
+  CutRetimingPlan plan;
+  std::unordered_set<NetId> cut_set(cut_nets.begin(), cut_nets.end());
+
+  // Per-SCC cut census for the aggregate pre-pass. A cut net belongs to SCC
+  // λ when its driver and a crossing gate sink are both in λ.
+  std::unordered_map<std::int32_t, std::vector<NetId>> scc_cuts;
+  std::unordered_set<NetId> demoted;
+  for (NetId net : cut_nets) {
+    const NodeId d = g.driver(net);
+    const std::int32_t scc = sccs.component_of[d];
+    if (scc == kNoScc) continue;
+    const std::int32_t dc = clustering.cluster_of[d];
+    for (BranchId b : g.net_branches(net)) {
+      const Branch& br = g.branch(b);
+      if (!g.is_register(br.sink) && !g.is_pi(br.sink) &&
+          clustering.cluster_of[br.sink] != dc && sccs.component_of[br.sink] == scc) {
+        scc_cuts[scc].push_back(net);
+        break;
+      }
+    }
+  }
+  for (auto& [scc, nets] : scc_cuts) {
+    const std::size_t supply = sccs.dff_count[static_cast<std::size_t>(scc)];
+    if (nets.size() > supply) {
+      // Demote the excess (Table 12 accounting): keep the first f(λ) cuts.
+      for (std::size_t i = supply; i < nets.size(); ++i) demoted.insert(nets[i]);
+      plan.scc_aggregate_demotions += nets.size() - supply;
+    }
+  }
+
+  // Build the constraint system. A retime-graph edge is a *crossing branch*
+  // of cut net n when weight-0, source_net == n, and its endpoints sit in
+  // different clusters.
+  const auto& redges = rg.edges();
+  std::vector<CEdge> cedges;
+  cedges.reserve(redges.size());
+  std::vector<bool> required(redges.size(), false);
+  std::unordered_map<NetId, std::vector<std::size_t>> edges_of_net;
+  for (std::size_t i = 0; i < redges.size(); ++i) {
+    const REdge& e = redges[i];
+    NetId cut = kNoNet;
+    if (e.weight == 0 && cut_set.contains(e.source_net)) {
+      const NodeId from_node = rg.node_of(e.from);
+      const NodeId to_node = rg.node_of(e.to);
+      if (clustering.cluster_of[from_node] != clustering.cluster_of[to_node]) {
+        cut = e.source_net;
+        edges_of_net[cut].push_back(i);
+        required[i] = !demoted.contains(cut);
+      }
+    }
+    cedges.push_back(CEdge{e.to, e.from, e.weight, cut});
+  }
+
+  // Resolve infeasibility SCC by SCC: every directed cycle of the circuit
+  // lies inside one SCC, so negative cycles can only involve edges whose
+  // endpoints share an SCC. Solving each SCC's induced subsystem first
+  // keeps the repeated negative-cycle searches on small graphs; the final
+  // global solve then finds ρ without hitting any cycle.
+  //
+  // Each negative cycle has Σ(w − req) < 0 and needs exactly
+  // (required_on_cycle − Σw) demotions (Eq. 2: a cycle can host at most
+  // f(p) = Σw registers over its cuts); after many rounds on one SCC we
+  // escalate to demoting every required cut on the found cycle.
+  auto resolve = [&](std::size_t n_vertices, const std::vector<CEdge>& edges,
+                     std::vector<bool>& req, const std::vector<std::size_t>& global_idx,
+                     Retiming* rho_out) {
+    Retiming local_rho;
+    Retiming& rho = rho_out ? *rho_out : local_rho;
+    for (std::size_t round = 0;; ++round) {
+      std::vector<std::size_t> cycle = spfa(n_vertices, edges, req, rho);
+      if (cycle.empty()) return;
+      std::int64_t weight_sum = 0;
+      std::vector<NetId> required_nets;
+      for (std::size_t ei : cycle) {
+        weight_sum += edges[ei].base;
+        const NetId net = edges[ei].cut_net;
+        if (net != kNoNet && req[ei] && !demoted.contains(net)) {
+          required_nets.push_back(net);  // may repeat when a net crosses twice
+        }
+      }
+      std::int64_t deficit =
+          static_cast<std::int64_t>(required_nets.size()) - weight_sum;
+      std::sort(required_nets.begin(), required_nets.end());
+      required_nets.erase(std::unique(required_nets.begin(), required_nets.end()),
+                          required_nets.end());
+      if (deficit <= 0 || required_nets.empty()) {
+        throw std::logic_error(
+            "plan_cut_retiming: negative cycle without demotable cut — the base "
+            "circuit has a register-free combinational cycle");
+      }
+      if (round > 8) deficit = static_cast<std::int64_t>(required_nets.size());
+      for (std::int64_t i = 0; i < deficit && !required_nets.empty(); ++i) {
+        const NetId net = required_nets.back();
+        required_nets.pop_back();
+        demoted.insert(net);
+        for (std::size_t j : edges_of_net[net]) {
+          required[j] = false;
+          // Mirror into the local requirement vector when solving a subgraph.
+          if (!global_idx.empty()) {
+            const auto it = std::lower_bound(global_idx.begin(), global_idx.end(), j);
+            if (it != global_idx.end() && *it == j) {
+              req[static_cast<std::size_t>(it - global_idx.begin())] = false;
+            }
+          }
+        }
+        ++plan.negative_cycle_demotions;
+      }
+    }
+  };
+
+  // Per-SCC subproblems (only for SCCs that still have required cuts).
+  std::unordered_set<std::int32_t> sccs_with_cuts;
+  for (std::size_t i = 0; i < cedges.size(); ++i) {
+    if (!required[i]) continue;
+    const std::int32_t s = sccs.component_of[rg.node_of(redges[i].from)];
+    if (s != kNoScc && s == sccs.component_of[rg.node_of(redges[i].to)]) {
+      sccs_with_cuts.insert(s);
+    }
+  }
+  for (std::int32_t s : sccs_with_cuts) {
+    // Induced subgraph: edges with both endpoints in SCC s.
+    std::unordered_map<RVertexId, RVertexId> local_of;
+    std::vector<CEdge> local_edges;
+    std::vector<bool> local_req;
+    std::vector<std::size_t> global_idx;
+    auto localize = [&](RVertexId v) {
+      return local_of.try_emplace(v, static_cast<RVertexId>(local_of.size()))
+          .first->second;
+    };
+    for (std::size_t i = 0; i < cedges.size(); ++i) {
+      const std::int32_t sf = sccs.component_of[rg.node_of(redges[i].from)];
+      const std::int32_t st = sccs.component_of[rg.node_of(redges[i].to)];
+      if (sf == s && st == s) {
+        local_edges.push_back(CEdge{localize(cedges[i].from), localize(cedges[i].to),
+                                    cedges[i].base, cedges[i].cut_net});
+        local_req.push_back(required[i]);
+        global_idx.push_back(i);
+      }
+    }
+    resolve(local_of.size(), local_edges, local_req, global_idx, nullptr);
+  }
+
+  // Tie all PI and PO-driver vertices to one label (the Leiserson–Saxe host
+  // constraint): their signals cannot time-shift, so normal-mode function is
+  // preserved cycle-exactly. Cuts this makes infeasible (e.g. a cut on a
+  // register-free PI→PO path) are demoted to multiplexed A_CELLs — exactly
+  // the hardware the paper prescribes when retiming cannot supply the
+  // register (Fig. 3c).
+  {
+    const Netlist& nl = g.netlist();
+    RVertexId ref = kNoRVertex;
+    auto tie = [&](NodeId n) {
+      const RVertexId v = rg.vertex_of(n);
+      if (v == kNoRVertex) return;
+      if (ref == kNoRVertex) {
+        ref = v;
+        return;
+      }
+      cedges.push_back(CEdge{ref, v, 0, kNoNet});
+      cedges.push_back(CEdge{v, ref, 0, kNoNet});
+      required.push_back(false);
+      required.push_back(false);
+    };
+    for (GateId id : nl.inputs()) tie(id);
+    for (GateId id : nl.outputs()) {
+      if (!g.is_register(id)) tie(id);
+    }
+  }
+
+  // Global solve for ρ (per-SCC cycles are already satisfied; this also
+  // resolves any cycle the host constraints introduced).
+  resolve(rg.num_vertices(), cedges, required, {}, &plan.rho);
+
+  for (NetId net : cut_nets) {
+    (demoted.contains(net) ? plan.multiplexed : plan.retimable).push_back(net);
+  }
+  std::sort(plan.retimable.begin(), plan.retimable.end());
+  std::sort(plan.multiplexed.begin(), plan.multiplexed.end());
+  return plan;
+}
+
+}  // namespace merced

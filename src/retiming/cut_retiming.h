@@ -1,0 +1,51 @@
+// Retiming plan for a PPET cut set — paper §2.3.
+//
+// Every cut net needs a register (an A_CELL) at the cut. Legal retiming can
+// move existing functional flip-flops there, at a cost of only the A_CELL's
+// three extra gates (0.9 DFF). The cycle invariant Eq. (2) caps how many
+// registers retiming can supply inside each loop: a cycle p can host at most
+// f(p) retimed registers over its cut nets, so χ(p) − f(p) cuts (if
+// positive) must instead use a brand-new multiplexed A_CELL (2.3 DFF,
+// Fig. 3c).
+//
+// The planner expresses "cut edge e must carry a register" as the
+// difference constraint  w(e) + ρ(to) − ρ(from) ≥ 1  (and ≥ 0 for all other
+// edges), solves it as a shortest-path system (SPFA/Bellman–Ford), and on
+// every negative cycle demotes cut nets on that cycle to multiplexed until
+// the system is feasible. An SCC-aggregate pre-pass (demote
+// max(0, χ(λ) − f(λ)) cuts per SCC, the paper's Table 12 accounting) keeps
+// the number of negative-cycle rounds small.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/scc.h"
+#include "partition/clustering.h"
+#include "retiming/retime_graph.h"
+
+namespace merced {
+
+struct CutRetimingPlan {
+  /// Cut nets that receive their register through legal retiming.
+  std::vector<NetId> retimable;
+  /// Cut nets that need a new multiplexed A_CELL (excess on SCCs).
+  std::vector<NetId> multiplexed;
+  /// A legal retiming placing >= 1 register on every crossing branch of
+  /// every retimable cut net.
+  Retiming rho;
+  /// Demotions performed by the SCC aggregate pre-pass.
+  std::size_t scc_aggregate_demotions = 0;
+  /// Additional demotions forced by exact negative-cycle analysis.
+  std::size_t negative_cycle_demotions = 0;
+};
+
+/// Plans retiming for the cut nets of `clustering`. `cut_nets` must be the
+/// cut set of `clustering` (see partition/clustering.h); `rgraph` must be
+/// built from `graph`.
+CutRetimingPlan plan_cut_retiming(const CircuitGraph& graph, const RetimeGraph& rgraph,
+                                  const SccInfo& sccs, std::span<const NetId> cut_nets,
+                                  const Clustering& clustering);
+
+}  // namespace merced

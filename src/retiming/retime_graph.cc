@@ -1,0 +1,73 @@
+#include "retiming/retime_graph.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace merced {
+
+RetimeGraph::RetimeGraph(const CircuitGraph& g) {
+  const Netlist& nl = g.netlist();
+  vertex_of_.assign(g.num_nodes(), kNoRVertex);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_register(n)) {
+      vertex_of_[n] = static_cast<RVertexId>(node_of_.size());
+      node_of_.push_back(n);
+    }
+  }
+
+  // For each non-register sink gate, trace every fanin pin backwards through
+  // the DFF chain to its combinational/PI source; the chain length is the
+  // edge weight. Each (sink, pin) yields exactly one edge because DFFs have
+  // a single fanin.
+  for (NodeId sink = 0; sink < g.num_nodes(); ++sink) {
+    if (g.is_register(sink)) continue;
+    const Gate& gate = nl.gate(sink);
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      NodeId src = gate.fanins[pin];
+      std::int32_t weight = 0;
+      // Walk back through registers. A pure register ring (no combinational
+      // cell on the cycle) cannot reach here since we started from a gate.
+      std::size_t guard = g.num_nodes() + 1;
+      while (g.is_register(src)) {
+        ++weight;
+        const Gate& dff = nl.gate(src);
+        src = dff.fanins.at(0);
+        if (guard-- == 0) {
+          throw std::runtime_error("RetimeGraph: register chain longer than the circuit "
+                                   "(pure DFF ring feeding gate '" + gate.name + "')");
+        }
+      }
+      edges_.push_back(REdge{vertex_of_[src], vertex_of_[sink], weight, g.net_of(src),
+                             static_cast<std::uint16_t>(pin)});
+    }
+  }
+}
+
+std::int64_t RetimeGraph::total_registers() const {
+  return std::accumulate(edges_.begin(), edges_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const REdge& e) { return acc + e.weight; });
+}
+
+bool RetimeGraph::is_legal(const Retiming& rho) const {
+  if (rho.size() != num_vertices()) return false;
+  for (const REdge& e : edges_) {
+    if (retimed_weight(e, rho) < 0) return false;
+  }
+  return true;
+}
+
+std::int64_t RetimeGraph::path_registers(std::span<const std::size_t> edge_indices,
+                                         const Retiming* rho) const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < edge_indices.size(); ++i) {
+    const REdge& e = edges_.at(edge_indices[i]);
+    if (i > 0 && edges_.at(edge_indices[i - 1]).to != e.from) {
+      throw std::invalid_argument("path_registers: edges do not form a path");
+    }
+    total += rho ? retimed_weight(e, *rho) : e.weight;
+  }
+  return total;
+}
+
+}  // namespace merced

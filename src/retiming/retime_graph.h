@@ -1,0 +1,86 @@
+// Leiserson–Saxe retiming model — paper §2.2, after [1].
+//
+// The retiming view of a synchronous circuit keeps only the combinational
+// cells as vertices; registers become integer weights w(e) on the edges
+// between them. A retiming ρ: C → Z relabels vertices; the retimed weight of
+// edge u→v is
+//
+//     w_ρ(e) = w(e) + ρ(v) − ρ(u)                        (Lemma 1 / Eq. 1)
+//
+// A retiming is *legal* iff w_ρ(e) ≥ 0 for every edge (Corollary 3 / Eq. 3),
+// and every directed cycle keeps its register count (Corollary 2 / Eq. 2).
+//
+// Primary inputs and outputs are free endpoints here — the paper allows
+// changing the register count of I/O paths (test pipelining tolerates
+// latency changes, §2.3: "additional registers can be added arbitrarily...
+// based on Eq. (1)"); only cycles constrain retiming.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+
+namespace merced {
+
+/// Vertex of the retiming graph (a combinational gate, a PI, or a PO-less
+/// sink endpoint). Indices are local to the RetimeGraph.
+using RVertexId = std::uint32_t;
+
+inline constexpr RVertexId kNoRVertex = static_cast<RVertexId>(-1);
+
+/// Edge u→v carrying w registers. `cut_net` records which circuit net this
+/// edge corresponds to at its *source* end (the net driven by the source
+/// gate, where an A_CELL would sit if the edge is a cut).
+struct REdge {
+  RVertexId from = kNoRVertex;
+  RVertexId to = kNoRVertex;
+  std::int32_t weight = 0;  ///< registers on this connection, w(e) >= 0
+  NetId source_net = kNoNet;
+  std::uint16_t sink_pin = 0;  ///< fanin pin index at the sink gate
+};
+
+/// A retiming assignment ρ, one integer per vertex.
+using Retiming = std::vector<std::int32_t>;
+
+/// Register-weighted retiming graph derived from a circuit graph: vertices
+/// are non-register nodes (gates and PIs); DFF chains collapse into edge
+/// weights.
+class RetimeGraph {
+ public:
+  explicit RetimeGraph(const CircuitGraph& graph);
+
+  std::size_t num_vertices() const noexcept { return node_of_.size(); }
+  std::span<const REdge> edges() const noexcept { return edges_; }
+
+  /// Circuit node backing vertex `v` (a gate or PI).
+  NodeId node_of(RVertexId v) const { return node_of_.at(v); }
+
+  /// Vertex for circuit node `n`, or kNoRVertex for registers.
+  RVertexId vertex_of(NodeId n) const { return vertex_of_.at(n); }
+
+  /// Total registers over all edges (equals the netlist DFF count when no
+  /// DFF drives only dangling nets).
+  std::int64_t total_registers() const;
+
+  /// Retimed weight of edge `e` under ρ (Eq. 1 applied to a single edge).
+  std::int32_t retimed_weight(const REdge& e, const Retiming& rho) const {
+    return e.weight + rho.at(e.to) - rho.at(e.from);
+  }
+
+  /// Eq. 3: true iff every retimed edge weight is non-negative.
+  bool is_legal(const Retiming& rho) const;
+
+  /// Registers along a vertex path (edge indices into edges()); with a
+  /// retiming applied this verifies Eq. 1 in tests.
+  std::int64_t path_registers(std::span<const std::size_t> edge_indices,
+                              const Retiming* rho = nullptr) const;
+
+ private:
+  std::vector<REdge> edges_;
+  std::vector<NodeId> node_of_;
+  std::vector<RVertexId> vertex_of_;  // per circuit node; kNoRVertex for DFFs
+};
+
+}  // namespace merced

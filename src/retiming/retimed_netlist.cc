@@ -1,0 +1,214 @@
+#include "retiming/retimed_netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace merced {
+
+RetimedCircuit apply_retiming(const CircuitGraph& g, const RetimeGraph& rg,
+                              const Retiming& rho_in) {
+  if (!rg.is_legal(rho_in)) {
+    throw std::invalid_argument("apply_retiming: illegal retiming");
+  }
+  const Netlist& nl = g.netlist();
+
+  // Normalize: all PIs and PO drivers must share one label (their signals
+  // cannot time-shift); subtract it so the reference becomes 0.
+  Retiming rho = rho_in;
+  {
+    std::int32_t io_label = 0;
+    bool have_io = false;
+    auto check_io = [&](NodeId n) {
+      const RVertexId v = rg.vertex_of(n);
+      if (v == kNoRVertex) return;
+      if (!have_io) {
+        io_label = rho.at(v);
+        have_io = true;
+      } else if (rho.at(v) != io_label) {
+        throw std::invalid_argument(
+            "apply_retiming: PIs/POs carry different retiming labels — the "
+            "retimed machine would not be cycle-exact equivalent");
+      }
+    };
+    for (GateId id : nl.inputs()) check_io(id);
+    for (GateId id : nl.outputs()) {
+      if (!is_sequential(nl.gate(id).type)) check_io(id);
+    }
+    if (have_io) {
+      for (auto& v : rho) v -= io_label;
+    }
+  }
+
+  RetimedCircuit out;
+  out.netlist.set_name(nl.name() + "_retimed");
+
+  // 1. Copy PIs and combinational gates (fanins resolved later).
+  std::vector<GateId> new_id(nl.size(), kNoGate);
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& gate = nl.gate(id);
+    if (is_sequential(gate.type)) continue;
+    new_id[id] = out.netlist.add_gate(gate.type, gate.name);
+  }
+
+  // 2. Per source vertex, the longest retimed chain it must drive.
+  std::vector<std::int32_t> chain_len(rg.num_vertices(), 0);
+  for (const REdge& e : rg.edges()) {
+    chain_len[e.from] = std::max(chain_len[e.from], rg.retimed_weight(e, rho));
+  }
+
+  // 3. Build shared register chains: tap[v][k] = gate driving depth-k value.
+  std::vector<std::vector<GateId>> tap(rg.num_vertices());
+  for (RVertexId v = 0; v < rg.num_vertices(); ++v) {
+    const NodeId src = rg.node_of(v);
+    tap[v].resize(static_cast<std::size_t>(chain_len[v]) + 1);
+    tap[v][0] = new_id[src];
+    for (std::int32_t k = 1; k <= chain_len[v]; ++k) {
+      const GateId dff = out.netlist.add_gate(
+          GateType::kDff, nl.gate(src).name + "_r" + std::to_string(k),
+          {tap[v][static_cast<std::size_t>(k - 1)]});
+      tap[v][static_cast<std::size_t>(k)] = dff;
+      out.origins.push_back(RetimedCircuit::RegisterOrigin{src, k, rho[v]});
+    }
+  }
+
+  // 4. Wire sink fanins to the right chain tap.
+  std::vector<std::vector<GateId>> fanins(nl.size());
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& gate = nl.gate(id);
+    if (is_sequential(gate.type) || is_input(gate.type)) continue;
+    fanins[id].resize(gate.fanins.size(), kNoGate);
+  }
+  for (const REdge& e : rg.edges()) {
+    const NodeId sink = rg.node_of(e.to);
+    const std::int32_t w = rg.retimed_weight(e, rho);
+    fanins[sink][e.sink_pin] = tap[e.from][static_cast<std::size_t>(w)];
+  }
+  for (GateId id = 0; id < nl.size(); ++id) {
+    if (new_id[id] == kNoGate || is_input(nl.gate(id).type)) continue;
+    for (GateId f : fanins[id]) {
+      if (f == kNoGate) {
+        throw std::logic_error("apply_retiming: unresolved fanin on gate '" +
+                               nl.gate(id).name + "'");
+      }
+    }
+    out.netlist.set_fanins(new_id[id], fanins[id]);
+  }
+
+  // 5. Primary outputs must sit on combinational gates or PIs.
+  for (GateId id : nl.outputs()) {
+    if (is_sequential(nl.gate(id).type)) {
+      throw std::invalid_argument(
+          "apply_retiming: primary output '" + nl.gate(id).name +
+          "' is a register; retiming with DFF-driven outputs is unsupported");
+    }
+    out.netlist.mark_output(new_id[id]);
+  }
+
+  out.netlist.finalize();
+  return out;
+}
+
+std::vector<bool> compute_retimed_initial_state(
+    const Netlist& original, const RetimedCircuit& retimed,
+    const std::vector<bool>& original_initial_state,
+    std::span<const std::vector<bool>> warmup_inputs) {
+  // The register at depth k from source u (with label ρ(u)) must hold the
+  // original u's value of cycle t = W − k + 1 − ρ(u) (1-indexed).
+  const auto W = static_cast<std::int64_t>(warmup_inputs.size());
+  std::int64_t min_t = 1, max_t = W;
+  for (const auto& o : retimed.origins) {
+    const std::int64_t t = W - o.depth + 1 - o.rho;
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  if (min_t < 1) {
+    throw std::invalid_argument("compute_retimed_initial_state: need at least " +
+                                std::to_string(W + (1 - min_t)) + " warm-up cycles");
+  }
+
+  // Record every gate's output per warm-up cycle (1-indexed: history[t-1]).
+  Simulator sim(original);
+  sim.set_state(original_initial_state);
+  std::vector<std::vector<bool>> history;
+  history.reserve(static_cast<std::size_t>(max_t));
+  for (const auto& in : warmup_inputs) {
+    sim.step(in);
+    std::vector<bool> snapshot(original.size());
+    for (GateId id = 0; id < original.size(); ++id) snapshot[id] = sim.value(id);
+    history.push_back(std::move(snapshot));
+  }
+
+  // Sources with negative ρ run *ahead* of the original clock, so some
+  // registers hold values of cycles beyond W. Those values are still causal
+  // (legality guarantees every PI→u path carries enough registers), so a
+  // three-valued extension with unknown future inputs resolves them: an X
+  // on a future PI can never structurally reach the needed node.
+  std::vector<std::vector<char>> known_history;
+  if (max_t > W) {
+    std::vector<char> val(original.size(), 0);
+    std::vector<char> known(original.size(), 0);
+    std::vector<char> st_val(original.dffs().size(), 0);
+    std::vector<char> st_known(original.dffs().size(), 0);
+    for (std::size_t i = 0; i < original.dffs().size(); ++i) {
+      st_val[i] = sim.state()[i];
+      st_known[i] = 1;
+    }
+    for (std::int64_t t = W + 1; t <= max_t; ++t) {
+      for (GateId id : original.inputs()) known[id] = 0;  // future inputs: X
+      for (std::size_t i = 0; i < original.dffs().size(); ++i) {
+        val[original.dffs()[i]] = st_val[i];
+        known[original.dffs()[i]] = st_known[i];
+      }
+      std::vector<bool> fanins;
+      for (GateId id : original.topo_order()) {
+        const Gate& gate = original.gate(id);
+        if (!is_combinational(gate.type) && gate.type != GateType::kConst0 &&
+            gate.type != GateType::kConst1) {
+          continue;
+        }
+        bool all_known = true;
+        fanins.clear();
+        for (GateId f : gate.fanins) {
+          all_known = all_known && known[f] != 0;
+          fanins.push_back(val[f] != 0);
+        }
+        known[id] = all_known ? 1 : 0;
+        val[id] = all_known ? (eval_gate(gate.type, fanins) ? 1 : 0) : 0;
+      }
+      std::vector<bool> snapshot(original.size());
+      for (GateId id = 0; id < original.size(); ++id) snapshot[id] = val[id] != 0;
+      history.push_back(std::move(snapshot));
+      // Record knownness by leaving unknown entries arbitrary; needed nodes
+      // are guaranteed known (checked below via `known` of the last step
+      // only when t matches — track per-cycle knownness alongside).
+      for (std::size_t i = 0; i < original.dffs().size(); ++i) {
+        const GateId d = original.gate(original.dffs()[i]).fanins.at(0);
+        st_val[i] = val[d];
+        st_known[i] = known[d];
+      }
+      // Stash knownness into a parallel structure via history of knowns.
+      known_history.push_back(known);
+    }
+  }
+
+  std::vector<bool> state(retimed.origins.size());
+  for (std::size_t i = 0; i < retimed.origins.size(); ++i) {
+    const auto& o = retimed.origins[i];
+    const std::int64_t t = W - o.depth + 1 - o.rho;
+    if (t > W) {
+      const auto& kn = known_history[static_cast<std::size_t>(t - W - 1)];
+      if (!kn[o.source]) {
+        throw std::logic_error(
+            "compute_retimed_initial_state: needed future value is not causal — "
+            "the retiming is not I/O-consistent");
+      }
+    }
+    state[i] = history[static_cast<std::size_t>(t - 1)][o.source];
+  }
+  return state;
+}
+
+}  // namespace merced

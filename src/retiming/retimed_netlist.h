@@ -1,0 +1,63 @@
+// Applying a retiming to a netlist, and recomputing initial states.
+//
+// apply_retiming rebuilds the circuit with registers repositioned according
+// to the retimed edge weights w_ρ(e) (Eq. 1). Register chains fanning out
+// of one source are shared (edge with weight k taps the k-th register of
+// the source's chain), which is also how the original netlist represents
+// shift registers.
+//
+// Initial states are recomputed in the spirit of Touati/Brayton [16] via
+// warm-up history: run the *original* machine W cycles from its initial
+// state under a known input stream, recording every gate's output per
+// cycle. The retimed register at depth k of source u must then hold u's
+// output from cycle W−k+1 — by the time-unrolling argument both machines
+// subsequently compute identical signals, so outputs agree cycle-for-cycle
+// from cycle W+1 on. W must be at least the deepest retimed chain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "retiming/retime_graph.h"
+
+namespace merced {
+
+struct RetimedCircuit {
+  Netlist netlist;  ///< finalized retimed structure
+
+  /// For each DFF of `netlist` (dffs() order): the *original* circuit node
+  /// whose output history this register holds, its depth k >= 1, and the
+  /// retiming label of the source vertex. Because retiming time-shifts an
+  /// internal signal u by −ρ(u) cycles (relative to ρ(PI) = 0), the
+  /// register at depth k holds the original u's value of cycle
+  /// W − k + 1 − ρ(u) after W warm-up cycles.
+  struct RegisterOrigin {
+    NodeId source = kNoGate;
+    std::int32_t depth = 0;
+    std::int32_t rho = 0;
+  };
+  std::vector<RegisterOrigin> origins;
+};
+
+/// Rebuilds the circuit with registers placed per w_ρ. `rho` must be legal,
+/// and for cycle-exact normal-mode equivalence all PI and PO-driver
+/// vertices must carry the same label (apply_retiming normalizes so that
+/// common label becomes 0; it throws if PIs/POs disagree). Requires every
+/// primary output to be driven by a combinational gate or PI (true for all
+/// bundled circuits); throws otherwise.
+RetimedCircuit apply_retiming(const CircuitGraph& graph, const RetimeGraph& rgraph,
+                              const Retiming& rho);
+
+/// Computes the retimed machine's initial state equivalent to the original
+/// machine *after* it consumed `warmup_inputs` (each of inputs() size)
+/// starting from `original_initial_state`. Returns the retimed state in
+/// retimed.netlist.dffs() order. warmup_inputs.size() must be >= the
+/// deepest register chain in `retimed`.
+std::vector<bool> compute_retimed_initial_state(
+    const Netlist& original, const RetimedCircuit& retimed,
+    const std::vector<bool>& original_initial_state,
+    std::span<const std::vector<bool>> warmup_inputs);
+
+}  // namespace merced

@@ -1,0 +1,186 @@
+#include "sim/cone.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+namespace {
+
+bool is_comb_gate(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
+}  // namespace
+
+ConeSimulator::ConeSimulator(const CircuitGraph& g, const Clustering& c,
+                             std::size_t cluster_index)
+    : graph_(&g) {
+  const auto ci = static_cast<std::int32_t>(cluster_index);
+  in_cluster_.assign(g.num_nodes(), false);
+  for (NodeId v : c.clusters.at(cluster_index)) in_cluster_[v] = true;
+
+  inputs_ = input_nets(g, c, cluster_index);
+  input_slot_.assign(g.num_nodes(), -1);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    input_slot_[g.driver(inputs_[i])] = static_cast<std::int32_t>(i);
+  }
+
+  // Observed outputs: cluster-gate nets that reach a register D pin, a gate
+  // of another cluster, or are primary outputs.
+  const Netlist& nl = g.netlist();
+  for (NodeId v : c.clusters.at(cluster_index)) {
+    if (!is_comb_gate(g, v)) continue;
+    bool observed = nl.is_output(v);
+    for (BranchId b : g.out_branches(v)) {
+      const Branch& br = g.branch(b);
+      if (g.is_register(br.sink) || c.cluster_of[br.sink] != ci) {
+        observed = true;
+        break;
+      }
+    }
+    if (observed) outputs_.push_back(g.net_of(v));
+  }
+  std::sort(outputs_.begin(), outputs_.end());
+
+  // Topological order of the cluster's combinational gates: Kahn over
+  // intra-cluster gate→gate dependencies whose source is not a CUT input.
+  std::vector<std::size_t> pending(g.num_nodes(), 0);
+  std::vector<NodeId> members;
+  for (NodeId v : c.clusters.at(cluster_index)) {
+    if (!is_comb_gate(g, v)) continue;
+    members.push_back(v);
+    for (BranchId b : g.in_branches(v)) {
+      const NodeId d = g.branch(b).source;
+      if (in_cluster_[d] && is_comb_gate(g, d) && input_slot_[d] < 0) ++pending[v];
+    }
+  }
+  std::vector<NodeId> ready;
+  for (NodeId v : members) {
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.back();
+    ready.pop_back();
+    topo_.push_back(v);
+    for (BranchId b : g.out_branches(v)) {
+      const NodeId s = g.branch(b).sink;
+      if (in_cluster_[s] && is_comb_gate(g, s) && pending[s] > 0 && --pending[s] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+  if (topo_.size() != members.size()) {
+    throw std::runtime_error("ConeSimulator: cluster has a combinational cycle");
+  }
+}
+
+std::vector<std::uint64_t> ConeSimulator::eval(std::span<const std::uint64_t> input_values,
+                                               const Fault* fault) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("ConeSimulator::eval: expected " +
+                                std::to_string(inputs_.size()) + " input values");
+  }
+  const CircuitGraph& g = *graph_;
+  const Netlist& nl = g.netlist();
+
+  std::vector<std::uint64_t> value(g.num_nodes(), 0);
+  auto net_value = [&](NodeId d) -> std::uint64_t {
+    const std::int32_t slot = input_slot_[d];
+    return slot >= 0 ? input_values[static_cast<std::size_t>(slot)] : value[d];
+  };
+
+  std::vector<std::uint64_t> fanin_vals;
+  for (NodeId v : topo_) {
+    const Gate& gate = nl.gate(v);
+    fanin_vals.clear();
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      std::uint64_t fv = net_value(gate.fanins[pin]);
+      if (fault && fault->gate == v && fault->site == Fault::Site::kInputPin &&
+          fault->pin == pin) {
+        fv = fault->stuck_value ? ~std::uint64_t{0} : 0;
+      }
+      fanin_vals.push_back(fv);
+    }
+    std::uint64_t out = eval_gate_u64(gate.type, fanin_vals);
+    if (fault && fault->gate == v && fault->site == Fault::Site::kOutput) {
+      out = fault->stuck_value ? ~std::uint64_t{0} : 0;
+    }
+    value[v] = out;
+  }
+
+  std::vector<std::uint64_t> observed;
+  observed.reserve(outputs_.size());
+  for (NetId net : outputs_) observed.push_back(net_value(g.driver(net)));
+  return observed;
+}
+
+std::vector<Fault> ConeSimulator::cluster_faults() const {
+  const Netlist& nl = graph_->netlist();
+  std::vector<Fault> faults;
+  for (NodeId v : topo_) {
+    const Gate& gate = nl.gate(v);
+    for (bool sv : {false, true}) faults.push_back(Fault{v, Fault::Site::kOutput, 0, sv});
+    for (std::uint16_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      if (nl.fanouts(gate.fanins[pin]).size() > 1) {
+        for (bool sv : {false, true}) {
+          faults.push_back(Fault{v, Fault::Site::kInputPin, pin, sv});
+        }
+      }
+    }
+  }
+  return collapse_faults(nl, std::move(faults));
+}
+
+CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_inputs) {
+  const std::size_t n = cone.cut_inputs().size();
+  if (n > max_inputs) {
+    throw std::invalid_argument("exhaustive_coverage: CUT has " + std::to_string(n) +
+                                " inputs, cap is " + std::to_string(max_inputs));
+  }
+  const std::uint64_t patterns = n >= 6 ? (std::uint64_t{1} << n) : 64;
+  const std::uint64_t batches = std::max<std::uint64_t>(1, patterns >> 6);
+
+  const std::vector<Fault> faults = cone.cluster_faults();
+  CoverageResult result;
+  result.total_faults = faults.size();
+  std::vector<bool> detected(faults.size(), false);
+
+  std::vector<std::uint64_t> inputs(n, 0);
+  for (std::uint64_t batch = 0; batch < batches; ++batch) {
+    // Lane l of batch b carries pattern index b*64 + l; input bit i of
+    // pattern p is bit i of p.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t word = 0;
+      for (std::uint64_t lane = 0; lane < 64; ++lane) {
+        const std::uint64_t p = batch * 64 + lane;
+        if ((p >> i) & 1) word |= std::uint64_t{1} << lane;
+      }
+      inputs[i] = word;
+    }
+    const std::vector<std::uint64_t> good = cone.eval(inputs);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) continue;
+      const std::vector<std::uint64_t> bad = cone.eval(inputs, &faults[fi]);
+      for (std::size_t o = 0; o < good.size(); ++o) {
+        if (good[o] != bad[o]) {
+          detected[fi] = true;
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) {
+      ++result.detected;
+    } else {
+      result.undetected.push_back(faults[fi]);
+    }
+  }
+  return result;
+}
+
+}  // namespace merced

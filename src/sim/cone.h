@@ -1,0 +1,69 @@
+// Combinational cone evaluation for one cluster (CUT) — the object PPET
+// tests exhaustively.
+//
+// A cluster's combinational CUT has ι input nets (PIs, DFF outputs, cut
+// nets — exactly partition/clustering.h's input_nets) and a set of observed
+// output nets (nets leaving the cluster into a register D pin, another
+// cluster, or a primary output — i.e. nets a PSA-mode CBIT captures).
+// Pseudo-exhaustive testing applies all 2^ι patterns to the inputs and
+// watches the outputs; this file provides the 64-pattern-parallel evaluator
+// and the coverage measurement backing the paper's fault-coverage claim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+#include "partition/clustering.h"
+#include "sim/fault.h"
+
+namespace merced {
+
+class ConeSimulator {
+ public:
+  ConeSimulator(const CircuitGraph& graph, const Clustering& clustering,
+                std::size_t cluster_index);
+
+  /// Input nets of the CUT, sorted ascending; ι = size().
+  std::span<const NetId> cut_inputs() const noexcept { return inputs_; }
+
+  /// Observed output nets (driven by cluster gates, captured by a CBIT).
+  std::span<const NetId> observed_outputs() const noexcept { return outputs_; }
+
+  /// Combinational gates of the cluster in evaluation order.
+  std::span<const NodeId> gates() const noexcept { return topo_; }
+
+  /// Evaluates the cone on 64 parallel patterns. `input_values` follows
+  /// cut_inputs() order. Returns observed_outputs() values. If `fault` is
+  /// non-null it must sit on a cluster gate and is injected on all lanes.
+  std::vector<std::uint64_t> eval(std::span<const std::uint64_t> input_values,
+                                  const Fault* fault = nullptr) const;
+
+  /// Single-stuck-at fault universe of the cluster's gates (collapsed).
+  std::vector<Fault> cluster_faults() const;
+
+ private:
+  const CircuitGraph* graph_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<NodeId> topo_;              ///< cluster comb gates, topo order
+  std::vector<std::int32_t> input_slot_;  ///< per node: index into inputs_, or -1
+  std::vector<bool> in_cluster_;
+};
+
+/// Pseudo-exhaustive coverage: applies all 2^ι patterns and reports how many
+/// faults produce an observable difference. ι is capped (default 22) to
+/// bound runtime; larger CUTs throw.
+struct CoverageResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  double coverage() const {
+    return total_faults == 0 ? 1.0 : static_cast<double>(detected) / total_faults;
+  }
+  std::vector<Fault> undetected;  ///< combinationally redundant faults
+};
+
+CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_inputs = 22);
+
+}  // namespace merced

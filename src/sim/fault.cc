@@ -1,0 +1,63 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace merced {
+
+std::ostream& operator<<(std::ostream& os, const Fault& f) {
+  os << "gate#" << f.gate;
+  if (f.site == Fault::Site::kInputPin) os << ".pin" << f.pin;
+  return os << "/s-a-" << (f.stuck_value ? 1 : 0);
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    for (bool v : {false, true}) {
+      faults.push_back(Fault{id, Fault::Site::kOutput, 0, v});
+    }
+    if (is_combinational(g.type) || is_sequential(g.type)) {
+      // Input-pin faults only matter on fanout branches: if the driver has a
+      // single sink, the pin fault is equivalent to the driver's stem fault.
+      for (std::uint16_t pin = 0; pin < g.fanins.size(); ++pin) {
+        if (nl.fanouts(g.fanins[pin]).size() > 1) {
+          for (bool v : {false, true}) {
+            faults.push_back(Fault{id, Fault::Site::kInputPin, pin, v});
+          }
+        }
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& nl, std::vector<Fault> faults) {
+  // A fault on the controlled input value of AND/NAND/OR/NOR is equivalent
+  // to the corresponding output fault; NOT/BUF input faults are equivalent
+  // to output faults. Remove the input-side member of each class.
+  auto controlled_value = [](GateType t, bool& v) {
+    switch (t) {
+      case GateType::kAnd:
+      case GateType::kNand: v = false; return true;  // input s-a-0 ≡ output fault
+      case GateType::kOr:
+      case GateType::kNor: v = true; return true;    // input s-a-1 ≡ output fault
+      default: return false;
+    }
+  };
+  std::vector<Fault> kept;
+  kept.reserve(faults.size());
+  for (const Fault& f : faults) {
+    if (f.site == Fault::Site::kInputPin) {
+      const GateType t = nl.gate(f.gate).type;
+      bool cv = false;
+      if (controlled_value(t, cv) && f.stuck_value == cv) continue;
+      if (t == GateType::kNot || t == GateType::kBuf || t == GateType::kDff) continue;
+    }
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+}  // namespace merced

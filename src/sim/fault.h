@@ -1,0 +1,40 @@
+// Single stuck-at fault model.
+//
+// Faults live on gate output stems and on gate input pins (branches), the
+// classic structural fault universe. Equivalent-fault collapsing implements
+// the standard dominance-free rules for simple gates (e.g. any input s-a-0
+// of an AND is equivalent to the output s-a-0).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+struct Fault {
+  enum class Site : std::uint8_t { kOutput, kInputPin };
+  GateId gate = kNoGate;   ///< faulty gate
+  Site site = Site::kOutput;
+  std::uint16_t pin = 0;   ///< fanin pin index when site == kInputPin
+  bool stuck_value = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fault& f);
+
+/// Full single-stuck-at fault universe of `netlist`: two faults per gate
+/// output stem (combinational gates, DFF outputs and PIs) and two per gate
+/// input pin of multi-fanout nets.
+std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// Structural equivalence collapsing: for an n-input AND/NAND/OR/NOR gate
+/// the controlled-value input faults collapse onto the output fault;
+/// NOT/BUF input faults collapse onto output faults. Returns a reduced list
+/// that still detects the same fault set.
+std::vector<Fault> collapse_faults(const Netlist& netlist, std::vector<Fault> faults);
+
+}  // namespace merced

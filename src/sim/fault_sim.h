@@ -1,0 +1,31 @@
+// Sequential stuck-at fault simulation, parallel across faults.
+//
+// Classic parallel-fault simulation: each 64-bit lane simulates one machine
+// — lane 0 is the fault-free circuit, lanes 1..63 carry one fault each. A
+// fault is detected the first cycle its lane's primary outputs differ from
+// lane 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/fault.h"
+
+namespace merced {
+
+struct FaultSimResult {
+  std::vector<bool> detected;        ///< per fault (input order)
+  std::size_t num_detected = 0;
+  std::vector<std::uint32_t> detect_cycle;  ///< first detecting cycle, or UINT32_MAX
+};
+
+/// Simulates `faults` against `input_stream` (one vector per cycle, each of
+/// netlist().inputs() size). All machines start from `initial_state`
+/// (netlist().dffs() order).
+FaultSimResult simulate_faults(const Netlist& netlist, std::span<const Fault> faults,
+                               std::span<const std::vector<bool>> input_stream,
+                               const std::vector<bool>& initial_state);
+
+}  // namespace merced

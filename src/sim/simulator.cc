@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace merced {
+
+template <typename Word>
+BasicSimulator<Word>::BasicSimulator(const Netlist& netlist) : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("Simulator: netlist must be finalized");
+  }
+  values_.assign(netlist.size(), Word{});
+  state_.assign(netlist.dffs().size(), Word{});
+}
+
+template <typename Word>
+void BasicSimulator<Word>::set_state(InputView dff_values) {
+  if (dff_values.size() != state_.size()) {
+    throw std::invalid_argument("Simulator::set_state: size mismatch");
+  }
+  std::copy(dff_values.begin(), dff_values.end(), state_.begin());
+}
+
+template <typename Word>
+std::vector<Word> BasicSimulator<Word>::state() const {
+  return state_;
+}
+
+template <typename Word>
+void BasicSimulator<Word>::step(InputView inputs) {
+  const Netlist& nl = *netlist_;
+  if (inputs.size() != nl.inputs().size()) {
+    throw std::invalid_argument("Simulator::step: input count mismatch");
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) values_[nl.inputs()[i]] = inputs[i];
+  for (std::size_t i = 0; i < state_.size(); ++i) values_[nl.dffs()[i]] = state_[i];
+
+  std::vector<Word> scratch;
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (!is_combinational(g.type) && g.type != GateType::kConst0 &&
+        g.type != GateType::kConst1) {
+      continue;  // inputs and DFF states already loaded
+    }
+    scratch.clear();
+    for (GateId f : g.fanins) scratch.push_back(values_[f]);
+    if constexpr (std::is_same_v<Word, bool>) {
+      std::vector<bool> b(scratch.begin(), scratch.end());
+      values_[id] = eval_gate(g.type, b);
+    } else {
+      values_[id] = eval_gate_u64(g.type, scratch);
+    }
+  }
+
+  // Clock the registers.
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = values_[nl.gate(nl.dffs()[i]).fanins.at(0)];
+  }
+}
+
+template <typename Word>
+std::vector<Word> BasicSimulator<Word>::output_values() const {
+  std::vector<Word> out;
+  out.reserve(netlist_->outputs().size());
+  for (GateId id : netlist_->outputs()) out.push_back(values_[id]);
+  return out;
+}
+
+template class BasicSimulator<bool>;
+template class BasicSimulator<std::uint64_t>;
+
+}  // namespace merced

@@ -1,0 +1,58 @@
+// Cycle-accurate two-valued logic simulation of a finalized Netlist.
+//
+// Semantics: step(t) evaluates all combinational logic from the current
+// register state and the cycle-t primary inputs, then clocks every DFF with
+// the value on its D net. Bit-parallel variants run 64 independent pattern
+// streams per call (each std::uint64_t lane is one stream).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace merced {
+
+template <typename Word>
+class BasicSimulator {
+ public:
+  /// std::vector<bool> is bit-packed, so the bool instantiation takes
+  /// vector views instead of spans.
+  using InputView = std::conditional_t<std::is_same_v<Word, bool>,
+                                       const std::vector<bool>&, std::span<const Word>>;
+
+  explicit BasicSimulator(const Netlist& netlist);
+
+  const Netlist& netlist() const noexcept { return *netlist_; }
+
+  /// Sets register state, one value per DFF in netlist().dffs() order.
+  void set_state(InputView dff_values);
+
+  /// Current register state in netlist().dffs() order.
+  std::vector<Word> state() const;
+
+  /// Runs one clock cycle. `inputs` follow netlist().inputs() order.
+  void step(InputView inputs);
+
+  /// Value of a net after the latest step() (combinational value for gates,
+  /// the *pre-clock* state for DFFs, the applied value for inputs).
+  Word value(GateId id) const { return values_.at(id); }
+
+  /// Values of the primary outputs after the latest step().
+  std::vector<Word> output_values() const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Word> values_;  ///< per gate, combinational snapshot of the last cycle
+  std::vector<Word> state_;   ///< per DFF (dffs() order)
+};
+
+using Simulator = BasicSimulator<bool>;
+using Simulator64 = BasicSimulator<std::uint64_t>;
+
+extern template class BasicSimulator<bool>;
+extern template class BasicSimulator<std::uint64_t>;
+
+}  // namespace merced

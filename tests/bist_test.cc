@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "bist/cbit.h"
+#include "bist/cbit_area.h"
+#include "bist/lfsr.h"
+#include "bist/misr.h"
+#include "bist/polynomials.h"
+
+namespace merced {
+namespace {
+
+// ----------------------------------------------------------- polynomials ---
+
+TEST(PolynomialTest, AllDegreesAvailable) {
+  for (unsigned d = kMinLfsrDegree; d <= kMaxLfsrDegree; ++d) {
+    const auto taps = primitive_taps(d);
+    ASSERT_FALSE(taps.empty());
+    EXPECT_EQ(taps[0], d) << "leading tap must equal the degree";
+    for (std::size_t i = 1; i < taps.size(); ++i) {
+      EXPECT_LT(taps[i], taps[i - 1]) << "taps must be strictly descending";
+      EXPECT_GE(taps[i], 1u);
+    }
+    EXPECT_EQ(feedback_xor_count(d), taps.size() - 1);
+  }
+  EXPECT_THROW(primitive_taps(1), std::invalid_argument);
+  EXPECT_THROW(primitive_taps(33), std::invalid_argument);
+}
+
+TEST(PolynomialTest, MaskMatchesTaps) {
+  for (unsigned d : {4u, 8u, 16u, 24u, 32u}) {
+    const std::uint64_t mask = primitive_tap_mask(d);
+    for (std::uint8_t t : primitive_taps(d)) {
+      EXPECT_TRUE(mask & (std::uint64_t{1} << (t - 1)));
+    }
+    EXPECT_EQ(static_cast<std::size_t>(std::popcount(mask)), primitive_taps(d).size());
+  }
+}
+
+// ------------------------------------------------------------------ LFSR ---
+
+// Primitivity: an n-bit maximal-length LFSR visits all 2^n - 1 nonzero
+// states. Checked exhaustively for every degree up to 16.
+class LfsrPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriod, MaximalLengthWithoutZeroSplice) {
+  const unsigned n = GetParam();
+  Lfsr lfsr(n, /*complete_cycle=*/false, 1);
+  const std::uint64_t expect = (std::uint64_t{1} << n) - 1;
+  std::uint64_t count = 0;
+  do {
+    lfsr.step();
+    ++count;
+  } while (lfsr.state() != 1 && count <= expect);
+  EXPECT_EQ(count, expect);
+  EXPECT_EQ(lfsr.period(), expect);
+}
+
+TEST_P(LfsrPeriod, CompleteCycleVisitsAllStates) {
+  const unsigned n = GetParam();
+  Lfsr lfsr(n, /*complete_cycle=*/true, 0);
+  const std::uint64_t period = std::uint64_t{1} << n;
+  std::vector<bool> seen(period, false);
+  for (std::uint64_t i = 0; i < period; ++i) {
+    EXPECT_FALSE(seen[lfsr.state()]) << "state repeated before full period";
+    seen[lfsr.state()] = true;
+    lfsr.step();
+  }
+  EXPECT_EQ(lfsr.state(), 0u) << "must return to the start state";
+  for (std::uint64_t s = 0; s < period; ++s) EXPECT_TRUE(seen[s]) << "state " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees2To16, LfsrPeriod,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u,
+                                           12u, 13u, 14u, 15u, 16u));
+
+TEST(LfsrTest, LargeDegreesDoNotShortCycle) {
+  // Full enumeration of 2^24+ is too slow; check no repeat in a window.
+  for (unsigned n : {20u, 24u, 32u}) {
+    Lfsr lfsr(n, true, 1);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100000; ++i) {
+      ASSERT_TRUE(seen.insert(lfsr.state()).second)
+          << "degree " << n << " repeated after " << i;
+      lfsr.step();
+    }
+  }
+}
+
+TEST(LfsrTest, ZeroStateRejectedWithoutSplice) {
+  EXPECT_THROW(Lfsr(8, false, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ MISR ---
+
+TEST(MisrTest, DifferentStreamsGiveDifferentSignatures) {
+  Misr a(16), b(16);
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    a.step(t * 0x9e37 % 65536);
+    b.step(t * 0x9e37 % 65536);
+  }
+  EXPECT_EQ(a.signature(), b.signature());
+  // One corrupted word in the middle changes the signature.
+  Misr c(16);
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    c.step((t == 50 ? 1 : 0) ^ (t * 0x9e37 % 65536));
+  }
+  EXPECT_NE(a.signature(), c.signature());
+}
+
+TEST(MisrTest, SingleBitErrorAlwaysDetected) {
+  // A single-bit corruption can never alias (the MISR is linear and one
+  // injected error term cannot cancel itself).
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    for (unsigned when = 0; when < 20; ++when) {
+      Misr good(8), bad(8);
+      for (unsigned t = 0; t < 20; ++t) {
+        const std::uint64_t word = (t * 37 + 11) % 256;
+        good.step(word);
+        bad.step(t == when ? word ^ (1u << bit) : word);
+      }
+      EXPECT_NE(good.signature(), bad.signature())
+          << "bit " << bit << " at cycle " << when;
+    }
+  }
+}
+
+TEST(MisrTest, LinearityOverGf2) {
+  // signature(a xor b) xor signature(a) xor signature(b) == signature(0...0)
+  std::vector<std::uint64_t> sa(32), sb(32);
+  std::mt19937_64 rng(5);
+  for (auto& v : sa) v = rng() & 0xffff;
+  for (auto& v : sb) v = rng() & 0xffff;
+  Misr m_a(16), m_b(16), m_ab(16), m_zero(16);
+  for (std::size_t t = 0; t < sa.size(); ++t) {
+    m_a.step(sa[t]);
+    m_b.step(sb[t]);
+    m_ab.step(sa[t] ^ sb[t]);
+    m_zero.step(0);
+  }
+  EXPECT_EQ(m_ab.signature() ^ m_a.signature() ^ m_b.signature(),
+            m_zero.signature());
+}
+
+// ------------------------------------------------------------------ CBIT ---
+
+TEST(CbitTest, NormalModeIsTransparent) {
+  Cbit c(8);
+  c.set_mode(CbitMode::kNormal);
+  EXPECT_EQ(c.step(0xA5), 0xA5u);
+  EXPECT_EQ(c.state(), 0xA5u);
+}
+
+TEST(CbitTest, TpgModeIsExhaustive) {
+  // In TPG mode the CBIT ignores data and sweeps all 2^n patterns.
+  Cbit c(8);
+  c.set_mode(CbitMode::kTpg);
+  c.set_state(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    seen.insert(c.state());
+    c.step(/*parallel_in=*/0xFF);  // data must be ignored
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(c.state(), 0u);  // full cycle returns to start
+  EXPECT_EQ(c.tpg_cycles(), 256u);
+}
+
+TEST(CbitTest, PsaModeMatchesMisr) {
+  Cbit c(12);
+  c.set_mode(CbitMode::kPsa);
+  Misr m(12);
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    const std::uint64_t word = (t * 131) & 0xFFF;
+    c.step(word);
+    m.step(word);
+  }
+  EXPECT_EQ(c.state(), m.signature());
+}
+
+TEST(CbitTest, ScanShiftsSerially) {
+  Cbit c(4);
+  c.set_mode(CbitMode::kScan);
+  c.set_state(0);
+  // Shift in 1,0,1,1 -> state 1011 (first bit ends up at the MSB side).
+  c.step(0, true);
+  c.step(0, false);
+  c.step(0, true);
+  c.step(0, true);
+  EXPECT_EQ(c.state(), 0b1011u);
+  EXPECT_EQ(c.scan_out(), true);
+}
+
+TEST(CbitTest, ScanRoundTrip) {
+  // Scanning out n bits while scanning in a new value implements the
+  // signature read-out / re-initialization chain of PPET.
+  Cbit c(6);
+  c.set_mode(CbitMode::kScan);
+  c.set_state(0b101101);
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 6; ++i) {
+    out = (out << 1) | (c.scan_out() ? 1 : 0);
+    c.step(0, false);
+  }
+  EXPECT_EQ(out, 0b101101u);
+}
+
+TEST(CbitTest, DualModeChaining) {
+  // The PSA-side CBIT of CUT_i can switch to TPG for CUT_{i+1}: same
+  // hardware, different mode — the core PPET enabler.
+  Cbit c(8);
+  c.set_mode(CbitMode::kPsa);
+  for (std::uint64_t t = 0; t < 32; ++t) c.step(t & 0xFF);
+  const std::uint64_t signature = c.state();
+  c.set_mode(CbitMode::kTpg);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    seen.insert(c.state());
+    c.step(0);
+  }
+  EXPECT_EQ(seen.size(), 256u);        // exhaustive regardless of seed
+  EXPECT_TRUE(seen.contains(signature));
+  EXPECT_THROW(Cbit(64), std::invalid_argument);
+}
+
+TEST(CbitTest, PipeTestingTimeDominatedByWidest) {
+  // Figure 1(b): T = 2^max-width.
+  EXPECT_EQ(pipe_testing_time(16), 65536u);
+  EXPECT_EQ(pipe_testing_time(24), std::uint64_t{1} << 24);
+}
+
+// ------------------------------------------------------------------ area ---
+
+TEST(CbitAreaTest, PublishedTableCarriedVerbatim) {
+  ASSERT_EQ(published_cbit_areas().size(), 6u);
+  EXPECT_DOUBLE_EQ(published_cbit_areas()[0].area_per_dff, 8.14);
+  EXPECT_DOUBLE_EQ(published_cbit_areas()[5].area_per_dff, 63.12);
+  EXPECT_EQ(published_area_per_dff(16).value(), 32.21);
+  EXPECT_FALSE(published_area_per_dff(10).has_value());
+}
+
+TEST(CbitAreaTest, ModelWithinTwoPercentOfPublished) {
+  for (const CbitAreaRow& row : published_cbit_areas()) {
+    const double modeled = modeled_area_per_dff(row.length);
+    EXPECT_NEAR(modeled, row.area_per_dff, 0.02 * row.area_per_dff)
+        << "length " << row.length;
+  }
+}
+
+TEST(CbitAreaTest, PerBitCostDecreasesWithLength) {
+  // Table 1 column 4 / Figure 4: sigma_k falls as l_k grows (for the
+  // standard lengths beyond the pentanomial hump at l=8).
+  const auto rows = published_cbit_areas();
+  EXPECT_LT(rows[5].area_per_bit, rows[1].area_per_bit);
+  EXPECT_LT(modeled_area_per_dff(32) / 32, modeled_area_per_dff(4) / 4);
+}
+
+TEST(CbitAreaTest, TestingTimeGrowsExponentially) {
+  EXPECT_EQ(testing_time_cycles(4), 16u);
+  EXPECT_EQ(testing_time_cycles(24), std::uint64_t{1} << 24);
+}
+
+TEST(CbitAreaTest, CutCellCosts) {
+  EXPECT_DOUBLE_EQ(cut_cell_area_per_dff(true), 0.9);
+  EXPECT_DOUBLE_EQ(cut_cell_area_per_dff(false), 2.3);
+}
+
+TEST(CbitAreaTest, SmallestStandardLength) {
+  EXPECT_EQ(smallest_standard_length(1).value(), 4u);
+  EXPECT_EQ(smallest_standard_length(4).value(), 4u);
+  EXPECT_EQ(smallest_standard_length(5).value(), 8u);
+  EXPECT_EQ(smallest_standard_length(17).value(), 24u);
+  EXPECT_EQ(smallest_standard_length(32).value(), 32u);
+  EXPECT_FALSE(smallest_standard_length(33).has_value());
+}
+
+}  // namespace
+}  // namespace merced

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/generator.h"
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "netlist/stats.h"
+#include "sim/simulator.h"
+
+namespace merced {
+namespace {
+
+TEST(RegistryTest, SuiteHasAllTable9Circuits) {
+  const auto suite = benchmark_suite();
+  EXPECT_EQ(suite.size(), 18u);  // s27 + 17 Table 9 rows
+  EXPECT_TRUE(find_benchmark("s27") != nullptr);
+  EXPECT_TRUE(find_benchmark("s38584.1") != nullptr);
+  EXPECT_TRUE(find_benchmark("s420.1") != nullptr);
+  EXPECT_EQ(find_benchmark("nope"), nullptr);
+  EXPECT_THROW(load_benchmark("nope"), std::invalid_argument);
+}
+
+TEST(RegistryTest, S27IsEmbeddedExact) {
+  const BenchmarkEntry* e = find_benchmark("s27");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->embedded);
+  const Netlist nl = load_benchmark("s27");
+  EXPECT_EQ(nl.size(), make_s27().size());
+}
+
+TEST(RegistryTest, LoadingIsDeterministic) {
+  const Netlist a = load_benchmark("s641");
+  const Netlist b = load_benchmark("s641");
+  ASSERT_EQ(a.size(), b.size());
+  for (GateId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gate(i).type, b.gate(i).type);
+    EXPECT_EQ(a.gate(i).fanins, b.gate(i).fanins);
+  }
+}
+
+// Parameterized: every generated circuit matches its published Table 9 row.
+class SuiteStats : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteStats, MatchesPublishedRow) {
+  const BenchmarkEntry& e = benchmark_suite()[GetParam()];
+  if (e.embedded) GTEST_SKIP() << "embedded circuit has no synthetic spec";
+  const Netlist nl = load_benchmark(e.spec.name);
+  const CircuitStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_inputs, e.spec.num_pis);
+  EXPECT_EQ(s.num_dffs, e.spec.num_dffs);
+  EXPECT_EQ(s.num_gates, e.spec.num_gates);
+  EXPECT_EQ(s.num_invs, e.spec.num_invs);
+  // Area within 2% (structural wiring may overflow the plan by a few pins).
+  const double err = std::abs(static_cast<double>(s.estimated_area) -
+                              static_cast<double>(e.spec.target_area)) /
+                     static_cast<double>(e.spec.target_area);
+  EXPECT_LT(err, 0.02) << s.estimated_area << " vs " << e.spec.target_area;
+}
+
+TEST_P(SuiteStats, StructurallySound) {
+  const BenchmarkEntry& e = benchmark_suite()[GetParam()];
+  const Netlist nl = load_benchmark(e.spec.name);
+  EXPECT_TRUE(nl.finalized());  // implies acyclic combinational logic
+  EXPECT_FALSE(nl.outputs().empty());
+  // Every PO is on a combinational gate or PI (apply_retiming requirement).
+  for (GateId id : nl.outputs()) {
+    EXPECT_FALSE(is_sequential(nl.gate(id).type));
+  }
+  // Every DFF has exactly one fanin and it is a gate (no pure DFF rings).
+  for (GateId id : nl.dffs()) {
+    ASSERT_EQ(nl.gate(id).fanins.size(), 1u);
+    EXPECT_FALSE(is_sequential(nl.gate(nl.gate(id).fanins[0]).type));
+  }
+}
+
+TEST_P(SuiteStats, IsSimulatable) {
+  const BenchmarkEntry& e = benchmark_suite()[GetParam()];
+  const Netlist nl = load_benchmark(e.spec.name);
+  if (nl.size() > 10000) GTEST_SKIP() << "keep unit tests fast";
+  Simulator sim(nl);
+  sim.set_state(std::vector<bool>(nl.dffs().size(), false));
+  std::vector<bool> in(nl.inputs().size(), true);
+  for (int c = 0; c < 3; ++c) sim.step(in);
+  EXPECT_EQ(sim.output_values().size(), nl.outputs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, SuiteStats,
+                         ::testing::Range<std::size_t>(0, 18),
+                         [](const auto& info) {
+                           std::string n(benchmark_suite()[info.param].spec.name);
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(GeneratorTest, SccDffFractionIsRespected) {
+  for (const char* name : {"s641", "s5378", "s13207"}) {
+    const BenchmarkEntry* e = find_benchmark(name);
+    ASSERT_NE(e, nullptr);
+    const Netlist nl = load_benchmark(name);
+    const CircuitGraph g(nl);
+    const SccInfo sccs = find_sccs(g);
+    const double measured = static_cast<double>(sccs.total_dffs_on_scc()) /
+                            static_cast<double>(nl.dffs().size());
+    // Within 15% relative: opportunistic feedback through pipeline DFFs can
+    // push the measured fraction slightly above the spec.
+    EXPECT_NEAR(measured, e->spec.scc_dff_fraction,
+                0.15 * e->spec.scc_dff_fraction + 0.02)
+        << name;
+  }
+}
+
+TEST(GeneratorTest, SccGateCoverageMaterializes) {
+  const Netlist nl = load_benchmark("s1423");
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  std::size_t members = 0;
+  for (const auto& c : sccs.components) members += c.size();
+  // Spec default coverage is 0.4 of cells; allow a broad band.
+  EXPECT_GT(members, g.num_nodes() / 5);
+}
+
+TEST(GeneratorTest, DistinctSeedsGiveDistinctCircuits) {
+  SyntheticSpec spec;
+  spec.name = "x";
+  spec.num_pis = 8;
+  spec.num_dffs = 12;
+  spec.num_gates = 120;
+  spec.num_invs = 40;
+  spec.target_area = 520;
+  spec.scc_dff_fraction = 0.8;
+  spec.seed = 1;
+  const Netlist a = generate_circuit(spec);
+  spec.seed = 2;
+  const Netlist b = generate_circuit(spec);
+  bool differ = a.size() != b.size();
+  for (GateId i = 0; !differ && i < a.size(); ++i) {
+    differ = a.gate(i).type != b.gate(i).type || a.gate(i).fanins != b.gate(i).fanins;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, RejectsDegenerateSpecs) {
+  SyntheticSpec spec;
+  spec.name = "bad";
+  spec.num_pis = 0;
+  spec.num_gates = 10;
+  EXPECT_THROW(generate_circuit(spec), std::invalid_argument);
+  spec.num_pis = 2;
+  spec.num_gates = 0;
+  EXPECT_THROW(generate_circuit(spec), std::invalid_argument);
+}
+
+TEST(GeneratorTest, TinySpecWorks) {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.num_pis = 2;
+  spec.num_dffs = 1;
+  spec.num_gates = 4;
+  spec.num_invs = 1;
+  spec.target_area = 25;
+  spec.scc_dff_fraction = 1.0;
+  const Netlist nl = generate_circuit(spec);
+  EXPECT_EQ(compute_stats(nl).num_gates, 4u);
+  const CircuitGraph g(nl);
+  EXPECT_GE(find_sccs(g).count(), 0u);
+}
+
+}  // namespace
+}  // namespace merced

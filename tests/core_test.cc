@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "core/area_report.h"
+#include "core/merced.h"
+#include "core/paper_data.h"
+#include "core/table_printer.h"
+#include "netlist/area_model.h"
+
+namespace merced {
+namespace {
+
+// ------------------------------------------------------------ area report ---
+
+TEST(AreaReportTest, CbitAreaFormulas) {
+  AreaReport r;
+  r.circuit_area = 1000;
+  r.retimable_cuts = 10;
+  r.multiplexed_cuts = 5;
+  EXPECT_EQ(r.cbit_area_with_retiming(), 10 * 9 + 5 * 23);
+  EXPECT_EQ(r.cbit_area_without_retiming(), 15 * 23);
+  EXPECT_GT(r.pct_without_retiming(), r.pct_with_retiming());
+  EXPECT_GT(r.saving_points(), 0.0);
+  EXPECT_GT(r.saving_relative(), 0.0);
+}
+
+TEST(AreaReportTest, ZeroCutsMeanZeroArea) {
+  AreaReport r;
+  r.circuit_area = 500;
+  EXPECT_EQ(r.cbit_area_with_retiming(), 0);
+  EXPECT_DOUBLE_EQ(r.pct_with_retiming(), 0.0);
+  EXPECT_DOUBLE_EQ(r.pct_without_retiming(), 0.0);
+  EXPECT_DOUBLE_EQ(r.saving_relative(), 0.0);
+}
+
+TEST(AreaReportTest, PercentageUsesTotalIncludingCbit) {
+  AreaReport r;
+  r.circuit_area = 77;
+  r.retimable_cuts = 0;
+  r.multiplexed_cuts = 1;  // 23 units
+  EXPECT_NEAR(r.pct_without_retiming(), 100.0 * 23 / (77 + 23), 1e-9);
+}
+
+TEST(CbitCostTest, PicksSmallestStandardLength) {
+  const CbitAssignmentCost c = assign_cbit_cost({3, 4, 9, 17, 30});
+  EXPECT_EQ(c.total_cbits, 5u);
+  EXPECT_EQ(c.count_by_type[0], 2u);  // two d1 (<=4)
+  EXPECT_EQ(c.count_by_type[2], 1u);  // one d3 (<=12)
+  EXPECT_EQ(c.count_by_type[4], 1u);  // one d5 (<=24)
+  EXPECT_EQ(c.count_by_type[5], 1u);  // one d6 (<=32)
+  EXPECT_NEAR(c.total_area_dff, 8.14 * 2 + 24.48 + 47.66 + 63.12, 1e-9);
+}
+
+TEST(CbitCostTest, RegisterOnlyPartitionsNeedNoCbit) {
+  const CbitAssignmentCost c = assign_cbit_cost({0, 0, 4});
+  EXPECT_EQ(c.total_cbits, 1u);
+}
+
+// ------------------------------------------------------------- paper data ---
+
+TEST(PaperDataTest, TablesHaveExpectedShape) {
+  EXPECT_EQ(paper::table10_lk16().size(), 17u);
+  EXPECT_EQ(paper::table11_lk24().size(), 10u);
+  EXPECT_EQ(paper::table12().size(), 17u);
+  const auto s5378 = paper::table10_row("s5378");
+  ASSERT_TRUE(s5378.has_value());
+  EXPECT_EQ(s5378->nets_cut, 420u);
+  EXPECT_EQ(s5378->dffs_on_scc, 124u);
+  EXPECT_FALSE(paper::table11_row("s27").has_value());
+  const auto a = paper::table12_row("s641");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->with_retiming_16, 18.9);
+}
+
+TEST(PaperDataTest, Table11CircuitsCutFewerNetsThanTable10) {
+  // The published shape our benches must reproduce — with one anomaly the
+  // paper itself contains: s713 cuts *more* nets at l_k = 24 (38 vs 34).
+  for (const auto& row24 : paper::table11_lk24()) {
+    if (row24.name == "s713") continue;
+    const auto row16 = paper::table10_row(row24.name);
+    ASSERT_TRUE(row16.has_value());
+    EXPECT_LT(row24.nets_cut, row16->nets_cut) << row24.name;
+  }
+}
+
+TEST(PaperDataTest, RetimingAlwaysWinsInTable12) {
+  for (const auto& row : paper::table12()) {
+    EXPECT_LE(row.with_retiming_16, row.without_retiming_16) << row.name;
+    EXPECT_LE(row.with_retiming_24, row.without_retiming_24) << row.name;
+  }
+}
+
+// ---------------------------------------------------------------- compile ---
+
+TEST(CompileTest, S27EndToEnd) {
+  MercedConfig config;
+  config.lk = 3;
+  config.flow.seed = 27;
+  const Netlist nl = make_s27();
+  const MercedResult r = compile(nl, config);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.stats.name, "s27");
+  EXPECT_EQ(r.num_sccs, 2u);
+  EXPECT_EQ(r.dffs_on_scc, 3u);
+  // Paper Figure 7 finds 4 partitions for s27 at lk=3.
+  EXPECT_GE(r.partitions.count(), 3u);
+  EXPECT_LE(r.partitions.count(), 6u);
+  for (std::size_t iota : r.partition_inputs) EXPECT_LE(iota, 3u);
+  EXPECT_EQ(r.cut_net_ids.size(), r.cuts.nets_cut);
+  EXPECT_EQ(r.area.retimable_cuts + r.area.multiplexed_cuts, r.cuts.nets_cut);
+  EXPECT_EQ(r.area.exact_retimable_cuts + r.area.exact_multiplexed_cuts,
+            r.cuts.nets_cut);
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+TEST(CompileTest, PreparedCircuitReuseMatchesDirectCompile) {
+  const Netlist nl = load_benchmark("s510");
+  MercedConfig config;
+  config.lk = 16;
+  const PreparedCircuit prepared(nl, config.flow);
+  const MercedResult via_prepared = compile(prepared, config);
+  const MercedResult direct = compile(nl, config);
+  EXPECT_EQ(via_prepared.cuts.nets_cut, direct.cuts.nets_cut);
+  EXPECT_EQ(via_prepared.partitions.count(), direct.partitions.count());
+  EXPECT_EQ(via_prepared.area.retimable_cuts, direct.area.retimable_cuts);
+}
+
+TEST(CompileTest, RetimingNeverCostsMoreThanNoRetiming) {
+  for (const char* name : {"s27", "s510", "s641", "s820"}) {
+    MercedConfig config;
+    config.lk = 16;
+    const MercedResult r = compile(load_benchmark(name), config);
+    EXPECT_LE(r.area.cbit_area_with_retiming(), r.area.cbit_area_without_retiming())
+        << name;
+    EXPECT_LE(r.area.pct_with_retiming(), r.area.pct_without_retiming()) << name;
+  }
+}
+
+TEST(CompileTest, LargerLkCutsFewerNetsInAggregate) {
+  // Not strictly monotone per circuit (the paper's own s713 cuts 38 nets at
+  // l_k = 24 vs 34 at l_k = 16), but the aggregate trend must hold.
+  std::size_t total16 = 0, total24 = 0;
+  for (const char* name : {"s641", "s713", "s510", "s820", "s1423"}) {
+    const Netlist nl = load_benchmark(name);
+    MercedConfig config;
+    const PreparedCircuit prepared(nl, config.flow);
+    config.lk = 16;
+    total16 += compile(prepared, config).cuts.nets_cut;
+    config.lk = 24;
+    total24 += compile(prepared, config).cuts.nets_cut;
+  }
+  EXPECT_LT(total24, total16);
+}
+
+TEST(CompileTest, AggregateAccountingMatchesSccExcess) {
+  // Paper accounting: multiplexed = sum over SCCs of max(0, cuts - DFFs).
+  MercedConfig config;
+  config.lk = 16;
+  const Netlist nl = load_benchmark("s820");
+  const PreparedCircuit prepared(nl, config.flow);
+  const MercedResult r = compile(prepared, config);
+  std::size_t excess = 0;
+  for (std::size_t s = 0; s < prepared.sccs.count(); ++s) {
+    const std::size_t cuts = r.cuts.cuts_per_scc[s];
+    const std::size_t dffs = prepared.sccs.dff_count[s];
+    excess += cuts > dffs ? cuts - dffs : 0;
+  }
+  EXPECT_EQ(r.area.multiplexed_cuts, excess);
+}
+
+TEST(CompileTest, ReportPrints) {
+  MercedConfig config;
+  config.lk = 3;
+  const MercedResult r = compile(make_s27(), config);
+  std::ostringstream ss;
+  print_report(ss, r);
+  EXPECT_NE(ss.str().find("s27"), std::string::npos);
+  EXPECT_NE(ss.str().find("nets cut"), std::string::npos);
+}
+
+// ----------------------------------------------------------- table printer ---
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long header"});
+  t.add_row({"xxxxxx", "1"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| xxxxxx |"), std::string::npos);
+  EXPECT_NE(out.find("long header"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(std::size_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace merced

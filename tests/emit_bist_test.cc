@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "core/emit_bist.h"
+#include "core/merced.h"
+#include "graph/circuit_graph.h"
+#include "netlist/area_model.h"
+#include "netlist/bench_io.h"
+#include "sim/simulator.h"
+
+namespace merced {
+namespace {
+
+struct Emitted {
+  Netlist original;
+  CircuitGraph graph;
+  MercedResult compiled;
+  BistNetlist bist;
+
+  explicit Emitted(Netlist nl, std::size_t lk)
+      : original(std::move(nl)), graph(original), compiled([&] {
+          MercedConfig config;
+          config.lk = lk;
+          config.flow.seed = 27;
+          return compile(original, config);
+        }()),
+        bist(emit_bist_netlist(graph, compiled.partitions, compiled.cut_net_ids)) {}
+};
+
+TEST(EmitBistTest, StructureHasOneACellPerCut) {
+  Emitted e(make_s27(), 3);
+  EXPECT_EQ(e.bist.acell_registers.size(), e.compiled.cut_net_ids.size());
+  EXPECT_NE(e.bist.netlist.find(e.bist.test_mode_input), kNoGate);
+  EXPECT_NE(e.bist.netlist.find(e.bist.test_enable_input), kNoGate);
+  // Original gates all survive with their names.
+  for (GateId id = 0; id < e.original.size(); ++id) {
+    EXPECT_NE(e.bist.netlist.find(e.original.gate(id).name), kNoGate);
+  }
+}
+
+TEST(EmitBistTest, AreaMatchesWithoutRetimingModel) {
+  // Emitted area = original + 22 units per cut net (AND+XOR+NOR+DFF+MUX;
+  // the paper's 2.3-DFF figure includes one routing unit on top).
+  Emitted e(make_s27(), 3);
+  const AreaUnits original = circuit_area(e.original);
+  const AreaUnits emitted = circuit_area(e.bist.netlist);
+  EXPECT_EQ(emitted, original + static_cast<AreaUnits>(22 * e.compiled.cuts.nets_cut));
+}
+
+TEST(EmitBistTest, NormalModeIsCycleExactEquivalent) {
+  for (const char* name : {"s27", "s510"}) {
+    Emitted e(load_benchmark(name), name == std::string("s27") ? 3u : 16u);
+    ASSERT_GT(e.compiled.cuts.nets_cut, 0u) << name;
+
+    Simulator orig(e.original);
+    Simulator bist(e.bist.netlist);
+    orig.set_state(std::vector<bool>(e.original.dffs().size(), false));
+    bist.set_state(std::vector<bool>(e.bist.netlist.dffs().size(), false));
+
+    // Input order: the emitted netlist appends test_mode and test_en after
+    // the original PIs; hold both at 0 for normal operation.
+    std::mt19937_64 rng(11);
+    const std::size_t n_orig = e.original.inputs().size();
+    ASSERT_EQ(e.bist.netlist.inputs().size(), n_orig + 2);
+    for (int cycle = 0; cycle < 100; ++cycle) {
+      std::vector<bool> in(n_orig);
+      for (std::size_t i = 0; i < n_orig; ++i) in[i] = rng() & 1;
+      std::vector<bool> bist_in = in;
+      bist_in.push_back(false);  // test_mode = 0
+      bist_in.push_back(false);  // test_en = 0
+      orig.step(in);
+      bist.step(bist_in);
+      ASSERT_EQ(orig.output_values(), bist.output_values())
+          << name << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(EmitBistTest, TestModeChangesDataPaths) {
+  // With test_mode = 1 the MUXes select the A_CELL registers: the circuit
+  // must behave differently from normal mode for some input sequence.
+  Emitted e(make_s27(), 3);
+  ASSERT_GT(e.compiled.cuts.nets_cut, 0u);
+  Simulator normal(e.bist.netlist), test(e.bist.netlist);
+  normal.set_state(std::vector<bool>(e.bist.netlist.dffs().size(), false));
+  test.set_state(std::vector<bool>(e.bist.netlist.dffs().size(), false));
+  std::mt19937_64 rng(5);
+  bool diverged = false;
+  for (int cycle = 0; cycle < 50 && !diverged; ++cycle) {
+    std::vector<bool> in(e.original.inputs().size());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng() & 1;
+    std::vector<bool> normal_in = in, test_in = in;
+    normal_in.push_back(false);
+    normal_in.push_back(false);
+    test_in.push_back(true);   // test_mode = 1
+    test_in.push_back(true);   // test_en = 1
+    normal.step(normal_in);
+    test.step(test_in);
+    diverged = normal.output_values() != test.output_values();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(EmitBistTest, EmittedNetlistRoundTripsThroughBenchFormat) {
+  Emitted e(make_s27(), 3);
+  const std::string text = write_bench(e.bist.netlist);
+  const Netlist again = parse_bench(text, "round");
+  EXPECT_EQ(again.size(), e.bist.netlist.size());
+  EXPECT_EQ(again.dffs().size(), e.bist.netlist.dffs().size());
+}
+
+}  // namespace
+}  // namespace merced

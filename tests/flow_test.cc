@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "flow/saturate_network.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+
+namespace merced {
+namespace {
+
+SaturationResult run_s27(std::uint64_t seed = 1,
+                         SaturateParams::SourcePolicy sp =
+                             SaturateParams::SourcePolicy::kUnderVisited,
+                         SaturateParams::VisitPolicy vp =
+                             SaturateParams::VisitPolicy::kTreeNodes) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  SaturateParams p;
+  p.seed = seed;
+  p.source_policy = sp;
+  p.visit_policy = vp;
+  return saturate_network(g, p);
+}
+
+TEST(SaturateNetworkTest, EveryNodeReachesMinVisit) {
+  const SaturationResult r = run_s27();
+  for (std::uint32_t v : r.visit) EXPECT_GT(v, 20u);
+}
+
+TEST(SaturateNetworkTest, DistanceIsExpOfFlow) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  SaturateParams p;
+  const SaturationResult r = saturate_network(g, p);
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    if (r.flow[n] == 0.0) {
+      EXPECT_DOUBLE_EQ(r.distance[n], 1.0);  // initial d(e) = 1
+    } else {
+      EXPECT_NEAR(r.distance[n], std::exp(p.alpha * r.flow[n] / p.capacity), 1e-9);
+    }
+  }
+}
+
+TEST(SaturateNetworkTest, DeterministicInSeed) {
+  const SaturationResult a = run_s27(42);
+  const SaturationResult b = run_s27(42);
+  EXPECT_EQ(a.flow, b.flow);
+  EXPECT_EQ(a.iterations, b.iterations);
+  const SaturationResult c = run_s27(43);
+  EXPECT_NE(a.flow, c.flow);  // overwhelmingly likely
+}
+
+TEST(SaturateNetworkTest, SccNetsAbsorbMoreFlow) {
+  // Paper Fig. 5: nets in SCCs are the most congested. Compare the mean
+  // flow of nets driven inside SCCs vs outside (PI nets excluded).
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  const SaturationResult r = run_s27(7);
+  double scc_sum = 0, scc_n = 0, other_sum = 0, other_n = 0;
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    if (g.is_pi(g.driver(n)) || g.net_branches(n).empty()) continue;
+    if (sccs.component_of[g.driver(n)] != kNoScc) {
+      scc_sum += r.flow[n];
+      ++scc_n;
+    } else {
+      other_sum += r.flow[n];
+      ++other_n;
+    }
+  }
+  ASSERT_GT(scc_n, 0);
+  ASSERT_GT(other_n, 0);
+  EXPECT_GT(scc_sum / scc_n, other_sum / other_n);
+}
+
+TEST(SaturateNetworkTest, SourceOnlyPolicyCountsSources) {
+  const SaturationResult r =
+      run_s27(1, SaturateParams::SourcePolicy::kUnderVisited,
+              SaturateParams::VisitPolicy::kSourceOnly);
+  // With kSourceOnly every node must itself be picked > min_visit times.
+  std::uint64_t total_visits = 0;
+  for (std::uint32_t v : r.visit) {
+    EXPECT_GT(v, 20u);
+    total_visits += v;
+  }
+  EXPECT_EQ(total_visits, r.iterations);  // one visit per Dijkstra
+}
+
+TEST(SaturateNetworkTest, UniformPolicyTerminates) {
+  const SaturationResult r = run_s27(1, SaturateParams::SourcePolicy::kUniform,
+                                     SaturateParams::VisitPolicy::kTreeNodes);
+  for (std::uint32_t v : r.visit) EXPECT_GT(v, 20u);
+}
+
+TEST(SaturateNetworkTest, ParameterValidation) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  SaturateParams p;
+  p.capacity = 0;
+  EXPECT_THROW(saturate_network(g, p), std::invalid_argument);
+  p = SaturateParams{};
+  p.delta = -0.1;
+  EXPECT_THROW(saturate_network(g, p), std::invalid_argument);
+  p = SaturateParams{};
+  p.min_visit = -1;
+  EXPECT_THROW(saturate_network(g, p), std::invalid_argument);
+}
+
+TEST(SaturateNetworkTest, FlowQuantumIsDelta) {
+  // Every net's flow is an integer multiple of delta.
+  const SaturationResult r = run_s27(3);
+  for (double f : r.flow) {
+    const double multiple = f / 0.01;
+    EXPECT_NEAR(multiple, std::round(multiple), 1e-6);
+  }
+}
+
+TEST(SaturateNetworkTest, MidSizeCircuitSaturatesQuickly) {
+  const Netlist nl = load_benchmark("s510");
+  const CircuitGraph g(nl);
+  SaturateParams p;
+  const SaturationResult r = saturate_network(g, p);
+  EXPECT_LT(r.iterations, p.max_iterations);
+  for (std::uint32_t v : r.visit) EXPECT_GT(v, 20u);
+}
+
+}  // namespace
+}  // namespace merced

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "circuits/s27.h"
+#include "graph/circuit_graph.h"
+#include "graph/dijkstra.h"
+#include "graph/scc.h"
+#include "netlist/bench_io.h"
+
+namespace merced {
+namespace {
+
+// ------------------------------------------------------------ structure ---
+
+TEST(CircuitGraphTest, BranchesMatchFanins) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  EXPECT_EQ(g.num_nodes(), nl.size());
+  std::size_t total_fanins = 0;
+  for (GateId id = 0; id < nl.size(); ++id) total_fanins += nl.gate(id).fanins.size();
+  EXPECT_EQ(g.num_branches(), total_fanins);
+
+  for (BranchId b = 0; b < g.num_branches(); ++b) {
+    const Branch& br = g.branch(b);
+    EXPECT_EQ(br.net, br.source);  // net id == driver id
+    const auto& fanins = nl.gate(br.sink).fanins;
+    EXPECT_NE(std::find(fanins.begin(), fanins.end(), br.source), fanins.end());
+  }
+}
+
+TEST(CircuitGraphTest, InOutConsistency) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (BranchId b : g.out_branches(v)) EXPECT_EQ(g.branch(b).source, v);
+    for (BranchId b : g.in_branches(v)) EXPECT_EQ(g.branch(b).sink, v);
+    EXPECT_EQ(g.in_branches(v).size(), nl.gate(v).fanins.size());
+  }
+}
+
+TEST(CircuitGraphTest, MultiPinNetHasOneBranchPerSink) {
+  // G8 in s27 fans out to G15 and G16.
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const NodeId g8 = nl.find("G8");
+  EXPECT_EQ(g.net_branches(g.net_of(g8)).size(), 2u);
+}
+
+TEST(CircuitGraphTest, RequiresFinalizedNetlist) {
+  Netlist nl;
+  nl.add_gate(GateType::kInput, "a");
+  EXPECT_THROW(CircuitGraph{nl}, std::logic_error);
+}
+
+// ------------------------------------------------------------------ SCC ---
+
+TEST(SccTest, S27HasTwoLoops) {
+  // The s27 feedback structure: {G5,G6,G8..G11,G15,G16} around NOR G11,
+  // and {G7,G12,G13} around DFF G7.
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  ASSERT_EQ(sccs.count(), 2u);
+  EXPECT_EQ(sccs.total_dffs_on_scc(), 3u);
+
+  std::set<std::string> small;
+  for (const auto& comp : sccs.components) {
+    if (comp.size() == 3) {
+      for (NodeId v : comp) small.insert(nl.gate(v).name);
+    }
+  }
+  EXPECT_EQ(small, (std::set<std::string>{"G7", "G12", "G13"}));
+}
+
+TEST(SccTest, AcyclicCircuitHasNoLoops) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\nq = DFF(x)\ny = NOT(q)\n");
+  const CircuitGraph g(nl);
+  EXPECT_EQ(find_sccs(g).count(), 0u);
+}
+
+TEST(SccTest, SelfLoopDffDetected) {
+  // q feeds itself through an inverter: a 2-node SCC with 1 DFF.
+  const Netlist nl =
+      parse_bench("INPUT(a)\nOUTPUT(y)\nx = NOT(q)\nq = DFF(x)\ny = AND(a, q)\n");
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  ASSERT_EQ(sccs.count(), 1u);
+  EXPECT_EQ(sccs.components[0].size(), 2u);
+  EXPECT_EQ(sccs.dff_count[0], 1u);
+}
+
+TEST(SccTest, ComponentOfIsConsistent) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  for (std::size_t c = 0; c < sccs.count(); ++c) {
+    for (NodeId v : sccs.components[c]) {
+      EXPECT_EQ(sccs.component_of[v], static_cast<std::int32_t>(c));
+    }
+  }
+  std::size_t members = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (sccs.component_of[v] != kNoScc) ++members;
+  }
+  std::size_t listed = 0;
+  for (const auto& comp : sccs.components) listed += comp.size();
+  EXPECT_EQ(members, listed);
+}
+
+TEST(SccTest, NestedLoopsMergeIntoOneComponent) {
+  // Two cycles sharing gate x: one SCC containing both DFFs.
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nOUTPUT(y)\n"
+      "x = AND(q1, q2)\n"
+      "g1 = NOT(x)\nq1 = DFF(g1)\n"
+      "g2 = NAND(x, a)\nq2 = DFF(g2)\n"
+      "y = BUF(x)\n");
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  ASSERT_EQ(sccs.count(), 1u);
+  EXPECT_EQ(sccs.dff_count[0], 2u);
+  EXPECT_EQ(sccs.components[0].size(), 5u);  // x, g1, q1, g2, q2
+}
+
+// ------------------------------------------------------------- Dijkstra ---
+
+TEST(DijkstraTest, UnitWeightsGiveHopCounts) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nOUTPUT(y)\nb = NOT(a)\nc = NOT(b)\nd = NOT(c)\ny = NOT(d)\n");
+  const CircuitGraph g(nl);
+  std::vector<double> dist(g.num_nets(), 1.0);
+  const ShortestPathTree t = dijkstra(g, nl.find("a"), dist);
+  EXPECT_DOUBLE_EQ(t.distance[nl.find("a")], 0.0);
+  EXPECT_DOUBLE_EQ(t.distance[nl.find("b")], 1.0);
+  EXPECT_DOUBLE_EQ(t.distance[nl.find("y")], 4.0);
+  EXPECT_EQ(t.reached.size(), 5u);
+}
+
+TEST(DijkstraTest, PicksCheaperPath) {
+  // a -> y directly (via x1, weight 10) or via chain b,c (weight 1 each).
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId x1 = nl.add_gate(GateType::kBuf, "x1", {a});
+  const GateId b = nl.add_gate(GateType::kBuf, "b", {a});
+  const GateId c = nl.add_gate(GateType::kBuf, "c", {b});
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {x1, c});
+  nl.mark_output(y);
+  nl.finalize();
+  const CircuitGraph g(nl);
+  std::vector<double> dist(g.num_nets(), 1.0);
+  dist[x1] = 10.0;  // net driven by x1 is congested
+  const ShortestPathTree t = dijkstra(g, a, dist);
+  EXPECT_DOUBLE_EQ(t.distance[y], 3.0);  // a->b->c->y
+  EXPECT_EQ(g.branch(t.parent_branch[y]).source, c);
+}
+
+TEST(DijkstraTest, UnreachableStaysInfinite) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = NOT(b)\n");
+  const CircuitGraph g(nl);
+  std::vector<double> dist(g.num_nets(), 1.0);
+  const ShortestPathTree t = dijkstra(g, nl.find("a"), dist);
+  EXPECT_TRUE(std::isinf(t.distance[nl.find("z")]));
+  EXPECT_EQ(t.parent_branch[nl.find("z")], ShortestPathTree::kNoBranch);
+}
+
+TEST(DijkstraTest, TreeNetsAreDistinct) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  std::vector<double> dist(g.num_nets(), 1.0);
+  const ShortestPathTree t = dijkstra(g, nl.find("G0"), dist);
+  const std::vector<NetId> nets = tree_nets(g, t);
+  std::set<NetId> uniq(nets.begin(), nets.end());
+  EXPECT_EQ(uniq.size(), nets.size());
+  // Parent branches: one per reached node except the source.
+  EXPECT_LE(nets.size(), t.reached.size() - 1);
+}
+
+TEST(DijkstraTest, RejectsBadWeights) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  std::vector<double> wrong_size(3, 1.0);
+  EXPECT_THROW(dijkstra(g, 0, wrong_size), std::invalid_argument);
+  std::vector<double> negative(g.num_nets(), 1.0);
+  negative[5] = -1.0;
+  EXPECT_THROW(dijkstra(g, nl.find("G0"), negative), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace merced

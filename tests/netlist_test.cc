@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "circuits/s27.h"
+#include "netlist/area_model.h"
+#include "netlist/bench_io.h"
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+
+namespace merced {
+namespace {
+
+// ---------------------------------------------------------------- gates ---
+
+TEST(GateTest, TypeNamesRoundTrip) {
+  for (std::uint8_t i = 0; i < kGateTypeCount; ++i) {
+    const auto type = static_cast<GateType>(i);
+    GateType parsed;
+    ASSERT_TRUE(gate_type_from_string(to_string(type), parsed)) << to_string(type);
+    EXPECT_EQ(parsed, type);
+  }
+}
+
+TEST(GateTest, ParseIsCaseInsensitiveAndKnowsAliases) {
+  GateType t;
+  EXPECT_TRUE(gate_type_from_string("nand", t));
+  EXPECT_EQ(t, GateType::kNand);
+  EXPECT_TRUE(gate_type_from_string("Inv", t));
+  EXPECT_EQ(t, GateType::kNot);
+  EXPECT_TRUE(gate_type_from_string("BUFF", t));
+  EXPECT_EQ(t, GateType::kBuf);
+  EXPECT_FALSE(gate_type_from_string("FOO", t));
+}
+
+TEST(GateTest, EvalBasicFunctions) {
+  EXPECT_TRUE(eval_gate(GateType::kAnd, {true, true}));
+  EXPECT_FALSE(eval_gate(GateType::kAnd, {true, false}));
+  EXPECT_FALSE(eval_gate(GateType::kNand, {true, true}));
+  EXPECT_TRUE(eval_gate(GateType::kOr, {false, true}));
+  EXPECT_TRUE(eval_gate(GateType::kNor, {false, false}));
+  EXPECT_TRUE(eval_gate(GateType::kXor, {true, false}));
+  EXPECT_FALSE(eval_gate(GateType::kXor, {true, true}));
+  EXPECT_TRUE(eval_gate(GateType::kXnor, {true, true}));
+  EXPECT_FALSE(eval_gate(GateType::kNot, {true}));
+  EXPECT_TRUE(eval_gate(GateType::kBuf, {true}));
+}
+
+TEST(GateTest, EvalMux) {
+  // fanins: select, a (sel=0), b (sel=1)
+  EXPECT_TRUE(eval_gate(GateType::kMux, {false, true, false}));
+  EXPECT_FALSE(eval_gate(GateType::kMux, {true, true, false}));
+  EXPECT_TRUE(eval_gate(GateType::kMux, {true, false, true}));
+}
+
+TEST(GateTest, EvalWideGates) {
+  EXPECT_TRUE(eval_gate(GateType::kAnd, {true, true, true, true}));
+  EXPECT_FALSE(eval_gate(GateType::kAnd, {true, true, false, true}));
+  EXPECT_TRUE(eval_gate(GateType::kXor, {true, true, true}));  // odd parity
+}
+
+TEST(GateTest, BitParallelMatchesScalar) {
+  for (GateType t : {GateType::kAnd, GateType::kNand, GateType::kOr, GateType::kNor,
+                     GateType::kXor, GateType::kXnor}) {
+    for (unsigned a = 0; a < 2; ++a) {
+      for (unsigned b = 0; b < 2; ++b) {
+        const bool scalar = eval_gate(t, {a != 0, b != 0});
+        const std::uint64_t wa = a ? ~std::uint64_t{0} : 0;
+        const std::uint64_t wb = b ? ~std::uint64_t{0} : 0;
+        const std::uint64_t wide = eval_gate_u64(t, {wa, wb});
+        EXPECT_EQ(wide, scalar ? ~std::uint64_t{0} : 0)
+            << to_string(t) << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(GateTest, EvalRejectsSequential) {
+  EXPECT_THROW(eval_gate(GateType::kDff, {true}), std::logic_error);
+  EXPECT_THROW(eval_gate(GateType::kInput, {}), std::logic_error);
+}
+
+// -------------------------------------------------------------- netlist ---
+
+Netlist tiny() {
+  Netlist nl("tiny");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  const GateId q = nl.add_gate(GateType::kDff, "q", {g});
+  const GateId o = nl.add_gate(GateType::kNot, "o", {q});
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+TEST(NetlistTest, BasicConstruction) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.size(), 5u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.find("g"), 2u);
+  EXPECT_EQ(nl.find("nope"), kNoGate);
+}
+
+TEST(NetlistTest, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_gate(GateType::kInput, "a");
+  EXPECT_THROW(nl.add_gate(GateType::kInput, "a"), std::invalid_argument);
+}
+
+TEST(NetlistTest, FanoutsBuiltByFinalize) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.fanouts(nl.find("a")).size(), 1u);
+  EXPECT_EQ(nl.fanouts(nl.find("g")).size(), 1u);
+  EXPECT_EQ(nl.fanouts(nl.find("o")).size(), 0u);
+}
+
+TEST(NetlistTest, TopoOrderRespectsDependencies) {
+  const Netlist nl = tiny();
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), nl.size());
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  // AND gate must come after both inputs; NOT after is trivially satisfied
+  // because the DFF is a source.
+  EXPECT_GT(pos[nl.find("g")], pos[nl.find("a")]);
+  EXPECT_GT(pos[nl.find("g")], pos[nl.find("b")]);
+}
+
+TEST(NetlistTest, ArityViolationDetected) {
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  nl.add_gate(GateType::kAnd, "g", {a});  // AND with one input
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(NetlistTest, CombinationalCycleDetected) {
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId g1 = nl.add_gate(GateType::kAnd, "g1");
+  const GateId g2 = nl.add_gate(GateType::kOr, "g2", {g1, a});
+  nl.set_fanins(g1, {g2, a});
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(NetlistTest, SequentialLoopIsFine) {
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId g = nl.add_gate(GateType::kAnd, "g");
+  const GateId q = nl.add_gate(GateType::kDff, "q", {g});
+  nl.set_fanins(g, {a, q});
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(NetlistTest, MutationInvalidatesFinalize) {
+  Netlist nl = tiny();
+  EXPECT_TRUE(nl.finalized());
+  nl.add_gate(GateType::kInput, "c");
+  EXPECT_FALSE(nl.finalized());
+  EXPECT_THROW((void)nl.topo_order(), std::logic_error);
+}
+
+// -------------------------------------------------------------- bench IO ---
+
+TEST(BenchIoTest, ParseS27Counts) {
+  const Netlist nl = make_s27();
+  EXPECT_EQ(nl.name(), "s27");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.size(), 17u);  // 4 PI + 3 DFF + 10 gates
+}
+
+TEST(BenchIoTest, RoundTrip) {
+  const Netlist nl = make_s27();
+  const std::string text = write_bench(nl);
+  const Netlist again = parse_bench(text, "s27");
+  EXPECT_EQ(again.size(), nl.size());
+  EXPECT_EQ(again.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(again.dffs().size(), nl.dffs().size());
+  EXPECT_EQ(again.outputs().size(), nl.outputs().size());
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const GateId other = again.find(nl.gate(id).name);
+    ASSERT_NE(other, kNoGate) << nl.gate(id).name;
+    EXPECT_EQ(again.gate(other).type, nl.gate(id).type);
+    EXPECT_EQ(again.gate(other).fanins.size(), nl.gate(id).fanins.size());
+  }
+}
+
+TEST(BenchIoTest, ForwardReferencesResolve) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = BUF(a)\n");
+  EXPECT_EQ(nl.size(), 3u);
+  EXPECT_EQ(nl.gate(nl.find("y")).fanins[0], nl.find("x"));
+}
+
+TEST(BenchIoTest, CommentsAndBlanksIgnored) {
+  const Netlist nl =
+      parse_bench("# header\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_EQ(nl.size(), 2u);
+}
+
+TEST(BenchIoTest, MalformedInputsThrow) {
+  EXPECT_THROW(parse_bench("y = NOT(a)\n"), std::runtime_error);        // undefined a
+  EXPECT_THROW(parse_bench("INPUT a\n"), std::runtime_error);           // no parens
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = FROB(a)\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench("OUTPUT(zz)\n"), std::runtime_error);        // undefined out
+}
+
+// ------------------------------------------------------------ area model ---
+
+TEST(AreaModelTest, PaperUnitCosts) {
+  EXPECT_EQ(gate_area(GateType::kNot, 1), 1);
+  EXPECT_EQ(gate_area(GateType::kAnd, 2), 3);
+  EXPECT_EQ(gate_area(GateType::kNand, 2), 2);
+  EXPECT_EQ(gate_area(GateType::kOr, 2), 3);
+  EXPECT_EQ(gate_area(GateType::kNor, 2), 2);
+  EXPECT_EQ(gate_area(GateType::kXor, 2), 4);
+  EXPECT_EQ(gate_area(GateType::kMux, 3), 3);
+  EXPECT_EQ(gate_area(GateType::kDff, 1), 10);
+  EXPECT_EQ(gate_area(GateType::kInput, 0), 0);
+}
+
+TEST(AreaModelTest, ExtraFaninsScaleUp) {
+  EXPECT_EQ(gate_area(GateType::kNand, 3), 3);
+  EXPECT_EQ(gate_area(GateType::kNand, 5), 5);
+  EXPECT_EQ(gate_area(GateType::kAnd, 4), 5);
+}
+
+TEST(AreaModelTest, ACellIdentities) {
+  // A_CELL = AND2 + NOR2 + XOR2 + DFF (Fig. 3a).
+  EXPECT_EQ(kACellArea, gate_area(GateType::kAnd, 2) + gate_area(GateType::kNor, 2) +
+                            gate_area(GateType::kXor, 2) + kDffArea);
+  EXPECT_EQ(kACellFromDffArea, kACellArea - kDffArea);
+  EXPECT_EQ(kACellWithMuxArea, 23);
+  EXPECT_DOUBLE_EQ(static_cast<double>(kACellArea) / kDffArea, 1.9);
+}
+
+TEST(AreaModelTest, S27Stats) {
+  const CircuitStats s = compute_stats(make_s27());
+  EXPECT_EQ(s.num_inputs, 4u);
+  EXPECT_EQ(s.num_dffs, 3u);
+  EXPECT_EQ(s.num_invs, 2u);
+  EXPECT_EQ(s.num_gates, 8u);
+  // 3 DFF (30) + 2 NOT (2) + 1 AND (3) + 2 OR (6) + 2 NAND (4) + 3 NOR (6)
+  EXPECT_EQ(s.estimated_area, 30 + 2 + 3 + 6 + 4 + 6);
+}
+
+TEST(AreaModelTest, StreamOperator) {
+  std::ostringstream ss;
+  ss << compute_stats(make_s27());
+  EXPECT_NE(ss.str().find("s27"), std::string::npos);
+  EXPECT_NE(ss.str().find("DFF=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merced

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "flow/saturate_network.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "netlist/bench_io.h"
+#include "partition/assign_cbit.h"
+#include "partition/clustering.h"
+#include "partition/make_group.h"
+
+namespace merced {
+namespace {
+
+struct Pipeline {
+  Netlist netlist;
+  CircuitGraph graph;
+  SccInfo sccs;
+  SaturationResult sat;
+
+  explicit Pipeline(Netlist nl, std::uint64_t seed = 1)
+      : netlist(std::move(nl)), graph(netlist), sccs(find_sccs(graph)), sat([&] {
+          SaturateParams p;
+          p.seed = seed;
+          return saturate_network(graph, p);
+        }()) {}
+};
+
+// Puts every non-PI node in one cluster (for unit-testing the counters).
+Clustering whole_circuit_cluster(const CircuitGraph& g) {
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters.emplace_back();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) {
+      c.cluster_of[v] = 0;
+      c.clusters[0].push_back(v);
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------- input count ---
+
+TEST(ClusteringTest, WholeCircuitInputsArePIsAndDffs) {
+  // With everything in one cluster, the CUT inputs are exactly the PI nets
+  // and DFF-output nets that drive gates (no cut nets).
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  c.validate(g);
+  // s27: 4 PIs + 3 DFFs, all drive gates.
+  EXPECT_EQ(input_count(g, c, 0), 7u);
+  EXPECT_TRUE(cut_nets(g, c).empty());
+}
+
+TEST(ClusteringTest, SingletonGateInputsAreItsFanins) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.is_pi(v)) continue;
+    c.cluster_of[v] = static_cast<std::int32_t>(c.clusters.size());
+    c.clusters.push_back({v});
+  }
+  for (std::size_t i = 0; i < c.count(); ++i) {
+    const NodeId v = c.clusters[i][0];
+    if (g.is_register(v)) {
+      EXPECT_EQ(input_count(g, c, i), 0u) << "registers consume no test inputs";
+    } else {
+      // Distinct fanin nets of the gate.
+      std::set<NetId> fanin_nets;
+      for (BranchId b : g.in_branches(v)) fanin_nets.insert(g.branch(b).net);
+      EXPECT_EQ(input_count(g, c, i), fanin_nets.size());
+    }
+  }
+}
+
+TEST(ClusteringTest, DffInsideClusterCountsAsInput) {
+  // q is inside the cluster with the gate it feeds: still a CUT input
+  // (the register becomes the pattern generator in test mode).
+  const Netlist nl =
+      parse_bench("INPUT(a)\nOUTPUT(y)\nx = AND(a, q)\nq = DFF(x)\ny = NOT(x)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  EXPECT_EQ(input_count(g, c, 0), 2u);  // a and q
+}
+
+TEST(ClusteringTest, CutNetIdentification) {
+  // Two clusters: {x} and {y,z}; net x crosses (gate-to-gate) => 1 cut.
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = AND(x, y)\n");
+  const CircuitGraph g(nl);
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters = {{nl.find("x")}, {nl.find("y"), nl.find("z")}};
+  c.cluster_of[nl.find("x")] = 0;
+  c.cluster_of[nl.find("y")] = 1;
+  c.cluster_of[nl.find("z")] = 1;
+  const auto cuts = cut_nets(g, c);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(g.driver(cuts[0]), nl.find("x"));
+}
+
+TEST(ClusteringTest, DffBoundaryIsNotACut) {
+  // Crossing net lands on a DFF's D pin: a register already exists there.
+  const Netlist nl =
+      parse_bench("INPUT(a)\nOUTPUT(y)\nx = NOT(a)\nq = DFF(x)\ny = NOT(q)\n");
+  const CircuitGraph g(nl);
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters = {{nl.find("x")}, {nl.find("q"), nl.find("y")}};
+  c.cluster_of[nl.find("x")] = 0;
+  c.cluster_of[nl.find("q")] = 1;
+  c.cluster_of[nl.find("y")] = 1;
+  EXPECT_TRUE(cut_nets(g, c).empty());
+  // But the DFF output is an input of cluster 1.
+  EXPECT_EQ(input_count(g, c, 1), 1u);
+}
+
+TEST(ClusteringTest, ValidateCatchesCorruption) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  Clustering c = whole_circuit_cluster(g);
+  c.cluster_of[nl.find("G8")] = 5;  // out of range
+  EXPECT_THROW(c.validate(g), std::runtime_error);
+}
+
+// ------------------------------------------------------------ make_group ---
+
+TEST(MakeGroupTest, RespectsInputConstraint) {
+  for (std::size_t lk : {3u, 4u, 6u, 8u}) {
+    Pipeline p(make_s27(), 11);
+    MakeGroupParams mg;
+    mg.lk = lk;
+    const MakeGroupResult r = make_group(p.graph, p.sccs, p.sat, mg);
+    ASSERT_TRUE(r.feasible) << "lk=" << lk;
+    r.clustering.validate(p.graph);
+    for (std::size_t i = 0; i < r.clustering.count(); ++i) {
+      EXPECT_LE(input_count(p.graph, r.clustering, i), lk) << "lk=" << lk;
+    }
+  }
+}
+
+TEST(MakeGroupTest, ClustersPartitionAllNonPiNodes) {
+  Pipeline p(make_s27());
+  MakeGroupParams mg;
+  mg.lk = 3;
+  const MakeGroupResult r = make_group(p.graph, p.sccs, p.sat, mg);
+  std::size_t covered = 0;
+  for (const auto& cl : r.clustering.clusters) covered += cl.size();
+  std::size_t non_pi = 0;
+  for (NodeId v = 0; v < p.graph.num_nodes(); ++v) {
+    if (!p.graph.is_pi(v)) ++non_pi;
+  }
+  EXPECT_EQ(covered, non_pi);
+}
+
+TEST(MakeGroupTest, LargerLkCutsFewerNets) {
+  // Paper §4.2: a bigger CBIT accommodates more nets, reducing cut count.
+  Pipeline p(load_benchmark("s510"), 5);
+  std::size_t cuts_small = 0, cuts_large = 0;
+  {
+    MakeGroupParams mg;
+    mg.lk = 8;
+    const auto r = make_group(p.graph, p.sccs, p.sat, mg);
+    cuts_small = cut_nets(p.graph, r.clustering).size();
+  }
+  {
+    MakeGroupParams mg;
+    mg.lk = 24;
+    const auto r = make_group(p.graph, p.sccs, p.sat, mg);
+    cuts_large = cut_nets(p.graph, r.clustering).size();
+  }
+  EXPECT_LE(cuts_large, cuts_small);
+}
+
+TEST(MakeGroupTest, BetaOneLimitsSccCuts) {
+  // With beta=1 the cuts inside each SCC may not exceed its register count.
+  Pipeline p(load_benchmark("s510"), 5);
+  MakeGroupParams mg;
+  mg.lk = 8;
+  mg.beta = 1;
+  const MakeGroupResult r = make_group(p.graph, p.sccs, p.sat, mg);
+  const CutReport report = make_cut_report(p.graph, r.clustering, p.sccs);
+  for (std::size_t s = 0; s < p.sccs.count(); ++s) {
+    EXPECT_LE(report.cuts_per_scc[s], static_cast<std::size_t>(p.sccs.dff_count[s]))
+        << "SCC " << s;
+  }
+}
+
+TEST(MakeGroupTest, RejectsBadParams) {
+  Pipeline p(make_s27());
+  MakeGroupParams mg;
+  mg.beta = 0;
+  EXPECT_THROW(make_group(p.graph, p.sccs, p.sat, mg), std::invalid_argument);
+  mg = MakeGroupParams{};
+  mg.lk = 0;
+  EXPECT_THROW(make_group(p.graph, p.sccs, p.sat, mg), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- assign_cbit ---
+
+TEST(AssignCbitTest, MergedPartitionsStillMeetConstraint) {
+  Pipeline p(make_s27(), 27);
+  MakeGroupParams mg;
+  mg.lk = 3;
+  const MakeGroupResult groups = make_group(p.graph, p.sccs, p.sat, mg);
+  const AssignCbitResult r = assign_cbit(p.graph, groups.clustering, mg.lk);
+  r.partitions.validate(p.graph);
+  ASSERT_EQ(r.input_counts.size(), r.partitions.count());
+  for (std::size_t i = 0; i < r.partitions.count(); ++i) {
+    EXPECT_LE(r.input_counts[i], 3u);
+    EXPECT_EQ(r.input_counts[i], input_count(p.graph, r.partitions, i))
+        << "cached iota must match recomputation";
+  }
+}
+
+TEST(AssignCbitTest, NeverIncreasesClusterCount) {
+  Pipeline p(load_benchmark("s510"), 2);
+  MakeGroupParams mg;
+  mg.lk = 16;
+  const MakeGroupResult groups = make_group(p.graph, p.sccs, p.sat, mg);
+  const AssignCbitResult r = assign_cbit(p.graph, groups.clustering, mg.lk);
+  EXPECT_LE(r.partitions.count(), groups.clustering.count());
+  EXPECT_EQ(r.partitions.count() + r.merges_performed, groups.clustering.count());
+}
+
+TEST(AssignCbitTest, MergingNeverAddsCuts) {
+  Pipeline p(load_benchmark("s510"), 2);
+  MakeGroupParams mg;
+  mg.lk = 16;
+  const MakeGroupResult groups = make_group(p.graph, p.sccs, p.sat, mg);
+  const std::size_t cuts_before = cut_nets(p.graph, groups.clustering).size();
+  const AssignCbitResult r = assign_cbit(p.graph, groups.clustering, mg.lk);
+  EXPECT_LE(cut_nets(p.graph, r.partitions).size(), cuts_before);
+}
+
+TEST(AssignCbitTest, NoEmptyPartitions) {
+  Pipeline p(make_s27(), 27);
+  MakeGroupParams mg;
+  mg.lk = 3;
+  const MakeGroupResult groups = make_group(p.graph, p.sccs, p.sat, mg);
+  const AssignCbitResult r = assign_cbit(p.graph, groups.clustering, mg.lk);
+  for (const auto& part : r.partitions.clusters) EXPECT_FALSE(part.empty());
+}
+
+// Parameterized sweep: the PIC invariant holds for every (circuit, lk).
+class PicSweep : public ::testing::TestWithParam<std::tuple<const char*, std::size_t>> {};
+
+TEST_P(PicSweep, InvariantHolds) {
+  const auto [name, lk] = GetParam();
+  Pipeline p(load_benchmark(name), 99);
+  MakeGroupParams mg;
+  mg.lk = lk;
+  const MakeGroupResult groups = make_group(p.graph, p.sccs, p.sat, mg);
+  ASSERT_TRUE(groups.feasible);
+  const AssignCbitResult r = assign_cbit(p.graph, groups.clustering, lk);
+  r.partitions.validate(p.graph);
+  for (std::size_t i = 0; i < r.partitions.count(); ++i) {
+    EXPECT_LE(input_count(p.graph, r.partitions, i), lk);
+  }
+  // Disjoint cover.
+  std::size_t covered = 0;
+  for (const auto& cl : r.partitions.clusters) covered += cl.size();
+  std::size_t non_pi = 0;
+  for (NodeId v = 0; v < p.graph.num_nodes(); ++v) {
+    if (!p.graph.is_pi(v)) ++non_pi;
+  }
+  EXPECT_EQ(covered, non_pi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsAndConstraints, PicSweep,
+    ::testing::Combine(::testing::Values("s27", "s510", "s420.1", "s641"),
+                       ::testing::Values(std::size_t{8}, std::size_t{16},
+                                         std::size_t{24})),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      std::replace(name.begin(), name.end(), '.', '_');
+      return name + "_lk" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace merced

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "flow/saturate_network.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "netlist/bench_io.h"
+#include "partition/assign_cbit.h"
+#include "partition/make_group.h"
+#include "retiming/cut_retiming.h"
+#include "retiming/retime_graph.h"
+#include "retiming/retimed_netlist.h"
+#include "sim/simulator.h"
+
+namespace merced {
+namespace {
+
+// A 3-stage pipeline with a feedback loop:
+//   a -> g1 -> q1 -> g2 -> q2 -> g3 -> y,  with g3 -> qf -> g1.
+Netlist pipeline_with_loop() {
+  return parse_bench(
+      "INPUT(a)\nOUTPUT(y)\n"
+      "g1 = AND(a, qf)\n"
+      "q1 = DFF(g1)\n"
+      "g2 = NOT(q1)\n"
+      "q2 = DFF(g2)\n"
+      "g3 = NAND(q2, a)\n"
+      "qf = DFF(g3)\n"
+      "y = BUF(g3)\n");
+}
+
+// --------------------------------------------------------- retime graph ---
+
+TEST(RetimeGraphTest, CollapsesDffChainsIntoWeights) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nOUTPUT(y)\n"
+      "g = NOT(a)\nq1 = DFF(g)\nq2 = DFF(q1)\ny = BUF(q2)\n");
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  // Vertices: a, g, y (registers are edge weights).
+  EXPECT_EQ(rg.num_vertices(), 3u);
+  bool found = false;
+  for (const REdge& e : rg.edges()) {
+    if (rg.node_of(e.from) == nl.find("g") && rg.node_of(e.to) == nl.find("y")) {
+      EXPECT_EQ(e.weight, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(rg.total_registers(), 2);
+}
+
+TEST(RetimeGraphTest, S27WeightsSumToUsedDffs) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  // Each s27 DFF drives exactly one gate sink; no DFF chains.
+  EXPECT_EQ(rg.total_registers(), 3);
+  for (const REdge& e : rg.edges()) EXPECT_LE(e.weight, 1);
+}
+
+TEST(RetimeGraphTest, ZeroRetimingIsLegal) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  const Retiming zero(rg.num_vertices(), 0);
+  EXPECT_TRUE(rg.is_legal(zero));
+}
+
+TEST(RetimeGraphTest, Eq1PathRegisterChange) {
+  // Lemma 1: f_rho(p) = f(p) + rho(v_n) - rho(v_0) for any path.
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Retiming rho(rg.num_vertices());
+    for (auto& v : rho) v = static_cast<std::int32_t>(rng() % 5) - 2;
+    // Random walk of up to 4 edges.
+    std::vector<std::size_t> path;
+    std::size_t e0 = rng() % rg.edges().size();
+    path.push_back(e0);
+    for (int h = 0; h < 3; ++h) {
+      const RVertexId tail = rg.edges()[path.back()].to;
+      std::vector<std::size_t> nexts;
+      for (std::size_t i = 0; i < rg.edges().size(); ++i) {
+        if (rg.edges()[i].from == tail) nexts.push_back(i);
+      }
+      if (nexts.empty()) break;
+      path.push_back(nexts[rng() % nexts.size()]);
+    }
+    const auto before = rg.path_registers(path);
+    const auto after = rg.path_registers(path, &rho);
+    const RVertexId v0 = rg.edges()[path.front()].from;
+    const RVertexId vn = rg.edges()[path.back()].to;
+    EXPECT_EQ(after, before + rho[vn] - rho[v0]);
+  }
+}
+
+TEST(RetimeGraphTest, Eq2CycleInvariance) {
+  // Corollary 2: register count of every cycle is retiming-invariant.
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  // Find the cycle g1 -> q1 -> g2 -> q2 -> g3 -> qf -> g1 as edge indices.
+  auto edge_between = [&](std::string_view a, std::string_view b) -> std::size_t {
+    for (std::size_t i = 0; i < rg.edges().size(); ++i) {
+      if (rg.node_of(rg.edges()[i].from) == nl.find(a) &&
+          rg.node_of(rg.edges()[i].to) == nl.find(b)) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << "no edge " << a << "->" << b;
+    return 0;
+  };
+  const std::vector<std::size_t> cycle = {edge_between("g1", "g2"),
+                                          edge_between("g2", "g3"),
+                                          edge_between("g3", "g1")};
+  EXPECT_EQ(rg.path_registers(cycle), 3);
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    Retiming rho(rg.num_vertices());
+    for (auto& v : rho) v = static_cast<std::int32_t>(rng() % 7) - 3;
+    EXPECT_EQ(rg.path_registers(cycle, &rho), 3);
+  }
+}
+
+TEST(RetimeGraphTest, IllegalRetimingDetected) {
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  // Pull 2 registers onto g1's incoming edges: some edge must go negative.
+  Retiming rho(rg.num_vertices(), 0);
+  rho[rg.vertex_of(nl.find("g1"))] = 2;
+  EXPECT_FALSE(rg.is_legal(rho));
+}
+
+TEST(RetimeGraphTest, PathValidation) {
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  // Two edges that do not connect must be rejected.
+  std::size_t e1 = 0, e2 = 0;
+  for (std::size_t i = 0; i < rg.edges().size(); ++i) {
+    for (std::size_t j = 0; j < rg.edges().size(); ++j) {
+      if (rg.edges()[i].to != rg.edges()[j].from) {
+        e1 = i;
+        e2 = j;
+      }
+    }
+  }
+  const std::vector<std::size_t> bad = {e1, e2};
+  EXPECT_THROW(rg.path_registers(bad), std::invalid_argument);
+}
+
+// --------------------------------------------------------- cut planning ---
+
+struct PlannedCut {
+  Netlist netlist;
+  CircuitGraph graph;
+  SccInfo sccs;
+  RetimeGraph rgraph;
+  Clustering clustering;
+  std::vector<NetId> cuts;
+  CutRetimingPlan plan;
+
+  PlannedCut(Netlist nl, std::size_t lk, std::uint64_t seed = 3)
+      : netlist(std::move(nl)),
+        graph(netlist),
+        sccs(find_sccs(graph)),
+        rgraph(graph),
+        clustering([&] {
+          SaturateParams p;
+          p.seed = seed;
+          const auto sat = saturate_network(graph, p);
+          MakeGroupParams mg;
+          mg.lk = lk;
+          auto groups = make_group(graph, sccs, sat, mg);
+          return assign_cbit(graph, groups.clustering, lk).partitions;
+        }()),
+        cuts(cut_nets(graph, clustering)),
+        plan(plan_cut_retiming(graph, rgraph, sccs, cuts, clustering)) {}
+};
+
+TEST(CutRetimingTest, PlanCoversAllCutsExactlyOnce) {
+  PlannedCut p(make_s27(), 3);
+  EXPECT_EQ(p.plan.retimable.size() + p.plan.multiplexed.size(), p.cuts.size());
+  for (NetId n : p.plan.retimable) {
+    EXPECT_TRUE(std::binary_search(p.cuts.begin(), p.cuts.end(), n));
+    EXPECT_FALSE(std::binary_search(p.plan.multiplexed.begin(),
+                                    p.plan.multiplexed.end(), n));
+  }
+}
+
+TEST(CutRetimingTest, RhoIsLegal) {
+  PlannedCut p(make_s27(), 3);
+  ASSERT_EQ(p.plan.rho.size(), p.rgraph.num_vertices());
+  EXPECT_TRUE(p.rgraph.is_legal(p.plan.rho));
+}
+
+TEST(CutRetimingTest, RetimableCutsGetRegisters) {
+  // Every crossing branch of every retimable cut net must carry >= 1
+  // register under the planned rho.
+  PlannedCut p(make_s27(), 3);
+  std::set<NetId> retimable(p.plan.retimable.begin(), p.plan.retimable.end());
+  for (const REdge& e : p.rgraph.edges()) {
+    if (e.weight != 0 || !retimable.contains(e.source_net)) continue;
+    const NodeId from = p.rgraph.node_of(e.from);
+    const NodeId to = p.rgraph.node_of(e.to);
+    if (p.clustering.cluster_of[from] != p.clustering.cluster_of[to]) {
+      EXPECT_GE(p.rgraph.retimed_weight(e, p.plan.rho), 1)
+          << "cut net " << p.netlist.gate(e.source_net).name;
+    }
+  }
+}
+
+TEST(CutRetimingTest, AcyclicCutsAreAlwaysRetimable) {
+  // A pipeline without feedback: every cut is retimable (Eq. 1 lets
+  // registers be added freely on non-cyclic paths).
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "g1 = AND(a, b)\ng2 = NOT(g1)\nq = DFF(g2)\ng3 = NAND(q, a)\ny = NOT(g3)\n");
+  PlannedCut p(parse_bench(write_bench(nl), "acyclic"), 2, 5);
+  EXPECT_TRUE(p.plan.multiplexed.empty());
+  EXPECT_EQ(p.plan.scc_aggregate_demotions, 0u);
+}
+
+TEST(CutRetimingTest, TightLoopForcesMultiplexing) {
+  // One register on the loop, two gates clustered apart => 2+ cuts on a
+  // 1-register cycle: at least one cut must be multiplexed.
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nOUTPUT(y)\n"
+      "g1 = AND(a, q)\ng2 = NOT(g1)\ng3 = BUF(g2)\nq = DFF(g3)\ny = BUF(g2)\n");
+  const CircuitGraph g(nl);
+  const SccInfo sccs = find_sccs(g);
+  const RetimeGraph rg(g);
+  // Hand-build clusters: {g1}, {g2}, {g3,q} -> cuts on nets g1 and g2.
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters = {{nl.find("g1")}, {nl.find("g2"), nl.find("y")},
+                {nl.find("g3"), nl.find("q")}};
+  for (std::size_t i = 0; i < c.clusters.size(); ++i) {
+    for (NodeId v : c.clusters[i]) c.cluster_of[v] = static_cast<std::int32_t>(i);
+  }
+  const auto cuts = cut_nets(g, c);
+  ASSERT_EQ(cuts.size(), 2u);
+  const CutRetimingPlan plan = plan_cut_retiming(g, rg, sccs, cuts, c);
+  // Two cuts on a 1-register cycle: at least one must be multiplexed
+  // (Eq. 2). The greedy planner may conservatively demote both.
+  EXPECT_GE(plan.multiplexed.size(), 1u);
+  EXPECT_EQ(plan.retimable.size() + plan.multiplexed.size(), 2u);
+  EXPECT_TRUE(rg.is_legal(plan.rho));
+}
+
+// ------------------------------------------------- apply + initial state ---
+
+TEST(ApplyRetimingTest, StructurePreservesGateAndRegisterInvariants) {
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  Retiming rho(rg.num_vertices(), 0);
+  rho[rg.vertex_of(nl.find("g2"))] = -1;  // move q1 forward through g2
+  ASSERT_TRUE(rg.is_legal(rho));
+  const RetimedCircuit rt = apply_retiming(g, rg, rho);
+  // Same combinational cells; register count preserved on each cycle.
+  EXPECT_EQ(rt.netlist.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(rt.netlist.outputs().size(), nl.outputs().size());
+  std::size_t comb_before = 0, comb_after = 0;
+  for (GateId i = 0; i < nl.size(); ++i) {
+    if (is_combinational(nl.gate(i).type)) ++comb_before;
+  }
+  for (GateId i = 0; i < rt.netlist.size(); ++i) {
+    if (is_combinational(rt.netlist.gate(i).type)) ++comb_after;
+  }
+  EXPECT_EQ(comb_before, comb_after);
+}
+
+void expect_equivalent_after_warmup(const Netlist& original, const RetimedCircuit& rt,
+                                    std::size_t warmup_len, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::size_t n_in = original.inputs().size();
+  std::vector<std::vector<bool>> warmup(warmup_len, std::vector<bool>(n_in));
+  for (auto& v : warmup) {
+    for (std::size_t i = 0; i < n_in; ++i) v[i] = rng() & 1;
+  }
+  const std::vector<bool> init(original.dffs().size(), false);
+  const std::vector<bool> rt_state =
+      compute_retimed_initial_state(original, rt, init, warmup);
+
+  Simulator orig(original);
+  orig.set_state(init);
+  for (const auto& v : warmup) orig.step(v);
+  Simulator retimed(rt.netlist);
+  retimed.set_state(rt_state);
+
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    std::vector<bool> in(n_in);
+    for (std::size_t i = 0; i < n_in; ++i) in[i] = rng() & 1;
+    orig.step(in);
+    retimed.step(in);
+    EXPECT_EQ(orig.output_values(), retimed.output_values()) << "cycle " << cycle;
+  }
+}
+
+TEST(ApplyRetimingTest, FunctionalEquivalenceSingleMove) {
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  Retiming rho(rg.num_vertices(), 0);
+  rho[rg.vertex_of(nl.find("g2"))] = -1;
+  const RetimedCircuit rt = apply_retiming(g, rg, rho);
+  expect_equivalent_after_warmup(nl, rt, 8, 17);
+}
+
+TEST(ApplyRetimingTest, FunctionalEquivalenceRandomLegalRetimings) {
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  std::mt19937_64 rng(23);
+  // I/O vertices stay at label 0 (their signals cannot time-shift).
+  std::vector<bool> io(rg.num_vertices(), false);
+  for (GateId id : nl.inputs()) io[rg.vertex_of(id)] = true;
+  for (GateId id : nl.outputs()) {
+    if (!is_sequential(nl.gate(id).type)) io[rg.vertex_of(id)] = true;
+  }
+  int accepted = 0;
+  for (int trial = 0; trial < 200 && accepted < 10; ++trial) {
+    Retiming rho(rg.num_vertices());
+    for (RVertexId v = 0; v < rg.num_vertices(); ++v) {
+      rho[v] = io[v] ? 0 : static_cast<std::int32_t>(rng() % 3) - 1;
+    }
+    if (!rg.is_legal(rho)) continue;
+    ++accepted;
+    const RetimedCircuit rt = apply_retiming(g, rg, rho);
+    expect_equivalent_after_warmup(nl, rt, 8, 1000 + trial);
+  }
+  EXPECT_GE(accepted, 3) << "random search found too few legal retimings";
+}
+
+TEST(ApplyRetimingTest, S27PlannedRetimingIsEquivalent) {
+  // End-to-end: the cut-retiming plan applied to s27 keeps the machine
+  // functionally equivalent (after warm-up).
+  PlannedCut p(make_s27(), 3);
+  const RetimedCircuit rt = apply_retiming(p.graph, p.rgraph, p.plan.rho);
+  expect_equivalent_after_warmup(p.netlist, rt, 12, 4242);
+}
+
+TEST(ApplyRetimingTest, InitialStateNeedsEnoughWarmup) {
+  // A register at depth k from a source with label rho needs warm-up of at
+  // least k + rho cycles; an empty warm-up cannot seed any register.
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  const Retiming rho(rg.num_vertices(), 0);  // identity retiming
+  const RetimedCircuit rt = apply_retiming(g, rg, rho);
+  ASSERT_FALSE(rt.origins.empty());
+  const std::vector<bool> init(nl.dffs().size(), false);
+  EXPECT_THROW(compute_retimed_initial_state(nl, rt, init, {}),
+               std::invalid_argument);
+}
+
+TEST(ApplyRetimingTest, RejectsIllegalRho) {
+  const Netlist nl = pipeline_with_loop();
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  Retiming rho(rg.num_vertices(), 0);
+  rho[rg.vertex_of(nl.find("g1"))] = 5;
+  ASSERT_FALSE(rg.is_legal(rho));
+  EXPECT_THROW(apply_retiming(g, rg, rho), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace merced

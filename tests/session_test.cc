@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "circuits/registry.h"
+#include "circuits/s27.h"
+#include "core/merced.h"
+#include "core/ppet_session.h"
+#include "graph/circuit_graph.h"
+#include "partition/sa_partition.h"
+
+namespace merced {
+namespace {
+
+// ------------------------------------------------------------ PPET session ---
+
+struct SessionFixture : ::testing::Test {
+  Netlist netlist = make_s27();
+  CircuitGraph graph{netlist};
+  MercedResult result = [] {
+    MercedConfig config;
+    config.lk = 3;
+    config.flow.seed = 27;
+    return compile(make_s27(), config);
+  }();
+};
+
+TEST_F(SessionFixture, BuildsOneStationPerTestableCut) {
+  const PpetSession session(graph, result);
+  EXPECT_GT(session.num_stations(), 0u);
+  for (std::size_t s = 0; s < session.num_stations(); ++s) {
+    const CutStation& st = session.station(s);
+    EXPECT_GE(st.tpg_width, 2u);
+    EXPECT_EQ(st.cycles, std::uint64_t{1} << st.tpg_width);
+  }
+}
+
+TEST_F(SessionFixture, SessionTimeIsWidestCut) {
+  const PpetSession session(graph, result);
+  std::uint64_t widest = 0;
+  for (std::size_t s = 0; s < session.num_stations(); ++s) {
+    widest = std::max(widest, session.station(s).cycles);
+  }
+  EXPECT_EQ(session.session_cycles(), widest);
+}
+
+TEST_F(SessionFixture, GoldenRunIsDeterministic) {
+  const PpetSession session(graph, result);
+  const SessionResult a = session.run();
+  const SessionResult b = session.run();
+  EXPECT_EQ(a.signatures, b.signatures);
+  EXPECT_EQ(a.scan_stream, b.scan_stream);
+  EXPECT_EQ(a.cycles_run, session.session_cycles());
+}
+
+TEST_F(SessionFixture, ScanStreamSerializesSignatures) {
+  const PpetSession session(graph, result);
+  const SessionResult r = session.run();
+  // Stream length = sum of PSA widths; bits reconstruct the signatures.
+  std::size_t total_bits = 0;
+  for (std::size_t s = 0; s < session.num_stations(); ++s) {
+    total_bits += session.station(s).psa_width;
+  }
+  ASSERT_EQ(r.scan_stream.size(), total_bits);
+  std::size_t pos = 0;
+  for (std::size_t s = 0; s < session.num_stations(); ++s) {
+    std::uint64_t rebuilt = 0;
+    for (unsigned b = 0; b < session.station(s).psa_width; ++b) {
+      rebuilt = (rebuilt << 1) | (r.scan_stream[pos++] ? 1 : 0);
+    }
+    EXPECT_EQ(rebuilt, r.signatures[s]) << "station " << s;
+  }
+}
+
+TEST_F(SessionFixture, DetectsInjectedFaults) {
+  const PpetSession session(graph, result);
+  // Every collapsed fault in every station's CUT that the exhaustive sweep
+  // can distinguish must flip a signature; count the detections.
+  std::size_t checked = 0, detected = 0;
+  for (std::size_t s = 0; s < session.num_stations(); ++s) {
+    const std::size_t ci = session.station(s).partition_index;
+    const ConeSimulator cone(graph, result.partitions, ci);
+    for (const Fault& f : cone.cluster_faults()) {
+      ++checked;
+      if (session.detects(f)) ++detected;
+    }
+  }
+  ASSERT_GT(checked, 0u);
+  // s27's CUTs at lk=3 have no redundant faults (verified by the sim
+  // tests), so only MISR aliasing could hide one — none at 16 bits here.
+  EXPECT_EQ(detected, checked);
+}
+
+TEST_F(SessionFixture, RejectsBadPsaWidth) {
+  EXPECT_THROW(PpetSession(graph, result, 1), std::invalid_argument);
+  EXPECT_THROW(PpetSession(graph, result, 33), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- SA baseline ---
+
+TEST(SaPartitionTest, SingletonSeedIsValid) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  const Clustering c = singleton_clustering(g);
+  c.validate(g);
+  EXPECT_EQ(c.count(), 13u);  // 17 nodes - 4 PIs
+}
+
+TEST(SaPartitionTest, ProducesFeasiblePartitionOnS27) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  SaParams p;
+  p.lk = 3;
+  p.seed = 7;
+  const SaResult r = sa_partition(g, singleton_clustering(g), p);
+  r.clustering.validate(g);
+  EXPECT_TRUE(r.feasible);
+  for (std::size_t i = 0; i < r.clustering.count(); ++i) {
+    EXPECT_LE(input_count(g, r.clustering, i), 3u);
+  }
+  EXPECT_EQ(r.nets_cut, cut_nets(g, r.clustering).size());
+  EXPECT_GT(r.moves_accepted, 0u);
+}
+
+TEST(SaPartitionTest, ReducesCutsVersusSingletons) {
+  const Netlist nl = load_benchmark("s510");
+  const CircuitGraph g(nl);
+  const Clustering seed = singleton_clustering(g);
+  const std::size_t initial_cuts = cut_nets(g, seed).size();
+  SaParams p;
+  p.lk = 16;
+  p.seed = 3;
+  const SaResult r = sa_partition(g, seed, p);
+  EXPECT_LT(r.nets_cut, initial_cuts);
+}
+
+TEST(SaPartitionTest, DeterministicInSeed) {
+  const Netlist nl = make_s27();
+  const CircuitGraph g(nl);
+  SaParams p;
+  p.lk = 3;
+  p.seed = 11;
+  const SaResult a = sa_partition(g, singleton_clustering(g), p);
+  const SaResult b = sa_partition(g, singleton_clustering(g), p);
+  EXPECT_EQ(a.nets_cut, b.nets_cut);
+  EXPECT_EQ(a.clustering.cluster_of, b.clustering.cluster_of);
+}
+
+}  // namespace
+}  // namespace merced
