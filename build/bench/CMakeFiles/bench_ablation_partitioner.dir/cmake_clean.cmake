@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partitioner.dir/bench_ablation_partitioner.cc.o"
+  "CMakeFiles/bench_ablation_partitioner.dir/bench_ablation_partitioner.cc.o.d"
+  "bench_ablation_partitioner"
+  "bench_ablation_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_area_vs_time.
+# This may be replaced when dependencies are built.

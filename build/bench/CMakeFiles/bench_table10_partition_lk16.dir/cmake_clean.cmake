@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_partition_lk16.dir/bench_table10_partition_lk16.cc.o"
+  "CMakeFiles/bench_table10_partition_lk16.dir/bench_table10_partition_lk16.cc.o.d"
+  "bench_table10_partition_lk16"
+  "bench_table10_partition_lk16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_partition_lk16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_partition_lk24.dir/bench_table11_partition_lk24.cc.o"
+  "CMakeFiles/bench_table11_partition_lk24.dir/bench_table11_partition_lk24.cc.o.d"
+  "bench_table11_partition_lk24"
+  "bench_table11_partition_lk24.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_partition_lk24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

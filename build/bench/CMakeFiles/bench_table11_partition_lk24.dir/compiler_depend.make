@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table11_partition_lk24.
+# This may be replaced when dependencies are built.

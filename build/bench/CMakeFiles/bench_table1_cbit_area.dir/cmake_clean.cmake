@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cbit_area.dir/bench_table1_cbit_area.cc.o"
+  "CMakeFiles/bench_table1_cbit_area.dir/bench_table1_cbit_area.cc.o.d"
+  "bench_table1_cbit_area"
+  "bench_table1_cbit_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cbit_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

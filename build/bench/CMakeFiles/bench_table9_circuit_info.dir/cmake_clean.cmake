@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_circuit_info.dir/bench_table9_circuit_info.cc.o"
+  "CMakeFiles/bench_table9_circuit_info.dir/bench_table9_circuit_info.cc.o.d"
+  "bench_table9_circuit_info"
+  "bench_table9_circuit_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_circuit_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_circuit_info.
+# This may be replaced when dependencies are built.

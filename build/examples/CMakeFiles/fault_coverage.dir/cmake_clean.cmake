@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_coverage.dir/fault_coverage.cpp.o"
+  "CMakeFiles/fault_coverage.dir/fault_coverage.cpp.o.d"
+  "fault_coverage"
+  "fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_cli.dir/merced_cli.cpp.o"
+  "CMakeFiles/merced_cli.dir/merced_cli.cpp.o.d"
+  "merced_cli"
+  "merced_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

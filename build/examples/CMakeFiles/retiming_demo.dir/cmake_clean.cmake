@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retiming_demo.dir/retiming_demo.cpp.o"
+  "CMakeFiles/retiming_demo.dir/retiming_demo.cpp.o.d"
+  "retiming_demo"
+  "retiming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retiming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/cbit.cc" "src/bist/CMakeFiles/merced_bist.dir/cbit.cc.o" "gcc" "src/bist/CMakeFiles/merced_bist.dir/cbit.cc.o.d"
+  "/root/repo/src/bist/cbit_area.cc" "src/bist/CMakeFiles/merced_bist.dir/cbit_area.cc.o" "gcc" "src/bist/CMakeFiles/merced_bist.dir/cbit_area.cc.o.d"
+  "/root/repo/src/bist/lfsr.cc" "src/bist/CMakeFiles/merced_bist.dir/lfsr.cc.o" "gcc" "src/bist/CMakeFiles/merced_bist.dir/lfsr.cc.o.d"
+  "/root/repo/src/bist/misr.cc" "src/bist/CMakeFiles/merced_bist.dir/misr.cc.o" "gcc" "src/bist/CMakeFiles/merced_bist.dir/misr.cc.o.d"
+  "/root/repo/src/bist/polynomials.cc" "src/bist/CMakeFiles/merced_bist.dir/polynomials.cc.o" "gcc" "src/bist/CMakeFiles/merced_bist.dir/polynomials.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/merced_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

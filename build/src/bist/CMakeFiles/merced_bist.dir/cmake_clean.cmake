@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_bist.dir/cbit.cc.o"
+  "CMakeFiles/merced_bist.dir/cbit.cc.o.d"
+  "CMakeFiles/merced_bist.dir/cbit_area.cc.o"
+  "CMakeFiles/merced_bist.dir/cbit_area.cc.o.d"
+  "CMakeFiles/merced_bist.dir/lfsr.cc.o"
+  "CMakeFiles/merced_bist.dir/lfsr.cc.o.d"
+  "CMakeFiles/merced_bist.dir/misr.cc.o"
+  "CMakeFiles/merced_bist.dir/misr.cc.o.d"
+  "CMakeFiles/merced_bist.dir/polynomials.cc.o"
+  "CMakeFiles/merced_bist.dir/polynomials.cc.o.d"
+  "libmerced_bist.a"
+  "libmerced_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmerced_bist.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/generator.cc" "src/circuits/CMakeFiles/merced_circuits.dir/generator.cc.o" "gcc" "src/circuits/CMakeFiles/merced_circuits.dir/generator.cc.o.d"
+  "/root/repo/src/circuits/registry.cc" "src/circuits/CMakeFiles/merced_circuits.dir/registry.cc.o" "gcc" "src/circuits/CMakeFiles/merced_circuits.dir/registry.cc.o.d"
+  "/root/repo/src/circuits/s27.cc" "src/circuits/CMakeFiles/merced_circuits.dir/s27.cc.o" "gcc" "src/circuits/CMakeFiles/merced_circuits.dir/s27.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/merced_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_circuits.dir/generator.cc.o"
+  "CMakeFiles/merced_circuits.dir/generator.cc.o.d"
+  "CMakeFiles/merced_circuits.dir/registry.cc.o"
+  "CMakeFiles/merced_circuits.dir/registry.cc.o.d"
+  "CMakeFiles/merced_circuits.dir/s27.cc.o"
+  "CMakeFiles/merced_circuits.dir/s27.cc.o.d"
+  "libmerced_circuits.a"
+  "libmerced_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

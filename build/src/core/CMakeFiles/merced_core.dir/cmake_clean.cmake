@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_core.dir/area_report.cc.o"
+  "CMakeFiles/merced_core.dir/area_report.cc.o.d"
+  "CMakeFiles/merced_core.dir/emit_bist.cc.o"
+  "CMakeFiles/merced_core.dir/emit_bist.cc.o.d"
+  "CMakeFiles/merced_core.dir/merced.cc.o"
+  "CMakeFiles/merced_core.dir/merced.cc.o.d"
+  "CMakeFiles/merced_core.dir/paper_data.cc.o"
+  "CMakeFiles/merced_core.dir/paper_data.cc.o.d"
+  "CMakeFiles/merced_core.dir/ppet_session.cc.o"
+  "CMakeFiles/merced_core.dir/ppet_session.cc.o.d"
+  "CMakeFiles/merced_core.dir/table_printer.cc.o"
+  "CMakeFiles/merced_core.dir/table_printer.cc.o.d"
+  "libmerced_core.a"
+  "libmerced_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_flow.dir/saturate_network.cc.o"
+  "CMakeFiles/merced_flow.dir/saturate_network.cc.o.d"
+  "libmerced_flow.a"
+  "libmerced_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

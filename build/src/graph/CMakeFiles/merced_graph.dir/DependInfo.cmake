@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/circuit_graph.cc" "src/graph/CMakeFiles/merced_graph.dir/circuit_graph.cc.o" "gcc" "src/graph/CMakeFiles/merced_graph.dir/circuit_graph.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/graph/CMakeFiles/merced_graph.dir/dijkstra.cc.o" "gcc" "src/graph/CMakeFiles/merced_graph.dir/dijkstra.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/graph/CMakeFiles/merced_graph.dir/scc.cc.o" "gcc" "src/graph/CMakeFiles/merced_graph.dir/scc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/merced_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

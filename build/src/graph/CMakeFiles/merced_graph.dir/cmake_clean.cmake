@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_graph.dir/circuit_graph.cc.o"
+  "CMakeFiles/merced_graph.dir/circuit_graph.cc.o.d"
+  "CMakeFiles/merced_graph.dir/dijkstra.cc.o"
+  "CMakeFiles/merced_graph.dir/dijkstra.cc.o.d"
+  "CMakeFiles/merced_graph.dir/scc.cc.o"
+  "CMakeFiles/merced_graph.dir/scc.cc.o.d"
+  "libmerced_graph.a"
+  "libmerced_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

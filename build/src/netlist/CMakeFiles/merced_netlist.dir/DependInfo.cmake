@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/area_model.cc" "src/netlist/CMakeFiles/merced_netlist.dir/area_model.cc.o" "gcc" "src/netlist/CMakeFiles/merced_netlist.dir/area_model.cc.o.d"
+  "/root/repo/src/netlist/bench_io.cc" "src/netlist/CMakeFiles/merced_netlist.dir/bench_io.cc.o" "gcc" "src/netlist/CMakeFiles/merced_netlist.dir/bench_io.cc.o.d"
+  "/root/repo/src/netlist/gate.cc" "src/netlist/CMakeFiles/merced_netlist.dir/gate.cc.o" "gcc" "src/netlist/CMakeFiles/merced_netlist.dir/gate.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/netlist/CMakeFiles/merced_netlist.dir/netlist.cc.o" "gcc" "src/netlist/CMakeFiles/merced_netlist.dir/netlist.cc.o.d"
+  "/root/repo/src/netlist/stats.cc" "src/netlist/CMakeFiles/merced_netlist.dir/stats.cc.o" "gcc" "src/netlist/CMakeFiles/merced_netlist.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

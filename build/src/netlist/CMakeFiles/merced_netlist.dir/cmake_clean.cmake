@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_netlist.dir/area_model.cc.o"
+  "CMakeFiles/merced_netlist.dir/area_model.cc.o.d"
+  "CMakeFiles/merced_netlist.dir/bench_io.cc.o"
+  "CMakeFiles/merced_netlist.dir/bench_io.cc.o.d"
+  "CMakeFiles/merced_netlist.dir/gate.cc.o"
+  "CMakeFiles/merced_netlist.dir/gate.cc.o.d"
+  "CMakeFiles/merced_netlist.dir/netlist.cc.o"
+  "CMakeFiles/merced_netlist.dir/netlist.cc.o.d"
+  "CMakeFiles/merced_netlist.dir/stats.cc.o"
+  "CMakeFiles/merced_netlist.dir/stats.cc.o.d"
+  "libmerced_netlist.a"
+  "libmerced_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

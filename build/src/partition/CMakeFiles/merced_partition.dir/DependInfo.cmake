@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/assign_cbit.cc" "src/partition/CMakeFiles/merced_partition.dir/assign_cbit.cc.o" "gcc" "src/partition/CMakeFiles/merced_partition.dir/assign_cbit.cc.o.d"
+  "/root/repo/src/partition/clustering.cc" "src/partition/CMakeFiles/merced_partition.dir/clustering.cc.o" "gcc" "src/partition/CMakeFiles/merced_partition.dir/clustering.cc.o.d"
+  "/root/repo/src/partition/make_group.cc" "src/partition/CMakeFiles/merced_partition.dir/make_group.cc.o" "gcc" "src/partition/CMakeFiles/merced_partition.dir/make_group.cc.o.d"
+  "/root/repo/src/partition/sa_partition.cc" "src/partition/CMakeFiles/merced_partition.dir/sa_partition.cc.o" "gcc" "src/partition/CMakeFiles/merced_partition.dir/sa_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/merced_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/merced_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/merced_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

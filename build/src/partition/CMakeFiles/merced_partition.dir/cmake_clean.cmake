@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_partition.dir/assign_cbit.cc.o"
+  "CMakeFiles/merced_partition.dir/assign_cbit.cc.o.d"
+  "CMakeFiles/merced_partition.dir/clustering.cc.o"
+  "CMakeFiles/merced_partition.dir/clustering.cc.o.d"
+  "CMakeFiles/merced_partition.dir/make_group.cc.o"
+  "CMakeFiles/merced_partition.dir/make_group.cc.o.d"
+  "CMakeFiles/merced_partition.dir/sa_partition.cc.o"
+  "CMakeFiles/merced_partition.dir/sa_partition.cc.o.d"
+  "libmerced_partition.a"
+  "libmerced_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

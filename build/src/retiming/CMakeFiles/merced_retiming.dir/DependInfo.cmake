@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retiming/cut_retiming.cc" "src/retiming/CMakeFiles/merced_retiming.dir/cut_retiming.cc.o" "gcc" "src/retiming/CMakeFiles/merced_retiming.dir/cut_retiming.cc.o.d"
+  "/root/repo/src/retiming/retime_graph.cc" "src/retiming/CMakeFiles/merced_retiming.dir/retime_graph.cc.o" "gcc" "src/retiming/CMakeFiles/merced_retiming.dir/retime_graph.cc.o.d"
+  "/root/repo/src/retiming/retimed_netlist.cc" "src/retiming/CMakeFiles/merced_retiming.dir/retimed_netlist.cc.o" "gcc" "src/retiming/CMakeFiles/merced_retiming.dir/retimed_netlist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/merced_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/merced_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/merced_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/merced_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/merced_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_retiming.dir/cut_retiming.cc.o"
+  "CMakeFiles/merced_retiming.dir/cut_retiming.cc.o.d"
+  "CMakeFiles/merced_retiming.dir/retime_graph.cc.o"
+  "CMakeFiles/merced_retiming.dir/retime_graph.cc.o.d"
+  "CMakeFiles/merced_retiming.dir/retimed_netlist.cc.o"
+  "CMakeFiles/merced_retiming.dir/retimed_netlist.cc.o.d"
+  "libmerced_retiming.a"
+  "libmerced_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

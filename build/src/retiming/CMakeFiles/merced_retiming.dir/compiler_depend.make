@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for merced_retiming.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merced_sim.dir/cone.cc.o"
+  "CMakeFiles/merced_sim.dir/cone.cc.o.d"
+  "CMakeFiles/merced_sim.dir/fault.cc.o"
+  "CMakeFiles/merced_sim.dir/fault.cc.o.d"
+  "CMakeFiles/merced_sim.dir/fault_sim.cc.o"
+  "CMakeFiles/merced_sim.dir/fault_sim.cc.o.d"
+  "CMakeFiles/merced_sim.dir/simulator.cc.o"
+  "CMakeFiles/merced_sim.dir/simulator.cc.o.d"
+  "libmerced_sim.a"
+  "libmerced_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merced_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_test.dir/bist_test.cc.o"
+  "CMakeFiles/bist_test.dir/bist_test.cc.o.d"
+  "bist_test"
+  "bist_test.pdb"
+  "bist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuits_test.cc" "tests/CMakeFiles/circuits_test.dir/circuits_test.cc.o" "gcc" "tests/CMakeFiles/circuits_test.dir/circuits_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/merced_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/retiming/CMakeFiles/merced_retiming.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/merced_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/merced_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/merced_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/merced_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/merced_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/merced_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/merced_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_bist_test.dir/emit_bist_test.cc.o"
+  "CMakeFiles/emit_bist_test.dir/emit_bist_test.cc.o.d"
+  "emit_bist_test"
+  "emit_bist_test.pdb"
+  "emit_bist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_bist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retiming_test.dir/retiming_test.cc.o"
+  "CMakeFiles/retiming_test.dir/retiming_test.cc.o.d"
+  "retiming_test"
+  "retiming_test.pdb"
+  "retiming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retiming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
