@@ -1,0 +1,184 @@
+// Parallel-runtime scaling bench — emits BENCH_parallel.json.
+//
+// Measures wall-clock speedup of the two threaded hot paths at 1/2/4/8
+// worker threads:
+//  * sharded parallel-fault simulation (63 faults per machine word, one
+//    group per work item) on the largest generated ISCAS-like circuit;
+//  * multi-start Saturate_Network (8 independent seeds fanned out).
+//
+// Both paths are checked for thread-count independence while timing: the
+// detected-fault signature and the per-start flow vectors must be identical
+// at every jobs value, so a scheduling bug fails the bench rather than
+// skewing a table. JSON schema:
+//
+//   { "hardware_concurrency": N,
+//     "fault_sim": { "circuit": ..., "faults": N, "cycles": N,
+//                    "runs": [ {"jobs":1,"seconds":s,"speedup":x}, ... ] },
+//     "multi_start_saturate": { "circuit": ..., "starts": K, "runs": [...] } }
+//
+// Usage: bench_parallel_scaling [--fault-circuit name] [--flow-circuit name]
+//                               [--cycles N] [--max-faults N] [--quick]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "flow/saturate_network.h"
+#include "graph/circuit_graph.h"
+#include "runtime/thread_pool.h"
+#include "sim/fault.h"
+#include "sim/fault_sim.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Run {
+  std::size_t jobs;
+  double seconds;
+  double speedup;
+};
+
+void print_runs(std::ostream& os, const std::vector<Run>& runs) {
+  for (const Run& r : runs) {
+    os << "  jobs=" << r.jobs << ": " << r.seconds << " s  (speedup " << r.speedup
+       << "x)\n";
+  }
+}
+
+void json_runs(std::ostream& os, const std::vector<Run>& runs) {
+  os << "[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) os << ", ";
+    os << "{\"jobs\": " << runs[i].jobs << ", \"seconds\": " << runs[i].seconds
+       << ", \"speedup\": " << runs[i].speedup << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merced;
+
+  // The two largest suite circuits by cell count; the flow circuit is
+  // smaller because one saturation of a 20k-cell graph is minutes of
+  // Dijkstra, which would make the bench unusable in CI.
+  std::string fault_circuit = "s38584.1";
+  std::string flow_circuit = "s1423";
+  std::size_t cycles = 64;
+  std::size_t max_faults = 63 * 64;  // 64 machine-word groups
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      fault_circuit = "s5378";
+      flow_circuit = "s838.1";
+      cycles = 32;
+      max_faults = 63 * 16;
+    } else if (flag == "--fault-circuit" && i + 1 < argc) {
+      fault_circuit = argv[++i];
+    } else if (flag == "--flow-circuit" && i + 1 < argc) {
+      flow_circuit = argv[++i];
+    } else if (flag == "--cycles" && i + 1 < argc) {
+      cycles = std::stoul(argv[++i]);
+    } else if (flag == "--max-faults" && i + 1 < argc) {
+      max_faults = std::stoul(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_parallel_scaling [--fault-circuit name] "
+                   "[--flow-circuit name] [--cycles N] [--max-faults N] [--quick]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> jobs_sweep = {1, 2, 4, 8};
+  std::cout << "Parallel scaling bench (hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  // ------------------------------------------------ sharded fault sim ---
+  const Netlist fault_nl = load_benchmark(fault_circuit);
+  std::vector<Fault> faults = collapse_faults(fault_nl, enumerate_faults(fault_nl));
+  if (faults.size() > max_faults) faults.resize(max_faults);
+
+  std::mt19937_64 rng(20260805);
+  std::vector<std::vector<bool>> stream(cycles,
+                                        std::vector<bool>(fault_nl.inputs().size()));
+  for (auto& v : stream) {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng() & 1;
+  }
+  const std::vector<bool> init(fault_nl.dffs().size(), false);
+
+  std::cout << "fault_sim: " << fault_circuit << ", " << faults.size() << " faults, "
+            << cycles << " cycles\n";
+  std::vector<Run> fault_runs;
+  FaultSimResult reference;
+  for (std::size_t jobs : jobs_sweep) {
+    FaultSimResult r;
+    const double s =
+        time_seconds([&] { r = simulate_faults(fault_nl, faults, stream, init, jobs); });
+    if (jobs == jobs_sweep.front()) {
+      reference = r;
+    } else if (r.detected != reference.detected ||
+               r.detect_cycle != reference.detect_cycle) {
+      std::cerr << "FATAL: fault_sim output differs at jobs=" << jobs << "\n";
+      return 1;
+    }
+    fault_runs.push_back({jobs, s, fault_runs.empty() ? 1.0 : fault_runs[0].seconds / s});
+  }
+  print_runs(std::cout, fault_runs);
+
+  // ---------------------------------------- multi-start saturation ---
+  const std::size_t starts = 8;
+  const Netlist flow_nl = load_benchmark(flow_circuit);
+  const CircuitGraph graph(flow_nl);
+  SaturateParams params;
+  std::cout << "\nmulti_start_saturate: " << flow_circuit << ", " << starts
+            << " starts\n";
+  std::vector<Run> flow_runs;
+  std::vector<SaturationResult> flow_reference;
+  for (std::size_t jobs : jobs_sweep) {
+    std::vector<SaturationResult> r;
+    const double s = time_seconds([&] {
+      ThreadPool pool(jobs);
+      r = saturate_network_multistart(graph, params, starts, pool);
+    });
+    if (jobs == jobs_sweep.front()) {
+      flow_reference = std::move(r);
+    } else {
+      for (std::size_t k = 0; k < starts; ++k) {
+        if (r[k].flow != flow_reference[k].flow) {
+          std::cerr << "FATAL: saturation start " << k << " differs at jobs=" << jobs
+                    << "\n";
+          return 1;
+        }
+      }
+    }
+    flow_runs.push_back({jobs, s, flow_runs.empty() ? 1.0 : flow_runs[0].seconds / s});
+  }
+  print_runs(std::cout, flow_runs);
+
+  // --------------------------------------------------------- JSON out ---
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"fault_sim\": {\"circuit\": \"" << fault_circuit
+       << "\", \"faults\": " << faults.size() << ", \"cycles\": " << cycles
+       << ", \"runs\": ";
+  json_runs(json, fault_runs);
+  json << "},\n  \"multi_start_saturate\": {\"circuit\": \"" << flow_circuit
+       << "\", \"starts\": " << starts << ", \"runs\": ";
+  json_runs(json, flow_runs);
+  json << "}\n}\n";
+  std::cout << "\nwrote BENCH_parallel.json\n";
+  return 0;
+}

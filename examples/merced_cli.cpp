@@ -3,9 +3,14 @@
 // Usage:
 //   merced_cli <circuit|path.bench> [--lk N] [--beta N] [--seed N]
 //              [--alpha F] [--delta F] [--min-visit N]
+//              [--jobs N] [--starts K]
 //
 // <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
 // or a path to an ISCAS89 .bench file.
+//
+// --starts K runs K independent flow saturations (multi-start) and keeps
+// the best Make_Group outcome; --jobs N fans the starts out over N worker
+// threads (0 = all hardware threads). Output is identical for any --jobs.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -20,6 +25,7 @@ namespace {
 void usage() {
   std::cerr << "usage: merced_cli <circuit|file.bench> [--lk N] [--beta N] [--seed N]\n"
                "                  [--alpha F] [--delta F] [--min-visit N]\n"
+               "                  [--jobs N] [--starts K]\n"
                "bundled circuits:";
   for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
   std::cerr << "\n";
@@ -50,6 +56,10 @@ int main(int argc, char** argv) {
       config.flow.delta = std::stod(value);
     } else if (flag == "--min-visit") {
       config.flow.min_visit = std::stoi(value);
+    } else if (flag == "--jobs") {
+      config.jobs = std::stoul(value);
+    } else if (flag == "--starts") {
+      config.multi_start = std::stoul(value);
     } else {
       usage();
       return 2;

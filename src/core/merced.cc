@@ -1,11 +1,13 @@
 #include "core/merced.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <ostream>
 
 #include "graph/circuit_graph.h"
+#include "runtime/thread_pool.h"
 #include "netlist/area_model.h"
 #include "partition/assign_cbit.h"
 #include "retiming/retime_graph.h"
@@ -20,15 +22,18 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-PreparedCircuit::PreparedCircuit(const Netlist& nl, const SaturateParams& flow)
+PreparedCircuit::PreparedCircuit(const Netlist& nl, const SaturateParams& flow,
+                                 std::size_t num_starts, std::size_t jobs)
     : netlist(&nl), graph(nl), sccs(find_sccs(graph)) {
+  if (num_starts == 0) throw std::invalid_argument("PreparedCircuit: num_starts must be > 0");
   const auto t0 = std::chrono::steady_clock::now();
-  saturation = saturate_network(graph, flow);
+  ThreadPool pool(std::min(resolve_jobs(jobs), num_starts));
+  saturations = saturate_network_multistart(graph, flow, num_starts, pool);
   saturate_seconds = seconds_since(t0);
 }
 
 MercedResult compile(const Netlist& netlist, const MercedConfig& config) {
-  const PreparedCircuit prepared(netlist, config.flow);
+  const PreparedCircuit prepared(netlist, config.flow, config.multi_start, config.jobs);
   return compile(prepared, config);
 }
 
@@ -46,34 +51,68 @@ MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config
   const Netlist& netlist = *prepared.netlist;
   const CircuitGraph& graph = prepared.graph;
   const SccInfo& sccs = prepared.sccs;
-  const SaturationResult& sat = prepared.saturation;
 
   MercedResult r;
   r.stats = compute_stats(netlist);
   r.num_sccs = sccs.count();
   r.dffs_on_scc = static_cast<std::size_t>(sccs.total_dffs_on_scc());
   r.saturate_seconds = prepared.saturate_seconds;
-  r.flow_iterations = sat.iterations;
+  r.num_starts = prepared.saturations.size();
   stage("prepare (graph+scc reused)");
 
-  // STEP 3b: input-constraint clustering.
+  // STEP 3b+3c: clustering and CBIT assignment — once per multi-start
+  // candidate. Each candidate runs the full downstream (Make_Group →
+  // Assign_CBIT → cut census) because the greedy merge can reorder
+  // candidates: fewer Make_Group cuts does not imply fewer final cuts. The
+  // winner is chosen by a total order scanned in start-index order, so the
+  // selection depends only on the saturation seeds, never on thread count
+  // (DESIGN.md "Parallel runtime").
   MakeGroupParams mg;
   mg.lk = config.lk;
   mg.beta = config.beta;
-  const MakeGroupResult groups = make_group(graph, sccs, sat, mg);
-  r.feasible = groups.feasible;
-  stage("make_group");
 
-  // STEP 3c: greedy CBIT assignment (cluster merging).
-  AssignCbitResult assigned = assign_cbit(graph, groups.clustering, config.lk);
-  r.partitions = std::move(assigned.partitions);
-  r.partition_inputs = std::move(assigned.input_counts);
-  stage("assign_cbit");
+  struct Candidate {
+    bool feasible = true;
+    AssignCbitResult assigned;
+    std::vector<NetId> cut_net_ids;
+    CutReport cuts;
+    std::size_t max_iota = 0;
+  };
+  ThreadPool pool(std::min(resolve_jobs(config.jobs), prepared.saturations.size()));
+  std::vector<Candidate> candidates = parallel_map<Candidate>(
+      pool, prepared.saturations.size(), [&](std::size_t k) {
+        Candidate c;
+        const MakeGroupResult groups = make_group(graph, sccs, prepared.saturations[k], mg);
+        c.feasible = groups.feasible;
+        c.assigned = assign_cbit(graph, groups.clustering, config.lk);
+        c.cut_net_ids = cut_nets(graph, c.assigned.partitions);
+        c.cuts = make_cut_report(graph, c.assigned.partitions, sccs);
+        for (std::size_t iota : c.assigned.input_counts) {
+          c.max_iota = std::max(c.max_iota, iota);
+        }
+        return c;
+      });
 
-  // Cut census.
-  r.cut_net_ids = cut_nets(graph, r.partitions);
-  r.cuts = make_cut_report(graph, r.partitions, sccs);
-  stage("cut_census");
+  // Deterministic merge: feasible beats infeasible, then fewest cut nets,
+  // then smallest worst-case ι (the lk slack), then lowest start index.
+  std::size_t best = 0;
+  auto better = [](const Candidate& a, const Candidate& b) {
+    if (a.feasible != b.feasible) return a.feasible;
+    if (a.cuts.nets_cut != b.cuts.nets_cut) return a.cuts.nets_cut < b.cuts.nets_cut;
+    return a.max_iota < b.max_iota;
+  };
+  for (std::size_t k = 1; k < candidates.size(); ++k) {
+    if (better(candidates[k], candidates[best])) best = k;
+  }
+  Candidate& won = candidates[best];
+  r.chosen_start = best;
+  r.flow_iterations = prepared.saturations[best].iterations;
+  r.feasible = won.feasible;
+  r.partitions = std::move(won.assigned.partitions);
+  r.partition_inputs = std::move(won.assigned.input_counts);
+  r.cut_net_ids = std::move(won.cut_net_ids);
+  r.cuts = won.cuts;
+  stage("make_group + assign_cbit (multi-start merge)");
 
   // STEP 3d: legal retiming plan for the cut set.
   const RetimeGraph rgraph(graph);
@@ -116,6 +155,10 @@ void print_report(std::ostream& os, const MercedResult& r) {
      << ", cost = " << r.cbit_cost.total_area_dff << " DFF-equivalents\n"
      << "  CPU: " << r.total_seconds << " s (saturation " << r.saturate_seconds
      << " s, " << r.flow_iterations << " flow trees)\n";
+  if (r.num_starts > 1) {
+    os << "  multi-start: " << r.num_starts << " candidates, start #" << r.chosen_start
+       << " selected\n";
+  }
 }
 
 }  // namespace merced

@@ -27,6 +27,15 @@ struct MercedConfig {
   std::size_t lk = 16;        ///< CBIT length / input constraint (Eq. 5)
   int beta = 50;              ///< SCC cut-budget multiplier (Eq. 6, §4.1)
   SaturateParams flow;        ///< b=1, min_visit=20, α=4, Δ=0.01 (§4.1)
+
+  /// Multi-start width K: run K independent saturations (seeded via
+  /// multi_start_seed) and keep the congestion ranking whose Make_Group
+  /// output wins on (feasible, fewest cut nets, smallest max ι, lowest
+  /// start index) — the documented deterministic tie-break. K=1 reproduces
+  /// the historical single-start pipeline exactly.
+  std::size_t multi_start = 1;
+  /// Worker threads for the saturation/evaluation fan-out (0 = hardware).
+  std::size_t jobs = 1;
 };
 
 struct MercedResult {
@@ -44,18 +53,25 @@ struct MercedResult {
   double saturate_seconds = 0;
   double total_seconds = 0;                 ///< Tables 10/11 "CPU time"
   std::size_t flow_iterations = 0;
+  std::size_t num_starts = 1;               ///< multi-start candidates evaluated
+  std::size_t chosen_start = 0;             ///< winning start index
 };
 
 /// STEP 1–3a artifacts, reusable across lk values (the flow saturation does
-/// not depend on the input constraint).
+/// not depend on the input constraint). Holds one saturation per multi-start
+/// candidate; compile() scores all of them against the lk at hand.
 struct PreparedCircuit {
   const Netlist* netlist = nullptr;
   CircuitGraph graph;
   SccInfo sccs;
-  SaturationResult saturation;
-  double saturate_seconds = 0;
+  std::vector<SaturationResult> saturations;  ///< indexed by start
+  double saturate_seconds = 0;                ///< wall time of the whole fan-out
 
-  PreparedCircuit(const Netlist& nl, const SaturateParams& flow);
+  PreparedCircuit(const Netlist& nl, const SaturateParams& flow,
+                  std::size_t num_starts = 1, std::size_t jobs = 1);
+
+  /// The first (base-seed) candidate — the historical single-start result.
+  const SaturationResult& saturation() const { return saturations.front(); }
 };
 
 /// Runs the full pipeline on a finalized netlist.

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace merced {
 
 PpetSession::PpetSession(const CircuitGraph& graph, const MercedResult& result,
-                         unsigned psa_width)
-    : graph_(&graph), psa_width_(psa_width) {
+                         unsigned psa_width, std::size_t jobs)
+    : graph_(&graph), psa_width_(psa_width), jobs_(jobs) {
   if (psa_width < kMinLfsrDegree || psa_width > kMaxLfsrDegree) {
     throw std::invalid_argument("PpetSession: unsupported PSA width");
   }
@@ -40,23 +42,6 @@ SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
   SessionResult out;
   out.cycles_run = session_cycles();
 
-  // Global initialization: scan zero into every CBIT (Fig. 1a's chain).
-  std::vector<Cbit> tpgs;
-  std::vector<Cbit> psas;
-  for (const CutStation& st : stations_) {
-    Cbit tpg(st.tpg_width);
-    tpg.set_mode(CbitMode::kScan);
-    for (unsigned b = 0; b < st.tpg_width; ++b) tpg.step(0, false);
-    tpg.set_mode(CbitMode::kTpg);
-    tpgs.push_back(tpg);
-
-    Cbit psa(st.psa_width);
-    psa.set_mode(CbitMode::kScan);
-    for (unsigned b = 0; b < st.psa_width; ++b) psa.step(0, false);
-    psa.set_mode(CbitMode::kPsa);
-    psas.push_back(psa);
-  }
-
   // Which station carries the fault (if any)?
   std::vector<const Fault*> station_fault(stations_.size(), nullptr);
   if (fault) {
@@ -68,27 +53,45 @@ SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
     }
   }
 
-  // Concurrent sweep: every cycle each still-active station applies its TPG
-  // state to its CUT and compacts the outputs; stations whose sweep is done
-  // idle (their CBITs would be serving other pipes in a real device).
-  for (std::uint64_t cycle = 0; cycle < out.cycles_run; ++cycle) {
-    for (std::size_t s = 0; s < stations_.size(); ++s) {
-      if (cycle >= stations_[s].cycles) continue;
-      const ConeSimulator& cone = cones_[s];
-      const std::size_t n = cone.cut_inputs().size();
-      std::vector<std::uint64_t> in(n);
+  // Concurrent sweep. Stations are mutually independent — each owns its TPG
+  // and PSA CBITs and its cone — so each one runs its full 2^ι sweep as one
+  // work item; a station idles after its sweep in a real device, which here
+  // simply means its work item ends. Signatures land in per-station slots,
+  // so the result is identical for any jobs value.
+  std::vector<Cbit> psas(stations_.size(), Cbit(psa_width_));
+  ThreadPool pool(std::min(resolve_jobs(jobs_),
+                           std::max<std::size_t>(stations_.size(), 1)));
+  pool.parallel_for(stations_.size(), [&](std::size_t s) {
+    const CutStation& st = stations_[s];
+    // Global initialization: scan zero into this station's CBITs (Fig. 1a's
+    // chain — serial in hardware, state-equivalent here).
+    Cbit tpg(st.tpg_width);
+    tpg.set_mode(CbitMode::kScan);
+    for (unsigned b = 0; b < st.tpg_width; ++b) tpg.step(0, false);
+    tpg.set_mode(CbitMode::kTpg);
+
+    Cbit psa(st.psa_width);
+    psa.set_mode(CbitMode::kScan);
+    for (unsigned b = 0; b < st.psa_width; ++b) psa.step(0, false);
+    psa.set_mode(CbitMode::kPsa);
+
+    const ConeSimulator& cone = cones_[s];
+    const std::size_t n = cone.cut_inputs().size();
+    std::vector<std::uint64_t> in(n);
+    for (std::uint64_t cycle = 0; cycle < st.cycles; ++cycle) {
       for (std::size_t i = 0; i < n; ++i) {
-        in[i] = (tpgs[s].state() >> i) & 1 ? ~std::uint64_t{0} : 0;
+        in[i] = (tpg.state() >> i) & 1 ? ~std::uint64_t{0} : 0;
       }
       const auto outputs = cone.eval(in, station_fault[s]);
       std::uint64_t word = 0;
       for (std::size_t o = 0; o < outputs.size(); ++o) {
-        word ^= (outputs[o] & 1) << (o % stations_[s].psa_width);
+        word ^= (outputs[o] & 1) << (o % st.psa_width);
       }
-      psas[s].step(word);
-      tpgs[s].step(0);
+      psa.step(word);
+      tpg.step(0);
     }
-  }
+    psas[s] = psa;
+  });
 
   // Signature read-out through the scan chain: shift every PSA out serially
   // (MSB first), concatenated in station order.

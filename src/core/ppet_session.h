@@ -46,9 +46,16 @@ struct SessionResult {
 class PpetSession {
  public:
   /// Builds the CBIT network for a compiled result. `graph` must be the
-  /// graph of the compiled netlist and outlive the session.
+  /// graph of the compiled netlist and outlive the session. `jobs` worker
+  /// threads sweep the (mutually independent) CUT stations concurrently;
+  /// signatures and scan stream are identical for every jobs value because
+  /// stations never interact and read-out is serialized in station order.
   PpetSession(const CircuitGraph& graph, const MercedResult& result,
-              unsigned psa_width = 16);
+              unsigned psa_width = 16, std::size_t jobs = 1);
+
+  /// Worker threads for run() (0 = all hardware threads).
+  void set_jobs(std::size_t jobs) noexcept { jobs_ = jobs; }
+  std::size_t jobs() const noexcept { return jobs_; }
 
   std::size_t num_stations() const noexcept { return stations_.size(); }
   const CutStation& station(std::size_t i) const { return stations_.at(i); }
@@ -71,6 +78,7 @@ class PpetSession {
   std::vector<CutStation> stations_;
   std::vector<ConeSimulator> cones_;
   unsigned psa_width_;
+  std::size_t jobs_ = 1;
 };
 
 }  // namespace merced

@@ -101,4 +101,26 @@ SaturationResult saturate_network(const CircuitGraph& g, const SaturateParams& p
   return r;
 }
 
+std::uint64_t multi_start_seed(std::uint64_t base_seed, std::size_t start_index) noexcept {
+  if (start_index == 0) return base_seed;
+  // splitmix64 finalizer (Steele/Lea/Flood) over base + index.
+  std::uint64_t z = base_seed + static_cast<std::uint64_t>(start_index);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<SaturationResult> saturate_network_multistart(const CircuitGraph& graph,
+                                                          const SaturateParams& params,
+                                                          std::size_t num_starts,
+                                                          ThreadPool& pool) {
+  if (num_starts == 0) throw std::invalid_argument("saturate_network_multistart: num_starts must be > 0");
+  return parallel_map<SaturationResult>(pool, num_starts, [&](std::size_t k) {
+    SaturateParams p = params;
+    p.seed = multi_start_seed(params.seed, k);
+    return saturate_network(graph, p);
+  });
+}
+
 }  // namespace merced

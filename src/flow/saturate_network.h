@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/circuit_graph.h"
+#include "runtime/thread_pool.h"
 
 namespace merced {
 
@@ -60,5 +61,22 @@ struct SaturationResult {
 
 /// Runs the modified Saturate_Network procedure.
 SaturationResult saturate_network(const CircuitGraph& graph, const SaturateParams& params);
+
+/// Deterministic per-start seed: start 0 keeps the base seed unchanged (so a
+/// 1-start run is bit-identical to the historical single-start pipeline);
+/// start k > 0 uses splitmix64(base + k), decorrelating the RNG streams.
+/// This mapping is part of the determinism contract (DESIGN.md "Parallel
+/// runtime"): results depend only on (base seed, start index), never on
+/// thread count or scheduling.
+std::uint64_t multi_start_seed(std::uint64_t base_seed, std::size_t start_index) noexcept;
+
+/// Runs `num_starts` independent saturations of the same graph concurrently
+/// on `pool`, start k seeded with multi_start_seed(params.seed, k). The
+/// result vector is indexed by start, so any downstream selection that
+/// scans it in index order is thread-count-independent.
+std::vector<SaturationResult> saturate_network_multistart(const CircuitGraph& graph,
+                                                          const SaturateParams& params,
+                                                          std::size_t num_starts,
+                                                          ThreadPool& pool);
 
 }  // namespace merced

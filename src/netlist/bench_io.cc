@@ -84,8 +84,15 @@ Netlist parse_bench(std::string_view text, std::string name) {
       std::string upper = fn;
       for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
       if (upper == "INPUT") {
-        nl.add_gate(GateType::kInput, args[0]);
+        try {
+          nl.add_gate(GateType::kInput, args[0]);
+        } catch (const std::invalid_argument& e) {
+          fail(line_no, e.what());
+        }
       } else if (upper == "OUTPUT") {
+        for (const auto& [seen, _] : output_names) {
+          if (seen == args[0]) fail(line_no, "duplicate OUTPUT '" + args[0] + "'");
+        }
         output_names.emplace_back(args[0], line_no);
       } else {
         fail(line_no, "expected INPUT or OUTPUT, got '" + fn + "'");
@@ -106,7 +113,13 @@ Netlist parse_bench(std::string_view text, std::string name) {
   }
 
   // Second pass: create all gates, then resolve fanins (forward refs OK).
-  for (PendingGate& p : pendings) nl.add_gate(p.type, p.name);
+  for (PendingGate& p : pendings) {
+    try {
+      nl.add_gate(p.type, p.name);
+    } catch (const std::invalid_argument& e) {
+      fail(p.line, e.what());  // duplicate definition, tagged with its line
+    }
+  }
   for (const PendingGate& p : pendings) {
     std::vector<GateId> fanins;
     fanins.reserve(p.fanin_names.size());

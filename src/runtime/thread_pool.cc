@@ -1,0 +1,91 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace merced {
+
+std::size_t resolve_jobs(std::size_t jobs) noexcept {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  const std::size_t total = resolve_jobs(jobs);
+  threads_.reserve(total - 1);
+  for (std::size_t t = 1; t < total; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::drain_indices() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Early-stop hint: let other workers fall out of the claim loop.
+      next_.store(n_, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    drain_indices();
+    {
+      std::lock_guard lock(mu_);
+      if (--busy_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_ = threads_.size();
+    ++epoch_;
+  }
+  wake_.notify_all();
+  drain_indices();  // the caller is the pool's extra worker
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    done_.wait(lock, [&] { return busy_ == 0; });
+    body_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace merced

@@ -1,0 +1,84 @@
+// Fixed-size thread pool and deterministic parallel primitives.
+//
+// Merced's hot paths (multi-start Saturate_Network, parallel-fault
+// simulation, concurrent CUT sweeps) are embarrassingly parallel: N
+// independent work items whose results land in disjoint, index-addressed
+// slots. The runtime therefore stays deliberately small — a fixed pool with
+// a shared atomic work counter, no work stealing, no futures:
+//
+//  * ThreadPool(jobs) owns jobs-1 worker threads; the caller participates
+//    as the jobs-th worker, so ThreadPool(1) runs everything inline with no
+//    threads at all (the serial baseline is literally serial).
+//  * parallel_for(n, body) runs body(0..n-1), each index exactly once.
+//    Scheduling order is unspecified, which is why callers must write
+//    results to per-index slots only.
+//  * parallel_map(pool, n, fn) is the deterministic-reduction primitive:
+//    fn(i) results are stored at index i and any fold over them happens on
+//    the caller in index order — so the reduced value is bit-identical
+//    regardless of thread count. Every parallel result Merced publishes
+//    (multi-start winner, fault signatures, cut sets) goes through an
+//    index-ordered reduction; see DESIGN.md "Parallel runtime".
+//
+// Exceptions thrown by body propagate to the caller (first one wins;
+// remaining indices of the same loop may be skipped).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace merced {
+
+/// Resolves a user-facing jobs count: 0 means "all hardware threads".
+std::size_t resolve_jobs(std::size_t jobs) noexcept;
+
+class ThreadPool {
+ public:
+  /// `jobs` = total workers including the calling thread (0 = hardware).
+  explicit ThreadPool(std::size_t jobs = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the caller (>= 1).
+  std::size_t size() const noexcept { return threads_.size() + 1; }
+
+  /// Runs body(i) for every i in [0, n), distributing indices over the pool
+  /// via a shared counter. Blocks until all n indices completed. Not
+  /// reentrant: body must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void drain_indices();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;     ///< workers wait here for a job
+  std::condition_variable done_;     ///< caller waits here for completion
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+  std::size_t busy_ = 0;              ///< workers still inside the job
+  std::uint64_t epoch_ = 0;           ///< job generation counter
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// Maps i -> fn(i) into a vector, in parallel, preserving index order. Fold
+/// the result on the caller for a deterministic reduction.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace merced

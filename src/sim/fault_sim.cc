@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace merced {
 
 namespace {
@@ -11,11 +13,114 @@ namespace {
 /// Spreads a bool to a 64-bit mask.
 constexpr std::uint64_t spread(bool v) { return v ? ~std::uint64_t{0} : 0; }
 
+/// Simulates one group of up to 63 faults (lane 0 = good machine), writing
+/// per-fault verdicts to result slots [base, base+group). Groups touch
+/// disjoint slots, so they run concurrently without synchronization.
+void simulate_group(const Netlist& nl, std::span<const Fault> faults,
+                    std::span<const std::vector<bool>> input_stream,
+                    const std::vector<bool>& initial_state, std::size_t base,
+                    std::vector<std::uint8_t>& detected,
+                    std::vector<std::uint32_t>& detect_cycle) {
+  const std::size_t group = std::min<std::size_t>(63, faults.size() - base);
+
+  // Per-gate fault patch masks for this group.
+  // output patch: value = (value & ~mask) | set_bits
+  std::vector<std::uint64_t> out_clear(nl.size(), 0), out_set(nl.size(), 0);
+  struct PinPatch {
+    GateId gate;
+    std::uint16_t pin;
+    std::uint64_t clear, set;
+  };
+  std::vector<PinPatch> pin_patches;
+  for (std::size_t k = 0; k < group; ++k) {
+    const Fault& f = faults[base + k];
+    const std::uint64_t lane_bit = std::uint64_t{1} << (k + 1);
+    if (f.site == Fault::Site::kOutput) {
+      out_clear[f.gate] |= lane_bit;
+      if (f.stuck_value) out_set[f.gate] |= lane_bit;
+    } else {
+      pin_patches.push_back(
+          PinPatch{f.gate, f.pin, lane_bit, f.stuck_value ? lane_bit : 0});
+    }
+  }
+  // Index pin patches per gate for quick lookup.
+  std::vector<std::int32_t> first_pin_patch(nl.size(), -1);
+  std::vector<std::int32_t> next_patch(pin_patches.size(), -1);
+  for (std::size_t i = 0; i < pin_patches.size(); ++i) {
+    next_patch[i] = first_pin_patch[pin_patches[i].gate];
+    first_pin_patch[pin_patches[i].gate] = static_cast<std::int32_t>(i);
+  }
+
+  std::vector<std::uint64_t> value(nl.size(), 0);
+  std::vector<std::uint64_t> state(nl.dffs().size());
+  for (std::size_t i = 0; i < state.size(); ++i) state[i] = spread(initial_state[i]);
+
+  std::vector<std::uint64_t> fanin_vals;
+  for (std::size_t cycle = 0; cycle < input_stream.size(); ++cycle) {
+    const std::vector<bool>& in = input_stream[cycle];
+    if (in.size() != nl.inputs().size()) {
+      throw std::invalid_argument("simulate_faults: input vector size mismatch");
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) value[nl.inputs()[i]] = spread(in[i]);
+    for (std::size_t i = 0; i < state.size(); ++i) value[nl.dffs()[i]] = state[i];
+    // Stem faults on PIs/DFF outputs apply too.
+    for (GateId id : nl.inputs()) value[id] = (value[id] & ~out_clear[id]) | out_set[id];
+    for (GateId id : nl.dffs()) value[id] = (value[id] & ~out_clear[id]) | out_set[id];
+
+    for (GateId id : nl.topo_order()) {
+      const Gate& g = nl.gate(id);
+      if (!is_combinational(g.type) && g.type != GateType::kConst0 &&
+          g.type != GateType::kConst1) {
+        continue;
+      }
+      fanin_vals.clear();
+      for (GateId f : g.fanins) fanin_vals.push_back(value[f]);
+      for (std::int32_t pi = first_pin_patch[id]; pi >= 0; pi = next_patch[pi]) {
+        const PinPatch& p = pin_patches[static_cast<std::size_t>(pi)];
+        fanin_vals[p.pin] = (fanin_vals[p.pin] & ~p.clear) | p.set;
+      }
+      std::uint64_t out = eval_gate_u64(g.type, fanin_vals);
+      out = (out & ~out_clear[id]) | out_set[id];
+      value[id] = out;
+    }
+
+    // Detection: lane k differs from lane 0 on any PO.
+    for (GateId out_id : nl.outputs()) {
+      const std::uint64_t v = value[out_id];
+      const std::uint64_t good = (v & 1) ? ~std::uint64_t{0} : 0;
+      std::uint64_t diff = v ^ good;
+      while (diff != 0) {
+        const int lane = std::countr_zero(diff);
+        diff &= diff - 1;
+        if (lane == 0 || static_cast<std::size_t>(lane) > group) continue;
+        const std::size_t fi = base + static_cast<std::size_t>(lane) - 1;
+        if (!detected[fi]) {
+          detected[fi] = 1;
+          detect_cycle[fi] = static_cast<std::uint32_t>(cycle);
+        }
+      }
+    }
+
+    // Clock registers (fault effects propagate through state). DFF input
+    // pin faults are applied here — the D pin is read only at the clock.
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      const GateId dff = nl.dffs()[i];
+      std::uint64_t d_val = value[nl.gate(dff).fanins.at(0)];
+      for (std::int32_t pi = first_pin_patch[dff]; pi >= 0; pi = next_patch[pi]) {
+        const PinPatch& p = pin_patches[static_cast<std::size_t>(pi)];
+        d_val = (d_val & ~p.clear) | p.set;
+      }
+      state[i] = d_val;
+    }
+  }
+}
+
 }  // namespace
 
 FaultSimResult simulate_faults(const Netlist& nl, std::span<const Fault> faults,
                                std::span<const std::vector<bool>> input_stream,
-                               const std::vector<bool>& initial_state) {
+                               const std::vector<bool>& initial_state,
+                               std::size_t jobs) {
   if (!nl.finalized()) throw std::logic_error("simulate_faults: netlist not finalized");
   if (initial_state.size() != nl.dffs().size()) {
     throw std::invalid_argument("simulate_faults: initial_state size mismatch");
@@ -27,100 +132,25 @@ FaultSimResult simulate_faults(const Netlist& nl, std::span<const Fault> faults,
 
   if (faults.empty()) return result;
 
-  // Process faults in groups of 63 (lane 0 = good machine).
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
-    const std::size_t group = std::min<std::size_t>(63, faults.size() - base);
+  // Per-fault scratch slots (bytes, not vector<bool> — neighbouring bits of
+  // a packed vector share words, which concurrent groups must not).
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+  std::vector<std::uint32_t> detect_cycle(faults.size(),
+                                          std::numeric_limits<std::uint32_t>::max());
 
-    // Per-gate fault patch masks for this group.
-    // output patch: value = (value & ~mask) | set_bits
-    std::vector<std::uint64_t> out_clear(nl.size(), 0), out_set(nl.size(), 0);
-    struct PinPatch {
-      GateId gate;
-      std::uint16_t pin;
-      std::uint64_t clear, set;
-    };
-    std::vector<PinPatch> pin_patches;
-    for (std::size_t k = 0; k < group; ++k) {
-      const Fault& f = faults[base + k];
-      const std::uint64_t lane_bit = std::uint64_t{1} << (k + 1);
-      if (f.site == Fault::Site::kOutput) {
-        out_clear[f.gate] |= lane_bit;
-        if (f.stuck_value) out_set[f.gate] |= lane_bit;
-      } else {
-        pin_patches.push_back(
-            PinPatch{f.gate, f.pin, lane_bit, f.stuck_value ? lane_bit : 0});
-      }
-    }
-    // Index pin patches per gate for quick lookup.
-    std::vector<std::int32_t> first_pin_patch(nl.size(), -1);
-    std::vector<std::int32_t> next_patch(pin_patches.size(), -1);
-    for (std::size_t i = 0; i < pin_patches.size(); ++i) {
-      next_patch[i] = first_pin_patch[pin_patches[i].gate];
-      first_pin_patch[pin_patches[i].gate] = static_cast<std::int32_t>(i);
-    }
+  const std::size_t num_groups = (faults.size() + 62) / 63;
+  ThreadPool pool(std::min(resolve_jobs(jobs), num_groups));
+  pool.parallel_for(num_groups, [&](std::size_t gi) {
+    simulate_group(nl, faults, input_stream, initial_state, gi * 63, detected,
+                   detect_cycle);
+  });
 
-    std::vector<std::uint64_t> value(nl.size(), 0);
-    std::vector<std::uint64_t> state(nl.dffs().size());
-    for (std::size_t i = 0; i < state.size(); ++i) state[i] = spread(initial_state[i]);
-
-    std::vector<std::uint64_t> fanin_vals;
-    for (std::size_t cycle = 0; cycle < input_stream.size(); ++cycle) {
-      const std::vector<bool>& in = input_stream[cycle];
-      if (in.size() != nl.inputs().size()) {
-        throw std::invalid_argument("simulate_faults: input vector size mismatch");
-      }
-      for (std::size_t i = 0; i < in.size(); ++i) value[nl.inputs()[i]] = spread(in[i]);
-      for (std::size_t i = 0; i < state.size(); ++i) value[nl.dffs()[i]] = state[i];
-      // Stem faults on PIs/DFF outputs apply too.
-      for (GateId id : nl.inputs()) value[id] = (value[id] & ~out_clear[id]) | out_set[id];
-      for (GateId id : nl.dffs()) value[id] = (value[id] & ~out_clear[id]) | out_set[id];
-
-      for (GateId id : nl.topo_order()) {
-        const Gate& g = nl.gate(id);
-        if (!is_combinational(g.type) && g.type != GateType::kConst0 &&
-            g.type != GateType::kConst1) {
-          continue;
-        }
-        fanin_vals.clear();
-        for (GateId f : g.fanins) fanin_vals.push_back(value[f]);
-        for (std::int32_t pi = first_pin_patch[id]; pi >= 0; pi = next_patch[pi]) {
-          const PinPatch& p = pin_patches[static_cast<std::size_t>(pi)];
-          fanin_vals[p.pin] = (fanin_vals[p.pin] & ~p.clear) | p.set;
-        }
-        std::uint64_t out = eval_gate_u64(g.type, fanin_vals);
-        out = (out & ~out_clear[id]) | out_set[id];
-        value[id] = out;
-      }
-
-      // Detection: lane k differs from lane 0 on any PO.
-      for (GateId out_id : nl.outputs()) {
-        const std::uint64_t v = value[out_id];
-        const std::uint64_t good = (v & 1) ? ~std::uint64_t{0} : 0;
-        std::uint64_t diff = v ^ good;
-        while (diff != 0) {
-          const int lane = std::countr_zero(diff);
-          diff &= diff - 1;
-          if (lane == 0 || static_cast<std::size_t>(lane) > group) continue;
-          const std::size_t fi = base + static_cast<std::size_t>(lane) - 1;
-          if (!result.detected[fi]) {
-            result.detected[fi] = true;
-            result.detect_cycle[fi] = static_cast<std::uint32_t>(cycle);
-            ++result.num_detected;
-          }
-        }
-      }
-
-      // Clock registers (fault effects propagate through state). DFF input
-      // pin faults are applied here — the D pin is read only at the clock.
-      for (std::size_t i = 0; i < state.size(); ++i) {
-        const GateId dff = nl.dffs()[i];
-        std::uint64_t d_val = value[nl.gate(dff).fanins.at(0)];
-        for (std::int32_t pi = first_pin_patch[dff]; pi >= 0; pi = next_patch[pi]) {
-          const PinPatch& p = pin_patches[static_cast<std::size_t>(pi)];
-          d_val = (d_val & ~p.clear) | p.set;
-        }
-        state[i] = d_val;
-      }
+  // Deterministic reduction in fault order.
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) {
+      result.detected[fi] = true;
+      result.detect_cycle[fi] = detect_cycle[fi];
+      ++result.num_detected;
     }
   }
   return result;

@@ -4,6 +4,13 @@
 // — lane 0 is the fault-free circuit, lanes 1..63 carry one fault each. A
 // fault is detected the first cycle its lane's primary outputs differ from
 // lane 0.
+//
+// Fault groups (63 faults per machine word) are mutually independent, so
+// they also shard across threads: with `jobs` > 1 each group is one work
+// item on a fixed pool and writes its per-fault verdicts to disjoint,
+// index-addressed slots. Results are bit-identical for every jobs value —
+// detection is decided inside a group by lane arithmetic alone, and the
+// summary count is reduced in fault order on the caller.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +30,11 @@ struct FaultSimResult {
 
 /// Simulates `faults` against `input_stream` (one vector per cycle, each of
 /// netlist().inputs() size). All machines start from `initial_state`
-/// (netlist().dffs() order).
+/// (netlist().dffs() order). `jobs` worker threads shard the 63-fault
+/// groups (0 = all hardware threads); the result is independent of `jobs`.
 FaultSimResult simulate_faults(const Netlist& netlist, std::span<const Fault> faults,
                                std::span<const std::vector<bool>> input_stream,
-                               const std::vector<bool>& initial_state);
+                               const std::vector<bool>& initial_state,
+                               std::size_t jobs = 1);
 
 }  // namespace merced

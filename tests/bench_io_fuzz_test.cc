@@ -1,0 +1,152 @@
+// Fuzz-ish robustness tests for the .bench parser.
+//
+// Contract: any malformed input produces a clean std::exception (for syntax
+// problems, a ".bench parse error at line N" runtime_error) — never a
+// crash, never a hang, never a silently-wrong netlist. A stress file and a
+// deterministic garbage generator cover the "never hang" half.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+
+namespace merced {
+namespace {
+
+/// Expects a parse failure whose message carries a line reference.
+void expect_parse_error(const std::string& text, const std::string& fragment = "") {
+  try {
+    parse_bench(text);
+    FAIL() << "expected parse error for:\n" << text;
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line"), std::string::npos)
+        << "error should name the offending line: " << what;
+    if (!fragment.empty()) {
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "expected '" << fragment << "' in: " << what;
+    }
+  }
+}
+
+TEST(BenchIoFuzzTest, UnterminatedGateCall) {
+  expect_parse_error("INPUT(a)\ny = AND(a, a\n");
+  expect_parse_error("INPUT(a)\ny = AND a, a)\n");
+  expect_parse_error("INPUT(a)\ny = )AND(a\n");
+}
+
+TEST(BenchIoFuzzTest, UndefinedFanin) {
+  expect_parse_error("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "ghost");
+}
+
+TEST(BenchIoFuzzTest, UndefinedOutput) {
+  expect_parse_error("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n", "ghost");
+}
+
+TEST(BenchIoFuzzTest, DuplicateOutput) {
+  expect_parse_error("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n", "duplicate");
+}
+
+TEST(BenchIoFuzzTest, DuplicateDefinition) {
+  expect_parse_error("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", "duplicate");
+  expect_parse_error("INPUT(a)\nINPUT(a)\n", "duplicate");
+  expect_parse_error("INPUT(a)\na = NOT(a)\n", "duplicate");
+}
+
+TEST(BenchIoFuzzTest, UnknownGateFunction) {
+  expect_parse_error("INPUT(a)\ny = FROB(a)\n", "FROB");
+  expect_parse_error("INPUT(a)\ny = (a)\n");
+}
+
+TEST(BenchIoFuzzTest, MalformedInputOutputDecls) {
+  expect_parse_error("INPUT()\n");
+  expect_parse_error("INPUT(a, b)\n");
+  expect_parse_error("WIBBLE(a)\n");
+  expect_parse_error("INPUT(a)\n = NOT(a)\n");
+}
+
+TEST(BenchIoFuzzTest, WrongArity) {
+  // Arity violations surface at finalize(); still a clean exception.
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = NOT(a, a)\n"), std::exception);
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = AND(a)\n"), std::exception);
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = AND()\n"), std::exception);
+}
+
+TEST(BenchIoFuzzTest, CombinationalCycleIsRejected) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nx = AND(a, y)\ny = BUF(x)\n"), std::exception);
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = AND(y, y)\n"), std::exception);
+  // A cycle through a DFF is a legal sequential loop, not an error.
+  EXPECT_NO_THROW(parse_bench("INPUT(a)\nq = DFF(x)\nx = AND(a, q)\nOUTPUT(x)\n"));
+}
+
+TEST(BenchIoFuzzTest, WeirdWhitespaceAndCommentsAreFine) {
+  const Netlist nl = parse_bench(
+      "# comment only\r\n"
+      "\t INPUT( a )  # trailing\r\n"
+      "INPUT(b)\n"
+      "\n"
+      "OUTPUT(y)\n"
+      "y   =   NAND(  a ,\tb )  \r\n");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(BenchIoFuzzTest, NoTrailingNewlineParses) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)");
+  EXPECT_EQ(nl.size(), 2u);
+}
+
+TEST(BenchIoFuzzTest, TenThousandLineStressFile) {
+  // 10k-gate inverter chain with interleaved comments: must parse quickly
+  // and correctly (the test itself is the no-hang guard via CTest timeout).
+  std::string text = "INPUT(n0)\nOUTPUT(n10000)\n";
+  for (int i = 1; i <= 10000; ++i) {
+    if (i % 97 == 0) text += "# checkpoint " + std::to_string(i) + "\n";
+    text += "n" + std::to_string(i) + " = NOT(n" + std::to_string(i - 1) + ")\n";
+  }
+  const Netlist nl = parse_bench(text, "chain10k");
+  EXPECT_EQ(nl.size(), 10001u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(BenchIoFuzzTest, DeterministicGarbageNeverCrashes) {
+  // Printable-ASCII garbage lines: every outcome must be either a parsed
+  // netlist or a clean std::exception.
+  std::mt19937_64 rng(20260805);
+  const std::string alphabet = "ABCWXYZabcnot=(),# \t0123456789";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int lines = 1 + static_cast<int>(rng() % 8);
+    for (int l = 0; l < lines; ++l) {
+      const int len = static_cast<int>(rng() % 40);
+      for (int c = 0; c < len; ++c) text += alphabet[rng() % alphabet.size()];
+      text += '\n';
+    }
+    try {
+      parse_bench(text);
+    } catch (const std::exception&) {
+      // fine — clean failure
+    }
+  }
+}
+
+TEST(BenchIoFuzzTest, RoundTripSurvivesReparse) {
+  const std::string src =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(s)\ns = XOR(a, q)\ny = NAND(s, b)\n";
+  const Netlist nl = parse_bench(src, "rt");
+  const Netlist back = parse_bench(write_bench(nl), "rt2");
+  EXPECT_EQ(back.size(), nl.size());
+  EXPECT_EQ(back.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(back.outputs().size(), nl.outputs().size());
+  EXPECT_EQ(back.dffs().size(), nl.dffs().size());
+}
+
+TEST(BenchIoFuzzTest, MissingFileIsCleanError) {
+  EXPECT_THROW(parse_bench_file("/nonexistent/nope.bench"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace merced

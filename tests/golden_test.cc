@@ -1,0 +1,129 @@
+// Golden-file regression tests for the paper tables.
+//
+// The bench binaries reproduce Tables 1/9/10/11 for eyeballing; these tests
+// snapshot the same numbers into tests/golden/ so a paper-fidelity
+// regression fails CI instead of relying on a human re-reading the tables.
+//
+// The snapshots are normalized text: one record per line, space-separated,
+// no timing columns (wall clock is machine noise), fixed 2-decimal floats.
+// Everything pinned here is deterministic: Table 1 is arithmetic, Table 9
+// is seeded generation, and the partition summaries use the compiler's
+// default (fixed-seed, single-start) configuration.
+//
+// To regenerate after an *intentional* behaviour change:
+//   MERCED_UPDATE_GOLDEN=1 ./tests/golden_test && ./tests/golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bist/cbit_area.h"
+#include "bist/polynomials.h"
+#include "circuits/registry.h"
+#include "core/merced.h"
+
+namespace merced {
+namespace {
+
+std::string golden_path(const std::string& file) {
+  return std::string(MERCED_GOLDEN_DIR) + "/" + file;
+}
+
+/// Compares `actual` against the stored snapshot (or rewrites it when
+/// MERCED_UPDATE_GOLDEN is set). Reports a full-text diff context on
+/// mismatch: the first differing line is what a reviewer needs.
+void check_golden(const std::string& file, const std::string& actual) {
+  const std::string path = golden_path(file);
+  if (std::getenv("MERCED_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with MERCED_UPDATE_GOLDEN=1 to create it";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string expected = ss.str();
+  if (expected == actual) return;
+
+  std::istringstream e(expected), a(actual);
+  std::string el, al;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool eg = static_cast<bool>(std::getline(e, el));
+    const bool ag = static_cast<bool>(std::getline(a, al));
+    if (!eg && !ag) break;
+    if (!eg) el = "<end of golden>";
+    if (!ag) al = "<end of actual>";
+    ASSERT_EQ(el, al) << file << ": first mismatch at line " << line;
+  }
+  FAIL() << file << ": content differs";  // unreachable belt-and-braces
+}
+
+std::string fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+TEST(GoldenTableTest, Table1CbitArea) {
+  std::ostringstream out;
+  out << "# Table 1: type length taps paper_p_k model_p_k paper_sigma_k\n";
+  for (const CbitAreaRow& row : published_cbit_areas()) {
+    out << "d" << row.type_index << " " << row.length << " "
+        << primitive_taps(row.length).size() << " " << fixed2(row.area_per_dff) << " "
+        << fixed2(modeled_area_per_dff(row.length)) << " " << fixed2(row.area_per_bit)
+        << "\n";
+  }
+  check_golden("table1_cbit_area.txt", out.str());
+}
+
+TEST(GoldenTableTest, Table9CircuitInfo) {
+  std::ostringstream out;
+  out << "# Table 9: circuit PI DFF gates INV outputs area\n";
+  for (const BenchmarkEntry& e : benchmark_suite()) {
+    const CircuitStats s = compute_stats(load_benchmark(e.spec.name));
+    out << s.name << " " << s.num_inputs << " " << s.num_dffs << " " << s.num_gates
+        << " " << s.num_invs << " " << s.num_outputs << " " << s.estimated_area << "\n";
+  }
+  check_golden("table9_circuit_info.txt", out.str());
+}
+
+/// Compiles the small half of the suite at one lk and formats the
+/// Table 10/11 partition summary columns (all deterministic fields).
+std::string partition_summary(std::size_t lk) {
+  const std::vector<std::string> circuits = {"s27",  "s510", "s420.1", "s641",
+                                             "s713", "s820", "s832",   "s838.1"};
+  std::ostringstream out;
+  out << "# Tables 10/11 (lk=" << lk
+      << "): circuit partitions dffs_on_scc cuts_on_scc nets_cut feasible "
+         "retimable multiplexed\n";
+  for (const std::string& name : circuits) {
+    const Netlist nl = load_benchmark(name);
+    MercedConfig config;
+    config.lk = lk;
+    const MercedResult r = compile(nl, config);
+    out << name << " " << r.partitions.count() << " " << r.dffs_on_scc << " "
+        << r.cuts.cut_nets_on_scc << " " << r.cuts.nets_cut << " "
+        << (r.feasible ? 1 : 0) << " " << r.area.retimable_cuts << " "
+        << r.area.multiplexed_cuts << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenTableTest, Table10PartitionLk16) {
+  check_golden("partition_lk16.txt", partition_summary(16));
+}
+
+TEST(GoldenTableTest, Table11PartitionLk24) {
+  check_golden("partition_lk24.txt", partition_summary(24));
+}
+
+}  // namespace
+}  // namespace merced

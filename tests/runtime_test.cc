@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace merced {
+namespace {
+
+TEST(ResolveJobsTest, ZeroMeansHardware) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (std::size_t jobs : {2u, 4u, 8u}) {
+    ThreadPool pool(jobs);
+    EXPECT_EQ(pool.size(), jobs);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyLoopIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossLoops) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(10, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 37) throw std::runtime_error("boom");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  // Pool must still be usable after an exceptional loop.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  for (std::size_t jobs : {1u, 3u, 8u}) {
+    ThreadPool pool(jobs);
+    const auto out =
+        parallel_map<std::size_t>(pool, 257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DeterministicReductionAcrossThreadCounts) {
+  // Folding a parallel_map result in index order must be bit-identical for
+  // any pool size — the determinism contract every caller relies on.
+  auto reduce_with = [](std::size_t jobs) {
+    ThreadPool pool(jobs);
+    const auto parts = parallel_map<double>(
+        pool, 1000, [](std::size_t i) { return 1.0 / static_cast<double>(i + 1); });
+    return std::accumulate(parts.begin(), parts.end(), 0.0);
+  };
+  const double serial = reduce_with(1);
+  EXPECT_EQ(serial, reduce_with(2));
+  EXPECT_EQ(serial, reduce_with(8));
+}
+
+}  // namespace
+}  // namespace merced
