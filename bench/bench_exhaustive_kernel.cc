@@ -1,0 +1,313 @@
+// Event-driven coverage kernel bench — emits BENCH_simkernel.json.
+//
+// Times the pre-kernel naive coverage path (re-evaluate the whole cone for
+// every live fault on every 64-pattern batch) against the event-driven
+// fault-dropping kernel (sim/cone.cc) on two workloads:
+//
+//  * a generated single-CUT cone: random combinational netlist whose gates
+//    include periodic wide AND/OR gates (fanin 8..12). Wide gates create
+//    hard pin faults that stay live for many batches, which is exactly
+//    where naive re-evaluation hurts and event suppression shines;
+//  * an ISCAS-style compiled circuit: every CUT of a Merced compile
+//    (load_benchmark + compile), timed across the whole partition set.
+//
+// Conformance is checked while timing, not trusted: every kernel
+// CoverageResult must be bit-identical to the naive oracle's (same
+// total/detected counts, same undetected fault list in the same order), and
+// the kernel must return the identical result at --jobs 1/2/4/8. Any
+// mismatch fails the bench with exit code 1. JSON schema:
+//
+//   { "hardware_concurrency": N,
+//     "generated": { "inputs": N, "gates": N, "collapsed_faults": N,
+//                    "naive_seconds": s, "kernel_seconds": s, "speedup": x,
+//                    "jobs_runs": [ {"jobs":1,"seconds":s,"speedup":x}, ...] },
+//     "iscas": { "circuit": ..., "lk": N, "cuts": N, "collapsed_faults": N,
+//                "naive_seconds": s, "kernel_seconds": s, "speedup": x },
+//     "conformance": "ok" }
+//
+// Usage: bench_exhaustive_kernel [--inputs N] [--gates N] [--circuit name]
+//                                [--lk N] [--seed N] [--smoke]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/merced.h"
+#include "graph/circuit_graph.h"
+#include "netlist/netlist.h"
+#include "partition/clustering.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Run {
+  std::size_t jobs;
+  double seconds;
+  double speedup;
+};
+
+void json_runs(std::ostream& os, const std::vector<Run>& runs) {
+  os << "[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) os << ", ";
+    os << "{\"jobs\": " << runs[i].jobs << ", \"seconds\": " << runs[i].seconds
+       << ", \"speedup\": " << runs[i].speedup << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+namespace merced {
+namespace {
+
+/// Random combinational cone: `num_inputs` PIs, `num_gates` gates where
+/// every `wide_every`-th gate is a wide AND/OR (fanin 8..12) and the rest
+/// are a 2-input mix plus inverters and MUXes. Fanins prefer recent nets
+/// (locality) so the cone is deep rather than flat. Sink gates become POs.
+Netlist make_wide_cone(std::size_t num_inputs, std::size_t num_gates,
+                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Netlist nl("widecone");
+  std::vector<GateId> nets;
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    nets.push_back(nl.add_gate(GateType::kInput, "pi" + std::to_string(i)));
+  }
+  auto pick_net = [&]() -> GateId {
+    // 70% of fanins come from the most recent quarter of the net list.
+    if (nets.size() > 8 && rng() % 10 < 7) {
+      const std::size_t quarter = nets.size() / 4;
+      return nets[nets.size() - 1 - rng() % quarter];
+    }
+    return nets[rng() % nets.size()];
+  };
+  static constexpr GateType kTwoInput[] = {GateType::kAnd, GateType::kNand,
+                                           GateType::kOr,  GateType::kNor,
+                                           GateType::kXor, GateType::kXnor};
+  const std::size_t wide_every = 25;
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    GateType type;
+    std::size_t fanin_count;
+    if (g > 0 && g % wide_every == 0) {
+      type = (rng() & 1) ? GateType::kAnd : GateType::kOr;
+      fanin_count = 8 + rng() % 5;  // 8..12: hard late-dropping pin faults
+    } else if (rng() % 10 == 0) {
+      type = GateType::kNot;
+      fanin_count = 1;
+    } else if (rng() % 12 == 0) {
+      type = GateType::kMux;
+      fanin_count = 3;
+    } else {
+      type = kTwoInput[rng() % 6];
+      fanin_count = 2;
+    }
+    std::vector<GateId> fanins;
+    for (std::size_t k = 0; k < fanin_count; ++k) fanins.push_back(pick_net());
+    // The first `num_inputs` gates each consume one PI directly, so every
+    // PI reaches the cone and the CUT has exactly `num_inputs` cut inputs.
+    if (g < num_inputs) fanins[0] = nets[g];
+    nets.push_back(nl.add_gate(type, name, std::move(fanins)));
+  }
+  nl.finalize();
+  // Observe every sink net so no logic is vacuously untestable. Collect
+  // first: mark_output invalidates the fanout cache.
+  std::vector<GateId> sinks;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    if (nl.gate(id).type != GateType::kInput && nl.fanouts(id).empty()) {
+      sinks.push_back(id);
+    }
+  }
+  for (GateId id : sinks) nl.mark_output(id);
+  nl.finalize();
+  return nl;
+}
+
+/// All non-PI nodes as one cluster — the whole circuit as a single CUT.
+Clustering whole_circuit_cluster(const CircuitGraph& g) {
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters.emplace_back();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) {
+      c.cluster_of[v] = 0;
+      c.clusters[0].push_back(v);
+    }
+  }
+  return c;
+}
+
+bool same_coverage(const CoverageResult& a, const CoverageResult& b) {
+  return a.total_faults == b.total_faults && a.detected == b.detected &&
+         a.undetected == b.undetected;
+}
+
+}  // namespace
+}  // namespace merced
+
+int main(int argc, char** argv) {
+  using namespace merced;
+
+  std::size_t num_inputs = 16;
+  std::size_t num_gates = 600;
+  std::string circuit = "s510";
+  std::size_t lk = 12;
+  std::uint64_t seed = 20260805;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--smoke") {
+      num_inputs = 12;
+      num_gates = 250;
+      circuit = "s420.1";
+      lk = 8;
+    } else if (flag == "--inputs" && i + 1 < argc) {
+      num_inputs = std::stoul(argv[++i]);
+    } else if (flag == "--gates" && i + 1 < argc) {
+      num_gates = std::stoul(argv[++i]);
+    } else if (flag == "--circuit" && i + 1 < argc) {
+      circuit = argv[++i];
+    } else if (flag == "--lk" && i + 1 < argc) {
+      lk = std::stoul(argv[++i]);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_exhaustive_kernel [--inputs N] [--gates N] "
+                   "[--circuit name] [--lk N] [--seed N] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "Exhaustive coverage kernel bench (hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  // --------------------------------------------- generated wide cone ---
+  const Netlist gen_nl = make_wide_cone(num_inputs, num_gates, seed);
+  const CircuitGraph gen_graph(gen_nl);
+  const Clustering gen_cluster = whole_circuit_cluster(gen_graph);
+  const ConeSimulator gen_cone(gen_graph, gen_cluster, 0);
+  const std::size_t gen_faults = gen_cone.cluster_faults().size();
+  std::cout << "generated cone: " << gen_cone.cut_inputs().size() << " inputs, "
+            << gen_cone.gates().size() << " gates, " << gen_faults
+            << " collapsed faults\n";
+
+  CoverageOptions opt;
+  opt.max_inputs = gen_cone.cut_inputs().size();
+
+  CoverageResult naive_result;
+  CoverageOptions naive_opt = opt;
+  naive_opt.naive = true;
+  const double naive_s =
+      time_seconds([&] { naive_result = exhaustive_coverage(gen_cone, naive_opt); });
+
+  CoverageResult kernel_result;
+  const double kernel_s =
+      time_seconds([&] { kernel_result = exhaustive_coverage(gen_cone, opt); });
+
+  if (!same_coverage(kernel_result, naive_result)) {
+    std::cerr << "FATAL: kernel CoverageResult differs from naive oracle on the "
+                 "generated cone\n";
+    return 1;
+  }
+  const double speedup = naive_s / kernel_s;
+  std::cout << "  naive:  " << naive_s << " s\n"
+            << "  kernel: " << kernel_s << " s  (speedup " << speedup << "x)\n"
+            << "  coverage: " << kernel_result.detected << "/"
+            << kernel_result.total_faults << "\n";
+
+  // Sharded kernel at 1/2/4/8 jobs: identical result required at each.
+  std::vector<Run> jobs_runs;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           std::size_t{8}}) {
+    CoverageOptions jopt = opt;
+    jopt.jobs = jobs;
+    CoverageResult r;
+    const double s = time_seconds([&] { r = exhaustive_coverage(gen_cone, jopt); });
+    if (!same_coverage(r, kernel_result)) {
+      std::cerr << "FATAL: kernel CoverageResult differs at jobs=" << jobs << "\n";
+      return 1;
+    }
+    jobs_runs.push_back({jobs, s, jobs_runs.empty() ? 1.0 : jobs_runs[0].seconds / s});
+    std::cout << "  jobs=" << jobs << ": " << s << " s  (speedup "
+              << jobs_runs.back().speedup << "x)\n";
+  }
+
+  // ------------------------------------------- ISCAS-style compile ---
+  const Netlist iscas_nl = load_benchmark(circuit);
+  MercedConfig config;
+  config.lk = lk;
+  const MercedResult plan = compile(iscas_nl, config);
+  const CircuitGraph iscas_graph(iscas_nl);
+
+  std::vector<ConeSimulator> cones;
+  std::size_t iscas_faults = 0;
+  for (std::size_t ci = 0; ci < plan.partitions.count(); ++ci) {
+    ConeSimulator cone(iscas_graph, plan.partitions, ci);
+    if (cone.gates().empty() || cone.cut_inputs().empty()) continue;
+    iscas_faults += cone.cluster_faults().size();
+    cones.push_back(std::move(cone));
+  }
+  std::cout << "\niscas: " << circuit << " (lk=" << lk << "), " << cones.size()
+            << " CUTs, " << iscas_faults << " collapsed faults\n";
+
+  std::vector<CoverageResult> iscas_naive;
+  const double iscas_naive_s = time_seconds([&] {
+    for (const ConeSimulator& cone : cones) {
+      CoverageOptions o;
+      o.max_inputs = lk;
+      o.naive = true;
+      iscas_naive.push_back(exhaustive_coverage(cone, o));
+    }
+  });
+  std::vector<CoverageResult> iscas_kernel;
+  const double iscas_kernel_s = time_seconds([&] {
+    for (const ConeSimulator& cone : cones) {
+      CoverageOptions o;
+      o.max_inputs = lk;
+      iscas_kernel.push_back(exhaustive_coverage(cone, o));
+    }
+  });
+  for (std::size_t i = 0; i < cones.size(); ++i) {
+    if (!same_coverage(iscas_kernel[i], iscas_naive[i])) {
+      std::cerr << "FATAL: kernel CoverageResult differs from naive oracle on "
+                << circuit << " CUT " << i << "\n";
+      return 1;
+    }
+  }
+  const double iscas_speedup = iscas_naive_s / iscas_kernel_s;
+  std::cout << "  naive:  " << iscas_naive_s << " s\n"
+            << "  kernel: " << iscas_kernel_s << " s  (speedup " << iscas_speedup
+            << "x)\n";
+
+  // --------------------------------------------------------- JSON out ---
+  std::ofstream json("BENCH_simkernel.json");
+  json << "{\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"generated\": {\"inputs\": " << gen_cone.cut_inputs().size()
+       << ", \"gates\": " << gen_cone.gates().size()
+       << ", \"collapsed_faults\": " << gen_faults
+       << ", \"naive_seconds\": " << naive_s << ", \"kernel_seconds\": " << kernel_s
+       << ", \"speedup\": " << speedup << ", \"jobs_runs\": ";
+  json_runs(json, jobs_runs);
+  json << "},\n  \"iscas\": {\"circuit\": \"" << circuit << "\", \"lk\": " << lk
+       << ", \"cuts\": " << cones.size()
+       << ", \"collapsed_faults\": " << iscas_faults
+       << ", \"naive_seconds\": " << iscas_naive_s
+       << ", \"kernel_seconds\": " << iscas_kernel_s
+       << ", \"speedup\": " << iscas_speedup << "},\n  \"conformance\": \"ok\"\n}\n";
+  std::cout << "\nwrote BENCH_simkernel.json\n";
+  return 0;
+}

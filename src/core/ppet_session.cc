@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "runtime/thread_pool.h"
 
@@ -78,11 +79,13 @@ SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
     const ConeSimulator& cone = cones_[s];
     const std::size_t n = cone.cut_inputs().size();
     std::vector<std::uint64_t> in(n);
+    ConeSimulator::Workspace ws;  // reused across the 2^ι sweep: zero
+                                  // per-cycle heap allocation
     for (std::uint64_t cycle = 0; cycle < st.cycles; ++cycle) {
       for (std::size_t i = 0; i < n; ++i) {
         in[i] = (tpg.state() >> i) & 1 ? ~std::uint64_t{0} : 0;
       }
-      const auto outputs = cone.eval(in, station_fault[s]);
+      const auto outputs = cone.eval(in, ws, station_fault[s]);
       std::uint64_t word = 0;
       for (std::size_t o = 0; o < outputs.size(); ++o) {
         word ^= (outputs[o] & 1) << (o % st.psa_width);
@@ -110,6 +113,59 @@ bool PpetSession::detects(const Fault& fault) const {
   const SessionResult golden = run();
   const SessionResult faulty = run(fault);
   return golden.signatures != faulty.signatures;
+}
+
+std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs) const {
+  for (const CutStation& st : stations_) {
+    if (st.tpg_width > max_inputs) {
+      throw std::invalid_argument("PpetSession::measure_coverage: station CUT has " +
+                                  std::to_string(st.tpg_width) + " inputs, cap is " +
+                                  std::to_string(max_inputs));
+    }
+  }
+
+  std::vector<std::vector<Fault>> faults(stations_.size());
+  std::vector<std::vector<std::uint8_t>> detected(stations_.size());
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    faults[s] = cones_[s].cluster_faults();
+    detected[s].assign(faults[s].size(), 0);
+  }
+
+  // Two-level sharding: every station's fault list splits into up to `jobs`
+  // contiguous ranges, and every (station, range) pair is one work item, so
+  // a single wide CUT fans out over the whole pool instead of serializing
+  // it. Per-fault verdict slots are disjoint across items.
+  struct Item {
+    std::size_t station;
+    IndexRange range;
+  };
+  const std::size_t jobs = resolve_jobs(jobs_);
+  std::vector<Item> items;
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    for (const IndexRange& r : split_ranges(faults[s].size(), jobs)) {
+      items.push_back(Item{s, r});
+    }
+  }
+  ThreadPool pool(std::min(jobs, std::max<std::size_t>(items.size(), 1)));
+  pool.parallel_for(items.size(), [&](std::size_t i) {
+    const Item& it = items[i];
+    exhaustive_detect_range(cones_[it.station], faults[it.station], it.range,
+                            detected[it.station].data());
+  });
+
+  // Deterministic reduction in station order, then fault order.
+  std::vector<CoverageResult> out(stations_.size());
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    out[s].total_faults = faults[s].size();
+    for (std::size_t fi = 0; fi < faults[s].size(); ++fi) {
+      if (detected[s][fi]) {
+        ++out[s].detected;
+      } else {
+        out[s].undetected.push_back(faults[s][fi]);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace merced

@@ -73,6 +73,15 @@ class PpetSession {
   /// the fault changes at least one signature (the tester flags the part).
   bool detects(const Fault& fault) const;
 
+  /// Pseudo-exhaustive stuck-at coverage of every station's CUT, one
+  /// CoverageResult per station (station order), computed with the
+  /// event-driven fault-dropping kernel. Work is sharded across stations
+  /// *and* across each station's fault list, so one wide CUT no longer
+  /// serializes the run; verdicts land in per-fault slots and are reduced
+  /// in fault order, making the result bit-identical for every jobs value.
+  /// Throws if any station is wider than `max_inputs`.
+  std::vector<CoverageResult> measure_coverage(std::size_t max_inputs = 22) const;
+
  private:
   const CircuitGraph* graph_;
   std::vector<CutStation> stations_;

@@ -92,8 +92,9 @@ std::size_t max_fanin(GateType type) noexcept {
 
 namespace {
 
-template <typename T, typename AndOp, typename OrOp, typename XorOp, typename NotOp>
-T eval_generic(GateType type, const std::vector<T>& in, AndOp and_op, OrOp or_op,
+template <typename T, typename Container, typename AndOp, typename OrOp, typename XorOp,
+          typename NotOp>
+T eval_generic(GateType type, const Container& in, AndOp and_op, OrOp or_op,
                XorOp xor_op, NotOp not_op, T all_ones, T all_zeros) {
   switch (type) {
     case GateType::kConst0:
@@ -101,9 +102,9 @@ T eval_generic(GateType type, const std::vector<T>& in, AndOp and_op, OrOp or_op
     case GateType::kConst1:
       return all_ones;
     case GateType::kBuf:
-      return in.at(0);
+      return in[0];
     case GateType::kNot:
-      return not_op(in.at(0));
+      return not_op(in[0]);
     case GateType::kAnd:
     case GateType::kNand: {
       T acc = all_ones;
@@ -123,9 +124,9 @@ T eval_generic(GateType type, const std::vector<T>& in, AndOp and_op, OrOp or_op
       return type == GateType::kXor ? acc : not_op(acc);
     }
     case GateType::kMux: {
-      const T& sel = in.at(0);
+      const T sel = in[0];
       // out = (~sel & a) | (sel & b)
-      return or_op(and_op(not_op(sel), in.at(1)), and_op(sel, in.at(2)));
+      return or_op(and_op(not_op(sel), in[1]), and_op(sel, in[2]));
     }
     case GateType::kInput:
     case GateType::kDff:
@@ -143,7 +144,7 @@ bool eval_gate(GateType type, const std::vector<bool>& fanins) {
       [](bool a) { return !a; }, true, false);
 }
 
-std::uint64_t eval_gate_u64(GateType type, const std::vector<std::uint64_t>& fanins) {
+std::uint64_t eval_gate_u64(GateType type, std::span<const std::uint64_t> fanins) {
   return eval_generic<std::uint64_t>(
       type, fanins, [](std::uint64_t a, std::uint64_t b) { return a & b; },
       [](std::uint64_t a, std::uint64_t b) { return a | b; },

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,8 +77,10 @@ std::size_t max_fanin(GateType type) noexcept;
 bool eval_gate(GateType type, const std::vector<bool>& fanins);
 
 /// Bit-parallel evaluation: each std::uint64_t lane carries 64 independent
-/// patterns. Used by the fault simulator for 64x speedup.
-std::uint64_t eval_gate_u64(GateType type, const std::vector<std::uint64_t>& fanins);
+/// patterns. Used by the fault simulator for 64x speedup. Takes a span so
+/// hot loops can evaluate straight out of flat (CSR) value arrays without
+/// materializing a fanin vector.
+std::uint64_t eval_gate_u64(GateType type, std::span<const std::uint64_t> fanins);
 
 /// One gate instance. Kept POD-like; the Netlist owns connectivity.
 struct Gate {

@@ -58,6 +58,13 @@ std::span<const GateId> Netlist::topo_order() const {
   return topo_;
 }
 
+std::span<const GateId> Netlist::combinational_topo_order() const {
+  if (!finalized_) {
+    throw std::logic_error("Netlist::combinational_topo_order: call finalize() first");
+  }
+  return comb_topo_;
+}
+
 std::size_t Netlist::count_of(GateType type) const {
   return static_cast<std::size_t>(
       std::count_if(gates_.begin(), gates_.end(),
@@ -122,6 +129,16 @@ void Netlist::finalize() {
                              std::to_string(gates_.size() - topo_.size()) +
                              " gates unreachable in topological sort)");
   }
+
+  // Evaluation-order cache: the gates a combinational pass computes each
+  // cycle (everything except INPUT/DFF sources, whose values are loaded).
+  comb_topo_.clear();
+  comb_topo_.reserve(topo_.size());
+  for (GateId id : topo_) {
+    const GateType t = gates_[id].type;
+    if (!is_input(t) && !is_sequential(t)) comb_topo_.push_back(id);
+  }
+
   finalized_ = true;
 }
 

@@ -73,6 +73,12 @@ class Netlist {
   /// then combinational gates in dependency order (valid after finalize()).
   std::span<const GateId> topo_order() const;
 
+  /// Topological order restricted to the gates a combinational evaluation
+  /// pass actually computes: combinational cells plus CONST0/CONST1 sources
+  /// (inputs and DFFs are loaded, not evaluated). Cached by finalize() so
+  /// per-cycle simulation loops need not re-filter topo_order().
+  std::span<const GateId> combinational_topo_order() const;
+
   /// True between finalize() and the next mutation.
   bool finalized() const noexcept { return finalized_; }
 
@@ -95,6 +101,7 @@ class Netlist {
   bool finalized_ = false;
   std::vector<std::vector<GateId>> fanouts_;
   std::vector<GateId> topo_;
+  std::vector<GateId> comb_topo_;  ///< topo_ minus INPUT/DFF sources
 };
 
 }  // namespace merced

@@ -10,6 +10,22 @@ std::size_t resolve_jobs(std::size_t jobs) noexcept {
   return hw == 0 ? 1 : hw;
 }
 
+std::vector<IndexRange> split_ranges(std::size_t n, std::size_t parts) {
+  std::vector<IndexRange> ranges;
+  if (n == 0) return ranges;
+  parts = std::clamp<std::size_t>(parts, 1, n);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;  // first `extra` ranges get one more
+  ranges.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    ranges.push_back(IndexRange{begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
 ThreadPool::ThreadPool(std::size_t jobs) {
   const std::size_t total = resolve_jobs(jobs);
   threads_.reserve(total - 1);

@@ -37,6 +37,19 @@ namespace merced {
 /// Resolves a user-facing jobs count: 0 means "all hardware threads".
 std::size_t resolve_jobs(std::size_t jobs) noexcept;
 
+/// A contiguous index range [begin, end) of one parallel shard.
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Splits [0, n) into at most `parts` contiguous, near-equal, non-empty
+/// ranges (fewer when n < parts; empty when n == 0). The split depends only
+/// on (n, parts), never on scheduling — shard-then-reduce callers rely on
+/// this for thread-count-independent results.
+std::vector<IndexRange> split_ranges(std::size_t n, std::size_t parts);
+
 class ThreadPool {
  public:
   /// `jobs` = total workers including the calling thread (0 = hardware).

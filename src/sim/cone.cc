@@ -1,6 +1,7 @@
 #include "sim/cone.h"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -14,7 +15,69 @@ bool is_comb_gate(const CircuitGraph& g, NodeId v) {
   return !g.is_pi(v) && !g.is_register(v);
 }
 
+/// Evaluates one CSR gate, reading fanin pin k's word through `get(k)`.
+/// Mirrors eval_gate_u64 but folds straight off value slots, so the kernel
+/// never materializes a fanin vector.
+template <typename GetPin>
+std::uint64_t eval_csr_gate(GateType type, std::size_t num_fanins, GetPin&& get) {
+  constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+  switch (type) {
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return kOnes;
+    case GateType::kBuf:
+      return get(0);
+    case GateType::kNot:
+      return ~get(0);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t acc = kOnes;
+      for (std::size_t k = 0; k < num_fanins; ++k) acc &= get(k);
+      return type == GateType::kAnd ? acc : ~acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t acc = 0;
+      for (std::size_t k = 0; k < num_fanins; ++k) acc |= get(k);
+      return type == GateType::kOr ? acc : ~acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint64_t acc = 0;
+      for (std::size_t k = 0; k < num_fanins; ++k) acc ^= get(k);
+      return type == GateType::kXor ? acc : ~acc;
+    }
+    case GateType::kMux: {
+      const std::uint64_t sel = get(0);
+      return (~sel & get(1)) | (sel & get(2));
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;  // never appear among a cluster's combinational gates
+  }
+  throw std::logic_error("ConeSimulator: non-evaluable gate type in cone");
+}
+
+/// Lane words of input bits 0..5: bit i of pattern index b*64 + l depends
+/// only on l for i < 6, giving fixed 64-lane masks.
+constexpr std::uint64_t kLaneBits[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
 }  // namespace
+
+void fill_batch_inputs(std::size_t n, std::uint64_t batch,
+                       std::span<std::uint64_t> words) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < 6) {
+      words[i] = kLaneBits[i];
+    } else {
+      words[i] = (batch >> (i - 6)) & 1 ? ~std::uint64_t{0} : 0;
+    }
+  }
+}
 
 ConeSimulator::ConeSimulator(const CircuitGraph& g, const Clustering& c,
                              std::size_t cluster_index)
@@ -76,46 +139,205 @@ ConeSimulator::ConeSimulator(const CircuitGraph& g, const Clustering& c,
   if (topo_.size() != members.size()) {
     throw std::runtime_error("ConeSimulator: cluster has a combinational cycle");
   }
+
+  // --- CSR build: unified value-slot space [inputs | topo gates] --------
+  const std::size_t num_inputs = inputs_.size();
+  pos_of_node_.assign(g.num_nodes(), -1);
+  for (std::size_t t = 0; t < topo_.size(); ++t) {
+    pos_of_node_[topo_[t]] = static_cast<std::int32_t>(t);
+  }
+  const auto slot_of = [&](NodeId d) -> std::uint32_t {
+    if (input_slot_[d] >= 0) return static_cast<std::uint32_t>(input_slot_[d]);
+    if (pos_of_node_[d] >= 0) {
+      return static_cast<std::uint32_t>(num_inputs) +
+             static_cast<std::uint32_t>(pos_of_node_[d]);
+    }
+    throw std::logic_error("ConeSimulator: fanin is neither CUT input nor cluster gate");
+  };
+
+  type_.reserve(topo_.size());
+  fanin_offset_.reserve(topo_.size() + 1);
+  fanin_offset_.push_back(0);
+  fanout_offset_.reserve(topo_.size() + 1);
+  observed_index_.assign(topo_.size(), -1);
+  for (std::size_t t = 0; t < topo_.size(); ++t) {
+    const Gate& gate = nl.gate(topo_[t]);
+    type_.push_back(gate.type);
+    for (GateId f : gate.fanins) fanin_slot_.push_back(slot_of(f));
+    fanin_offset_.push_back(static_cast<std::uint32_t>(fanin_slot_.size()));
+  }
+  fanout_offset_.push_back(0);
+  for (std::size_t t = 0; t < topo_.size(); ++t) {
+    const NodeId v = topo_[t];
+    for (BranchId b : g.out_branches(v)) {
+      const NodeId s = g.branch(b).sink;
+      // Intra-cone propagation edges only; a sink reading the net on
+      // several pins contributes duplicates, which the queued-stamp check
+      // in fault_observable() absorbs.
+      if (in_cluster_[s] && is_comb_gate(g, s) && input_slot_[s] < 0) {
+        fanout_pos_.push_back(static_cast<std::uint32_t>(pos_of_node_[s]));
+      }
+    }
+    fanout_offset_.push_back(static_cast<std::uint32_t>(fanout_pos_.size()));
+  }
+  output_slot_.reserve(outputs_.size());
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    const std::int32_t pos = pos_of_node_[g.driver(outputs_[o])];
+    observed_index_[static_cast<std::size_t>(pos)] = static_cast<std::int32_t>(o);
+    output_slot_.push_back(static_cast<std::uint32_t>(num_inputs) +
+                           static_cast<std::uint32_t>(pos));
+  }
 }
 
-std::vector<std::uint64_t> ConeSimulator::eval(std::span<const std::uint64_t> input_values,
-                                               const Fault* fault) const {
+std::size_t ConeSimulator::Workspace::capacity_bytes() const noexcept {
+  return values.capacity() * sizeof(std::uint64_t) +
+         faulty.capacity() * sizeof(std::uint64_t) +
+         dirty.capacity() * sizeof(std::uint64_t) +
+         queued.capacity() * sizeof(std::uint64_t) +
+         heap.capacity() * sizeof(std::uint32_t) +
+         observed.capacity() * sizeof(std::uint64_t);
+}
+
+void ConeSimulator::prepare(Workspace& ws) const {
+  const std::size_t slots = inputs_.size() + topo_.size();
+  if (ws.values.size() == slots && ws.queued.size() == topo_.size() &&
+      ws.observed.size() == outputs_.size()) {
+    return;
+  }
+  ws.values.assign(slots, 0);
+  ws.faulty.assign(slots, 0);
+  ws.dirty.assign(slots, 0);
+  ws.queued.assign(topo_.size(), 0);
+  ws.heap.clear();
+  ws.heap.reserve(topo_.size());
+  ws.observed.assign(outputs_.size(), 0);
+  ws.epoch = 0;
+}
+
+void ConeSimulator::eval_good(std::span<const std::uint64_t> input_values,
+                              Workspace& ws, const Fault* fault) const {
+  const std::size_t num_inputs = inputs_.size();
+  std::uint64_t* value = ws.values.data();
+  std::copy(input_values.begin(), input_values.end(), value);
+
+  const std::int32_t fault_pos =
+      fault ? pos_of_node_[fault->gate] : std::int32_t{-1};
+  for (std::size_t t = 0; t < topo_.size(); ++t) {
+    const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t];
+    const std::size_t nf = fanin_offset_[t + 1] - fanin_offset_[t];
+    std::uint64_t out;
+    if (fault_pos == static_cast<std::int32_t>(t)) {
+      const std::uint64_t stuck = fault->stuck_value ? ~std::uint64_t{0} : 0;
+      if (fault->site == Fault::Site::kOutput) {
+        out = stuck;
+      } else {
+        out = eval_csr_gate(type_[t], nf, [&](std::size_t k) {
+          return k == fault->pin ? stuck : value[fanin[k]];
+        });
+      }
+    } else {
+      out = eval_csr_gate(type_[t], nf,
+                          [&](std::size_t k) { return value[fanin[k]]; });
+    }
+    value[num_inputs + t] = out;
+  }
+}
+
+std::span<const std::uint64_t> ConeSimulator::eval(
+    std::span<const std::uint64_t> input_values, Workspace& ws,
+    const Fault* fault) const {
   if (input_values.size() != inputs_.size()) {
     throw std::invalid_argument("ConeSimulator::eval: expected " +
                                 std::to_string(inputs_.size()) + " input values");
   }
-  const CircuitGraph& g = *graph_;
-  const Netlist& nl = g.netlist();
-
-  std::vector<std::uint64_t> value(g.num_nodes(), 0);
-  auto net_value = [&](NodeId d) -> std::uint64_t {
-    const std::int32_t slot = input_slot_[d];
-    return slot >= 0 ? input_values[static_cast<std::size_t>(slot)] : value[d];
-  };
-
-  std::vector<std::uint64_t> fanin_vals;
-  for (NodeId v : topo_) {
-    const Gate& gate = nl.gate(v);
-    fanin_vals.clear();
-    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
-      std::uint64_t fv = net_value(gate.fanins[pin]);
-      if (fault && fault->gate == v && fault->site == Fault::Site::kInputPin &&
-          fault->pin == pin) {
-        fv = fault->stuck_value ? ~std::uint64_t{0} : 0;
-      }
-      fanin_vals.push_back(fv);
-    }
-    std::uint64_t out = eval_gate_u64(gate.type, fanin_vals);
-    if (fault && fault->gate == v && fault->site == Fault::Site::kOutput) {
-      out = fault->stuck_value ? ~std::uint64_t{0} : 0;
-    }
-    value[v] = out;
+  prepare(ws);
+  eval_good(input_values, ws, fault);
+  for (std::size_t o = 0; o < output_slot_.size(); ++o) {
+    ws.observed[o] = ws.values[output_slot_[o]];
   }
+  return ws.observed;
+}
 
-  std::vector<std::uint64_t> observed;
-  observed.reserve(outputs_.size());
-  for (NetId net : outputs_) observed.push_back(net_value(g.driver(net)));
-  return observed;
+std::vector<std::uint64_t> ConeSimulator::eval(
+    std::span<const std::uint64_t> input_values, const Fault* fault) const {
+  Workspace ws;
+  const auto out = eval(input_values, ws, fault);
+  return std::vector<std::uint64_t>(out.begin(), out.end());
+}
+
+bool ConeSimulator::fault_observable(Workspace& ws, const Fault& fault,
+                                     std::uint64_t mask) const {
+  const std::size_t num_inputs = inputs_.size();
+  if (ws.values.size() != num_inputs + topo_.size() ||
+      ws.queued.size() != topo_.size()) {
+    throw std::logic_error(
+        "ConeSimulator::fault_observable: workspace holds no good-machine "
+        "state for this cone (call eval(inputs, ws) first)");
+  }
+  const std::uint64_t* value = ws.values.data();
+  const std::uint64_t epoch = ++ws.epoch;
+
+  const std::int32_t pos0 = pos_of_node_[fault.gate];
+  if (pos0 < 0) {
+    throw std::invalid_argument("ConeSimulator::fault_observable: fault not on a cluster gate");
+  }
+  const auto t0 = static_cast<std::size_t>(pos0);
+
+  // Faulty value at the fault site itself.
+  const std::uint64_t stuck = fault.stuck_value ? ~std::uint64_t{0} : 0;
+  std::uint64_t out0;
+  if (fault.site == Fault::Site::kOutput) {
+    out0 = stuck;
+  } else {
+    const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t0];
+    const std::size_t nf = fanin_offset_[t0 + 1] - fanin_offset_[t0];
+    out0 = eval_csr_gate(type_[t0], nf, [&](std::size_t k) {
+      return k == fault.pin ? stuck : value[fanin[k]];
+    });
+  }
+  const std::uint64_t diff0 = (out0 ^ value[num_inputs + t0]) & mask;
+  if (diff0 == 0) return false;  // no fault effect on any valid lane
+  ws.faulty[num_inputs + t0] = out0;
+  ws.dirty[num_inputs + t0] = epoch;
+  if (observed_index_[t0] >= 0) return true;
+
+  // Event wave through the downstream fanout cone in topo order: the heap
+  // realizes the fault site's topo suffix lazily, and value-identical
+  // recomputation (diff == 0) stops propagation early.
+  auto& heap = ws.heap;
+  heap.clear();
+  const auto push = [&](std::size_t t) {
+    for (std::uint32_t i = fanout_offset_[t]; i < fanout_offset_[t + 1]; ++i) {
+      const std::uint32_t s = fanout_pos_[i];
+      if (ws.queued[s] != epoch) {
+        ws.queued[s] = epoch;
+        heap.push_back(s);
+        std::push_heap(heap.begin(), heap.end(), std::greater<std::uint32_t>{});
+      }
+    }
+  };
+  push(t0);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<std::uint32_t>{});
+    const std::uint32_t t = heap.back();
+    heap.pop_back();
+    const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t];
+    const std::size_t nf = fanin_offset_[t + 1] - fanin_offset_[t];
+    const std::uint64_t out = eval_csr_gate(type_[t], nf, [&](std::size_t k) {
+      const std::uint32_t slot = fanin[k];
+      return ws.dirty[slot] == epoch ? ws.faulty[slot] : value[slot];
+    });
+    const std::uint64_t diff = out ^ value[num_inputs + t];
+    if (diff == 0) continue;  // event suppressed, wave stops here
+    ws.faulty[num_inputs + t] = out;
+    ws.dirty[num_inputs + t] = epoch;
+    if (observed_index_[t] >= 0 && (diff & mask) != 0) {
+      heap.clear();
+      return true;
+    }
+    push(t);
+  }
+  return false;
 }
 
 std::vector<Fault> ConeSimulator::cluster_faults() const {
@@ -135,14 +357,18 @@ std::vector<Fault> ConeSimulator::cluster_faults() const {
   return collapse_faults(nl, std::move(faults));
 }
 
-CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_inputs) {
+namespace {
+
+std::uint64_t num_batches(std::size_t n) {
+  return n >= 6 ? std::uint64_t{1} << (n - 6) : 1;
+}
+
+/// The pre-kernel path, kept verbatim as the conformance oracle: full cone
+/// re-evaluation per fault per batch, fresh vectors per eval.
+CoverageResult naive_coverage(const ConeSimulator& cone) {
   const std::size_t n = cone.cut_inputs().size();
-  if (n > max_inputs) {
-    throw std::invalid_argument("exhaustive_coverage: CUT has " + std::to_string(n) +
-                                " inputs, cap is " + std::to_string(max_inputs));
-  }
-  const std::uint64_t patterns = n >= 6 ? (std::uint64_t{1} << n) : 64;
-  const std::uint64_t batches = std::max<std::uint64_t>(1, patterns >> 6);
+  const std::uint64_t batches = num_batches(n);
+  const std::uint64_t mask = lane_mask(n);
 
   const std::vector<Fault> faults = cone.cluster_faults();
   CoverageResult result;
@@ -151,22 +377,13 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_in
 
   std::vector<std::uint64_t> inputs(n, 0);
   for (std::uint64_t batch = 0; batch < batches; ++batch) {
-    // Lane l of batch b carries pattern index b*64 + l; input bit i of
-    // pattern p is bit i of p.
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t word = 0;
-      for (std::uint64_t lane = 0; lane < 64; ++lane) {
-        const std::uint64_t p = batch * 64 + lane;
-        if ((p >> i) & 1) word |= std::uint64_t{1} << lane;
-      }
-      inputs[i] = word;
-    }
+    fill_batch_inputs(n, batch, inputs);
     const std::vector<std::uint64_t> good = cone.eval(inputs);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (detected[fi]) continue;
       const std::vector<std::uint64_t> bad = cone.eval(inputs, &faults[fi]);
       for (std::size_t o = 0; o < good.size(); ++o) {
-        if (good[o] != bad[o]) {
+        if (((good[o] ^ bad[o]) & mask) != 0) {
           detected[fi] = true;
           break;
         }
@@ -181,6 +398,75 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_in
     }
   }
   return result;
+}
+
+}  // namespace
+
+void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> faults,
+                             IndexRange range, std::uint8_t* detected) {
+  const std::size_t n = cone.cut_inputs().size();
+  const std::uint64_t batches = num_batches(n);
+  const std::uint64_t mask = lane_mask(n);
+
+  std::size_t remaining = 0;
+  for (std::size_t fi = range.begin; fi < range.end; ++fi) {
+    if (!detected[fi]) ++remaining;
+  }
+
+  ConeSimulator::Workspace ws;
+  std::vector<std::uint64_t> inputs(n, 0);
+  for (std::uint64_t batch = 0; batch < batches && remaining > 0; ++batch) {
+    fill_batch_inputs(n, batch, inputs);
+    cone.eval(inputs, ws);  // good machine for this batch
+    for (std::size_t fi = range.begin; fi < range.end; ++fi) {
+      if (detected[fi]) continue;  // dropped in an earlier batch
+      if (cone.fault_observable(ws, faults[fi], mask)) {
+        detected[fi] = 1;
+        --remaining;
+      }
+    }
+  }
+}
+
+CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOptions& opt) {
+  const std::size_t n = cone.cut_inputs().size();
+  if (n > opt.max_inputs) {
+    throw std::invalid_argument("exhaustive_coverage: CUT has " + std::to_string(n) +
+                                " inputs, cap is " + std::to_string(opt.max_inputs));
+  }
+  if (opt.naive) return naive_coverage(cone);
+
+  const std::vector<Fault> faults = cone.cluster_faults();
+  CoverageResult result;
+  result.total_faults = faults.size();
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+
+  // Intra-CUT fault sharding: contiguous ranges, per-fault verdict slots,
+  // reduction in fault order — bit-identical for every jobs value.
+  const auto ranges = split_ranges(faults.size(), resolve_jobs(opt.jobs));
+  if (ranges.size() <= 1) {
+    if (!ranges.empty()) exhaustive_detect_range(cone, faults, ranges[0], detected.data());
+  } else {
+    ThreadPool pool(ranges.size());
+    pool.parallel_for(ranges.size(), [&](std::size_t r) {
+      exhaustive_detect_range(cone, faults, ranges[r], detected.data());
+    });
+  }
+
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) {
+      ++result.detected;
+    } else {
+      result.undetected.push_back(faults[fi]);
+    }
+  }
+  return result;
+}
+
+CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_inputs) {
+  CoverageOptions opt;
+  opt.max_inputs = max_inputs;
+  return exhaustive_coverage(cone, opt);
 }
 
 }  // namespace merced

@@ -8,6 +8,21 @@
 // Pseudo-exhaustive testing applies all 2^ι patterns to the inputs and
 // watches the outputs; this file provides the 64-pattern-parallel evaluator
 // and the coverage measurement backing the paper's fault-coverage claim.
+//
+// Data layout (see DESIGN.md "Event-driven coverage kernel"): the
+// constructor flattens the cluster into a CSR form over a unified *value
+// slot* space — slots [0, ι) are the CUT inputs in cut_inputs() order,
+// slots [ι, ι + |gates|) are the cluster's combinational gates in topo
+// order. Per-gate fanin slots and intra-cone fanout targets live in
+// contiguous arrays, so evaluation is a single linear pass with no hash
+// lookups and — given a reusable Workspace — no heap allocation.
+//
+// Lane-validity contract: eval() always computes 64 lanes, but for a CUT
+// with n < 6 inputs only the first 2^n lanes carry distinct patterns; lane
+// l >= 2^n replays pattern l mod 2^n (the pattern index of lane l in batch
+// b is b*64 + l, and only its low n bits reach the inputs). Detection
+// decisions therefore mask comparisons with lane_mask(n); the padded lanes
+// mirror valid lanes bit-for-bit, so the mask is hygiene, not semantics.
 #pragma once
 
 #include <cstdint>
@@ -16,12 +31,42 @@
 
 #include "graph/circuit_graph.h"
 #include "partition/clustering.h"
+#include "runtime/thread_pool.h"
 #include "sim/fault.h"
 
 namespace merced {
 
+/// Mask of the lanes that carry distinct patterns for an n-input CUT (all
+/// 64 when n >= 6, the low 2^n otherwise). See the lane-validity contract
+/// in the file comment.
+constexpr std::uint64_t lane_mask(std::size_t n) noexcept {
+  return n >= 6 ? ~std::uint64_t{0}
+                : (std::uint64_t{1} << (std::uint64_t{1} << n)) - 1;
+}
+
 class ConeSimulator {
  public:
+  /// Reusable per-thread scratch memory for eval()/fault_observable().
+  /// Sized on first use with a given cone; subsequent calls against a cone
+  /// of the same shape perform no heap allocation. A Workspace must not be
+  /// shared between threads.
+  class Workspace {
+   public:
+    /// Total bytes currently reserved. Stable across steady-state use — the
+    /// no-allocation guarantee is testable as capacity stability.
+    std::size_t capacity_bytes() const noexcept;
+
+   private:
+    friend class ConeSimulator;
+    std::vector<std::uint64_t> values;    ///< good-machine value per slot
+    std::vector<std::uint64_t> faulty;    ///< faulty value per dirty slot
+    std::vector<std::uint64_t> dirty;     ///< epoch stamp: faulty[] valid
+    std::vector<std::uint64_t> queued;    ///< epoch stamp: gate in heap
+    std::vector<std::uint32_t> heap;      ///< pending gates (topo min-heap)
+    std::vector<std::uint64_t> observed;  ///< eval() output buffer
+    std::uint64_t epoch = 0;              ///< bumped per fault_observable()
+  };
+
   ConeSimulator(const CircuitGraph& graph, const Clustering& clustering,
                 std::size_t cluster_index);
 
@@ -37,19 +82,54 @@ class ConeSimulator {
   /// Evaluates the cone on 64 parallel patterns. `input_values` follows
   /// cut_inputs() order. Returns observed_outputs() values. If `fault` is
   /// non-null it must sit on a cluster gate and is injected on all lanes.
+  /// Convenience form; allocates the result. Hot paths use the Workspace
+  /// overload below.
   std::vector<std::uint64_t> eval(std::span<const std::uint64_t> input_values,
                                   const Fault* fault = nullptr) const;
+
+  /// Allocation-free evaluation into a reusable Workspace. The returned
+  /// span (observed_outputs() order) aliases `ws` and is valid until the
+  /// next call with `ws`. After this call `ws` holds the full good-machine
+  /// (or faulty-machine, if `fault` was injected) value state for these
+  /// inputs — fault_observable() builds on the fault-free state.
+  std::span<const std::uint64_t> eval(std::span<const std::uint64_t> input_values,
+                                      Workspace& ws, const Fault* fault = nullptr) const;
+
+  /// Event-driven single-fault probe: requires that the most recent
+  /// eval(inputs, ws) on this cone was fault-free, so ws holds good-machine
+  /// values. Propagates `fault` through its downstream fanout cone only,
+  /// early-exiting the moment an observed output word differs on a lane in
+  /// `mask` (pass lane_mask(cut_inputs().size())). Gates whose recomputed
+  /// word equals the good word stop the event wave, so the per-fault cost
+  /// is the *active* part of the fanout cone, not the whole CUT. No heap
+  /// allocation in steady state. Returns true iff the fault is observable
+  /// on these 64 patterns.
+  bool fault_observable(Workspace& ws, const Fault& fault, std::uint64_t mask) const;
 
   /// Single-stuck-at fault universe of the cluster's gates (collapsed).
   std::vector<Fault> cluster_faults() const;
 
  private:
+  void prepare(Workspace& ws) const;
+  void eval_good(std::span<const std::uint64_t> input_values, Workspace& ws,
+                 const Fault* fault) const;
+
   const CircuitGraph* graph_;
   std::vector<NetId> inputs_;
   std::vector<NetId> outputs_;
   std::vector<NodeId> topo_;              ///< cluster comb gates, topo order
   std::vector<std::int32_t> input_slot_;  ///< per node: index into inputs_, or -1
   std::vector<bool> in_cluster_;
+
+  // --- flat CSR kernel representation (built once by the constructor) ---
+  std::vector<GateType> type_;              ///< per topo position
+  std::vector<std::uint32_t> fanin_offset_; ///< per topo position, into fanin_slot_
+  std::vector<std::uint32_t> fanin_slot_;   ///< value-slot per fanin pin
+  std::vector<std::uint32_t> fanout_offset_;///< per topo position, into fanout_pos_
+  std::vector<std::uint32_t> fanout_pos_;   ///< intra-cone sink topo positions
+  std::vector<std::int32_t> pos_of_node_;   ///< per graph node: topo position or -1
+  std::vector<std::int32_t> observed_index_;///< per topo position: output index or -1
+  std::vector<std::uint32_t> output_slot_;  ///< per observed output: value slot
 };
 
 /// Pseudo-exhaustive coverage: applies all 2^ι patterns and reports how many
@@ -64,6 +144,39 @@ struct CoverageResult {
   std::vector<Fault> undetected;  ///< combinationally redundant faults
 };
 
+struct CoverageOptions {
+  std::size_t max_inputs = 22;  ///< ι cap; wider CUTs throw
+  /// Worker threads sharding the fault list of this one CUT (0 = all
+  /// hardware threads). Verdicts are per-fault and land in index-addressed
+  /// slots, so the result is bit-identical for every jobs value.
+  std::size_t jobs = 1;
+  /// Run the pre-kernel re-evaluate-everything path instead of the
+  /// event-driven kernel. Kept as the conformance oracle: the kernel must
+  /// match it fault-for-fault (same detected set, same undetected order).
+  bool naive = false;
+};
+
+CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOptions& opt);
+
+/// Back-compatible form: event-driven kernel, single thread.
 CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_inputs = 22);
+
+/// Kernel building block: one full 2^ι sweep deciding the verdicts of
+/// faults[range] only, with fault dropping (a detected fault is skipped in
+/// all later batches) and early exit once every fault in the range is
+/// detected. Sets detected[i] = 1 (slots indexed like `faults`; slots
+/// outside the range are never touched, so disjoint ranges may run
+/// concurrently on the same array). `faults` must come from
+/// cone.cluster_faults(); the sweep length is not capped here — callers
+/// enforce their max_inputs policy.
+void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> faults,
+                             IndexRange range, std::uint8_t* detected);
+
+/// Fills `words` (size n = cut_inputs().size()) with the 64 patterns of
+/// `batch`: lane l of input bit i carries bit i of pattern index
+/// batch*64 + l. Shared by the kernel, the naive oracle and the benches so
+/// every path sees bit-identical stimulus.
+void fill_batch_inputs(std::size_t n, std::uint64_t batch,
+                       std::span<std::uint64_t> words) noexcept;
 
 }  // namespace merced

@@ -57,22 +57,16 @@ void simulate_group(const Netlist& nl, std::span<const Fault> faults,
 
   std::vector<std::uint64_t> fanin_vals;
   for (std::size_t cycle = 0; cycle < input_stream.size(); ++cycle) {
+    // Input widths are validated once in simulate_faults, not per cycle.
     const std::vector<bool>& in = input_stream[cycle];
-    if (in.size() != nl.inputs().size()) {
-      throw std::invalid_argument("simulate_faults: input vector size mismatch");
-    }
     for (std::size_t i = 0; i < in.size(); ++i) value[nl.inputs()[i]] = spread(in[i]);
     for (std::size_t i = 0; i < state.size(); ++i) value[nl.dffs()[i]] = state[i];
     // Stem faults on PIs/DFF outputs apply too.
     for (GateId id : nl.inputs()) value[id] = (value[id] & ~out_clear[id]) | out_set[id];
     for (GateId id : nl.dffs()) value[id] = (value[id] & ~out_clear[id]) | out_set[id];
 
-    for (GateId id : nl.topo_order()) {
+    for (GateId id : nl.combinational_topo_order()) {
       const Gate& g = nl.gate(id);
-      if (!is_combinational(g.type) && g.type != GateType::kConst0 &&
-          g.type != GateType::kConst1) {
-        continue;
-      }
       fanin_vals.clear();
       for (GateId f : g.fanins) fanin_vals.push_back(value[f]);
       for (std::int32_t pi = first_pin_patch[id]; pi >= 0; pi = next_patch[pi]) {
@@ -124,6 +118,13 @@ FaultSimResult simulate_faults(const Netlist& nl, std::span<const Fault> faults,
   if (!nl.finalized()) throw std::logic_error("simulate_faults: netlist not finalized");
   if (initial_state.size() != nl.dffs().size()) {
     throw std::invalid_argument("simulate_faults: initial_state size mismatch");
+  }
+  // Validate the whole stimulus up front: one pass here instead of one
+  // check per cycle per fault group inside simulate_group.
+  for (const std::vector<bool>& in : input_stream) {
+    if (in.size() != nl.inputs().size()) {
+      throw std::invalid_argument("simulate_faults: input vector size mismatch");
+    }
   }
 
   FaultSimResult result;

@@ -35,20 +35,14 @@ void BasicSimulator<Word>::step(InputView inputs) {
   for (std::size_t i = 0; i < inputs.size(); ++i) values_[nl.inputs()[i]] = inputs[i];
   for (std::size_t i = 0; i < state_.size(); ++i) values_[nl.dffs()[i]] = state_[i];
 
-  std::vector<Word> scratch;
-  for (GateId id : nl.topo_order()) {
+  for (GateId id : nl.combinational_topo_order()) {
     const Gate& g = nl.gate(id);
-    if (!is_combinational(g.type) && g.type != GateType::kConst0 &&
-        g.type != GateType::kConst1) {
-      continue;  // inputs and DFF states already loaded
-    }
-    scratch.clear();
-    for (GateId f : g.fanins) scratch.push_back(values_[f]);
+    scratch_.clear();
+    for (GateId f : g.fanins) scratch_.push_back(values_[f]);
     if constexpr (std::is_same_v<Word, bool>) {
-      std::vector<bool> b(scratch.begin(), scratch.end());
-      values_[id] = eval_gate(g.type, b);
+      values_[id] = eval_gate(g.type, scratch_);
     } else {
-      values_[id] = eval_gate_u64(g.type, scratch);
+      values_[id] = eval_gate_u64(g.type, scratch_);
     }
   }
 

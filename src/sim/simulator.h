@@ -47,6 +47,7 @@ class BasicSimulator {
   const Netlist* netlist_;
   std::vector<Word> values_;  ///< per gate, combinational snapshot of the last cycle
   std::vector<Word> state_;   ///< per DFF (dffs() order)
+  std::vector<Word> scratch_; ///< fanin gather buffer reused across steps
 };
 
 using Simulator = BasicSimulator<bool>;

@@ -69,7 +69,8 @@ TEST(GateTest, BitParallelMatchesScalar) {
         const bool scalar = eval_gate(t, {a != 0, b != 0});
         const std::uint64_t wa = a ? ~std::uint64_t{0} : 0;
         const std::uint64_t wb = b ? ~std::uint64_t{0} : 0;
-        const std::uint64_t wide = eval_gate_u64(t, {wa, wb});
+        const std::uint64_t words[] = {wa, wb};
+        const std::uint64_t wide = eval_gate_u64(t, words);
         EXPECT_EQ(wide, scalar ? ~std::uint64_t{0} : 0)
             << to_string(t) << " a=" << a << " b=" << b;
       }

@@ -1,0 +1,301 @@
+// Conformance and performance-contract tests for the event-driven
+// pseudo-exhaustive coverage kernel (sim/cone.{h,cc}).
+//
+// The kernel's promises, each pinned here:
+//  * fault-for-fault equality with the naive re-evaluate-everything oracle
+//    on random compiled CUTs and on hand-built cones (wide gates, MUX,
+//    XOR trees, constants, redundant logic);
+//  * bit-identical CoverageResult for every intra-CUT sharding width
+//    (--jobs 1/2/8);
+//  * zero heap allocation in steady state when a Workspace is reused
+//    (checked both by a global operator-new counter and by workspace
+//    capacity stability);
+//  * PpetSession::measure_coverage == per-cone exhaustive_coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "circuits/generator.h"
+#include "core/merced.h"
+#include "core/ppet_session.h"
+#include "graph/circuit_graph.h"
+#include "netlist/bench_io.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+
+// ------------------------------------------------- allocation counting ---
+// Global operator new replacement: counts every allocation so the no-alloc
+// guarantee of the workspace path is directly observable. Only the deltas
+// taken inside tests matter; gtest's own allocations happen outside the
+// measured windows.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+// GCC flags free() on memory from the replaced operator new as a mismatched
+// pair; both sides are malloc/free here, so the pairing is consistent.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace merced {
+namespace {
+
+/// Wraps every non-PI node of a netlist into one cluster, making the whole
+/// combinational part a single CUT whose inputs are the PI nets.
+Clustering whole_circuit_cluster(const CircuitGraph& g) {
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters.emplace_back();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) {
+      c.cluster_of[v] = 0;
+      c.clusters[0].push_back(v);
+    }
+  }
+  return c;
+}
+
+void expect_same_coverage(const CoverageResult& kernel, const CoverageResult& naive,
+                          const std::string& context) {
+  EXPECT_EQ(kernel.total_faults, naive.total_faults) << context;
+  EXPECT_EQ(kernel.detected, naive.detected) << context;
+  ASSERT_EQ(kernel.undetected.size(), naive.undetected.size()) << context;
+  for (std::size_t i = 0; i < kernel.undetected.size(); ++i) {
+    EXPECT_EQ(kernel.undetected[i], naive.undetected[i]) << context << " fault " << i;
+  }
+}
+
+SyntheticSpec kernel_spec(std::uint64_t seed) {
+  std::mt19937_64 rng(0x5117e5eedULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+  auto in = [&](std::size_t lo, std::size_t hi) { return lo + rng() % (hi - lo + 1); };
+  SyntheticSpec s;
+  s.name = "kern" + std::to_string(seed);
+  s.num_pis = in(4, 10);
+  s.num_dffs = in(3, 12);
+  s.num_gates = in(30, 100);
+  s.num_invs = in(5, 25);
+  s.target_area = (s.num_gates + s.num_invs) * in(3, 5);
+  s.scc_dff_fraction = static_cast<double>(in(5, 10)) / 10.0;
+  s.seed = seed * 13 + 5;
+  return s;
+}
+
+class RandomConeKernel : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Event-driven coverage equals the naive oracle fault-for-fault on every
+// CUT of a compiled random circuit (fault sites and stuck values vary with
+// the circuit: stems and branch pins, s-a-0 and s-a-1).
+TEST_P(RandomConeKernel, MatchesNaiveOracleOnCompiledCuts) {
+  const Netlist nl = generate_circuit(kernel_spec(GetParam()));
+  MercedConfig config;
+  config.lk = 9;
+  const MercedResult plan = compile(nl, config);
+  const CircuitGraph graph(nl);
+
+  std::size_t cones_checked = 0;
+  for (std::size_t ci = 0; ci < plan.partitions.count(); ++ci) {
+    const ConeSimulator cone(graph, plan.partitions, ci);
+    if (cone.gates().empty() || cone.cut_inputs().empty()) continue;
+    CoverageOptions kernel_opt;
+    CoverageOptions naive_opt;
+    naive_opt.naive = true;
+    expect_same_coverage(exhaustive_coverage(cone, kernel_opt),
+                         exhaustive_coverage(cone, naive_opt),
+                         "seed " + std::to_string(GetParam()) + " cluster " +
+                             std::to_string(ci));
+    ++cones_checked;
+  }
+  EXPECT_GT(cones_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCones, RandomConeKernel,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Hand-built cone exercising every gate shape the kernel evaluates: wide
+// AND/OR (late-dropping pin faults), XOR tree, MUX, constants, and a
+// provably redundant structure (z = OR(x, NOT(x)) is constant 1).
+TEST(SimKernelTest, HandBuiltConeMatchesOracleIncludingRedundancy) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nINPUT(g)\n"
+      "OUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n"
+      "wide = AND(a, b, c, d, e, f, g)\n"
+      "xn = NOT(a)\n"
+      "red = OR(a, xn)\n"
+      "k1 = CONST1()\n"
+      "par = XOR(b, c, d, e)\n"
+      "m = MUX(a, par, wide)\n"
+      "y = NOR(m, red)\n"
+      "z = OR(red, k1)\n"
+      "w = XNOR(wide, par)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  ASSERT_EQ(cone.cut_inputs().size(), 7u);
+
+  CoverageOptions kernel_opt;
+  CoverageOptions naive_opt;
+  naive_opt.naive = true;
+  const CoverageResult kernel = exhaustive_coverage(cone, kernel_opt);
+  const CoverageResult naive = exhaustive_coverage(cone, naive_opt);
+  expect_same_coverage(kernel, naive, "hand-built cone");
+  // z is constant 1, so z stuck-at-1 must be reported combinationally
+  // redundant by both paths.
+  EXPECT_FALSE(kernel.undetected.empty());
+}
+
+// CUTs narrower than 6 inputs pad the 64-lane word with replayed patterns;
+// the masked kernel and the masked oracle must agree there too (the lane
+// contract of cone.h).
+TEST(SimKernelTest, NarrowConeLaneMaskingMatchesOracle) {
+  EXPECT_EQ(lane_mask(0), 0x1u);
+  EXPECT_EQ(lane_mask(3), 0xFFu);
+  EXPECT_EQ(lane_mask(5), 0xFFFFFFFFu);
+  EXPECT_EQ(lane_mask(6), ~std::uint64_t{0});
+  EXPECT_EQ(lane_mask(22), ~std::uint64_t{0});
+
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n"
+      "t = AND(a, b)\nu = XOR(t, c)\ny = NAND(u, a)\nz = NOR(u, b)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  ASSERT_LT(cone.cut_inputs().size(), 6u);
+  CoverageOptions naive_opt;
+  naive_opt.naive = true;
+  expect_same_coverage(exhaustive_coverage(cone), exhaustive_coverage(cone, naive_opt),
+                       "narrow cone");
+}
+
+// Intra-CUT fault sharding is bit-identical across jobs counts. A single
+// wide-ish CUT (whole circuit as one cluster, ι = PIs + DFF outputs = 12)
+// ensures the fault-range split is actually exercised.
+TEST(SimKernelTest, IntraCutShardingIsDeterministic) {
+  SyntheticSpec spec = kernel_spec(42);
+  spec.num_pis = 6;
+  spec.num_dffs = 6;
+  spec.num_gates = 120;
+  spec.num_invs = 20;
+  const Netlist nl = generate_circuit(spec);
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const std::size_t n = cone.cut_inputs().size();
+  ASSERT_LE(n, 12u);
+  ASSERT_GE(cone.cluster_faults().size(), 100u);
+
+  CoverageOptions opt;
+  opt.max_inputs = n;  // whole circuit as one CUT; allow its actual width
+  opt.jobs = 1;
+  const CoverageResult r1 = exhaustive_coverage(cone, opt);
+  for (std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    opt.jobs = jobs;
+    expect_same_coverage(exhaustive_coverage(cone, opt), r1,
+                         "jobs " + std::to_string(jobs));
+  }
+}
+
+// The workspace eval path computes the same outputs as the allocating path,
+// and performs zero heap allocation in steady state.
+TEST(SimKernelTest, WorkspaceEvalIsAllocationFreeInSteadyState) {
+  const Netlist nl = generate_circuit(kernel_spec(7));
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const std::size_t n = cone.cut_inputs().size();
+  const std::vector<Fault> faults = cone.cluster_faults();
+  ASSERT_FALSE(faults.empty());
+  const std::uint64_t mask = lane_mask(n);
+
+  ConeSimulator::Workspace ws;
+  std::vector<std::uint64_t> in(n);
+
+  // Warm-up: first contact sizes the workspace.
+  fill_batch_inputs(n, 0, in);
+  (void)cone.eval(in, ws);
+  for (const Fault& f : faults) (void)cone.fault_observable(ws, f, mask);
+  const std::size_t warm_capacity = ws.capacity_bytes();
+
+  // Steady state: vary the batch and sweep every fault; equality with the
+  // allocating eval checked as we go.
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::uint64_t batch = 0; batch < 16; ++batch) {
+    fill_batch_inputs(n, batch % (std::uint64_t{1} << (n > 6 ? n - 6 : 0)), in);
+    (void)cone.eval(in, ws);
+    for (const Fault& f : faults) (void)cone.fault_observable(ws, f, mask);
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "eval/fault_observable allocated on the heap";
+  EXPECT_EQ(ws.capacity_bytes(), warm_capacity);
+
+  // Output equality of the two eval forms (and faulty-machine injection).
+  fill_batch_inputs(n, 1, in);
+  const auto ws_out = cone.eval(in, ws, &faults[0]);
+  const auto alloc_out = cone.eval(in, &faults[0]);
+  ASSERT_EQ(ws_out.size(), alloc_out.size());
+  for (std::size_t o = 0; o < ws_out.size(); ++o) EXPECT_EQ(ws_out[o], alloc_out[o]);
+}
+
+TEST(SimKernelTest, FaultObservableRequiresPreparedWorkspace) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  ConeSimulator::Workspace ws;
+  const Fault f{cone.gates()[0], Fault::Site::kOutput, 0, true};
+  EXPECT_THROW((void)cone.fault_observable(ws, f, lane_mask(1)), std::logic_error);
+}
+
+// PpetSession::measure_coverage equals per-cone exhaustive_coverage and is
+// jobs-independent (two-level station x fault-range sharding).
+TEST(SimKernelTest, SessionMeasureCoverageMatchesPerConeAndIsDeterministic) {
+  const Netlist nl = generate_circuit(kernel_spec(11));
+  MercedConfig config;
+  config.lk = 9;
+  const MercedResult plan = compile(nl, config);
+  const CircuitGraph graph(nl);
+
+  PpetSession session(graph, plan);
+  const auto serial = session.measure_coverage();
+  ASSERT_EQ(serial.size(), session.num_stations());
+
+  for (std::size_t s = 0; s < session.num_stations(); ++s) {
+    const ConeSimulator cone(graph, plan.partitions, session.station(s).partition_index);
+    expect_same_coverage(serial[s], exhaustive_coverage(cone),
+                         "station " + std::to_string(s));
+  }
+
+  for (std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    PpetSession wide(graph, plan, 16, jobs);
+    const auto parallel = wide.measure_coverage();
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      expect_same_coverage(parallel[s], serial[s],
+                           "jobs " + std::to_string(jobs) + " station " +
+                               std::to_string(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace merced
