@@ -20,13 +20,29 @@
 //   { "hardware_concurrency": N,
 //     "generated": { "inputs": N, "gates": N, "collapsed_faults": N,
 //                    "naive_seconds": s, "kernel_seconds": s, "speedup": x,
-//                    "jobs_runs": [ {"jobs":1,"seconds":s,"speedup":x}, ...] },
+//                    "jobs_runs": [ {"jobs":1,"seconds":s,"speedup":x}, ...],
+//                    "kernel_counters": { "ranges_run": N, "batches": N,
+//                        "events_popped": N, "events_suppressed": N,
+//                        "early_exits": N, "faults_dropped": N,
+//                        "faults_dropped_per_batch": x } },
 //     "iscas": { "circuit": ..., "lk": N, "cuts": N, "collapsed_faults": N,
 //                "naive_seconds": s, "kernel_seconds": s, "speedup": x },
+//     "obs_overhead": { "disabled_seconds": s, "enabled_seconds": s,
+//                       "ratio": x, "budget_ratio": 1.02 },
 //     "conformance": "ok" }
+//
+// The obs_overhead section is the observability guardrail: the kernel sweep
+// is timed (min of several repetitions) with the obs layer disabled — the
+// null-sink path, whose only compiled-in cost vs the pre-obs kernel is
+// plain Workspace field increments and one relaxed-atomic branch per range
+// — and again with a collector enabled. The bench FAILS (exit 1) unless
+// enabled <= disabled * 1.02 + 2 ms, so instrumentation cost can never
+// silently creep into the hot path this bench exists to protect.
 //
 // Usage: bench_exhaustive_kernel [--inputs N] [--gates N] [--circuit name]
 //                                [--lk N] [--seed N] [--smoke]
+//                                [--trace FILE] [--metrics FILE]
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -41,6 +57,8 @@
 #include "core/merced.h"
 #include "graph/circuit_graph.h"
 #include "netlist/netlist.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "partition/clustering.h"
 #include "sim/cone.h"
 #include "sim/fault.h"
@@ -168,6 +186,8 @@ int main(int argc, char** argv) {
   std::string circuit = "s510";
   std::size_t lk = 12;
   std::uint64_t seed = 20260805;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--smoke") {
@@ -185,12 +205,24 @@ int main(int argc, char** argv) {
       lk = std::stoul(argv[++i]);
     } else if (flag == "--seed" && i + 1 < argc) {
       seed = std::stoull(argv[++i]);
+    } else if (flag == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       std::cerr << "usage: bench_exhaustive_kernel [--inputs N] [--gates N] "
-                   "[--circuit name] [--lk N] [--seed N] [--smoke]\n";
+                   "[--circuit name] [--lk N] [--seed N] [--smoke] "
+                   "[--trace FILE] [--metrics FILE]\n";
       return 2;
     }
   }
+
+  // When exporting artifacts, collect for the whole run. The timed
+  // naive-vs-kernel comparisons stay fair (both sides instrumented) and the
+  // overhead guardrail below toggles the collector explicitly around its
+  // own measurements.
+  const bool exporting = !trace_path.empty() || !metrics_path.empty();
+  if (exporting) obs::enable();
 
   std::cout << "Exhaustive coverage kernel bench (hardware_concurrency = "
             << std::thread::hardware_concurrency() << ")\n\n";
@@ -246,6 +278,34 @@ int main(int argc, char** argv) {
               << jobs_runs.back().speedup << "x)\n";
   }
 
+  // Kernel work profile of one sweep over the generated cone, read from the
+  // obs counters as a before/after delta so an active --trace collection is
+  // not clobbered by a reset.
+  const bool was_enabled = obs::enabled();
+  if (!was_enabled) obs::enable();
+  const std::vector<std::uint64_t> counters_before = obs::counter_values();
+  (void)exhaustive_coverage(gen_cone, opt);
+  const std::vector<std::uint64_t> counters_after = obs::counter_values();
+  if (!was_enabled) obs::disable();
+  const auto counter_delta = [&](obs::Counter c) {
+    const auto idx = static_cast<std::size_t>(c);
+    return counters_after[idx] - counters_before[idx];
+  };
+  const std::uint64_t kc_ranges = counter_delta(obs::Counter::kKernelRangesRun);
+  const std::uint64_t kc_batches = counter_delta(obs::Counter::kKernelBatches);
+  const std::uint64_t kc_popped = counter_delta(obs::Counter::kKernelEventsPopped);
+  const std::uint64_t kc_suppressed =
+      counter_delta(obs::Counter::kKernelEventsSuppressed);
+  const std::uint64_t kc_early = counter_delta(obs::Counter::kKernelEarlyExits);
+  const std::uint64_t kc_dropped = counter_delta(obs::Counter::kKernelFaultsDropped);
+  const double kc_dropped_per_batch =
+      kc_batches ? static_cast<double>(kc_dropped) / static_cast<double>(kc_batches)
+                 : 0.0;
+  std::cout << "  kernel counters: " << kc_batches << " batches, " << kc_popped
+            << " events popped (" << kc_suppressed << " suppressed), "
+            << kc_dropped << " faults dropped (" << kc_dropped_per_batch
+            << "/batch)\n";
+
   // ------------------------------------------- ISCAS-style compile ---
   const Netlist iscas_nl = load_benchmark(circuit);
   MercedConfig config;
@@ -293,6 +353,41 @@ int main(int argc, char** argv) {
             << "  kernel: " << iscas_kernel_s << " s  (speedup " << iscas_speedup
             << "x)\n";
 
+  // ---------------------------------------- observability guardrail ---
+  // Times the generated-cone kernel sweep with the collector disabled (the
+  // null-sink path a production run pays) and enabled (worst case). Min of
+  // several repetitions on each side; the 2 ms absolute slack keeps the 2%
+  // budget meaningful on sub-millisecond --smoke sweeps without masking a
+  // real regression on the full workload.
+  constexpr int kOverheadReps = 5;
+  constexpr double kBudgetRatio = 1.02;
+  constexpr double kSlackSeconds = 0.002;
+  const bool keep_enabled = obs::enabled();
+  const auto min_sweep_seconds = [&] {
+    double best = 0;
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      const double s =
+          time_seconds([&] { (void)exhaustive_coverage(gen_cone, opt); });
+      if (rep == 0 || s < best) best = s;
+    }
+    return best;
+  };
+  obs::disable();
+  const double obs_off_s = min_sweep_seconds();
+  obs::enable();
+  const double obs_on_s = min_sweep_seconds();
+  if (!keep_enabled) obs::disable();
+  const double obs_ratio = obs_on_s / obs_off_s;
+  std::cout << "\nobs overhead: disabled " << obs_off_s << " s, enabled "
+            << obs_on_s << " s (ratio " << obs_ratio << ", budget "
+            << kBudgetRatio << ")\n";
+  if (obs_on_s > obs_off_s * kBudgetRatio + kSlackSeconds) {
+    std::cerr << "FATAL: observability overhead " << obs_on_s << " s exceeds "
+              << obs_off_s << " s * " << kBudgetRatio << " + " << kSlackSeconds
+              << " s\n";
+    return 1;
+  }
+
   // --------------------------------------------------------- JSON out ---
   std::ofstream json("BENCH_simkernel.json");
   json << "{\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -302,12 +397,47 @@ int main(int argc, char** argv) {
        << ", \"naive_seconds\": " << naive_s << ", \"kernel_seconds\": " << kernel_s
        << ", \"speedup\": " << speedup << ", \"jobs_runs\": ";
   json_runs(json, jobs_runs);
-  json << "},\n  \"iscas\": {\"circuit\": \"" << circuit << "\", \"lk\": " << lk
+  json << ",\n    \"kernel_counters\": {\"ranges_run\": " << kc_ranges
+       << ", \"batches\": " << kc_batches << ", \"events_popped\": " << kc_popped
+       << ", \"events_suppressed\": " << kc_suppressed
+       << ", \"early_exits\": " << kc_early
+       << ", \"faults_dropped\": " << kc_dropped
+       << ", \"faults_dropped_per_batch\": " << kc_dropped_per_batch << "}"
+       << "},\n  \"iscas\": {\"circuit\": \"" << circuit << "\", \"lk\": " << lk
        << ", \"cuts\": " << cones.size()
        << ", \"collapsed_faults\": " << iscas_faults
        << ", \"naive_seconds\": " << iscas_naive_s
        << ", \"kernel_seconds\": " << iscas_kernel_s
-       << ", \"speedup\": " << iscas_speedup << "},\n  \"conformance\": \"ok\"\n}\n";
+       << ", \"speedup\": " << iscas_speedup
+       << "},\n  \"obs_overhead\": {\"disabled_seconds\": " << obs_off_s
+       << ", \"enabled_seconds\": " << obs_on_s << ", \"ratio\": " << obs_ratio
+       << ", \"budget_ratio\": " << kBudgetRatio
+       << "},\n  \"conformance\": \"ok\"\n}\n";
   std::cout << "\nwrote BENCH_simkernel.json\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    obs::write_chrome_trace(out);
+    std::cout << "wrote " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    obs::RunInfo run;
+    run.tool = "bench_exhaustive_kernel";
+    run.circuit = circuit;
+    run.lk = lk;
+    run.jobs = 1;
+    run.starts = 1;
+    obs::MetricsRegistry::capture(run).write_json(out);
+    std::cout << "wrote " << metrics_path << "\n";
+  }
   return 0;
 }

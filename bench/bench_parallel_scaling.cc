@@ -16,8 +16,12 @@
 //                    "runs": [ {"jobs":1,"seconds":s,"speedup":x}, ... ] },
 //     "multi_start_saturate": { "circuit": ..., "starts": K, "runs": [...] } }
 //
+// With --trace / --metrics the obs collector records the whole run and the
+// observability artifacts are written next to BENCH_parallel.json.
+//
 // Usage: bench_parallel_scaling [--fault-circuit name] [--flow-circuit name]
 //                               [--cycles N] [--max-faults N] [--quick]
+//                               [--trace FILE] [--metrics FILE]
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -31,6 +35,8 @@
 #include "circuits/registry.h"
 #include "flow/saturate_network.h"
 #include "graph/circuit_graph.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "sim/fault.h"
 #include "sim/fault_sim.h"
@@ -80,6 +86,8 @@ int main(int argc, char** argv) {
   std::string flow_circuit = "s1423";
   std::size_t cycles = 64;
   std::size_t max_faults = 63 * 64;  // 64 machine-word groups
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--quick") {
@@ -95,12 +103,18 @@ int main(int argc, char** argv) {
       cycles = std::stoul(argv[++i]);
     } else if (flag == "--max-faults" && i + 1 < argc) {
       max_faults = std::stoul(argv[++i]);
+    } else if (flag == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       std::cerr << "usage: bench_parallel_scaling [--fault-circuit name] "
-                   "[--flow-circuit name] [--cycles N] [--max-faults N] [--quick]\n";
+                   "[--flow-circuit name] [--cycles N] [--max-faults N] [--quick] "
+                   "[--trace FILE] [--metrics FILE]\n";
       return 2;
     }
   }
+  if (!trace_path.empty() || !metrics_path.empty()) merced::obs::enable();
 
   const std::vector<std::size_t> jobs_sweep = {1, 2, 4, 8};
   std::cout << "Parallel scaling bench (hardware_concurrency = "
@@ -180,5 +194,30 @@ int main(int argc, char** argv) {
   json_runs(json, flow_runs);
   json << "}\n}\n";
   std::cout << "\nwrote BENCH_parallel.json\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    obs::write_chrome_trace(out);
+    std::cout << "wrote " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    obs::RunInfo run;
+    run.tool = "bench_parallel_scaling";
+    run.circuit = fault_circuit;
+    run.lk = 0;
+    run.jobs = jobs_sweep.back();
+    run.starts = starts;
+    obs::MetricsRegistry::capture(run).write_json(out);
+    std::cout << "wrote " << metrics_path << "\n";
+  }
   return 0;
 }

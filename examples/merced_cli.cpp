@@ -4,21 +4,39 @@
 //   merced_cli <circuit|path.bench> [--lk N] [--beta N] [--seed N]
 //              [--alpha F] [--delta F] [--min-visit N]
 //              [--jobs N] [--starts K]
+//              [--trace FILE] [--metrics FILE]
 //
 // <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
-// or a path to an ISCAS89 .bench file.
+// or a path to an ISCAS89 .bench file. Every flag accepts both
+// "--flag value" and "--flag=value"; numeric values are parsed strictly
+// (the whole token must be a number of the right sign — "8x", "-3" or ""
+// for --jobs is a usage error, not a silent prefix parse).
 //
 // --starts K runs K independent flow saturations (multi-start) and keeps
 // the best Make_Group outcome; --jobs N fans the starts out over N worker
 // threads (0 = all hardware threads). Output is identical for any --jobs.
+//
+// --trace FILE enables the observability layer and writes a
+// Chrome/Perfetto trace (open in chrome://tracing or ui.perfetto.dev) with
+// nested spans for every compile phase and — when every CUT is narrow
+// enough to sweep — the per-CUT pseudo-exhaustive coverage sweeps.
+// --metrics FILE writes the versioned merced-metrics-v1 JSON artifact
+// (counters + phase timings; see EXPERIMENTS.md "Metrics artifacts").
+#include <charconv>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "circuits/registry.h"
 #include "core/merced.h"
+#include "core/ppet_session.h"
+#include "graph/circuit_graph.h"
 #include "netlist/bench_io.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -26,9 +44,41 @@ void usage() {
   std::cerr << "usage: merced_cli <circuit|file.bench> [--lk N] [--beta N] [--seed N]\n"
                "                  [--alpha F] [--delta F] [--min-visit N]\n"
                "                  [--jobs N] [--starts K]\n"
+               "                  [--trace FILE] [--metrics FILE]\n"
                "bundled circuits:";
   for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
   std::cerr << "\n";
+}
+
+/// A flag value that failed strict parsing; caught in main → usage error.
+struct BadFlag {
+  std::string message;
+};
+
+/// Strict from_chars wrapper: the entire token must parse, no leading
+/// whitespace, no trailing garbage. `what` names the expected shape in the
+/// error ("non-negative integer", "number", ...).
+template <typename T>
+T parse_strict(std::string_view flag, std::string_view value, const char* what) {
+  T out{};
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [end, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || end != last || value.empty()) {
+    throw BadFlag{std::string(flag) + " expects a " + what + ", got '" +
+                  std::string(value) + "'"};
+  }
+  return out;
+}
+
+std::size_t parse_size(std::string_view flag, std::string_view value) {
+  // from_chars on an unsigned type rejects '-' but accepts nothing weirder;
+  // check the sign explicitly so "-3" reports the real problem.
+  if (!value.empty() && value.front() == '-') {
+    throw BadFlag{std::string(flag) + " expects a non-negative integer, got '" +
+                  std::string(value) + "'"};
+  }
+  return parse_strict<std::size_t>(flag, value, "non-negative integer");
 }
 
 }  // namespace
@@ -41,36 +91,105 @@ int main(int argc, char** argv) {
   }
   const std::string target = argv[1];
   MercedConfig config;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const std::string_view flag = argv[i];
-    const std::string value = argv[i + 1];
-    if (flag == "--lk") {
-      config.lk = std::stoul(value);
-    } else if (flag == "--beta") {
-      config.beta = std::stoi(value);
-    } else if (flag == "--seed") {
-      config.flow.seed = std::stoull(value);
-    } else if (flag == "--alpha") {
-      config.flow.alpha = std::stod(value);
-    } else if (flag == "--delta") {
-      config.flow.delta = std::stod(value);
-    } else if (flag == "--min-visit") {
-      config.flow.min_visit = std::stoi(value);
-    } else if (flag == "--jobs") {
-      config.jobs = std::stoul(value);
-    } else if (flag == "--starts") {
-      config.multi_start = std::stoul(value);
-    } else {
-      usage();
-      return 2;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      std::string_view flag = argv[i];
+      std::string_view value;
+      // Accept "--flag=value" and "--flag value".
+      if (const auto eq = flag.find('='); eq != std::string_view::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw BadFlag{std::string(flag) + " expects a value"};
+      }
+      if (flag == "--lk") {
+        config.lk = parse_size(flag, value);
+      } else if (flag == "--beta") {
+        config.beta = parse_strict<int>(flag, value, "integer");
+      } else if (flag == "--seed") {
+        config.flow.seed = parse_strict<std::uint64_t>(flag, value, "non-negative integer");
+      } else if (flag == "--alpha") {
+        config.flow.alpha = parse_strict<double>(flag, value, "number");
+      } else if (flag == "--delta") {
+        config.flow.delta = parse_strict<double>(flag, value, "number");
+      } else if (flag == "--min-visit") {
+        config.flow.min_visit = parse_strict<int>(flag, value, "integer");
+      } else if (flag == "--jobs") {
+        config.jobs = parse_size(flag, value);
+      } else if (flag == "--starts") {
+        config.multi_start = parse_size(flag, value);
+        if (config.multi_start == 0) throw BadFlag{"--starts must be >= 1"};
+      } else if (flag == "--trace") {
+        trace_path = std::string(value);
+      } else if (flag == "--metrics") {
+        metrics_path = std::string(value);
+      } else {
+        usage();
+        return 2;
+      }
     }
+  } catch (const BadFlag& bad) {
+    std::cerr << "error: " << bad.message << "\n";
+    usage();
+    return 2;
   }
+
+  const bool observing = trace_path.has_value() || metrics_path.has_value();
+  if (observing) obs::enable();
 
   try {
     const Netlist netlist = target.ends_with(".bench") ? parse_bench_file(target)
                                                        : load_benchmark(target);
     const MercedResult result = compile(netlist, config);
     print_report(std::cout, result);
+
+    if (observing) {
+      // Sweep every CUT pseudo-exhaustively so the trace shows the
+      // per-CUT coverage phase, not just the compile. Skipped (with a
+      // note) when a CUT is too wide to sweep in reasonable time.
+      constexpr std::size_t kSweepCap = 22;
+      std::size_t widest = 0;
+      for (std::size_t iota : result.partition_inputs) widest = std::max(widest, iota);
+      if (result.feasible && widest <= kSweepCap) {
+        const CircuitGraph graph(netlist);
+        PpetSession session(graph, result, /*psa_width=*/16, config.jobs);
+        const auto coverage = session.measure_coverage(kSweepCap);
+        std::size_t total = 0, detected = 0;
+        for (const CoverageResult& c : coverage) {
+          total += c.total_faults;
+          detected += c.detected;
+        }
+        std::cout << "  coverage sweep: " << detected << "/" << total
+                  << " faults detected across " << coverage.size() << " stations\n";
+      } else {
+        std::cout << "  coverage sweep: skipped (widest CUT has " << widest
+                  << " inputs, sweep cap is " << kSweepCap << ")\n";
+      }
+
+      obs::disable();
+      if (trace_path) {
+        std::ofstream out(*trace_path);
+        if (!out) throw std::runtime_error("cannot write trace file " + *trace_path);
+        obs::write_chrome_trace(out);
+        std::cout << "  wrote trace: " << *trace_path << "\n";
+      }
+      if (metrics_path) {
+        obs::RunInfo run;
+        run.tool = "merced_cli";
+        run.circuit = target;
+        run.lk = config.lk;
+        run.jobs = config.jobs;
+        run.starts = config.multi_start;
+        std::ofstream out(*metrics_path);
+        if (!out) throw std::runtime_error("cannot write metrics file " + *metrics_path);
+        obs::MetricsRegistry::capture(run).write_json(out);
+        std::cout << "  wrote metrics: " << *metrics_path << "\n";
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,65 @@
+// metrics_check — schema validator for the observability artifacts.
+//
+// Usage:
+//   metrics_check [--metrics FILE]... [--trace FILE]...
+//
+// Parses each file with the obs JSON reader and validates it against the
+// corresponding schema (merced-metrics-v1 for --metrics, the Chrome trace
+// event shape for --trace). Prints one line per file; exits non-zero on
+// the first unreadable or invalid artifact. CI runs this against freshly
+// produced merced_cli output so a schema drift fails the build instead of
+// silently breaking downstream diff tooling.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+int check(const std::string& kind, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  merced::obs::JsonValue doc;
+  try {
+    doc = merced::obs::JsonValue::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  const std::string err = kind == "--metrics"
+                              ? merced::obs::validate_metrics_json(doc)
+                              : merced::obs::validate_trace_json(doc);
+  if (!err.empty()) {
+    std::cerr << "error: " << path << ": " << err << "\n";
+    return 1;
+  }
+  std::cout << path << ": valid " << (kind == "--metrics" ? "metrics" : "trace")
+            << " artifact\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: metrics_check [--metrics FILE]... [--trace FILE]...\n";
+    return 2;
+  }
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string kind = argv[i];
+    if (kind != "--metrics" && kind != "--trace") {
+      std::cerr << "usage: metrics_check [--metrics FILE]... [--trace FILE]...\n";
+      return 2;
+    }
+    if (const int rc = check(kind, argv[i + 1]); rc != 0) return rc;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "graph/circuit_graph.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "netlist/area_model.h"
 #include "partition/assign_cbit.h"
@@ -26,6 +27,7 @@ PreparedCircuit::PreparedCircuit(const Netlist& nl, const SaturateParams& flow,
                                  std::size_t num_starts, std::size_t jobs)
     : netlist(&nl), graph(nl), sccs(find_sccs(graph)) {
   if (num_starts == 0) throw std::invalid_argument("PreparedCircuit: num_starts must be > 0");
+  MERCED_SPAN("prepare_circuit");
   const auto t0 = std::chrono::steady_clock::now();
   ThreadPool pool(std::min(resolve_jobs(jobs), num_starts));
   saturations = saturate_network_multistart(graph, flow, num_starts, pool);
@@ -38,6 +40,7 @@ MercedResult compile(const Netlist& netlist, const MercedConfig& config) {
 }
 
 MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config) {
+  MERCED_SPAN("compile");
   const auto t_start = std::chrono::steady_clock::now();
   const bool verbose = std::getenv("MERCED_VERBOSE") != nullptr;
   auto t_stage = t_start;
@@ -81,6 +84,7 @@ MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config
   ThreadPool pool(std::min(resolve_jobs(config.jobs), prepared.saturations.size()));
   std::vector<Candidate> candidates = parallel_map<Candidate>(
       pool, prepared.saturations.size(), [&](std::size_t k) {
+        MERCED_SPAN("candidate", k);
         Candidate c;
         const MakeGroupResult groups = make_group(graph, sccs, prepared.saturations[k], mg);
         c.feasible = groups.feasible;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace merced {
@@ -40,6 +41,7 @@ std::uint64_t PpetSession::session_cycles() const noexcept {
 }
 
 SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
+  MERCED_SPAN("session_run");
   SessionResult out;
   out.cycles_run = session_cycles();
 
@@ -63,6 +65,7 @@ SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
   ThreadPool pool(std::min(resolve_jobs(jobs_),
                            std::max<std::size_t>(stations_.size(), 1)));
   pool.parallel_for(stations_.size(), [&](std::size_t s) {
+    MERCED_SPAN("station_sweep", s);
     const CutStation& st = stations_[s];
     // Global initialization: scan zero into this station's CBITs (Fig. 1a's
     // chain — serial in hardware, state-equivalent here).
@@ -94,6 +97,8 @@ SessionResult PpetSession::run(const std::optional<Fault>& fault) const {
       tpg.step(0);
     }
     psas[s] = psa;
+    MERCED_COUNT(obs::Counter::kSessionStationsSwept, 1);
+    MERCED_COUNT(obs::Counter::kSessionCyclesRun, st.cycles);
   });
 
   // Signature read-out through the scan chain: shift every PSA out serially
@@ -116,6 +121,7 @@ bool PpetSession::detects(const Fault& fault) const {
 }
 
 std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs) const {
+  MERCED_SPAN("measure_coverage");
   for (const CutStation& st : stations_) {
     if (st.tpg_width > max_inputs) {
       throw std::invalid_argument("PpetSession::measure_coverage: station CUT has " +
@@ -149,6 +155,7 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
   ThreadPool pool(std::min(jobs, std::max<std::size_t>(items.size(), 1)));
   pool.parallel_for(items.size(), [&](std::size_t i) {
     const Item& it = items[i];
+    MERCED_SPAN("cut_sweep", it.station);
     exhaustive_detect_range(cones_[it.station], faults[it.station], it.range,
                             detected[it.station].data());
   });

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/dijkstra.h"
+#include "obs/obs.h"
 
 namespace merced {
 
@@ -51,6 +52,7 @@ class UnderVisitedSet {
 }  // namespace
 
 SaturationResult saturate_network(const CircuitGraph& g, const SaturateParams& p) {
+  MERCED_SPAN("saturate_network");
   if (p.capacity <= 0) throw std::invalid_argument("saturate_network: capacity must be > 0");
   if (p.delta <= 0) throw std::invalid_argument("saturate_network: delta must be > 0");
   if (p.min_visit < 0) throw std::invalid_argument("saturate_network: min_visit must be >= 0");
@@ -72,7 +74,10 @@ SaturationResult saturate_network(const CircuitGraph& g, const SaturateParams& p
     if (++r.visit[v] > threshold) under.remove(v);
   };
 
-  // STEP 3: while some node is insufficiently visited.
+  // STEP 3: while some node is insufficiently visited. Work counters
+  // accumulate locally and flush once per saturation, so the loop itself
+  // stays uninstrumented.
+  std::uint64_t nets_flowed = 0;
   while (!under.empty() && r.iterations < p.max_iterations) {
     NodeId src;
     if (p.source_policy == SaturateParams::SourcePolicy::kUniform) {
@@ -96,8 +101,11 @@ SaturationResult saturate_network(const CircuitGraph& g, const SaturateParams& p
     for (NetId net : tree_nets(g, tree)) {
       r.flow[net] += p.delta;
       r.distance[net] = std::exp(p.alpha * r.flow[net] / p.capacity);
+      ++nets_flowed;
     }
   }
+  MERCED_COUNT(obs::Counter::kFlowIterations, r.iterations);
+  MERCED_COUNT(obs::Counter::kFlowTreeNetsFlowed, nets_flowed);
   return r;
 }
 

@@ -1,0 +1,225 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace merced::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                         what);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_space();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject members;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_space();
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(members));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray items;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Basic-multilingual-plane code points only; our artifacts emit
+          // plain ASCII, so surrogate pairs are rejected rather than joined.
+          if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogate \\u escape unsupported");
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // RFC 8259 forbids leading zeros ("01"), which from_chars would accept.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || end != last || start == pos_) fail("bad number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : *object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber: return number_ == other.number_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return *array_ == *other.array_;
+    case Kind::kObject: return *object_ == *other.object_;
+  }
+  return false;
+}
+
+}  // namespace merced::obs

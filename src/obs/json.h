@@ -1,0 +1,82 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// The observability layer emits two JSON artifacts — the Chrome/Perfetto
+// trace and the versioned metrics snapshot — and promises both are
+// schema-valid. Validation needs a reader, and the toolchain bakes in no
+// JSON dependency, so this header provides the smallest DOM that can check
+// a schema: parse a string into a JsonValue tree, walk it with typed
+// accessors. It is a strict RFC 8259 subset reader (no comments, no
+// trailing commas, UTF-8 passed through uncompacted) intended for trusted
+// artifacts we wrote ourselves, not hostile input.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace merced::obs {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Ordered map: members keep document order so round-trip comparisons in
+/// tests are stable.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Thrown on malformed input, with a byte offset in the message.
+struct JsonParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : kind_(Kind::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::kObject), object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  /// Parses a complete JSON document; trailing non-space input throws.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return require(Kind::kBool), bool_; }
+  double as_number() const { return require(Kind::kNumber), number_; }
+  const std::string& as_string() const { return require(Kind::kString), string_; }
+  const JsonArray& as_array() const { return require(Kind::kArray), *array_; }
+  const JsonObject& as_object() const { return require(Kind::kObject), *object_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void require(Kind k) const {
+    if (kind_ != k) throw std::runtime_error("JsonValue: wrong kind access");
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+}  // namespace merced::obs

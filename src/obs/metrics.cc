@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace merced::obs {
+
+MetricsRegistry MetricsRegistry::capture(RunInfo run) {
+  MetricsRegistry m;
+  m.run_ = std::move(run);
+  m.counters_ = counter_values();
+
+  std::map<std::string, PhaseStat> by_name;  // ordered: output sorted by name
+  for (const SpanEvent& e : span_events()) {
+    PhaseStat& p = by_name[e.name];
+    p.name = e.name;
+    ++p.count;
+    const double seconds = static_cast<double>(e.dur_ns) / 1e9;
+    p.total_seconds += seconds;
+    p.max_seconds = std::max(p.max_seconds, seconds);
+  }
+  m.phases_.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) m.phases_.push_back(std::move(stat));
+  return m;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"" << kMetricsSchema << "\",\n  \"run\": {\"tool\": \"";
+  json_escape(os, run_.tool);
+  os << "\", \"circuit\": \"";
+  json_escape(os, run_.circuit);
+  os << "\", \"lk\": " << run_.lk << ", \"jobs\": " << run_.jobs
+     << ", \"starts\": " << run_.starts << "},\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    \"" << counter_name(static_cast<Counter>(i)) << "\": " << counters_[i];
+  }
+  os << "\n  },\n  \"phases\": [";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    {\"name\": \"";
+    json_escape(os, phases_[i].name);
+    os << "\", \"count\": " << phases_[i].count
+       << ", \"total_seconds\": " << phases_[i].total_seconds
+       << ", \"max_seconds\": " << phases_[i].max_seconds << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+namespace {
+
+bool is_uint(const JsonValue& v) {
+  return v.is_number() && v.as_number() >= 0 &&
+         v.as_number() == static_cast<double>(static_cast<std::uint64_t>(v.as_number()));
+}
+
+std::string check_member(const JsonValue& obj, const char* key, JsonValue::Kind kind,
+                         const char* where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    return std::string(where) + ": missing member \"" + key + "\"";
+  }
+  if (v->kind() != kind) {
+    return std::string(where) + ": member \"" + key + "\" has wrong type";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_metrics_json(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err = check_member(doc, "schema", JsonValue::Kind::kString, "root");
+      !err.empty()) {
+    return err;
+  }
+  if (doc.find("schema")->as_string() != kMetricsSchema) {
+    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  }
+  if (std::string err = check_member(doc, "run", JsonValue::Kind::kObject, "root");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue& run = *doc.find("run");
+  for (const char* key : {"tool", "circuit"}) {
+    if (std::string err = check_member(run, key, JsonValue::Kind::kString, "run");
+        !err.empty()) {
+      return err;
+    }
+  }
+  for (const char* key : {"lk", "jobs", "starts"}) {
+    if (std::string err = check_member(run, key, JsonValue::Kind::kNumber, "run");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*run.find(key))) {
+      return std::string("run: member \"") + key + "\" is not a non-negative integer";
+    }
+  }
+
+  if (std::string err = check_member(doc, "counters", JsonValue::Kind::kObject, "root");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue& counters = *doc.find("counters");
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const char* name = counter_name(static_cast<Counter>(i));
+    const JsonValue* v = counters.find(name);
+    if (v == nullptr) return std::string("counters: missing \"") + name + "\"";
+    if (!is_uint(*v)) {
+      return std::string("counters: \"") + name + "\" is not a non-negative integer";
+    }
+  }
+  if (counters.as_object().size() != kNumCounters) {
+    return "counters: unexpected extra member";
+  }
+
+  if (std::string err = check_member(doc, "phases", JsonValue::Kind::kArray, "root");
+      !err.empty()) {
+    return err;
+  }
+  std::string prev_name;
+  for (const JsonValue& phase : doc.find("phases")->as_array()) {
+    if (!phase.is_object()) return "phases: entry is not an object";
+    if (std::string err = check_member(phase, "name", JsonValue::Kind::kString, "phase");
+        !err.empty()) {
+      return err;
+    }
+    for (const char* key : {"count", "total_seconds", "max_seconds"}) {
+      if (std::string err = check_member(phase, key, JsonValue::Kind::kNumber, "phase");
+          !err.empty()) {
+        return err;
+      }
+      if (phase.find(key)->as_number() < 0) {
+        return std::string("phase: member \"") + key + "\" is negative";
+      }
+    }
+    const std::string& name = phase.find("name")->as_string();
+    if (name <= prev_name && !prev_name.empty()) {
+      return "phases: not sorted by name (\"" + name + "\" after \"" + prev_name + "\")";
+    }
+    prev_name = name;
+  }
+  return "";
+}
+
+std::string validate_trace_json(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err =
+          check_member(doc, "traceEvents", JsonValue::Kind::kArray, "root");
+      !err.empty()) {
+    return err;
+  }
+  for (const JsonValue& event : doc.find("traceEvents")->as_array()) {
+    if (!event.is_object()) return "traceEvents: entry is not an object";
+    if (std::string err = check_member(event, "ph", JsonValue::Kind::kString, "event");
+        !err.empty()) {
+      return err;
+    }
+    const std::string& ph = event.find("ph")->as_string();
+    if (std::string err = check_member(event, "name", JsonValue::Kind::kString, "event");
+        !err.empty()) {
+      return err;
+    }
+    for (const char* key : {"pid", "tid"}) {
+      if (std::string err = check_member(event, key, JsonValue::Kind::kNumber, "event");
+          !err.empty()) {
+        return err;
+      }
+    }
+    if (ph == "X") {
+      for (const char* key : {"ts", "dur"}) {
+        if (std::string err =
+                check_member(event, key, JsonValue::Kind::kNumber, "event");
+            !err.empty()) {
+          return err;
+        }
+        if (event.find(key)->as_number() < 0) {
+          return std::string("event: \"") + key + "\" is negative";
+        }
+      }
+    } else if (ph != "M") {
+      return "event: unexpected phase \"" + ph + "\" (only X and M are emitted)";
+    }
+  }
+  return "";
+}
+
+}  // namespace merced::obs

@@ -1,0 +1,82 @@
+// MetricsRegistry — one run's counters and phase timings as a versioned
+// JSON artifact.
+//
+// The trace (obs.h) answers "where did this run spend its time"; the
+// metrics artifact answers "did this commit do more work than the last
+// one". It serializes the aggregated counters plus per-phase wall-time
+// statistics (derived from the recorded spans, grouped by span name) into
+// a schema-versioned document comparable across commits exactly like the
+// BENCH_*.json artifacts:
+//
+//   { "schema": "merced-metrics-v1",
+//     "run": {"tool": "...", "circuit": "...", "lk": N, "jobs": N,
+//             "starts": N},
+//     "counters": {"flow.iterations": 123, ...},          // every Counter
+//     "phases": [{"name": "...", "count": N,
+//                 "total_seconds": s, "max_seconds": s}, ...] }   // by name
+//
+// Counters appear in Counter declaration order, phases sorted by name, so
+// two runs of the same binary diff cleanly (timestamps aside). The schema
+// validators below are what obs_test and the CI observability job run
+// against freshly produced artifacts; EXPERIMENTS.md documents the diff
+// workflow.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace merced::obs {
+
+inline constexpr const char* kMetricsSchema = "merced-metrics-v1";
+
+/// Identity of the run being measured (the "run" JSON object).
+struct RunInfo {
+  std::string tool;     ///< producing binary, e.g. "merced_cli"
+  std::string circuit;  ///< circuit name or .bench path
+  std::uint64_t lk = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t starts = 0;
+};
+
+/// Wall-time statistics of one span name.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_seconds = 0;
+  double max_seconds = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Snapshots the current collector state (aggregated counters + spans
+  /// grouped by name). Call after the measured work, while quiescent.
+  static MetricsRegistry capture(RunInfo run);
+
+  const RunInfo& run() const noexcept { return run_; }
+  const std::vector<std::uint64_t>& counters() const noexcept { return counters_; }
+  const std::vector<PhaseStat>& phases() const noexcept { return phases_; }
+
+  /// Serializes the versioned artifact described in the file comment.
+  void write_json(std::ostream& os) const;
+
+ private:
+  RunInfo run_;
+  std::vector<std::uint64_t> counters_;  ///< indexed by Counter
+  std::vector<PhaseStat> phases_;        ///< sorted by name
+};
+
+/// Validates a parsed metrics artifact against merced-metrics-v1. Returns
+/// an empty string when valid, else a description of the first violation.
+std::string validate_metrics_json(const JsonValue& doc);
+
+/// Validates a parsed Chrome trace document as written by
+/// write_chrome_trace: a traceEvents array whose "X" events carry
+/// name/ph/pid/tid/ts/dur and whose "M" events are thread metadata.
+std::string validate_trace_json(const JsonValue& doc);
+
+}  // namespace merced::obs

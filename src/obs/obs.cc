@@ -1,0 +1,227 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace merced::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread recording block. Counter slots are relaxed atomics (written
+/// by the owning thread, read by the aggregator); the span buffer is
+/// guarded by a per-thread mutex, uncontended except during a concurrent
+/// flush. Blocks are owned by the registry and outlive their threads, so a
+/// worker that exits before the flush still contributes its data.
+struct ThreadLog {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+  std::mutex mu;
+  std::vector<SpanEvent> spans;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  ///< touched only by the owning thread
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  Clock::time_point epoch = Clock::now();
+  bool epoch_set = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+ThreadLog& local_log() {
+  thread_local ThreadLog* log = [] {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.logs.push_back(std::make_unique<ThreadLog>());
+    r.logs.back()->tid = static_cast<std::uint32_t>(r.logs.size() - 1);
+    return r.logs.back().get();
+  }();
+  return *log;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              registry().epoch)
+      .count();
+}
+
+constexpr const char* kCounterNames[kNumCounters] = {
+    "flow.iterations",
+    "flow.tree_nets_flowed",
+    "make_group.nets_removed",
+    "make_group.boundary_steps",
+    "assign_cbit.merges",
+    "retiming.lags_applied",
+    "retiming.neg_cycle_demotions",
+    "retiming.aggregate_demotions",
+    "kernel.ranges_run",
+    "kernel.batches",
+    "kernel.events_popped",
+    "kernel.events_suppressed",
+    "kernel.early_exits",
+    "kernel.faults_dropped",
+    "fault_sim.groups",
+    "fault_sim.faults_detected",
+    "pool.parallel_fors",
+    "pool.tasks_run",
+    "session.stations_swept",
+    "session.cycles_run",
+};
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    switch (*s) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << *s;
+    }
+  }
+}
+
+}  // namespace
+
+const char* counter_name(Counter c) noexcept {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+void enable() {
+  Registry& r = registry();
+  {
+    std::lock_guard lock(r.mu);
+    if (!r.epoch_set) {
+      r.epoch = Clock::now();
+      r.epoch_set = true;
+    }
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& log : r.logs) {
+    for (auto& c : log->counters) c.store(0, std::memory_order_relaxed);
+    std::lock_guard span_lock(log->mu);
+    log->spans.clear();
+  }
+  r.epoch = Clock::now();
+  r.epoch_set = true;
+}
+
+void add(Counter c, std::uint64_t n) noexcept {
+  local_log().counters[static_cast<std::size_t>(c)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> counter_values() {
+  std::vector<std::uint64_t> totals(kNumCounters, 0);
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (const auto& log : r.logs) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      totals[i] += log->counters[i].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+std::uint64_t counter_value(Counter c) {
+  return counter_values()[static_cast<std::size_t>(c)];
+}
+
+std::vector<SpanEvent> span_events() {
+  std::vector<SpanEvent> events;
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (const auto& log : r.logs) {
+    std::lock_guard span_lock(log->mu);
+    events.insert(events.end(), log->spans.begin(), log->spans.end());
+  }
+  std::sort(events.begin(), events.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.depth < b.depth;
+  });
+  return events;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<SpanEvent> events = span_events();
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+  };
+
+  // Thread-name metadata for every tid that recorded at least one span.
+  std::vector<std::uint32_t> tids;
+  for (const SpanEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (std::uint32_t tid : tids) {
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+       << ", \"args\": {\"name\": \"" << (tid == 0 ? "main" : "worker-")
+       << (tid == 0 ? "" : std::to_string(tid)) << "\"}}";
+  }
+
+  // ts/dur are microseconds in the Chrome trace format; keep nanosecond
+  // resolution as a fraction.
+  for (const SpanEvent& e : events) {
+    sep();
+    os << "{\"name\": \"";
+    json_escape(os, e.name);
+    os << "\", \"cat\": \"merced\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << static_cast<double>(e.start_ns) / 1000.0
+       << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0
+       << ", \"args\": {\"depth\": " << e.depth;
+    if (e.has_arg) os << ", \"i\": " << e.arg;
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+Span::Span(const char* name) noexcept : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  ++local_log().depth;
+  start_ns_ = now_ns();
+}
+
+Span::Span(const char* name, std::uint64_t arg) noexcept : Span(name) {
+  arg_ = arg;
+  has_arg_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::int64_t end_ns = now_ns();
+  ThreadLog& log = local_log();
+  const std::uint32_t depth = --log.depth;
+  std::lock_guard lock(log.mu);
+  log.spans.push_back(SpanEvent{name_, log.tid, depth, start_ns_,
+                                end_ns - start_ns_, arg_, has_arg_});
+}
+
+}  // namespace merced::obs

@@ -1,0 +1,158 @@
+// Observability layer: scoped spans, lock-free per-thread counters, and a
+// Chrome/Perfetto trace exporter.
+//
+// Merced's compile pipeline and simulation kernels are performance
+// artifacts; this module is the measurement substrate that keeps them
+// honest. Two primitives, one contract:
+//
+//  * MERCED_SPAN("saturate_network") — an RAII span recording wall-time,
+//    thread id, and nesting depth. Completed spans collect in per-thread
+//    buffers and export as Chrome tracing "X" (complete) events, loadable
+//    in Perfetto / chrome://tracing.
+//  * MERCED_COUNT(Counter::kFlowIterations, n) — a named monotonic counter.
+//    Each thread owns a cache-local slot block; increments are relaxed
+//    atomics with no cross-thread contention, and counter_values()
+//    aggregates all blocks on flush.
+//
+// Null-sink contract: when no collector is enabled (the default), both
+// macros cost exactly one branch on one relaxed atomic load — no clock
+// read, no allocation, no atomic RMW. Hot kernels therefore keep their
+// instrumentation compiled in unconditionally; bench_exhaustive_kernel's
+// overhead guardrail asserts the disabled path stays within noise of the
+// uninstrumented baseline (DESIGN.md "Observability layer").
+//
+// Threading: spans and counter increments may happen on any thread.
+// enable()/disable()/reset() and the flush/aggregation calls
+// (counter_values, span_events, write_chrome_trace) must run while no
+// instrumented parallel region is active — in practice, on the main thread
+// between pipeline phases.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace merced::obs {
+
+/// Every counter the pipeline publishes. Names (counter_name) use a
+/// "subsystem.metric" convention and are the JSON keys of the metrics
+/// artifact, so renaming one is a schema change.
+enum class Counter : std::uint32_t {
+  kFlowIterations = 0,      ///< shortest-path trees built by Saturate_Network
+  kFlowTreeNetsFlowed,      ///< nets that received Δ flow across all trees
+  kGroupNetsRemoved,        ///< nets cut by Make_Group boundary lowering
+  kGroupBoundarySteps,      ///< boundary-lowering rounds in Make_Group
+  kCbitMerges,              ///< greedy cluster merges in Assign_CBIT
+  kRetimingLagsApplied,     ///< nonzero ρ labels in the legal retiming plan
+  kRetimingNegCycleDemotions,  ///< cuts demoted resolving negative cycles
+  kRetimingAggregateDemotions, ///< cuts demoted by the per-SCC aggregate pass
+  kKernelRangesRun,         ///< exhaustive_detect_range invocations
+  kKernelBatches,           ///< 64-pattern batches swept by the kernel
+  kKernelEventsPopped,      ///< gate events popped from the kernel wave heap
+  kKernelEventsSuppressed,  ///< popped events whose recomputed word matched
+  kKernelEarlyExits,        ///< per-fault probes ended at an observed output
+  kKernelFaultsDropped,     ///< faults detected and dropped from later batches
+  kFaultSimGroups,          ///< 63-fault machine-word groups simulated
+  kFaultSimFaultsDetected,  ///< faults detected by sequential fault sim
+  kPoolParallelFors,        ///< parallel_for invocations on any ThreadPool
+  kPoolTasksRun,            ///< indices executed across all parallel_fors
+  kSessionStationsSwept,    ///< CUT stations swept by PpetSession::run
+  kSessionCyclesRun,        ///< TPG cycles executed across all stations
+  kCount                    ///< sentinel, not a counter
+};
+
+inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+
+/// Stable "subsystem.metric" name of a counter (metrics JSON key).
+const char* counter_name(Counter c) noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True while a collector is attached. The only cost instrumentation pays
+/// when observability is off is this relaxed load plus its branch.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Attaches the process-wide collector (idempotent). Timestamps of spans
+/// recorded after enable() are relative to the first enable() epoch.
+void enable();
+
+/// Stops recording. Data collected so far stays readable until reset().
+void disable();
+
+/// Clears all recorded spans and zeroes every counter on every thread.
+/// Call while quiescent (no instrumented work in flight).
+void reset();
+
+/// Adds `n` to counter `c` on the calling thread's slot. Callers must check
+/// enabled() first (the MERCED_COUNT macro does); calling while disabled is
+/// harmless but pays the slot lookup.
+void add(Counter c, std::uint64_t n) noexcept;
+
+/// Aggregated counter totals, indexed by Counter value.
+std::vector<std::uint64_t> counter_values();
+
+/// One aggregated counter.
+std::uint64_t counter_value(Counter c);
+
+/// A completed span, as exported to the trace.
+struct SpanEvent {
+  const char* name;        ///< static string passed to MERCED_SPAN
+  std::uint32_t tid;       ///< collector thread id (registration order)
+  std::uint32_t depth;     ///< nesting depth on that thread (0 = outermost)
+  std::int64_t start_ns;   ///< relative to the collector epoch
+  std::int64_t dur_ns;
+  std::uint64_t arg;       ///< user argument (e.g. CUT index); see has_arg
+  bool has_arg;
+};
+
+/// All completed spans, sorted by (start_ns, tid, depth) — a deterministic
+/// order for any fixed set of events.
+std::vector<SpanEvent> span_events();
+
+/// Writes the Chrome tracing / Perfetto JSON document ("traceEvents" array
+/// of ph:"X" complete events plus thread-name metadata). Valid — and empty
+/// of events — even when nothing was recorded.
+void write_chrome_trace(std::ostream& os);
+
+/// RAII span. Construction checks enabled() once; a span that started while
+/// enabled records on destruction even if the collector was disabled
+/// meanwhile (so in-flight phases flush cleanly).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  Span(const char* name, std::uint64_t arg) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
+  bool has_arg_ = false;
+  bool active_ = false;
+};
+
+#define MERCED_OBS_CONCAT2(a, b) a##b
+#define MERCED_OBS_CONCAT(a, b) MERCED_OBS_CONCAT2(a, b)
+
+/// Scoped span: MERCED_SPAN("name") or MERCED_SPAN("name", index_arg).
+#define MERCED_SPAN(...) \
+  ::merced::obs::Span MERCED_OBS_CONCAT(merced_obs_span_, __LINE__) { __VA_ARGS__ }
+
+/// Counter increment, free when disabled (one relaxed load + branch).
+#define MERCED_COUNT(counter, n)                            \
+  do {                                                      \
+    if (::merced::obs::enabled()) {                         \
+      ::merced::obs::add((counter), (n));                   \
+    }                                                       \
+  } while (0)
+
+}  // namespace merced::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/obs.h"
+
 namespace merced {
 
 namespace {
@@ -54,6 +56,7 @@ MergeEval evaluate_merge(const CircuitGraph& g, const std::vector<std::int32_t>&
 
 AssignCbitResult assign_cbit(const CircuitGraph& g, const Clustering& initial,
                              std::size_t lk) {
+  MERCED_SPAN("assign_cbit");
   if (lk == 0) throw std::invalid_argument("assign_cbit: lk must be >= 1");
   initial.validate(g);
 
@@ -139,6 +142,7 @@ AssignCbitResult assign_cbit(const CircuitGraph& g, const Clustering& initial,
     result.input_counts.push_back(work[oi].inputs.size());
   }
   parts.validate(g);
+  MERCED_COUNT(obs::Counter::kCbitMerges, result.merges_performed);
   return result;
 }
 

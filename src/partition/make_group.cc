@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace merced {
 
 namespace {
@@ -139,6 +141,7 @@ std::size_t set_input_count(const CircuitGraph& g, const std::vector<NodeId>& no
 
 MakeGroupResult make_group(const CircuitGraph& g, const SccInfo& sccs,
                            const SaturationResult& sat, const MakeGroupParams& p) {
+  MERCED_SPAN("make_group");
   if (sat.distance.size() != g.num_nets()) {
     throw std::invalid_argument("make_group: saturation result size mismatch");
   }
@@ -227,6 +230,12 @@ MakeGroupResult make_group(const CircuitGraph& g, const SccInfo& sccs,
 
   result.net_removed = std::move(cut.removed);
   result.scc_cuts_used = std::move(cut.c_scc);
+  if (obs::enabled()) {
+    std::uint64_t removed = 0;
+    for (bool r : result.net_removed) removed += r ? 1 : 0;
+    obs::add(obs::Counter::kGroupNetsRemoved, removed);
+    obs::add(obs::Counter::kGroupBoundarySteps, result.boundary_steps);
+  }
   return result;
 }
 

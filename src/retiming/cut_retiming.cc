@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.h"
+
 namespace merced {
 
 namespace {
@@ -88,6 +90,7 @@ std::vector<std::size_t> spfa(std::size_t n, const std::vector<CEdge>& edges,
 CutRetimingPlan plan_cut_retiming(const CircuitGraph& g, const RetimeGraph& rg,
                                   const SccInfo& sccs, std::span<const NetId> cut_nets,
                                   const Clustering& clustering) {
+  MERCED_SPAN("plan_cut_retiming");
   CutRetimingPlan plan;
   std::unordered_set<NetId> cut_set(cut_nets.begin(), cut_nets.end());
 
@@ -266,6 +269,13 @@ CutRetimingPlan plan_cut_retiming(const CircuitGraph& g, const RetimeGraph& rg,
   }
   std::sort(plan.retimable.begin(), plan.retimable.end());
   std::sort(plan.multiplexed.begin(), plan.multiplexed.end());
+  if (obs::enabled()) {
+    std::uint64_t lags = 0;
+    for (std::int32_t rho : plan.rho) lags += rho != 0 ? 1 : 0;
+    obs::add(obs::Counter::kRetimingLagsApplied, lags);
+    obs::add(obs::Counter::kRetimingNegCycleDemotions, plan.negative_cycle_demotions);
+    obs::add(obs::Counter::kRetimingAggregateDemotions, plan.scc_aggregate_demotions);
+  }
   return plan;
 }
 

@@ -1,8 +1,22 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/obs.h"
 
 namespace merced {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
 
 std::size_t resolve_jobs(std::size_t jobs) noexcept {
   if (jobs != 0) return jobs;
@@ -28,9 +42,13 @@ std::vector<IndexRange> split_ranges(std::size_t n, std::size_t parts) {
 
 ThreadPool::ThreadPool(std::size_t jobs) {
   const std::size_t total = resolve_jobs(jobs);
+  stats_.reserve(total);
+  for (std::size_t t = 0; t < total; ++t) {
+    stats_.push_back(std::make_unique<StatSlot>());
+  }
   threads_.reserve(total - 1);
   for (std::size_t t = 1; t < total; ++t) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -43,10 +61,33 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::drain_indices() {
+std::vector<WorkerStats> ThreadPool::stats() const {
+  std::vector<WorkerStats> out(stats_.size());
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    out[i].tasks = stats_[i]->tasks.load(std::memory_order_relaxed);
+    out[i].busy_seconds =
+        static_cast<double>(stats_[i]->busy_ns.load(std::memory_order_relaxed)) / 1e9;
+    out[i].idle_seconds =
+        static_cast<double>(stats_[i]->idle_ns.load(std::memory_order_relaxed)) / 1e9;
+  }
+  return out;
+}
+
+void ThreadPool::reset_stats() {
+  for (auto& slot : stats_) {
+    slot->tasks.store(0, std::memory_order_relaxed);
+    slot->busy_ns.store(0, std::memory_order_relaxed);
+    slot->idle_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::drain_indices(StatSlot& slot) {
+  const auto t0 = Clock::now();
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n_) return;
+    if (i >= n_) break;
+    ++executed;
     try {
       (*body_)(i);
     } catch (...) {
@@ -56,18 +97,25 @@ void ThreadPool::drain_indices() {
       next_.store(n_, std::memory_order_relaxed);
     }
   }
+  slot.tasks.fetch_add(executed, std::memory_order_relaxed);
+  slot.busy_ns.fetch_add(ns_between(t0, Clock::now()), std::memory_order_relaxed);
+  MERCED_COUNT(obs::Counter::kPoolTasksRun, executed);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  StatSlot& slot = *stats_[worker_index];
   std::uint64_t seen = 0;
   for (;;) {
     {
       std::unique_lock lock(mu_);
+      const auto idle0 = Clock::now();
       wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      slot.idle_ns.fetch_add(ns_between(idle0, Clock::now()),
+                             std::memory_order_relaxed);
       if (stop_) return;
       seen = epoch_;
     }
-    drain_indices();
+    drain_indices(slot);
     {
       std::lock_guard lock(mu_);
       if (--busy_ == 0) done_.notify_all();
@@ -78,8 +126,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  MERCED_COUNT(obs::Counter::kPoolParallelFors, 1);
   if (threads_.empty() || n == 1) {
+    StatSlot& slot = *stats_[0];
+    const auto t0 = Clock::now();
     for (std::size_t i = 0; i < n; ++i) body(i);
+    slot.tasks.fetch_add(n, std::memory_order_relaxed);
+    slot.busy_ns.fetch_add(ns_between(t0, Clock::now()), std::memory_order_relaxed);
+    MERCED_COUNT(obs::Counter::kPoolTasksRun, n);
     return;
   }
   {
@@ -92,7 +146,7 @@ void ThreadPool::parallel_for(std::size_t n,
     ++epoch_;
   }
   wake_.notify_all();
-  drain_indices();  // the caller is the pool's extra worker
+  drain_indices(*stats_[0]);  // the caller is the pool's extra worker
   std::exception_ptr err;
   {
     std::unique_lock lock(mu_);

@@ -26,8 +26,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -50,6 +52,16 @@ struct IndexRange {
 /// this for thread-count-independent results.
 std::vector<IndexRange> split_ranges(std::size_t n, std::size_t parts);
 
+/// Per-worker execution statistics (see ThreadPool::stats()). Busy time is
+/// wall time spent inside parallel_for bodies; idle time is wall time a
+/// pool worker spent parked waiting for a job (always 0 for the caller
+/// slot, which only exists inside parallel_for).
+struct WorkerStats {
+  std::uint64_t tasks = 0;  ///< loop indices this worker executed
+  double busy_seconds = 0;
+  double idle_seconds = 0;
+};
+
 class ThreadPool {
  public:
   /// `jobs` = total workers including the calling thread (0 = hardware).
@@ -67,11 +79,30 @@ class ThreadPool {
   /// reentrant: body must not call parallel_for on the same pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Cumulative per-worker statistics since construction or the last
+  /// reset_stats(). Index 0 is the calling thread's slot, indices 1..size()-1
+  /// the pool workers. Call while no parallel_for is running (between runs);
+  /// idle time of a currently-parked worker accrues only when it next wakes.
+  std::vector<WorkerStats> stats() const;
+
+  /// Zeroes all worker statistics — reset-between-runs semantics so one
+  /// pool can serve several measured runs. Same quiescence rule as stats().
+  void reset_stats();
+
  private:
-  void worker_loop();
-  void drain_indices();
+  /// Per-worker stat slot. Relaxed atomics: each slot is written only by
+  /// its owning thread; stats() reads are exact once the pool is quiescent.
+  struct StatSlot {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void drain_indices(StatSlot& slot);
 
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<StatSlot>> stats_;  ///< [0]=caller, [t]=worker t
 
   std::mutex mu_;
   std::condition_variable wake_;     ///< workers wait here for a job

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "netlist/netlist.h"
+#include "obs/obs.h"
 
 namespace merced {
 
@@ -299,7 +300,10 @@ bool ConeSimulator::fault_observable(Workspace& ws, const Fault& fault,
   if (diff0 == 0) return false;  // no fault effect on any valid lane
   ws.faulty[num_inputs + t0] = out0;
   ws.dirty[num_inputs + t0] = epoch;
-  if (observed_index_[t0] >= 0) return true;
+  if (observed_index_[t0] >= 0) {
+    ++ws.counters.early_exits;
+    return true;
+  }
 
   // Event wave through the downstream fanout cone in topo order: the heap
   // realizes the fault site's topo suffix lazily, and value-identical
@@ -321,6 +325,7 @@ bool ConeSimulator::fault_observable(Workspace& ws, const Fault& fault,
     std::pop_heap(heap.begin(), heap.end(), std::greater<std::uint32_t>{});
     const std::uint32_t t = heap.back();
     heap.pop_back();
+    ++ws.counters.events_popped;
     const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t];
     const std::size_t nf = fanin_offset_[t + 1] - fanin_offset_[t];
     const std::uint64_t out = eval_csr_gate(type_[t], nf, [&](std::size_t k) {
@@ -328,11 +333,15 @@ bool ConeSimulator::fault_observable(Workspace& ws, const Fault& fault,
       return ws.dirty[slot] == epoch ? ws.faulty[slot] : value[slot];
     });
     const std::uint64_t diff = out ^ value[num_inputs + t];
-    if (diff == 0) continue;  // event suppressed, wave stops here
+    if (diff == 0) {
+      ++ws.counters.events_suppressed;
+      continue;  // event suppressed, wave stops here
+    }
     ws.faulty[num_inputs + t] = out;
     ws.dirty[num_inputs + t] = epoch;
     if (observed_index_[t] >= 0 && (diff & mask) != 0) {
       heap.clear();
+      ++ws.counters.early_exits;
       return true;
     }
     push(t);
@@ -413,11 +422,14 @@ void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> f
     if (!detected[fi]) ++remaining;
   }
 
+  const std::size_t live_at_entry = remaining;
   ConeSimulator::Workspace ws;
   std::vector<std::uint64_t> inputs(n, 0);
+  std::uint64_t batches_run = 0;
   for (std::uint64_t batch = 0; batch < batches && remaining > 0; ++batch) {
     fill_batch_inputs(n, batch, inputs);
     cone.eval(inputs, ws);  // good machine for this batch
+    ++batches_run;
     for (std::size_t fi = range.begin; fi < range.end; ++fi) {
       if (detected[fi]) continue;  // dropped in an earlier batch
       if (cone.fault_observable(ws, faults[fi], mask)) {
@@ -426,9 +438,20 @@ void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> f
       }
     }
   }
+  // One flush per range keeps the batch/fault loops free of instrumentation;
+  // ws is fresh above, so its counters are exactly this range's work.
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kKernelRangesRun, 1);
+    obs::add(obs::Counter::kKernelBatches, batches_run);
+    obs::add(obs::Counter::kKernelFaultsDropped, live_at_entry - remaining);
+    obs::add(obs::Counter::kKernelEventsPopped, ws.counters.events_popped);
+    obs::add(obs::Counter::kKernelEventsSuppressed, ws.counters.events_suppressed);
+    obs::add(obs::Counter::kKernelEarlyExits, ws.counters.early_exits);
+  }
 }
 
 CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOptions& opt) {
+  MERCED_SPAN("exhaustive_coverage");
   const std::size_t n = cone.cut_inputs().size();
   if (n > opt.max_inputs) {
     throw std::invalid_argument("exhaustive_coverage: CUT has " + std::to_string(n) +
@@ -449,6 +472,7 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOpti
   } else {
     ThreadPool pool(ranges.size());
     pool.parallel_for(ranges.size(), [&](std::size_t r) {
+      MERCED_SPAN("fault_range", r);
       exhaustive_detect_range(cone, faults, ranges[r], detected.data());
     });
   }

@@ -56,6 +56,18 @@ class ConeSimulator {
     /// no-allocation guarantee is testable as capacity stability.
     std::size_t capacity_bytes() const noexcept;
 
+    /// Kernel work counters, incremented by fault_observable() as plain
+    /// (non-atomic) adds on this already-hot struct — cheap enough to stay
+    /// compiled in unconditionally. They accumulate across calls; callers
+    /// that publish them (exhaustive_detect_range) flush the per-range
+    /// delta into the obs layer and tests may read them directly.
+    struct KernelCounters {
+      std::uint64_t events_popped = 0;     ///< gates popped off the wave heap
+      std::uint64_t events_suppressed = 0; ///< popped gates with no value change
+      std::uint64_t early_exits = 0;       ///< probes ended at an observed output
+    };
+    KernelCounters counters;
+
    private:
     friend class ConeSimulator;
     std::vector<std::uint64_t> values;    ///< good-machine value per slot

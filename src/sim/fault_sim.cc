@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace merced {
@@ -115,6 +116,7 @@ FaultSimResult simulate_faults(const Netlist& nl, std::span<const Fault> faults,
                                std::span<const std::vector<bool>> input_stream,
                                const std::vector<bool>& initial_state,
                                std::size_t jobs) {
+  MERCED_SPAN("simulate_faults");
   if (!nl.finalized()) throw std::logic_error("simulate_faults: netlist not finalized");
   if (initial_state.size() != nl.dffs().size()) {
     throw std::invalid_argument("simulate_faults: initial_state size mismatch");
@@ -142,6 +144,7 @@ FaultSimResult simulate_faults(const Netlist& nl, std::span<const Fault> faults,
   const std::size_t num_groups = (faults.size() + 62) / 63;
   ThreadPool pool(std::min(resolve_jobs(jobs), num_groups));
   pool.parallel_for(num_groups, [&](std::size_t gi) {
+    MERCED_SPAN("fault_group", gi);
     simulate_group(nl, faults, input_stream, initial_state, gi * 63, detected,
                    detect_cycle);
   });
@@ -154,6 +157,8 @@ FaultSimResult simulate_faults(const Netlist& nl, std::span<const Fault> faults,
       ++result.num_detected;
     }
   }
+  MERCED_COUNT(obs::Counter::kFaultSimGroups, num_groups);
+  MERCED_COUNT(obs::Counter::kFaultSimFaultsDetected, result.num_detected);
   return result;
 }
 

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+
+namespace merced {
+namespace {
+
+// The collector is process-global; every test starts and ends quiescent,
+// disabled, and empty so tests compose in any order.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::disable();
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::disable();
+    obs::reset();
+  }
+};
+
+std::string render_trace() {
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  return os.str();
+}
+
+TEST_F(ObsTest, SpanNestingRecordsDepthAndContainment) {
+  obs::enable();
+  {
+    MERCED_SPAN("outer");
+    { MERCED_SPAN("inner", 7); }
+    { MERCED_SPAN("inner_plain"); }
+  }
+  obs::disable();
+
+  const std::vector<obs::SpanEvent> evs = obs::span_events();
+  ASSERT_EQ(evs.size(), 3u);
+  // span_events() sorts by start time, so the enclosing span comes first.
+  EXPECT_STREQ(evs[0].name, "outer");
+  EXPECT_EQ(evs[0].depth, 0u);
+  EXPECT_FALSE(evs[0].has_arg);
+  EXPECT_STREQ(evs[1].name, "inner");
+  EXPECT_EQ(evs[1].depth, 1u);
+  ASSERT_TRUE(evs[1].has_arg);
+  EXPECT_EQ(evs[1].arg, 7u);
+  EXPECT_STREQ(evs[2].name, "inner_plain");
+  EXPECT_EQ(evs[2].depth, 1u);
+  EXPECT_FALSE(evs[2].has_arg);
+
+  // All on the recording thread, and both children lie inside the parent.
+  EXPECT_EQ(evs[1].tid, evs[0].tid);
+  EXPECT_EQ(evs[2].tid, evs[0].tid);
+  for (int i : {1, 2}) {
+    EXPECT_GE(evs[i].start_ns, evs[0].start_ns);
+    EXPECT_LE(evs[i].start_ns + evs[i].dur_ns, evs[0].start_ns + evs[0].dur_ns);
+  }
+}
+
+TEST_F(ObsTest, SpansAttributeToTheRecordingThread) {
+  obs::enable();
+  std::thread worker([] { MERCED_SPAN("worker_span"); });
+  worker.join();
+  { MERCED_SPAN("main_span"); }
+  obs::disable();
+
+  const std::vector<obs::SpanEvent> evs = obs::span_events();
+  ASSERT_EQ(evs.size(), 2u);
+  const obs::SpanEvent* main_ev = nullptr;
+  const obs::SpanEvent* worker_ev = nullptr;
+  for (const obs::SpanEvent& e : evs) {
+    if (std::string(e.name) == "main_span") main_ev = &e;
+    if (std::string(e.name) == "worker_span") worker_ev = &e;
+  }
+  ASSERT_NE(main_ev, nullptr);
+  ASSERT_NE(worker_ev, nullptr);
+  EXPECT_NE(main_ev->tid, worker_ev->tid);
+  // A fresh thread starts at depth 0 regardless of what main is doing.
+  EXPECT_EQ(worker_ev->depth, 0u);
+}
+
+TEST_F(ObsTest, CountersAggregateExactlyAcrossEightThreads) {
+  obs::enable();
+  {
+    ThreadPool pool(8);
+    pool.parallel_for(1000, [](std::size_t i) {
+      MERCED_COUNT(obs::Counter::kKernelEventsPopped, 1);
+      MERCED_COUNT(obs::Counter::kKernelBatches, i % 3);
+    });
+  }
+  obs::disable();
+
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelEventsPopped), 1000u);
+  // sum of i % 3 over [0, 1000) = 333 full cycles of 0+1+2, plus 999 % 3 = 0.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelBatches), 999u);
+  // The pool's own instrumentation (satellite of the same layer) must agree.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolParallelFors), 1u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolTasksRun), 1000u);
+
+  const std::vector<std::uint64_t> all = obs::counter_values();
+  ASSERT_EQ(all.size(), obs::kNumCounters);
+  EXPECT_EQ(all[static_cast<std::size_t>(obs::Counter::kKernelEventsPopped)], 1000u);
+}
+
+TEST_F(ObsTest, TraceJsonIsSchemaValidAndDeterministicModuloTimestamps) {
+  const auto record = [] {
+    obs::reset();
+    obs::enable();
+    {
+      MERCED_SPAN("phase_a");
+      { MERCED_SPAN("step", 1); }
+      { MERCED_SPAN("step", 2); }
+    }
+    { MERCED_SPAN("phase_b"); }
+    obs::disable();
+    return render_trace();
+  };
+  const std::string doc_text1 = record();
+  const std::string doc_text2 = record();
+
+  const obs::JsonValue doc1 = obs::JsonValue::parse(doc_text1);
+  const obs::JsonValue doc2 = obs::JsonValue::parse(doc_text2);
+  EXPECT_EQ(obs::validate_trace_json(doc1), "");
+  EXPECT_EQ(obs::validate_trace_json(doc2), "");
+
+  // Two identical single-threaded recordings must agree on everything but
+  // the clock: same events, same order, same tids/depths/args.
+  const auto signature = [](const obs::JsonValue& doc) {
+    std::ostringstream sig;
+    for (const obs::JsonValue& ev : doc.find("traceEvents")->as_array()) {
+      sig << ev.find("ph")->as_string() << "|" << ev.find("name")->as_string()
+          << "|" << ev.find("tid")->as_number() << "|";
+      if (const obs::JsonValue* args = ev.find("args")) {
+        if (const obs::JsonValue* depth = args->find("depth")) {
+          sig << depth->as_number();
+        }
+        sig << "|";
+        if (const obs::JsonValue* idx = args->find("i")) sig << idx->as_number();
+      }
+      sig << "\n";
+    }
+    return sig.str();
+  };
+  EXPECT_EQ(signature(doc1), signature(doc2));
+}
+
+TEST_F(ObsTest, NullSinkRecordsNothing) {
+  ASSERT_FALSE(obs::enabled());
+  {
+    MERCED_SPAN("ghost");
+    MERCED_COUNT(obs::Counter::kKernelBatches, 5);
+  }
+  EXPECT_TRUE(obs::span_events().empty());
+  for (std::uint64_t v : obs::counter_values()) EXPECT_EQ(v, 0u);
+
+  // The trace document is still well-formed, just empty of "X" events.
+  const obs::JsonValue doc = obs::JsonValue::parse(render_trace());
+  EXPECT_EQ(obs::validate_trace_json(doc), "");
+  for (const obs::JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    EXPECT_NE(ev.find("ph")->as_string(), "X");
+  }
+}
+
+TEST_F(ObsTest, MetricsArtifactRoundTripsThroughValidator) {
+  obs::enable();
+  {
+    MERCED_SPAN("phase_a");
+    MERCED_COUNT(obs::Counter::kFlowIterations, 17);
+  }
+  { MERCED_SPAN("phase_a"); }
+  obs::disable();
+
+  obs::RunInfo run;
+  run.tool = "obs_test";
+  run.circuit = "none";
+  run.lk = 4;
+  run.jobs = 2;
+  run.starts = 1;
+  const obs::MetricsRegistry reg = obs::MetricsRegistry::capture(run);
+  std::ostringstream os;
+  reg.write_json(os);
+
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  EXPECT_EQ(obs::validate_metrics_json(doc), "");
+  EXPECT_EQ(doc.find("run")->find("tool")->as_string(), "obs_test");
+  EXPECT_EQ(doc.find("counters")->find("flow.iterations")->as_number(), 17.0);
+
+  const obs::JsonValue* ph = doc.find("phases");
+  ASSERT_NE(ph, nullptr);
+  ASSERT_EQ(ph->as_array().size(), 1u);
+  EXPECT_EQ(ph->as_array()[0].find("name")->as_string(), "phase_a");
+  EXPECT_EQ(ph->as_array()[0].find("count")->as_number(), 2.0);
+}
+
+TEST_F(ObsTest, ValidatorRejectsSchemaDrift) {
+  obs::RunInfo run;
+  run.tool = "obs_test";
+  const obs::MetricsRegistry reg = obs::MetricsRegistry::capture(run);
+  std::ostringstream os;
+  reg.write_json(os);
+  std::string text = os.str();
+
+  const std::string wrong = text;
+  text.replace(text.find("merced-metrics-v1"), 17, "merced-metrics-v9");
+  EXPECT_NE(obs::validate_metrics_json(obs::JsonValue::parse(text)), "");
+
+  // Dropping a counter must also fail: every Counter is part of the schema.
+  std::string missing = wrong;
+  const std::size_t at = missing.find("\"flow.iterations\"");
+  ASSERT_NE(at, std::string::npos);
+  missing.replace(at, 17, "\"flow.bogus\"");
+  EXPECT_NE(obs::validate_metrics_json(obs::JsonValue::parse(missing)), "");
+}
+
+TEST(JsonParserTest, ParsesScalarsArraysAndObjects) {
+  const obs::JsonValue v = obs::JsonValue::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"s": "hi\n\u0041", "t": true, "n": null}})");
+  ASSERT_TRUE(v.is_object());
+  const obs::JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(a->as_array()[1].as_number(), 2.5);
+  EXPECT_EQ(a->as_array()[2].as_number(), -300.0);
+  const obs::JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("s")->as_string(), "hi\nA");
+  EXPECT_TRUE(b->find("t")->as_bool());
+  EXPECT_TRUE(b->find("n")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1, 2,]",     // trailing comma
+      "{\"a\" 1}",   // missing colon
+      "\"\\x\"",     // bad escape
+      "01",          // leading zero
+      "1 2",         // trailing garbage
+      "nul",         // truncated literal
+      "\"\\ud800\"", // lone surrogate
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(obs::JsonValue::parse(text), obs::JsonParseError) << text;
+  }
+}
+
+TEST(JsonParserTest, EqualityIsStructural) {
+  const obs::JsonValue a = obs::JsonValue::parse(R"({"x": [1, {"y": "z"}]})");
+  const obs::JsonValue b = obs::JsonValue::parse(R"({ "x" : [ 1 , {"y":"z"} ] })");
+  const obs::JsonValue c = obs::JsonValue::parse(R"({"x": [1, {"y": "w"}]})");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace merced

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/thread_pool.h"
@@ -72,6 +75,82 @@ TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
     ASSERT_EQ(out.size(), 257u);
     for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
   }
+}
+
+TEST(ThreadPoolStatsTest, FreshPoolHasZeroedSlots) {
+  ThreadPool pool(4);
+  const std::vector<WorkerStats> s = pool.stats();
+  ASSERT_EQ(s.size(), 4u);
+  for (const WorkerStats& w : s) {
+    EXPECT_EQ(w.tasks, 0u);
+    EXPECT_EQ(w.busy_seconds, 0.0);
+    EXPECT_EQ(w.idle_seconds, 0.0);
+  }
+}
+
+TEST(ThreadPoolStatsTest, TasksSumToLoopSizesAcrossRuns) {
+  ThreadPool pool(4);
+  pool.parallel_for(100, [](std::size_t) {});
+  pool.parallel_for(23, [](std::size_t) {});
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : pool.stats()) total += w.tasks;
+  EXPECT_EQ(total, 123u);
+}
+
+TEST(ThreadPoolStatsTest, InlinePoolChargesTheCallerSlot) {
+  ThreadPool pool(1);
+  pool.parallel_for(42, [](std::size_t) {});
+  const std::vector<WorkerStats> s = pool.stats();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].tasks, 42u);
+  // The caller slot never parks, so it can accrue busy time but never idle.
+  EXPECT_EQ(s[0].idle_seconds, 0.0);
+}
+
+TEST(ThreadPoolStatsTest, BusyAndIdleTimeAccrue) {
+  ThreadPool pool(3);
+  const auto spin = [](std::size_t) {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  };
+  pool.parallel_for(9, spin);
+  // Workers park between jobs; the parked interval is charged as idle time
+  // when they wake for the next loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.parallel_for(9, spin);
+
+  const std::vector<WorkerStats> s = pool.stats();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].idle_seconds, 0.0);
+  double busy = 0;
+  double worker_idle = 0;
+  std::uint64_t tasks = 0;
+  for (const WorkerStats& w : s) {
+    busy += w.busy_seconds;
+    tasks += w.tasks;
+  }
+  for (std::size_t t = 1; t < s.size(); ++t) worker_idle += s[t].idle_seconds;
+  EXPECT_EQ(tasks, 18u);
+  // 18 indices x ~2 ms spin each; allow generous scheduling slop.
+  EXPECT_GT(busy, 0.018);
+  EXPECT_GT(worker_idle, 0.010);
+}
+
+TEST(ThreadPoolStatsTest, ResetStatsZeroesEverySlot) {
+  ThreadPool pool(4);
+  pool.parallel_for(64, [](std::size_t) {});
+  pool.reset_stats();
+  for (const WorkerStats& w : pool.stats()) {
+    EXPECT_EQ(w.tasks, 0u);
+    EXPECT_EQ(w.busy_seconds, 0.0);
+    EXPECT_EQ(w.idle_seconds, 0.0);
+  }
+  // Reset-between-runs: the next measured run starts from zero.
+  pool.parallel_for(10, [](std::size_t) {});
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : pool.stats()) total += w.tasks;
+  EXPECT_EQ(total, 10u);
 }
 
 TEST(ThreadPoolTest, DeterministicReductionAcrossThreadCounts) {
