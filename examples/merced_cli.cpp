@@ -5,6 +5,7 @@
 //              [--alpha F] [--delta F] [--min-visit N]
 //              [--jobs N] [--starts K]
 //              [--trace FILE] [--metrics FILE]
+//              [--verify] [--verify-json FILE] [--inject-defect KIND]
 //
 // <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
 // or a path to an ISCAS89 .bench file. Every flag accepts both
@@ -22,6 +23,15 @@
 // enough to sweep — the per-CUT pseudo-exhaustive coverage sweeps.
 // --metrics FILE writes the versioned merced-metrics-v1 JSON artifact
 // (counters + phase timings; see EXPERIMENTS.md "Metrics artifacts").
+//
+// --verify re-checks the compile artifact with the independent static
+// verifier (DESIGN.md "Static verification") and exits 1 if any
+// error-severity finding fires. --verify-json FILE additionally writes the
+// merced-verify-v1 report artifact (implies --verify). --inject-defect KIND
+// corrupts the artifact *after* compile and *before* verification — it
+// exists so CI can prove the verifier actually rejects a broken artifact
+// instead of rubber-stamping everything. Kinds: drop-cut (remove a claimed
+// cut net), skew-rho (perturb one retiming lag).
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +47,7 @@
 #include "netlist/bench_io.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "verify/verify_json.h"
 
 namespace {
 
@@ -45,6 +56,8 @@ void usage() {
                "                  [--alpha F] [--delta F] [--min-visit N]\n"
                "                  [--jobs N] [--starts K]\n"
                "                  [--trace FILE] [--metrics FILE]\n"
+               "                  [--verify] [--verify-json FILE] [--inject-defect KIND]\n"
+               "defect kinds (for --inject-defect): drop-cut, skew-rho\n"
                "bundled circuits:";
   for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
   std::cerr << "\n";
@@ -93,10 +106,18 @@ int main(int argc, char** argv) {
   MercedConfig config;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  bool run_verify = false;
+  std::optional<std::string> verify_json_path;
+  std::optional<std::string> inject_defect;
   try {
     for (int i = 2; i < argc; ++i) {
       std::string_view flag = argv[i];
       std::string_view value;
+      // --verify is the one boolean flag; it never consumes a value.
+      if (flag == "--verify") {
+        run_verify = true;
+        continue;
+      }
       // Accept "--flag=value" and "--flag value".
       if (const auto eq = flag.find('='); eq != std::string_view::npos) {
         value = flag.substr(eq + 1);
@@ -127,6 +148,16 @@ int main(int argc, char** argv) {
         trace_path = std::string(value);
       } else if (flag == "--metrics") {
         metrics_path = std::string(value);
+      } else if (flag == "--verify-json") {
+        verify_json_path = std::string(value);
+        run_verify = true;
+      } else if (flag == "--inject-defect") {
+        if (value != "drop-cut" && value != "skew-rho") {
+          throw BadFlag{"--inject-defect expects drop-cut or skew-rho, got '" +
+                        std::string(value) + "'"};
+        }
+        inject_defect = std::string(value);
+        run_verify = true;
       } else {
         usage();
         return 2;
@@ -144,8 +175,46 @@ int main(int argc, char** argv) {
   try {
     const Netlist netlist = target.ends_with(".bench") ? parse_bench_file(target)
                                                        : load_benchmark(target);
-    const MercedResult result = compile(netlist, config);
+    MercedResult result = compile(netlist, config);
     print_report(std::cout, result);
+
+    // Verification runs before the observability teardown so a traced run
+    // captures the verify_result span. Defect injection corrupts only the
+    // verify view (cut list / rho), never the partitions the sweep uses.
+    bool verify_clean = true;
+    if (run_verify) {
+      if (inject_defect == "drop-cut") {
+        if (result.cut_net_ids.empty()) {
+          std::cerr << "error: --inject-defect drop-cut needs a non-empty cut set\n";
+          return 2;
+        }
+        result.cut_net_ids.pop_back();
+      } else if (inject_defect == "skew-rho") {
+        if (result.retiming.rho.empty()) {
+          std::cerr << "error: --inject-defect skew-rho needs a non-empty rho\n";
+          return 2;
+        }
+        // A large lag on one vertex makes some retimed edge weight negative.
+        result.retiming.rho.front() += 1000;
+      }
+      const verify::Report report = verify_result(netlist, result, config);
+      std::cout << "  verify: " << report.errors() << " errors, " << report.warnings()
+                << " warnings, " << report.infos() << " infos\n";
+      for (const verify::Diagnostic& d : report.findings) {
+        std::cerr << "  " << verify::format_diagnostic(d) << "\n";
+      }
+      if (verify_json_path) {
+        verify::VerifyRunInfo run;
+        run.tool = "merced_cli";
+        run.circuit = target;
+        run.lk = config.lk;
+        std::ofstream out(*verify_json_path);
+        if (!out) throw std::runtime_error("cannot write verify file " + *verify_json_path);
+        verify::write_verify_json(out, report, run);
+        std::cout << "  wrote verify report: " << *verify_json_path << "\n";
+      }
+      verify_clean = report.clean();
+    }
 
     if (observing) {
       // Sweep every CUT pseudo-exhaustively so the trace shows the
@@ -190,6 +259,7 @@ int main(int argc, char** argv) {
         std::cout << "  wrote metrics: " << *metrics_path << "\n";
       }
     }
+    if (!verify_clean) return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,14 +1,14 @@
 // metrics_check — schema validator for the observability artifacts.
 //
 // Usage:
-//   metrics_check [--metrics FILE]... [--trace FILE]...
+//   metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]...
 //
 // Parses each file with the obs JSON reader and validates it against the
 // corresponding schema (merced-metrics-v1 for --metrics, the Chrome trace
-// event shape for --trace). Prints one line per file; exits non-zero on
-// the first unreadable or invalid artifact. CI runs this against freshly
-// produced merced_cli output so a schema drift fails the build instead of
-// silently breaking downstream diff tooling.
+// event shape for --trace, merced-verify-v1 for --verify). Prints one line
+// per file; exits non-zero on the first unreadable or invalid artifact. CI
+// runs this against freshly produced merced_cli output so a schema drift
+// fails the build instead of silently breaking downstream diff tooling.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,6 +16,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "verify/verify_json.h"
 
 namespace {
 
@@ -34,29 +35,30 @@ int check(const std::string& kind, const std::string& path) {
     std::cerr << "error: " << path << ": " << e.what() << "\n";
     return 1;
   }
-  const std::string err = kind == "--metrics"
-                              ? merced::obs::validate_metrics_json(doc)
-                              : merced::obs::validate_trace_json(doc);
+  const std::string err = kind == "--metrics" ? merced::obs::validate_metrics_json(doc)
+                          : kind == "--trace" ? merced::obs::validate_trace_json(doc)
+                                              : merced::verify::validate_verify_json(doc);
   if (!err.empty()) {
     std::cerr << "error: " << path << ": " << err << "\n";
     return 1;
   }
-  std::cout << path << ": valid " << (kind == "--metrics" ? "metrics" : "trace")
-            << " artifact\n";
+  std::cout << path << ": valid " << kind.substr(2) << " artifact\n";
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]...\n";
   if (argc < 3) {
-    std::cerr << "usage: metrics_check [--metrics FILE]... [--trace FILE]...\n";
+    std::cerr << kUsage;
     return 2;
   }
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string kind = argv[i];
-    if (kind != "--metrics" && kind != "--trace") {
-      std::cerr << "usage: metrics_check [--metrics FILE]... [--trace FILE]...\n";
+    if (kind != "--metrics" && kind != "--trace" && kind != "--verify") {
+      std::cerr << kUsage;
       return 2;
     }
     if (const int rc = check(kind, argv[i + 1]); rc != 0) return rc;

@@ -1,6 +1,7 @@
 #include "core/merced.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -20,6 +21,38 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
+
+verify::CompiledView make_view(const MercedResult& r, std::size_t lk) {
+  verify::CompiledView view;
+  view.partitions = &r.partitions;
+  view.partition_inputs = r.partition_inputs;
+  view.cut_net_ids = r.cut_net_ids;
+  view.retiming = &r.retiming;
+  view.feasible = r.feasible;
+  view.lk = lk;
+  view.area_retimable_cuts = r.area.retimable_cuts;
+  view.area_multiplexed_cuts = r.area.multiplexed_cuts;
+  view.area_exact_retimable_cuts = r.area.exact_retimable_cuts;
+  view.area_exact_multiplexed_cuts = r.area.exact_multiplexed_cuts;
+  return view;
+}
+
+#ifndef NDEBUG
+/// Debug-build invariant: every compile result passes its own static
+/// verification, so the whole test suite doubles as checker fixtures.
+bool result_verifies_clean(const CircuitGraph& graph, const RetimeGraph& rgraph,
+                           const SccInfo& sccs, const MercedResult& r, std::size_t lk) {
+  const verify::Report report =
+      verify::verify_artifact(graph, rgraph, sccs, make_view(r, lk));
+  if (report.clean()) return true;
+  for (const verify::Diagnostic& d : report.findings) {
+    if (d.severity == verify::Severity::kError) {
+      std::cerr << "[merced verify] " << verify::format_diagnostic(d) << "\n";
+    }
+  }
+  return false;
+}
+#endif
 
 }  // namespace
 
@@ -134,7 +167,19 @@ MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config
   r.cbit_cost = assign_cbit_cost(r.partition_inputs);
 
   r.total_seconds = prepared.saturate_seconds + seconds_since(t_start);
+#ifndef NDEBUG
+  assert(result_verifies_clean(graph, rgraph, sccs, r, config.lk));
+#endif
   return r;
+}
+
+verify::Report verify_result(const Netlist& netlist, const MercedResult& result,
+                             const MercedConfig& config) {
+  MERCED_SPAN("verify_result");
+  const CircuitGraph graph(netlist);
+  const RetimeGraph rgraph(graph);
+  const SccInfo sccs = find_sccs(graph);
+  return verify::verify_artifact(graph, rgraph, sccs, make_view(result, config.lk));
 }
 
 void print_report(std::ostream& os, const MercedResult& r) {

@@ -20,6 +20,7 @@
 #include "partition/clustering.h"
 #include "partition/make_group.h"
 #include "retiming/cut_retiming.h"
+#include "verify/verify.h"
 
 namespace merced {
 
@@ -82,5 +83,13 @@ MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config
 
 /// Human-readable report (used by the CLI example).
 void print_report(std::ostream& os, const MercedResult& result);
+
+/// Static verification of a compile result (see verify/verify.h for the
+/// rule catalog). Rebuilds the graph, SCC and retiming views from the
+/// netlist so every count is recomputed independently of the compile that
+/// produced `result`. Debug builds run the same checks inside compile()
+/// and assert a clean report.
+verify::Report verify_result(const Netlist& netlist, const MercedResult& result,
+                             const MercedConfig& config);
 
 }  // namespace merced

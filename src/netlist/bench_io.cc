@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "verify/diagnostic.h"
+#include "verify/rule_ids.h"
+
 namespace merced {
 
 namespace {
@@ -26,6 +29,22 @@ std::string_view trim(std::string_view s) {
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   throw std::runtime_error(".bench parse error at line " + std::to_string(line) + ": " + what);
+}
+
+/// Structural connectivity errors (multiply-driven / undriven nets) carry a
+/// verify rule ID, the net name, and the source line, so the parser and the
+/// static checker speak the same diagnostic language. DiagnosticError
+/// derives from std::runtime_error — callers that only care about "parse
+/// failed" keep working unchanged.
+[[noreturn]] void fail_net(const char* rule, std::string message, std::string net,
+                           std::size_t line) {
+  verify::Diagnostic d;
+  d.rule = rule;
+  d.severity = verify::Severity::kError;
+  d.message = ".bench parse error: " + std::move(message);
+  d.object = std::move(net);
+  d.line = line;
+  throw verify::DiagnosticError(d);
 }
 
 /// Splits "NOR(G14, G11)" into function name and arg list.
@@ -86,8 +105,10 @@ Netlist parse_bench(std::string_view text, std::string name) {
       if (upper == "INPUT") {
         try {
           nl.add_gate(GateType::kInput, args[0]);
-        } catch (const std::invalid_argument& e) {
-          fail(line_no, e.what());
+        } catch (const std::invalid_argument&) {
+          fail_net(verify::kNetMultiDriven,
+                   "duplicate driver for net '" + args[0] + "' (already defined)",
+                   args[0], line_no);
         }
       } else if (upper == "OUTPUT") {
         for (const auto& [seen, _] : output_names) {
@@ -116,8 +137,11 @@ Netlist parse_bench(std::string_view text, std::string name) {
   for (PendingGate& p : pendings) {
     try {
       nl.add_gate(p.type, p.name);
-    } catch (const std::invalid_argument& e) {
-      fail(p.line, e.what());  // duplicate definition, tagged with its line
+    } catch (const std::invalid_argument&) {
+      // Two assignments to the same net = two drivers on one wire.
+      fail_net(verify::kNetMultiDriven,
+               "duplicate driver for net '" + p.name + "' (already defined)",
+               p.name, p.line);
     }
   }
   for (const PendingGate& p : pendings) {
@@ -125,14 +149,21 @@ Netlist parse_bench(std::string_view text, std::string name) {
     fanins.reserve(p.fanin_names.size());
     for (const std::string& fn_name : p.fanin_names) {
       const GateId f = nl.find(fn_name);
-      if (f == kNoGate) fail(p.line, "undefined net '" + fn_name + "'");
+      if (f == kNoGate) {
+        fail_net(verify::kNetUndriven,
+                 "undefined net '" + fn_name + "' (referenced but never driven)",
+                 fn_name, p.line);
+      }
       fanins.push_back(f);
     }
     nl.set_fanins(nl.find(p.name), std::move(fanins));
   }
   for (const auto& [out_name, line] : output_names) {
     const GateId id = nl.find(out_name);
-    if (id == kNoGate) fail(line, "OUTPUT references undefined net '" + out_name + "'");
+    if (id == kNoGate) {
+      fail_net(verify::kNetUndriven,
+               "OUTPUT references undefined net '" + out_name + "'", out_name, line);
+    }
     nl.mark_output(id);
   }
 

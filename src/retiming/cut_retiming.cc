@@ -122,8 +122,12 @@ CutRetimingPlan plan_cut_retiming(const CircuitGraph& g, const RetimeGraph& rg,
   }
 
   // Build the constraint system. A retime-graph edge is a *crossing branch*
-  // of cut net n when weight-0, source_net == n, and its endpoints sit in
-  // different clusters.
+  // of cut net n when source_net == n and its endpoints sit in different
+  // clusters. Every crossing branch of a retimable cut must carry >= 1
+  // register after retiming — including branches whose registers already
+  // exist (w >= 1): without the constraint the solver may retime the
+  // boundary DFF away and unseal the crossing (found by merced::verify's
+  // RET-CUT-UNREGISTERED gate).
   const auto& redges = rg.edges();
   std::vector<CEdge> cedges;
   cedges.reserve(redges.size());
@@ -132,7 +136,7 @@ CutRetimingPlan plan_cut_retiming(const CircuitGraph& g, const RetimeGraph& rg,
   for (std::size_t i = 0; i < redges.size(); ++i) {
     const REdge& e = redges[i];
     NetId cut = kNoNet;
-    if (e.weight == 0 && cut_set.contains(e.source_net)) {
+    if (cut_set.contains(e.source_net)) {
       const NodeId from_node = rg.node_of(e.from);
       const NodeId to_node = rg.node_of(e.to);
       if (clustering.cluster_of[from_node] != clustering.cluster_of[to_node]) {

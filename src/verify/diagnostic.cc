@@ -1,0 +1,57 @@
+#include "verify/diagnostic.h"
+
+#include <algorithm>
+
+namespace merced::verify {
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  std::string out;
+  out += to_string(d.severity);
+  out += "[";
+  out += d.rule;
+  out += "]: ";
+  out += d.message;
+  if (!d.object.empty() || d.line != 0) {
+    out += " (";
+    if (!d.object.empty()) {
+      out += "at '";
+      out += d.object;
+      out += "'";
+      if (d.line != 0) out += ", ";
+    }
+    if (d.line != 0) {
+      out += "line ";
+      out += std::to_string(d.line);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+void Report::merge(Report other) {
+  findings.insert(findings.end(), std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+std::size_t Report::count(Severity s) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::size_t Report::count_rule(std::string_view rule) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+}  // namespace merced::verify

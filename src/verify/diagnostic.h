@@ -1,0 +1,74 @@
+// Shared diagnostic model for static findings — the one format every
+// structural complaint in the repo uses, whether it comes from the `.bench`
+// parser (a malformed input) or from the merced::verify checker (a
+// compiled artifact that breaks a PPET invariant).
+//
+// A Diagnostic is a (rule, severity, message, anchor) tuple. Rules are
+// stable string IDs (catalog in DESIGN.md §10) so tests can assert "exactly
+// rule X fired" and CI can grep artifacts; anchors name the net/cluster the
+// finding is about and, for parser findings, the 1-based source line.
+//
+// This header is deliberately std-only: the netlist parser sits at the
+// bottom of the library stack and must be able to throw these without
+// dragging in the graph/partition/retiming layers the checker needs.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace merced::verify {
+
+enum class Severity { kInfo, kWarning, kError };
+
+/// Lower-case severity name ("info" / "warning" / "error").
+std::string_view to_string(Severity s) noexcept;
+
+/// One static finding.
+struct Diagnostic {
+  std::string rule;                       ///< stable ID, e.g. "NET-COMB-CYCLE"
+  Severity severity = Severity::kError;
+  std::string message;                    ///< self-contained human text
+  std::string object;                     ///< net / cluster anchor ("" = none)
+  std::size_t line = 0;                   ///< 1-based source line (0 = none)
+};
+
+/// "error[NET-UNDRIVEN]: message (at 'G12', line 7)" — the canonical
+/// rendering used by exception texts, the CLI and the JSON `text` field.
+std::string format_diagnostic(const Diagnostic& d);
+
+/// An ordered bag of findings plus severity accounting.
+struct Report {
+  std::vector<Diagnostic> findings;
+
+  void add(Diagnostic d) { findings.push_back(std::move(d)); }
+  void merge(Report other);
+
+  std::size_t count(Severity s) const noexcept;
+  std::size_t errors() const noexcept { return count(Severity::kError); }
+  std::size_t warnings() const noexcept { return count(Severity::kWarning); }
+  std::size_t infos() const noexcept { return count(Severity::kInfo); }
+
+  /// Number of findings carrying `rule`.
+  std::size_t count_rule(std::string_view rule) const noexcept;
+
+  /// No error-severity findings (warnings/infos allowed).
+  bool clean() const noexcept { return errors() == 0; }
+};
+
+/// Thrown by parsers on malformed input; carries the structured finding so
+/// callers can recover the rule ID, net name and line, not just the text.
+class DiagnosticError : public std::runtime_error {
+ public:
+  explicit DiagnosticError(Diagnostic d)
+      : std::runtime_error(format_diagnostic(d)), diagnostic_(std::move(d)) {}
+
+  const Diagnostic& diagnostic() const noexcept { return diagnostic_; }
+
+ private:
+  Diagnostic diagnostic_;
+};
+
+}  // namespace merced::verify

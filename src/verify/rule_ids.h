@@ -1,0 +1,26 @@
+// Stable rule IDs for the static-verification catalog (verify/verify.h has
+// the full table; DESIGN.md §10 the severity policy). Kept in a std-free
+// header so the lowest layers — the .bench parser fires NET-MULTI-DRIVEN
+// and NET-UNDRIVEN at parse time — can name rules without depending on the
+// checker library.
+#pragma once
+
+namespace merced::verify {
+
+inline constexpr const char* kNetUndriven = "NET-UNDRIVEN";
+inline constexpr const char* kNetMultiDriven = "NET-MULTI-DRIVEN";
+inline constexpr const char* kNetArity = "NET-ARITY";
+inline constexpr const char* kNetCombCycle = "NET-COMB-CYCLE";
+inline constexpr const char* kNetDangling = "NET-DANGLING";
+inline constexpr const char* kNetUnreachable = "NET-UNREACHABLE";
+inline constexpr const char* kPartCoverage = "PART-COVERAGE";
+inline constexpr const char* kPartIota = "PART-IOTA";
+inline constexpr const char* kPartIotaMismatch = "PART-IOTA-MISMATCH";
+inline constexpr const char* kPartCutMissing = "PART-CUT-MISSING";
+inline constexpr const char* kPartCutExtra = "PART-CUT-EXTRA";
+inline constexpr const char* kRetNegWeight = "RET-NEG-WEIGHT";
+inline constexpr const char* kRetCutUnregistered = "RET-CUT-UNREGISTERED";
+inline constexpr const char* kRetCycleConserve = "RET-CYCLE-CONSERVE";
+inline constexpr const char* kRetBookkeeping = "RET-BOOKKEEPING";
+
+}  // namespace merced::verify

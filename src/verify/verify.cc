@@ -1,0 +1,569 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace merced::verify {
+
+namespace {
+
+// Mirrors clustering.cc's notion: CONST sources count as combinational for
+// partition purposes (they sit inside clusters and their nets can be cut).
+bool is_comb_node(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
+Diagnostic make(const char* rule, Severity sev, std::string msg, std::string obj = {},
+                std::size_t line = 0) {
+  Diagnostic d;
+  d.rule = rule;
+  d.severity = sev;
+  d.message = std::move(msg);
+  d.object = std::move(obj);
+  d.line = line;
+  return d;
+}
+
+std::string cluster_tag(std::size_t ci) { return "pi#" + std::to_string(ci); }
+
+}  // namespace
+
+// ------------------------------------------------------- netlist DRC ---
+
+Report verify_netlist(const Netlist& nl) {
+  Report rep;
+  const std::size_t n = nl.size();
+
+  // Arity / undriven. Distinguish "no fanins at all where the type needs
+  // some" (an undriven net in disguise: the gate computes nothing) from a
+  // wrong-but-nonzero pin count.
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    const std::size_t pins = g.fanins.size();
+    if (pins < min_fanin(g.type)) {
+      if (pins == 0) {
+        rep.add(make(kNetUndriven, Severity::kError,
+                     "net '" + g.name + "' is undriven: " + std::string(to_string(g.type)) +
+                         " gate has no fanins",
+                     g.name));
+      } else {
+        rep.add(make(kNetArity, Severity::kError,
+                     "gate '" + g.name + "' (" + std::string(to_string(g.type)) + ") has " +
+                         std::to_string(pins) + " fanins, minimum is " +
+                         std::to_string(min_fanin(g.type)),
+                     g.name));
+      }
+    } else if (pins > max_fanin(g.type)) {
+      rep.add(make(kNetArity, Severity::kError,
+                   "gate '" + g.name + "' (" + std::string(to_string(g.type)) + ") has " +
+                       std::to_string(pins) + " fanins, maximum is " +
+                       std::to_string(max_fanin(g.type)),
+                   g.name));
+    }
+  }
+
+  // Rebuild fanouts locally — the pass must work on netlists finalize()
+  // would reject, so it cannot use the cached lists.
+  std::vector<std::vector<GateId>> fanouts(n);
+  for (GateId id = 0; id < n; ++id) {
+    for (GateId f : nl.gate(id).fanins) {
+      if (f < n) fanouts[f].push_back(id);
+    }
+  }
+
+  // Combinational cycles: Kahn over the combinational dependency graph
+  // (INPUT/DFF/CONST are sources; a DFF's fanin is a next-state edge, not a
+  // combinational dependency). Leftover gates sit on a register-free cycle.
+  {
+    std::vector<std::size_t> pending(n, 0);
+    std::vector<GateId> ready;
+    std::size_t ordered = 0;
+    for (GateId id = 0; id < n; ++id) {
+      const Gate& g = nl.gate(id);
+      if (is_input(g.type) || is_sequential(g.type) || g.type == GateType::kConst0 ||
+          g.type == GateType::kConst1) {
+        ready.push_back(id);
+      } else {
+        pending[id] = g.fanins.size();
+        if (pending[id] == 0) ready.push_back(id);
+      }
+    }
+    while (!ready.empty()) {
+      const GateId id = ready.back();
+      ready.pop_back();
+      ++ordered;
+      for (GateId s : fanouts[id]) {
+        const Gate& sink = nl.gate(s);
+        if (is_sequential(sink.type) || is_input(sink.type)) continue;
+        if (pending[s] > 0 && --pending[s] == 0) ready.push_back(s);
+      }
+    }
+    if (ordered < n) {
+      std::string sample;
+      std::size_t listed = 0;
+      std::string first;
+      for (GateId id = 0; id < n && listed < 5; ++id) {
+        const Gate& g = nl.gate(id);
+        if (is_input(g.type) || is_sequential(g.type)) continue;
+        if (pending[id] > 0) {
+          if (first.empty()) first = g.name;
+          if (!sample.empty()) sample += ", ";
+          sample += g.name;
+          ++listed;
+        }
+      }
+      rep.add(make(kNetCombCycle, Severity::kError,
+                   "combinational cycle with no DFF on the path through " +
+                       std::to_string(n - ordered) + " gate(s): " + sample,
+                   first));
+    }
+  }
+
+  // Dangling fanout: a net nobody consumes and that is not a primary
+  // output drives nothing observable.
+  for (GateId id = 0; id < n; ++id) {
+    if (fanouts[id].empty() && !nl.is_output(id)) {
+      rep.add(make(kNetDangling, Severity::kWarning,
+                   "net '" + nl.gate(id).name + "' has no fanout and is not a primary output",
+                   nl.gate(id).name));
+    }
+  }
+
+  // Unreachable gates: reverse reachability from the primary outputs over
+  // fanin edges (through DFFs). Gates outside the cone of every output can
+  // never influence observable behavior. Dangling gates are already
+  // reported above; only flag gates that do drive something.
+  {
+    std::vector<char> reach(n, 0);
+    std::vector<GateId> stack;
+    for (GateId id : nl.outputs()) {
+      if (!reach[id]) {
+        reach[id] = 1;
+        stack.push_back(id);
+      }
+    }
+    while (!stack.empty()) {
+      const GateId id = stack.back();
+      stack.pop_back();
+      for (GateId f : nl.gate(id).fanins) {
+        if (f < n && !reach[f]) {
+          reach[f] = 1;
+          stack.push_back(f);
+        }
+      }
+    }
+    for (GateId id = 0; id < n; ++id) {
+      if (!reach[id] && !fanouts[id].empty()) {
+        rep.add(make(kNetUnreachable, Severity::kWarning,
+                     "gate '" + nl.gate(id).name + "' cannot reach any primary output",
+                     nl.gate(id).name));
+      }
+    }
+  }
+
+  return rep;
+}
+
+// -------------------------------------------------- partition legality ---
+
+Report verify_partition(const CircuitGraph& g, const CompiledView& view) {
+  Report rep;
+  if (view.partitions == nullptr) return rep;
+  const Clustering& c = *view.partitions;
+  const Netlist& nl = g.netlist();
+  const std::size_t n = g.num_nodes();
+
+  // PART-COVERAGE: the clustering must be a disjoint cover of the non-PI
+  // nodes. If the shape itself is broken, the counts below would index out
+  // of bounds — report and stop this family.
+  if (c.cluster_of.size() != n) {
+    rep.add(make(kPartCoverage, Severity::kError,
+                 "cluster_of has " + std::to_string(c.cluster_of.size()) +
+                     " entries for a circuit with " + std::to_string(n) + " nodes"));
+    return rep;
+  }
+  const std::size_t nclusters = c.clusters.size();
+  bool shape_ok = true;
+  std::vector<std::size_t> seen(nclusters, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::int32_t ci = c.cluster_of[v];
+    if (g.is_pi(v)) {
+      if (ci != kNoCluster) {
+        rep.add(make(kPartCoverage, Severity::kError,
+                     "primary input '" + nl.gate(v).name + "' is assigned to a cluster",
+                     nl.gate(v).name));
+        shape_ok = false;
+      }
+      continue;
+    }
+    if (ci == kNoCluster || static_cast<std::size_t>(ci) >= nclusters) {
+      rep.add(make(kPartCoverage, Severity::kError,
+                   "node '" + nl.gate(v).name + "' is not assigned to any cluster",
+                   nl.gate(v).name));
+      shape_ok = false;
+      continue;
+    }
+    ++seen[static_cast<std::size_t>(ci)];
+  }
+  for (std::size_t i = 0; i < nclusters && shape_ok; ++i) {
+    if (seen[i] != c.clusters[i].size()) {
+      rep.add(make(kPartCoverage, Severity::kError,
+                   "cluster " + std::to_string(i) + " lists " +
+                       std::to_string(c.clusters[i].size()) + " members but cluster_of maps " +
+                       std::to_string(seen[i]) + " nodes to it",
+                   cluster_tag(i)));
+      shape_ok = false;
+      break;
+    }
+    for (NodeId v : c.clusters[i]) {
+      if (v >= n || c.cluster_of[v] != static_cast<std::int32_t>(i)) {
+        rep.add(make(kPartCoverage, Severity::kError,
+                     "cluster " + std::to_string(i) + " member list disagrees with cluster_of",
+                     cluster_tag(i)));
+        shape_ok = false;
+        break;
+      }
+    }
+  }
+  if (!shape_ok) return rep;
+
+  // Recompute every ι(π) from scratch with a single sweep over all
+  // branches (deliberately not input_nets(): an independent traversal is
+  // the point). A branch contributes its net to sink-cluster π when the
+  // sink is combinational logic inside π and the source is a PI, a DFF
+  // (anywhere), or a gate of another cluster — Eq. 5's "including primary
+  // inputs" accounting.
+  std::vector<std::vector<NetId>> ins(nclusters);
+  for (const Branch& br : g.branches()) {
+    if (!is_comb_node(g, br.sink)) continue;
+    const std::int32_t ci = c.cluster_of[br.sink];
+    if (ci == kNoCluster) continue;
+    const NodeId d = br.source;
+    if (g.is_pi(d) || g.is_register(d) || c.cluster_of[d] != ci) {
+      ins[static_cast<std::size_t>(ci)].push_back(br.net);
+    }
+  }
+  for (std::size_t i = 0; i < nclusters; ++i) {
+    auto& v = ins[i];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // PART-IOTA-MISMATCH: the artifact's claimed input counts vs the recount.
+  if (view.partition_inputs.size() != nclusters) {
+    rep.add(make(kPartIotaMismatch, Severity::kError,
+                 "artifact reports " + std::to_string(view.partition_inputs.size()) +
+                     " input counts for " + std::to_string(nclusters) + " partitions"));
+  } else {
+    for (std::size_t i = 0; i < nclusters; ++i) {
+      if (view.partition_inputs[i] != ins[i].size()) {
+        rep.add(make(kPartIotaMismatch, Severity::kError,
+                     "partition " + std::to_string(i) + " reports iota = " +
+                         std::to_string(view.partition_inputs[i]) +
+                         " but a from-scratch recount finds " + std::to_string(ins[i].size()),
+                     cluster_tag(i)));
+      }
+    }
+  }
+
+  // PART-IOTA: Eq. 5. When the artifact itself says "infeasible" this is
+  // the honest report of a circuit property, not a defect — downgrade.
+  const Severity iota_sev = view.feasible ? Severity::kError : Severity::kInfo;
+  for (std::size_t i = 0; i < nclusters; ++i) {
+    if (ins[i].size() > view.lk) {
+      rep.add(make(kPartIota, iota_sev,
+                   "partition " + std::to_string(i) + " has iota = " +
+                       std::to_string(ins[i].size()) + " > lk = " + std::to_string(view.lk) +
+                       (view.feasible ? "" : " (artifact declares the partition infeasible)"),
+                   cluster_tag(i)));
+    }
+  }
+
+  // Recompute the cut set: a net is cut when its (combinational) driver
+  // has at least one combinational sink in another cluster. Every such
+  // boundary crossing must be sealed by an A_CELL.
+  std::vector<NetId> cuts;
+  for (NodeId d = 0; d < n; ++d) {
+    if (!is_comb_node(g, d)) continue;
+    const std::int32_t dc = c.cluster_of[d];
+    for (BranchId b : g.out_branches(d)) {
+      const Branch& br = g.branch(b);
+      if (is_comb_node(g, br.sink) && c.cluster_of[br.sink] != dc) {
+        cuts.push_back(br.net);
+        break;
+      }
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<NetId> claimed(view.cut_net_ids.begin(), view.cut_net_ids.end());
+  std::sort(claimed.begin(), claimed.end());
+  for (std::size_t i = 1; i < claimed.size(); ++i) {
+    if (claimed[i] == claimed[i - 1]) {
+      rep.add(make(kPartCutExtra, Severity::kError,
+                   "net appears more than once in the claimed cut set",
+                   nl.gate(claimed[i]).name));
+    }
+  }
+  claimed.erase(std::unique(claimed.begin(), claimed.end()), claimed.end());
+
+  std::vector<NetId> missing;
+  std::set_difference(cuts.begin(), cuts.end(), claimed.begin(), claimed.end(),
+                      std::back_inserter(missing));
+  for (NetId net : missing) {
+    const NodeId d = g.driver(net);
+    std::int32_t sink_cluster = kNoCluster;
+    for (BranchId b : g.net_branches(net)) {
+      const Branch& br = g.branch(b);
+      if (is_comb_node(g, br.sink) && c.cluster_of[br.sink] != c.cluster_of[d]) {
+        sink_cluster = c.cluster_of[br.sink];
+        break;
+      }
+    }
+    rep.add(make(kPartCutMissing, Severity::kError,
+                 "net '" + nl.gate(d).name + "' crosses from cluster " +
+                     std::to_string(c.cluster_of[d]) + " into cluster " +
+                     std::to_string(sink_cluster) +
+                     " without an A_CELL (not in the cut set)",
+                 nl.gate(d).name));
+  }
+
+  std::vector<NetId> extra;
+  std::set_difference(claimed.begin(), claimed.end(), cuts.begin(), cuts.end(),
+                      std::back_inserter(extra));
+  for (NetId net : extra) {
+    if (net >= g.num_nets()) {
+      rep.add(make(kPartCutExtra, Severity::kError,
+                   "claimed cut net id " + std::to_string(net) + " is out of range"));
+      continue;
+    }
+    rep.add(make(kPartCutExtra, Severity::kError,
+                 "net '" + nl.gate(g.driver(net)).name +
+                     "' is in the claimed cut set but no combinational branch of it "
+                     "crosses a cluster boundary",
+                 nl.gate(g.driver(net)).name));
+  }
+
+  return rep;
+}
+
+// --------------------------------------------------- retiming legality ---
+
+namespace {
+
+/// Bellman–Ford over one SCC's induced constraint subgraph — deliberately
+/// a different algorithm than the compiler's SPFA so the Eq. 2 feasibility
+/// re-derivation shares no code with what it checks. Returns the edge
+/// indices (into `edges`) of one negative cycle, or empty when feasible.
+struct ConsEdge {
+  std::uint32_t from = 0;  ///< constraint orientation (REdge::to)
+  std::uint32_t to = 0;    ///< constraint orientation (REdge::from)
+  std::int64_t w = 0;      ///< base weight minus the register requirement
+  std::int64_t base = 0;   ///< original register count on the edge
+  NetId net = kNoNet;      ///< required cut net (kNoNet when unconstrained)
+};
+
+std::vector<std::size_t> find_negative_cycle(std::size_t n,
+                                             const std::vector<ConsEdge>& edges) {
+  std::vector<std::int64_t> dist(n, 0);
+  std::vector<std::size_t> parent(n, static_cast<std::size_t>(-1));
+  std::uint32_t witness = static_cast<std::uint32_t>(-1);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool relaxed = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const ConsEdge& e = edges[i];
+      if (dist[e.from] + e.w < dist[e.to]) {
+        dist[e.to] = dist[e.from] + e.w;
+        parent[e.to] = i;
+        relaxed = true;
+        witness = e.to;
+      }
+    }
+    if (!relaxed) return {};
+  }
+  // A relaxation on round n proves a negative cycle. Walk the parent chain
+  // from the witness marking visited vertices; the first repeat is on the
+  // cycle, then collect the cycle itself.
+  std::vector<char> on_chain(n, 0);
+  std::uint32_t cur = witness;
+  while (!on_chain[cur]) {
+    on_chain[cur] = 1;
+    if (parent[cur] == static_cast<std::size_t>(-1)) return {};  // defensive
+    cur = edges[parent[cur]].from;
+  }
+  std::vector<std::size_t> cycle;
+  std::uint32_t walk = cur;
+  do {
+    const std::size_t pe = parent[walk];
+    cycle.push_back(pe);
+    walk = edges[pe].from;
+  } while (walk != cur && cycle.size() <= edges.size());
+  return cycle;
+}
+
+}  // namespace
+
+Report verify_retiming(const CircuitGraph& g, const RetimeGraph& rg,
+                       const SccInfo& sccs, const CompiledView& view) {
+  Report rep;
+  if (view.retiming == nullptr || view.partitions == nullptr) return rep;
+  const CutRetimingPlan& plan = *view.retiming;
+  const Clustering& c = *view.partitions;
+  const Netlist& nl = g.netlist();
+  if (c.cluster_of.size() != g.num_nodes()) return rep;  // PART-COVERAGE's problem
+
+  // --- RET-BOOKKEEPING: the plan must split the cut set exactly, and the
+  // --- area model's 0.9/2.3 DFF counts must match the plan's lists.
+  std::vector<NetId> merged = plan.retimable;
+  merged.insert(merged.end(), plan.multiplexed.begin(), plan.multiplexed.end());
+  std::sort(merged.begin(), merged.end());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i] == merged[i - 1]) {
+      rep.add(make(kRetBookkeeping, Severity::kError,
+                   "net is listed as both retimable and multiplexed (or twice)",
+                   merged[i] < g.num_nets() ? nl.gate(g.driver(merged[i])).name : ""));
+    }
+  }
+  std::vector<NetId> claimed_cuts(view.cut_net_ids.begin(), view.cut_net_ids.end());
+  std::sort(claimed_cuts.begin(), claimed_cuts.end());
+  claimed_cuts.erase(std::unique(claimed_cuts.begin(), claimed_cuts.end()),
+                     claimed_cuts.end());
+  std::vector<NetId> dedup = merged;
+  dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+  if (dedup != claimed_cuts) {
+    rep.add(make(kRetBookkeeping, Severity::kError,
+                 "retimable + multiplexed (" + std::to_string(dedup.size()) +
+                     " nets) is not exactly the cut set (" +
+                     std::to_string(claimed_cuts.size()) + " nets)"));
+  }
+  if (view.area_exact_retimable_cuts != plan.retimable.size() ||
+      view.area_exact_multiplexed_cuts != plan.multiplexed.size()) {
+    rep.add(make(kRetBookkeeping, Severity::kError,
+                 "area report counts " + std::to_string(view.area_exact_retimable_cuts) +
+                     " retimed conversions (0.9 DFF) and " +
+                     std::to_string(view.area_exact_multiplexed_cuts) +
+                     " multiplexed A_CELLs (2.3 DFF); the plan lists " +
+                     std::to_string(plan.retimable.size()) + " and " +
+                     std::to_string(plan.multiplexed.size())));
+  }
+  if (view.area_retimable_cuts + view.area_multiplexed_cuts != claimed_cuts.size()) {
+    rep.add(make(kRetBookkeeping, Severity::kError,
+                 "aggregate area accounting covers " +
+                     std::to_string(view.area_retimable_cuts + view.area_multiplexed_cuts) +
+                     " cuts, cut set has " + std::to_string(claimed_cuts.size())));
+  }
+  bool have_rho = !plan.rho.empty();
+  if (have_rho && plan.rho.size() != rg.num_vertices()) {
+    rep.add(make(kRetBookkeeping, Severity::kError,
+                 "retiming rho has " + std::to_string(plan.rho.size()) +
+                     " labels for a retime graph with " +
+                     std::to_string(rg.num_vertices()) + " vertices"));
+    have_rho = false;
+  }
+
+  const std::unordered_set<NetId> retimable(plan.retimable.begin(), plan.retimable.end());
+
+  // --- RET-NEG-WEIGHT (Eq. 3) and RET-CUT-UNREGISTERED: with ρ in hand
+  // --- these are direct certificate checks on every edge.
+  if (have_rho) {
+    std::unordered_set<NetId> flagged;
+    for (const REdge& e : rg.edges()) {
+      const std::int64_t rw = static_cast<std::int64_t>(e.weight) + plan.rho[e.to] -
+                              plan.rho[e.from];
+      if (rw < 0) {
+        rep.add(make(kRetNegWeight, Severity::kError,
+                     "edge on net '" + nl.gate(g.driver(e.source_net)).name +
+                         "' has retimed weight " + std::to_string(rw) +
+                         " (w=" + std::to_string(e.weight) + ", Eq. 3 requires >= 0)",
+                     nl.gate(g.driver(e.source_net)).name));
+      }
+      if (rw < 1 && retimable.contains(e.source_net)) {
+        const NodeId u = rg.node_of(e.from);
+        const NodeId v = rg.node_of(e.to);
+        if (c.cluster_of[u] != c.cluster_of[v] && flagged.insert(e.source_net).second) {
+          rep.add(make(kRetCutUnregistered, Severity::kError,
+                       "retimable cut net '" + nl.gate(g.driver(e.source_net)).name +
+                           "' has a boundary-crossing branch carrying " +
+                           std::to_string(rw < 0 ? 0 : rw) +
+                           " registers under rho (CUT boundary not sealed)",
+                       nl.gate(g.driver(e.source_net)).name));
+        }
+      }
+    }
+  }
+
+  // --- RET-CYCLE-CONSERVE (Eq. 2): independent of ρ, re-derive whether a
+  // --- legal retiming can place a register on every crossing branch of
+  // --- every claimed-retimable net. Cycles live inside SCCs, so solve the
+  // --- induced constraint subsystem per SCC with plain Bellman–Ford.
+  for (std::size_t s = 0; s < sccs.count(); ++s) {
+    std::vector<ConsEdge> edges;
+    std::vector<std::uint32_t> local_of(rg.num_vertices(),
+                                        static_cast<std::uint32_t>(-1));
+    std::uint32_t next_local = 0;
+    auto localize = [&](RVertexId v) {
+      if (local_of[v] == static_cast<std::uint32_t>(-1)) local_of[v] = next_local++;
+      return local_of[v];
+    };
+    const auto redges = rg.edges();
+    for (const REdge& e : redges) {
+      const NodeId u = rg.node_of(e.from);
+      const NodeId v = rg.node_of(e.to);
+      if (sccs.component_of[u] != static_cast<std::int32_t>(s) ||
+          sccs.component_of[v] != static_cast<std::int32_t>(s)) {
+        continue;
+      }
+      ConsEdge ce;
+      // Constraint orientation: requirement w(e) + rho(to) − rho(from) ≥ req
+      // is the shortest-path edge to→from with weight w − req.
+      ce.from = localize(e.to);
+      ce.to = localize(e.from);
+      ce.base = e.weight;
+      const bool required =
+          retimable.contains(e.source_net) && c.cluster_of[u] != c.cluster_of[v];
+      ce.w = e.weight - (required ? 1 : 0);
+      ce.net = required ? e.source_net : kNoNet;
+      edges.push_back(ce);
+    }
+    if (edges.empty()) continue;
+    const std::vector<std::size_t> cycle = find_negative_cycle(next_local, edges);
+    if (cycle.empty()) continue;
+    std::int64_t registers = 0;
+    std::vector<NetId> nets;
+    for (std::size_t ei : cycle) {
+      registers += edges[ei].base;
+      if (edges[ei].net != kNoNet) nets.push_back(edges[ei].net);
+    }
+    const std::size_t required_cuts = nets.size();
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    std::string name_list;
+    for (std::size_t i = 0; i < nets.size() && i < 5; ++i) {
+      if (i) name_list += ", ";
+      name_list += nl.gate(g.driver(nets[i])).name;
+    }
+    rep.add(make(kRetCycleConserve, Severity::kError,
+                 "SCC " + std::to_string(s) + " has a cycle carrying " +
+                     std::to_string(registers) + " register(s) but " +
+                     std::to_string(required_cuts) +
+                     " required retimable cut crossing(s) (Eq. 2 conservation "
+                     "violated; cuts: " +
+                     name_list + ")",
+                 nets.empty() ? "" : nl.gate(g.driver(nets.front())).name));
+  }
+
+  return rep;
+}
+
+Report verify_artifact(const CircuitGraph& graph, const RetimeGraph& rgraph,
+                       const SccInfo& sccs, const CompiledView& view) {
+  Report rep = verify_netlist(graph.netlist());
+  rep.merge(verify_partition(graph, view));
+  rep.merge(verify_retiming(graph, rgraph, sccs, view));
+  return rep;
+}
+
+}  // namespace merced::verify

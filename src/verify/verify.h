@@ -1,0 +1,88 @@
+// merced::verify — static verification of PPET compile artifacts.
+//
+// Merced's guarantees are structural: a compiled design is only a valid
+// pseudo-exhaustive test plan if every partition obeys ι(π) ≤ l_k (Eq. 5),
+// every combinational boundary crossing is sealed by an A_CELL, and the
+// retiming labels are legal (w_ρ(e) ≥ 0 everywhere, Eq. 2 register
+// conservation on every cycle). Simulation exercises these dynamically;
+// this pass proves them directly on the artifact, with no simulation —
+// every count is recomputed from scratch with independent traversals, so a
+// compiler bug that produces a wrong-but-plausible artifact is caught even
+// when the stored summary numbers agree with each other.
+//
+// Rule catalog (stable IDs; severities and JSON schema in DESIGN.md §10):
+//
+//   netlist DRC                      partition legality
+//   ----------------------------    -------------------------------------
+//   NET-UNDRIVEN       error        PART-COVERAGE       error
+//   NET-MULTI-DRIVEN   error*       PART-IOTA           error / info**
+//   NET-ARITY          error        PART-IOTA-MISMATCH  error
+//   NET-COMB-CYCLE     error        PART-CUT-MISSING    error
+//   NET-DANGLING       warning      PART-CUT-EXTRA      error
+//   NET-UNREACHABLE    warning
+//                                    retiming legality
+//                                    -------------------------------------
+//                                    RET-NEG-WEIGHT        error
+//                                    RET-CUT-UNREGISTERED  error
+//                                    RET-CYCLE-CONSERVE    error
+//                                    RET-BOOKKEEPING       error
+//
+//   *  fired by the .bench parser (the in-memory Netlist cannot represent
+//      two drivers on one net); shares this catalog via verify::Diagnostic.
+//   ** info when the artifact itself declares the partition infeasible —
+//      an honestly-reported ι > l_k is a property of the circuit at that
+//      l_k, not a compiler defect.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "netlist/netlist.h"
+#include "partition/clustering.h"
+#include "retiming/cut_retiming.h"
+#include "retiming/retime_graph.h"
+#include "verify/diagnostic.h"
+#include "verify/rule_ids.h"
+
+namespace merced::verify {
+
+/// The slice of a compile result the checker cross-examines. Kept as a
+/// view of plain pieces (not MercedResult) so this library sits below
+/// core and compile() itself can assert a clean report in debug builds.
+struct CompiledView {
+  const Clustering* partitions = nullptr;
+  std::span<const std::size_t> partition_inputs;  ///< claimed ι(π) per cluster
+  std::span<const NetId> cut_net_ids;             ///< claimed cut set (sorted)
+  const CutRetimingPlan* retiming = nullptr;      ///< may be null: skip RET-*
+  bool feasible = true;                           ///< artifact's own claim
+  std::size_t lk = 16;                            ///< input constraint checked
+  /// AreaReport bookkeeping (0.9 / 2.3 DFF model inputs). Counts, not the
+  /// report itself, so the checker does not depend on the core layer.
+  std::size_t area_retimable_cuts = 0;
+  std::size_t area_multiplexed_cuts = 0;
+  std::size_t area_exact_retimable_cuts = 0;
+  std::size_t area_exact_multiplexed_cuts = 0;
+};
+
+/// Netlist DRC family. Works on *unfinalized* netlists: fanouts and the
+/// topological order are rebuilt internally, so a netlist that finalize()
+/// would reject can still be diagnosed (and the diagnosis names the rule).
+Report verify_netlist(const Netlist& netlist);
+
+/// Partition-legality family (PART-*) for one clustering claim.
+Report verify_partition(const CircuitGraph& graph, const CompiledView& view);
+
+/// Retiming-legality family (RET-*). `rgraph` must be built from `graph`.
+/// When the plan's ρ is empty the ρ-dependent rules (RET-NEG-WEIGHT,
+/// RET-CUT-UNREGISTERED) are skipped; RET-CYCLE-CONSERVE re-derives Eq. 2
+/// feasibility of the claimed retimable set independently of ρ.
+Report verify_retiming(const CircuitGraph& graph, const RetimeGraph& rgraph,
+                       const SccInfo& sccs, const CompiledView& view);
+
+/// All three families over one artifact: netlist DRC + PART-* + RET-*.
+Report verify_artifact(const CircuitGraph& graph, const RetimeGraph& rgraph,
+                       const SccInfo& sccs, const CompiledView& view);
+
+}  // namespace merced::verify

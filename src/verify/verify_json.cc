@@ -1,0 +1,153 @@
+#include "verify/verify_json.h"
+
+#include <array>
+#include <ostream>
+#include <string_view>
+
+namespace merced::verify {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_verify_json(std::ostream& os, const Report& report, const VerifyRunInfo& run) {
+  os << "{\n  \"schema\": \"" << kVerifySchema << "\",\n  \"run\": {\"tool\": \"";
+  json_escape(os, run.tool);
+  os << "\", \"circuit\": \"";
+  json_escape(os, run.circuit);
+  os << "\", \"lk\": " << run.lk << "},\n  \"summary\": {\"errors\": " << report.errors()
+     << ", \"warnings\": " << report.warnings() << ", \"infos\": " << report.infos()
+     << ", \"findings\": " << report.findings.size()
+     << ", \"clean\": " << (report.clean() ? "true" : "false") << "},\n  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Diagnostic& d = report.findings[i];
+    if (i) os << ",";
+    os << "\n    {\"rule\": \"";
+    json_escape(os, d.rule);
+    os << "\", \"severity\": \"" << to_string(d.severity) << "\", \"message\": \"";
+    json_escape(os, d.message);
+    os << "\", \"object\": \"";
+    json_escape(os, d.object);
+    os << "\", \"line\": " << d.line << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+namespace {
+
+bool is_uint(const obs::JsonValue& v) {
+  return v.is_number() && v.as_number() >= 0 &&
+         v.as_number() == static_cast<double>(static_cast<std::uint64_t>(v.as_number()));
+}
+
+std::string check_member(const obs::JsonValue& obj, const char* key,
+                         obs::JsonValue::Kind kind, const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return std::string(where) + ": missing member \"" + key + "\"";
+  if (v->kind() != kind) {
+    return std::string(where) + ": member \"" + key + "\" has wrong type";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_verify_json(const obs::JsonValue& doc) {
+  using Kind = obs::JsonValue::Kind;
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err = check_member(doc, "schema", Kind::kString, "root"); !err.empty()) {
+    return err;
+  }
+  if (doc.find("schema")->as_string() != kVerifySchema) {
+    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  }
+
+  if (std::string err = check_member(doc, "run", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& run = *doc.find("run");
+  for (const char* key : {"tool", "circuit"}) {
+    if (std::string err = check_member(run, key, Kind::kString, "run"); !err.empty()) {
+      return err;
+    }
+  }
+  if (std::string err = check_member(run, "lk", Kind::kNumber, "run"); !err.empty()) {
+    return err;
+  }
+  if (!is_uint(*run.find("lk"))) return "run: member \"lk\" is not a non-negative integer";
+
+  if (std::string err = check_member(doc, "summary", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& summary = *doc.find("summary");
+  for (const char* key : {"errors", "warnings", "infos", "findings"}) {
+    if (std::string err = check_member(summary, key, Kind::kNumber, "summary");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*summary.find(key))) {
+      return std::string("summary: member \"") + key + "\" is not a non-negative integer";
+    }
+  }
+  if (std::string err = check_member(summary, "clean", Kind::kBool, "summary");
+      !err.empty()) {
+    return err;
+  }
+
+  if (std::string err = check_member(doc, "findings", Kind::kArray, "root"); !err.empty()) {
+    return err;
+  }
+  std::uint64_t errors = 0, warnings = 0, infos = 0;
+  const auto& findings = doc.find("findings")->as_array();
+  for (const obs::JsonValue& f : findings) {
+    if (!f.is_object()) return "findings: entry is not an object";
+    for (const char* key : {"rule", "severity", "message", "object"}) {
+      if (std::string err = check_member(f, key, Kind::kString, "finding"); !err.empty()) {
+        return err;
+      }
+    }
+    if (std::string err = check_member(f, "line", Kind::kNumber, "finding"); !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*f.find("line"))) return "finding: member \"line\" is not a non-negative integer";
+    if (f.find("rule")->as_string().empty()) return "finding: empty rule ID";
+    const std::string& sev = f.find("severity")->as_string();
+    if (sev == "error") {
+      ++errors;
+    } else if (sev == "warning") {
+      ++warnings;
+    } else if (sev == "info") {
+      ++infos;
+    } else {
+      return "finding: unknown severity \"" + sev + "\"";
+    }
+  }
+  // Cross-check the summary against the findings array — a drifted summary
+  // is exactly the kind of wrong-but-plausible artifact this tool exists
+  // to reject.
+  auto num = [&](const char* key) {
+    return static_cast<std::uint64_t>(summary.find(key)->as_number());
+  };
+  if (num("errors") != errors || num("warnings") != warnings || num("infos") != infos ||
+      num("findings") != findings.size()) {
+    return "summary: counts disagree with the findings array";
+  }
+  if (summary.find("clean")->as_bool() != (errors == 0)) {
+    return "summary: \"clean\" disagrees with the error count";
+  }
+  return "";
+}
+
+}  // namespace merced::verify

@@ -1,0 +1,43 @@
+// merced-verify-v1 — the static-verification report as a versioned JSON
+// artifact, comparable across commits exactly like the merced-metrics-v1
+// and BENCH_*.json documents:
+//
+//   { "schema": "merced-verify-v1",
+//     "run": {"tool": "...", "circuit": "...", "lk": N},
+//     "summary": {"errors": N, "warnings": N, "infos": N, "findings": N,
+//                 "clean": true/false},
+//     "findings": [{"rule": "PART-IOTA", "severity": "error",
+//                   "message": "...", "object": "G17", "line": 0}, ...] }
+//
+// Findings keep checker emission order (deterministic: all traversals are
+// id-ordered), so two runs of the same binary diff cleanly. The validator
+// is what verify_test and the CI verification job run against freshly
+// produced artifacts; merced_cli --verify-json writes them and
+// metrics_check --verify validates them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.h"
+#include "verify/diagnostic.h"
+
+namespace merced::verify {
+
+inline constexpr const char* kVerifySchema = "merced-verify-v1";
+
+/// Identity of the verified artifact (the "run" JSON object).
+struct VerifyRunInfo {
+  std::string tool;     ///< producing binary, e.g. "merced_cli"
+  std::string circuit;  ///< circuit name or .bench path
+  std::uint64_t lk = 0;
+};
+
+/// Serializes the versioned artifact described in the file comment.
+void write_verify_json(std::ostream& os, const Report& report, const VerifyRunInfo& run);
+
+/// Validates a parsed verify artifact against merced-verify-v1. Returns an
+/// empty string when valid, else a description of the first violation.
+std::string validate_verify_json(const obs::JsonValue& doc);
+
+}  // namespace merced::verify

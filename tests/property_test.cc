@@ -183,6 +183,29 @@ TEST_P(RandomCircuitProperty, RetimedNetlistIsCycleAccurate) {
   }
 }
 
+// --------------------------------------------- checker-vs-compiler ---
+
+TEST_P(RandomCircuitProperty, CompiledArtifactPassesStaticVerification) {
+  // Cross-oracle: the static checker (src/verify) recomputes every claim
+  // with independent traversals, so compiler and checker can only agree on
+  // a random circuit if both are right (or share a bug — which the
+  // verify_test mutation suite rules out on the checker side). Run both
+  // serial and threaded compiles: the artifact must verify clean either way.
+  const Netlist nl = generate_circuit(random_spec(GetParam()));
+  MercedConfig config;
+  config.lk = 10;
+  config.multi_start = 3;
+  for (std::size_t jobs : {1u, 8u}) {
+    config.jobs = jobs;
+    const MercedResult r = compile(nl, config);
+    const verify::Report rep = verify_result(nl, r, config);
+    EXPECT_EQ(rep.errors(), 0u) << "jobs=" << jobs
+        << (rep.findings.empty()
+                ? std::string()
+                : ": " + verify::format_diagnostic(rep.findings.front()));
+  }
+}
+
 // ------------------------------------------------- session jobs sweep ---
 
 TEST_P(RandomCircuitProperty, SessionSignaturesIndependentOfJobs) {

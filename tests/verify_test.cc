@@ -1,0 +1,407 @@
+// Mutation tests for the static verification pass (src/verify).
+//
+// Strategy: every rule in the catalog gets at least one test that injects
+// exactly that violation into an otherwise-healthy artifact and asserts the
+// rule — and only where stated, that rule — fires. A checker that merely
+// rubber-stamps (returns clean for everything) or over-fires (flags healthy
+// artifacts) fails this suite symmetrically: pristine registry circuits
+// must produce zero errors, each mutation must produce the named rule ID.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/merced.h"
+#include "graph/circuit_graph.h"
+#include "graph/scc.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "obs/json.h"
+#include "partition/clustering.h"
+#include "retiming/cut_retiming.h"
+#include "retiming/retime_graph.h"
+#include "verify/diagnostic.h"
+#include "verify/verify.h"
+#include "verify/verify_json.h"
+
+namespace merced {
+namespace {
+
+using verify::CompiledView;
+using verify::Report;
+using verify::Severity;
+
+// ------------------------------------------------------- netlist DRC ---
+
+TEST(VerifyNetlistTest, CombinationalCycleFires) {
+  // x = AND(a, y), y = BUF(x): a register-free loop. finalize() would
+  // reject this, which is exactly why the checker must not require it.
+  Netlist nl("cycle");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId x = nl.add_gate(GateType::kAnd, "x");
+  const GateId y = nl.add_gate(GateType::kBuf, "y");
+  nl.set_fanins(x, {a, y});
+  nl.set_fanins(y, {x});
+  const Report rep = verify::verify_netlist(nl);
+  EXPECT_EQ(rep.count_rule(verify::kNetCombCycle), 1u);
+  EXPECT_GE(rep.errors(), 1u);
+}
+
+TEST(VerifyNetlistTest, UndrivenGateFires) {
+  Netlist nl("undriven");
+  nl.add_gate(GateType::kInput, "a");
+  nl.add_gate(GateType::kAnd, "orphan");  // fanins never set
+  const Report rep = verify::verify_netlist(nl);
+  EXPECT_EQ(rep.count_rule(verify::kNetUndriven), 1u);
+}
+
+TEST(VerifyNetlistTest, ArityViolationFires) {
+  Netlist nl("arity");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y = nl.add_gate(GateType::kNot, "y");
+  nl.set_fanins(y, {a, b});  // NOT takes exactly one fanin
+  nl.mark_output(y);
+  const Report rep = verify::verify_netlist(nl);
+  EXPECT_EQ(rep.count_rule(verify::kNetArity), 1u);
+  EXPECT_EQ(rep.count_rule(verify::kNetUndriven), 0u);
+}
+
+TEST(VerifyNetlistTest, DanglingNetWarns) {
+  Netlist nl("dangling");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId y = nl.add_gate(GateType::kNot, "y");
+  const GateId z = nl.add_gate(GateType::kNot, "z");  // nobody reads z
+  nl.set_fanins(y, {a});
+  nl.set_fanins(z, {a});
+  nl.mark_output(y);
+  const Report rep = verify::verify_netlist(nl);
+  EXPECT_EQ(rep.count_rule(verify::kNetDangling), 1u);
+  EXPECT_EQ(rep.errors(), 0u) << "dangling is a warning, not an error";
+}
+
+TEST(VerifyNetlistTest, UnreachableGateWarns) {
+  // u drives v (so u is not dangling) but the u→v island never reaches an
+  // output: u must be flagged unreachable.
+  Netlist nl("unreachable");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId u = nl.add_gate(GateType::kNot, "u");
+  const GateId v = nl.add_gate(GateType::kNot, "v");
+  const GateId y = nl.add_gate(GateType::kNot, "y");
+  nl.set_fanins(u, {a});
+  nl.set_fanins(v, {u});
+  nl.set_fanins(y, {a});
+  nl.mark_output(y);
+  const Report rep = verify::verify_netlist(nl);
+  EXPECT_EQ(rep.count_rule(verify::kNetUnreachable), 1u);
+}
+
+TEST(VerifyNetlistTest, MultiDrivenFiresFromParserWithNameAndLine) {
+  try {
+    parse_bench("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n");
+    FAIL() << "expected DiagnosticError";
+  } catch (const verify::DiagnosticError& e) {
+    EXPECT_EQ(e.diagnostic().rule, verify::kNetMultiDriven);
+    EXPECT_EQ(e.diagnostic().object, "y");
+    EXPECT_EQ(e.diagnostic().line, 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(VerifyNetlistTest, ParserUndrivenCarriesNameAndLine) {
+  try {
+    parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n");
+    FAIL() << "expected DiagnosticError";
+  } catch (const verify::DiagnosticError& e) {
+    EXPECT_EQ(e.diagnostic().rule, verify::kNetUndriven);
+    EXPECT_EQ(e.diagnostic().object, "ghost");
+    EXPECT_EQ(e.diagnostic().line, 3u);
+  }
+}
+
+// -------------------------------------------- mutation fixture (s510) ---
+
+/// Compiles one registry circuit and exposes the pieces a CompiledView
+/// needs. Each test copies `result`, injects one defect, and re-verifies.
+class VerifyMutationTest : public ::testing::Test {
+ protected:
+  VerifyMutationTest()
+      : nl_(load_benchmark("s510")),
+        graph_(nl_),
+        rgraph_(graph_),
+        sccs_(find_sccs(graph_)),
+        result_(compile(nl_, config_)) {}
+
+  CompiledView view_of(const MercedResult& r) const {
+    CompiledView v;
+    v.partitions = &r.partitions;
+    v.partition_inputs = r.partition_inputs;
+    v.cut_net_ids = r.cut_net_ids;
+    v.retiming = &r.retiming;
+    v.feasible = r.feasible;
+    v.lk = config_.lk;
+    v.area_retimable_cuts = r.area.retimable_cuts;
+    v.area_multiplexed_cuts = r.area.multiplexed_cuts;
+    v.area_exact_retimable_cuts = r.area.exact_retimable_cuts;
+    v.area_exact_multiplexed_cuts = r.area.exact_multiplexed_cuts;
+    return v;
+  }
+
+  MercedConfig config_;
+  Netlist nl_;
+  CircuitGraph graph_;
+  RetimeGraph rgraph_;
+  SccInfo sccs_;
+  MercedResult result_;
+};
+
+TEST_F(VerifyMutationTest, PristineArtifactIsClean) {
+  const Report rep = verify::verify_artifact(graph_, rgraph_, sccs_, view_of(result_));
+  EXPECT_EQ(rep.errors(), 0u) << "pristine s510 compile must verify clean";
+}
+
+TEST_F(VerifyMutationTest, PartCoverageFiresOnUnassignedNode) {
+  MercedResult r = result_;
+  // Unassign the first clustered node; the member list now disagrees too.
+  for (std::size_t v = 0; v < r.partitions.cluster_of.size(); ++v) {
+    if (r.partitions.cluster_of[v] != kNoCluster) {
+      r.partitions.cluster_of[v] = kNoCluster;
+      break;
+    }
+  }
+  const Report rep = verify::verify_partition(graph_, view_of(r));
+  EXPECT_GE(rep.count_rule(verify::kPartCoverage), 1u);
+}
+
+TEST_F(VerifyMutationTest, PartIotaFiresWhenConstraintTightens) {
+  // Same partitions, but the view claims lk=2 while still claiming
+  // feasibility: the Eq. 5 check must fire as an error.
+  MercedResult r = result_;
+  CompiledView v = view_of(r);
+  ASSERT_TRUE(v.feasible);
+  v.lk = 2;
+  const Report rep = verify::verify_partition(graph_, v);
+  EXPECT_GE(rep.count_rule(verify::kPartIota), 1u);
+  EXPECT_EQ(rep.count_rule(verify::kPartIotaMismatch), 0u);
+}
+
+TEST_F(VerifyMutationTest, PartIotaIsInfoWhenArtifactAdmitsInfeasibility) {
+  MercedResult r = result_;
+  CompiledView v = view_of(r);
+  v.lk = 2;
+  v.feasible = false;  // honest self-report → property of the circuit
+  const Report rep = verify::verify_partition(graph_, v);
+  EXPECT_GE(rep.infos(), 1u);
+  EXPECT_EQ(rep.errors(), 0u);
+}
+
+TEST_F(VerifyMutationTest, PartIotaMismatchFiresOnDriftedCount) {
+  MercedResult r = result_;
+  ASSERT_FALSE(r.partition_inputs.empty());
+  r.partition_inputs[0] += 1;
+  const Report rep = verify::verify_partition(graph_, view_of(r));
+  EXPECT_EQ(rep.count_rule(verify::kPartIotaMismatch), 1u);
+}
+
+TEST_F(VerifyMutationTest, PartCutMissingFiresOnDroppedCut) {
+  MercedResult r = result_;
+  ASSERT_FALSE(r.cut_net_ids.empty());
+  r.cut_net_ids.pop_back();
+  const Report rep = verify::verify_partition(graph_, view_of(r));
+  EXPECT_EQ(rep.count_rule(verify::kPartCutMissing), 1u);
+}
+
+TEST_F(VerifyMutationTest, PartCutExtraFiresOnBogusCut) {
+  MercedResult r = result_;
+  // A DFF-driven net can never be a cut net (cuts need a comb driver).
+  ASSERT_FALSE(nl_.dffs().empty());
+  r.cut_net_ids.push_back(graph_.net_of(nl_.dffs().front()));
+  const Report rep = verify::verify_partition(graph_, view_of(r));
+  EXPECT_EQ(rep.count_rule(verify::kPartCutExtra), 1u);
+}
+
+TEST_F(VerifyMutationTest, PartCutExtraFiresOnDuplicateCut) {
+  MercedResult r = result_;
+  ASSERT_FALSE(r.cut_net_ids.empty());
+  r.cut_net_ids.push_back(r.cut_net_ids.front());
+  const Report rep = verify::verify_partition(graph_, view_of(r));
+  EXPECT_GE(rep.count_rule(verify::kPartCutExtra), 1u);
+  EXPECT_EQ(rep.count_rule(verify::kPartCutMissing), 0u);
+}
+
+TEST_F(VerifyMutationTest, RetNegWeightFiresOnSkewedRho) {
+  MercedResult r = result_;
+  ASSERT_FALSE(r.retiming.rho.empty());
+  ASSERT_FALSE(rgraph_.edges().empty());
+  // A huge lag on one edge's tail makes that edge's retimed weight negative.
+  r.retiming.rho[rgraph_.edges().front().from] += 1000;
+  const Report rep = verify::verify_retiming(graph_, rgraph_, sccs_, view_of(r));
+  EXPECT_GE(rep.count_rule(verify::kRetNegWeight), 1u);
+}
+
+TEST_F(VerifyMutationTest, RetCutUnregisteredFiresOnZeroedRho) {
+  MercedResult r = result_;
+  ASSERT_FALSE(r.retiming.retimable.empty())
+      << "s510 must have retimable cuts for this mutation to bite";
+  // The identity retiming leaves every comb→comb crossing with 0 registers,
+  // so every claimed-retimable cut boundary is unsealed — but no edge goes
+  // negative, isolating the rule.
+  std::fill(r.retiming.rho.begin(), r.retiming.rho.end(), 0);
+  const Report rep = verify::verify_retiming(graph_, rgraph_, sccs_, view_of(r));
+  EXPECT_GE(rep.count_rule(verify::kRetCutUnregistered), 1u);
+  EXPECT_EQ(rep.count_rule(verify::kRetNegWeight), 0u);
+}
+
+TEST_F(VerifyMutationTest, RetBookkeepingFiresOnDoubleListedNet) {
+  MercedResult r = result_;
+  ASSERT_FALSE(r.retiming.retimable.empty());
+  r.retiming.retimable.push_back(r.retiming.retimable.front());
+  const Report rep = verify::verify_retiming(graph_, rgraph_, sccs_, view_of(r));
+  EXPECT_GE(rep.count_rule(verify::kRetBookkeeping), 1u);
+}
+
+TEST_F(VerifyMutationTest, RetBookkeepingFiresOnDriftedAreaCounts) {
+  MercedResult r = result_;
+  r.area.exact_retimable_cuts += 1;
+  const Report rep = verify::verify_retiming(graph_, rgraph_, sccs_, view_of(r));
+  EXPECT_GE(rep.count_rule(verify::kRetBookkeeping), 1u);
+}
+
+// ------------------------------------------- Eq. 2 cycle conservation ---
+
+TEST(VerifyRetimingTest, CycleConservationFiresOnOverclaimedLoop) {
+  // One DFF on the loop q → g1 → g2 → g3 → q, but TWO cut crossings are
+  // claimed retimable (g1: c0→c1 and g2: c1→c0). Eq. 2 allows at most one
+  // register on the cycle, so no legal ρ exists; the checker must prove it
+  // without any ρ in hand (rho left empty → certificate rules skip).
+  Netlist nl("loop");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId q = nl.add_gate(GateType::kDff, "q");
+  const GateId g1 = nl.add_gate(GateType::kAnd, "g1");
+  const GateId g2 = nl.add_gate(GateType::kNot, "g2");
+  const GateId g3 = nl.add_gate(GateType::kNot, "g3");
+  nl.set_fanins(g1, {a, q});
+  nl.set_fanins(g2, {g1});
+  nl.set_fanins(g3, {g2});
+  nl.set_fanins(q, {g3});
+  nl.mark_output(g3);
+  nl.finalize();
+
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  const SccInfo sccs = find_sccs(g);
+
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters.resize(2);
+  auto put = [&](NodeId v, std::int32_t ci) {
+    c.cluster_of[v] = ci;
+    c.clusters[static_cast<std::size_t>(ci)].push_back(v);
+  };
+  put(g1, 0);
+  put(g3, 0);
+  put(g2, 1);
+  put(q, 1);
+
+  CutRetimingPlan plan;
+  plan.retimable = {g.net_of(g1), g.net_of(g2)};
+  std::sort(plan.retimable.begin(), plan.retimable.end());
+
+  CompiledView v;
+  v.partitions = &c;
+  std::vector<NetId> cuts = plan.retimable;
+  v.cut_net_ids = cuts;
+  v.retiming = &plan;
+  v.lk = 16;
+  v.area_retimable_cuts = 2;
+  v.area_exact_retimable_cuts = 2;
+
+  const Report rep = verify::verify_retiming(g, rg, sccs, v);
+  EXPECT_EQ(rep.count_rule(verify::kRetCycleConserve), 1u);
+  EXPECT_EQ(rep.count_rule(verify::kRetBookkeeping), 0u);
+
+  // Demoting one of the two cuts to a multiplexed A_CELL restores Eq. 2
+  // feasibility: the same loop with one claimed crossing must pass.
+  plan.retimable = {g.net_of(g1)};
+  plan.multiplexed = {g.net_of(g2)};
+  v.area_retimable_cuts = 1;
+  v.area_multiplexed_cuts = 1;
+  v.area_exact_retimable_cuts = 1;
+  v.area_exact_multiplexed_cuts = 1;
+  const Report ok = verify::verify_retiming(g, rg, sccs, v);
+  EXPECT_EQ(ok.count_rule(verify::kRetCycleConserve), 0u);
+}
+
+// --------------------------------------------------- registry hygiene ---
+
+TEST(VerifyRegistryTest, AllRegistryNetlistsHaveNoDrcErrors) {
+  for (const BenchmarkEntry& e : benchmark_suite()) {
+    const Netlist nl = load_benchmark(e.spec.name);
+    const Report rep = verify::verify_netlist(nl);
+    EXPECT_EQ(rep.errors(), 0u) << e.spec.name << ": " << (rep.findings.empty()
+        ? std::string()
+        : verify::format_diagnostic(rep.findings.front()));
+  }
+}
+
+TEST(VerifyRegistryTest, CompiledSmallCircuitsVerifyClean) {
+  for (const char* name : {"s27", "s420.1", "s510", "s1423"}) {
+    const Netlist nl = load_benchmark(name);
+    MercedConfig config;
+    const MercedResult r = compile(nl, config);
+    const Report rep = verify_result(nl, r, config);
+    EXPECT_EQ(rep.errors(), 0u) << name;
+  }
+}
+
+// --------------------------------------------------------- JSON artifact ---
+
+TEST(VerifyJsonTest, RoundTripValidates) {
+  Report rep;
+  verify::Diagnostic d;
+  d.rule = verify::kPartIota;
+  d.severity = Severity::kError;
+  d.message = "partition 3 has iota = 18 > lk = 16";
+  d.object = "pi#3";
+  rep.add(d);
+  d.rule = verify::kNetDangling;
+  d.severity = Severity::kWarning;
+  d.message = "net 'n9' has no fanout";
+  d.object = "n9";
+  rep.add(d);
+
+  verify::VerifyRunInfo run;
+  run.tool = "verify_test";
+  run.circuit = "synthetic \"quoted\"";
+  run.lk = 16;
+  std::ostringstream os;
+  verify::write_verify_json(os, rep, run);
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  EXPECT_EQ(verify::validate_verify_json(doc), "");
+}
+
+TEST(VerifyJsonTest, ValidatorRejectsDriftedSummary) {
+  // Summary says one error but the findings array holds none: exactly the
+  // wrong-but-plausible artifact shape the validator exists to reject.
+  const std::string doc_text = R"({
+    "schema": "merced-verify-v1",
+    "run": {"tool": "t", "circuit": "c", "lk": 16},
+    "summary": {"errors": 1, "warnings": 0, "infos": 0, "findings": 0,
+                "clean": false},
+    "findings": []
+  })";
+  const obs::JsonValue doc = obs::JsonValue::parse(doc_text);
+  EXPECT_NE(verify::validate_verify_json(doc), "");
+}
+
+TEST(VerifyJsonTest, ValidatorRejectsWrongSchema) {
+  const obs::JsonValue doc = obs::JsonValue::parse(
+      R"({"schema": "merced-metrics-v1", "run": {}, "summary": {}, "findings": []})");
+  EXPECT_NE(verify::validate_verify_json(doc), "");
+}
+
+}  // namespace
+}  // namespace merced
