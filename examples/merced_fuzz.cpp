@@ -1,0 +1,223 @@
+// merced_fuzz — the differential fuzzing campaign driver.
+//
+// Usage:
+//   merced_fuzz [--seed N] [--runs N] [--time-budget SECONDS] [--jobs N]
+//               [--minimize on|off] [--corpus DIR] [--inject-defect KIND]
+//               [--report FILE] [--metrics FILE] [--replay]
+//
+// Default mode generates --runs structured inputs (seeded synthetic
+// circuits alternating with semantically mutated variants) and pushes each
+// through the full oracle stack: serial-vs-parallel compile parity, the
+// independent static verifier, event-driven-kernel vs naive coverage
+// conformance, and PpetSession coverage vs direct fault simulation.
+// Failures are minimized (delta debugging preserving the exact failing
+// oracle signature) and stored in --corpus DIR, deduplicated by signature.
+// Exit is 0 when every run passed clean, 1 otherwise.
+//
+// Determinism: run r is seeded with derive_seed(--seed, r), and results
+// aggregate in run order — the report is bit-identical for any --jobs.
+// --time-budget caps wall time instead (content-reproducible but not
+// length-reproducible; see EXPERIMENTS.md "Fuzzing").
+//
+// --inject-defect KIND (drop-cut, skew-rho, lane-mask) corrupts one
+// pipeline stage on purpose so CI can prove the oracle stack catches it —
+// in this mode exit 1 (failures found) is the *expected* outcome.
+//
+// --replay re-runs every entry of --corpus DIR against the current tree
+// instead of fuzzing: expect-fail entries must fail with their recorded
+// signature, expect-clean entries must pass. Exit 0 only when all match.
+//
+// --report FILE writes the merced-fuzz-v1 JSON campaign report
+// (metrics_check --fuzz validates it); --metrics FILE writes the standard
+// merced-metrics-v1 counters artifact of the campaign.
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzz_json.h"
+#include "fuzz/fuzzer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: merced_fuzz [--seed N] [--runs N] [--time-budget SECONDS] [--jobs N]\n"
+         "                   [--minimize on|off] [--corpus DIR] [--inject-defect KIND]\n"
+         "                   [--report FILE] [--metrics FILE] [--replay]\n"
+         "defect kinds (for --inject-defect): drop-cut, skew-rho, lane-mask\n";
+}
+
+/// A flag value that failed strict parsing; caught in main → usage error.
+struct BadFlag {
+  std::string message;
+};
+
+/// Strict from_chars wrapper: the entire token must parse, no leading
+/// whitespace, no trailing garbage.
+template <typename T>
+T parse_strict(std::string_view flag, std::string_view value, const char* what) {
+  T out{};
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [end, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || end != last || value.empty()) {
+    throw BadFlag{std::string(flag) + " expects a " + what + ", got '" +
+                  std::string(value) + "'"};
+  }
+  return out;
+}
+
+std::size_t parse_size(std::string_view flag, std::string_view value) {
+  if (!value.empty() && value.front() == '-') {
+    throw BadFlag{std::string(flag) + " expects a non-negative integer, got '" +
+                  std::string(value) + "'"};
+  }
+  return parse_strict<std::size_t>(flag, value, "non-negative integer");
+}
+
+int run_replay(const merced::fuzz::FuzzConfig& cfg) {
+  using namespace merced::fuzz;
+  if (cfg.corpus_dir.empty()) {
+    std::cerr << "error: --replay needs --corpus DIR\n";
+    return 2;
+  }
+  const Corpus corpus(cfg.corpus_dir);
+  const std::vector<CorpusEntry> entries = corpus.load();
+  if (entries.empty()) {
+    std::cout << "corpus " << cfg.corpus_dir << ": no entries\n";
+    return 0;
+  }
+  const std::vector<ReplayOutcome> outcomes = replay_corpus(entries, cfg.oracle);
+  std::size_t failed = 0;
+  for (const ReplayOutcome& o : outcomes) {
+    std::cout << (o.ok ? "ok   " : "FAIL ") << o.entry.path << " ["
+              << (o.entry.expect_fail ? o.entry.signature : std::string("clean"))
+              << "]\n";
+    if (!o.ok) {
+      std::cerr << "  " << o.detail << "\n";
+      ++failed;
+    }
+  }
+  std::cout << outcomes.size() - failed << "/" << outcomes.size()
+            << " corpus entries replayed as expected\n";
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merced;
+  fuzz::FuzzConfig cfg;
+  bool replay = false;
+  std::optional<std::string> report_path;
+  std::optional<std::string> metrics_path;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view flag = argv[i];
+      std::string_view value;
+      if (flag == "--replay") {
+        replay = true;
+        continue;
+      }
+      // Accept "--flag=value" and "--flag value".
+      if (const auto eq = flag.find('='); eq != std::string_view::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw BadFlag{std::string(flag) + " expects a value"};
+      }
+      if (flag == "--seed") {
+        cfg.seed = parse_strict<std::uint64_t>(flag, value, "non-negative integer");
+      } else if (flag == "--runs") {
+        cfg.runs = parse_size(flag, value);
+      } else if (flag == "--time-budget") {
+        cfg.time_budget_seconds = parse_strict<double>(flag, value, "number");
+        if (cfg.time_budget_seconds < 0) throw BadFlag{"--time-budget must be >= 0"};
+      } else if (flag == "--jobs") {
+        cfg.jobs = parse_size(flag, value);
+      } else if (flag == "--minimize") {
+        if (value == "on") {
+          cfg.minimize = true;
+        } else if (value == "off") {
+          cfg.minimize = false;
+        } else {
+          throw BadFlag{"--minimize expects on or off, got '" + std::string(value) + "'"};
+        }
+      } else if (flag == "--corpus") {
+        cfg.corpus_dir = std::string(value);
+      } else if (flag == "--inject-defect") {
+        if (!fuzz::defect_from_string(value, cfg.oracle.defect) ||
+            cfg.oracle.defect == fuzz::FuzzDefect::kNone) {
+          throw BadFlag{"--inject-defect expects drop-cut, skew-rho or lane-mask, got '" +
+                        std::string(value) + "'"};
+        }
+      } else if (flag == "--report") {
+        report_path = std::string(value);
+      } else if (flag == "--metrics") {
+        metrics_path = std::string(value);
+      } else {
+        usage();
+        return 2;
+      }
+    }
+  } catch (const BadFlag& bad) {
+    std::cerr << "error: " << bad.message << "\n";
+    usage();
+    return 2;
+  }
+
+  try {
+    if (replay) return run_replay(cfg);
+
+    if (metrics_path) obs::enable();
+    const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
+
+    std::cout << "merced_fuzz: seed " << cfg.seed << ", " << report.runs_executed << "/"
+              << cfg.runs << " runs, " << report.failures.size() << " failures ("
+              << report.unique_signatures << " unique), " << report.minimized
+              << " minimized, " << report.corpus_new << " new corpus entries, "
+              << report.corpus_dupes << " deduped, " << report.elapsed_seconds
+              << " s\n";
+    for (const fuzz::FuzzFailureRecord& f : report.failures) {
+      std::cerr << "  run " << f.run << " [" << f.signature << "] " << f.detail;
+      if (f.minimized) {
+        std::cerr << " (minimized " << f.gates_before << " -> " << f.gates_after
+                  << " gates)";
+      }
+      if (!f.corpus_path.empty()) std::cerr << " -> " << f.corpus_path;
+      std::cerr << "\n";
+    }
+
+    if (report_path) {
+      std::ofstream out(*report_path);
+      if (!out) throw std::runtime_error("cannot write report file " + *report_path);
+      fuzz::write_fuzz_json(out, report);
+      std::cout << "  wrote fuzz report: " << *report_path << "\n";
+    }
+    if (metrics_path) {
+      obs::disable();
+      obs::RunInfo run;
+      run.tool = "merced_fuzz";
+      run.circuit = "fuzz-campaign";
+      run.lk = cfg.oracle.lk;
+      run.jobs = cfg.jobs;
+      run.starts = cfg.oracle.multi_start;
+      std::ofstream out(*metrics_path);
+      if (!out) throw std::runtime_error("cannot write metrics file " + *metrics_path);
+      obs::MetricsRegistry::capture(run).write_json(out);
+      std::cout << "  wrote metrics: " << *metrics_path << "\n";
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -20,6 +20,17 @@ struct CellPlan {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  if (index == 0) return base_seed;
+  // splitmix64 finalizer (Steele/Lea/Flood) over base + index — the same
+  // decorrelation flow::multi_start_seed applies to saturation starts.
+  std::uint64_t z = base_seed + index;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Netlist generate_circuit(const SyntheticSpec& spec) {
   if (spec.num_gates == 0 || spec.num_pis == 0) {
     throw std::invalid_argument("generate_circuit: need at least one gate and one PI");

@@ -47,4 +47,16 @@ struct SyntheticSpec {
 /// Builds a finalized netlist for the spec. Deterministic in `seed`.
 Netlist generate_circuit(const SyntheticSpec& spec);
 
+/// Decorrelated per-index seed: a pure function of (base_seed, index), so
+/// that batch drivers (multi-start compiles, the fuzz driver's --runs loop)
+/// can hand item i a seed that does not depend on scheduling order or job
+/// count — the same (base, i) always yields the same circuit no matter how
+/// many threads consume the batch. Index 0 returns base_seed unchanged
+/// (convention shared with flow::multi_start_seed: "start 0 is the
+/// configured seed"); higher indices apply a splitmix64 finalizer, whose
+/// avalanche keeps neighbouring indices statistically independent —
+/// consecutive raw seeds fed to std::mt19937_64 would correlate the first
+/// draws of neighbouring runs.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
 }  // namespace merced

@@ -1,0 +1,175 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "obs/obs.h"
+
+namespace merced::fuzz {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Strips one "# key: value" metadata line; returns false on mismatch.
+bool metadata_line(std::string_view line, std::string_view key, std::string_view& value) {
+  const std::string prefix = "# " + std::string(key) + ": ";
+  if (line.substr(0, prefix.size()) != prefix) return false;
+  value = line.substr(prefix.size());
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("corpus: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Corpus::Corpus(std::string dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+}
+
+std::string Corpus::file_name_for(const std::string& signature) {
+  std::string stem = signature.empty() ? std::string("clean") : signature;
+  for (char& c : stem) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!keep) c = '_';
+  }
+  return stem + ".bench";
+}
+
+std::optional<std::string> Corpus::add(const Netlist& netlist,
+                                       const std::string& signature,
+                                       const std::string& oracle, FuzzDefect defect,
+                                       std::uint64_t seed, bool expect_fail) {
+  const fs::path path = fs::path(dir_) / file_name_for(signature);
+  if (fs::exists(path)) return std::nullopt;  // same failure class already stored
+
+  std::ostringstream out;
+  out << "# " << kCorpusSchema << "\n";
+  out << "# signature: " << signature << "\n";
+  out << "# oracle: " << oracle << "\n";
+  out << "# defect: " << to_string(defect) << "\n";
+  out << "# seed: " << seed << "\n";
+  out << "# expect: " << (expect_fail ? "fail" : "clean") << "\n";
+  out << write_bench(netlist);
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("corpus: cannot write " + path.string());
+  file << out.str();
+  file.close();
+  MERCED_COUNT(obs::Counter::kFuzzCorpusEntries, 1);
+  return path.string();
+}
+
+std::optional<CorpusEntry> parse_corpus_entry(const std::string& path,
+                                              const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "# " + std::string(kCorpusSchema)) {
+    return std::nullopt;
+  }
+
+  CorpusEntry entry;
+  entry.path = path;
+  entry.bench_text = text;
+
+  std::string_view value;
+  if (!std::getline(in, line) || !metadata_line(line, "signature", value)) {
+    return std::nullopt;
+  }
+  entry.signature = std::string(value);
+  if (!std::getline(in, line) || !metadata_line(line, "oracle", value)) {
+    return std::nullopt;
+  }
+  entry.oracle = std::string(value);
+  if (!std::getline(in, line) || !metadata_line(line, "defect", value) ||
+      !defect_from_string(value, entry.defect)) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, line) || !metadata_line(line, "seed", value)) {
+    return std::nullopt;
+  }
+  if (auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                     entry.seed);
+      ec != std::errc{} || p != value.data() + value.size()) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, line) || !metadata_line(line, "expect", value) ||
+      (value != "fail" && value != "clean")) {
+    return std::nullopt;
+  }
+  entry.expect_fail = value == "fail";
+  return entry;
+}
+
+std::vector<CorpusEntry> Corpus::load() const {
+  std::vector<std::string> paths;
+  if (fs::exists(dir_)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+      if (e.is_regular_file() && e.path().extension() == ".bench") {
+        paths.push_back(e.path().string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<CorpusEntry> entries;
+  for (const std::string& path : paths) {
+    if (std::optional<CorpusEntry> entry = parse_corpus_entry(path, read_file(path))) {
+      entries.push_back(std::move(*entry));
+    }
+  }
+  return entries;
+}
+
+std::vector<ReplayOutcome> replay_corpus(const std::vector<CorpusEntry>& entries,
+                                         const OracleOptions& base) {
+  std::vector<ReplayOutcome> outcomes;
+  outcomes.reserve(entries.size());
+  for (const CorpusEntry& entry : entries) {
+    ReplayOutcome outcome;
+    outcome.entry = entry;
+    try {
+      const Netlist netlist =
+          parse_bench(entry.bench_text, fs::path(entry.path).stem().string());
+      OracleOptions opt = base;
+      opt.defect = entry.defect;
+      const std::optional<OracleFailure> failure = run_oracles(netlist, opt);
+      if (entry.expect_fail) {
+        if (!failure) {
+          outcome.detail = "expected failure '" + entry.signature +
+                           "' but every oracle passed";
+        } else if (failure->signature != entry.signature) {
+          outcome.ok = false;
+          outcome.detail = "expected signature '" + entry.signature + "' but got '" +
+                           failure->signature + "'";
+        } else {
+          outcome.ok = true;
+          outcome.detail = failure->detail;
+        }
+      } else {
+        outcome.ok = !failure.has_value();
+        outcome.detail = failure ? "regressed: " + failure->signature + " (" +
+                                       failure->detail + ")"
+                                 : "clean, as expected";
+      }
+    } catch (const std::exception& e) {
+      outcome.ok = false;
+      outcome.detail = std::string("replay error: ") + e.what();
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace merced::fuzz

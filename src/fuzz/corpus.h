@@ -1,0 +1,97 @@
+// On-disk regression corpus for the differential fuzzer.
+//
+// Every failure the fuzzer finds (after minimization) is persisted as one
+// self-contained `.bench` file whose leading comment block records the
+// metadata needed to replay it:
+//
+//   # merced-fuzz-corpus-v1
+//   # signature: verify:PART-CUT-MISSING
+//   # oracle: verify
+//   # defect: drop-cut
+//   # seed: 17
+//   # expect: fail
+//   <ordinary .bench text>
+//
+// parse_bench() ignores comments, so a corpus entry IS a valid netlist
+// file — it loads in any tool that reads `.bench`, not just the fuzzer.
+//
+// Deduplication is by failure signature: the signature (sanitized) is the
+// file name, so a failure class is stored exactly once no matter how many
+// fuzz runs hit it. `expect: clean` entries are fixed regressions — inputs
+// that once failed; replay asserts they now pass every oracle, guarding
+// against the bug's return.
+//
+// replay_corpus() re-runs the oracle stack on every entry with the entry's
+// recorded defect and compares outcomes: an expect-fail entry must fail
+// with its exact recorded signature (not merely any failure), an
+// expect-clean entry must pass clean. This is what CI runs on every PR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "netlist/netlist.h"
+
+namespace merced::fuzz {
+
+inline constexpr const char* kCorpusSchema = "merced-fuzz-corpus-v1";
+
+/// One parsed corpus entry (metadata header + netlist text).
+struct CorpusEntry {
+  std::string path;        ///< absolute or corpus-relative file path
+  std::string signature;   ///< recorded failure signature ("" if clean)
+  std::string oracle;      ///< recorded failing oracle ("" if clean)
+  FuzzDefect defect = FuzzDefect::kNone;  ///< defect to inject on replay
+  std::uint64_t seed = 0;  ///< fuzz seed that produced the input
+  bool expect_fail = true; ///< fail with `signature` vs pass clean
+  std::string bench_text;  ///< full file text (metadata + netlist)
+};
+
+/// Result of replaying one entry against the current tree.
+struct ReplayOutcome {
+  CorpusEntry entry;
+  bool ok = false;        ///< outcome matched the entry's expectation
+  std::string detail;     ///< what actually happened (for reports/logs)
+};
+
+/// Directory-backed corpus with signature-keyed deduplication.
+class Corpus {
+ public:
+  /// Opens (creating if needed) the corpus at `dir`.
+  explicit Corpus(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Persists a failing (or fixed-clean) input. Returns the path of the new
+  /// entry, or nullopt when an entry with the same signature already exists
+  /// (the corpus keeps the first minimized witness of each failure class).
+  std::optional<std::string> add(const Netlist& netlist, const std::string& signature,
+                                 const std::string& oracle, FuzzDefect defect,
+                                 std::uint64_t seed, bool expect_fail = true);
+
+  /// Loads every `.bench` entry in the directory, sorted by file name.
+  /// Files without the merced-fuzz-corpus-v1 header line are skipped.
+  std::vector<CorpusEntry> load() const;
+
+  /// File name an entry with `signature` would be stored under.
+  static std::string file_name_for(const std::string& signature);
+
+ private:
+  std::string dir_;
+};
+
+/// Parses one corpus file's text; nullopt when the schema header is absent
+/// or a metadata line is malformed.
+std::optional<CorpusEntry> parse_corpus_entry(const std::string& path,
+                                              const std::string& text);
+
+/// Replays every entry through run_oracles with `base` options (the entry's
+/// recorded defect overrides base.defect). Outcomes come back in entry
+/// order; `ok` is true when the current tree matches the expectation.
+std::vector<ReplayOutcome> replay_corpus(const std::vector<CorpusEntry>& entries,
+                                         const OracleOptions& base);
+
+}  // namespace merced::fuzz

@@ -1,0 +1,187 @@
+#include "fuzz/fuzz_json.h"
+
+#include <ostream>
+#include <unordered_set>
+
+namespace merced::fuzz {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+bool is_uint(const obs::JsonValue& v) {
+  return v.is_number() && v.as_number() >= 0 &&
+         v.as_number() == static_cast<double>(static_cast<std::uint64_t>(v.as_number()));
+}
+
+std::string check_member(const obs::JsonValue& obj, const char* key,
+                         obs::JsonValue::Kind kind, const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return std::string(where) + ": missing member \"" + key + "\"";
+  if (v->kind() != kind) {
+    return std::string(where) + ": member \"" + key + "\" has wrong type";
+  }
+  return "";
+}
+
+}  // namespace
+
+void write_fuzz_json(std::ostream& os, const FuzzReport& report) {
+  const FuzzConfig& cfg = report.config;
+  os << "{\n  \"schema\": \"" << kFuzzSchema
+     << "\",\n  \"run\": {\"tool\": \"merced_fuzz\", \"seed\": " << cfg.seed
+     << ", \"runs\": " << cfg.runs << ", \"jobs\": " << cfg.jobs << ", \"defect\": \""
+     << to_string(cfg.oracle.defect) << "\", \"minimize\": "
+     << (cfg.minimize ? "true" : "false") << ", \"corpus\": \"";
+  json_escape(os, cfg.corpus_dir);
+  os << "\"},\n  \"summary\": {\"runs_executed\": " << report.runs_executed
+     << ", \"failures\": " << report.failures.size()
+     << ", \"unique_signatures\": " << report.unique_signatures
+     << ", \"minimized\": " << report.minimized
+     << ", \"corpus_new\": " << report.corpus_new
+     << ", \"corpus_dupes\": " << report.corpus_dupes
+     << ", \"clean\": " << (report.clean() ? "true" : "false")
+     << ", \"elapsed_seconds\": " << report.elapsed_seconds
+     << "},\n  \"failures\": [";
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const FuzzFailureRecord& f = report.failures[i];
+    if (i) os << ",";
+    os << "\n    {\"run\": " << f.run << ", \"seed\": " << f.seed << ", \"oracle\": \"";
+    json_escape(os, f.oracle);
+    os << "\", \"signature\": \"";
+    json_escape(os, f.signature);
+    os << "\", \"detail\": \"";
+    json_escape(os, f.detail);
+    os << "\", \"gates_before\": " << f.gates_before
+       << ", \"gates_after\": " << f.gates_after
+       << ", \"minimized\": " << (f.minimized ? "true" : "false")
+       << ", \"corpus_path\": \"";
+    json_escape(os, f.corpus_path);
+    os << "\"}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string validate_fuzz_json(const obs::JsonValue& doc) {
+  using Kind = obs::JsonValue::Kind;
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err = check_member(doc, "schema", Kind::kString, "root"); !err.empty()) {
+    return err;
+  }
+  if (doc.find("schema")->as_string() != kFuzzSchema) {
+    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  }
+
+  if (std::string err = check_member(doc, "run", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& run = *doc.find("run");
+  for (const char* key : {"tool", "defect", "corpus"}) {
+    if (std::string err = check_member(run, key, Kind::kString, "run"); !err.empty()) {
+      return err;
+    }
+  }
+  for (const char* key : {"seed", "runs", "jobs"}) {
+    if (std::string err = check_member(run, key, Kind::kNumber, "run"); !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*run.find(key))) {
+      return std::string("run: member \"") + key + "\" is not a non-negative integer";
+    }
+  }
+  if (std::string err = check_member(run, "minimize", Kind::kBool, "run"); !err.empty()) {
+    return err;
+  }
+  {
+    FuzzDefect parsed;
+    if (!defect_from_string(run.find("defect")->as_string(), parsed)) {
+      return "run: unknown defect \"" + run.find("defect")->as_string() + "\"";
+    }
+  }
+
+  if (std::string err = check_member(doc, "summary", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& summary = *doc.find("summary");
+  for (const char* key : {"runs_executed", "failures", "unique_signatures", "minimized",
+                          "corpus_new", "corpus_dupes"}) {
+    if (std::string err = check_member(summary, key, Kind::kNumber, "summary");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*summary.find(key))) {
+      return std::string("summary: member \"") + key + "\" is not a non-negative integer";
+    }
+  }
+  if (std::string err = check_member(summary, "clean", Kind::kBool, "summary");
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err = check_member(summary, "elapsed_seconds", Kind::kNumber, "summary");
+      !err.empty()) {
+    return err;
+  }
+  if (summary.find("elapsed_seconds")->as_number() < 0) {
+    return "summary: member \"elapsed_seconds\" is negative";
+  }
+
+  if (std::string err = check_member(doc, "failures", Kind::kArray, "root"); !err.empty()) {
+    return err;
+  }
+  const auto& failures = doc.find("failures")->as_array();
+  std::unordered_set<std::string> signatures;
+  std::uint64_t minimized = 0;
+  for (const obs::JsonValue& f : failures) {
+    if (!f.is_object()) return "failures: entry is not an object";
+    for (const char* key : {"oracle", "signature", "detail", "corpus_path"}) {
+      if (std::string err = check_member(f, key, Kind::kString, "failure"); !err.empty()) {
+        return err;
+      }
+    }
+    for (const char* key : {"run", "seed", "gates_before", "gates_after"}) {
+      if (std::string err = check_member(f, key, Kind::kNumber, "failure"); !err.empty()) {
+        return err;
+      }
+      if (!is_uint(*f.find(key))) {
+        return std::string("failure: member \"") + key +
+               "\" is not a non-negative integer";
+      }
+    }
+    if (std::string err = check_member(f, "minimized", Kind::kBool, "failure");
+        !err.empty()) {
+      return err;
+    }
+    if (f.find("signature")->as_string().empty()) return "failure: empty signature";
+    signatures.insert(f.find("signature")->as_string());
+    if (f.find("minimized")->as_bool()) ++minimized;
+  }
+
+  // Cross-check the summary against the failures array — a drifted summary
+  // is exactly the artifact class this validator exists to reject.
+  auto num = [&](const char* key) {
+    return static_cast<std::uint64_t>(summary.find(key)->as_number());
+  };
+  if (num("failures") != failures.size() ||
+      num("unique_signatures") != signatures.size() || num("minimized") != minimized) {
+    return "summary: counts disagree with the failures array";
+  }
+  if (summary.find("clean")->as_bool() != failures.empty()) {
+    return "summary: \"clean\" disagrees with the failure count";
+  }
+  if (num("runs_executed") > static_cast<std::uint64_t>(run.find("runs")->as_number())) {
+    return "summary: more runs executed than requested";
+  }
+  return "";
+}
+
+}  // namespace merced::fuzz

@@ -1,0 +1,41 @@
+// merced-fuzz-v1 — one fuzz campaign's run report as a versioned JSON
+// artifact, in the same family as merced-metrics-v1 and merced-verify-v1:
+//
+//   { "schema": "merced-fuzz-v1",
+//     "run": {"tool": "merced_fuzz", "seed": N, "runs": N, "jobs": N,
+//             "defect": "none", "minimize": true/false, "corpus": "..."},
+//     "summary": {"runs_executed": N, "failures": N,
+//                 "unique_signatures": N, "minimized": N,
+//                 "corpus_new": N, "corpus_dupes": N,
+//                 "clean": true/false, "elapsed_seconds": X},
+//     "failures": [{"run": N, "seed": N, "oracle": "...",
+//                   "signature": "...", "detail": "...",
+//                   "gates_before": N, "gates_after": N,
+//                   "minimized": true/false, "corpus_path": "..."}, ...] }
+//
+// Failures keep run order (deterministic: the driver aggregates parallel
+// results in index order), so two campaigns with the same seed and runs
+// diff cleanly. The validator cross-checks summary counts against the
+// failures array, exactly like validate_verify_json — a drifted summary is
+// rejected, not trusted. metrics_check --fuzz runs it in CI against every
+// freshly produced report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "obs/json.h"
+
+namespace merced::fuzz {
+
+inline constexpr const char* kFuzzSchema = "merced-fuzz-v1";
+
+/// Serializes the versioned artifact described in the file comment.
+void write_fuzz_json(std::ostream& os, const FuzzReport& report);
+
+/// Validates a parsed fuzz artifact against merced-fuzz-v1. Returns an
+/// empty string when valid, else a description of the first violation.
+std::string validate_fuzz_json(const obs::JsonValue& doc);
+
+}  // namespace merced::fuzz

@@ -1,0 +1,160 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "fuzz/corpus.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/mutator.h"
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+
+namespace merced::fuzz {
+
+namespace {
+
+/// What one parallel run hands back to the serial aggregator. The failing
+/// netlist itself is NOT carried — fuzz_input() is pure, so the aggregator
+/// rebuilds it only for the (rare) runs that need minimizing.
+struct RunOutcome {
+  bool failed = false;
+  OracleFailure failure;
+  std::size_t gates = 0;
+  std::uint64_t mutations = 0;
+};
+
+RunOutcome execute_run(const FuzzConfig& cfg, std::size_t r) {
+  RunOutcome out;
+  const std::uint64_t seed = derive_seed(cfg.seed, r);
+  Netlist input = fuzz_input(cfg.seed, r);
+  if (r % 2 == 1) {
+    // Mutation runs: recount for the counter (fuzz_input discards stats).
+    MutationStats stats;
+    const Netlist base = generate_circuit(random_fuzz_spec(derive_seed(cfg.seed, r - 1)));
+    input = mutate(base, seed, /*count=*/2 + seed % 5, &stats);
+    out.mutations = stats.total_applied();
+  }
+  out.gates = input.size();
+  if (std::optional<OracleFailure> failure = run_oracles(input, cfg.oracle)) {
+    out.failed = true;
+    out.failure = std::move(*failure);
+  }
+  MERCED_COUNT(obs::Counter::kFuzzRuns, 1);
+  MERCED_COUNT(obs::Counter::kFuzzMutations, out.mutations);
+  if (out.failed) MERCED_COUNT(obs::Counter::kFuzzOracleFailures, 1);
+  return out;
+}
+
+}  // namespace
+
+SyntheticSpec random_fuzz_spec(std::uint64_t seed) {
+  // Cheap independent draws via the same splitmix64 chain derive_seed uses;
+  // each field gets its own decorrelated stream index.
+  auto draw = [&](std::uint64_t salt, std::uint64_t lo, std::uint64_t hi) {
+    return lo + derive_seed(seed, salt + 1) % (hi - lo + 1);
+  };
+  SyntheticSpec spec;
+  spec.name = "fuzz_" + std::to_string(seed);
+  spec.num_pis = draw(1, 4, 8);
+  spec.num_dffs = draw(2, 2, 8);
+  spec.num_gates = draw(3, 15, 60);
+  spec.num_invs = draw(4, 3, 12);
+  spec.target_area = static_cast<AreaUnits>(10 * spec.num_dffs + spec.num_invs +
+                                            2 * spec.num_gates + draw(5, 0, 30));
+  spec.scc_dff_fraction = static_cast<double>(draw(6, 30, 100)) / 100.0;
+  spec.scc_gate_coverage = static_cast<double>(draw(7, 20, 60)) / 100.0;
+  spec.locality = static_cast<double>(draw(8, 60, 95)) / 100.0;
+  spec.seed = seed;
+  return spec;
+}
+
+Netlist fuzz_input(std::uint64_t base_seed, std::size_t r) {
+  const std::uint64_t seed = derive_seed(base_seed, r);
+  if (r % 2 == 0) return generate_circuit(random_fuzz_spec(seed));
+  const Netlist base = generate_circuit(random_fuzz_spec(derive_seed(base_seed, r - 1)));
+  return mutate(base, seed, /*count=*/2 + seed % 5);
+}
+
+FuzzReport run_fuzz(const FuzzConfig& cfg) {
+  MERCED_SPAN("fuzz.campaign");
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  FuzzReport report;
+  report.config = cfg;
+
+  ThreadPool pool(cfg.jobs);
+  std::unordered_set<std::string> signatures;
+  std::optional<Corpus> corpus;
+  if (!cfg.corpus_dir.empty()) corpus.emplace(cfg.corpus_dir);
+
+  // Chunked schedule: the budget check sits between chunks, so a campaign
+  // with --time-budget stops at a chunk boundary (content-reproducible; the
+  // number of completed runs depends on the clock).
+  const std::size_t chunk = std::max<std::size_t>(pool.size() * 4, 8);
+  for (std::size_t begin = 0; begin < cfg.runs; begin += chunk) {
+    if (cfg.time_budget_seconds > 0 && elapsed() >= cfg.time_budget_seconds &&
+        begin > 0) {
+      break;
+    }
+    const std::size_t end = std::min(cfg.runs, begin + chunk);
+    const std::vector<RunOutcome> outcomes = parallel_map<RunOutcome>(
+        pool, end - begin, [&](std::size_t i) { return execute_run(cfg, begin + i); });
+
+    // Serial, run-order aggregation: minimization and corpus writes happen
+    // here, so reports and the corpus are jobs-independent.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      ++report.runs_executed;
+      const RunOutcome& out = outcomes[i];
+      if (!out.failed) continue;
+      const std::size_t r = begin + i;
+
+      FuzzFailureRecord record;
+      record.run = r;
+      record.seed = derive_seed(cfg.seed, r);
+      record.oracle = out.failure.oracle;
+      record.signature = out.failure.signature;
+      record.detail = out.failure.detail;
+      record.gates_before = out.gates;
+      record.gates_after = out.gates;
+
+      const bool fresh = signatures.insert(record.signature).second;
+      if (fresh) {
+        Netlist failing = fuzz_input(cfg.seed, r);
+        if (cfg.minimize) {
+          const MinimizeResult shrunk =
+              minimize_failure(failing, cfg.oracle, record.signature);
+          failing = shrunk.netlist;
+          record.gates_after = shrunk.gates_after;
+          record.minimized = true;
+          ++report.minimized;
+        }
+        if (corpus) {
+          if (std::optional<std::string> path =
+                  corpus->add(failing, record.signature, record.oracle,
+                              cfg.oracle.defect, record.seed)) {
+            record.corpus_path = *path;
+            ++report.corpus_new;
+          } else {
+            ++report.corpus_dupes;  // left over from an earlier campaign
+          }
+        }
+      } else {
+        ++report.corpus_dupes;
+      }
+      report.failures.push_back(std::move(record));
+    }
+  }
+
+  report.unique_signatures = signatures.size();
+  report.elapsed_seconds = elapsed();
+  return report;
+}
+
+}  // namespace merced::fuzz

@@ -1,0 +1,86 @@
+// The fuzz driver: structured input generation, parallel oracle runs,
+// minimization, and corpus persistence under one deterministic loop.
+//
+// Input construction alternates two strategies over the run index r:
+//  * even r — pure generation: a small random SyntheticSpec (4–8 PIs, 2–8
+//    DFFs, 15–60 gates) built by circuits::generate_circuit;
+//  * odd r — semantic mutation: the generated circuit for r-1's spec is
+//    further mutated by fuzz::mutate (gate retypes, fanin swaps/rewires,
+//    DFF inserts/removes, cone duplication), always yielding a parseable,
+//    finalized netlist.
+//
+// Determinism contract (mirrors the parallel runtime's): run r's seed is
+// derive_seed(cfg.seed, r) — a pure function of (base seed, run index) —
+// and results are aggregated in run order via parallel_map, so the report
+// is bit-identical for any --jobs value. The only escape hatch is
+// --time-budget, which stops scheduling new chunks when the wall clock
+// expires; budget-limited campaigns are reproducible in content but not in
+// length (documented in EXPERIMENTS.md).
+//
+// Each failure is (optionally) shrunk by minimize_failure and persisted to
+// the corpus, deduplicated by signature. The campaign summary serializes as
+// merced-fuzz-v1 (fuzz_json.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.h"
+#include "fuzz/oracle.h"
+
+namespace merced::fuzz {
+
+/// One fuzz campaign's knobs (the merced_fuzz CLI maps onto this 1:1).
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t runs = 100;             ///< inputs to generate and check
+  double time_budget_seconds = 0;     ///< 0 = unlimited (determinism mode)
+  std::size_t jobs = 1;               ///< 0 = all hardware threads
+  bool minimize = true;               ///< shrink failures before storing
+  std::string corpus_dir;             ///< empty = don't persist failures
+  OracleOptions oracle;               ///< per-input oracle stack knobs
+};
+
+/// One oracle failure found by the campaign.
+struct FuzzFailureRecord {
+  std::size_t run = 0;          ///< run index within the campaign
+  std::uint64_t seed = 0;       ///< derive_seed(cfg.seed, run)
+  std::string oracle;
+  std::string signature;
+  std::string detail;
+  std::size_t gates_before = 0; ///< input size when the oracle fired
+  std::size_t gates_after = 0;  ///< size after minimization (== before if off)
+  bool minimized = false;
+  std::string corpus_path;      ///< where it was stored ("" if deduped/off)
+};
+
+/// Campaign results, serializable as merced-fuzz-v1.
+struct FuzzReport {
+  FuzzConfig config;
+  std::size_t runs_executed = 0;
+  std::vector<FuzzFailureRecord> failures;  ///< in run order
+  std::size_t unique_signatures = 0;
+  std::size_t minimized = 0;     ///< failures that went through the minimizer
+  std::size_t corpus_new = 0;    ///< new corpus entries written
+  std::size_t corpus_dupes = 0;  ///< failures deduplicated away
+  double elapsed_seconds = 0;
+
+  bool clean() const noexcept { return failures.empty(); }
+};
+
+/// The spec fuzz run `seed` generates from: small circuits (4–8 PIs, 2–8
+/// DFFs, 15–60 gates) keep one oracle-stack evaluation fast enough for
+/// hundreds of runs per campaign. Pure function of `seed`.
+SyntheticSpec random_fuzz_spec(std::uint64_t seed);
+
+/// The exact netlist fuzz run `r` of a campaign with base seed `base_seed`
+/// feeds to the oracles (generation for even r, mutation for odd r). Pure
+/// function of its arguments — tests use it to rebuild any failing input.
+Netlist fuzz_input(std::uint64_t base_seed, std::size_t r);
+
+/// Runs the campaign described by `cfg`. Deterministic in cfg when
+/// time_budget_seconds == 0 (see file comment).
+FuzzReport run_fuzz(const FuzzConfig& cfg);
+
+}  // namespace merced::fuzz

@@ -1,0 +1,150 @@
+#include "fuzz/minimizer.h"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace merced::fuzz {
+
+namespace {
+
+/// True when `soft` still reproduces the target signature. Invalid circuits
+/// (to_netlist throws) simply don't reproduce.
+bool reproduces(const SoftNetlist& soft, const OracleOptions& opt,
+                const std::string& signature, std::size_t& attempts) {
+  ++attempts;
+  MERCED_COUNT(obs::Counter::kFuzzMinimizerAttempts, 1);
+  try {
+    const Netlist candidate = soft.to_netlist();
+    const std::optional<OracleFailure> failure = run_oracles(candidate, opt);
+    return failure.has_value() && failure->signature == signature;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Removes gate `index`, rewiring every reader to `replacement` (a net
+/// name; empty = drop the reading pin instead, where arity allows).
+SoftNetlist bypass_gate(const SoftNetlist& soft, std::size_t index,
+                        const std::string& replacement) {
+  SoftNetlist reduced = soft;
+  const std::string victim = reduced.gates[index].name;
+  reduced.gates.erase(reduced.gates.begin() + static_cast<std::ptrdiff_t>(index));
+  for (SoftGate& g : reduced.gates) {
+    for (std::size_t p = 0; p < g.fanins.size();) {
+      if (g.fanins[p] != victim) {
+        ++p;
+      } else if (!replacement.empty()) {
+        g.fanins[p] = replacement;
+        ++p;
+      } else {
+        g.fanins.erase(g.fanins.begin() + static_cast<std::ptrdiff_t>(p));
+      }
+    }
+  }
+  for (std::size_t o = 0; o < reduced.outputs.size();) {
+    if (reduced.outputs[o] != victim) {
+      ++o;
+    } else if (!replacement.empty()) {
+      reduced.outputs[o] = replacement;
+      ++o;
+    } else {
+      reduced.outputs.erase(reduced.outputs.begin() + static_cast<std::ptrdiff_t>(o));
+    }
+  }
+  return reduced;
+}
+
+}  // namespace
+
+MinimizeResult minimize_failure(const Netlist& failing, const OracleOptions& opt,
+                                const std::string& signature,
+                                std::size_t max_attempts) {
+  SoftNetlist best = SoftNetlist::from_netlist(failing);
+  MinimizeResult out;
+  out.gates_before = best.gates.size();
+
+  {
+    std::size_t check = 0;
+    if (!reproduces(best, opt, signature, check)) {
+      throw std::invalid_argument(
+          "minimize_failure: input does not fail with signature '" + signature + "'");
+    }
+  }
+
+  bool changed = true;
+  while (changed && out.attempts < max_attempts) {
+    changed = false;
+    ++out.rounds;
+
+    // Pass 1: drop primary outputs (cheapest reduction, biggest dead-logic
+    // cascade via pass 3).
+    while (best.outputs.size() > 1 && out.attempts < max_attempts) {
+      SoftNetlist reduced = best;
+      reduced.outputs.pop_back();
+      if (reproduces(reduced, opt, signature, out.attempts)) {
+        best = std::move(reduced);
+        changed = true;
+      } else {
+        break;
+      }
+    }
+
+    // Pass 2: bypass-delete gates, highest index first so erase() never
+    // shifts indices we still plan to visit this pass.
+    for (std::size_t i = best.gates.size(); i-- > 0 && out.attempts < max_attempts;) {
+      const SoftGate& g = best.gates[i];
+      const std::string replacement =
+          g.fanins.empty() ? std::string() : g.fanins.front();
+      if (g.type == GateType::kInput && best.gates.size() <= 2) continue;
+      SoftNetlist reduced = bypass_gate(best, i, replacement);
+      if (reduced.gates.empty() || reduced.outputs.empty()) continue;
+      if (reproduces(reduced, opt, signature, out.attempts)) {
+        best = std::move(reduced);
+        changed = true;
+      }
+    }
+
+    // Pass 3: dead-logic sweep — unreferenced non-output gates go in one
+    // candidate (all together, then the oracle decides).
+    {
+      SoftNetlist reduced = best;
+      const std::vector<std::size_t> refs = reduced.reference_counts();
+      bool any = false;
+      for (std::size_t i = reduced.gates.size(); i-- > 0;) {
+        if (refs[i] == 0) {
+          reduced.gates.erase(reduced.gates.begin() + static_cast<std::ptrdiff_t>(i));
+          any = true;
+        }
+      }
+      if (any && !reduced.gates.empty() &&
+          reproduces(reduced, opt, signature, out.attempts)) {
+        best = std::move(reduced);
+        changed = true;
+      }
+    }
+
+    // Pass 4: prune fanin pins down to the type's minimum arity.
+    for (std::size_t i = 0; i < best.gates.size() && out.attempts < max_attempts; ++i) {
+      while (best.gates[i].fanins.size() > min_fanin(best.gates[i].type) &&
+             out.attempts < max_attempts) {
+        SoftNetlist reduced = best;
+        reduced.gates[i].fanins.pop_back();
+        if (reproduces(reduced, opt, signature, out.attempts)) {
+          best = std::move(reduced);
+          changed = true;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+
+  out.netlist = best.to_netlist();
+  out.gates_after = best.gates.size();
+  return out;
+}
+
+}  // namespace merced::fuzz

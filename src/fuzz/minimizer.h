@@ -1,0 +1,48 @@
+// Delta-debugging netlist minimizer.
+//
+// A fuzzer-found failing netlist is typically 10x larger than the kernel of
+// the failure; a corpus full of such blobs is useless to a human debugging
+// the pipeline. The minimizer shrinks a failing input while preserving the
+// *exact* failing oracle: a reduction is kept only when run_oracles() on
+// the reduced circuit still fails with the same signature (not merely any
+// failure — two different bugs must not alias during reduction).
+//
+// Reduction operators, applied to fixpoint under an attempt budget:
+//   * drop primary outputs (down to one);
+//   * bypass-delete gates — every reader of gate g is rewired to g's first
+//     fanin, then g is removed (the structural analogue of ddmin's chunk
+//     removal, safe for DFFs and inverter chains alike);
+//   * prune fanin pins down to the gate type's minimum arity;
+//   * sweep dead logic (gates feeding nothing observable);
+//   * drop primary inputs that no longer feed anything.
+// Every candidate is validated by SoftNetlist::to_netlist() before the
+// oracle runs, so illegal intermediates are skipped, not scored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracle.h"
+#include "fuzz/soft_netlist.h"
+#include "netlist/netlist.h"
+
+namespace merced::fuzz {
+
+struct MinimizeResult {
+  Netlist netlist;              ///< smallest failing circuit found
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t rounds = 0;       ///< fixpoint iterations
+  std::size_t attempts = 0;     ///< oracle evaluations spent
+};
+
+/// Shrinks `failing` while run_oracles(candidate, opt) keeps failing with
+/// `signature`. `failing` must itself fail with that signature (checked;
+/// throws std::invalid_argument otherwise). `max_attempts` bounds oracle
+/// evaluations; the best-so-far circuit is returned when the budget runs
+/// out. Deterministic: reduction order is structural, not randomized.
+MinimizeResult minimize_failure(const Netlist& failing, const OracleOptions& opt,
+                                const std::string& signature,
+                                std::size_t max_attempts = 600);
+
+}  // namespace merced::fuzz

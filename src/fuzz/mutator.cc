@@ -1,0 +1,256 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace merced::fuzz {
+
+namespace {
+
+/// splitmix64 step — the same decorrelation primitive the multi-start and
+/// fuzz-run seed derivations use. Self-contained so the mutator's draw
+/// sequence is stable across standard libraries (no std::distribution).
+struct Rng {
+  std::uint64_t state;
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-enough draw in [0, n); n must be > 0.
+  std::size_t below(std::size_t n) noexcept {
+    return static_cast<std::size_t>(next() % n);
+  }
+};
+
+/// The retype partner within the same arity class, or the type itself when
+/// no same-arity sibling exists (MUX, constants, DFF, INPUT).
+GateType retype_of(GateType t, Rng& rng) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor: {
+      constexpr GateType kQuad[4] = {GateType::kAnd, GateType::kNand, GateType::kOr,
+                                     GateType::kNor};
+      return kQuad[rng.below(4)];
+    }
+    case GateType::kXor:
+      return GateType::kXnor;
+    case GateType::kXnor:
+      return GateType::kXor;
+    case GateType::kNot:
+      return GateType::kBuf;
+    case GateType::kBuf:
+      return GateType::kNot;
+    default:
+      return t;
+  }
+}
+
+/// A fresh net name not colliding with any existing gate.
+std::string fresh_name(const SoftNetlist& soft, std::uint64_t& counter) {
+  for (;;) {
+    std::string candidate = "fz" + std::to_string(counter++);
+    if (soft.find(candidate) == SoftNetlist::npos) return candidate;
+  }
+}
+
+// Each mutator edits `soft` in place and returns true when it changed
+// something. Structural legality is NOT their job — the caller validates
+// the edited circuit wholesale and rolls back on failure.
+
+bool mutate_retype(SoftNetlist& soft, Rng& rng) {
+  const std::size_t i = rng.below(soft.gates.size());
+  SoftGate& g = soft.gates[i];
+  const GateType next = retype_of(g.type, rng);
+  if (next == g.type) return false;
+  g.type = next;
+  return true;
+}
+
+bool mutate_fanin_swap(SoftNetlist& soft, Rng& rng) {
+  const std::size_t i = rng.below(soft.gates.size());
+  SoftGate& g = soft.gates[i];
+  if (g.fanins.size() < 2) return false;
+  const std::size_t a = rng.below(g.fanins.size());
+  const std::size_t b = rng.below(g.fanins.size());
+  if (a == b || g.fanins[a] == g.fanins[b]) return false;
+  std::swap(g.fanins[a], g.fanins[b]);
+  return true;
+}
+
+bool mutate_fanin_rewire(SoftNetlist& soft, Rng& rng) {
+  const std::size_t i = rng.below(soft.gates.size());
+  SoftGate& g = soft.gates[i];
+  if (g.fanins.empty() || g.type == GateType::kDff) return false;
+  const std::size_t pin = rng.below(g.fanins.size());
+  const SoftGate& src = soft.gates[rng.below(soft.gates.size())];
+  if (src.name == g.name || src.name == g.fanins[pin]) return false;
+  g.fanins[pin] = src.name;
+  return true;
+}
+
+bool mutate_dff_insert(SoftNetlist& soft, Rng& rng, std::uint64_t& name_counter) {
+  const std::size_t i = rng.below(soft.gates.size());
+  if (soft.gates[i].fanins.empty()) return false;
+  const std::size_t pin = rng.below(soft.gates[i].fanins.size());
+  SoftGate reg;
+  reg.type = GateType::kDff;
+  reg.name = fresh_name(soft, name_counter);
+  reg.fanins = {soft.gates[i].fanins[pin]};
+  soft.gates[i].fanins[pin] = reg.name;
+  soft.gates.push_back(std::move(reg));
+  return true;
+}
+
+bool mutate_dff_remove(SoftNetlist& soft, Rng& rng) {
+  std::vector<std::size_t> dffs;
+  for (std::size_t i = 0; i < soft.gates.size(); ++i) {
+    if (soft.gates[i].type == GateType::kDff) dffs.push_back(i);
+  }
+  if (dffs.empty()) return false;
+  const std::size_t victim = dffs[rng.below(dffs.size())];
+  const std::string name = soft.gates[victim].name;
+  const std::string feed = soft.gates[victim].fanins.empty()
+                               ? std::string()
+                               : soft.gates[victim].fanins.front();
+  if (feed.empty() || feed == name) return false;
+  for (SoftGate& g : soft.gates) {
+    for (std::string& fn : g.fanins) {
+      if (fn == name) fn = feed;
+    }
+  }
+  for (std::string& out : soft.outputs) {
+    if (out == name) out = feed;
+  }
+  soft.gates.erase(soft.gates.begin() + static_cast<std::ptrdiff_t>(victim));
+  return true;
+}
+
+bool mutate_cone_duplicate(SoftNetlist& soft, Rng& rng, std::uint64_t& name_counter) {
+  // Clone the depth-<=2 fanin cone of a random root gate under fresh names
+  // (cone leaves keep reading the original nets), then splice the clone
+  // into a random pin elsewhere. Cycles introduced by splicing upstream of
+  // the root are caught by validation and rolled back.
+  const std::size_t root = rng.below(soft.gates.size());
+  if (!is_combinational(soft.gates[root].type)) return false;
+
+  std::vector<std::pair<std::size_t, int>> cone{{root, 0}};  // (index, depth)
+  std::vector<std::size_t> members{root};
+  for (std::size_t at = 0; at < cone.size(); ++at) {
+    const auto [idx, depth] = cone[at];
+    if (depth >= 2) continue;
+    for (const std::string& fn : soft.gates[idx].fanins) {
+      const std::size_t f = soft.find(fn);
+      if (f == SoftNetlist::npos || !is_combinational(soft.gates[f].type)) continue;
+      if (std::find(members.begin(), members.end(), f) != members.end()) continue;
+      members.push_back(f);
+      cone.emplace_back(f, depth + 1);
+    }
+  }
+
+  // Clone members; remap intra-cone references to the clones.
+  std::vector<std::pair<std::string, std::string>> rename;  // original -> clone
+  std::vector<SoftGate> clones;
+  rename.reserve(members.size());
+  clones.reserve(members.size());
+  for (std::size_t m : members) {
+    SoftGate copy = soft.gates[m];
+    std::string clone_name = fresh_name(soft, name_counter) + "_" + copy.name;
+    rename.emplace_back(copy.name, clone_name);
+    copy.name = std::move(clone_name);
+    clones.push_back(std::move(copy));
+  }
+  for (SoftGate& c : clones) {
+    for (std::string& fn : c.fanins) {
+      for (const auto& [from, to] : rename) {
+        if (fn == from) {
+          fn = to;
+          break;
+        }
+      }
+    }
+  }
+  const std::string clone_root = clones.front().name;
+
+  // Splice: one random fanin pin somewhere now reads the cloned cone.
+  const std::size_t target = rng.below(soft.gates.size());
+  if (soft.gates[target].fanins.empty()) return false;
+  soft.gates[target].fanins[rng.below(soft.gates[target].fanins.size())] = clone_root;
+  for (SoftGate& c : clones) soft.gates.push_back(std::move(c));
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::kGateRetype: return "gate-retype";
+    case MutationKind::kFaninSwap: return "fanin-swap";
+    case MutationKind::kFaninRewire: return "fanin-rewire";
+    case MutationKind::kDffInsert: return "dff-insert";
+    case MutationKind::kDffRemove: return "dff-remove";
+    case MutationKind::kConeDuplicate: return "cone-duplicate";
+    case MutationKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t MutationStats::total_applied() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::uint64_t n : applied) sum += n;
+  return sum;
+}
+
+Netlist mutate(const Netlist& base, std::uint64_t seed, std::size_t count,
+               MutationStats* stats) {
+  SoftNetlist soft = SoftNetlist::from_netlist(base);
+  Rng rng{seed ^ 0xf00dfeedcafeULL};
+  std::uint64_t name_counter = 0;
+
+  std::size_t applied = 0;
+  // Each requested mutation gets a bounded number of redraws; a draw that
+  // edits nothing or breaks validation burns one attempt.
+  std::size_t attempts = count * 8 + 16;
+  while (applied < count && attempts-- > 0) {
+    const auto kind = static_cast<MutationKind>(
+        rng.below(static_cast<std::size_t>(MutationKind::kCount)));
+    SoftNetlist backup = soft;
+    bool changed = false;
+    switch (kind) {
+      case MutationKind::kGateRetype: changed = mutate_retype(soft, rng); break;
+      case MutationKind::kFaninSwap: changed = mutate_fanin_swap(soft, rng); break;
+      case MutationKind::kFaninRewire: changed = mutate_fanin_rewire(soft, rng); break;
+      case MutationKind::kDffInsert:
+        changed = mutate_dff_insert(soft, rng, name_counter);
+        break;
+      case MutationKind::kDffRemove: changed = mutate_dff_remove(soft, rng); break;
+      case MutationKind::kConeDuplicate:
+        changed = mutate_cone_duplicate(soft, rng, name_counter);
+        break;
+      case MutationKind::kCount: break;
+    }
+    if (!changed) {
+      soft = std::move(backup);
+      continue;
+    }
+    try {
+      (void)soft.to_netlist();
+    } catch (const std::exception&) {
+      soft = std::move(backup);
+      if (stats != nullptr) ++stats->rolled_back;
+      continue;
+    }
+    ++applied;
+    if (stats != nullptr) ++stats->applied[static_cast<std::size_t>(kind)];
+  }
+  return soft.to_netlist();
+}
+
+}  // namespace merced::fuzz

@@ -1,0 +1,58 @@
+// Semantic netlist mutators — the "structured" half of the fuzzer.
+//
+// Random byte flipping on `.bench` text almost always produces a parse
+// error, which exercises the parser's error paths and nothing else. These
+// mutators instead edit a parsed circuit at the gate level — retype a gate,
+// swap or rewire fanin pins, insert or remove a DFF, duplicate a fanin cone
+// and splice it elsewhere — so every emitted netlist parses and finalizes,
+// and the downstream compile/retime/kernel layers see structurally diverse
+// but *legal* inputs. A mutation that would break a structural invariant
+// (combinational cycle, arity violation) is detected by the
+// SoftNetlist::to_netlist() round-trip and rolled back; mutate() therefore
+// always returns a finalized netlist.
+//
+// Determinism contract: the result is a pure function of (input netlist,
+// seed, count). The fuzz driver derives each run's seed from the master
+// seed and the run index (circuits/generator.h derive_seed), never from
+// shared state, so fuzzing is bit-reproducible for every --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/soft_netlist.h"
+#include "netlist/netlist.h"
+
+namespace merced::fuzz {
+
+/// The mutation operators, applied with roughly equal probability.
+enum class MutationKind : std::uint8_t {
+  kGateRetype,     ///< AND<->NAND<->OR<->NOR, XOR<->XNOR, NOT<->BUF
+  kFaninSwap,      ///< swap two fanin pins of one gate
+  kFaninRewire,    ///< point one fanin pin at a different existing net
+  kDffInsert,      ///< register one fanin edge (new DFF gate)
+  kDffRemove,      ///< bypass a DFF (sinks read its fanin directly)
+  kConeDuplicate,  ///< clone a small fanin cone, splice the clone elsewhere
+  kCount           ///< sentinel
+};
+
+std::string_view to_string(MutationKind kind) noexcept;
+
+/// Per-kind application counts of one mutate() call (applied, not merely
+/// attempted: rolled-back mutations are not counted).
+struct MutationStats {
+  std::uint64_t applied[static_cast<std::size_t>(MutationKind::kCount)] = {};
+  std::uint64_t rolled_back = 0;  ///< attempts rejected by validation
+
+  std::uint64_t total_applied() const noexcept;
+};
+
+/// Applies up to `count` random mutations to a copy of `base`. Mutations
+/// that fail structural validation are rolled back and retried with a
+/// different draw (bounded), so fewer than `count` may be applied on
+/// pathological inputs. Always returns a finalized netlist; deterministic
+/// in (base, seed, count).
+Netlist mutate(const Netlist& base, std::uint64_t seed, std::size_t count,
+               MutationStats* stats = nullptr);
+
+}  // namespace merced::fuzz

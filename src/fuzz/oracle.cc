@@ -1,0 +1,219 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/merced.h"
+#include "core/ppet_session.h"
+#include "graph/circuit_graph.h"
+#include "obs/obs.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+#include "verify/diagnostic.h"
+
+namespace merced::fuzz {
+
+namespace {
+
+MercedConfig make_config(const OracleOptions& opt, std::size_t jobs) {
+  MercedConfig config;
+  config.lk = opt.lk;
+  config.beta = opt.beta;
+  config.multi_start = opt.multi_start;
+  config.jobs = jobs;
+  config.flow.seed = opt.flow_seed;
+  return config;
+}
+
+/// The corrupted lane mask of the canned lane-mask defect: the classic
+/// off-by-one in lane_mask()'s exponent, i.e. the mask of a CUT one input
+/// narrower. For n >= 6 that clears lanes 32..63 of every batch; for n < 6
+/// it halves the distinct-pattern set.
+std::uint64_t off_by_one_mask(std::size_t n) noexcept {
+  return n >= 6 ? 0x00000000FFFFFFFFULL : lane_mask(n == 0 ? 0 : n - 1);
+}
+
+/// From-scratch masked exhaustive sweep: one verdict per fault, computed
+/// with the public ConeSimulator API only (eval + fault_observable), no
+/// fault dropping, no sharding — an independent reimplementation of what
+/// exhaustive_detect_range must produce.
+std::vector<std::uint8_t> masked_sweep_verdicts(const ConeSimulator& cone,
+                                                std::span<const Fault> faults,
+                                                std::uint64_t mask) {
+  const std::size_t n = cone.cut_inputs().size();
+  const std::uint64_t patterns = std::uint64_t{1} << n;
+  const std::uint64_t batches = n < 6 ? 1 : patterns / 64;
+  ConeSimulator::Workspace ws;
+  std::vector<std::uint64_t> words(n);
+  std::vector<std::uint8_t> verdicts(faults.size(), 0);
+  std::size_t remaining = faults.size();
+  for (std::uint64_t b = 0; b < batches && remaining > 0; ++b) {
+    fill_batch_inputs(n, b, words);
+    (void)cone.eval(words, ws);  // fault-free state for the probes below
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (verdicts[i] != 0) continue;
+      if (cone.fault_observable(ws, faults[i], mask)) {
+        verdicts[i] = 1;
+        --remaining;
+      }
+    }
+  }
+  return verdicts;
+}
+
+bool same_coverage(const CoverageResult& a, const CoverageResult& b) {
+  return a.total_faults == b.total_faults && a.detected == b.detected &&
+         a.undetected == b.undetected;
+}
+
+std::string cluster_tag(std::size_t index) { return "cluster " + std::to_string(index); }
+
+}  // namespace
+
+std::string_view to_string(FuzzDefect defect) noexcept {
+  switch (defect) {
+    case FuzzDefect::kNone: return "none";
+    case FuzzDefect::kDropCut: return "drop-cut";
+    case FuzzDefect::kSkewRho: return "skew-rho";
+    case FuzzDefect::kLaneMask: return "lane-mask";
+  }
+  return "unknown";
+}
+
+bool defect_from_string(std::string_view name, FuzzDefect& out) noexcept {
+  for (FuzzDefect d : {FuzzDefect::kNone, FuzzDefect::kDropCut, FuzzDefect::kSkewRho,
+                       FuzzDefect::kLaneMask}) {
+    if (name == to_string(d)) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<OracleFailure> run_oracles(const Netlist& netlist,
+                                         const OracleOptions& opt) {
+  // ---- oracle 1: serial vs parallel compile parity -----------------------
+  const MercedConfig serial_config = make_config(opt, /*jobs=*/1);
+  MercedResult result = compile(netlist, serial_config);
+  {
+    const MercedResult parallel = compile(netlist, make_config(opt, opt.parallel_jobs));
+    auto fail = [&](const char* field, std::string detail) -> OracleFailure {
+      return {"compile-parity", std::string("compile-parity:") + field,
+              "serial and parallel compile disagree on " + std::move(detail)};
+    };
+    if (parallel.feasible != result.feasible) {
+      return fail("feasible", "feasibility");
+    }
+    if (parallel.chosen_start != result.chosen_start) {
+      return fail("chosen-start", "the winning multi-start candidate");
+    }
+    if (parallel.partition_inputs != result.partition_inputs) {
+      return fail("partition-inputs", "the per-partition input counts");
+    }
+    if (parallel.cut_net_ids != result.cut_net_ids) {
+      return fail("cut-set", "the cut set");
+    }
+    if (parallel.retiming.retimable != result.retiming.retimable ||
+        parallel.retiming.multiplexed != result.retiming.multiplexed ||
+        parallel.retiming.rho != result.retiming.rho) {
+      return fail("retiming", "the retiming plan");
+    }
+  }
+
+  // ---- canned artifact corruption (between compile and verification) ----
+  if (opt.defect == FuzzDefect::kDropCut && !result.cut_net_ids.empty()) {
+    result.cut_net_ids.pop_back();
+  } else if (opt.defect == FuzzDefect::kSkewRho && !result.retiming.rho.empty()) {
+    result.retiming.rho.front() += 1000;
+  }
+
+  // ---- oracle 2: independent static verification ------------------------
+  {
+    const verify::Report report = verify_result(netlist, result, serial_config);
+    for (const verify::Diagnostic& d : report.findings) {
+      if (d.severity != verify::Severity::kError) continue;
+      return OracleFailure{"verify", "verify:" + d.rule, verify::format_diagnostic(d)};
+    }
+  }
+
+  // ---- oracle 3 + 4 need per-CUT cones ----------------------------------
+  const CircuitGraph graph(netlist);
+  bool all_sweepable = result.partitions.count() > 0;
+
+  for (std::size_t ci = 0; ci < result.partitions.count(); ++ci) {
+    if (ci < result.partition_inputs.size() &&
+        result.partition_inputs[ci] > opt.coverage_max_inputs) {
+      all_sweepable = false;
+      continue;  // too wide to sweep; sibling CUTs are still checked
+    }
+    const ConeSimulator cone(graph, result.partitions, ci);
+    if (cone.cut_inputs().empty()) continue;  // constant cluster, nothing to drive
+
+    CoverageOptions kernel_opt;
+    kernel_opt.max_inputs = opt.coverage_max_inputs;
+    CoverageOptions naive_opt = kernel_opt;
+    naive_opt.naive = true;
+
+    // 3a: the production event-driven kernel vs the naive oracle.
+    const CoverageResult kernel = exhaustive_coverage(cone, kernel_opt);
+    const CoverageResult naive = exhaustive_coverage(cone, naive_opt);
+    if (!same_coverage(kernel, naive)) {
+      return OracleFailure{
+          "kernel-conformance", "kernel-conformance:coverage",
+          "event-driven kernel and naive oracle disagree on " + cluster_tag(ci) + " (" +
+              std::to_string(kernel.detected) + " vs " + std::to_string(naive.detected) +
+              " of " + std::to_string(naive.total_faults) + " faults detected)"};
+    }
+
+    // 3b: a from-scratch masked sweep vs the naive verdicts. The lane-mask
+    // defect corrupts exactly this sweep's mask.
+    const std::vector<Fault> faults = cone.cluster_faults();
+    const std::size_t n = cone.cut_inputs().size();
+    const std::uint64_t mask =
+        opt.defect == FuzzDefect::kLaneMask ? off_by_one_mask(n) : lane_mask(n);
+    const std::vector<std::uint8_t> sweep = masked_sweep_verdicts(cone, faults, mask);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const bool naive_detected =
+          std::find(naive.undetected.begin(), naive.undetected.end(), faults[i]) ==
+          naive.undetected.end();
+      if ((sweep[i] != 0) != naive_detected) {
+        return OracleFailure{
+            "kernel-conformance", "kernel-conformance:mask",
+            "masked sweep and naive oracle disagree on fault " + std::to_string(i) +
+                " of " + cluster_tag(ci) + " (sweep says " +
+                (sweep[i] != 0 ? "detected" : "undetected") + ", naive says " +
+                (naive_detected ? "detected" : "undetected") + ")"};
+      }
+    }
+  }
+
+  // ---- oracle 4: session coverage vs direct per-CUT fault sim -----------
+  if (result.feasible && all_sweepable) {
+    PpetSession session(graph, result, /*psa_width=*/16, /*jobs=*/1);
+    const std::vector<CoverageResult> coverage =
+        session.measure_coverage(opt.coverage_max_inputs);
+    for (std::size_t s = 0; s < coverage.size(); ++s) {
+      const std::size_t ci = session.station(s).partition_index;
+      const ConeSimulator cone(graph, result.partitions, ci);
+      CoverageOptions naive_opt;
+      naive_opt.max_inputs = opt.coverage_max_inputs;
+      naive_opt.naive = true;
+      const CoverageResult direct = exhaustive_coverage(cone, naive_opt);
+      if (!same_coverage(coverage[s], direct)) {
+        return OracleFailure{
+            "session-coverage", "session-coverage:station",
+            "PpetSession coverage and direct fault simulation disagree on station " +
+                std::to_string(s) + " (" + cluster_tag(ci) + ": " +
+                std::to_string(coverage[s].detected) + " vs " +
+                std::to_string(direct.detected) + " of " +
+                std::to_string(direct.total_faults) + " faults detected)"};
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace merced::fuzz

@@ -1,0 +1,81 @@
+// The differential oracle stack — every independent cross-check one fuzz
+// input is run through.
+//
+// PET's guarantee is only as strong as the weakest layer between the
+// netlist and the signature register, and each of PRs 1–4 found its real
+// bug only when a *new independent oracle* was pointed at the pipeline
+// (most recently the unsealed-cut retiming regression caught by the static
+// verifier). This module makes that a standing battery. For one input
+// netlist it checks, in order:
+//
+//   1. compile-parity     — compile(jobs=1) and compile(jobs=N) pick the
+//                           bit-identical artifact (cut set, ι counts,
+//                           retiming plan, chosen start);
+//   2. verify             — the artifact passes the independent static
+//                           checker (merced_verify) with zero errors;
+//   3. kernel-conformance — the event-driven coverage kernel agrees with
+//                           the naive re-evaluate-everything oracle
+//                           fault-for-fault, and a from-scratch masked
+//                           sweep built here (not in src/sim) agrees with
+//                           both;
+//   4. session-coverage   — PpetSession::measure_coverage equals a direct
+//                           per-CUT fault simulation done outside the
+//                           session machinery.
+//
+// A failure carries a stable *signature* (oracle name + the most specific
+// stable detail, e.g. the verify rule ID) used for corpus deduplication
+// and as the minimizer's preservation predicate.
+//
+// Canned defects: to prove the stack actually rejects broken pipelines
+// (instead of rubber-stamping), a defect can be injected between compile
+// and the oracles — drop-cut and skew-rho corrupt the artifact the verify
+// oracle sees (mirroring merced_cli --inject-defect), lane-mask corrupts
+// the lane mask of the masked sweep in oracle 3 (simulating the classic
+// off-by-one in lane_mask()'s exponent). CI and fuzz_driver_test assert
+// each defect yields a failure whose minimized corpus entry replays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace merced::fuzz {
+
+/// Canned pipeline defects (see file comment).
+enum class FuzzDefect : std::uint8_t { kNone, kDropCut, kSkewRho, kLaneMask };
+
+std::string_view to_string(FuzzDefect defect) noexcept;
+
+/// Parses "none" / "drop-cut" / "skew-rho" / "lane-mask". Returns false on
+/// unknown names.
+bool defect_from_string(std::string_view name, FuzzDefect& out) noexcept;
+
+/// One oracle failure. `signature` is stable across runs and across
+/// minimization of the same root cause.
+struct OracleFailure {
+  std::string oracle;     ///< "compile-parity" | "verify" | ...
+  std::string signature;  ///< oracle + ":" + stable detail key
+  std::string detail;     ///< human-readable description
+};
+
+/// Knobs of one oracle-stack evaluation. Defaults favour small fuzz
+/// circuits: lk = 5 keeps every feasible CUT below 6 inputs (one kernel
+/// batch), and the coverage cap bounds sweep time on infeasible partitions.
+struct OracleOptions {
+  std::size_t lk = 5;                    ///< input constraint for compile
+  int beta = 50;                         ///< SCC cut-budget multiplier
+  std::size_t multi_start = 2;           ///< saturation candidates per compile
+  std::size_t parallel_jobs = 4;         ///< jobs of the parallel leg of oracle 1
+  std::size_t coverage_max_inputs = 10;  ///< skip coverage of wider CUTs
+  std::uint64_t flow_seed = 0x9e3779b97f4a7c15ULL;
+  FuzzDefect defect = FuzzDefect::kNone;
+};
+
+/// Runs the full stack; returns the first failure, or nullopt when the
+/// input passes every oracle. Deterministic in (netlist, opt).
+std::optional<OracleFailure> run_oracles(const Netlist& netlist, const OracleOptions& opt);
+
+}  // namespace merced::fuzz

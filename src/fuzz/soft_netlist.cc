@@ -1,0 +1,81 @@
+#include "fuzz/soft_netlist.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netlist/bench_io.h"
+
+namespace merced::fuzz {
+
+SoftNetlist SoftNetlist::from_netlist(const Netlist& netlist) {
+  SoftNetlist soft;
+  soft.name = netlist.name();
+  soft.gates.reserve(netlist.size());
+  for (GateId id = 0; id < netlist.size(); ++id) {
+    const Gate& g = netlist.gate(id);
+    SoftGate sg;
+    sg.type = g.type;
+    sg.name = g.name;
+    sg.fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) sg.fanins.push_back(netlist.gate(f).name);
+    soft.gates.push_back(std::move(sg));
+  }
+  for (GateId id : netlist.outputs()) soft.outputs.push_back(netlist.gate(id).name);
+  return soft;
+}
+
+Netlist SoftNetlist::to_netlist() const {
+  Netlist nl(name);
+  // Two passes, like the .bench parser: create every gate first so fanin
+  // name resolution tolerates forward references.
+  for (const SoftGate& g : gates) nl.add_gate(g.type, g.name);
+  for (const SoftGate& g : gates) {
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (const std::string& fn : g.fanins) {
+      const GateId f = nl.find(fn);
+      if (f == kNoGate) {
+        throw std::runtime_error("SoftNetlist: gate '" + g.name +
+                                 "' references undefined net '" + fn + "'");
+      }
+      fanins.push_back(f);
+    }
+    nl.set_fanins(nl.find(g.name), std::move(fanins));
+  }
+  for (const std::string& out : outputs) {
+    const GateId id = nl.find(out);
+    if (id == kNoGate) {
+      throw std::runtime_error("SoftNetlist: OUTPUT references undefined net '" + out +
+                               "'");
+    }
+    nl.mark_output(id);
+  }
+  nl.finalize();
+  return nl;
+}
+
+std::string SoftNetlist::to_bench() const { return write_bench(to_netlist()); }
+
+std::size_t SoftNetlist::find(std::string_view net_name) const {
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].name == net_name) return i;
+  }
+  return npos;
+}
+
+std::vector<std::size_t> SoftNetlist::reference_counts() const {
+  std::unordered_map<std::string_view, std::size_t> index;
+  index.reserve(gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i) index.emplace(gates[i].name, i);
+  std::vector<std::size_t> refs(gates.size(), 0);
+  auto bump = [&](const std::string& net) {
+    if (auto it = index.find(net); it != index.end()) ++refs[it->second];
+  };
+  for (const SoftGate& g : gates) {
+    for (const std::string& fn : g.fanins) bump(fn);
+  }
+  for (const std::string& out : outputs) bump(out);
+  return refs;
+}
+
+}  // namespace merced::fuzz

@@ -1,0 +1,62 @@
+// SoftNetlist — the fuzzer's mutable netlist IR.
+//
+// merced::Netlist is append-only by design (gates can be added, never
+// removed), which is exactly wrong for a mutator and a delta-debugging
+// minimizer: both need to delete gates, rewire pins and drop outputs, then
+// ask "is this still a legal circuit?". SoftNetlist is the editable shadow:
+// a flat list of (type, name, fanin-names) records plus an output-name
+// list, convertible losslessly to and from Netlist. Conversion back
+// (to_netlist) runs the full finalize() validation, so every structural
+// rule — arity, combinational acyclicity, unique names — is enforced at the
+// boundary and a mutation that breaks one simply throws and gets rolled
+// back by the caller. Nothing in this IR is ever handed to the pipeline
+// directly; only finalized Netlists leave the fuzz layer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+
+namespace merced::fuzz {
+
+/// One editable gate record. `fanins` are net names (the .bench view), so
+/// deleting or renaming a gate never invalidates ids held elsewhere.
+struct SoftGate {
+  GateType type = GateType::kBuf;
+  std::string name;
+  std::vector<std::string> fanins;
+};
+
+/// An editable circuit. Invariants are NOT maintained while editing; they
+/// are checked wholesale by to_netlist().
+struct SoftNetlist {
+  std::string name;
+  std::vector<SoftGate> gates;        ///< declaration order (kInput included)
+  std::vector<std::string> outputs;   ///< primary-output net names, in order
+
+  /// Snapshot of a finalized netlist (id order preserved).
+  static SoftNetlist from_netlist(const Netlist& netlist);
+
+  /// Rebuilds a finalized Netlist. Throws (std::runtime_error or
+  /// std::invalid_argument) when the edited circuit violates any structural
+  /// rule; callers treat that as "mutation invalid, roll back".
+  Netlist to_netlist() const;
+
+  /// `.bench` text of the rebuilt netlist (validates via to_netlist()).
+  std::string to_bench() const;
+
+  /// Index of the gate driving `net_name`, or npos.
+  std::size_t find(std::string_view net_name) const;
+
+  /// Number of gates whose output net is referenced by some fanin pin or
+  /// marked as a primary output, per gate index (for dead-code sweeps).
+  std::vector<std::size_t> reference_counts() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace merced::fuzz

@@ -186,7 +186,32 @@ Netlist parse_bench_file(const std::string& path) {
   return parse_bench(ss.str(), stem);
 }
 
+namespace {
+
+/// `.bench` has no quoting, so a net name containing grammar characters
+/// ('#', '(', ')', ',', '=', whitespace) would reparse as a different
+/// circuit — or not parse at all. write_bench rejects such names loudly
+/// instead of emitting text that silently fails the round-trip.
+void check_writable_name(const std::string& name) {
+  bool bad = name.empty();
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '#' || c == '(' ||
+        c == ')' || c == ',' || c == '=') {
+      bad = true;
+    }
+  }
+  if (bad) {
+    throw std::invalid_argument(
+        "write_bench: net name '" + name +
+        "' cannot round-trip through .bench (empty, or contains '#', '(', ')', "
+        "',', '=' or whitespace)");
+  }
+}
+
+}  // namespace
+
 std::string write_bench(const Netlist& nl) {
+  for (GateId id = 0; id < nl.size(); ++id) check_writable_name(nl.gate(id).name);
   std::ostringstream out;
   out << "# " << nl.name() << "\n";
   for (GateId id : nl.inputs()) out << "INPUT(" << nl.gate(id).name << ")\n";

@@ -80,6 +80,11 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "pool.tasks_run",
     "session.stations_swept",
     "session.cycles_run",
+    "fuzz.runs",
+    "fuzz.mutations",
+    "fuzz.oracle_failures",
+    "fuzz.minimizer_attempts",
+    "fuzz.corpus_entries",
 };
 
 void json_escape(std::ostream& os, const char* s) {

@@ -60,6 +60,11 @@ enum class Counter : std::uint32_t {
   kPoolTasksRun,            ///< indices executed across all parallel_fors
   kSessionStationsSwept,    ///< CUT stations swept by PpetSession::run
   kSessionCyclesRun,        ///< TPG cycles executed across all stations
+  kFuzzRuns,                ///< fuzz inputs generated and run through the oracles
+  kFuzzMutations,           ///< semantic mutations applied across all fuzz inputs
+  kFuzzOracleFailures,      ///< fuzz runs on which some oracle fired
+  kFuzzMinimizerAttempts,   ///< oracle evaluations spent by the minimizer
+  kFuzzCorpusEntries,       ///< new (deduplicated) corpus entries written
   kCount                    ///< sentinel, not a counter
 };
 

@@ -1,0 +1,210 @@
+// Error-path coverage for the artifact validators and the CLI tools'
+// exit-code contract.
+//
+// The validators (validate_verify_json, validate_fuzz_json) promise exact,
+// stable messages for each rejection class — truncated JSON, wrong schema
+// string, summary/findings drift — because CI greps for them and DESIGN.md
+// documents them. The binaries promise exit 0 = valid, 1 = invalid input /
+// failures found, 2 = usage error. Both contracts are pinned here: the
+// in-process half asserts message text and rule IDs verbatim, the
+// subprocess half (paths injected by CMake as *_BIN) asserts exit codes of
+// the real executables.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzz_json.h"
+#include "fuzz/fuzzer.h"
+#include "netlist/bench_io.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "verify/diagnostic.h"
+#include "verify/rule_ids.h"
+#include "verify/verify_json.h"
+
+namespace merced {
+namespace {
+
+obs::JsonValue parse(const std::string& text) { return obs::JsonValue::parse(text); }
+
+std::string valid_verify_doc() {
+  return R"({"schema": "merced-verify-v1",
+    "run": {"tool": "t", "circuit": "c", "lk": 8},
+    "summary": {"errors": 1, "warnings": 0, "infos": 0, "findings": 1, "clean": false},
+    "findings": [{"rule": "PART-IOTA", "severity": "error", "message": "m",
+                  "object": "G1", "line": 0}]})";
+}
+
+// ---- verify_json error paths -------------------------------------------
+
+TEST(VerifyJsonErrorPathTest, ValidDocumentPasses) {
+  EXPECT_EQ(verify::validate_verify_json(parse(valid_verify_doc())), "");
+}
+
+TEST(VerifyJsonErrorPathTest, TruncatedJsonThrowsParseError) {
+  const std::string doc = valid_verify_doc();
+  EXPECT_THROW(parse(doc.substr(0, doc.size() / 2)), obs::JsonParseError);
+  EXPECT_THROW(parse("{\"schema\": \"merced-verify-v1\""), obs::JsonParseError);
+}
+
+TEST(VerifyJsonErrorPathTest, WrongSchemaStringIsNamedExactly) {
+  std::string doc = valid_verify_doc();
+  const std::size_t at = doc.find("merced-verify-v1");
+  doc.replace(at, std::string("merced-verify-v1").size(), "merced-verify-v0");
+  EXPECT_EQ(verify::validate_verify_json(parse(doc)),
+            "unknown schema \"merced-verify-v0\"");
+}
+
+TEST(VerifyJsonErrorPathTest, SummaryCountDriftIsRejected) {
+  std::string doc = valid_verify_doc();
+  const std::size_t at = doc.find("\"findings\": 1");
+  doc.replace(at, std::string("\"findings\": 1").size(), "\"findings\": 2");
+  EXPECT_EQ(verify::validate_verify_json(parse(doc)),
+            "summary: counts disagree with the findings array");
+}
+
+TEST(VerifyJsonErrorPathTest, CleanFlagDriftIsRejected) {
+  std::string doc = valid_verify_doc();
+  const std::size_t at = doc.find("\"clean\": false");
+  doc.replace(at, std::string("\"clean\": false").size(), "\"clean\": true");
+  EXPECT_EQ(verify::validate_verify_json(parse(doc)),
+            "summary: \"clean\" disagrees with the error count");
+}
+
+TEST(VerifyJsonErrorPathTest, MissingMemberIsNamedExactly) {
+  EXPECT_EQ(verify::validate_verify_json(parse(R"({"run": {}})")),
+            "root: missing member \"schema\"");
+  EXPECT_EQ(verify::validate_verify_json(parse(R"({"schema": 7})")),
+            "root: member \"schema\" has wrong type");
+}
+
+// ---- parser rule IDs ----------------------------------------------------
+
+TEST(ParserRuleIdTest, UndrivenNetCarriesExactRuleId) {
+  try {
+    parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n");
+    FAIL() << "expected DiagnosticError";
+  } catch (const verify::DiagnosticError& e) {
+    EXPECT_EQ(e.diagnostic().rule, std::string(verify::kNetUndriven));
+    EXPECT_EQ(e.diagnostic().object, "ghost");
+  }
+}
+
+TEST(ParserRuleIdTest, MultiDrivenNetCarriesExactRuleId) {
+  try {
+    parse_bench("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n");
+    FAIL() << "expected DiagnosticError";
+  } catch (const verify::DiagnosticError& e) {
+    EXPECT_EQ(e.diagnostic().rule, std::string(verify::kNetMultiDriven));
+    EXPECT_EQ(e.diagnostic().object, "y");
+  }
+}
+
+// ---- fuzz_json error paths ---------------------------------------------
+
+std::string valid_fuzz_doc() {
+  std::ostringstream os;
+  fuzz::FuzzReport report;
+  report.config.seed = 3;
+  report.config.runs = 5;
+  report.runs_executed = 5;
+  fuzz::write_fuzz_json(os, report);
+  return os.str();
+}
+
+TEST(FuzzJsonErrorPathTest, FreshReportValidates) {
+  EXPECT_EQ(fuzz::validate_fuzz_json(parse(valid_fuzz_doc())), "");
+}
+
+TEST(FuzzJsonErrorPathTest, WrongSchemaStringIsNamedExactly) {
+  std::string doc = valid_fuzz_doc();
+  const std::size_t at = doc.find("merced-fuzz-v1");
+  doc.replace(at, std::string("merced-fuzz-v1").size(), "merced-fuzz-v9");
+  EXPECT_EQ(fuzz::validate_fuzz_json(parse(doc)), "unknown schema \"merced-fuzz-v9\"");
+}
+
+TEST(FuzzJsonErrorPathTest, SummaryDriftIsRejected) {
+  std::string doc = valid_fuzz_doc();
+  const std::size_t at = doc.find("\"failures\": 0");
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, std::string("\"failures\": 0").size(), "\"failures\": 3");
+  EXPECT_EQ(fuzz::validate_fuzz_json(parse(doc)),
+            "summary: counts disagree with the failures array");
+}
+
+TEST(FuzzJsonErrorPathTest, CleanFlagDriftIsRejected) {
+  std::string doc = valid_fuzz_doc();
+  const std::size_t at = doc.find("\"clean\": true");
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, std::string("\"clean\": true").size(), "\"clean\": false");
+  EXPECT_EQ(fuzz::validate_fuzz_json(parse(doc)),
+            "summary: \"clean\" disagrees with the failure count");
+}
+
+TEST(FuzzJsonErrorPathTest, OverexecutedRunsAreRejected) {
+  std::string doc = valid_fuzz_doc();
+  const std::size_t at = doc.find("\"runs_executed\": 5");
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, std::string("\"runs_executed\": 5").size(), "\"runs_executed\": 6");
+  EXPECT_EQ(fuzz::validate_fuzz_json(parse(doc)),
+            "summary: more runs executed than requested");
+}
+
+// ---- binary exit codes --------------------------------------------------
+
+#if defined(METRICS_CHECK_BIN) && defined(MERCED_FUZZ_BIN)
+
+int run(const std::string& cmd) {
+  const int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = std::string(::testing::TempDir()) + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(CliExitCodeTest, MetricsCheckUsageErrorsExitTwo) {
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN)), 2);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --bogus file.json"), 2);
+}
+
+TEST(CliExitCodeTest, MetricsCheckValidAndInvalidArtifacts) {
+  const std::string good = write_temp("good_verify.json", valid_verify_doc() + "\n");
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --verify " + good), 0);
+
+  const std::string truncated = write_temp("trunc_verify.json", "{\"schema\": ");
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --verify " + truncated), 1);
+
+  const std::string wrong = write_temp("wrong_fuzz.json", valid_verify_doc() + "\n");
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --fuzz " + wrong), 1);
+
+  const std::string good_fuzz = write_temp("good_fuzz.json", valid_fuzz_doc());
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --fuzz " + good_fuzz), 0);
+
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --verify /nonexistent.json"), 1);
+}
+
+TEST(CliExitCodeTest, MercedFuzzExitCodes) {
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --bogus 1"), 2);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --runs"), 2);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --runs -3"), 2);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --inject-defect none"), 2);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --replay --runs 1"), 2);
+  // A tiny pristine campaign is clean (exit 0); an injected defect is
+  // caught (exit 1 — failures found is the expected outcome).
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --seed 1 --runs 4 --minimize off"), 0);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) +
+                " --seed 1 --runs 4 --minimize off --inject-defect drop-cut"),
+            1);
+}
+
+#endif  // METRICS_CHECK_BIN && MERCED_FUZZ_BIN
+
+}  // namespace
+}  // namespace merced

@@ -1,0 +1,340 @@
+// End-to-end tests of the differential fuzzing subsystem: seed plumbing,
+// mutator validity, oracle-stack behaviour on pristine and defective
+// pipelines, the minimizer's signature-preservation contract, and corpus
+// dedup + replay. The three canned defects (drop-cut, skew-rho, lane-mask)
+// are the standing proof that the oracle stack rejects a broken pipeline
+// instead of rubber-stamping it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.h"
+#include "flow/saturate_network.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzz_json.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/mutator.h"
+#include "netlist/bench_io.h"
+#include "obs/json.h"
+#include "runtime/thread_pool.h"
+
+namespace merced {
+namespace {
+
+namespace fz = merced::fuzz;
+
+/// A fresh, empty scratch directory under the test temp root.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "merced_fuzz_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Equality of everything in a report except wall time.
+void expect_same_report(const fz::FuzzReport& a, const fz::FuzzReport& b) {
+  EXPECT_EQ(a.runs_executed, b.runs_executed);
+  EXPECT_EQ(a.unique_signatures, b.unique_signatures);
+  EXPECT_EQ(a.minimized, b.minimized);
+  EXPECT_EQ(a.corpus_new, b.corpus_new);
+  EXPECT_EQ(a.corpus_dupes, b.corpus_dupes);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    const fz::FuzzFailureRecord& fa = a.failures[i];
+    const fz::FuzzFailureRecord& fb = b.failures[i];
+    EXPECT_EQ(fa.run, fb.run) << "failure " << i;
+    EXPECT_EQ(fa.seed, fb.seed) << "failure " << i;
+    EXPECT_EQ(fa.oracle, fb.oracle) << "failure " << i;
+    EXPECT_EQ(fa.signature, fb.signature) << "failure " << i;
+    EXPECT_EQ(fa.detail, fb.detail) << "failure " << i;
+    EXPECT_EQ(fa.gates_before, fb.gates_before) << "failure " << i;
+    EXPECT_EQ(fa.gates_after, fb.gates_after) << "failure " << i;
+    EXPECT_EQ(fa.minimized, fb.minimized) << "failure " << i;
+  }
+}
+
+// ---- seed plumbing (satellite: reproducible across --jobs) --------------
+
+TEST(DeriveSeedTest, IndexZeroKeepsBaseSeed) {
+  EXPECT_EQ(derive_seed(0xdeadbeefULL, 0), 0xdeadbeefULL);
+  EXPECT_EQ(derive_seed(1, 0), 1u);
+}
+
+TEST(DeriveSeedTest, SharesTheMultiStartConvention) {
+  // derive_seed and flow::multi_start_seed implement the same decorrelation
+  // (splitmix64 over base + index, index 0 = base) — a batch driver can mix
+  // them without two seeds colliding in different ways.
+  for (std::uint64_t base : {1ULL, 42ULL, 0x9e3779b97f4a7c15ULL}) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      EXPECT_EQ(derive_seed(base, k), multi_start_seed(base, k));
+    }
+  }
+}
+
+TEST(DeriveSeedTest, NeighbouringIndicesDecorrelate) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 64; ++i) seeds.push_back(derive_seed(7, i));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end())
+      << "derived seeds must be pairwise distinct";
+}
+
+TEST(GeneratorSeedTest, SameSeedBitReproducibleAcrossJobs) {
+  // The same (base seed, run index) must yield the same circuit no matter
+  // how many threads consume the batch: generate run i's input on 1 and on
+  // 8 workers and compare the serialized netlists byte-for-byte.
+  constexpr std::size_t kRuns = 12;
+  auto generate_with = [&](std::size_t jobs) {
+    ThreadPool pool(jobs);
+    return parallel_map<std::string>(pool, kRuns, [&](std::size_t i) {
+      return write_bench(fz::fuzz_input(/*base_seed=*/5, i));
+    });
+  };
+  const std::vector<std::string> serial = generate_with(1);
+  const std::vector<std::string> parallel = generate_with(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "run " << i << " depends on thread count";
+  }
+}
+
+// ---- mutator -------------------------------------------------------------
+
+TEST(MutatorTest, AlwaysEmitsParseableNetlists) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Netlist base = generate_circuit(fz::random_fuzz_spec(seed));
+    fz::MutationStats stats;
+    const Netlist mutated = fz::mutate(base, seed * 31, /*count=*/6, &stats);
+    EXPECT_TRUE(mutated.finalized());
+    const std::string text = write_bench(mutated);
+    const Netlist reparsed = parse_bench(text, "mut");
+    EXPECT_EQ(reparsed.size(), mutated.size()) << "seed " << seed;
+    EXPECT_GT(stats.total_applied(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(MutatorTest, DeterministicInSeed) {
+  const Netlist base = generate_circuit(fz::random_fuzz_spec(9));
+  const std::string a = write_bench(fz::mutate(base, 1234, 5));
+  const std::string b = write_bench(fz::mutate(base, 1234, 5));
+  const std::string c = write_bench(fz::mutate(base, 1235, 5));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c) << "different mutation seeds should diverge";
+}
+
+// ---- oracle stack --------------------------------------------------------
+
+TEST(OracleTest, PristinePipelinePassesEveryOracle) {
+  const fz::OracleOptions opt;
+  for (std::size_t r = 0; r < 6; ++r) {
+    const auto failure = fz::run_oracles(fz::fuzz_input(/*base_seed=*/1, r), opt);
+    EXPECT_FALSE(failure.has_value())
+        << "run " << r << " failed: " << failure->signature << " — " << failure->detail;
+  }
+}
+
+struct DefectCase {
+  fz::FuzzDefect defect;
+  const char* oracle;
+  const char* signature;
+};
+
+class OracleDefectTest : public ::testing::TestWithParam<DefectCase> {};
+
+TEST_P(OracleDefectTest, CannedDefectIsCaughtWithStableSignature) {
+  const DefectCase& c = GetParam();
+  fz::OracleOptions opt;
+  opt.defect = c.defect;
+  bool caught = false;
+  for (std::size_t r = 0; r < 8 && !caught; ++r) {
+    if (const auto failure = fz::run_oracles(fz::fuzz_input(1, r), opt)) {
+      EXPECT_EQ(failure->oracle, c.oracle);
+      EXPECT_EQ(failure->signature, c.signature);
+      caught = true;
+    }
+  }
+  EXPECT_TRUE(caught) << "defect " << fz::to_string(c.defect)
+                      << " slipped past the oracle stack on 8 inputs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDefects, OracleDefectTest,
+    ::testing::Values(
+        DefectCase{fz::FuzzDefect::kDropCut, "verify", "verify:PART-CUT-MISSING"},
+        DefectCase{fz::FuzzDefect::kSkewRho, "verify", "verify:RET-NEG-WEIGHT"},
+        DefectCase{fz::FuzzDefect::kLaneMask, "kernel-conformance",
+                   "kernel-conformance:mask"}),
+    [](const ::testing::TestParamInfo<DefectCase>& info) {
+      std::string name(fz::to_string(info.param.defect));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ---- minimizer -----------------------------------------------------------
+
+TEST(MinimizerTest, ShrinksWhilePreservingTheExactSignature) {
+  fz::OracleOptions opt;
+  opt.defect = fz::FuzzDefect::kDropCut;
+  Netlist failing = fz::fuzz_input(1, 0);
+  const auto failure = fz::run_oracles(failing, opt);
+  ASSERT_TRUE(failure.has_value());
+
+  const fz::MinimizeResult shrunk =
+      fz::minimize_failure(failing, opt, failure->signature);
+  EXPECT_EQ(shrunk.gates_before, failing.size());
+  EXPECT_LT(shrunk.gates_after, shrunk.gates_before)
+      << "minimizer made no progress on a " << failing.size() << "-gate input";
+  EXPECT_GT(shrunk.rounds, 0u);
+
+  // The shrunk witness still fails with the identical signature.
+  const auto replay = fz::run_oracles(shrunk.netlist, opt);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->signature, failure->signature);
+}
+
+TEST(MinimizerTest, RejectsInputsThatDontReproduce) {
+  const fz::OracleOptions opt;  // pristine: nothing fails
+  EXPECT_THROW(
+      fz::minimize_failure(fz::fuzz_input(1, 0), opt, "verify:PART-CUT-MISSING"),
+      std::invalid_argument);
+}
+
+// ---- corpus --------------------------------------------------------------
+
+TEST(CorpusTest, DeduplicatesBySignatureAndRoundTrips) {
+  const std::string dir = scratch_dir("dedup");
+  fz::Corpus corpus(dir);
+  const Netlist witness = fz::fuzz_input(1, 0);
+
+  const auto first = corpus.add(witness, "verify:PART-CUT-MISSING", "verify",
+                                fz::FuzzDefect::kDropCut, /*seed=*/1);
+  ASSERT_TRUE(first.has_value());
+  const auto dupe = corpus.add(witness, "verify:PART-CUT-MISSING", "verify",
+                               fz::FuzzDefect::kDropCut, /*seed=*/2);
+  EXPECT_FALSE(dupe.has_value()) << "same signature must deduplicate";
+
+  const std::vector<fz::CorpusEntry> entries = corpus.load();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].signature, "verify:PART-CUT-MISSING");
+  EXPECT_EQ(entries[0].oracle, "verify");
+  EXPECT_EQ(entries[0].defect, fz::FuzzDefect::kDropCut);
+  EXPECT_EQ(entries[0].seed, 1u);
+  EXPECT_TRUE(entries[0].expect_fail);
+  // The entry file itself is a plain parseable .bench netlist.
+  EXPECT_NO_THROW(parse_bench(entries[0].bench_text, "entry"));
+}
+
+TEST(CorpusTest, ReplayChecksExpectations) {
+  const std::string dir = scratch_dir("replay");
+  fz::Corpus corpus(dir);
+  const Netlist witness = fz::fuzz_input(1, 0);
+
+  // Entry 1: fails with drop-cut injected — replay must reproduce it.
+  ASSERT_TRUE(corpus.add(witness, "verify:PART-CUT-MISSING", "verify",
+                         fz::FuzzDefect::kDropCut, 1));
+  // Entry 2: a fixed-regression (expect clean) on the pristine pipeline.
+  ASSERT_TRUE(corpus.add(witness, "", "", fz::FuzzDefect::kNone, 1,
+                         /*expect_fail=*/false));
+
+  const auto outcomes = fz::replay_corpus(corpus.load(), fz::OracleOptions{});
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const fz::ReplayOutcome& o : outcomes) {
+    EXPECT_TRUE(o.ok) << o.entry.path << ": " << o.detail;
+  }
+}
+
+TEST(CorpusTest, ReplayFlagsSignatureMismatch) {
+  const std::string dir = scratch_dir("mismatch");
+  fz::Corpus corpus(dir);
+  // Claimed failing signature, but no defect recorded: on a healthy tree
+  // the oracles pass and the replay must flag the stale expectation.
+  ASSERT_TRUE(corpus.add(fz::fuzz_input(1, 0), "verify:PART-CUT-MISSING", "verify",
+                         fz::FuzzDefect::kNone, 1));
+  const auto outcomes = fz::replay_corpus(corpus.load(), fz::OracleOptions{});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok);
+}
+
+#ifdef MERCED_CORPUS_DIR
+TEST(CorpusTest, CommittedRegressionCorpusReplaysAsExpected) {
+  // The checked-in corpus (tests/corpus) is the standing regression set: 3
+  // expect-fail witnesses (one per canned defect) plus a fixed-clean guard.
+  const fz::Corpus corpus(MERCED_CORPUS_DIR);
+  const std::vector<fz::CorpusEntry> entries = corpus.load();
+  EXPECT_GE(entries.size(), 4u) << "committed corpus lost entries";
+  const auto outcomes = fz::replay_corpus(entries, fz::OracleOptions{});
+  for (const fz::ReplayOutcome& o : outcomes) {
+    EXPECT_TRUE(o.ok) << o.entry.path << ": " << o.detail;
+  }
+}
+#endif
+
+// ---- campaign driver -----------------------------------------------------
+
+TEST(FuzzCampaignTest, ReportIsIdenticalForAnyJobsCount) {
+  fz::FuzzConfig cfg;
+  cfg.seed = 1;
+  cfg.runs = 16;
+  cfg.minimize = false;  // keep the defect campaign fast
+  cfg.oracle.defect = fz::FuzzDefect::kDropCut;
+
+  fz::FuzzConfig serial = cfg;
+  serial.jobs = 1;
+  fz::FuzzConfig parallel = cfg;
+  parallel.jobs = 8;
+  const fz::FuzzReport a = fz::run_fuzz(serial);
+  const fz::FuzzReport b = fz::run_fuzz(parallel);
+  EXPECT_FALSE(a.failures.empty()) << "drop-cut campaign found nothing";
+  expect_same_report(a, b);
+}
+
+TEST(FuzzCampaignTest, EndToEndDefectYieldsReplayableMinimizedCorpusEntry) {
+  const std::string dir = scratch_dir("e2e");
+  fz::FuzzConfig cfg;
+  cfg.seed = 1;
+  cfg.runs = 6;
+  cfg.jobs = 4;
+  cfg.corpus_dir = dir;
+  cfg.oracle.defect = fz::FuzzDefect::kSkewRho;
+
+  const fz::FuzzReport report = fz::run_fuzz(cfg);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.corpus_new, report.unique_signatures);
+  EXPECT_GT(report.minimized, 0u);
+  const fz::FuzzFailureRecord& f = report.failures.front();
+  EXPECT_LT(f.gates_after, f.gates_before);
+
+  // The stored minimized entry replays to the exact failing oracle.
+  const fz::Corpus corpus(dir);
+  const auto outcomes = fz::replay_corpus(corpus.load(), fz::OracleOptions{});
+  ASSERT_FALSE(outcomes.empty());
+  for (const fz::ReplayOutcome& o : outcomes) {
+    EXPECT_TRUE(o.ok) << o.entry.path << ": " << o.detail;
+    EXPECT_EQ(o.entry.signature, f.signature);
+  }
+}
+
+TEST(FuzzCampaignTest, PristineCampaignIsCleanAndSerializes) {
+  fz::FuzzConfig cfg;
+  cfg.seed = 3;
+  cfg.runs = 12;
+  cfg.jobs = 4;
+  const fz::FuzzReport report = fz::run_fuzz(cfg);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.runs_executed, cfg.runs);
+
+  std::ostringstream os;
+  fz::write_fuzz_json(os, report);
+  EXPECT_EQ(fz::validate_fuzz_json(obs::JsonValue::parse(os.str())), "")
+      << os.str();
+}
+
+}  // namespace
+}  // namespace merced

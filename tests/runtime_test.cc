@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -151,6 +152,45 @@ TEST(ThreadPoolStatsTest, ResetStatsZeroesEverySlot) {
   std::uint64_t total = 0;
   for (const WorkerStats& w : pool.stats()) total += w.tasks;
   EXPECT_EQ(total, 10u);
+}
+
+TEST(ThreadPoolTest, ParallelMapZeroTasksReturnsEmpty) {
+  ThreadPool pool(4);
+  const auto out = parallel_map<int>(pool, 0, [](std::size_t) -> int {
+    ADD_FAILURE() << "body must not run for n == 0";
+    return 0;
+  });
+  EXPECT_TRUE(out.empty());
+  // The pool is still usable afterwards.
+  EXPECT_EQ(parallel_map<int>(pool, 3, [](std::size_t i) { return int(i); }),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, MoreJobsThanTasks) {
+  // 8 workers, 3 indices: every index still runs exactly once and lands in
+  // its own slot; the 5 idle workers must not deadlock the join.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(parallel_map<std::size_t>(pool, 1, [](std::size_t i) { return i + 7; }),
+            (std::vector<std::size_t>{7}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesOutOfParallelMap) {
+  ThreadPool pool(4);
+  try {
+    (void)parallel_map<int>(pool, 100, [](std::size_t i) -> int {
+      if (i == 42) throw std::runtime_error("map body failed at 42");
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected the body's exception to escape parallel_map";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+  // The pool survives the failed loop and runs the next one normally.
+  const auto ok = parallel_map<int>(pool, 5, [](std::size_t i) { return int(i) * 2; });
+  EXPECT_EQ(ok, (std::vector<int>{0, 2, 4, 6, 8}));
 }
 
 TEST(ThreadPoolTest, DeterministicReductionAcrossThreadCounts) {
