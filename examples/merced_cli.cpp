@@ -6,6 +6,7 @@
 //              [--jobs N] [--starts K]
 //              [--trace FILE] [--metrics FILE]
 //              [--verify] [--verify-json FILE] [--inject-defect KIND]
+//              [--prove-coverage] [--prove-json FILE]
 //
 // <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
 // or a path to an ISCAS89 .bench file. Every flag accepts both
@@ -32,6 +33,17 @@
 // exists so CI can prove the verifier actually rejects a broken artifact
 // instead of rubber-stamping everything. Kinds: drop-cut (remove a claimed
 // cut net), skew-rho (perturb one retiming lag).
+//
+// --prove-coverage runs the SAT oracles (DESIGN.md "SAT oracle") after the
+// compile: the retiming plan is proved cycle-exact equivalent to the
+// original machine, and every CUT's coverage gap is closed — each fault the
+// exhaustive sweep leaves undetected gets an UNSAT redundancy certificate,
+// each SAT verdict's detecting vector is replayed on the event-driven
+// kernel. Any refutation, unknown, or engine disagreement exits 1.
+// --prove-json FILE writes the merced-prove-v1 artifact (implies
+// --prove-coverage); metrics_check --prove validates it. The proofs run on
+// the *post-injection* artifact, so --inject-defect skew-rho is flagged by
+// the equivalence checker as well as the structural verifier.
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +59,9 @@
 #include "netlist/bench_io.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "sat/equivalence.h"
+#include "sat/prove_json.h"
+#include "sat/redundancy.h"
 #include "verify/verify_json.h"
 
 namespace {
@@ -57,6 +72,7 @@ void usage() {
                "                  [--jobs N] [--starts K]\n"
                "                  [--trace FILE] [--metrics FILE]\n"
                "                  [--verify] [--verify-json FILE] [--inject-defect KIND]\n"
+               "                  [--prove-coverage] [--prove-json FILE]\n"
                "defect kinds (for --inject-defect): drop-cut, skew-rho\n"
                "bundled circuits:";
   for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
@@ -109,13 +125,19 @@ int main(int argc, char** argv) {
   bool run_verify = false;
   std::optional<std::string> verify_json_path;
   std::optional<std::string> inject_defect;
+  bool run_prove = false;
+  std::optional<std::string> prove_json_path;
   try {
     for (int i = 2; i < argc; ++i) {
       std::string_view flag = argv[i];
       std::string_view value;
-      // --verify is the one boolean flag; it never consumes a value.
+      // Boolean flags never consume a value.
       if (flag == "--verify") {
         run_verify = true;
+        continue;
+      }
+      if (flag == "--prove-coverage") {
+        run_prove = true;
         continue;
       }
       // Accept "--flag=value" and "--flag value".
@@ -151,6 +173,9 @@ int main(int argc, char** argv) {
       } else if (flag == "--verify-json") {
         verify_json_path = std::string(value);
         run_verify = true;
+      } else if (flag == "--prove-json") {
+        prove_json_path = std::string(value);
+        run_prove = true;
       } else if (flag == "--inject-defect") {
         if (value != "drop-cut" && value != "skew-rho") {
           throw BadFlag{"--inject-defect expects drop-cut or skew-rho, got '" +
@@ -216,6 +241,62 @@ int main(int argc, char** argv) {
       verify_clean = report.clean();
     }
 
+    // SAT oracles run on the post-injection artifact, so a skewed rho is
+    // flagged here (kBuildFailed) as well as by the structural verifier.
+    bool prove_clean = true;
+    if (run_prove) {
+      const CircuitGraph graph(netlist);
+
+      const sat::EquivalenceResult eq =
+          sat::check_retiming_equivalence(graph, result.retiming.rho);
+      std::cout << "  equivalence: "
+                << (eq.status == sat::EquivStatus::kProved     ? "proved"
+                    : eq.status == sat::EquivStatus::kRefuted  ? "REFUTED"
+                    : eq.status == sat::EquivStatus::kUnknown  ? "UNKNOWN"
+                                                               : "BUILD FAILED")
+                << " (" << eq.retimed_registers << " retimed registers, "
+                << eq.solves << " solves, " << eq.stats.conflicts << " conflicts)\n";
+      if (!eq.error.empty()) std::cerr << "  equivalence: " << eq.error << "\n";
+      if (!eq.equivalent()) prove_clean = false;
+
+      constexpr std::size_t kSweepCap = 22;
+      std::size_t widest = 0;
+      for (std::size_t iota : result.partition_inputs) widest = std::max(widest, iota);
+      std::vector<sat::CutProof> proofs;
+      if (result.feasible && widest <= kSweepCap) {
+        sat::ProveOptions popt;
+        popt.max_inputs = kSweepCap;
+        popt.jobs = config.jobs;
+        std::size_t total = 0, detected = 0, redundant = 0, unexplained = 0;
+        for (std::size_t ci = 0; ci < result.partitions.clusters.size(); ++ci) {
+          proofs.push_back(sat::prove_cut_coverage(graph, result.partitions, ci, popt));
+          const sat::CutProof& p = proofs.back();
+          total += p.total_faults;
+          detected += p.detected;
+          redundant += p.proved_redundant;
+          unexplained += p.unknown + p.inconsistent;
+          if (!p.fully_explained()) prove_clean = false;
+        }
+        std::cout << "  prove: " << detected << "/" << total << " faults detected, "
+                  << redundant << " proved redundant, " << unexplained
+                  << " unexplained across " << proofs.size() << " stations\n";
+      } else {
+        std::cout << "  prove: coverage proof skipped (widest CUT has " << widest
+                  << " inputs, sweep cap is " << kSweepCap << ")\n";
+      }
+
+      if (prove_json_path) {
+        sat::ProveRunInfo run;
+        run.tool = "merced_cli";
+        run.circuit = target;
+        run.lk = config.lk;
+        std::ofstream out(*prove_json_path);
+        if (!out) throw std::runtime_error("cannot write prove file " + *prove_json_path);
+        sat::write_prove_json(out, proofs, run);
+        std::cout << "  wrote prove report: " << *prove_json_path << "\n";
+      }
+    }
+
     if (observing) {
       // Sweep every CUT pseudo-exhaustively so the trace shows the
       // per-CUT coverage phase, not just the compile. Skipped (with a
@@ -259,7 +340,7 @@ int main(int argc, char** argv) {
         std::cout << "  wrote metrics: " << *metrics_path << "\n";
       }
     }
-    if (!verify_clean) return 1;
+    if (!verify_clean || !prove_clean) return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

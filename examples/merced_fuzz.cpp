@@ -9,7 +9,8 @@
 // circuits alternating with semantically mutated variants) and pushes each
 // through the full oracle stack: serial-vs-parallel compile parity, the
 // independent static verifier, event-driven-kernel vs naive coverage
-// conformance, and PpetSession coverage vs direct fault simulation.
+// conformance, PpetSession coverage vs direct fault simulation, and the
+// SAT equivalence miter of the retiming plan.
 // Failures are minimized (delta debugging preserving the exact failing
 // oracle signature) and stored in --corpus DIR, deduplicated by signature.
 // Exit is 0 when every run passed clean, 1 otherwise.
@@ -19,8 +20,8 @@
 // --time-budget caps wall time instead (content-reproducible but not
 // length-reproducible; see EXPERIMENTS.md "Fuzzing").
 //
-// --inject-defect KIND (drop-cut, skew-rho, lane-mask) corrupts one
-// pipeline stage on purpose so CI can prove the oracle stack catches it —
+// --inject-defect KIND (drop-cut, skew-rho, lane-mask, skew-tap) corrupts
+// one pipeline stage on purpose so CI can prove the oracle stack catches it —
 // in this mode exit 1 (failures found) is the *expected* outcome.
 //
 // --replay re-runs every entry of --corpus DIR against the current tree
@@ -50,7 +51,7 @@ void usage() {
       << "usage: merced_fuzz [--seed N] [--runs N] [--time-budget SECONDS] [--jobs N]\n"
          "                   [--minimize on|off] [--corpus DIR] [--inject-defect KIND]\n"
          "                   [--report FILE] [--metrics FILE] [--replay]\n"
-         "defect kinds (for --inject-defect): drop-cut, skew-rho, lane-mask\n";
+         "defect kinds (for --inject-defect): drop-cut, skew-rho, lane-mask, skew-tap\n";
 }
 
 /// A flag value that failed strict parsing; caught in main → usage error.
@@ -156,7 +157,7 @@ int main(int argc, char** argv) {
       } else if (flag == "--inject-defect") {
         if (!fuzz::defect_from_string(value, cfg.oracle.defect) ||
             cfg.oracle.defect == fuzz::FuzzDefect::kNone) {
-          throw BadFlag{"--inject-defect expects drop-cut, skew-rho or lane-mask, got '" +
+          throw BadFlag{"--inject-defect expects drop-cut, skew-rho, lane-mask or skew-tap, got '" +
                         std::string(value) + "'"};
         }
       } else if (flag == "--report") {

@@ -2,13 +2,13 @@
 //
 // Usage:
 //   metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]...
-//                 [--fuzz FILE]...
+//                 [--fuzz FILE]... [--prove FILE]...
 //
 // Parses each file with the obs JSON reader and validates it against the
 // corresponding schema (merced-metrics-v1 for --metrics, the Chrome trace
 // event shape for --trace, merced-verify-v1 for --verify, merced-fuzz-v1
-// for --fuzz). Prints one line per file; exits non-zero on the first
-// unreadable or invalid artifact. CI runs this against freshly produced
+// for --fuzz, merced-prove-v1 for --prove). Prints one line per file;
+// exits non-zero on the first unreadable or invalid artifact. CI runs this against freshly produced
 // merced_cli and merced_fuzz output so a schema drift fails the build
 // instead of silently breaking downstream diff tooling.
 #include <fstream>
@@ -19,6 +19,7 @@
 #include "fuzz/fuzz_json.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "sat/prove_json.h"
 #include "verify/verify_json.h"
 
 namespace {
@@ -41,6 +42,7 @@ int check(const std::string& kind, const std::string& path) {
   const std::string err = kind == "--metrics" ? merced::obs::validate_metrics_json(doc)
                           : kind == "--trace" ? merced::obs::validate_trace_json(doc)
                           : kind == "--fuzz"  ? merced::fuzz::validate_fuzz_json(doc)
+                          : kind == "--prove" ? merced::sat::validate_prove_json(doc)
                                               : merced::verify::validate_verify_json(doc);
   if (!err.empty()) {
     std::cerr << "error: " << path << ": " << err << "\n";
@@ -55,7 +57,7 @@ int check(const std::string& kind, const std::string& path) {
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]... "
-      "[--fuzz FILE]...\n";
+      "[--fuzz FILE]... [--prove FILE]...\n";
   if (argc < 3) {
     std::cerr << kUsage;
     return 2;
@@ -63,7 +65,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string kind = argv[i];
     if (kind != "--metrics" && kind != "--trace" && kind != "--verify" &&
-        kind != "--fuzz") {
+        kind != "--fuzz" && kind != "--prove") {
       std::cerr << kUsage;
       return 2;
     }

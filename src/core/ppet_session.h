@@ -60,6 +60,10 @@ class PpetSession {
   std::size_t num_stations() const noexcept { return stations_.size(); }
   const CutStation& station(std::size_t i) const { return stations_.at(i); }
 
+  /// The combinational cone of station `i`'s CUT — the object the SAT
+  /// redundancy prover encodes (sat/redundancy.h).
+  const ConeSimulator& cone(std::size_t i) const { return cones_.at(i); }
+
   /// Total testing time of the pipe: 2^max(ι) (Figure 1b).
   std::uint64_t session_cycles() const noexcept;
 

@@ -8,6 +8,8 @@
 #include "core/ppet_session.h"
 #include "graph/circuit_graph.h"
 #include "obs/obs.h"
+#include "retiming/retime_graph.h"
+#include "sat/equivalence.h"
 #include "sim/cone.h"
 #include "sim/fault.h"
 #include "verify/diagnostic.h"
@@ -77,13 +79,14 @@ std::string_view to_string(FuzzDefect defect) noexcept {
     case FuzzDefect::kDropCut: return "drop-cut";
     case FuzzDefect::kSkewRho: return "skew-rho";
     case FuzzDefect::kLaneMask: return "lane-mask";
+    case FuzzDefect::kSkewTap: return "skew-tap";
   }
   return "unknown";
 }
 
 bool defect_from_string(std::string_view name, FuzzDefect& out) noexcept {
   for (FuzzDefect d : {FuzzDefect::kNone, FuzzDefect::kDropCut, FuzzDefect::kSkewRho,
-                       FuzzDefect::kLaneMask}) {
+                       FuzzDefect::kLaneMask, FuzzDefect::kSkewTap}) {
     if (name == to_string(d)) {
       out = d;
       return true;
@@ -210,6 +213,40 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
                 std::to_string(direct.detected) + " of " +
                 std::to_string(direct.total_faults) + " faults detected)"};
       }
+    }
+  }
+
+  // ---- oracle 5: SAT equivalence of the retiming plan --------------------
+  // An engine that shares no code with the retiming pipeline: the plan is
+  // applied and mitered against the original machine. The skew-tap defect
+  // corrupts exactly this oracle's warm-up tap formula — the plan stays
+  // legal, so only the miter can notice.
+  {
+    sat::EquivalenceOptions eq_opt;
+    if (opt.defect == FuzzDefect::kSkewTap) eq_opt.tap_skew = 1;
+    Retiming rho = result.retiming.rho;
+    if (rho.empty()) rho.assign(RetimeGraph(graph).num_vertices(), 0);  // no plan = identity
+    const sat::EquivalenceResult eq = sat::check_retiming_equivalence(graph, rho, eq_opt);
+    switch (eq.status) {
+      case sat::EquivStatus::kProved:
+        break;
+      case sat::EquivStatus::kRefuted: {
+        std::string detail = "retimed machine is not cycle-exact equivalent (" +
+                             std::to_string(eq.retimed_registers) + " retimed registers, " +
+                             std::to_string(eq.warmup_frames) + " warm-up frames";
+        if (eq.counterexample) {
+          detail += eq.counterexample->confirmed
+                        ? "; counterexample confirmed by replay"
+                        : "; counterexample NOT confirmed by replay — miter corrupted";
+        }
+        return OracleFailure{"sat-equivalence", "sat-equivalence:refuted", detail + ")"};
+      }
+      case sat::EquivStatus::kUnknown:
+        return OracleFailure{"sat-equivalence", "sat-equivalence:unknown",
+                             "equivalence miter exhausted its conflict budget"};
+      case sat::EquivStatus::kBuildFailed:
+        return OracleFailure{"sat-equivalence", "sat-equivalence:build",
+                             "retimed machine failed to build: " + eq.error};
     }
   }
 

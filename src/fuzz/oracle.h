@@ -20,7 +20,12 @@
 //                           both;
 //   4. session-coverage   — PpetSession::measure_coverage equals a direct
 //                           per-CUT fault simulation done outside the
-//                           session machinery.
+//                           session machinery;
+//   5. sat-equivalence    — the compile's retiming plan is proved
+//                           cycle-exact equivalent to the original machine
+//                           by the SAT miter (sat/equivalence.h), an
+//                           engine that shares no code with the retiming
+//                           pipeline it judges.
 //
 // A failure carries a stable *signature* (oracle name + the most specific
 // stable detail, e.g. the verify rule ID) used for corpus deduplication
@@ -31,8 +36,11 @@
 // and the oracles — drop-cut and skew-rho corrupt the artifact the verify
 // oracle sees (mirroring merced_cli --inject-defect), lane-mask corrupts
 // the lane mask of the masked sweep in oracle 3 (simulating the classic
-// off-by-one in lane_mask()'s exponent). CI and fuzz_driver_test assert
-// each defect yields a failure whose minimized corpus entry replays.
+// off-by-one in lane_mask()'s exponent), and skew-tap shifts the
+// equivalence miter's warm-up tap frames by one cycle (the off-by-one in
+// the RegisterOrigin correspondence that only oracle 5 can see — the plan
+// itself stays legal, so verify waves it through). CI and fuzz_driver_test
+// assert each defect yields a failure whose minimized corpus entry replays.
 #pragma once
 
 #include <cstdint>
@@ -45,12 +53,12 @@
 namespace merced::fuzz {
 
 /// Canned pipeline defects (see file comment).
-enum class FuzzDefect : std::uint8_t { kNone, kDropCut, kSkewRho, kLaneMask };
+enum class FuzzDefect : std::uint8_t { kNone, kDropCut, kSkewRho, kLaneMask, kSkewTap };
 
 std::string_view to_string(FuzzDefect defect) noexcept;
 
-/// Parses "none" / "drop-cut" / "skew-rho" / "lane-mask". Returns false on
-/// unknown names.
+/// Parses "none" / "drop-cut" / "skew-rho" / "lane-mask" / "skew-tap".
+/// Returns false on unknown names.
 bool defect_from_string(std::string_view name, FuzzDefect& out) noexcept;
 
 /// One oracle failure. `signature` is stable across runs and across

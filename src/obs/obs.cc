@@ -85,6 +85,14 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "fuzz.oracle_failures",
     "fuzz.minimizer_attempts",
     "fuzz.corpus_entries",
+    "sat.solves",
+    "sat.conflicts",
+    "sat.decisions",
+    "sat.propagations",
+    "sat.learned_clauses",
+    "prove.redundant_proved",
+    "prove.vectors_replayed",
+    "equiv.checks",
 };
 
 void json_escape(std::ostream& os, const char* s) {

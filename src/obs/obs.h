@@ -65,6 +65,14 @@ enum class Counter : std::uint32_t {
   kFuzzOracleFailures,      ///< fuzz runs on which some oracle fired
   kFuzzMinimizerAttempts,   ///< oracle evaluations spent by the minimizer
   kFuzzCorpusEntries,       ///< new (deduplicated) corpus entries written
+  kSatSolves,               ///< Solver::solve calls across all SAT oracles
+  kSatConflicts,            ///< CDCL conflicts across all solves
+  kSatDecisions,            ///< CDCL decisions across all solves
+  kSatPropagations,         ///< literals enqueued across all solves
+  kSatLearnedClauses,       ///< clauses learnt across all solves
+  kProveRedundantProved,    ///< undetected faults proved redundant (UNSAT)
+  kProveVectorsReplayed,    ///< SAT detecting vectors confirmed on the kernel
+  kEquivChecks,             ///< retiming equivalence miters solved
   kCount                    ///< sentinel, not a counter
 };
 

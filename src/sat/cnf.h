@@ -1,0 +1,79 @@
+// CNF primitives for the in-repo SAT engine — literals, clauses, formulas.
+//
+// The encoding follows the MiniSat/dawn convention: variable v has two
+// literals coded 2v (positive) and 2v+1 (negated), so a literal's variable
+// is code >> 1 and its sign is code & 1. Everything downstream (the CDCL
+// solver, the Tseitin encoder, the brute-force oracles in sat_test) speaks
+// this one representation; a Cnf is just a variable count plus a clause
+// list, cheap to copy into the test oracles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace merced::sat {
+
+/// 0-based variable index.
+using Var = std::uint32_t;
+
+inline constexpr Var kNoVar = static_cast<Var>(-1);
+
+/// A literal: variable + sign, packed as (var << 1) | negated.
+struct Lit {
+  std::uint32_t code = static_cast<std::uint32_t>(-1);
+
+  constexpr Var var() const noexcept { return code >> 1; }
+  constexpr bool negated() const noexcept { return (code & 1) != 0; }
+  friend constexpr bool operator==(Lit, Lit) = default;
+};
+
+inline constexpr Lit kNoLit{};
+
+constexpr Lit make_lit(Var v, bool negated = false) noexcept {
+  return Lit{(v << 1) | static_cast<std::uint32_t>(negated)};
+}
+
+/// Complement literal.
+constexpr Lit operator~(Lit l) noexcept { return Lit{l.code ^ 1u}; }
+
+/// Flip the literal iff `flip` — handy when encoding NAND/NOR/XNOR as the
+/// complement of their positive sibling.
+constexpr Lit operator^(Lit l, bool flip) noexcept {
+  return Lit{l.code ^ static_cast<std::uint32_t>(flip)};
+}
+
+/// One disjunction of literals.
+using Clause = std::vector<Lit>;
+
+/// A CNF formula: `num_vars` variables (0..num_vars-1) and a clause list.
+/// The truth-table / DPLL oracles in sat_test evaluate this directly; the
+/// CDCL solver ingests it clause by clause.
+struct Cnf {
+  std::size_t num_vars = 0;
+  std::vector<Clause> clauses;
+
+  Var new_var() { return static_cast<Var>(num_vars++); }
+  void add(Clause c) { clauses.push_back(std::move(c)); }
+};
+
+/// Evaluates `clause` under a full assignment (`assignment[v]` = value of
+/// variable v). True iff some literal is satisfied.
+inline bool clause_satisfied(std::span<const Lit> clause,
+                             const std::vector<bool>& assignment) {
+  for (const Lit l : clause) {
+    if (assignment[l.var()] != l.negated()) return true;
+  }
+  return false;
+}
+
+/// Evaluates the whole formula under a full assignment.
+inline bool cnf_satisfied(const Cnf& cnf, const std::vector<bool>& assignment) {
+  for (const Clause& c : cnf.clauses) {
+    if (!clause_satisfied(c, assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace merced::sat

@@ -1,0 +1,312 @@
+#include "sat/equivalence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "retiming/retimed_netlist.h"
+#include "sat/tseitin.h"
+#include "sim/simulator.h"
+
+namespace merced::sat {
+
+namespace {
+
+void accumulate(SolverStats& into, const SolverStats& s) {
+  into.decisions += s.decisions;
+  into.propagations += s.propagations;
+  into.conflicts += s.conflicts;
+  into.learned_clauses += s.learned_clauses;
+  into.learned_literals += s.learned_literals;
+  into.max_trail = std::max(into.max_trail, s.max_trail);
+}
+
+/// Pairing of the two netlists' PIs and POs (by net name; apply_retiming
+/// preserves names).
+struct IoMap {
+  std::vector<std::size_t> rt_input_src;  ///< per retimed input: original input index
+  std::vector<GateId> orig_po;
+  std::vector<GateId> rt_po;
+};
+
+IoMap map_io(const Netlist& orig, const Netlist& rt) {
+  IoMap io;
+  std::vector<std::size_t> index_of(orig.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < orig.inputs().size(); ++i) index_of[orig.inputs()[i]] = i;
+  io.rt_input_src.reserve(rt.inputs().size());
+  for (const GateId id : rt.inputs()) {
+    const GateId src = orig.find(rt.gate(id).name);
+    if (src == kNoGate || index_of[src] == static_cast<std::size_t>(-1)) {
+      throw std::logic_error("equivalence: retimed PI '" + rt.gate(id).name +
+                             "' has no original counterpart");
+    }
+    io.rt_input_src.push_back(index_of[src]);
+  }
+  for (const GateId id : orig.outputs()) {
+    const GateId r = rt.find(orig.gate(id).name);
+    if (r == kNoGate || !rt.is_output(r)) {
+      throw std::logic_error("equivalence: retimed PO '" + orig.gate(id).name +
+                             "' has no original counterpart");
+    }
+    io.orig_po.push_back(id);
+    io.rt_po.push_back(r);
+  }
+  return io;
+}
+
+/// Unrolls `orig` symbolically over `frames` frames. `initial` is the state
+/// presented during frame 1 (concrete false, or free variables for the
+/// induction window). Fills `pis[f-1]` with the frame-f PI literals and
+/// returns the per-frame full gate-literal vectors.
+std::vector<std::vector<Lit>> unroll(CircuitEncoder& enc, const Netlist& orig,
+                                     std::size_t frames, std::span<const Lit> initial,
+                                     std::vector<std::vector<Lit>>& pis) {
+  std::vector<std::vector<Lit>> values;
+  values.reserve(frames);
+  pis.assign(frames, {});
+  std::vector<Lit> state(initial.begin(), initial.end());
+  for (std::size_t f = 1; f <= frames; ++f) {
+    std::vector<Lit>& in = pis[f - 1];
+    in.reserve(orig.inputs().size());
+    for (std::size_t i = 0; i < orig.inputs().size(); ++i) in.push_back(enc.fresh());
+    values.push_back(encode_frame(enc, orig, in, state));
+    for (std::size_t i = 0; i < orig.dffs().size(); ++i) {
+      state[i] = values.back()[orig.gate(orig.dffs()[i]).fanins.at(0)];
+    }
+  }
+  return values;
+}
+
+/// Replays a base-miter model on the two concrete machines: original from
+/// all-zero, retimed from its honestly computed warm initial state. True
+/// iff some PO really diverges during the check frames.
+bool confirm_counterexample(const Netlist& orig, const RetimedCircuit& rt,
+                            const IoMap& io,
+                            const std::vector<std::vector<bool>>& inputs,
+                            std::size_t warmup) {
+  try {
+    Simulator so(orig);
+    so.set_state(std::vector<bool>(orig.dffs().size(), false));
+    const std::span<const std::vector<bool>> warm(inputs.data(), warmup);
+    const std::vector<bool> rstate = compute_retimed_initial_state(
+        orig, rt, std::vector<bool>(orig.dffs().size(), false), warm);
+    Simulator sr(rt.netlist);
+    sr.set_state(rstate);
+    for (std::size_t f = 1; f <= inputs.size(); ++f) {
+      so.step(inputs[f - 1]);
+      if (f <= warmup) continue;
+      std::vector<bool> rin(io.rt_input_src.size());
+      for (std::size_t j = 0; j < rin.size(); ++j) {
+        rin[j] = inputs[f - 1][io.rt_input_src[j]];
+      }
+      sr.step(rin);
+      for (std::size_t o = 0; o < io.orig_po.size(); ++o) {
+        if (so.value(io.orig_po[o]) != sr.value(io.rt_po[o])) return true;
+      }
+    }
+  } catch (const std::exception&) {
+    return false;  // warm-state computation rejected the plan: not confirmable
+  }
+  return false;
+}
+
+}  // namespace
+
+EquivalenceResult check_retiming_equivalence(const CircuitGraph& graph,
+                                             const Retiming& rho,
+                                             const EquivalenceOptions& opt) {
+  MERCED_SPAN("check_retiming_equivalence");
+  EquivalenceResult res;
+  const Netlist& orig = graph.netlist();
+
+  const RetimeGraph rgraph(graph);
+  RetimedCircuit rt;
+  try {
+    rt = apply_retiming(graph, rgraph, rho);
+  } catch (const std::exception& e) {
+    res.error = e.what();
+    MERCED_COUNT(obs::Counter::kEquivChecks, 1);
+    return res;  // kBuildFailed — the plan itself is rejected
+  }
+  const Netlist& rnl = rt.netlist;
+  res.retimed_registers = rt.origins.size();
+
+  const std::size_t T = std::max<std::size_t>(1, opt.check_frames);
+  res.check_frames = T;
+
+  // W: smallest warm-up putting every tap frame at >= 1 (tap frame of the
+  // register (u, k, ρ) presented during frame f is f − k − ρ).
+  std::int64_t max_kr = 0;
+  for (const auto& o : rt.origins) {
+    max_kr = std::max<std::int64_t>(max_kr, static_cast<std::int64_t>(o.depth) + o.rho);
+  }
+  const std::int64_t W = max_kr;
+  res.warmup_frames = static_cast<std::size_t>(W);
+  const auto tap_frame = [&](const RetimedCircuit::RegisterOrigin& o,
+                             std::int64_t f) -> std::int64_t {
+    return f - o.depth - o.rho + opt.tap_skew;
+  };
+
+  std::int64_t frames = W + static_cast<std::int64_t>(T);
+  for (const auto& o : rt.origins) frames = std::max(frames, tap_frame(o, W + 1));
+  if (frames > static_cast<std::int64_t>(opt.max_frames)) {
+    res.error = "equivalence: unroll of " + std::to_string(frames) +
+                " frames exceeds max_frames";
+    MERCED_COUNT(obs::Counter::kEquivChecks, 1);
+    return res;
+  }
+
+  IoMap io;
+  try {
+    io = map_io(orig, rnl);
+  } catch (const std::exception& e) {
+    res.error = e.what();
+    MERCED_COUNT(obs::Counter::kEquivChecks, 1);
+    return res;
+  }
+
+  const auto flush = [&](const Solver& solver, const CircuitEncoder& enc) {
+    ++res.solves;
+    accumulate(res.stats, solver.stats());
+    res.cache_hits += enc.cache_hits();
+    res.gates_encoded += enc.gates_encoded();
+  };
+
+  // ---------- base miter: concrete zero start, W warm-up, T check frames.
+  Verdict base = Verdict::kUnsat;
+  {
+    Solver solver;
+    CircuitEncoder enc(solver);
+    std::vector<std::vector<Lit>> pis;
+    const std::vector<Lit> zero(orig.dffs().size(), enc.lit_false());
+    const std::vector<std::vector<Lit>> of =
+        unroll(enc, orig, static_cast<std::size_t>(frames), zero, pis);
+
+    std::vector<Lit> rstate(rt.origins.size());
+    for (std::size_t i = 0; i < rt.origins.size(); ++i) {
+      const std::int64_t t = std::clamp<std::int64_t>(tap_frame(rt.origins[i], W + 1),
+                                                      1, frames);
+      rstate[i] = of[static_cast<std::size_t>(t - 1)][rt.origins[i].source];
+    }
+
+    Clause any_diff;
+    for (std::int64_t f = W + 1; f <= W + static_cast<std::int64_t>(T); ++f) {
+      std::vector<Lit> rin(io.rt_input_src.size());
+      for (std::size_t j = 0; j < rin.size(); ++j) {
+        rin[j] = pis[static_cast<std::size_t>(f - 1)][io.rt_input_src[j]];
+      }
+      const std::vector<Lit> rf = encode_frame(enc, rnl, rin, rstate);
+      for (std::size_t o = 0; o < io.orig_po.size(); ++o) {
+        const Lit diff = enc.encode_xor(of[static_cast<std::size_t>(f - 1)][io.orig_po[o]],
+                                        rf[io.rt_po[o]]);
+        if (diff != enc.lit_false()) any_diff.push_back(diff);
+      }
+      for (std::size_t i = 0; i < rnl.dffs().size(); ++i) {
+        rstate[i] = rf[rnl.gate(rnl.dffs()[i]).fanins.at(0)];
+      }
+    }
+
+    if (any_diff.empty()) {
+      // Hash-consing folded every output pair to the same literal: the
+      // machines are structurally identical over the window.
+      base = Verdict::kUnsat;
+    } else {
+      solver.add_clause(any_diff);
+      base = solver.solve(opt.max_conflicts);
+    }
+    flush(solver, enc);
+
+    if (base == Verdict::kSat) {
+      EquivalenceCounterexample cex;
+      const auto replay_frames = static_cast<std::size_t>(W) + T;
+      cex.inputs.resize(replay_frames);
+      for (std::size_t f = 0; f < replay_frames; ++f) {
+        cex.inputs[f].resize(orig.inputs().size());
+        for (std::size_t i = 0; i < orig.inputs().size(); ++i) {
+          cex.inputs[f][i] = solver.model_holds(pis[f][i]);
+        }
+      }
+      cex.confirmed = confirm_counterexample(orig, rt, io, cex.inputs,
+                                             static_cast<std::size_t>(W));
+      res.counterexample = std::move(cex);
+    }
+  }
+  res.base_proved = base == Verdict::kUnsat;
+
+  // ---------- inductive step: free state, one re-establishment frame.
+  Verdict step = Verdict::kUnsat;
+  bool step_ran = false;
+  if (opt.induction && res.base_proved && !rt.origins.empty()) {
+    const std::int64_t t0 = std::max<std::int64_t>(1, max_kr);
+    std::int64_t ind_frames = t0 + 1;
+    for (const auto& o : rt.origins) {
+      ind_frames = std::max(ind_frames, tap_frame(o, t0 + 2));
+    }
+    if (ind_frames > static_cast<std::int64_t>(opt.max_frames)) {
+      res.error = "equivalence: induction unroll of " + std::to_string(ind_frames) +
+                  " frames exceeds max_frames";
+      MERCED_COUNT(obs::Counter::kEquivChecks, 1);
+      return res;
+    }
+    Solver solver;
+    CircuitEncoder enc(solver);
+    std::vector<Lit> s0(orig.dffs().size());
+    for (Lit& l : s0) l = enc.fresh();
+    std::vector<std::vector<Lit>> pis;
+    const std::vector<std::vector<Lit>> of =
+        unroll(enc, orig, static_cast<std::size_t>(ind_frames), s0, pis);
+
+    std::vector<Lit> rstate(rt.origins.size());
+    for (std::size_t i = 0; i < rt.origins.size(); ++i) {
+      const std::int64_t t = std::clamp<std::int64_t>(tap_frame(rt.origins[i], t0 + 1),
+                                                      1, ind_frames);
+      rstate[i] = of[static_cast<std::size_t>(t - 1)][rt.origins[i].source];
+    }
+    std::vector<Lit> rin(io.rt_input_src.size());
+    for (std::size_t j = 0; j < rin.size(); ++j) {
+      rin[j] = pis[static_cast<std::size_t>(t0)][io.rt_input_src[j]];
+    }
+    const std::vector<Lit> rf = encode_frame(enc, rnl, rin, rstate);
+
+    Clause violated;
+    for (std::size_t o = 0; o < io.orig_po.size(); ++o) {
+      const Lit diff = enc.encode_xor(of[static_cast<std::size_t>(t0)][io.orig_po[o]],
+                                      rf[io.rt_po[o]]);
+      if (diff != enc.lit_false()) violated.push_back(diff);
+    }
+    for (std::size_t i = 0; i < rt.origins.size(); ++i) {
+      const Lit next = rf[rnl.gate(rnl.dffs()[i]).fanins.at(0)];
+      const std::int64_t t = std::clamp<std::int64_t>(tap_frame(rt.origins[i], t0 + 2),
+                                                      1, ind_frames);
+      const Lit want = of[static_cast<std::size_t>(t - 1)][rt.origins[i].source];
+      const Lit diff = enc.encode_xor(next, want);
+      if (diff != enc.lit_false()) violated.push_back(diff);
+    }
+
+    if (!violated.empty()) {
+      solver.add_clause(violated);
+      step = solver.solve(opt.max_conflicts);
+    }
+    step_ran = true;
+    flush(solver, enc);
+  }
+  res.induction_proved = !opt.induction || !step_ran || step == Verdict::kUnsat;
+
+  if (base == Verdict::kUnknown || step == Verdict::kUnknown) {
+    res.status = EquivStatus::kUnknown;
+  } else if (base == Verdict::kSat || step == Verdict::kSat) {
+    res.status = EquivStatus::kRefuted;
+  } else {
+    res.status = EquivStatus::kProved;
+  }
+
+  MERCED_COUNT(obs::Counter::kEquivChecks, 1);
+  MERCED_COUNT(obs::Counter::kSatSolves, res.solves);
+  MERCED_COUNT(obs::Counter::kSatConflicts, res.stats.conflicts);
+  MERCED_COUNT(obs::Counter::kSatDecisions, res.stats.decisions);
+  MERCED_COUNT(obs::Counter::kSatPropagations, res.stats.propagations);
+  MERCED_COUNT(obs::Counter::kSatLearnedClauses, res.stats.learned_clauses);
+  return res;
+}
+
+}  // namespace merced::sat

@@ -1,0 +1,98 @@
+// SAT equivalence checking of a retimed circuit against its original.
+//
+// Retiming must preserve normal-mode behaviour cycle-for-cycle once the
+// retimed registers are warm (retiming/retimed_netlist.h). This module
+// proves that with a bounded+inductive unrolled miter:
+//
+//  * base miter — unroll the original machine symbolically from its
+//    concrete all-zero initial state for W warm-up frames (W = the deepest
+//    warm-up any retimed register needs, max(depth + ρ) over register
+//    origins). The retimed machine then starts at frame W+1 with each
+//    register tied to the original's unrolled signal per the RegisterOrigin
+//    correspondence — the register at depth k of source u presented during
+//    frame f holds u's value of frame f − k − ρ(u). Both machines run T
+//    shared-input check frames; a PO XOR miter asserts some output
+//    differs. UNSAT ⇒ outputs agree on every reachable run of length T.
+//  * inductive step — the same correspondence with *free* (symbolic)
+//    initial state: if the retimed next-state and outputs match the
+//    original's shifted signals for an arbitrary state, the bounded base
+//    extends to all time. Because the correspondence is structural, the
+//    hash-consing Tseitin encoder collapses both sides of a genuine
+//    retiming to the same literals and the miter is UNSAT by construction;
+//    the solver only works when the retiming is actually wrong.
+//
+// A SAT base miter yields a concrete input stream, which is replayed on
+// the two simulators (Simulator + compute_retimed_initial_state) so the
+// counterexample is confirmed outside the SAT engine. The fuzz oracle
+// stack runs this check after every compile; `tap_skew` exists so the fuzz
+// harness can corrupt the warm-up tap formula and watch the checker fire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+#include "retiming/retime_graph.h"
+#include "sat/solver.h"
+
+namespace merced::sat {
+
+enum class EquivStatus : std::uint8_t {
+  kProved,       ///< base UNSAT (and induction UNSAT when enabled)
+  kRefuted,      ///< some miter SAT — the machines (or the tap formula) differ
+  kUnknown,      ///< conflict budget exhausted
+  kBuildFailed,  ///< apply_retiming rejected the plan (illegal/skewed ρ)
+};
+
+struct EquivalenceCounterexample {
+  /// Primary-input stream, frames 1..W+T in netlist.inputs() order.
+  std::vector<std::vector<bool>> inputs;
+  /// Replayed on Simulator vs the retimed machine and the outputs really
+  /// diverge. False either means the SAT model was spurious (a bug) or the
+  /// miter itself was corrupted (tap_skew != 0), where replay uses the
+  /// honest tap formula and the machines agree.
+  bool confirmed = false;
+};
+
+struct EquivalenceOptions {
+  std::size_t check_frames = 2;   ///< T: shared-input output-compare frames
+  bool induction = true;          ///< also prove the unbounded step
+  /// Unroll guard: W + T (or the induction window) beyond this fails the
+  /// build instead of exploding the CNF.
+  std::size_t max_frames = 256;
+  std::uint64_t max_conflicts = 1u << 22;  ///< per-miter budget
+  /// Testing hook (fuzz defect "skew-tap"): every warm-up tap frame is
+  /// shifted by this many cycles, modelling an off-by-one in the
+  /// RegisterOrigin correspondence. Nonzero skew on a real retiming makes
+  /// the base miter SAT — the checker must fire.
+  int tap_skew = 0;
+};
+
+struct EquivalenceResult {
+  EquivStatus status = EquivStatus::kBuildFailed;
+  std::string error;               ///< build-failure reason
+  bool base_proved = false;        ///< base miter UNSAT
+  bool induction_proved = false;   ///< step miter UNSAT (when enabled)
+  std::size_t warmup_frames = 0;   ///< W
+  std::size_t check_frames = 0;    ///< T actually used
+  std::size_t retimed_registers = 0;
+  std::uint64_t solves = 0;
+  SolverStats stats;               ///< aggregated over all miters
+  std::uint64_t cache_hits = 0;    ///< encoder sharing across the two machines
+  std::uint64_t gates_encoded = 0;
+  std::optional<EquivalenceCounterexample> counterexample;  ///< base SAT only
+
+  bool equivalent() const noexcept { return status == EquivStatus::kProved; }
+};
+
+/// Applies `rho` to `graph`'s netlist (rebuilding the RetimeGraph the same
+/// deterministic way the compiler does) and proves the retimed machine
+/// cycle-exact equivalent as described above. Publishes sat.*/equiv.* obs
+/// counters. Never throws on a bad plan — that is a kBuildFailed verdict.
+EquivalenceResult check_retiming_equivalence(const CircuitGraph& graph,
+                                             const Retiming& rho,
+                                             const EquivalenceOptions& opt = {});
+
+}  // namespace merced::sat

@@ -1,0 +1,195 @@
+#include "sat/prove_json.h"
+
+#include <array>
+#include <ostream>
+
+namespace merced::sat {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_prove_json(std::ostream& os, std::span<const CutProof> proofs,
+                      const ProveRunInfo& run) {
+  std::uint64_t total = 0, detected = 0, redundant = 0, detectable = 0;
+  std::uint64_t replayed = 0, unknown = 0, inconsistent = 0, solves = 0, conflicts = 0;
+  for (const CutProof& p : proofs) {
+    total += p.total_faults;
+    detected += p.detected;
+    redundant += p.proved_redundant;
+    detectable += p.proved_detectable;
+    replayed += p.replayed;
+    unknown += p.unknown;
+    inconsistent += p.inconsistent;
+    solves += p.solves;
+    conflicts += p.solver.conflicts;
+  }
+  const bool fully = unknown == 0 && inconsistent == 0;
+
+  os << "{\n  \"schema\": \"" << kProveSchema << "\",\n  \"run\": {\"tool\": \"";
+  json_escape(os, run.tool);
+  os << "\", \"circuit\": \"";
+  json_escape(os, run.circuit);
+  os << "\", \"lk\": " << run.lk << "},\n  \"summary\": {\"cuts\": " << proofs.size()
+     << ", \"total_faults\": " << total << ", \"detected\": " << detected
+     << ", \"proved_redundant\": " << redundant
+     << ", \"proved_detectable\": " << detectable << ", \"replayed\": " << replayed
+     << ", \"unknown\": " << unknown << ", \"inconsistent\": " << inconsistent
+     << ", \"solves\": " << solves << ", \"conflicts\": " << conflicts
+     << ", \"fully_explained\": " << (fully ? "true" : "false") << "},\n  \"cuts\": [";
+  for (std::size_t i = 0; i < proofs.size(); ++i) {
+    const CutProof& p = proofs[i];
+    if (i) os << ",";
+    os << "\n    {\"cluster\": " << p.cluster_index << ", \"inputs\": " << p.num_inputs
+       << ", \"total_faults\": " << p.total_faults << ", \"detected\": " << p.detected
+       << ", \"proved_redundant\": " << p.proved_redundant
+       << ", \"proved_detectable\": " << p.proved_detectable
+       << ", \"replayed\": " << p.replayed << ", \"unknown\": " << p.unknown
+       << ", \"inconsistent\": " << p.inconsistent << ", \"solves\": " << p.solves << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+namespace {
+
+bool is_uint(const obs::JsonValue& v) {
+  return v.is_number() && v.as_number() >= 0 &&
+         v.as_number() == static_cast<double>(static_cast<std::uint64_t>(v.as_number()));
+}
+
+std::string check_member(const obs::JsonValue& obj, const char* key,
+                         obs::JsonValue::Kind kind, const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return std::string(where) + ": missing member \"" + key + "\"";
+  if (v->kind() != kind) {
+    return std::string(where) + ": member \"" + key + "\" has wrong type";
+  }
+  return "";
+}
+
+constexpr std::array<const char*, 9> kCutCounters = {
+    "inputs",           "total_faults", "detected",
+    "proved_redundant", "proved_detectable", "replayed",
+    "unknown",          "inconsistent", "solves",
+};
+
+}  // namespace
+
+std::string validate_prove_json(const obs::JsonValue& doc) {
+  using Kind = obs::JsonValue::Kind;
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err = check_member(doc, "schema", Kind::kString, "root"); !err.empty()) {
+    return err;
+  }
+  if (doc.find("schema")->as_string() != kProveSchema) {
+    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  }
+
+  if (std::string err = check_member(doc, "run", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& run = *doc.find("run");
+  for (const char* key : {"tool", "circuit"}) {
+    if (std::string err = check_member(run, key, Kind::kString, "run"); !err.empty()) {
+      return err;
+    }
+  }
+  if (std::string err = check_member(run, "lk", Kind::kNumber, "run"); !err.empty()) {
+    return err;
+  }
+  if (!is_uint(*run.find("lk"))) return "run: member \"lk\" is not a non-negative integer";
+
+  if (std::string err = check_member(doc, "summary", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& summary = *doc.find("summary");
+  for (const char* key : {"cuts", "total_faults", "detected", "proved_redundant",
+                          "proved_detectable", "replayed", "unknown", "inconsistent",
+                          "solves", "conflicts"}) {
+    if (std::string err = check_member(summary, key, Kind::kNumber, "summary");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*summary.find(key))) {
+      return std::string("summary: member \"") + key + "\" is not a non-negative integer";
+    }
+  }
+  if (std::string err = check_member(summary, "fully_explained", Kind::kBool, "summary");
+      !err.empty()) {
+    return err;
+  }
+
+  if (std::string err = check_member(doc, "cuts", Kind::kArray, "root"); !err.empty()) {
+    return err;
+  }
+  const auto& cuts = doc.find("cuts")->as_array();
+  std::array<std::uint64_t, kCutCounters.size()> sums{};
+  for (const obs::JsonValue& c : cuts) {
+    if (!c.is_object()) return "cuts: entry is not an object";
+    if (std::string err = check_member(c, "cluster", Kind::kNumber, "cut"); !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*c.find("cluster"))) {
+      return "cut: member \"cluster\" is not a non-negative integer";
+    }
+    std::array<std::uint64_t, kCutCounters.size()> v{};
+    for (std::size_t k = 0; k < kCutCounters.size(); ++k) {
+      if (std::string err = check_member(c, kCutCounters[k], Kind::kNumber, "cut");
+          !err.empty()) {
+        return err;
+      }
+      if (!is_uint(*c.find(kCutCounters[k]))) {
+        return std::string("cut: member \"") + kCutCounters[k] +
+               "\" is not a non-negative integer";
+      }
+      v[k] = static_cast<std::uint64_t>(c.find(kCutCounters[k])->as_number());
+      sums[k] += v[k];
+    }
+    // Per-cut arithmetic: verdicts partition the solve count, detection and
+    // replay stay within their universes.
+    const std::uint64_t total_faults = v[1], det = v[2], red = v[3], sat = v[4];
+    const std::uint64_t rep = v[5], unk = v[6], solves = v[8];
+    if (det > total_faults) return "cut: \"detected\" exceeds \"total_faults\"";
+    if (rep > sat) return "cut: \"replayed\" exceeds \"proved_detectable\"";
+    if (red + sat + unk != solves) {
+      return "cut: verdict counts do not partition \"solves\"";
+    }
+  }
+
+  // Cross-check the summary against the cuts array.
+  auto num = [&](const char* key) {
+    return static_cast<std::uint64_t>(summary.find(key)->as_number());
+  };
+  if (num("cuts") != cuts.size()) {
+    return "summary: \"cuts\" disagrees with the cuts array";
+  }
+  const std::array<const char*, 8> totals = {
+      "total_faults", "detected",     "proved_redundant", "proved_detectable",
+      "replayed",     "unknown",      "inconsistent",     "solves",
+  };
+  for (std::size_t k = 0; k < totals.size(); ++k) {
+    if (num(totals[k]) != sums[k + 1]) {
+      return std::string("summary: \"") + totals[k] +
+             "\" disagrees with the cuts array";
+    }
+  }
+  if (summary.find("fully_explained")->as_bool() !=
+      (num("unknown") == 0 && num("inconsistent") == 0)) {
+    return "summary: \"fully_explained\" disagrees with the verdict counts";
+  }
+  return "";
+}
+
+}  // namespace merced::sat

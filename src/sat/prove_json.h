@@ -1,0 +1,50 @@
+// merced-prove-v1 — the SAT coverage-proof report as a versioned JSON
+// artifact, the third sibling of merced-metrics-v1 and merced-verify-v1:
+//
+//   { "schema": "merced-prove-v1",
+//     "run": {"tool": "...", "circuit": "...", "lk": N},
+//     "summary": {"cuts": N, "total_faults": N, "detected": N,
+//                 "proved_redundant": N, "proved_detectable": N,
+//                 "replayed": N, "unknown": N, "inconsistent": N,
+//                 "solves": N, "conflicts": N, "fully_explained": B},
+//     "cuts": [{"cluster": i, "inputs": I, "total_faults": N,
+//               "detected": N, "proved_redundant": N,
+//               "proved_detectable": N, "replayed": N, "unknown": N,
+//               "inconsistent": N, "solves": N}, ...] }
+//
+// Cuts keep station order. The validator enforces the internal arithmetic
+// (per-cut verdicts partition the solve count, summary totals equal the
+// per-cut sums, fully_explained ⟺ zero unknown and zero inconsistent), so
+// a hand-edited or drifted artifact is rejected rather than trusted —
+// merced_cli --prove-coverage writes these and metrics_check --prove
+// validates them.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/json.h"
+#include "sat/redundancy.h"
+
+namespace merced::sat {
+
+inline constexpr const char* kProveSchema = "merced-prove-v1";
+
+/// Identity of the proving run (the "run" JSON object).
+struct ProveRunInfo {
+  std::string tool;     ///< producing binary, e.g. "merced_cli"
+  std::string circuit;  ///< circuit name or .bench path
+  std::uint64_t lk = 0;
+};
+
+/// Serializes the versioned artifact described in the file comment.
+/// `proofs` is one CutProof per station, station order.
+void write_prove_json(std::ostream& os, std::span<const CutProof> proofs,
+                      const ProveRunInfo& run);
+
+/// Validates a parsed prove artifact against merced-prove-v1. Returns an
+/// empty string when valid, else a description of the first violation.
+std::string validate_prove_json(const obs::JsonValue& doc);
+
+}  // namespace merced::sat

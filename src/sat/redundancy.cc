@@ -1,0 +1,107 @@
+#include "sat/redundancy.h"
+
+#include "obs/obs.h"
+#include "sat/tseitin.h"
+
+namespace merced::sat {
+
+namespace {
+
+void accumulate(SolverStats& into, const SolverStats& s) {
+  into.decisions += s.decisions;
+  into.propagations += s.propagations;
+  into.conflicts += s.conflicts;
+  into.learned_clauses += s.learned_clauses;
+  into.learned_literals += s.learned_literals;
+  into.max_trail = std::max(into.max_trail, s.max_trail);
+}
+
+}  // namespace
+
+CutProof prove_cone_coverage(const ConeSimulator& cone, std::size_t cluster_index,
+                             const ProveOptions& opt) {
+  MERCED_SPAN("prove_cut_coverage", cluster_index);
+
+  CoverageOptions sweep_opt;
+  sweep_opt.max_inputs = opt.max_inputs;
+  sweep_opt.jobs = opt.jobs;
+  const CoverageResult sweep = exhaustive_coverage(cone, sweep_opt);
+
+  // Rebuild the per-fault sweep verdicts (undetected is a subsequence of
+  // the collapsed fault list, so one forward scan pairs them up).
+  const std::vector<Fault> faults = cone.cluster_faults();
+
+  CutProof proof;
+  proof.cluster_index = cluster_index;
+  proof.num_inputs = cone.cut_inputs().size();
+  proof.total_faults = faults.size();
+  proof.detected = sweep.detected;
+  proof.verdicts.reserve(faults.size());
+
+  std::size_t undetected_at = 0;
+  for (const Fault& fault : faults) {
+    FaultVerdict v;
+    v.fault = fault;
+    v.detected_by_sweep = true;
+    if (undetected_at < sweep.undetected.size() &&
+        sweep.undetected[undetected_at] == fault) {
+      v.detected_by_sweep = false;
+      ++undetected_at;
+    }
+
+    if (!v.detected_by_sweep || opt.prove_detected) {
+      Solver solver;
+      CircuitEncoder enc(solver);
+      const std::vector<Lit> inputs = encode_fault_miter(enc, cone, fault);
+      const Verdict verdict = solver.solve(opt.max_conflicts);
+      ++proof.solves;
+      accumulate(proof.solver, solver.stats());
+
+      switch (verdict) {
+        case Verdict::kUnsat:
+          v.proof = FaultVerdict::Proof::kRedundant;
+          ++proof.proved_redundant;
+          break;
+        case Verdict::kSat: {
+          v.proof = FaultVerdict::Proof::kDetectable;
+          ++proof.proved_detectable;
+          v.pattern.reserve(inputs.size());
+          for (const Lit l : inputs) v.pattern.push_back(solver.model_holds(l));
+          v.replayed = detects_pattern(cone, fault, v.pattern);
+          if (v.replayed) ++proof.replayed;
+          break;
+        }
+        case Verdict::kUnknown:
+          ++proof.unknown;
+          break;
+      }
+      v.consistent = v.detected_by_sweep
+                         ? (v.proof == FaultVerdict::Proof::kDetectable && v.replayed)
+                         : v.proof == FaultVerdict::Proof::kRedundant;
+    } else {
+      // Sweep-detected fault, SAT cross-check skipped by option: the sweep
+      // itself exhibited a detecting pattern, so it stands as consistent.
+      v.proof = FaultVerdict::Proof::kDetectable;
+      v.consistent = true;
+    }
+    if (!v.consistent) ++proof.inconsistent;
+    proof.verdicts.push_back(std::move(v));
+  }
+
+  MERCED_COUNT(obs::Counter::kSatSolves, proof.solves);
+  MERCED_COUNT(obs::Counter::kSatConflicts, proof.solver.conflicts);
+  MERCED_COUNT(obs::Counter::kSatDecisions, proof.solver.decisions);
+  MERCED_COUNT(obs::Counter::kSatPropagations, proof.solver.propagations);
+  MERCED_COUNT(obs::Counter::kSatLearnedClauses, proof.solver.learned_clauses);
+  MERCED_COUNT(obs::Counter::kProveRedundantProved, proof.proved_redundant);
+  MERCED_COUNT(obs::Counter::kProveVectorsReplayed, proof.replayed);
+  return proof;
+}
+
+CutProof prove_cut_coverage(const CircuitGraph& graph, const Clustering& clustering,
+                            std::size_t cluster_index, const ProveOptions& opt) {
+  const ConeSimulator cone(graph, clustering, cluster_index);
+  return prove_cone_coverage(cone, cluster_index, opt);
+}
+
+}  // namespace merced::sat

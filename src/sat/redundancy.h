@@ -1,0 +1,88 @@
+// SAT redundancy prover — closing the coverage gap the kernel reports.
+//
+// Pseudo-exhaustive testing applies all 2^ι patterns to a CUT, so a fault
+// the sweep misses is *combinationally redundant by construction* — no
+// input assignment distinguishes good from faulty cone. This module turns
+// that claim from an inference into a proof: for every fault the kernel
+// leaves undetected, build the good-vs-faulty miter over the CUT's inputs
+// (sat/tseitin.h) and run CDCL. UNSAT is a machine-checked certificate that
+// the fault is untestable — the paper's "100% coverage of detectable
+// faults" with the word *detectable* made precise. A SAT verdict on an
+// undetected fault would expose a kernel bug; its model is a concrete
+// detecting pattern, which we replay on the event-driven kernel
+// (detects_pattern) so the two engines cross-check each other in both
+// directions. Detected faults can optionally go through the same
+// SAT-then-replay loop, pinning the kernel's positive verdicts too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+#include "partition/clustering.h"
+#include "sat/solver.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+
+namespace merced::sat {
+
+/// One fault's SAT verdict against the kernel's sweep verdict.
+struct FaultVerdict {
+  enum class Proof : std::uint8_t {
+    kRedundant,    ///< miter UNSAT: no pattern distinguishes the machines
+    kDetectable,   ///< miter SAT: `pattern` detects the fault
+    kUnknown,      ///< conflict budget exhausted (pathological miter)
+  };
+
+  Fault fault;
+  bool detected_by_sweep = false;  ///< the kernel's verdict
+  Proof proof = Proof::kUnknown;
+  std::vector<bool> pattern;       ///< cut_inputs() order, kDetectable only
+  bool replayed = false;           ///< pattern confirmed by detects_pattern
+  /// Sweep and proof agree (detected ⟺ kDetectable-with-replay,
+  /// undetected ⟺ kRedundant). Any false here is a bug in one engine.
+  bool consistent = false;
+};
+
+/// Proof summary of one CUT.
+struct CutProof {
+  std::size_t cluster_index = 0;
+  std::size_t num_inputs = 0;        ///< ι of the CUT
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;          ///< by the exhaustive sweep
+  std::size_t proved_redundant = 0;  ///< UNSAT certificates
+  std::size_t proved_detectable = 0; ///< SAT with a detecting pattern
+  std::size_t replayed = 0;          ///< SAT patterns confirmed on the kernel
+  std::size_t unknown = 0;           ///< budget-exhausted solves
+  std::size_t inconsistent = 0;      ///< engine disagreements (must be 0)
+  SolverStats solver;                ///< aggregated over all solves
+  std::uint64_t solves = 0;
+  std::vector<FaultVerdict> verdicts;  ///< cluster_faults() order
+
+  /// Every undetected fault carries an UNSAT certificate and every SAT
+  /// pattern replays: detected + proved_redundant == total_faults-wise
+  /// closure with zero unexplained gaps.
+  bool fully_explained() const noexcept {
+    return unknown == 0 && inconsistent == 0;
+  }
+};
+
+struct ProveOptions {
+  std::size_t max_inputs = 22;       ///< ι cap forwarded to the sweep
+  std::size_t jobs = 1;              ///< sweep threads (SAT runs single-threaded)
+  /// Also SAT-prove faults the sweep already detected (full cross-check).
+  /// Off, only the sweep's undetected residue is proved.
+  bool prove_detected = true;
+  std::uint64_t max_conflicts = 1u << 20;  ///< per-miter budget
+};
+
+/// Sweeps cluster `cluster_index` exhaustively, then proves every fault's
+/// verdict as described above. Publishes sat.* / prove.* obs counters.
+CutProof prove_cut_coverage(const CircuitGraph& graph, const Clustering& clustering,
+                            std::size_t cluster_index, const ProveOptions& opt = {});
+
+/// Same, over an already-built cone (avoids rebuilding the CSR form).
+CutProof prove_cone_coverage(const ConeSimulator& cone, std::size_t cluster_index,
+                             const ProveOptions& opt = {});
+
+}  // namespace merced::sat

@@ -1,0 +1,277 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace merced::sat {
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_.emplace_back(0.0, v);
+  std::push_heap(order_.begin(), order_.end());
+  return v;
+}
+
+void Solver::attach(std::uint32_t ci) {
+  const Clause& c = clauses_[ci];
+  watches_[(~c[0]).code].push_back({ci, c[1]});
+  watches_[(~c[1]).code].push_back({ci, c[0]});
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  if (unsat_) return false;
+  backtrack(0);  // a model left on the trail from a prior solve() must not
+                 // masquerade as level-0 facts (phase_ keeps it for model_value)
+  // Normalize: sort by code, drop duplicates, detect tautology, and drop
+  // literals already false at level 0 / short-circuit on true ones.
+  Clause c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end(), [](Lit a, Lit b) { return a.code < b.code; });
+  Clause norm;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i + 1 < c.size() && c[i].code == c[i + 1].code) continue;  // duplicate
+    if (i + 1 < c.size() && (c[i].code ^ 1u) == c[i + 1].code) return true;  // taut
+    if (c[i].var() >= num_vars()) {
+      throw std::invalid_argument("Solver::add_clause: literal names unknown variable");
+    }
+    const std::uint8_t v = value_of(c[i]);
+    if (v == 1 && level_[c[i].var()] == 0) return true;   // already satisfied
+    if (v == 0 && level_[c[i].var()] == 0) continue;      // already false
+    norm.push_back(c[i]);
+  }
+  if (norm.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (norm.size() == 1) {
+    if (!enqueue(norm[0], -1)) {
+      unsat_ = true;
+      return false;
+    }
+    if (propagate() >= 0) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  const auto ci = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(std::move(norm));
+  attach(ci);
+  return true;
+}
+
+bool Solver::enqueue(Lit l, std::int32_t reason) {
+  const std::uint8_t v = value_of(l);
+  if (v != kUndef) return v == 1;
+  const Var var = l.var();
+  assign_[var] = l.negated() ? 0 : 1;
+  phase_[var] = assign_[var];
+  level_[var] = static_cast<std::int32_t>(trail_lim_.size());
+  reason_[var] = reason;
+  trail_.push_back(l);
+  ++stats_.propagations;
+  stats_.max_trail = std::max<std::uint64_t>(stats_.max_trail, trail_.size());
+  return true;
+}
+
+std::int32_t Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];  // p is true; visit watchers of ¬p
+    std::vector<Watcher>& ws = watches_[p.code];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      const Watcher w = ws[wi];
+      if (value_of(w.blocker) == 1) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Ensure the falsified watch sits at c[1].
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (value_of(c[0]) == 1) {  // first watch satisfied
+        ws[keep++] = {w.clause, c[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value_of(c[k]) != 0) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code].push_back({w.clause, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit (or conflicting) on c[0].
+      ws[keep++] = {w.clause, c[0]};
+      if (!enqueue(c[0], static_cast<std::int32_t>(w.clause))) {
+        // Conflict: keep the remaining watchers, report the clause.
+        for (std::size_t rest = wi + 1; rest < ws.size(); ++rest) ws[keep++] = ws[rest];
+        ws.resize(keep);
+        propagate_head_ = trail_.size();
+        return static_cast<std::int32_t>(w.clause);
+      }
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(Var v) {
+  activity_[v] += activity_inc_;
+  if (activity_[v] > 1e100) {  // rescale to keep doubles finite
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+  order_.emplace_back(activity_[v], v);
+  std::push_heap(order_.begin(), order_.end());
+}
+
+void Solver::analyze(std::int32_t conflict, Clause& learnt, std::int32_t& backjump_level) {
+  // First-UIP scheme: walk the trail backwards resolving antecedents until
+  // exactly one literal of the current level remains.
+  learnt.clear();
+  learnt.push_back(kNoLit);  // slot 0: the asserting (UIP) literal
+  const auto current_level = static_cast<std::int32_t>(trail_lim_.size());
+  std::size_t index = trail_.size();
+  std::size_t path = 0;  // current-level literals pending resolution
+  Lit p = kNoLit;
+
+  std::int32_t reason = conflict;
+  do {
+    const Clause& c = clauses_[static_cast<std::size_t>(reason)];
+    for (const Lit q : c) {
+      if (p != kNoLit && q == p) continue;  // skip the resolved-on literal
+      const Var v = q.var();
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump(v);
+      if (level_[v] >= current_level) {
+        ++path;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Find the next current-level literal on the trail to resolve on.
+    while (seen_[trail_[index - 1].var()] == 0) --index;
+    p = trail_[--index];
+    seen_[p.var()] = 0;
+    --path;
+    reason = reason_[p.var()];
+  } while (path > 0);
+  learnt[0] = ~p;
+
+  // Backjump level = second-highest level in the learnt clause.
+  backjump_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backjump_level = level_[learnt[1].var()];
+  }
+  for (std::size_t i = 1; i < learnt.size(); ++i) seen_[learnt[i].var()] = 0;
+}
+
+void Solver::backtrack(std::int32_t target) {
+  if (static_cast<std::int32_t>(trail_lim_.size()) <= target) return;
+  const std::size_t keep = trail_lim_[static_cast<std::size_t>(target)];
+  for (std::size_t i = trail_.size(); i > keep; --i) {
+    const Var v = trail_[i - 1].var();
+    assign_[v] = kUndef;
+    reason_[v] = -1;
+    order_.emplace_back(activity_[v], v);
+    std::push_heap(order_.begin(), order_.end());
+  }
+  trail_.resize(keep);
+  trail_lim_.resize(static_cast<std::size_t>(target));
+  propagate_head_ = keep;
+}
+
+Lit Solver::pick_branch() {
+  // Lazy heap: pop until a fresh (unassigned, activity-current) entry shows.
+  while (!order_.empty()) {
+    std::pop_heap(order_.begin(), order_.end());
+    const auto [act, v] = order_.back();
+    order_.pop_back();
+    if (assign_[v] == kUndef && act == activity_[v]) {
+      return make_lit(v, phase_[v] == 0);  // phase saving
+    }
+  }
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assign_[v] == kUndef) return make_lit(v, phase_[v] == 0);
+  }
+  return kNoLit;
+}
+
+Verdict Solver::solve(std::uint64_t max_conflicts) {
+  if (unsat_) return Verdict::kUnsat;
+  backtrack(0);
+  if (propagate() >= 0) {
+    unsat_ = true;
+    return Verdict::kUnsat;
+  }
+
+  Clause learnt;
+  for (;;) {
+    const std::int32_t conflict = propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return Verdict::kUnsat;
+      }
+      std::int32_t backjump = 0;
+      analyze(conflict, learnt, backjump);
+      backtrack(backjump);
+      ++stats_.learned_clauses;
+      stats_.learned_literals += learnt.size();
+      if (learnt.size() == 1) {
+        if (!enqueue(learnt[0], -1)) {
+          unsat_ = true;
+          return Verdict::kUnsat;
+        }
+      } else {
+        const auto ci = static_cast<std::uint32_t>(clauses_.size());
+        clauses_.push_back(learnt);
+        attach(ci);
+        if (!enqueue(learnt[0], static_cast<std::int32_t>(ci))) {
+          unsat_ = true;
+          return Verdict::kUnsat;
+        }
+      }
+      activity_inc_ /= 0.95;  // decay all (relatively) per conflict
+      if (max_conflicts != 0 && stats_.conflicts >= max_conflicts) {
+        backtrack(0);
+        return Verdict::kUnknown;
+      }
+      continue;
+    }
+    const Lit next = pick_branch();
+    if (next == kNoLit) return Verdict::kSat;  // full model on the trail
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue(next, -1);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  if (v >= num_vars()) throw std::out_of_range("Solver::model_value: unknown variable");
+  // After kSat the trail holds a full assignment; phase_ mirrors it (and is
+  // the stable answer even after the trail unwinds on the next solve()).
+  return assign_[v] == kUndef ? phase_[v] != 0 : assign_[v] != 0;
+}
+
+}  // namespace merced::sat

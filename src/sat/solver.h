@@ -1,0 +1,125 @@
+// A compact CDCL SAT solver — the proof core behind the redundancy and
+// equivalence oracles.
+//
+// The architecture is the classic conflict-driven loop (dawn/MiniSat
+// lineage), sized for the tiny, structurally-UNSAT-heavy CNFs circuit
+// miters produce here:
+//
+//  * two-watched-literal propagation — each clause is watched by two of
+//    its literals; only clauses whose watch gets falsified are visited, so
+//    unit propagation cost tracks the active part of the formula;
+//  * 1UIP conflict analysis — on conflict, resolve backwards over the
+//    implication trail until exactly one literal of the current decision
+//    level remains, learn that asserting clause, and backjump to the
+//    second-highest level in it;
+//  * VSIDS-lite decisions — per-variable activity bumped for every
+//    variable touched by conflict analysis, exponentially decayed per
+//    conflict, with a lazy max-heap over activities and phase saving;
+//  * restart-free — the miters here are a few thousand variables at most
+//    (hash-consed Tseitin keeps equivalent structure shared), so restarts
+//    and clause-database reduction would be dead weight. A conflict budget
+//    guards against pathological inputs instead.
+//
+// Invariants the tests pin (tests/sat_test.cc): every kSat answer carries a
+// model that satisfies all original clauses; every kUnsat answer agrees
+// with a brute-force truth-table/DPLL oracle; propagation alone (zero
+// decisions) settles unit-chain formulas.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace merced::sat {
+
+enum class Verdict : std::uint8_t {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< conflict budget exhausted (never on circuit miters; see solve())
+};
+
+/// Work counters of one Solver lifetime, flushed into the obs layer by the
+/// oracles (redundancy/equivalence) after each solve.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;   ///< literals enqueued on the trail
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t max_trail = 0;      ///< deepest trail seen
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Adds a fresh variable and returns its index.
+  Var new_var();
+  std::size_t num_vars() const noexcept { return assign_.size(); }
+
+  /// Adds a clause over existing variables. Duplicate literals are merged
+  /// and tautologies (x ∨ ¬x) dropped. Returns false when the formula is
+  /// already unsatisfiable at level 0 (empty clause, or a unit contradicting
+  /// a prior level-0 fact) — callers may stop encoding early.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Decides satisfiability of everything added so far. Repeatable: the
+  /// trail unwinds to level 0 on exit, and more clauses/vars may be added
+  /// between calls (incremental in the grow-only sense). `max_conflicts`
+  /// bounds the search (0 = unbounded); the bounded form returns kUnknown
+  /// on budget exhaustion instead of looping on adversarial inputs.
+  Verdict solve(std::uint64_t max_conflicts = 0);
+
+  /// Model access after kSat: value of `v` in the satisfying assignment.
+  bool model_value(Var v) const;
+  /// True iff `l` is satisfied by the model.
+  bool model_holds(Lit l) const { return model_value(l.var()) != l.negated(); }
+
+  const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  enum : std::uint8_t { kUndef = 2 };  ///< assign_ value for "unassigned"
+
+  struct Watcher {
+    std::uint32_t clause = 0;  ///< index into clauses_
+    Lit blocker;               ///< other watch; satisfied blocker skips the visit
+  };
+
+  bool enqueue(Lit l, std::int32_t reason);
+  std::int32_t propagate();  ///< conflicting clause index, or -1
+  void analyze(std::int32_t conflict, Clause& learnt, std::int32_t& backjump_level);
+  void backtrack(std::int32_t level);
+  Lit pick_branch();
+  void bump(Var v);
+  void attach(std::uint32_t clause_index);
+
+  std::uint8_t value_of(Lit l) const {
+    const std::uint8_t a = assign_[l.var()];
+    return a == kUndef ? std::uint8_t{kUndef} : static_cast<std::uint8_t>(a ^ (l.code & 1));
+  }
+
+  std::vector<Clause> clauses_;            ///< originals + learnt, one arena
+  std::vector<std::vector<Watcher>> watches_;  ///< per literal code
+  std::vector<std::uint8_t> assign_;       ///< per var: 0 / 1 / kUndef
+  std::vector<std::uint8_t> phase_;        ///< per var: saved last value
+  std::vector<std::int32_t> level_;        ///< per var: decision level
+  std::vector<std::int32_t> reason_;       ///< per var: clause index or -1
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;     ///< trail size at each decision
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  std::vector<std::pair<double, Var>> order_;  ///< lazy max-heap (stale entries)
+  std::vector<std::uint8_t> seen_;             ///< analyze() scratch
+
+  bool unsat_ = false;  ///< level-0 contradiction discovered
+  SolverStats stats_;
+};
+
+}  // namespace merced::sat

@@ -1,0 +1,286 @@
+#include "sat/tseitin.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "graph/circuit_graph.h"
+
+namespace merced::sat {
+
+std::size_t CircuitEncoder::KeyHash::operator()(const Key& k) const noexcept {
+  // FNV-1a over the type byte and literal codes.
+  std::size_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(k.type));
+  for (const Lit l : k.fanins) mix(l.code);
+  return h;
+}
+
+CircuitEncoder::CircuitEncoder(Solver& solver) : solver_(&solver) {
+  true_ = make_lit(solver_->new_var());
+  solver_->add_clause({true_});
+}
+
+Lit CircuitEncoder::fresh() { return make_lit(solver_->new_var()); }
+
+Lit CircuitEncoder::consed(GateType canonical, std::vector<Lit> fanins, bool& fresh_entry) {
+  const auto [it, inserted] = cache_.try_emplace(Key{canonical, std::move(fanins)}, kNoLit);
+  fresh_entry = inserted;
+  if (!inserted) ++cache_hits_;
+  return it->second;
+}
+
+Lit CircuitEncoder::encode_and(std::span<const Lit> fanins) {
+  // Canonical n-ary AND: sort, dedup, fold constants and complement pairs.
+  std::vector<Lit> f(fanins.begin(), fanins.end());
+  std::sort(f.begin(), f.end(), [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> norm;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (f[i] == lit_false()) return lit_false();
+    if (f[i] == lit_true()) continue;
+    if (!norm.empty() && norm.back() == f[i]) continue;         // x ∧ x
+    if (!norm.empty() && norm.back() == ~f[i]) return lit_false();  // x ∧ ¬x
+    norm.push_back(f[i]);
+  }
+  if (norm.empty()) return lit_true();
+  if (norm.size() == 1) return norm[0];
+
+  bool fresh_entry = false;
+  const Lit cached = consed(GateType::kAnd, norm, fresh_entry);
+  if (!fresh_entry) return cached;
+
+  const Lit y = fresh();
+  Clause long_clause;
+  long_clause.reserve(norm.size() + 1);
+  long_clause.push_back(y);
+  for (const Lit l : norm) {
+    solver_->add_clause({~y, l});
+    long_clause.push_back(~l);
+  }
+  solver_->add_clause(long_clause);
+  ++gates_encoded_;
+  cache_[Key{GateType::kAnd, std::move(norm)}] = y;
+  return y;
+}
+
+Lit CircuitEncoder::encode_xor_chain(std::span<const Lit> fanins) {
+  // Canonical XOR: strip signs into a parity bit, cancel equal-variable
+  // pairs, fold constants. What survives is a sorted set of distinct
+  // positive literals XORed together, then the parity re-applied.
+  bool parity = false;
+  std::vector<Var> vars;
+  for (const Lit l : fanins) {
+    if (l == lit_true()) {
+      parity = !parity;
+      continue;
+    }
+    if (l == lit_false()) continue;
+    parity ^= l.negated();
+    vars.push_back(l.var());
+  }
+  std::sort(vars.begin(), vars.end());
+  std::vector<Lit> terms;
+  for (std::size_t i = 0; i < vars.size();) {
+    if (i + 1 < vars.size() && vars[i] == vars[i + 1]) {
+      i += 2;  // x ⊕ x = 0
+      continue;
+    }
+    terms.push_back(make_lit(vars[i]));
+    ++i;
+  }
+  if (terms.empty()) return lit_true() ^ !parity;
+  Lit acc = terms[0];
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    Lit a = acc, b = terms[i];
+    if (b.code < a.code) std::swap(a, b);
+    bool fresh_entry = false;
+    const Lit cached = consed(GateType::kXor, {a, b}, fresh_entry);
+    if (!fresh_entry) {
+      acc = cached;
+      continue;
+    }
+    const Lit y = fresh();
+    solver_->add_clause({~y, a, b});
+    solver_->add_clause({~y, ~a, ~b});
+    solver_->add_clause({y, ~a, b});
+    solver_->add_clause({y, a, ~b});
+    ++gates_encoded_;
+    cache_[Key{GateType::kXor, {a, b}}] = y;
+    acc = y;
+  }
+  return acc ^ parity;
+}
+
+Lit CircuitEncoder::encode_mux(Lit sel, Lit a, Lit b) {
+  // y = sel ? b : a (ConeSimulator convention: fanin[1] when sel=0,
+  // fanin[2] when sel=1).
+  if (sel == lit_true()) return b;
+  if (sel == lit_false()) return a;
+  if (a == b) return a;
+  if (a == ~b) {
+    const Lit xors[2] = {sel, a};  // sel ? ¬a : a  ==  sel ⊕ a
+    return encode_xor_chain(xors);
+  }
+  if (sel.negated()) {
+    std::swap(a, b);
+    sel = ~sel;
+  }
+  bool fresh_entry = false;
+  const Lit cached = consed(GateType::kMux, {sel, a, b}, fresh_entry);
+  if (!fresh_entry) return cached;
+  const Lit y = fresh();
+  solver_->add_clause({~sel, ~b, y});
+  solver_->add_clause({~sel, b, ~y});
+  solver_->add_clause({sel, ~a, y});
+  solver_->add_clause({sel, a, ~y});
+  solver_->add_clause({~a, ~b, y});  // redundant, helps propagation
+  solver_->add_clause({a, b, ~y});
+  ++gates_encoded_;
+  cache_[Key{GateType::kMux, {sel, a, b}}] = y;
+  return y;
+}
+
+Lit CircuitEncoder::encode(GateType type, std::span<const Lit> fanins) {
+  switch (type) {
+    case GateType::kConst0:
+      return lit_false();
+    case GateType::kConst1:
+      return lit_true();
+    case GateType::kBuf:
+      return fanins[0];
+    case GateType::kNot:
+      return ~fanins[0];
+    case GateType::kAnd:
+      return encode_and(fanins);
+    case GateType::kNand:
+      return ~encode_and(fanins);
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::vector<Lit> inv(fanins.begin(), fanins.end());
+      for (Lit& l : inv) l = ~l;
+      const Lit nor = encode_and(inv);  // NOR = AND of complements
+      return type == GateType::kNor ? nor : ~nor;
+    }
+    case GateType::kXor:
+      return encode_xor_chain(fanins);
+    case GateType::kXnor:
+      return ~encode_xor_chain(fanins);
+    case GateType::kMux:
+      return encode_mux(fanins[0], fanins[1], fanins[2]);
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  throw std::logic_error("CircuitEncoder::encode: non-combinational gate type");
+}
+
+std::vector<Lit> encode_cone(CircuitEncoder& enc, const ConeSimulator& cone,
+                             std::span<const Lit> input_lits, const Fault* fault) {
+  if (input_lits.size() != cone.cut_inputs().size()) {
+    throw std::invalid_argument("encode_cone: expected " +
+                                std::to_string(cone.cut_inputs().size()) +
+                                " input literals");
+  }
+  const CircuitGraph& graph = cone.graph();
+  const Netlist& nl = graph.netlist();
+  const std::span<const NetId> inputs = cone.cut_inputs();
+  const Lit stuck =
+      fault != nullptr && fault->stuck_value ? enc.lit_true() : enc.lit_false();
+
+  // Literal per cone node, keyed by NodeId (cone gates are sparse in the
+  // graph's node space, so a map beats a full-size vector here).
+  std::unordered_map<NodeId, Lit> lit_of;
+  lit_of.reserve(cone.gates().size());
+  const auto fanin_lit = [&](NodeId d) -> Lit {
+    // CUT inputs win over cluster membership, mirroring ConeSimulator's
+    // slot_of (a DFF inside the cluster still enters via its input slot).
+    const auto at = std::lower_bound(inputs.begin(), inputs.end(), graph.net_of(d));
+    if (at != inputs.end() && *at == graph.net_of(d)) {
+      return input_lits[static_cast<std::size_t>(at - inputs.begin())];
+    }
+    const auto it = lit_of.find(d);
+    if (it == lit_of.end()) {
+      throw std::logic_error("encode_cone: fanin is neither CUT input nor cluster gate");
+    }
+    return it->second;
+  };
+
+  std::vector<Lit> fanins;
+  for (const NodeId v : cone.gates()) {
+    const Gate& gate = nl.gate(v);
+    const bool faulty_here = fault != nullptr && fault->gate == v;
+    if (faulty_here && fault->site == Fault::Site::kOutput) {
+      lit_of.emplace(v, stuck);  // stem fault: the gate's output is pinned
+      continue;
+    }
+    fanins.clear();
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const bool faulty_pin = faulty_here && fault->site == Fault::Site::kInputPin &&
+                              pin == fault->pin;
+      fanins.push_back(faulty_pin ? stuck : fanin_lit(gate.fanins[pin]));
+    }
+    lit_of.emplace(v, enc.encode(gate.type, fanins));
+  }
+
+  std::vector<Lit> outputs;
+  outputs.reserve(cone.observed_outputs().size());
+  for (const NetId net : cone.observed_outputs()) {
+    outputs.push_back(lit_of.at(graph.driver(net)));
+  }
+  return outputs;
+}
+
+std::vector<Lit> encode_fault_miter(CircuitEncoder& enc, const ConeSimulator& cone,
+                                    const Fault& fault) {
+  std::vector<Lit> inputs;
+  inputs.reserve(cone.cut_inputs().size());
+  for (std::size_t i = 0; i < cone.cut_inputs().size(); ++i) inputs.push_back(enc.fresh());
+
+  const std::vector<Lit> good = encode_cone(enc, cone, inputs, nullptr);
+  const std::vector<Lit> bad = encode_cone(enc, cone, inputs, &fault);
+
+  Clause any_diff;
+  any_diff.reserve(good.size());
+  for (std::size_t o = 0; o < good.size(); ++o) {
+    const Lit diff = enc.encode_xor(good[o], bad[o]);
+    if (diff == enc.lit_false()) continue;  // structurally untouched output
+    any_diff.push_back(diff);
+  }
+  if (any_diff.empty()) {
+    // The fault provably reaches no observed output: force UNSAT.
+    enc.solver().add_clause({enc.lit_false()});
+  } else {
+    enc.solver().add_clause(any_diff);
+  }
+  return inputs;
+}
+
+std::vector<Lit> encode_frame(CircuitEncoder& enc, const Netlist& netlist,
+                              std::span<const Lit> input_lits,
+                              std::span<const Lit> state_lits) {
+  if (input_lits.size() != netlist.inputs().size() ||
+      state_lits.size() != netlist.dffs().size()) {
+    throw std::invalid_argument("encode_frame: input/state literal count mismatch");
+  }
+  std::vector<Lit> lits(netlist.size(), kNoLit);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+    lits[netlist.inputs()[i]] = input_lits[i];
+  }
+  for (std::size_t i = 0; i < netlist.dffs().size(); ++i) {
+    lits[netlist.dffs()[i]] = state_lits[i];
+  }
+  std::vector<Lit> fanins;
+  for (const GateId id : netlist.combinational_topo_order()) {
+    const Gate& gate = netlist.gate(id);
+    fanins.clear();
+    for (const GateId f : gate.fanins) fanins.push_back(lits[f]);
+    lits[id] = enc.encode(gate.type, fanins);
+  }
+  return lits;
+}
+
+}  // namespace merced::sat

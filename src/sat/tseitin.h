@@ -1,0 +1,120 @@
+// Tseitin encoding of gate-level circuits into CNF, with structural
+// hash-consing.
+//
+// The encoder turns netlist gates into solver literals one gate at a time:
+// encode(type, fanins) returns a literal constrained (by Tseitin clauses)
+// to equal the gate's function of the fanin literals. Three folds keep the
+// CNF small and — critically — make miters of structurally-identical logic
+// collapse before the solver ever runs:
+//
+//  * constant folding — a gate whose value is forced by constant fanins
+//    becomes lit_true()/lit_false(), no clauses;
+//  * literal aliasing — BUF is its fanin, NOT is its complement, and the
+//    NAND/NOR/XNOR family encodes as the complement of its positive
+//    sibling (a literal flip is free in CNF);
+//  * hash-consing — symmetric gates sort (and dedup) their fanin literals,
+//    and a (type, fanins) cache returns the existing literal for a repeat
+//    structure. Two copies of the same cone therefore share one variable
+//    per gate, so an equivalence miter of a circuit against itself is
+//    UNSAT by unit propagation alone — CDCL effort is spent only where the
+//    two sides genuinely diverge (a fault site, a corrupted retiming).
+//
+// On top of the gate encoder sit the two circuit entry points the oracles
+// use: encode_cone (a CUT's combinational cone over free input variables,
+// with optional stuck-at fault injection mirroring ConeSimulator's fault
+// semantics exactly) and encode_frame (one clock frame of a whole netlist,
+// the building block of the unrolled retiming-equivalence miter).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+
+namespace merced::sat {
+
+class CircuitEncoder {
+ public:
+  /// Binds the encoder to `solver`; the encoder allocates variables and
+  /// clauses in it. One reserved variable backs the constant literals.
+  explicit CircuitEncoder(Solver& solver);
+
+  Solver& solver() noexcept { return *solver_; }
+
+  /// The constant-true / constant-false literals (one shared variable).
+  Lit lit_true() const noexcept { return true_; }
+  Lit lit_false() const noexcept { return ~true_; }
+
+  /// A fresh unconstrained variable (circuit input).
+  Lit fresh();
+
+  /// Literal computing `type` over `fanins` (fanin count must be valid for
+  /// the type, as in eval_gate). Hash-consed: structurally repeated calls
+  /// return the same literal without new clauses.
+  Lit encode(GateType type, std::span<const Lit> fanins);
+  Lit encode(GateType type, std::initializer_list<Lit> fanins) {
+    return encode(type, std::span<const Lit>(fanins.begin(), fanins.size()));
+  }
+
+  /// Literal asserting `a != b` (an XOR miter tap).
+  Lit encode_xor(Lit a, Lit b) { return encode(GateType::kXor, {a, b}); }
+
+  /// Number of structurally-shared lookups served from the cache.
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  /// Number of gates that actually produced clauses.
+  std::uint64_t gates_encoded() const noexcept { return gates_encoded_; }
+
+ private:
+  struct Key {
+    GateType type;
+    std::vector<Lit> fanins;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  Lit encode_and(std::span<const Lit> fanins);  // n-ary AND after folding
+  Lit encode_xor_chain(std::span<const Lit> fanins);
+  Lit encode_mux(Lit sel, Lit a, Lit b);
+  Lit consed(GateType canonical, std::vector<Lit> fanins, bool& fresh_entry);
+
+  Solver* solver_;
+  Lit true_;
+  std::unordered_map<Key, Lit, KeyHash> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t gates_encoded_ = 0;
+};
+
+/// Encodes the combinational cone of a CUT over `input_lits` (one literal
+/// per cone.cut_inputs() entry, typically fresh variables). Returns one
+/// literal per cone.observed_outputs() entry. If `fault` is non-null it is
+/// injected exactly as ConeSimulator does: an output-stem fault forces the
+/// gate's literal to the stuck constant; an input-pin fault replaces that
+/// one pin's fanin literal at the faulty gate only.
+std::vector<Lit> encode_cone(CircuitEncoder& enc, const ConeSimulator& cone,
+                             std::span<const Lit> input_lits,
+                             const Fault* fault = nullptr);
+
+/// Builds the good-vs-faulty miter of one CUT fault over shared fresh input
+/// variables and asserts "some observed output differs". Returns the input
+/// literals (cut_inputs() order) so a SAT model yields the detecting
+/// pattern. The caller owns the solver verdict.
+std::vector<Lit> encode_fault_miter(CircuitEncoder& enc, const ConeSimulator& cone,
+                                    const Fault& fault);
+
+/// One clock frame of a whole netlist: given per-PI literals
+/// (netlist.inputs() order) and per-DFF output literals (netlist.dffs()
+/// order), returns a literal for every gate's output this frame (indexed by
+/// GateId; DFF entries echo `state_lits`, PI entries echo `input_lits`).
+std::vector<Lit> encode_frame(CircuitEncoder& enc, const Netlist& netlist,
+                              std::span<const Lit> input_lits,
+                              std::span<const Lit> state_lits);
+
+}  // namespace merced::sat

@@ -493,4 +493,20 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_in
   return exhaustive_coverage(cone, opt);
 }
 
+bool detects_pattern(const ConeSimulator& cone, const Fault& fault,
+                     const std::vector<bool>& pattern) {
+  if (pattern.size() != cone.cut_inputs().size()) {
+    throw std::invalid_argument("detects_pattern: pattern width != CUT input count");
+  }
+  // Broadcast the single pattern across all 64 lanes and probe lane 0 only;
+  // identical lanes keep the kernel's word-parallel path untouched.
+  std::vector<std::uint64_t> inputs(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    inputs[i] = pattern[i] ? ~std::uint64_t{0} : 0;
+  }
+  ConeSimulator::Workspace ws;
+  cone.eval(inputs, ws);
+  return cone.fault_observable(ws, fault, std::uint64_t{1});
+}
+
 }  // namespace merced

@@ -82,6 +82,9 @@ class ConeSimulator {
   ConeSimulator(const CircuitGraph& graph, const Clustering& clustering,
                 std::size_t cluster_index);
 
+  /// The circuit graph this cone was built over.
+  const CircuitGraph& graph() const noexcept { return *graph_; }
+
   /// Input nets of the CUT, sorted ascending; ι = size().
   std::span<const NetId> cut_inputs() const noexcept { return inputs_; }
 
@@ -183,6 +186,13 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_in
 /// enforce their max_inputs policy.
 void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> faults,
                              IndexRange range, std::uint8_t* detected);
+
+/// Replays one concrete input pattern (cut_inputs() order) on the
+/// event-driven kernel and reports whether `fault` is observable on it.
+/// This is the bridge the SAT redundancy prover crosses back over: a SAT
+/// model of the fault miter becomes a pattern the kernel must confirm.
+bool detects_pattern(const ConeSimulator& cone, const Fault& fault,
+                     const std::vector<bool>& pattern);
 
 /// Fills `words` (size n = cut_inputs().size()) with the 64 patterns of
 /// `batch`: lane l of input bit i carries bit i of pattern index

@@ -21,6 +21,7 @@
 #include "netlist/bench_io.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "sat/prove_json.h"
 #include "verify/diagnostic.h"
 #include "verify/rule_ids.h"
 #include "verify/verify_json.h"
@@ -153,6 +154,100 @@ TEST(FuzzJsonErrorPathTest, OverexecutedRunsAreRejected) {
             "summary: more runs executed than requested");
 }
 
+// ---- prove_json error paths --------------------------------------------
+
+std::string valid_prove_doc() {
+  // One CUT whose verdicts partition the solve count: 3 detected faults all
+  // SAT-confirmed and replayed, 1 undetected fault with an UNSAT certificate.
+  sat::CutProof p;
+  p.cluster_index = 0;
+  p.num_inputs = 2;
+  p.total_faults = 4;
+  p.detected = 3;
+  p.proved_redundant = 1;
+  p.proved_detectable = 3;
+  p.replayed = 3;
+  p.solves = 4;
+  sat::ProveRunInfo run;
+  run.tool = "t";
+  run.circuit = "c";
+  run.lk = 8;
+  std::ostringstream os;
+  sat::write_prove_json(os, {&p, 1}, run);
+  return os.str();
+}
+
+TEST(ProveJsonErrorPathTest, FreshReportValidates) {
+  EXPECT_EQ(sat::validate_prove_json(parse(valid_prove_doc())), "");
+}
+
+TEST(ProveJsonErrorPathTest, TruncatedJsonThrowsParseError) {
+  const std::string doc = valid_prove_doc();
+  EXPECT_THROW(parse(doc.substr(0, doc.size() / 2)), obs::JsonParseError);
+}
+
+TEST(ProveJsonErrorPathTest, WrongSchemaStringIsNamedExactly) {
+  std::string doc = valid_prove_doc();
+  const std::size_t at = doc.find("merced-prove-v1");
+  doc.replace(at, std::string("merced-prove-v1").size(), "merced-prove-v2");
+  EXPECT_EQ(sat::validate_prove_json(parse(doc)), "unknown schema \"merced-prove-v2\"");
+}
+
+TEST(ProveJsonErrorPathTest, MissingMemberIsNamedExactly) {
+  EXPECT_EQ(sat::validate_prove_json(parse(R"({"run": {}})")),
+            "root: missing member \"schema\"");
+  EXPECT_EQ(sat::validate_prove_json(parse(R"({"schema": 7})")),
+            "root: member \"schema\" has wrong type");
+  EXPECT_EQ(sat::validate_prove_json(
+                parse(R"({"schema": "merced-prove-v1", "run": {"tool": "t"}})")),
+            "run: missing member \"circuit\"");
+}
+
+TEST(ProveJsonErrorPathTest, SummaryDriftIsRejected) {
+  std::string doc = valid_prove_doc();
+  const std::size_t at = doc.find("\"proved_redundant\": 1,");
+  ASSERT_NE(at, std::string::npos);  // summary comes before the cuts array
+  doc.replace(at, std::string("\"proved_redundant\": 1,").size(),
+              "\"proved_redundant\": 5,");
+  EXPECT_EQ(sat::validate_prove_json(parse(doc)),
+            "summary: \"proved_redundant\" disagrees with the cuts array");
+}
+
+TEST(ProveJsonErrorPathTest, BrokenVerdictPartitionIsRejected) {
+  // Corrupt the per-cut entry (second occurrence of "solves") so redundant +
+  // detectable + unknown no longer partition the solve count.
+  std::string doc = valid_prove_doc();
+  const std::size_t first = doc.find("\"solves\": 4");
+  ASSERT_NE(first, std::string::npos);
+  const std::size_t at = doc.find("\"solves\": 4", first + 1);
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, std::string("\"solves\": 4").size(), "\"solves\": 9");
+  EXPECT_EQ(sat::validate_prove_json(parse(doc)),
+            "cut: verdict counts do not partition \"solves\"");
+}
+
+TEST(ProveJsonErrorPathTest, OverclaimedReplayIsRejected) {
+  std::string doc = valid_prove_doc();
+  // The per-cut entry claims more replayed vectors than SAT verdicts.
+  const std::size_t first = doc.find("\"replayed\": 3");
+  ASSERT_NE(first, std::string::npos);
+  const std::size_t at = doc.find("\"replayed\": 3", first + 1);
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, std::string("\"replayed\": 3").size(), "\"replayed\": 7");
+  EXPECT_EQ(sat::validate_prove_json(parse(doc)),
+            "cut: \"replayed\" exceeds \"proved_detectable\"");
+}
+
+TEST(ProveJsonErrorPathTest, FullyExplainedDriftIsRejected) {
+  std::string doc = valid_prove_doc();
+  const std::size_t at = doc.find("\"fully_explained\": true");
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, std::string("\"fully_explained\": true").size(),
+              "\"fully_explained\": false");
+  EXPECT_EQ(sat::validate_prove_json(parse(doc)),
+            "summary: \"fully_explained\" disagrees with the verdict counts");
+}
+
 // ---- binary exit codes --------------------------------------------------
 
 #if defined(METRICS_CHECK_BIN) && defined(MERCED_FUZZ_BIN)
@@ -187,6 +282,10 @@ TEST(CliExitCodeTest, MetricsCheckValidAndInvalidArtifacts) {
   const std::string good_fuzz = write_temp("good_fuzz.json", valid_fuzz_doc());
   EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --fuzz " + good_fuzz), 0);
 
+  const std::string good_prove = write_temp("good_prove.json", valid_prove_doc());
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --prove " + good_prove), 0);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --prove " + good_fuzz), 1);
+
   EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --verify /nonexistent.json"), 1);
 }
 
@@ -201,6 +300,9 @@ TEST(CliExitCodeTest, MercedFuzzExitCodes) {
   EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --seed 1 --runs 4 --minimize off"), 0);
   EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) +
                 " --seed 1 --runs 4 --minimize off --inject-defect drop-cut"),
+            1);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) +
+                " --seed 1 --runs 4 --minimize off --inject-defect skew-tap"),
             1);
 }
 

@@ -1,9 +1,9 @@
 // End-to-end tests of the differential fuzzing subsystem: seed plumbing,
 // mutator validity, oracle-stack behaviour on pristine and defective
 // pipelines, the minimizer's signature-preservation contract, and corpus
-// dedup + replay. The three canned defects (drop-cut, skew-rho, lane-mask)
-// are the standing proof that the oracle stack rejects a broken pipeline
-// instead of rubber-stamping it.
+// dedup + replay. The four canned defects (drop-cut, skew-rho, lane-mask,
+// skew-tap) are the standing proof that the oracle stack rejects a broken
+// pipeline instead of rubber-stamping it.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -168,7 +168,9 @@ INSTANTIATE_TEST_SUITE_P(
         DefectCase{fz::FuzzDefect::kDropCut, "verify", "verify:PART-CUT-MISSING"},
         DefectCase{fz::FuzzDefect::kSkewRho, "verify", "verify:RET-NEG-WEIGHT"},
         DefectCase{fz::FuzzDefect::kLaneMask, "kernel-conformance",
-                   "kernel-conformance:mask"}),
+                   "kernel-conformance:mask"},
+        DefectCase{fz::FuzzDefect::kSkewTap, "sat-equivalence",
+                   "sat-equivalence:refuted"}),
     [](const ::testing::TestParamInfo<DefectCase>& info) {
       std::string name(fz::to_string(info.param.defect));
       for (char& ch : name) {
@@ -264,11 +266,11 @@ TEST(CorpusTest, ReplayFlagsSignatureMismatch) {
 
 #ifdef MERCED_CORPUS_DIR
 TEST(CorpusTest, CommittedRegressionCorpusReplaysAsExpected) {
-  // The checked-in corpus (tests/corpus) is the standing regression set: 3
+  // The checked-in corpus (tests/corpus) is the standing regression set: 4
   // expect-fail witnesses (one per canned defect) plus a fixed-clean guard.
   const fz::Corpus corpus(MERCED_CORPUS_DIR);
   const std::vector<fz::CorpusEntry> entries = corpus.load();
-  EXPECT_GE(entries.size(), 4u) << "committed corpus lost entries";
+  EXPECT_GE(entries.size(), 5u) << "committed corpus lost entries";
   const auto outcomes = fz::replay_corpus(entries, fz::OracleOptions{});
   for (const fz::ReplayOutcome& o : outcomes) {
     EXPECT_TRUE(o.ok) << o.entry.path << ": " << o.detail;

@@ -1,0 +1,269 @@
+// Golden and property tests for the SAT oracles (src/sat/redundancy.h,
+// src/sat/equivalence.h) — the layer that turns the kernel's "undetected"
+// into a machine-checked "redundant" and the compiler's retiming plan into
+// a proved-equivalent circuit.
+//
+// Pinned here:
+//  * the hand-built redundant cone from sim_kernel_test is *proved*
+//    redundant (UNSAT certificates, zero unexplained gaps);
+//  * a known-irredundant cone yields SAT verdicts whose detecting vectors
+//    the event-driven kernel confirms one by one;
+//  * on random compiled circuits every fault's verdict is consistent
+//    between sweep and SAT, at jobs=1 and jobs=8;
+//  * the compiled retiming plan proves equivalent (base + induction), and
+//    corrupting either the plan or the tap formula flips the verdict.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "circuits/generator.h"
+#include "core/merced.h"
+#include "graph/circuit_graph.h"
+#include "netlist/bench_io.h"
+#include "partition/clustering.h"
+#include "retiming/retime_graph.h"
+#include "sat/equivalence.h"
+#include "sat/redundancy.h"
+#include "sim/cone.h"
+
+namespace merced {
+namespace {
+
+Clustering whole_circuit_cluster(const CircuitGraph& g) {
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters.emplace_back();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) {
+      c.cluster_of[v] = 0;
+      c.clusters[0].push_back(v);
+    }
+  }
+  return c;
+}
+
+SyntheticSpec random_spec(std::uint64_t seed) {
+  std::mt19937_64 rng(0xabcdef1234567890ULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+  auto in = [&](std::size_t lo, std::size_t hi) { return lo + rng() % (hi - lo + 1); };
+  SyntheticSpec s;
+  s.name = "sat" + std::to_string(seed);
+  s.num_pis = in(4, 10);
+  s.num_dffs = in(3, 12);
+  s.num_gates = in(30, 90);
+  s.num_invs = in(5, 20);
+  s.target_area = (s.num_gates + s.num_invs) * in(3, 5);
+  s.scc_dff_fraction = static_cast<double>(in(5, 10)) / 10.0;
+  s.seed = seed * 7 + 1;
+  return s;
+}
+
+// ------------------------------------------------- redundancy prover ---
+
+// The sim_kernel_test cone: red = OR(a, NOT(a)) is constant 1, z = OR(red,
+// CONST1) is constant 1 — stuck-at-1 faults there are undetectable by
+// construction. The prover must close every one of those gaps with an
+// UNSAT certificate.
+TEST(SatRedundancy, HandBuiltRedundantConeIsProved) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nINPUT(g)\n"
+      "OUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n"
+      "wide = AND(a, b, c, d, e, f, g)\n"
+      "xn = NOT(a)\n"
+      "red = OR(a, xn)\n"
+      "k1 = CONST1()\n"
+      "par = XOR(b, c, d, e)\n"
+      "m = MUX(a, par, wide)\n"
+      "y = NOR(m, red)\n"
+      "z = OR(red, k1)\n"
+      "w = XNOR(wide, par)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+
+  const sat::CutProof proof = sat::prove_cut_coverage(g, c, 0);
+  EXPECT_GT(proof.total_faults, 0u);
+  EXPECT_GT(proof.proved_redundant, 0u) << "the cone contains redundant faults";
+  EXPECT_TRUE(proof.fully_explained())
+      << proof.unknown << " unknown, " << proof.inconsistent << " inconsistent";
+  // Closure: every fault is either sweep-detected (and SAT-confirmed with a
+  // replayed vector) or carries an UNSAT certificate.
+  EXPECT_EQ(proof.detected + proof.proved_redundant, proof.total_faults);
+  EXPECT_EQ(proof.replayed, proof.proved_detectable)
+      << "some SAT vector did not replay on the kernel";
+  for (const sat::FaultVerdict& v : proof.verdicts) {
+    EXPECT_TRUE(v.consistent) << "fault on gate " << v.fault.gate;
+    if (!v.detected_by_sweep) {
+      EXPECT_EQ(v.proof, sat::FaultVerdict::Proof::kRedundant);
+    }
+  }
+}
+
+// A cone with no redundancy: every fault must come back SAT with a vector
+// the kernel confirms, and nothing may be proved redundant.
+TEST(SatRedundancy, IrredundantConeYieldsReplayableVectors) {
+  // XOR spines propagate every pin flip, so each collapsed fault here has a
+  // test (the NAND/NOR variant of this cone in sim_kernel_test hides one
+  // genuinely redundant pin fault — the prover found it during bring-up).
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n"
+      "s = XOR(a, b)\ny = XOR(s, c)\nz = AND(s, c)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+
+  const sat::CutProof proof = sat::prove_cut_coverage(g, c, 0);
+  EXPECT_EQ(proof.proved_redundant, 0u);
+  EXPECT_EQ(proof.detected, proof.total_faults);
+  EXPECT_EQ(proof.proved_detectable, proof.total_faults);
+  EXPECT_EQ(proof.replayed, proof.total_faults);
+  EXPECT_TRUE(proof.fully_explained());
+  for (const sat::FaultVerdict& v : proof.verdicts) {
+    ASSERT_EQ(v.proof, sat::FaultVerdict::Proof::kDetectable);
+    ASSERT_EQ(v.pattern.size(), g.netlist().inputs().size());
+    EXPECT_TRUE(detects_pattern(ConeSimulator(g, c, 0), v.fault, v.pattern));
+  }
+}
+
+// Skipping the SAT cross-check of detected faults must not change the
+// redundancy verdicts, only the solve count.
+TEST(SatRedundancy, ProveDetectedOffProvesOnlyTheResidue) {
+  const Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\n"
+      "xn = NOT(a)\nred = OR(a, xn)\nz = AND(red, b)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+
+  sat::ProveOptions opt;
+  opt.prove_detected = false;
+  const sat::CutProof lean = sat::prove_cut_coverage(g, c, 0, opt);
+  const sat::CutProof full = sat::prove_cut_coverage(g, c, 0);
+  EXPECT_EQ(lean.proved_redundant, full.proved_redundant);
+  EXPECT_EQ(lean.solves, lean.total_faults - lean.detected);
+  EXPECT_EQ(full.solves, full.total_faults);
+  EXPECT_TRUE(lean.fully_explained());
+}
+
+// On random compiled circuits, every per-CUT verdict must be consistent
+// between the exhaustive sweep and the SAT prover, independent of the
+// sweep's sharding width.
+TEST(SatRedundancy, RandomCompiledCircuitsAreFullyExplained) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Netlist nl = generate_circuit(random_spec(seed));
+    MercedConfig config;
+    config.lk = 10;
+    const MercedResult r = compile(nl, config);
+    const CircuitGraph g(nl);
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+      sat::ProveOptions opt;
+      opt.jobs = jobs;
+      for (std::size_t ci = 0; ci < r.partitions.clusters.size(); ++ci) {
+        const sat::CutProof proof = sat::prove_cut_coverage(g, r.partitions, ci, opt);
+        EXPECT_TRUE(proof.fully_explained())
+            << "seed " << seed << " cluster " << ci << " jobs " << jobs << ": "
+            << proof.unknown << " unknown, " << proof.inconsistent << " inconsistent";
+        EXPECT_EQ(proof.detected + proof.proved_redundant, proof.total_faults)
+            << "seed " << seed << " cluster " << ci;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------- equivalence checker ---
+
+// The compiler's own retiming plan must prove equivalent, base and step.
+TEST(SatEquivalence, CompiledRetimingProvesEquivalent) {
+  for (std::uint64_t seed : {1u, 4u, 9u}) {
+    const Netlist nl = generate_circuit(random_spec(seed));
+    MercedConfig config;
+    const PreparedCircuit prepared(nl, config.flow);
+    const MercedResult r = compile(prepared, config);
+
+    const sat::EquivalenceResult res =
+        sat::check_retiming_equivalence(prepared.graph, r.retiming.rho);
+    EXPECT_EQ(res.status, sat::EquivStatus::kProved) << "seed " << seed << ": " << res.error;
+    EXPECT_TRUE(res.base_proved) << "seed " << seed;
+    EXPECT_TRUE(res.induction_proved) << "seed " << seed;
+    EXPECT_FALSE(res.counterexample.has_value());
+  }
+}
+
+// The identity retiming is structurally collapsed: the miter should fold
+// away and cost (nearly) no conflicts.
+TEST(SatEquivalence, IdentityRetimingCollapsesStructurally) {
+  const Netlist nl = generate_circuit(random_spec(5));
+  const CircuitGraph g(nl);
+  const RetimeGraph rg(g);
+  const Retiming identity(rg.num_vertices(), 0);
+
+  const sat::EquivalenceResult res = sat::check_retiming_equivalence(g, identity);
+  EXPECT_EQ(res.status, sat::EquivStatus::kProved) << res.error;
+  EXPECT_EQ(res.stats.conflicts, 0u) << "identity miter should fold by sharing";
+  EXPECT_GT(res.cache_hits, 0u);
+}
+
+// A deterministic register-moving retiming: ρ(g) = 1 pushes the DFF from
+// g's output back onto both of its inputs (w_ρ(a→g) = 1, w_ρ(g→y) = 0).
+// The XOR makes every input change observable, so a one-cycle tap error
+// cannot hide.
+struct Pipeline {
+  Netlist nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "g = XOR(a, b)\nd1 = DFF(g)\ny = NOT(d1)\n");
+  CircuitGraph graph{nl};
+  RetimeGraph rg{graph};
+  Retiming rho;
+
+  Pipeline() : rho(rg.num_vertices(), 0) {
+    const NodeId g_node = nl.find("g");
+    rho.at(rg.vertex_of(g_node)) = 1;
+  }
+};
+
+// Sanity: the hand-built retiming itself is legal and proves equivalent.
+TEST(SatEquivalence, HandBuiltBackwardMoveProvesEquivalent) {
+  const Pipeline p;
+  ASSERT_TRUE(p.rg.is_legal(p.rho));
+  const sat::EquivalenceResult res = sat::check_retiming_equivalence(p.graph, p.rho);
+  EXPECT_EQ(res.status, sat::EquivStatus::kProved) << res.error;
+  EXPECT_EQ(res.retimed_registers, 2u) << "expected one register per XOR input";
+}
+
+// A corrupted tap formula (the fuzz "skew-tap" defect) must flip a genuine
+// retiming to refuted — with an unconfirmable counterexample, because the
+// machines themselves still agree; only the checker's window is wrong.
+TEST(SatEquivalence, SkewedTapFormulaIsRefuted) {
+  const Pipeline p;
+  sat::EquivalenceOptions opt;
+  opt.tap_skew = 1;
+  const sat::EquivalenceResult res =
+      sat::check_retiming_equivalence(p.graph, p.rho, opt);
+  ASSERT_EQ(res.status, sat::EquivStatus::kRefuted)
+      << "the skewed tap formula never tripped the checker: " << res.error;
+  ASSERT_TRUE(res.counterexample.has_value());
+  EXPECT_FALSE(res.counterexample->confirmed)
+      << "honest replay agreed with a skewed miter hit";
+}
+
+// An illegal plan (made illegal by corrupting one label so a retimed edge
+// weight goes negative) is a build failure, not a crash.
+TEST(SatEquivalence, IllegalRetimingFailsToBuild) {
+  const Netlist nl = generate_circuit(random_spec(2));
+  MercedConfig config;
+  const PreparedCircuit prepared(nl, config.flow);
+  const MercedResult r = compile(prepared, config);
+  const RetimeGraph rg(prepared.graph);
+
+  Retiming bad = r.retiming.rho;
+  ASSERT_FALSE(bad.empty());
+  // Push one edge's sink label far enough negative that its retimed weight
+  // (w + ρ(to) − ρ(from)) violates Eq. 3.
+  ASSERT_FALSE(rg.edges().empty());
+  bad[rg.edges()[0].to] -= 1000;
+  ASSERT_FALSE(rg.is_legal(bad));
+
+  const sat::EquivalenceResult res = sat::check_retiming_equivalence(prepared.graph, bad);
+  EXPECT_EQ(res.status, sat::EquivStatus::kBuildFailed);
+  EXPECT_FALSE(res.error.empty());
+}
+
+}  // namespace
+}  // namespace merced

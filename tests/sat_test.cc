@@ -1,0 +1,289 @@
+// Property tests for the CDCL solver (src/sat/solver.h) against two
+// independent brute-force oracles.
+//
+// The solver is the proof core of the redundancy and equivalence oracles —
+// a wrong kUnsat there silently "certifies" a testable fault as redundant.
+// So the solver itself is pinned the classic way: thousands of random small
+// CNFs, each cross-checked against (a) exhaustive truth-table enumeration
+// (up to 12 variables) and (b) a plain recursive DPLL with unit propagation
+// (up to 20 variables). Every kSat answer must additionally carry a model
+// that satisfies the original clause list — the solver is never trusted
+// about its own verdict.
+#include "sat/cnf.h"
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace merced::sat {
+namespace {
+
+// ---------------------------------------------------------------- oracles
+
+/// Exhaustive truth-table satisfiability (<= ~20 vars practical up to 12
+/// here).
+bool truth_table_sat(const Cnf& cnf) {
+  const std::size_t n = cnf.num_vars;
+  std::vector<bool> assignment(n, false);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+    for (std::size_t v = 0; v < n; ++v) assignment[v] = ((m >> v) & 1) != 0;
+    if (cnf_satisfied(cnf, assignment)) return true;
+  }
+  return false;
+}
+
+/// Recursive DPLL with unit propagation — structurally unrelated to the
+/// CDCL implementation, so a shared bug is unlikely.
+bool dpll_sat(std::vector<Clause> clauses, std::vector<std::int8_t>& assign) {
+  // Unit propagation to fixpoint.
+  for (;;) {
+    bool changed = false;
+    for (const Clause& c : clauses) {
+      std::size_t unassigned = 0;
+      Lit unit = kNoLit;
+      bool satisfied = false;
+      for (const Lit l : c) {
+        const std::int8_t a = assign[l.var()];
+        if (a == -1) {
+          ++unassigned;
+          unit = l;
+        } else if ((a != 0) != l.negated()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) return false;  // falsified clause
+      if (unassigned == 1) {
+        assign[unit.var()] = unit.negated() ? 0 : 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Pick the first unassigned variable appearing in an unsatisfied clause.
+  for (const Clause& c : clauses) {
+    bool satisfied = false;
+    for (const Lit l : c) {
+      const std::int8_t a = assign[l.var()];
+      if (a != -1 && (a != 0) != l.negated()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    for (const Lit l : c) {
+      if (assign[l.var()] != -1) continue;
+      for (const std::int8_t value : {std::int8_t{1}, std::int8_t{0}}) {
+        std::vector<std::int8_t> branch = assign;
+        branch[l.var()] = value;
+        if (dpll_sat(clauses, branch)) {
+          assign = std::move(branch);
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return true;  // every clause satisfied
+}
+
+bool dpll_sat(const Cnf& cnf) {
+  std::vector<std::int8_t> assign(cnf.num_vars, -1);
+  return dpll_sat(cnf.clauses, assign);
+}
+
+// ------------------------------------------------------------ generators
+
+Cnf random_cnf(std::mt19937& rng, std::size_t num_vars, std::size_t num_clauses,
+               std::size_t max_width) {
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  std::uniform_int_distribution<std::size_t> width(1, max_width);
+  std::uniform_int_distribution<Var> var(0, static_cast<Var>(num_vars - 1));
+  std::bernoulli_distribution sign(0.5);
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    const std::size_t w = width(rng);
+    for (std::size_t i = 0; i < w; ++i) clause.push_back(make_lit(var(rng), sign(rng)));
+    cnf.add(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Runs the CDCL solver on `cnf` and checks the verdict against `expected`;
+/// on kSat also checks the extracted model against the original clauses.
+void check_against(const Cnf& cnf, bool expected, const char* context) {
+  Solver solver;
+  for (std::size_t v = 0; v < cnf.num_vars; ++v) solver.new_var();
+  bool early_unsat = false;
+  for (const Clause& c : cnf.clauses) {
+    if (!solver.add_clause(c)) {
+      early_unsat = true;
+      break;
+    }
+  }
+  if (early_unsat) {
+    ASSERT_FALSE(expected) << context << ": add_clause reported UNSAT on a SAT formula";
+    return;
+  }
+  const Verdict verdict = solver.solve();
+  ASSERT_NE(verdict, Verdict::kUnknown) << context << ": unbounded solve returned kUnknown";
+  ASSERT_EQ(verdict == Verdict::kSat, expected) << context << ": verdict disagrees with oracle";
+  if (verdict == Verdict::kSat) {
+    std::vector<bool> model(cnf.num_vars);
+    for (std::size_t v = 0; v < cnf.num_vars; ++v) {
+      model[v] = solver.model_value(static_cast<Var>(v));
+    }
+    ASSERT_TRUE(cnf_satisfied(cnf, model)) << context << ": kSat model violates a clause";
+  }
+}
+
+// ----------------------------------------------------------------- tests
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver solver;
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+}
+
+TEST(SatSolver, SingleUnitAndItsNegationIsUnsat) {
+  Solver solver;
+  const Var v = solver.new_var();
+  EXPECT_TRUE(solver.add_clause({make_lit(v)}));
+  EXPECT_FALSE(solver.add_clause({~make_lit(v)}));
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+}
+
+TEST(SatSolver, UnitPropagationAloneSettlesChains) {
+  // x0, x0→x1, x1→x2, ..., a pure implication chain: zero decisions needed.
+  Solver solver;
+  constexpr std::size_t kChain = 64;
+  std::vector<Var> vars;
+  for (std::size_t i = 0; i < kChain; ++i) vars.push_back(solver.new_var());
+  ASSERT_TRUE(solver.add_clause({make_lit(vars[0])}));
+  for (std::size_t i = 0; i + 1 < kChain; ++i) {
+    ASSERT_TRUE(solver.add_clause({~make_lit(vars[i]), make_lit(vars[i + 1])}));
+  }
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+  EXPECT_EQ(solver.stats().decisions, 0u) << "implication chain needed decisions";
+  for (const Var v : vars) EXPECT_TRUE(solver.model_value(v));
+}
+
+TEST(SatSolver, PigeonholeTwoIntoOneIsUnsat) {
+  // Two pigeons, one hole: p0h0, p1h0, ¬p0h0 ∨ ¬p1h0 — with both pigeons
+  // forced somewhere. Classic tiny UNSAT core exercising conflict analysis.
+  Solver solver;
+  const Var p0 = solver.new_var();
+  const Var p1 = solver.new_var();
+  ASSERT_TRUE(solver.add_clause({make_lit(p0)}));
+  ASSERT_TRUE(solver.add_clause({make_lit(p1)}));
+  solver.add_clause({~make_lit(p0), ~make_lit(p1)});
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+}
+
+TEST(SatSolver, RepeatedSolveIsStable) {
+  // solve() must be repeatable and tolerate clause additions in between.
+  Solver solver;
+  const Var a = solver.new_var();
+  const Var b = solver.new_var();
+  ASSERT_TRUE(solver.add_clause({make_lit(a), make_lit(b)}));
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+  ASSERT_TRUE(solver.add_clause({~make_lit(a)}));
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+  EXPECT_TRUE(solver.model_value(b));
+  solver.add_clause({~make_lit(b)});
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);  // sticky after UNSAT
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  // A hard random 3-SAT instance near the phase transition with a one-
+  // conflict budget must come back kUnknown, not wrong.
+  std::mt19937 rng(7);
+  const Cnf cnf = random_cnf(rng, 30, 128, 3);
+  Solver solver;
+  for (std::size_t v = 0; v < cnf.num_vars; ++v) solver.new_var();
+  bool open = true;
+  for (const Clause& c : cnf.clauses) open = open && solver.add_clause(c);
+  if (open) {
+    const Verdict v = solver.solve(1);
+    if (v == Verdict::kUnknown) {
+      // Budget exhausted mid-search; an unbounded re-solve must finish and
+      // agree with the oracle.
+      EXPECT_EQ(solver.solve() == Verdict::kSat, dpll_sat(cnf));
+    }
+  }
+}
+
+TEST(SatSolver, AgreesWithTruthTableOnThousandsOfSmallCnfs) {
+  std::mt19937 rng(0x5eed);
+  std::uniform_int_distribution<std::size_t> vars(1, 12);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t n = vars(rng);
+    std::uniform_int_distribution<std::size_t> clauses(1, 3 * n + 2);
+    const Cnf cnf = random_cnf(rng, n, clauses(rng), std::min<std::size_t>(n, 4));
+    check_against(cnf, truth_table_sat(cnf),
+                  ("truth-table iter " + std::to_string(iter)).c_str());
+  }
+}
+
+TEST(SatSolver, AgreesWithDpllOnWiderCnfs) {
+  std::mt19937 rng(0xcafe);
+  std::uniform_int_distribution<std::size_t> vars(8, 20);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::size_t n = vars(rng);
+    // ~4.3 clauses/var straddles the 3-SAT phase transition, where random
+    // instances are hardest and both verdicts occur.
+    std::uniform_int_distribution<std::size_t> clauses(2 * n, 5 * n);
+    const Cnf cnf = random_cnf(rng, n, clauses(rng), 3);
+    check_against(cnf, dpll_sat(cnf), ("dpll iter " + std::to_string(iter)).c_str());
+  }
+}
+
+TEST(SatSolver, UnsatCoreFamilies) {
+  // Parametric XOR-chain UNSAT cores: x1⊕x2⊕...⊕xk = 0 and = 1 encoded as
+  // CNF simultaneously. Every instance is UNSAT and forces real resolution
+  // (no unit clause exists initially).
+  for (std::size_t k = 2; k <= 10; ++k) {
+    Cnf cnf;
+    for (std::size_t i = 0; i < k; ++i) cnf.new_var();
+    // chain variables c_i = x0 ⊕ ... ⊕ xi
+    std::vector<Var> c;
+    c.push_back(0);
+    for (std::size_t i = 1; i < k; ++i) {
+      const Var ci = cnf.new_var();
+      const Lit a = make_lit(c.back());
+      const Lit b = make_lit(static_cast<Var>(i));
+      const Lit y = make_lit(ci);
+      cnf.add({~y, a, b});
+      cnf.add({~y, ~a, ~b});
+      cnf.add({y, ~a, b});
+      cnf.add({y, a, ~b});
+      c.push_back(ci);
+    }
+    cnf.add({make_lit(c.back())});   // parity = 1
+    cnf.add({~make_lit(c.back())});  // parity = 0
+    check_against(cnf, false, ("xor-core k=" + std::to_string(k)).c_str());
+  }
+}
+
+TEST(SatSolver, ModelSurvivesTrailUnwindAcrossAddClause) {
+  // Regression guard: model_value must answer from saved phases after a
+  // post-solve add_clause unwound the trail.
+  Solver solver;
+  const Var a = solver.new_var();
+  const Var b = solver.new_var();
+  ASSERT_TRUE(solver.add_clause({make_lit(a)}));
+  ASSERT_TRUE(solver.add_clause({~make_lit(a), make_lit(b)}));
+  ASSERT_EQ(solver.solve(), Verdict::kSat);
+  const Var c = solver.new_var();
+  ASSERT_TRUE(solver.add_clause({make_lit(c), ~make_lit(c), make_lit(a)}));  // tautology
+  EXPECT_TRUE(solver.model_value(a));
+  EXPECT_TRUE(solver.model_value(b));
+}
+
+}  // namespace
+}  // namespace merced::sat
