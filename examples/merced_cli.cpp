@@ -3,7 +3,7 @@
 // Usage:
 //   merced_cli <circuit|path.bench> [--lk N] [--beta N] [--seed N]
 //              [--alpha F] [--delta F] [--min-visit N]
-//              [--jobs N] [--starts K]
+//              [--jobs N] [--starts K] [--simd auto|64|256|512]
 //              [--trace FILE] [--metrics FILE]
 //              [--verify] [--verify-json FILE] [--inject-defect KIND]
 //              [--prove-coverage] [--prove-json FILE]
@@ -17,6 +17,12 @@
 // --starts K runs K independent flow saturations (multi-start) and keeps
 // the best Make_Group outcome; --jobs N fans the starts out over N worker
 // threads (0 = all hardware threads). Output is identical for any --jobs.
+//
+// --simd picks the coverage-kernel lane width (default auto = MERCED_SIMD
+// override, then the widest backend this CPU supports). A width the host
+// cannot run — or a malformed value — is a usage error (exit 2), exactly
+// like a malformed --jobs. Coverage results are identical for every width;
+// the resolved width is surfaced in the metrics artifact's run.simd.
 //
 // --trace FILE enables the observability layer and writes a
 // Chrome/Perfetto trace (open in chrome://tracing or ui.perfetto.dev) with
@@ -62,6 +68,7 @@
 #include "sat/equivalence.h"
 #include "sat/prove_json.h"
 #include "sat/redundancy.h"
+#include "sim/simd.h"
 #include "verify/verify_json.h"
 
 namespace {
@@ -69,7 +76,7 @@ namespace {
 void usage() {
   std::cerr << "usage: merced_cli <circuit|file.bench> [--lk N] [--beta N] [--seed N]\n"
                "                  [--alpha F] [--delta F] [--min-visit N]\n"
-               "                  [--jobs N] [--starts K]\n"
+               "                  [--jobs N] [--starts K] [--simd auto|64|256|512]\n"
                "                  [--trace FILE] [--metrics FILE]\n"
                "                  [--verify] [--verify-json FILE] [--inject-defect KIND]\n"
                "                  [--prove-coverage] [--prove-json FILE]\n"
@@ -127,6 +134,8 @@ int main(int argc, char** argv) {
   std::optional<std::string> inject_defect;
   bool run_prove = false;
   std::optional<std::string> prove_json_path;
+  SimdWidth simd = SimdWidth::kAuto;
+  SimdWidth simd_resolved = SimdWidth::k64;
   try {
     for (int i = 2; i < argc; ++i) {
       std::string_view flag = argv[i];
@@ -166,6 +175,11 @@ int main(int argc, char** argv) {
       } else if (flag == "--starts") {
         config.multi_start = parse_size(flag, value);
         if (config.multi_start == 0) throw BadFlag{"--starts must be >= 1"};
+      } else if (flag == "--simd") {
+        if (!simd_width_from_string(value, simd)) {
+          throw BadFlag{"--simd expects auto, 64, 256 or 512, got '" +
+                        std::string(value) + "'"};
+        }
       } else if (flag == "--trace") {
         trace_path = std::string(value);
       } else if (flag == "--metrics") {
@@ -187,6 +201,13 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    }
+    // Resolve the kernel width up front: an unsupported --simd (or a
+    // malformed MERCED_SIMD override) is a usage error like any other.
+    try {
+      simd_resolved = resolve_simd_width(simd);
+    } catch (const std::invalid_argument& e) {
+      throw BadFlag{e.what()};
     }
   } catch (const BadFlag& bad) {
     std::cerr << "error: " << bad.message << "\n";
@@ -301,12 +322,14 @@ int main(int argc, char** argv) {
       // Sweep every CUT pseudo-exhaustively so the trace shows the
       // per-CUT coverage phase, not just the compile. Skipped (with a
       // note) when a CUT is too wide to sweep in reasonable time.
+      std::uint64_t simd_used = 0;  // run.simd: 0 until the sweep runs
       constexpr std::size_t kSweepCap = 22;
       std::size_t widest = 0;
       for (std::size_t iota : result.partition_inputs) widest = std::max(widest, iota);
       if (result.feasible && widest <= kSweepCap) {
         const CircuitGraph graph(netlist);
         PpetSession session(graph, result, /*psa_width=*/16, config.jobs);
+        session.set_simd(simd_resolved);
         const auto coverage = session.measure_coverage(kSweepCap);
         std::size_t total = 0, detected = 0;
         for (const CoverageResult& c : coverage) {
@@ -314,7 +337,9 @@ int main(int argc, char** argv) {
           detected += c.detected;
         }
         std::cout << "  coverage sweep: " << detected << "/" << total
-                  << " faults detected across " << coverage.size() << " stations\n";
+                  << " faults detected across " << coverage.size()
+                  << " stations (simd " << to_string(simd_resolved) << ")\n";
+        simd_used = simd_lanes(simd_resolved);
       } else {
         std::cout << "  coverage sweep: skipped (widest CUT has " << widest
                   << " inputs, sweep cap is " << kSweepCap << ")\n";
@@ -334,6 +359,7 @@ int main(int argc, char** argv) {
         run.lk = config.lk;
         run.jobs = config.jobs;
         run.starts = config.multi_start;
+        run.simd = simd_used;
         std::ofstream out(*metrics_path);
         if (!out) throw std::runtime_error("cannot write metrics file " + *metrics_path);
         obs::MetricsRegistry::capture(run).write_json(out);

@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
+#include "runtime/work_steal.h"
 
 namespace merced {
 
@@ -137,27 +138,42 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
     detected[s].assign(faults[s].size(), 0);
   }
 
-  // Two-level sharding: every station's fault list splits into up to `jobs`
-  // contiguous ranges, and every (station, range) pair is one work item, so
-  // a single wide CUT fans out over the whole pool instead of serializing
-  // it. Per-fault verdict slots are disjoint across items.
+  // Two-level task grid: every station's fault list splits into
+  // coverage_chunks(faults, jobs) contiguous ranges, and every
+  // (station, range) pair is one work item. The grid depends only on the
+  // station shapes and the jobs value — never on timing. Items are sorted
+  // most-expensive-first (a 2^ι sweep over the chunk's faults) so the
+  // work-stealing scheduler's round-robin deal spreads the heavy items and
+  // stealing only mops up the tail; per-fault verdict slots are disjoint
+  // across items, so any steal interleaving reduces to the same result.
   struct Item {
     std::size_t station;
     IndexRange range;
+    std::uint64_t cost;
   };
   const std::size_t jobs = resolve_jobs(jobs_);
   std::vector<Item> items;
   for (std::size_t s = 0; s < stations_.size(); ++s) {
-    for (const IndexRange& r : split_ranges(faults[s].size(), jobs)) {
-      items.push_back(Item{s, r});
+    const std::size_t chunks = coverage_chunks(faults[s].size(), jobs);
+    for (const IndexRange& r : split_ranges(faults[s].size(), chunks)) {
+      items.push_back(Item{s, r, stations_[s].cycles * (r.end - r.begin)});
     }
   }
+  std::stable_sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    if (a.station != b.station) return a.station < b.station;
+    return a.range.begin < b.range.begin;
+  });
+
+  const SimdWidth width = resolve_simd_width(simd_);
   ThreadPool pool(std::min(jobs, std::max<std::size_t>(items.size(), 1)));
-  pool.parallel_for(items.size(), [&](std::size_t i) {
+  std::vector<ConeSimulator::Workspace> workspaces(pool.size());
+  parallel_for_stealing(pool, items.size(), [&](std::size_t i, std::size_t slot) {
     const Item& it = items[i];
     MERCED_SPAN("cut_sweep", it.station);
-    exhaustive_detect_range(cones_[it.station], faults[it.station], it.range,
-                            detected[it.station].data());
+    exhaustive_detect_range_simd(cones_[it.station], faults[it.station], it.range,
+                                 detected[it.station].data(), width,
+                                 workspaces[slot]);
   });
 
   // Deterministic reduction in station order, then fault order.

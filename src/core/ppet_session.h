@@ -57,6 +57,12 @@ class PpetSession {
   void set_jobs(std::size_t jobs) noexcept { jobs_ = jobs; }
   std::size_t jobs() const noexcept { return jobs_; }
 
+  /// Lane width of the coverage kernel used by measure_coverage (kAuto =
+  /// MERCED_SIMD override, then the widest supported backend). Verdicts are
+  /// width-independent; this is purely a throughput knob.
+  void set_simd(SimdWidth simd) noexcept { simd_ = simd; }
+  SimdWidth simd() const noexcept { return simd_; }
+
   std::size_t num_stations() const noexcept { return stations_.size(); }
   const CutStation& station(std::size_t i) const { return stations_.at(i); }
 
@@ -78,12 +84,15 @@ class PpetSession {
   bool detects(const Fault& fault) const;
 
   /// Pseudo-exhaustive stuck-at coverage of every station's CUT, one
-  /// CoverageResult per station (station order), computed with the
-  /// event-driven fault-dropping kernel. Work is sharded across stations
-  /// *and* across each station's fault list, so one wide CUT no longer
-  /// serializes the run; verdicts land in per-fault slots and are reduced
-  /// in fault order, making the result bit-identical for every jobs value.
-  /// Throws if any station is wider than `max_inputs`.
+  /// CoverageResult per station (station order), computed with the SIMD
+  /// fault-group kernel. The (station x fault-chunk) task grid is sorted
+  /// most-expensive-first (2^ι x chunk faults) and executed by the
+  /// work-stealing scheduler (runtime/work_steal.h), so one wide CUT no
+  /// longer serializes the run and stragglers are stolen instead of waited
+  /// on. Verdicts land in per-fault index-addressed slots and are reduced
+  /// in station then fault order, making the result bit-identical for
+  /// every jobs value and every SIMD width. Throws if any station is wider
+  /// than `max_inputs`.
   std::vector<CoverageResult> measure_coverage(std::size_t max_inputs = 22) const;
 
  private:
@@ -92,6 +101,7 @@ class PpetSession {
   std::vector<ConeSimulator> cones_;
   unsigned psa_width_;
   std::size_t jobs_ = 1;
+  SimdWidth simd_ = SimdWidth::kAuto;
 };
 
 }  // namespace merced

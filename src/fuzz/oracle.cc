@@ -190,6 +190,26 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
                 (naive_detected ? "detected" : "undetected") + ")"};
       }
     }
+
+    // 3c: every SIMD backend this host supports vs the naive oracle. The
+    // production run in 3a already exercised the auto-resolved width; this
+    // sweep pins each backend explicitly, so a lane-contract break in one
+    // instantiation (say the AVX2 word masks) cannot hide behind the
+    // widest backend being the one auto picks.
+    for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
+      if (!simd_width_supported(w)) continue;
+      CoverageOptions width_opt = kernel_opt;
+      width_opt.simd = w;
+      const CoverageResult wide = exhaustive_coverage(cone, width_opt);
+      if (!same_coverage(wide, naive)) {
+        return OracleFailure{
+            "kernel-conformance", "kernel-conformance:width",
+            "SIMD kernel at width " + std::to_string(simd_lanes(w)) +
+                " and naive oracle disagree on " + cluster_tag(ci) + " (" +
+                std::to_string(wide.detected) + " vs " + std::to_string(naive.detected) +
+                " of " + std::to_string(naive.total_faults) + " faults detected)"};
+      }
+    }
   }
 
   // ---- oracle 4: session coverage vs direct per-CUT fault sim -----------

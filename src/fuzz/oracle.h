@@ -15,9 +15,11 @@
 //                           checker (merced_verify) with zero errors;
 //   3. kernel-conformance — the event-driven coverage kernel agrees with
 //                           the naive re-evaluate-everything oracle
-//                           fault-for-fault, and a from-scratch masked
+//                           fault-for-fault, a from-scratch masked
 //                           sweep built here (not in src/sim) agrees with
-//                           both;
+//                           both, and every SIMD backend this host
+//                           supports (64/256/512-bit lanes) reproduces
+//                           the same verdicts bit-for-bit;
 //   4. session-coverage   — PpetSession::measure_coverage equals a direct
 //                           per-CUT fault simulation done outside the
 //                           session machinery;

@@ -47,7 +47,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "\", \"circuit\": \"";
   json_escape(os, run_.circuit);
   os << "\", \"lk\": " << run_.lk << ", \"jobs\": " << run_.jobs
-     << ", \"starts\": " << run_.starts << "},\n  \"counters\": {";
+     << ", \"starts\": " << run_.starts << ", \"simd\": " << run_.simd
+     << "},\n  \"counters\": {";
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     if (i) os << ",";
     os << "\n    \"" << counter_name(static_cast<Counter>(i)) << "\": " << counters_[i];
@@ -105,7 +106,7 @@ std::string validate_metrics_json(const JsonValue& doc) {
       return err;
     }
   }
-  for (const char* key : {"lk", "jobs", "starts"}) {
+  for (const char* key : {"lk", "jobs", "starts", "simd"}) {
     if (std::string err = check_member(run, key, JsonValue::Kind::kNumber, "run");
         !err.empty()) {
       return err;

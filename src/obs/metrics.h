@@ -10,7 +10,7 @@
 //
 //   { "schema": "merced-metrics-v1",
 //     "run": {"tool": "...", "circuit": "...", "lk": N, "jobs": N,
-//             "starts": N},
+//             "starts": N, "simd": N},
 //     "counters": {"flow.iterations": 123, ...},          // every Counter
 //     "phases": [{"name": "...", "count": N,
 //                 "total_seconds": s, "max_seconds": s}, ...] }   // by name
@@ -41,6 +41,9 @@ struct RunInfo {
   std::uint64_t lk = 0;
   std::uint64_t jobs = 0;
   std::uint64_t starts = 0;
+  /// Resolved coverage-kernel lane width (64/256/512), 0 when the run did
+  /// not touch the coverage kernel.
+  std::uint64_t simd = 0;
 };
 
 /// Wall-time statistics of one span name.

@@ -74,10 +74,15 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "kernel.events_suppressed",
     "kernel.early_exits",
     "kernel.faults_dropped",
+    "kernel.lanes_swept",
+    "kernel.fault_groups",
     "fault_sim.groups",
     "fault_sim.faults_detected",
     "pool.parallel_fors",
     "pool.tasks_run",
+    "sched.tasks_run",
+    "sched.tasks_stolen",
+    "sched.steal_attempts",
     "session.stations_swept",
     "session.cycles_run",
     "fuzz.runs",

@@ -54,10 +54,15 @@ enum class Counter : std::uint32_t {
   kKernelEventsSuppressed,  ///< popped events whose recomputed word matched
   kKernelEarlyExits,        ///< per-fault probes ended at an observed output
   kKernelFaultsDropped,     ///< faults detected and dropped from later batches
+  kKernelLanesSwept,        ///< pattern lanes swept (batches x lane width)
+  kKernelFaultGroups,       ///< same-gate fault groups probed by one wave
   kFaultSimGroups,          ///< 63-fault machine-word groups simulated
   kFaultSimFaultsDetected,  ///< faults detected by sequential fault sim
   kPoolParallelFors,        ///< parallel_for invocations on any ThreadPool
   kPoolTasksRun,            ///< indices executed across all parallel_fors
+  kSchedTasksRun,           ///< tasks executed by the work-stealing scheduler
+  kSchedTasksStolen,        ///< tasks migrated off their home worker queue
+  kSchedStealAttempts,      ///< victim scans by idle scheduler workers
   kSessionStationsSwept,    ///< CUT stations swept by PpetSession::run
   kSessionCyclesRun,        ///< TPG cycles executed across all stations
   kFuzzRuns,                ///< fuzz inputs generated and run through the oracles

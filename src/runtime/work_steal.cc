@@ -1,0 +1,119 @@
+#include "runtime/work_steal.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace merced {
+
+namespace {
+
+/// One worker's task queue. The owner pops from the head; thieves take the
+/// back half. A task is in exactly one queue (or in flight on a worker),
+/// so draining terminates regardless of interleaving.
+struct TaskQueue {
+  std::mutex mu;
+  std::vector<std::size_t> items;
+  std::size_t head = 0;  ///< items[head..) are pending
+
+  std::size_t remaining() {
+    std::lock_guard lock(mu);
+    return items.size() - head;
+  }
+};
+
+}  // namespace
+
+StealStats parallel_for_stealing(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t task, std::size_t worker_slot)>& body) {
+  StealStats stats;
+  if (n == 0) return stats;
+
+  const std::size_t workers = std::min(pool.size(), n);
+  std::vector<TaskQueue> queues(workers);
+  // Round-robin deal. Callers order tasks most-expensive-first, so the deal
+  // spreads the heavy head of the list across all queues.
+  for (std::size_t w = 0; w < workers; ++w) {
+    queues[w].items.reserve(n / workers + 1);
+  }
+  for (std::size_t t = 0; t < n; ++t) queues[t % workers].items.push_back(t);
+
+  std::atomic<std::uint64_t> tasks_run{0};
+  std::atomic<std::uint64_t> tasks_stolen{0};
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<bool> abort{false};
+
+  pool.parallel_for(workers, [&](std::size_t w) {
+    TaskQueue& own = queues[w];
+    std::uint64_t ran = 0;
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      std::size_t task;
+      bool have = false;
+      {
+        std::lock_guard lock(own.mu);
+        if (own.head < own.items.size()) {
+          task = own.items[own.head++];
+          have = true;
+        }
+      }
+      if (!have) {
+        // Steal: scan for the fullest victim, take the back half of its
+        // queue. A victim drained between scan and lock just retries the
+        // scan; the loop ends when every queue is empty.
+        steal_attempts.fetch_add(1, std::memory_order_relaxed);
+        std::size_t victim = workers;
+        std::size_t victim_remaining = 0;
+        for (std::size_t v = 0; v < workers; ++v) {
+          if (v == w) continue;
+          const std::size_t rem = queues[v].remaining();
+          if (rem > victim_remaining) {
+            victim = v;
+            victim_remaining = rem;
+          }
+        }
+        if (victim == workers) break;  // every queue empty — done
+        std::vector<std::size_t> loot;
+        {
+          std::lock_guard lock(queues[victim].mu);
+          auto& items = queues[victim].items;
+          const std::size_t rem = items.size() - queues[victim].head;
+          const std::size_t take = (rem + 1) / 2;
+          loot.assign(items.end() - static_cast<std::ptrdiff_t>(take), items.end());
+          items.resize(items.size() - take);
+        }
+        if (loot.empty()) continue;  // victim drained meanwhile; rescan
+        tasks_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
+        {
+          std::lock_guard lock(own.mu);
+          own.items = std::move(loot);
+          own.head = 0;
+        }
+        continue;
+      }
+      try {
+        body(task, w);
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        throw;  // parallel_for records the first exception and rethrows
+      }
+      ++ran;
+    }
+    tasks_run.fetch_add(ran, std::memory_order_relaxed);
+  });
+
+  stats.tasks_run = tasks_run.load(std::memory_order_relaxed);
+  stats.tasks_stolen = tasks_stolen.load(std::memory_order_relaxed);
+  stats.steal_attempts = steal_attempts.load(std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kSchedTasksRun, stats.tasks_run);
+    obs::add(obs::Counter::kSchedTasksStolen, stats.tasks_stolen);
+    obs::add(obs::Counter::kSchedStealAttempts, stats.steal_attempts);
+  }
+  return stats;
+}
+
+}  // namespace merced

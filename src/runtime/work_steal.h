@@ -1,0 +1,50 @@
+// Work-stealing task execution on top of ThreadPool.
+//
+// ThreadPool::parallel_for self-schedules loop indices off one shared
+// atomic counter, which balances well when every index costs about the
+// same. The session coverage sweep does not: its tasks are (station x
+// fault-chunk) cells whose cost spans orders of magnitude (2^ι batches
+// times live faults), and a shared counter makes every claim a cache-line
+// fight once tasks get small. parallel_for_stealing instead deals tasks
+// round-robin into per-worker queues up front; each worker drains its own
+// queue and, when empty, steals the back half of the fullest victim queue.
+// Callers pre-sort tasks most-expensive-first so the initial deal is
+// already balanced and stealing only mops up the tail.
+//
+// Determinism: like parallel_for, only the *assignment* of tasks to
+// workers is scheduling-dependent. Callers must write results to
+// per-task index-addressed slots, making the reduced result bit-identical
+// for every worker count and every steal interleaving (the property
+// sim_kernel_test pins for the coverage sweep).
+//
+// The worker_slot passed to the body identifies the queue being drained,
+// not a thread: slots are claimed 1:1 by pool workers in the common case,
+// but a slow wake-up may leave one thread driving two slots sequentially.
+// Either way a slot's tasks never run concurrently with each other, so
+// per-slot scratch state (e.g. a kernel Workspace) needs no locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace merced {
+
+/// Aggregate scheduler statistics of one parallel_for_stealing run.
+struct StealStats {
+  std::uint64_t tasks_run = 0;        ///< == n on success
+  std::uint64_t tasks_stolen = 0;     ///< tasks that migrated queues
+  std::uint64_t steal_attempts = 0;   ///< victim scans (successful or not)
+};
+
+/// Runs body(task, worker_slot) for every task in [0, n) over the pool's
+/// workers with per-worker queues and work stealing. Blocks until done.
+/// worker_slot is in [0, pool.size()). Exceptions from the body propagate
+/// (first one wins) and abort the remaining tasks.
+StealStats parallel_for_stealing(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t task, std::size_t worker_slot)>& body);
+
+}  // namespace merced

@@ -7,6 +7,7 @@
 
 #include "netlist/netlist.h"
 #include "obs/obs.h"
+#include "runtime/work_steal.h"
 
 namespace merced {
 
@@ -196,7 +197,11 @@ std::size_t ConeSimulator::Workspace::capacity_bytes() const noexcept {
          dirty.capacity() * sizeof(std::uint64_t) +
          queued.capacity() * sizeof(std::uint64_t) +
          heap.capacity() * sizeof(std::uint32_t) +
-         observed.capacity() * sizeof(std::uint64_t);
+         observed.capacity() * sizeof(std::uint64_t) +
+         wide_values.capacity() * sizeof(std::uint64_t) +
+         wide_faulty.capacity() * sizeof(std::uint64_t) +
+         member_bits.capacity() * sizeof(std::uint32_t) +
+         groups.capacity() * sizeof(ConeFaultGroup);
 }
 
 void ConeSimulator::prepare(Workspace& ws) const {
@@ -215,6 +220,17 @@ void ConeSimulator::prepare(Workspace& ws) const {
   ws.epoch = 0;
 }
 
+std::uint64_t ConeSimulator::fault_site_value(std::size_t t, const Fault& fault,
+                                              const std::uint64_t* value) const {
+  const std::uint64_t stuck = fault.stuck_value ? ~std::uint64_t{0} : 0;
+  if (fault.site == Fault::Site::kOutput) return stuck;
+  const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t];
+  const std::size_t nf = fanin_offset_[t + 1] - fanin_offset_[t];
+  return eval_csr_gate(type_[t], nf, [&](std::size_t k) {
+    return k == fault.pin ? stuck : value[fanin[k]];
+  });
+}
+
 void ConeSimulator::eval_good(std::span<const std::uint64_t> input_values,
                               Workspace& ws, const Fault* fault) const {
   const std::size_t num_inputs = inputs_.size();
@@ -224,19 +240,12 @@ void ConeSimulator::eval_good(std::span<const std::uint64_t> input_values,
   const std::int32_t fault_pos =
       fault ? pos_of_node_[fault->gate] : std::int32_t{-1};
   for (std::size_t t = 0; t < topo_.size(); ++t) {
-    const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t];
-    const std::size_t nf = fanin_offset_[t + 1] - fanin_offset_[t];
     std::uint64_t out;
     if (fault_pos == static_cast<std::int32_t>(t)) {
-      const std::uint64_t stuck = fault->stuck_value ? ~std::uint64_t{0} : 0;
-      if (fault->site == Fault::Site::kOutput) {
-        out = stuck;
-      } else {
-        out = eval_csr_gate(type_[t], nf, [&](std::size_t k) {
-          return k == fault->pin ? stuck : value[fanin[k]];
-        });
-      }
+      out = fault_site_value(t, *fault, value);
     } else {
+      const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t];
+      const std::size_t nf = fanin_offset_[t + 1] - fanin_offset_[t];
       out = eval_csr_gate(type_[t], nf,
                           [&](std::size_t k) { return value[fanin[k]]; });
     }
@@ -285,17 +294,7 @@ bool ConeSimulator::fault_observable(Workspace& ws, const Fault& fault,
   const auto t0 = static_cast<std::size_t>(pos0);
 
   // Faulty value at the fault site itself.
-  const std::uint64_t stuck = fault.stuck_value ? ~std::uint64_t{0} : 0;
-  std::uint64_t out0;
-  if (fault.site == Fault::Site::kOutput) {
-    out0 = stuck;
-  } else {
-    const std::uint32_t* fanin = fanin_slot_.data() + fanin_offset_[t0];
-    const std::size_t nf = fanin_offset_[t0 + 1] - fanin_offset_[t0];
-    out0 = eval_csr_gate(type_[t0], nf, [&](std::size_t k) {
-      return k == fault.pin ? stuck : value[fanin[k]];
-    });
-  }
+  const std::uint64_t out0 = fault_site_value(t0, fault, value);
   const std::uint64_t diff0 = (out0 ^ value[num_inputs + t0]) & mask;
   if (diff0 == 0) return false;  // no fault effect on any valid lane
   ws.faulty[num_inputs + t0] = out0;
@@ -450,6 +449,14 @@ void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> f
   }
 }
 
+std::size_t coverage_chunks(std::size_t num_faults, std::size_t jobs) noexcept {
+  if (jobs <= 1 || num_faults <= 1) return 1;
+  constexpr std::size_t kMinChunkFaults = 64;
+  const std::size_t chunks =
+      std::clamp(num_faults / kMinChunkFaults, jobs, jobs * 4);
+  return std::min(chunks, num_faults);
+}
+
 CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOptions& opt) {
   MERCED_SPAN("exhaustive_coverage");
   const std::size_t n = cone.cut_inputs().size();
@@ -464,17 +471,41 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOpti
   result.total_faults = faults.size();
   std::vector<std::uint8_t> detected(faults.size(), 0);
 
-  // Intra-CUT fault sharding: contiguous ranges, per-fault verdict slots,
-  // reduction in fault order — bit-identical for every jobs value.
-  const auto ranges = split_ranges(faults.size(), resolve_jobs(opt.jobs));
-  if (ranges.size() <= 1) {
-    if (!ranges.empty()) exhaustive_detect_range(cone, faults, ranges[0], detected.data());
+  const std::size_t jobs = resolve_jobs(opt.jobs);
+  if (opt.u64_oracle) {
+    // Legacy 64-lane, one-fault-at-a-time kernel: contiguous ranges on the
+    // shared-counter pool. Retained as the conformance oracle.
+    const auto ranges = split_ranges(faults.size(), jobs);
+    if (ranges.size() <= 1) {
+      if (!ranges.empty()) exhaustive_detect_range(cone, faults, ranges[0], detected.data());
+    } else {
+      ThreadPool pool(ranges.size());
+      pool.parallel_for(ranges.size(), [&](std::size_t r) {
+        MERCED_SPAN("fault_range", r);
+        exhaustive_detect_range(cone, faults, ranges[r], detected.data());
+      });
+    }
   } else {
-    ThreadPool pool(ranges.size());
-    pool.parallel_for(ranges.size(), [&](std::size_t r) {
-      MERCED_SPAN("fault_range", r);
-      exhaustive_detect_range(cone, faults, ranges[r], detected.data());
-    });
+    // Production path: SIMD fault-group kernel over work-stolen fault
+    // chunks. Per-fault verdict slots are disjoint across chunks and
+    // verdicts are chunk-independent, so the result is bit-identical for
+    // every jobs value and every width.
+    const SimdWidth width = resolve_simd_width(opt.simd);
+    const auto ranges = split_ranges(faults.size(), coverage_chunks(faults.size(), jobs));
+    if (ranges.size() <= 1) {
+      ConeSimulator::Workspace ws;
+      if (!ranges.empty()) {
+        exhaustive_detect_range_simd(cone, faults, ranges[0], detected.data(), width, ws);
+      }
+    } else {
+      ThreadPool pool(std::min(jobs, ranges.size()));
+      std::vector<ConeSimulator::Workspace> workspaces(pool.size());
+      parallel_for_stealing(pool, ranges.size(), [&](std::size_t r, std::size_t slot) {
+        MERCED_SPAN("fault_chunk", r);
+        exhaustive_detect_range_simd(cone, faults, ranges[r], detected.data(), width,
+                                     workspaces[slot]);
+      });
+    }
   }
 
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {

@@ -23,6 +23,15 @@
 // b is b*64 + l, and only its low n bits reach the inputs). Detection
 // decisions therefore mask comparisons with lane_mask(n); the padded lanes
 // mirror valid lanes bit-for-bit, so the mask is hygiene, not semantics.
+//
+// Two kernels share this CSR form. exhaustive_detect_range is the original
+// 64-lane, one-fault-at-a-time event kernel, retained byte-for-byte as a
+// conformance oracle. exhaustive_detect_range_simd (cone_simd.cc) is the
+// production kernel: W-bit lane words (W = 64/256/512 via sim/simd.h) and
+// per-gate fault groups that amortize one event wave over up to
+// kFaultGroupCap stuck-at faults. Both produce bit-identical verdicts —
+// the lane contract generalizes (simd.h), and a fault's verdict is
+// independent of which faults share its wave.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,7 @@
 #include "partition/clustering.h"
 #include "runtime/thread_pool.h"
 #include "sim/fault.h"
+#include "sim/simd.h"
 
 namespace merced {
 
@@ -43,6 +53,22 @@ constexpr std::uint64_t lane_mask(std::size_t n) noexcept {
   return n >= 6 ? ~std::uint64_t{0}
                 : (std::uint64_t{1} << (std::uint64_t{1} << n)) - 1;
 }
+
+/// Cap on faults sharing one event wave in the SIMD kernel. Groups are runs
+/// of consecutive cluster_faults() entries on the same gate (fault order is
+/// gate-major), so membership is deterministic and verdict slots stay
+/// index-addressed.
+inline constexpr std::size_t kFaultGroupCap = 16;
+
+/// One same-gate fault group of the SIMD kernel, built once per range so
+/// the batch loop never rescans the fault list: `live` tracks undetected
+/// members and a group whose mask empties is swap-removed from the sweep.
+struct ConeFaultGroup {
+  std::uint32_t begin;  ///< first member's index into the faults span
+  std::uint32_t size;   ///< member count (<= kFaultGroupCap)
+  std::uint32_t pos;    ///< fault gate's topo position in the cone
+  std::uint32_t live;   ///< bitmask of members still undetected
+};
 
 class ConeSimulator {
  public:
@@ -65,11 +91,19 @@ class ConeSimulator {
       std::uint64_t events_popped = 0;     ///< gates popped off the wave heap
       std::uint64_t events_suppressed = 0; ///< popped gates with no value change
       std::uint64_t early_exits = 0;       ///< probes ended at an observed output
+      std::uint64_t batches = 0;           ///< lane-word batches swept (SIMD kernel)
+      std::uint64_t lanes_swept = 0;       ///< pattern lanes swept (batches x width)
+      std::uint64_t fault_groups = 0;      ///< same-gate groups probed by one wave
+      std::uint64_t faults_dropped = 0;    ///< faults detected (SIMD kernel)
     };
     KernelCounters counters;
 
    private:
     friend class ConeSimulator;
+    friend void exhaustive_detect_range_simd(const ConeSimulator& cone,
+                                             std::span<const Fault> faults,
+                                             IndexRange range, std::uint8_t* detected,
+                                             SimdWidth width, Workspace& ws);
     std::vector<std::uint64_t> values;    ///< good-machine value per slot
     std::vector<std::uint64_t> faulty;    ///< faulty value per dirty slot
     std::vector<std::uint64_t> dirty;     ///< epoch stamp: faulty[] valid
@@ -77,6 +111,12 @@ class ConeSimulator {
     std::vector<std::uint32_t> heap;      ///< pending gates (topo min-heap)
     std::vector<std::uint64_t> observed;  ///< eval() output buffer
     std::uint64_t epoch = 0;              ///< bumped per fault_observable()
+    // --- SIMD kernel state (sized by exhaustive_detect_range_simd) -------
+    std::vector<std::uint64_t> wide_values;  ///< good machine, slot-major words
+    std::vector<std::uint64_t> wide_faulty;  ///< per (slot, group member) words
+    std::vector<std::uint32_t> member_bits;  ///< per slot: members with an effect
+    std::vector<ConeFaultGroup> groups;      ///< per-range live fault groups
+    std::size_t wide_words = 0;              ///< words the wide arrays are sized for
   };
 
   ConeSimulator(const CircuitGraph& graph, const Clustering& clustering,
@@ -125,9 +165,18 @@ class ConeSimulator {
   std::vector<Fault> cluster_faults() const;
 
  private:
+  friend void exhaustive_detect_range_simd(const ConeSimulator& cone,
+                                           std::span<const Fault> faults,
+                                           IndexRange range, std::uint8_t* detected,
+                                           SimdWidth width, Workspace& ws);
   void prepare(Workspace& ws) const;
   void eval_good(std::span<const std::uint64_t> input_values, Workspace& ws,
                  const Fault* fault) const;
+  /// Faulty output word of the fault-site gate at topo position `t` given
+  /// the slot values in `value` — the one place the stuck-output /
+  /// stuck-pin semantics live (shared by eval_good and fault_observable).
+  std::uint64_t fault_site_value(std::size_t t, const Fault& fault,
+                                 const std::uint64_t* value) const;
 
   const CircuitGraph* graph_;
   std::vector<NetId> inputs_;
@@ -169,9 +218,25 @@ struct CoverageOptions {
   /// event-driven kernel. Kept as the conformance oracle: the kernel must
   /// match it fault-for-fault (same detected set, same undetected order).
   bool naive = false;
+  /// Lane width of the SIMD kernel; resolved via resolve_simd_width (kAuto
+  /// honours MERCED_SIMD, then picks the widest supported backend).
+  SimdWidth simd = SimdWidth::kAuto;
+  /// Force the original 64-lane one-fault-at-a-time kernel
+  /// (exhaustive_detect_range). Kept as the second conformance oracle; the
+  /// SIMD fault-group kernel must match it verdict-for-verdict.
+  bool u64_oracle = false;
 };
 
 CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOptions& opt);
+
+/// Number of chunks a fault list is split into for the work-stealing sweep:
+/// 1 for jobs <= 1, else clamped to [jobs, 4*jobs] targeting >= 64 faults
+/// per chunk (and never more chunks than faults). A pure function of
+/// (num_faults, jobs), so the task grid — and through it the obs counter
+/// totals — never depends on timing. Verdicts are chunk-independent either
+/// way: fault dropping only skips batches *after* a fault's verdict is
+/// already decided.
+std::size_t coverage_chunks(std::size_t num_faults, std::size_t jobs) noexcept;
 
 /// Back-compatible form: event-driven kernel, single thread.
 CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_inputs = 22);
@@ -186,6 +251,17 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, std::size_t max_in
 /// enforce their max_inputs policy.
 void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> faults,
                              IndexRange range, std::uint8_t* detected);
+
+/// The production kernel (cone_simd.cc): same contract as
+/// exhaustive_detect_range, but sweeps `width`-bit lane words (width must
+/// be a concrete resolved SimdWidth the host supports) and probes same-gate
+/// fault groups of up to kFaultGroupCap members with one shared event wave.
+/// `ws` is per-caller scratch: after the first call with a given cone and
+/// width, further calls perform no heap allocation. Verdicts are
+/// bit-identical to the 64-lane oracle for every width.
+void exhaustive_detect_range_simd(const ConeSimulator& cone, std::span<const Fault> faults,
+                                  IndexRange range, std::uint8_t* detected,
+                                  SimdWidth width, ConeSimulator::Workspace& ws);
 
 /// Replays one concrete input pattern (cut_inputs() order) on the
 /// event-driven kernel and reports whether `fault` is observable on it.

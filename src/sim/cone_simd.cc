@@ -1,0 +1,487 @@
+// The production coverage kernel: W-bit lane words and same-gate fault
+// groups over the CSR cone of cone.cc.
+//
+// One width-generic kernel template (kWords uint64s per lane word) is
+// instantiated three times, inside entry points carrying GCC/clang target
+// attributes — [[gnu::target("avx2")]] / [[gnu::target("avx512f")]] — and
+// dispatched at runtime by CPUID (sim/simd.h). The whole file compiles
+// without -mavx flags: only code lexically inside the attributed functions
+// (plus the [[gnu::always_inline]] helpers forced into them) may use the
+// wider ISA, so no AVX instruction can leak into a function some other TU
+// links against. At -O3 the fixed-trip-count kWords loops autovectorize to
+// one ymm/zmm op each; there are no intrinsics to keep the scalar and wide
+// paths from drifting apart.
+//
+// Fault batching: cluster_faults() is gate-major, so runs of up to
+// kFaultGroupCap consecutive faults share a fault site gate. The kernel
+// probes such a group with ONE event wave — heap pops, queued stamps and
+// fanout walks are paid once per group, while faulty values are tracked
+// per (slot, member) with a per-slot member bitmask. A member whose
+// recomputed word matches the good machine simply drops out of the slot's
+// bitmask, so per-member suppression is exactly the scalar kernel's rule
+// and verdicts are independent of grouping.
+#include "sim/cone.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MERCED_TARGET_AVX2 [[gnu::target("avx2")]]
+// prefer-vector-width=512 overrides the generic 256-bit tuning preference;
+// without it the autovectorizer emits ymm ops inside the avx512f function
+// and the 512-bit backend degenerates into a second 256-bit one.
+#define MERCED_TARGET_AVX512 [[gnu::target("avx512f,prefer-vector-width=512")]]
+#else
+// Off x86-64 the wide entry points are never dispatched to
+// (simd_width_supported is false), but they must still compile.
+#define MERCED_TARGET_AVX2
+#define MERCED_TARGET_AVX512
+#endif
+
+namespace merced {
+
+namespace {
+
+/// Raw-pointer view of a ConeSimulator's CSR arrays (built by the friend
+/// entry point, so the kernel templates need no friendship of their own).
+struct ConeView {
+  const GateType* type;
+  const std::uint32_t* fanin_offset;
+  const std::uint32_t* fanin_slot;
+  const std::uint32_t* fanout_offset;
+  const std::uint32_t* fanout_pos;
+  const std::int32_t* observed_index;
+  const std::int32_t* pos_of_node;
+  std::size_t num_inputs;
+  std::size_t num_gates;
+};
+
+/// Raw-pointer view of the Workspace's SIMD state (pre-sized by the entry
+/// point; the kernel itself never allocates).
+struct WsView {
+  std::uint64_t* values;       ///< slots * kWords, slot-major
+  std::uint64_t* faulty;       ///< slots * kFaultGroupCap * kWords
+  std::uint32_t* member_bits;  ///< per slot: members with a fault effect
+  std::uint64_t* dirty;        ///< per slot: epoch stamp
+  std::uint64_t* queued;       ///< per gate: epoch stamp
+  std::vector<std::uint32_t>* heap;
+  std::uint64_t* epoch;
+  ConeSimulator::Workspace::KernelCounters* counters;
+};
+
+/// eval_csr_gate over kWords-wide lane words. get(k) returns fanin pin k's
+/// word array; out must not alias any fanin (gate outputs are distinct
+/// slots). Forced inline so each instantiation compiles with the ISA of the
+/// enclosing target-attributed entry point.
+template <std::size_t kWords, typename GetPin>
+[[gnu::always_inline]] inline void eval_gate_w(GateType type, std::size_t num_fanins,
+                                               GetPin&& get, std::uint64_t* out) {
+  constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+  switch (type) {
+    case GateType::kConst0:
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = 0;
+      return;
+    case GateType::kConst1:
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = kOnes;
+      return;
+    case GateType::kBuf: {
+      const std::uint64_t* a = get(0);
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = a[j];
+      return;
+    }
+    case GateType::kNot: {
+      const std::uint64_t* a = get(0);
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = ~a[j];
+      return;
+    }
+    case GateType::kAnd:
+    case GateType::kNand: {
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = kOnes;
+      for (std::size_t k = 0; k < num_fanins; ++k) {
+        const std::uint64_t* a = get(k);
+        for (std::size_t j = 0; j < kWords; ++j) out[j] &= a[j];
+      }
+      if (type == GateType::kNand) {
+        for (std::size_t j = 0; j < kWords; ++j) out[j] = ~out[j];
+      }
+      return;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = 0;
+      for (std::size_t k = 0; k < num_fanins; ++k) {
+        const std::uint64_t* a = get(k);
+        for (std::size_t j = 0; j < kWords; ++j) out[j] |= a[j];
+      }
+      if (type == GateType::kNor) {
+        for (std::size_t j = 0; j < kWords; ++j) out[j] = ~out[j];
+      }
+      return;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = 0;
+      for (std::size_t k = 0; k < num_fanins; ++k) {
+        const std::uint64_t* a = get(k);
+        for (std::size_t j = 0; j < kWords; ++j) out[j] ^= a[j];
+      }
+      if (type == GateType::kXnor) {
+        for (std::size_t j = 0; j < kWords; ++j) out[j] = ~out[j];
+      }
+      return;
+    }
+    case GateType::kMux: {
+      const std::uint64_t* s = get(0);
+      const std::uint64_t* a = get(1);
+      const std::uint64_t* b = get(2);
+      for (std::size_t j = 0; j < kWords; ++j) out[j] = (~s[j] & a[j]) | (s[j] & b[j]);
+      return;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;  // never appear among a cluster's combinational gates
+  }
+  throw std::logic_error("cone_simd: non-evaluable gate type in cone");
+}
+
+/// Wide good-machine pass: one linear sweep of the CSR gates.
+template <std::size_t kWords>
+[[gnu::always_inline]] inline void eval_good_w(const ConeView& c, std::uint64_t* values) {
+  for (std::size_t t = 0; t < c.num_gates; ++t) {
+    const std::uint32_t* fanin = c.fanin_slot + c.fanin_offset[t];
+    const std::size_t nf = c.fanin_offset[t + 1] - c.fanin_offset[t];
+    eval_gate_w<kWords>(
+        c.type[t], nf,
+        [&](std::size_t k) -> const std::uint64_t* {
+          return values + std::size_t{fanin[k]} * kWords;
+        },
+        values + (c.num_inputs + t) * kWords);
+  }
+}
+
+/// Faulty value at the fault site itself (stuck output, or the gate
+/// re-evaluated with one pin stuck).
+template <std::size_t kWords>
+[[gnu::always_inline]] inline void eval_site_w(const ConeView& c,
+                                               const std::uint64_t* values,
+                                               std::size_t t0, const Fault& fault,
+                                               std::uint64_t* out) {
+  const std::uint64_t stuck = fault.stuck_value ? ~std::uint64_t{0} : 0;
+  if (fault.site == Fault::Site::kOutput) {
+    for (std::size_t j = 0; j < kWords; ++j) out[j] = stuck;
+    return;
+  }
+  std::uint64_t stuck_word[kWords];
+  for (std::size_t j = 0; j < kWords; ++j) stuck_word[j] = stuck;
+  const std::uint32_t* fanin = c.fanin_slot + c.fanin_offset[t0];
+  const std::size_t nf = c.fanin_offset[t0 + 1] - c.fanin_offset[t0];
+  eval_gate_w<kWords>(
+      c.type[t0], nf,
+      [&](std::size_t k) -> const std::uint64_t* {
+        return k == fault.pin ? stuck_word : values + std::size_t{fanin[k]} * kWords;
+      },
+      out);
+}
+
+/// The kernel body: full 2^n sweep deciding the prebuilt fault groups with
+/// fault dropping, early exit, and one event wave per group. `groups` is
+/// the entry point's per-range group list (only live groups); a group whose
+/// live mask empties is swap-removed, so late batches visit only the faults
+/// that still need patterns. Group order within a batch is irrelevant —
+/// groups touch disjoint verdict slots and the epoch stamp isolates waves.
+template <std::size_t kWords>
+[[gnu::always_inline]] inline void detect_range_w(const ConeView& c, const Fault* faults,
+                                                  std::uint8_t* detected, const WsView& ws,
+                                                  ConeFaultGroup* groups,
+                                                  std::size_t num_live,
+                                                  std::size_t remaining) {
+  const std::size_t n = c.num_inputs;
+  const std::uint64_t batches = wide_num_batches(n, kWords);
+  std::uint64_t maskw[kWords];
+  bool full_mask = true;
+  for (std::size_t j = 0; j < kWords; ++j) {
+    maskw[j] = wide_lane_mask_word(n, j);
+    full_mask = full_mask && maskw[j] == ~std::uint64_t{0};
+  }
+
+  auto& counters = *ws.counters;
+  std::uint64_t* values = ws.values;
+
+  for (std::uint64_t batch = 0; batch < batches && remaining > 0; ++batch) {
+    fill_batch_inputs_wide(n, batch, kWords,
+                           std::span<std::uint64_t>(values, n * kWords));
+    eval_good_w<kWords>(c, values);
+    ++counters.batches;
+    counters.lanes_swept += 64 * kWords;
+
+    for (std::size_t gi = 0; gi < num_live;) {
+      ConeFaultGroup& g = groups[gi];
+      const std::size_t gb = g.begin;
+      ++counters.fault_groups;
+
+      const auto t0 = static_cast<std::size_t>(g.pos);
+      const std::size_t slot0 = c.num_inputs + t0;
+      const std::uint64_t epoch = ++*ws.epoch;
+
+      // Per-member faulty value at the site; members with no effect on a
+      // valid lane sit this batch out.
+      std::uint32_t active = 0;
+      for (std::uint32_t rem = g.live; rem != 0; rem &= rem - 1) {
+        const auto m = static_cast<std::size_t>(std::countr_zero(rem));
+        std::uint64_t* fo = ws.faulty + (slot0 * kFaultGroupCap + m) * kWords;
+        eval_site_w<kWords>(c, values, t0, faults[gb + m], fo);
+        std::uint64_t diff_masked = 0;
+        if (full_mask) {
+          for (std::size_t j = 0; j < kWords; ++j) {
+            diff_masked |= fo[j] ^ values[slot0 * kWords + j];
+          }
+        } else {
+          for (std::size_t j = 0; j < kWords; ++j) {
+            diff_masked |= (fo[j] ^ values[slot0 * kWords + j]) & maskw[j];
+          }
+        }
+        if (diff_masked != 0) active |= std::uint32_t{1} << m;
+      }
+      if (active == 0) {
+        ++gi;
+        continue;
+      }
+      ws.member_bits[slot0] = active;
+      ws.dirty[slot0] = epoch;
+
+      if (c.observed_index[t0] >= 0) {
+        // The site drives an observed output: every member with an effect
+        // is detected without any wave.
+        const auto hits = static_cast<std::uint64_t>(std::popcount(active));
+        counters.early_exits += hits;
+        counters.faults_dropped += hits;
+        for (std::uint32_t rem = active; rem != 0; rem &= rem - 1) {
+          detected[gb + static_cast<std::size_t>(std::countr_zero(rem))] = 1;
+          --remaining;
+        }
+        g.live &= ~active;
+      } else {
+        // Shared event wave through the downstream fanout cone: one heap,
+        // one queued-stamp pass; per-member values, per-slot member masks.
+        auto& heap = *ws.heap;
+        heap.clear();
+        const auto push = [&](std::size_t t) {
+          for (std::uint32_t i = c.fanout_offset[t]; i < c.fanout_offset[t + 1]; ++i) {
+            const std::uint32_t s = c.fanout_pos[i];
+            if (ws.queued[s] != epoch) {
+              ws.queued[s] = epoch;
+              heap.push_back(s);
+              std::push_heap(heap.begin(), heap.end(), std::greater<std::uint32_t>{});
+            }
+          }
+        };
+        push(t0);
+        while (!heap.empty()) {
+          std::pop_heap(heap.begin(), heap.end(), std::greater<std::uint32_t>{});
+          const std::uint32_t t = heap.back();
+          heap.pop_back();
+          ++counters.events_popped;
+          const std::uint32_t* fanin = c.fanin_slot + c.fanin_offset[t];
+          const std::size_t nf = c.fanin_offset[t + 1] - c.fanin_offset[t];
+          // Members worth recomputing here: those with a fault effect on at
+          // least one fanin, minus members already detected.
+          std::uint32_t need = 0;
+          for (std::size_t k = 0; k < nf; ++k) {
+            const std::uint32_t slot = fanin[k];
+            if (ws.dirty[slot] == epoch) need |= ws.member_bits[slot];
+          }
+          need &= active;
+          if (need == 0) {
+            ++counters.events_suppressed;
+            continue;
+          }
+          const std::size_t slot_t = c.num_inputs + t;
+          std::uint32_t new_bits = 0;
+          for (std::uint32_t remm = need; remm != 0; remm &= remm - 1) {
+            const auto m = static_cast<std::size_t>(std::countr_zero(remm));
+            std::uint64_t* fo = ws.faulty + (slot_t * kFaultGroupCap + m) * kWords;
+            eval_gate_w<kWords>(
+                c.type[t], nf,
+                [&](std::size_t k) -> const std::uint64_t* {
+                  const std::uint32_t slot = fanin[k];
+                  return (ws.dirty[slot] == epoch && ((ws.member_bits[slot] >> m) & 1))
+                             ? ws.faulty + (std::size_t{slot} * kFaultGroupCap + m) * kWords
+                             : values + std::size_t{slot} * kWords;
+                },
+                fo);
+            std::uint64_t diff_any = 0;
+            std::uint64_t diff_masked = 0;
+            if (full_mask) {
+              for (std::size_t j = 0; j < kWords; ++j) {
+                diff_any |= fo[j] ^ values[slot_t * kWords + j];
+              }
+              diff_masked = diff_any;
+            } else {
+              for (std::size_t j = 0; j < kWords; ++j) {
+                const std::uint64_t d = fo[j] ^ values[slot_t * kWords + j];
+                diff_any |= d;
+                diff_masked |= d & maskw[j];
+              }
+            }
+            if (diff_any == 0) continue;  // this member's wave stops here
+            new_bits |= std::uint32_t{1} << m;
+            if (c.observed_index[t] >= 0 && diff_masked != 0) {
+              detected[gb + m] = 1;
+              --remaining;
+              ++counters.faults_dropped;
+              ++counters.early_exits;
+              active &= ~(std::uint32_t{1} << m);
+              g.live &= ~(std::uint32_t{1} << m);
+            }
+          }
+          if (new_bits == 0) {
+            ++counters.events_suppressed;
+            continue;
+          }
+          ws.member_bits[slot_t] = new_bits;
+          ws.dirty[slot_t] = epoch;
+          if (active == 0) break;  // every member verdicted; wave done
+          if ((new_bits & active) != 0) push(t);
+        }
+      }
+      if (g.live == 0) {
+        g = groups[--num_live];  // swap-remove: this group is fully decided
+      } else {
+        ++gi;
+      }
+    }
+  }
+}
+
+// --- target-attributed entry points ------------------------------------
+// Each instantiates the kernel template with its word count; the target
+// attribute makes the fixed-count word loops eligible for 256/512-bit
+// autovectorization without flagging the TU.
+
+void detect_range_u64(const ConeView& c, const Fault* faults, std::uint8_t* detected,
+                      const WsView& ws, ConeFaultGroup* groups, std::size_t num_live,
+                      std::size_t remaining) {
+  detect_range_w<1>(c, faults, detected, ws, groups, num_live, remaining);
+}
+
+MERCED_TARGET_AVX2
+void detect_range_avx2(const ConeView& c, const Fault* faults, std::uint8_t* detected,
+                       const WsView& ws, ConeFaultGroup* groups, std::size_t num_live,
+                       std::size_t remaining) {
+  detect_range_w<4>(c, faults, detected, ws, groups, num_live, remaining);
+}
+
+MERCED_TARGET_AVX512
+void detect_range_avx512(const ConeView& c, const Fault* faults, std::uint8_t* detected,
+                         const WsView& ws, ConeFaultGroup* groups, std::size_t num_live,
+                         std::size_t remaining) {
+  detect_range_w<8>(c, faults, detected, ws, groups, num_live, remaining);
+}
+
+}  // namespace
+
+void exhaustive_detect_range_simd(const ConeSimulator& cone, std::span<const Fault> faults,
+                                  IndexRange range, std::uint8_t* detected,
+                                  SimdWidth width, ConeSimulator::Workspace& ws) {
+  if (width == SimdWidth::kAuto || !simd_width_supported(width)) {
+    throw std::invalid_argument(
+        "exhaustive_detect_range_simd: width must be a concrete supported "
+        "SimdWidth (resolve_simd_width first)");
+  }
+  const std::size_t words = simd_words(width);
+  const std::size_t slots = cone.inputs_.size() + cone.topo_.size();
+
+  // Size the SIMD scratch once per (cone shape, width); steady-state calls
+  // allocate nothing. dirty/queued/heap are shared with the scalar kernel —
+  // stamps from any earlier use are strictly below the monotonically
+  // bumped epoch, so no clearing is needed.
+  if (ws.wide_values.size() != slots * words || ws.wide_words != words) {
+    ws.wide_values.assign(slots * words, 0);
+    ws.wide_faulty.assign(slots * kFaultGroupCap * words, 0);
+    ws.wide_words = words;
+  }
+  if (ws.member_bits.size() != slots) ws.member_bits.assign(slots, 0);
+  if (ws.dirty.size() != slots) ws.dirty.assign(slots, 0);
+  if (ws.queued.size() != cone.topo_.size()) ws.queued.assign(cone.topo_.size(), 0);
+  if (ws.heap.capacity() < cone.topo_.size()) ws.heap.reserve(cone.topo_.size());
+
+  // Group formation, once per range: runs of consecutive same-gate faults
+  // capped at kFaultGroupCap, keeping only groups with undetected members.
+  // The batch loop then iterates this compact list instead of rescanning
+  // the fault span, and swap-removes groups as their members are decided.
+  ws.groups.clear();
+  std::size_t remaining = 0;
+  for (std::size_t gb = range.begin; gb < range.end;) {
+    std::size_t ge = gb + 1;
+    while (ge < range.end && ge - gb < kFaultGroupCap &&
+           faults[ge].gate == faults[gb].gate) {
+      ++ge;
+    }
+    const std::int32_t pos = cone.pos_of_node_[faults[gb].gate];
+    if (pos < 0) {
+      throw std::invalid_argument(
+          "exhaustive_detect_range_simd: fault not on a cluster gate");
+    }
+    std::uint32_t live = 0;
+    for (std::size_t m = 0; m < ge - gb; ++m) {
+      if (!detected[gb + m]) live |= std::uint32_t{1} << m;
+    }
+    if (live != 0) {
+      ws.groups.push_back({static_cast<std::uint32_t>(gb),
+                           static_cast<std::uint32_t>(ge - gb),
+                           static_cast<std::uint32_t>(pos), live});
+      remaining += static_cast<std::size_t>(std::popcount(live));
+    }
+    gb = ge;
+  }
+
+  const ConeView cv{cone.type_.data(),          cone.fanin_offset_.data(),
+                    cone.fanin_slot_.data(),    cone.fanout_offset_.data(),
+                    cone.fanout_pos_.data(),    cone.observed_index_.data(),
+                    cone.pos_of_node_.data(),   cone.inputs_.size(),
+                    cone.topo_.size()};
+  const WsView wv{ws.wide_values.data(), ws.wide_faulty.data(), ws.member_bits.data(),
+                  ws.dirty.data(),       ws.queued.data(),      &ws.heap,
+                  &ws.epoch,             &ws.counters};
+
+  const auto before = ws.counters;
+  switch (words) {
+    case 1:
+      detect_range_u64(cv, faults.data(), detected, wv, ws.groups.data(),
+                       ws.groups.size(), remaining);
+      break;
+    case 4:
+      detect_range_avx2(cv, faults.data(), detected, wv, ws.groups.data(),
+                        ws.groups.size(), remaining);
+      break;
+    case 8:
+      detect_range_avx512(cv, faults.data(), detected, wv, ws.groups.data(),
+                          ws.groups.size(), remaining);
+      break;
+    default:
+      throw std::logic_error("exhaustive_detect_range_simd: unreachable width");
+  }
+
+  // One flush per range keeps the batch/fault loops free of
+  // instrumentation; ws accumulates across calls, so publish the delta.
+  if (obs::enabled()) {
+    const auto& after = ws.counters;
+    obs::add(obs::Counter::kKernelRangesRun, 1);
+    obs::add(obs::Counter::kKernelBatches, after.batches - before.batches);
+    obs::add(obs::Counter::kKernelLanesSwept, after.lanes_swept - before.lanes_swept);
+    obs::add(obs::Counter::kKernelFaultGroups, after.fault_groups - before.fault_groups);
+    obs::add(obs::Counter::kKernelFaultsDropped,
+             after.faults_dropped - before.faults_dropped);
+    obs::add(obs::Counter::kKernelEventsPopped,
+             after.events_popped - before.events_popped);
+    obs::add(obs::Counter::kKernelEventsSuppressed,
+             after.events_suppressed - before.events_suppressed);
+    obs::add(obs::Counter::kKernelEarlyExits, after.early_exits - before.early_exits);
+  }
+}
+
+}  // namespace merced

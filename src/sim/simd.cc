@@ -1,0 +1,110 @@
+#include "sim/simd.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace merced {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* to_string(SimdWidth w) noexcept {
+  switch (w) {
+    case SimdWidth::kAuto: return "auto";
+    case SimdWidth::k64: return "64";
+    case SimdWidth::k256: return "256";
+    case SimdWidth::k512: return "512";
+  }
+  return "?";
+}
+
+bool simd_width_from_string(std::string_view s, SimdWidth& out) noexcept {
+  if (s == "auto") {
+    out = SimdWidth::kAuto;
+  } else if (s == "64") {
+    out = SimdWidth::k64;
+  } else if (s == "256") {
+    out = SimdWidth::k256;
+  } else if (s == "512") {
+    out = SimdWidth::k512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool simd_width_supported(SimdWidth w) noexcept {
+  switch (w) {
+    case SimdWidth::kAuto:
+    case SimdWidth::k64:
+      return true;
+    case SimdWidth::k256:
+      return cpu_has_avx2();
+    case SimdWidth::k512:
+      return cpu_has_avx512f();
+  }
+  return false;
+}
+
+SimdWidth best_simd_width() noexcept {
+  if (cpu_has_avx512f()) return SimdWidth::k512;
+  if (cpu_has_avx2()) return SimdWidth::k256;
+  return SimdWidth::k64;
+}
+
+SimdWidth resolve_simd_width(SimdWidth requested) {
+  if (requested == SimdWidth::kAuto) {
+    if (const char* env = std::getenv("MERCED_SIMD"); env != nullptr && *env != '\0') {
+      if (!simd_width_from_string(env, requested)) {
+        throw std::invalid_argument(
+            "MERCED_SIMD expects auto, 64, 256 or 512, got '" + std::string(env) + "'");
+      }
+    }
+  }
+  if (requested == SimdWidth::kAuto) return best_simd_width();
+  if (!simd_width_supported(requested)) {
+    throw std::invalid_argument("simd width " + std::string(to_string(requested)) +
+                                " is not supported on this host");
+  }
+  return requested;
+}
+
+void fill_batch_inputs_wide(std::size_t n, std::uint64_t batch, std::size_t words,
+                            std::span<std::uint64_t> out) noexcept {
+  std::size_t log2_words = 0;
+  for (std::size_t w = words; w > 1; w >>= 1) ++log2_words;
+  const std::size_t log2_lanes = 6 + log2_words;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* word = out.data() + i * words;
+    if (i < 6) {
+      for (std::size_t j = 0; j < words; ++j) word[j] = kSimdLaneBits[i];
+    } else if (i < log2_lanes) {
+      for (std::size_t j = 0; j < words; ++j) {
+        word[j] = (j >> (i - 6)) & 1 ? ~std::uint64_t{0} : 0;
+      }
+    } else {
+      const std::uint64_t fill = (batch >> (i - log2_lanes)) & 1 ? ~std::uint64_t{0} : 0;
+      for (std::size_t j = 0; j < words; ++j) word[j] = fill;
+    }
+  }
+}
+
+}  // namespace merced

@@ -1,0 +1,107 @@
+// SIMD width model of the coverage kernel — lane batching, pattern fill,
+// and runtime backend selection.
+//
+// The event-driven kernel sweeps 2^ι patterns in batches of W parallel
+// lanes, where one "lane word" is W/64 contiguous uint64s (slot-major:
+// value slot s occupies words [s*words, (s+1)*words)). W is a *semantic*
+// batching width: every backend sweeps the identical pattern space and
+// must produce bit-identical verdicts; wider words just cut the batch
+// count by W/64 and let the hardware chew 256/512 bits per op.
+//
+// Lane-validity contract (generalizes cone.h's 64-lane contract): the
+// pattern index of lane l in batch b is b*W + l; input bit i of that
+// pattern depends only on l for i < log2(W) and only on b otherwise. For a
+// CUT with n < log2(W) inputs, lane l >= 2^n replays pattern l mod 2^n
+// bit-for-bit, so detection masks (wide_lane_mask_word) are hygiene, not
+// semantics — exactly as at width 64.
+//
+// Backend selection: width 64 is always available; widths 256/512 require
+// AVX2 / AVX-512F at runtime (the kernel entry points carry GCC/clang
+// target attributes, so one portable binary dispatches by CPUID — no
+// per-file -mavx flags, no ODR hazards). resolve_simd_width() turns a
+// user request (or kAuto) into a concrete supported width, honouring the
+// MERCED_SIMD environment override (used by the CI kernel matrix to force
+// every backend through the same test suite).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace merced {
+
+/// Requested or resolved lane width of the coverage kernel.
+enum class SimdWidth : std::uint16_t {
+  kAuto = 0,  ///< pick the widest supported backend (after MERCED_SIMD)
+  k64 = 64,   ///< scalar uint64 lanes (always supported)
+  k256 = 256, ///< 4x uint64 lane words, AVX2 backend
+  k512 = 512, ///< 8x uint64 lane words, AVX-512F backend
+};
+
+/// Lane count of a concrete width (64/256/512). kAuto is not concrete.
+constexpr std::size_t simd_lanes(SimdWidth w) noexcept {
+  return static_cast<std::size_t>(w);
+}
+
+/// uint64 words per lane word (1/4/8).
+constexpr std::size_t simd_words(SimdWidth w) noexcept {
+  return simd_lanes(w) / 64;
+}
+
+/// "auto" / "64" / "256" / "512".
+const char* to_string(SimdWidth w) noexcept;
+
+/// Parses "auto" / "64" / "256" / "512". Returns false on anything else.
+bool simd_width_from_string(std::string_view s, SimdWidth& out) noexcept;
+
+/// True when this host can run the backend: k64 always, k256 with AVX2,
+/// k512 with AVX-512F (both always false off x86-64). kAuto is "supported"
+/// in the sense that it always resolves.
+bool simd_width_supported(SimdWidth w) noexcept;
+
+/// The widest supported concrete width on this host.
+SimdWidth best_simd_width() noexcept;
+
+/// Resolves `requested` to a concrete supported width. A concrete request
+/// is validated and returned; kAuto consults the MERCED_SIMD environment
+/// variable ("auto"/"64"/"256"/"512") and falls back to best_simd_width().
+/// Throws std::invalid_argument for an unsupported width or a malformed
+/// MERCED_SIMD value.
+SimdWidth resolve_simd_width(SimdWidth requested);
+
+/// Lane words of input bits 0..5 at any width: bit i of pattern index
+/// b*W + l depends only on (l mod 64) for i < 6, giving fixed per-uint64
+/// masks shared by every backend (and by cone.cc's 64-lane kernel).
+inline constexpr std::uint64_t kSimdLaneBits[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+/// Number of W-lane batches of a full 2^n sweep: max(1, 2^n / W).
+constexpr std::uint64_t wide_num_batches(std::size_t n, std::size_t words) noexcept {
+  std::size_t log2_lanes = 6;
+  for (std::size_t w = words; w > 1; w >>= 1) ++log2_lanes;
+  return n > log2_lanes ? std::uint64_t{1} << (n - log2_lanes) : 1;
+}
+
+/// uint64 word j of the validity mask for an n-input CUT at width 64*words:
+/// bit t is set iff lane 64*j + t carries a distinct pattern (index < 2^n).
+constexpr std::uint64_t wide_lane_mask_word(std::size_t n, std::size_t j) noexcept {
+  if (n >= 6 + 6) return ~std::uint64_t{0};  // 2^n >= 4096 covers any word
+  const std::uint64_t valid = std::uint64_t{1} << n;
+  const std::uint64_t lo = 64 * static_cast<std::uint64_t>(j);
+  if (valid >= lo + 64) return ~std::uint64_t{0};
+  if (valid <= lo) return 0;
+  return (std::uint64_t{1} << (valid - lo)) - 1;
+}
+
+/// Fills `out` (n * words uint64s, slot-major) with the W = 64*words
+/// patterns of `batch`: lane l of input bit i carries bit i of pattern
+/// index batch*W + l. The width-64 fill_batch_inputs (cone.h) is the
+/// words == 1 case; every backend and oracle shares this stimulus, so all
+/// paths see bit-identical patterns.
+void fill_batch_inputs_wide(std::size_t n, std::uint64_t batch, std::size_t words,
+                            std::span<std::uint64_t> out) noexcept;
+
+}  // namespace merced

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "fuzz/fuzz_json.h"
 #include "fuzz/fuzzer.h"
@@ -305,6 +306,52 @@ TEST(CliExitCodeTest, MercedFuzzExitCodes) {
                 " --seed 1 --runs 4 --minimize off --inject-defect skew-tap"),
             1);
 }
+
+#ifdef MERCED_CLI_BIN
+
+/// Runs a command, returning its exit code and captured stderr — the
+/// --simd contract pins exact usage-error text, not just the code.
+std::pair<int, std::string> run_stderr(const std::string& cmd) {
+  const std::string err_path = std::string(::testing::TempDir()) + "cli_stderr.txt";
+  const int status =
+      std::system((cmd + " >/dev/null 2>" + err_path).c_str());
+  std::ifstream in(err_path);
+  std::stringstream text;
+  text << in.rdbuf();
+  return {WEXITSTATUS(status), text.str()};
+}
+
+TEST(CliExitCodeTest, MercedCliSimdFlagGrammarIsPinned) {
+  // Malformed --simd value: usage error with the exact expects-message.
+  const auto [bad_code, bad_err] =
+      run_stderr(std::string(MERCED_CLI_BIN) + " s27 --simd bogus");
+  EXPECT_EQ(bad_code, 2);
+  EXPECT_NE(bad_err.find("--simd expects auto, 64, 256 or 512, got 'bogus'"),
+            std::string::npos)
+      << bad_err;
+
+  // 128 is not in the width model at all — same rejection class.
+  const auto [odd_code, odd_err] =
+      run_stderr(std::string(MERCED_CLI_BIN) + " s27 --simd 128");
+  EXPECT_EQ(odd_code, 2);
+  EXPECT_NE(odd_err.find("--simd expects auto, 64, 256 or 512, got '128'"),
+            std::string::npos)
+      << odd_err;
+
+  // A malformed MERCED_SIMD override fails --simd auto resolution the same
+  // way: exit 2 through the usage-error path, message naming the variable.
+  const auto [env_code, env_err] = run_stderr(
+      "MERCED_SIMD=banana " + std::string(MERCED_CLI_BIN) + " s27 --simd auto");
+  EXPECT_EQ(env_code, 2);
+  EXPECT_NE(env_err.find("MERCED_SIMD expects auto, 64, 256 or 512, got 'banana'"),
+            std::string::npos)
+      << env_err;
+
+  // Width 64 is supported everywhere: a pinned-width run must succeed.
+  EXPECT_EQ(run(std::string(MERCED_CLI_BIN) + " s27 --lk 8 --simd 64"), 0);
+}
+
+#endif  // MERCED_CLI_BIN
 
 #endif  // METRICS_CHECK_BIN && MERCED_FUZZ_BIN
 

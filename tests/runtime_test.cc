@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.h"
+#include "runtime/work_steal.h"
 
 namespace merced {
 namespace {
@@ -191,6 +192,77 @@ TEST(ThreadPoolTest, ExceptionPropagatesOutOfParallelMap) {
   // The pool survives the failed loop and runs the next one normally.
   const auto ok = parallel_map<int>(pool, 5, [](std::size_t i) { return int(i) * 2; });
   EXPECT_EQ(ok, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(WorkStealTest, EveryTaskRunsExactlyOnceAcrossPoolSizes) {
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(jobs);
+    std::vector<std::atomic<int>> hits(503);
+    const StealStats stats =
+        parallel_for_stealing(pool, hits.size(), [&](std::size_t task, std::size_t slot) {
+          ASSERT_LT(slot, pool.size());
+          hits[task].fetch_add(1, std::memory_order_relaxed);
+        });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_EQ(stats.tasks_run, hits.size());
+    EXPECT_LE(stats.tasks_stolen, stats.tasks_run);
+    if (jobs == 1) EXPECT_EQ(stats.tasks_stolen, 0u);
+  }
+}
+
+TEST(WorkStealTest, SlotTasksNeverRunConcurrently) {
+  // The worker_slot contract: two tasks reporting the same slot are never
+  // in flight at once, which is what lets callers keep per-slot scratch
+  // state without a lock. Entering a slot that is already occupied trips
+  // the flag; TSan (CI) would additionally flag the unsynchronized vector.
+  ThreadPool pool(8);
+  std::vector<std::atomic<bool>> occupied(pool.size());
+  std::atomic<bool> violated{false};
+  (void)parallel_for_stealing(pool, 400, [&](std::size_t, std::size_t slot) {
+    if (occupied[slot].exchange(true, std::memory_order_acquire)) {
+      violated.store(true, std::memory_order_relaxed);
+    }
+    occupied[slot].store(false, std::memory_order_release);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(WorkStealTest, ZeroTasksIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  const StealStats stats =
+      parallel_for_stealing(pool, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(stats.tasks_run, 0u);
+}
+
+TEST(WorkStealTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    (void)parallel_for_stealing(pool, 200, [&](std::size_t task, std::size_t) {
+      if (task == 111) throw std::runtime_error("stolen boom");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  std::atomic<int> total{0};
+  (void)parallel_for_stealing(pool, 10, [&](std::size_t, std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(WorkStealTest, IndexAddressedResultsAreOrderIndependent) {
+  // The determinism contract: results land in per-task slots, so the fold
+  // in task order is bit-identical for any pool size and any interleaving.
+  auto reduce_with = [](std::size_t jobs) {
+    ThreadPool pool(jobs);
+    std::vector<double> parts(1000);
+    (void)parallel_for_stealing(pool, parts.size(), [&](std::size_t task, std::size_t) {
+      parts[task] = 1.0 / static_cast<double>(task + 1);
+    });
+    return std::accumulate(parts.begin(), parts.end(), 0.0);
+  };
+  const double serial = reduce_with(1);
+  EXPECT_EQ(serial, reduce_with(3));
+  EXPECT_EQ(serial, reduce_with(8));
 }
 
 TEST(ThreadPoolTest, DeterministicReductionAcrossThreadCounts) {

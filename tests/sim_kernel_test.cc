@@ -1,22 +1,30 @@
 // Conformance and performance-contract tests for the event-driven
-// pseudo-exhaustive coverage kernel (sim/cone.{h,cc}).
+// pseudo-exhaustive coverage kernels (sim/cone.{h,cc}, sim/cone_simd.cc).
 //
-// The kernel's promises, each pinned here:
+// The kernels' promises, each pinned here:
 //  * fault-for-fault equality with the naive re-evaluate-everything oracle
 //    on random compiled CUTs and on hand-built cones (wide gates, MUX,
 //    XOR trees, constants, redundant logic);
+//  * every SIMD backend this host supports (64/256/512-bit lane words)
+//    produces a bit-identical CoverageResult — same detected set, same
+//    undetected order — including on ι < 6 padded-lane cones;
 //  * bit-identical CoverageResult for every intra-CUT sharding width
-//    (--jobs 1/2/8);
-//  * zero heap allocation in steady state when a Workspace is reused
-//    (checked both by a global operator-new counter and by workspace
-//    capacity stability);
-//  * PpetSession::measure_coverage == per-cone exhaustive_coverage.
+//    (--jobs 1/2/8) on the work-stealing sweep;
+//  * zero heap allocation in steady state when a Workspace is reused, for
+//    the scalar probe path and for the SIMD kernel at every width (checked
+//    both by a global operator-new counter and by workspace capacity
+//    stability);
+//  * PpetSession::measure_coverage == per-cone exhaustive_coverage, at
+//    every SimdWidth and jobs value.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "circuits/generator.h"
@@ -26,6 +34,7 @@
 #include "netlist/bench_io.h"
 #include "sim/cone.h"
 #include "sim/fault.h"
+#include "sim/simd.h"
 
 // ------------------------------------------------- allocation counting ---
 // Global operator new replacement: counts every allocation so the no-alloc
@@ -256,6 +265,202 @@ TEST(SimKernelTest, WorkspaceEvalIsAllocationFreeInSteadyState) {
   for (std::size_t o = 0; o < ws_out.size(); ++o) EXPECT_EQ(ws_out[o], alloc_out[o]);
 }
 
+// The width model itself: lane/word arithmetic, the generalized lane-mask
+// contract (word 0 must equal the scalar kernel's lane_mask, wider words
+// are all-ones exactly when the CUT has enough inputs to fill them), and
+// the --simd / MERCED_SIMD parsing surface.
+TEST(SimdWidthTest, LaneAndWordCounts) {
+  EXPECT_EQ(simd_lanes(SimdWidth::k64), 64u);
+  EXPECT_EQ(simd_lanes(SimdWidth::k256), 256u);
+  EXPECT_EQ(simd_lanes(SimdWidth::k512), 512u);
+  EXPECT_EQ(simd_words(SimdWidth::k64), 1u);
+  EXPECT_EQ(simd_words(SimdWidth::k256), 4u);
+  EXPECT_EQ(simd_words(SimdWidth::k512), 8u);
+  EXPECT_TRUE(simd_width_supported(SimdWidth::k64));
+  EXPECT_TRUE(simd_width_supported(SimdWidth::kAuto));  // always resolves
+}
+
+TEST(SimdWidthTest, WideLaneMaskGeneralizesScalarContract) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{5},
+                        std::size_t{6}, std::size_t{8}, std::size_t{12}}) {
+    EXPECT_EQ(wide_lane_mask_word(n, 0), lane_mask(n)) << "n " << n;
+  }
+  // n = 7 fills 128 lanes: words 0..1 valid, the rest of a 512-bit word
+  // replay patterns and are masked out.
+  EXPECT_EQ(wide_lane_mask_word(7, 1), ~std::uint64_t{0});
+  EXPECT_EQ(wide_lane_mask_word(7, 2), 0u);
+  EXPECT_EQ(wide_lane_mask_word(7, 7), 0u);
+  // n >= 9 fills all 8 words of a 512-bit lane word.
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(wide_lane_mask_word(9, j), ~std::uint64_t{0}) << "word " << j;
+  }
+  EXPECT_EQ(wide_num_batches(4, 8), 1u);
+  EXPECT_EQ(wide_num_batches(9, 8), 1u);
+  EXPECT_EQ(wide_num_batches(12, 8), 8u);
+  EXPECT_EQ(wide_num_batches(12, 1), 64u);
+}
+
+TEST(SimdWidthTest, FromStringAcceptsExactlyTheCliGrammar) {
+  SimdWidth w = SimdWidth::k64;
+  EXPECT_TRUE(simd_width_from_string("auto", w));
+  EXPECT_EQ(w, SimdWidth::kAuto);
+  EXPECT_TRUE(simd_width_from_string("64", w));
+  EXPECT_EQ(w, SimdWidth::k64);
+  EXPECT_TRUE(simd_width_from_string("256", w));
+  EXPECT_EQ(w, SimdWidth::k256);
+  EXPECT_TRUE(simd_width_from_string("512", w));
+  EXPECT_EQ(w, SimdWidth::k512);
+  for (const char* bad : {"", "0", "128", "avx2", "64 ", "Auto"}) {
+    EXPECT_FALSE(simd_width_from_string(bad, w)) << "'" << bad << "'";
+  }
+}
+
+TEST(SimdWidthTest, ResolveHonorsEnvAndRejectsMalformedEnv) {
+  // Save the caller's MERCED_SIMD: the CI kernel matrix runs this binary
+  // with the variable forced, and later tests must still see that value.
+  const char* prior_env = ::getenv("MERCED_SIMD");
+  const std::string prior = prior_env != nullptr ? prior_env : "";
+
+  // A concrete width resolves to itself regardless of the environment.
+  EXPECT_EQ(resolve_simd_width(SimdWidth::k64), SimdWidth::k64);
+
+  ::setenv("MERCED_SIMD", "64", 1);
+  EXPECT_EQ(resolve_simd_width(SimdWidth::kAuto), SimdWidth::k64);
+  ::setenv("MERCED_SIMD", "not-a-width", 1);
+  EXPECT_THROW(resolve_simd_width(SimdWidth::kAuto), std::invalid_argument);
+  ::unsetenv("MERCED_SIMD");
+
+  // Without the env override, auto resolves to the best supported width.
+  EXPECT_EQ(resolve_simd_width(SimdWidth::kAuto), best_simd_width());
+  EXPECT_TRUE(simd_width_supported(best_simd_width()));
+
+  if (prior_env != nullptr) ::setenv("MERCED_SIMD", prior.c_str(), 1);
+}
+
+// Every supported SIMD backend produces the same CoverageResult as the
+// naive oracle — same counts AND same undetected order — on cones spanning
+// the interesting widths: ι < 6 (padded lanes at every word count), ι in
+// [6, log2(W)) (some wide-word lanes padded), and ι ≥ log2(W) (all lanes
+// distinct). The verdicts must be width-independent by construction.
+TEST(SimKernelTest, AllSimdBackendsAreBitIdenticalToNaive) {
+  const char* benches[] = {
+      // ι = 3: every backend pads most lanes.
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n"
+      "t = AND(a, b)\nu = XOR(t, c)\ny = NAND(u, a)\nz = NOR(u, b)\n",
+      // ι = 7: 64-bit words are full, 256/512-bit words still pad.
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nINPUT(g)\n"
+      "OUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n"
+      "wide = AND(a, b, c, d, e, f, g)\n"
+      "xn = NOT(a)\n"
+      "red = OR(a, xn)\n"
+      "k1 = CONST1()\n"
+      "par = XOR(b, c, d, e)\n"
+      "m = MUX(a, par, wide)\n"
+      "y = NOR(m, red)\n"
+      "z = OR(red, k1)\n"
+      "w = XNOR(wide, par)\n",
+  };
+  for (const char* bench : benches) {
+    const Netlist nl = parse_bench(bench);
+    const CircuitGraph g(nl);
+    const Clustering c = whole_circuit_cluster(g);
+    const ConeSimulator cone(g, c, 0);
+
+    CoverageOptions naive_opt;
+    naive_opt.naive = true;
+    const CoverageResult naive = exhaustive_coverage(cone, naive_opt);
+    for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
+      if (!simd_width_supported(w)) continue;
+      CoverageOptions opt;
+      opt.simd = w;
+      expect_same_coverage(exhaustive_coverage(cone, opt), naive,
+                           "width " + std::string(to_string(w)) + ", iota " +
+                               std::to_string(cone.cut_inputs().size()));
+    }
+  }
+}
+
+// The same property on compiled random CUTs, where fault sites, stem
+// branches and cone shapes vary beyond what hand-built netlists cover.
+TEST(SimKernelTest, AllSimdBackendsMatchOnCompiledCuts) {
+  const Netlist nl = generate_circuit(kernel_spec(21));
+  MercedConfig config;
+  config.lk = 9;
+  const MercedResult plan = compile(nl, config);
+  const CircuitGraph graph(nl);
+
+  std::size_t cones_checked = 0;
+  for (std::size_t ci = 0; ci < plan.partitions.count(); ++ci) {
+    const ConeSimulator cone(graph, plan.partitions, ci);
+    if (cone.gates().empty() || cone.cut_inputs().empty()) continue;
+    CoverageOptions naive_opt;
+    naive_opt.naive = true;
+    const CoverageResult naive = exhaustive_coverage(cone, naive_opt);
+    for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
+      if (!simd_width_supported(w)) continue;
+      CoverageOptions opt;
+      opt.simd = w;
+      expect_same_coverage(exhaustive_coverage(cone, opt), naive,
+                           "cluster " + std::to_string(ci) + " width " +
+                               std::string(to_string(w)));
+    }
+    ++cones_checked;
+  }
+  EXPECT_GT(cones_checked, 0u);
+}
+
+// The SIMD range kernel requires a resolved width: kAuto (and, on hosts
+// without the ISA, an unsupported width) is a caller bug, not a fallback.
+TEST(SimKernelTest, SimdRangeKernelRejectsUnresolvedWidth) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const std::vector<Fault> faults = cone.cluster_faults();
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+  ConeSimulator::Workspace ws;
+  EXPECT_THROW(exhaustive_detect_range_simd(cone, faults, {0, faults.size()},
+                                            detected.data(), SimdWidth::kAuto, ws),
+               std::invalid_argument);
+}
+
+// Steady-state sweeps through the SIMD kernel allocate nothing, at every
+// supported width: the first call sizes the workspace for (shape, width),
+// after which repeated ranges reuse every buffer (including the per-range
+// fault-group list).
+TEST(SimKernelTest, SimdKernelIsAllocationFreeInSteadyState) {
+  const Netlist nl = generate_circuit(kernel_spec(7));
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const std::vector<Fault> faults = cone.cluster_faults();
+  ASSERT_FALSE(faults.empty());
+
+  for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
+    if (!simd_width_supported(w)) continue;
+    ConeSimulator::Workspace ws;
+    std::vector<std::uint8_t> detected(faults.size(), 0);
+
+    // Warm-up sizes the wide arrays and the group list.
+    exhaustive_detect_range_simd(cone, faults, {0, faults.size()}, detected.data(), w,
+                                 ws);
+    const std::size_t warm_capacity = ws.capacity_bytes();
+
+    const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int rep = 0; rep < 4; ++rep) {
+      std::fill(detected.begin(), detected.end(), std::uint8_t{0});
+      exhaustive_detect_range_simd(cone, faults, {0, faults.size()}, detected.data(),
+                                   w, ws);
+      exhaustive_detect_range_simd(cone, faults, {0, faults.size() / 2},
+                                   detected.data(), w, ws);
+    }
+    const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "SIMD kernel allocated at width " << to_string(w);
+    EXPECT_EQ(ws.capacity_bytes(), warm_capacity) << "width " << to_string(w);
+  }
+}
+
 TEST(SimKernelTest, FaultObservableRequiresPreparedWorkspace) {
   const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
   const CircuitGraph g(nl);
@@ -292,6 +497,35 @@ TEST(SimKernelTest, SessionMeasureCoverageMatchesPerConeAndIsDeterministic) {
     for (std::size_t s = 0; s < serial.size(); ++s) {
       expect_same_coverage(parallel[s], serial[s],
                            "jobs " + std::to_string(jobs) + " station " +
+                               std::to_string(s));
+    }
+  }
+}
+
+// measure_coverage is also width-independent: pinning the session to each
+// supported SIMD backend reproduces the auto-width result station for
+// station, fault for fault.
+TEST(SimKernelTest, SessionMeasureCoverageIsSimdWidthIndependent) {
+  const Netlist nl = generate_circuit(kernel_spec(11));
+  MercedConfig config;
+  config.lk = 9;
+  const MercedResult plan = compile(nl, config);
+  const CircuitGraph graph(nl);
+
+  PpetSession session(graph, plan);
+  EXPECT_EQ(session.simd(), SimdWidth::kAuto);
+  const auto auto_result = session.measure_coverage();
+
+  for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
+    if (!simd_width_supported(w)) continue;
+    PpetSession pinned(graph, plan, 16, 2);
+    pinned.set_simd(w);
+    EXPECT_EQ(pinned.simd(), w);
+    const auto result = pinned.measure_coverage();
+    ASSERT_EQ(result.size(), auto_result.size());
+    for (std::size_t s = 0; s < result.size(); ++s) {
+      expect_same_coverage(result[s], auto_result[s],
+                           "width " + std::string(to_string(w)) + " station " +
                                std::to_string(s));
     }
   }
