@@ -22,6 +22,7 @@
 // JSON schema:
 //
 //   { "hardware_concurrency": N,
+//     "cpu": "model name",
 //     "generated": { "inputs": N, "gates": N, "collapsed_faults": N,
 //                    "naive_seconds": s, "kernel_seconds": s, "speedup": x,
 //                    "simd": { "widths_supported": [64, ...],
@@ -61,16 +62,30 @@
 //    made the old artifact dishonest); within-core rows must keep parallel
 //    efficiency (speedup/jobs) above a conservative floor.
 //
+// Regression-sentinel plumbing: every run appends one compact JSON line to
+// BENCH_history.jsonl (--history overrides the path) — an append-only
+// trajectory of the headline numbers, uploaded by CI so the bench record
+// stops being a single overwritten file. --baseline FILE names the
+// committed baseline snapshot: with MERCED_UPDATE_BASELINE=1 in the
+// environment the run's full artifact is also written there (the same
+// refresh idiom the golden-table tests use); without it the flag only
+// reminds where the baseline lives — comparing against it is
+// merced_metrics_diff's job (the CI perf-sentinel runs it).
+//
 // Usage: bench_exhaustive_kernel [--inputs N] [--gates N] [--circuit name]
 //                                [--lk N] [--seed N] [--smoke]
 //                                [--trace FILE] [--metrics FILE]
+//                                [--history FILE] [--baseline FILE]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +96,7 @@
 #include "netlist/netlist.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/resource.h"
 #include "partition/clustering.h"
 #include "sim/cone.h"
 #include "sim/fault.h"
@@ -142,6 +158,29 @@ void json_width_runs(std::ostream& os, const std::vector<WidthRun>& runs) {
        << ", \"speedup_vs_u64\": " << runs[i].speedup_vs_u64 << "}";
   }
   os << "]";
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
 }
 
 }  // namespace
@@ -244,6 +283,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 20260805;
   std::string trace_path;
   std::string metrics_path;
+  std::string history_path = "BENCH_history.jsonl";
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--smoke") {
@@ -266,10 +307,15 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (flag == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (flag == "--history" && i + 1 < argc) {
+      history_path = argv[++i];
+    } else if (flag == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
       std::cerr << "usage: bench_exhaustive_kernel [--inputs N] [--gates N] "
                    "[--circuit name] [--lk N] [--seed N] [--smoke] "
-                   "[--trace FILE] [--metrics FILE]\n";
+                   "[--trace FILE] [--metrics FILE] [--history FILE] "
+                   "[--baseline FILE]\n";
       return 2;
     }
   }
@@ -544,8 +590,11 @@ int main(int argc, char** argv) {
   }
 
   // --------------------------------------------------------- JSON out ---
-  std::ofstream json("BENCH_simkernel.json");
+  // The artifact body is built once and written to BENCH_simkernel.json and
+  // (on MERCED_UPDATE_BASELINE=1 with --baseline) the baseline snapshot.
+  std::ostringstream json;
   json << "{\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"cpu\": \"" << json_escaped(obs::cpu_model_string()) << "\""
        << ",\n  \"generated\": {\"inputs\": " << gen_cone.cut_inputs().size()
        << ", \"gates\": " << gen_cone.gates().size()
        << ", \"collapsed_faults\": " << gen_faults
@@ -581,7 +630,51 @@ int main(int argc, char** argv) {
        << ", \"enabled_seconds\": " << obs_on_s << ", \"ratio\": " << obs_ratio
        << ", \"budget_ratio\": " << kBudgetRatio
        << "},\n  \"conformance\": \"ok\"\n}\n";
+  std::ofstream("BENCH_simkernel.json") << json.str();
   std::cout << "\nwrote BENCH_simkernel.json\n";
+
+  // One-line trajectory record, append-only: the headline numbers of this
+  // run plus enough identity (host, workload) to group the series later.
+  if (!history_path.empty()) {
+    std::ofstream history(history_path, std::ios::app);
+    if (!history) {
+      std::cerr << "error: cannot append to " << history_path << "\n";
+      return 1;
+    }
+    history << "{\"utc\": \"" << utc_timestamp() << "\", \"smoke\": "
+            << (smoke ? "true" : "false") << ", \"cpu\": \""
+            << json_escaped(obs::cpu_model_string()) << "\", \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency() << ", \"circuit\": \""
+            << json_escaped(circuit) << "\", \"lk\": " << lk
+            << ", \"gen_inputs\": " << num_inputs << ", \"gen_gates\": " << num_gates
+            << ", \"kernel_seconds\": " << kernel_s << ", \"speedup\": " << speedup
+            << ", \"best_width\": " << best_width << ", \"widest_speedup_vs_u64\": "
+            << (width_runs.empty() ? 0.0 : width_runs.back().speedup_vs_u64)
+            << ", \"iscas_kernel_seconds\": " << iscas_kernel_s
+            << ", \"iscas_speedup\": " << iscas_speedup
+            << ", \"obs_ratio\": " << obs_ratio
+            << ", \"peak_rss_bytes\": " << obs::peak_rss_bytes() << "}\n";
+    std::cout << "appended " << history_path << "\n";
+  }
+
+  // Baseline refresh: same env-gated idiom as the golden tables. Without
+  // MERCED_UPDATE_BASELINE=1 the committed snapshot is read-only here;
+  // merced_metrics_diff compares against it (CI perf-sentinel).
+  if (!baseline_path.empty()) {
+    const char* update = std::getenv("MERCED_UPDATE_BASELINE");
+    if (update != nullptr && std::string(update) == "1") {
+      std::ofstream out(baseline_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << baseline_path << "\n";
+        return 1;
+      }
+      out << json.str();
+      std::cout << "refreshed baseline " << baseline_path << "\n";
+    } else {
+      std::cout << "baseline " << baseline_path
+                << " untouched (set MERCED_UPDATE_BASELINE=1 to refresh)\n";
+    }
+  }
 
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

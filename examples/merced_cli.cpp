@@ -28,8 +28,12 @@
 // Chrome/Perfetto trace (open in chrome://tracing or ui.perfetto.dev) with
 // nested spans for every compile phase and — when every CUT is narrow
 // enough to sweep — the per-CUT pseudo-exhaustive coverage sweeps.
-// --metrics FILE writes the versioned merced-metrics-v1 JSON artifact
-// (counters + phase timings; see EXPERIMENTS.md "Metrics artifacts").
+// --metrics FILE writes the versioned merced-metrics-v2 JSON artifact
+// (counters, phase timings, per-phase latency histograms, scheduler health,
+// peak RSS + allocation high-water, and the host identity that lets
+// merced_metrics_diff refuse cross-host comparisons; see EXPERIMENTS.md
+// "Metrics artifacts"). This binary opts into the allocation channel by
+// including obs/alloc_hook.h below, so memory numbers are real, not zeros.
 //
 // --verify re-checks the compile artifact with the independent static
 // verifier (DESIGN.md "Static verification") and exits 1 if any
@@ -63,6 +67,7 @@
 #include "core/ppet_session.h"
 #include "graph/circuit_graph.h"
 #include "netlist/bench_io.h"
+#include "obs/alloc_hook.h"  // single-TU opt-in: real allocation telemetry
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "sat/equivalence.h"

@@ -1,0 +1,131 @@
+// merced_metrics_diff — the performance-regression sentinel CLI.
+//
+// Usage:
+//   merced_metrics_diff BASELINE CURRENT [--json FILE] [--rel F]
+//                       [--abs-ms F] [--ignore-host]
+//
+// BASELINE and CURRENT are two artifacts of the same kind: either two
+// metrics documents (merced-metrics-v1/v2, as written by merced_cli
+// --metrics or bench_exhaustive_kernel --metrics) or two BENCH_simkernel
+// documents. The tool pairs up their measurements, applies noise-aware
+// thresholds (per metric: rel * baseline + absolute floor; see
+// obs/metrics_diff.h for the timing/ratio/info gating classes), prints a
+// human table, and optionally writes the machine-readable merced-diff-v1
+// document for CI to archive (validated by metrics_check --diff).
+//
+// Exit codes:
+//   0  artifacts comparable, every gated metric within thresholds
+//   1  regression (or drift beyond thresholds in either direction —
+//      a faster-than-baseline run means the committed baseline is stale;
+//      refresh it, see EXPERIMENTS.md)
+//   2  usage error, unreadable input, or incomparable artifacts (kind,
+//      config, or host mismatch — pass --ignore-host to compare ratios
+//      across hosts)
+//
+// Flags:
+//   --json FILE     also write the merced-diff-v1 JSON document
+//   --rel F         relative threshold fraction   (default 0.35)
+//   --abs-ms F      absolute timing floor in ms   (default 5.0)
+//   --ignore-host   on host mismatch, demote timing metrics to
+//                   informational instead of refusing; dimensionless
+//                   ratios keep gating
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics_diff.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: merced_metrics_diff BASELINE CURRENT [--json FILE] [--rel F] "
+    "[--abs-ms F] [--ignore-host]\n";
+
+bool read_doc(const std::string& path, merced::obs::JsonValue& doc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    doc = merced::obs::JsonValue::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string json_path;
+  merced::obs::DiffThresholds thresholds;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (flag == "--rel" && i + 1 < argc) {
+      try {
+        thresholds.rel = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "error: --rel expects a number\n" << kUsage;
+        return 2;
+      }
+    } else if (flag == "--abs-ms" && i + 1 < argc) {
+      try {
+        thresholds.abs_seconds = std::stod(argv[++i]) / 1000.0;
+      } catch (const std::exception&) {
+        std::cerr << "error: --abs-ms expects a number\n" << kUsage;
+        return 2;
+      }
+    } else if (flag == "--ignore-host") {
+      thresholds.ignore_host = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::cerr << kUsage;
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = flag;
+    } else if (current_path.empty()) {
+      current_path = flag;
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || thresholds.rel < 0 ||
+      thresholds.abs_seconds < 0) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  merced::obs::JsonValue baseline, current;
+  if (!read_doc(baseline_path, baseline) || !read_doc(current_path, current)) {
+    return 2;
+  }
+
+  merced::obs::DiffResult result =
+      merced::obs::diff_artifacts(baseline, current, thresholds);
+  result.baseline_label = baseline_path;
+  result.current_label = current_path;
+
+  merced::obs::write_diff_table(std::cout, result);
+  if (!result.error.empty()) return 2;
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    merced::obs::write_diff_json(out, result);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}

@@ -2,12 +2,13 @@
 //
 // Usage:
 //   metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]...
-//                 [--fuzz FILE]... [--prove FILE]...
+//                 [--fuzz FILE]... [--prove FILE]... [--diff FILE]...
 //
 // Parses each file with the obs JSON reader and validates it against the
-// corresponding schema (merced-metrics-v1 for --metrics, the Chrome trace
-// event shape for --trace, merced-verify-v1 for --verify, merced-fuzz-v1
-// for --fuzz, merced-prove-v1 for --prove). Prints one line per file;
+// corresponding schema (merced-metrics-v1 or -v2 for --metrics, the Chrome
+// trace event shape for --trace, merced-verify-v1 for --verify,
+// merced-fuzz-v1 for --fuzz, merced-prove-v1 for --prove, merced-diff-v1
+// for --diff). Prints one line per file;
 // exits non-zero on the first unreadable or invalid artifact. CI runs this against freshly produced
 // merced_cli and merced_fuzz output so a schema drift fails the build
 // instead of silently breaking downstream diff tooling.
@@ -19,6 +20,7 @@
 #include "fuzz/fuzz_json.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/metrics_diff.h"
 #include "sat/prove_json.h"
 #include "verify/verify_json.h"
 
@@ -41,6 +43,7 @@ int check(const std::string& kind, const std::string& path) {
   }
   const std::string err = kind == "--metrics" ? merced::obs::validate_metrics_json(doc)
                           : kind == "--trace" ? merced::obs::validate_trace_json(doc)
+                          : kind == "--diff"  ? merced::obs::validate_diff_json(doc)
                           : kind == "--fuzz"  ? merced::fuzz::validate_fuzz_json(doc)
                           : kind == "--prove" ? merced::sat::validate_prove_json(doc)
                                               : merced::verify::validate_verify_json(doc);
@@ -57,7 +60,7 @@ int check(const std::string& kind, const std::string& path) {
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]... "
-      "[--fuzz FILE]... [--prove FILE]...\n";
+      "[--fuzz FILE]... [--prove FILE]... [--diff FILE]...\n";
   if (argc < 3) {
     std::cerr << kUsage;
     return 2;
@@ -65,7 +68,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string kind = argv[i];
     if (kind != "--metrics" && kind != "--trace" && kind != "--verify" &&
-        kind != "--fuzz" && kind != "--prove") {
+        kind != "--fuzz" && kind != "--prove" && kind != "--diff") {
       std::cerr << kUsage;
       return 2;
     }

@@ -168,13 +168,14 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
   const SimdWidth width = resolve_simd_width(simd_);
   ThreadPool pool(std::min(jobs, std::max<std::size_t>(items.size(), 1)));
   std::vector<ConeSimulator::Workspace> workspaces(pool.size());
-  parallel_for_stealing(pool, items.size(), [&](std::size_t i, std::size_t slot) {
-    const Item& it = items[i];
-    MERCED_SPAN("cut_sweep", it.station);
-    exhaustive_detect_range_simd(cones_[it.station], faults[it.station], it.range,
-                                 detected[it.station].data(), width,
-                                 workspaces[slot]);
-  });
+  last_steal_stats_ = parallel_for_stealing(
+      pool, items.size(), [&](std::size_t i, std::size_t slot) {
+        const Item& it = items[i];
+        MERCED_SPAN("cut_sweep", it.station);
+        exhaustive_detect_range_simd(cones_[it.station], faults[it.station],
+                                     it.range, detected[it.station].data(), width,
+                                     workspaces[slot]);
+      });
 
   // Deterministic reduction in station order, then fault order.
   std::vector<CoverageResult> out(stations_.size());

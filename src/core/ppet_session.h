@@ -95,6 +95,11 @@ class PpetSession {
   /// than `max_inputs`.
   std::vector<CoverageResult> measure_coverage(std::size_t max_inputs = 22) const;
 
+  /// Scheduler diagnostics of the most recent measure_coverage sweep (zeros
+  /// before the first). Scheduling-dependent — surfaced for the metrics
+  /// artifact and health dashboards, never part of a coverage contract.
+  const StealStats& last_steal_stats() const noexcept { return last_steal_stats_; }
+
  private:
   const CircuitGraph* graph_;
   std::vector<CutStation> stations_;
@@ -102,6 +107,7 @@ class PpetSession {
   unsigned psa_width_;
   std::size_t jobs_ = 1;
   SimdWidth simd_ = SimdWidth::kAuto;
+  mutable StealStats last_steal_stats_;  ///< measure_coverage is const
 };
 
 }  // namespace merced

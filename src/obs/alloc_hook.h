@@ -1,0 +1,87 @@
+// Opt-in global operator new/delete replacement feeding the obs alloc
+// channel (obs/resource.h).
+//
+// Include this header in EXACTLY ONE translation unit of a binary that
+// wants allocation telemetry (merced_cli does). It replaces the global
+// allocation functions with malloc-backed versions that tick the alloc
+// channel's atomics — the same idiom sim_kernel_test uses to assert the
+// kernel's zero-allocation steady state, productized. Binaries that define
+// their own operator new (sim_kernel_test) must NOT include this header:
+// two replacements in one program violate the one-definition rule.
+//
+// Deallocation sizes come from malloc_usable_size on glibc so live_bytes /
+// high_water_bytes track real heap residency; elsewhere frees are counted
+// at size 0 and live_bytes becomes an upper bound (documented on
+// alloc_note_delete).
+//
+// The hooks are unconditional — counting costs a handful of relaxed atomic
+// RMWs per allocation, far below malloc itself — and mark themselves
+// installed at static-init time so the metrics writer knows the numbers
+// are real (alloc_hook_installed()).
+#pragma once
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "obs/resource.h"
+
+namespace merced::obs::detail {
+inline const bool g_alloc_hook_marker = [] {
+  g_alloc_hook_installed.store(true, std::memory_order_relaxed);
+  return true;
+}();
+
+inline std::size_t alloc_usable_size(void* p) noexcept {
+#if defined(__GLIBC__)
+  return p ? ::malloc_usable_size(p) : 0;
+#else
+  (void)p;
+  return 0;
+#endif
+}
+}  // namespace merced::obs::detail
+
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  merced::obs::alloc_note_new(merced::obs::detail::alloc_usable_size(p));
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) {
+    merced::obs::alloc_note_new(merced::obs::detail::alloc_usable_size(p));
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  merced::obs::alloc_note_delete(merced::obs::detail::alloc_usable_size(p));
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}

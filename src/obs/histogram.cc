@@ -1,0 +1,23 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace merced::obs {
+
+std::uint64_t hist_quantile(const HistogramSnapshot& hist, double q) noexcept {
+  if (hist.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(hist.count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+    seen += hist.buckets[i];
+    if (seen >= rank) {
+      return std::clamp(hist_bucket_upper(i), hist.min, hist.max);
+    }
+  }
+  return hist.max;  // unreachable when bucket counts sum to count
+}
+
+}  // namespace merced::obs

@@ -1,0 +1,99 @@
+// Log-bucketed histogram layout and quantile math for the obs layer.
+//
+// Counters answer "how much work"; histograms answer "how was it spread".
+// The metrics artifact needs per-phase p50/p90/p99 latency (ROADMAP item 1,
+// the compile-as-a-service daemon, admits requests against exactly these
+// numbers), and retaining every sample to compute them exactly would make
+// recording cost proportional to run length. A log-bucketed histogram keeps
+// recording O(1) and memory fixed: values land in buckets whose width grows
+// geometrically, so the relative quantile error is bounded by the
+// sub-bucket resolution (<= 1/2^kHistSubBits, 6.25%) at every scale.
+//
+// Bucket layout (HdrHistogram-style, integer-only):
+//  * values < 2^kHistSubBits map to singleton buckets [v, v] — exact;
+//  * larger values split each octave [2^h, 2^(h+1)) into 2^kHistSubBits
+//    equal sub-buckets, giving index continuity at the octave seams;
+//  * values >= 2^kHistMaxBits clamp into the top bucket (at nanosecond
+//    resolution that is ~18 minutes — nothing Merced times lives there).
+//
+// Exactness contract: bucket *counts* are exact (every recorded value lands
+// in exactly one bucket, shards merge by addition), as are count/min/max.
+// Only the quantile positions are estimates: hist_quantile returns the
+// upper bound of the bucket containing the rank, so the true quantile lies
+// within one bucket below the reported value (obs_test pins this against a
+// sorted-vector oracle). Determinism follows: the merged histogram is a
+// pure function of the multiset of recorded values, never of thread count
+// or interleaving — the same property the counters already guarantee.
+//
+// Recording (MERCED_HIST / hist_record) and shard storage live in obs.h /
+// obs.cc next to the counters; this header is the pure math plus the
+// merged-snapshot type, so tests and the metrics writer share one
+// definition of the bucket grid.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace merced::obs {
+
+/// Sub-bucket resolution: each octave splits into 2^kHistSubBits buckets,
+/// bounding relative quantile error by 1/2^kHistSubBits.
+inline constexpr std::uint32_t kHistSubBits = 4;
+inline constexpr std::uint64_t kHistSub = std::uint64_t{1} << kHistSubBits;
+
+/// Values at or above 2^kHistMaxBits clamp into the final bucket.
+inline constexpr std::uint32_t kHistMaxBits = 40;
+
+/// Total bucket count: 2^kHistSubBits singletons plus
+/// (kHistMaxBits - kHistSubBits) octaves of 2^kHistSubBits sub-buckets.
+inline constexpr std::size_t kHistBuckets =
+    kHistSub + (kHistMaxBits - kHistSubBits) * kHistSub;
+
+/// Bucket index of `value`. Total over [0, 2^64): out-of-range values clamp
+/// into the top bucket instead of indexing past the array.
+constexpr std::size_t hist_bucket_index(std::uint64_t value) noexcept {
+  if (value < kHistSub) return static_cast<std::size_t>(value);
+  constexpr std::uint64_t kMax = (std::uint64_t{1} << kHistMaxBits) - 1;
+  if (value > kMax) value = kMax;
+  const auto h = static_cast<std::uint32_t>(std::bit_width(value) - 1);
+  const std::uint64_t sub = (value >> (h - kHistSubBits)) - kHistSub;
+  return static_cast<std::size_t>((h - kHistSubBits + 1) * kHistSub + sub);
+}
+
+/// Smallest value mapping to bucket `index` (inverse of hist_bucket_index).
+constexpr std::uint64_t hist_bucket_lower(std::size_t index) noexcept {
+  if (index < kHistSub) return index;
+  const std::uint64_t octave = (index - kHistSub) / kHistSub;
+  const std::uint64_t sub = (index - kHistSub) % kHistSub;
+  return (kHistSub + sub) << octave;
+}
+
+/// Largest value mapping to bucket `index`.
+constexpr std::uint64_t hist_bucket_upper(std::size_t index) noexcept {
+  if (index < kHistSub) return index;
+  const std::uint64_t octave = (index - kHistSub) / kHistSub;
+  return hist_bucket_lower(index) + ((std::uint64_t{1} << octave) - 1);
+}
+
+/// One named histogram, merged across every thread shard. Bucket counts,
+/// count, sum, min and max are exact; see the file comment for the
+/// quantile-estimate contract.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< exact observed minimum (0 when count == 0)
+  std::uint64_t max = 0;  ///< exact observed maximum (0 when count == 0)
+  std::vector<std::uint64_t> buckets;  ///< size kHistBuckets
+};
+
+/// Quantile estimate for q in [0, 1]: the upper bound of the bucket holding
+/// the ceil(q * count)-th smallest recorded value, clamped to [min, max] so
+/// hist_quantile(h, 1.0) == max exactly. Returns 0 when the histogram is
+/// empty. The true quantile is >= hist_bucket_lower of the same bucket.
+std::uint64_t hist_quantile(const HistogramSnapshot& hist, double q) noexcept;
+
+}  // namespace merced::obs

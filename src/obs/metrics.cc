@@ -3,13 +3,28 @@
 #include <algorithm>
 #include <map>
 #include <ostream>
+#include <thread>
+
+#include "obs/resource.h"
 
 namespace merced::obs {
 
 MetricsRegistry MetricsRegistry::capture(RunInfo run) {
   MetricsRegistry m;
   m.run_ = std::move(run);
+  if (m.run_.cpu.empty()) m.run_.cpu = cpu_model_string();
+  if (m.run_.hardware_concurrency == 0) {
+    m.run_.hardware_concurrency = std::thread::hardware_concurrency();
+  }
   m.counters_ = counter_values();
+  m.histograms_ = histogram_snapshots();
+
+  const AllocStats alloc = alloc_stats();
+  m.memory_.peak_rss_bytes = peak_rss_bytes();
+  m.memory_.alloc_hook = alloc_hook_installed();
+  m.memory_.allocations = alloc.allocations;
+  m.memory_.bytes_allocated = alloc.bytes_allocated;
+  m.memory_.high_water_bytes = alloc.high_water_bytes;
 
   std::map<std::string, PhaseStat> by_name;  // ordered: output sorted by name
   for (const SpanEvent& e : span_events()) {
@@ -48,6 +63,9 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   json_escape(os, run_.circuit);
   os << "\", \"lk\": " << run_.lk << ", \"jobs\": " << run_.jobs
      << ", \"starts\": " << run_.starts << ", \"simd\": " << run_.simd
+     << ", \"cpu\": \"";
+  json_escape(os, run_.cpu);
+  os << "\", \"hardware_concurrency\": " << run_.hardware_concurrency
      << "},\n  \"counters\": {";
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     if (i) os << ",";
@@ -62,7 +80,44 @@ void MetricsRegistry::write_json(std::ostream& os) const {
        << ", \"total_seconds\": " << phases_[i].total_seconds
        << ", \"max_seconds\": " << phases_[i].max_seconds << "}";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ],\n  \"histograms\": [";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramSnapshot& h = histograms_[i];
+    if (i) os << ",";
+    os << "\n    {\"name\": \"";
+    json_escape(os, h.name);
+    os << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max
+       << ", \"p50\": " << hist_quantile(h, 0.50)
+       << ", \"p90\": " << hist_quantile(h, 0.90)
+       << ", \"p99\": " << hist_quantile(h, 0.99) << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << "[" << b << ", " << h.buckets[b] << "]";
+    }
+    os << "]}";
+  }
+  const auto c = [&](Counter counter) {
+    return counters_[static_cast<std::size_t>(counter)];
+  };
+  os << "\n  ],\n  \"scheduler\": {\"tasks_run\": " << c(Counter::kSchedTasksRun)
+     << ", \"tasks_stolen\": " << c(Counter::kSchedTasksStolen)
+     << ", \"steal_attempts\": " << c(Counter::kSchedStealAttempts)
+     << ", \"steal_failures\": " << c(Counter::kSchedStealFailures)
+     << ", \"pool_parallel_fors\": " << c(Counter::kPoolParallelFors)
+     << ", \"pool_tasks_run\": " << c(Counter::kPoolTasksRun)
+     << ", \"pool_busy_seconds\": "
+     << static_cast<double>(c(Counter::kPoolBusyNs)) / 1e9
+     << ", \"pool_idle_seconds\": "
+     << static_cast<double>(c(Counter::kPoolIdleNs)) / 1e9
+     << "},\n  \"memory\": {\"peak_rss_bytes\": " << memory_.peak_rss_bytes
+     << ", \"alloc_hook\": " << (memory_.alloc_hook ? "true" : "false")
+     << ", \"allocations\": " << memory_.allocations
+     << ", \"bytes_allocated\": " << memory_.bytes_allocated
+     << ", \"high_water_bytes\": " << memory_.high_water_bytes << "}\n}\n";
 }
 
 namespace {
@@ -92,8 +147,10 @@ std::string validate_metrics_json(const JsonValue& doc) {
       !err.empty()) {
     return err;
   }
-  if (doc.find("schema")->as_string() != kMetricsSchema) {
-    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  const std::string& schema = doc.find("schema")->as_string();
+  const bool v2 = schema == kMetricsSchema;
+  if (!v2 && schema != kMetricsSchemaV1) {
+    return "unknown schema \"" + schema + "\"";
   }
   if (std::string err = check_member(doc, "run", JsonValue::Kind::kObject, "root");
       !err.empty()) {
@@ -115,22 +172,49 @@ std::string validate_metrics_json(const JsonValue& doc) {
       return std::string("run: member \"") + key + "\" is not a non-negative integer";
     }
   }
+  if (v2) {
+    if (std::string err = check_member(run, "cpu", JsonValue::Kind::kString, "run");
+        !err.empty()) {
+      return err;
+    }
+    if (std::string err = check_member(run, "hardware_concurrency",
+                                       JsonValue::Kind::kNumber, "run");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*run.find("hardware_concurrency"))) {
+      return "run: member \"hardware_concurrency\" is not a non-negative integer";
+    }
+  }
 
   if (std::string err = check_member(doc, "counters", JsonValue::Kind::kObject, "root");
       !err.empty()) {
     return err;
   }
   const JsonValue& counters = *doc.find("counters");
-  for (std::size_t i = 0; i < kNumCounters; ++i) {
-    const char* name = counter_name(static_cast<Counter>(i));
-    const JsonValue* v = counters.find(name);
-    if (v == nullptr) return std::string("counters: missing \"") + name + "\"";
-    if (!is_uint(*v)) {
-      return std::string("counters: \"") + name + "\" is not a non-negative integer";
+  // Every present counter must be a known name with an integer value; a v1
+  // artifact written before a counter existed may omit it, but v2 requires
+  // the full current set.
+  for (const auto& [name, value] : counters.as_object()) {
+    bool known = false;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      if (name == counter_name(static_cast<Counter>(i))) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return "counters: unknown counter \"" + name + "\"";
+    if (!is_uint(value)) {
+      return "counters: \"" + name + "\" is not a non-negative integer";
     }
   }
-  if (counters.as_object().size() != kNumCounters) {
-    return "counters: unexpected extra member";
+  if (v2) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      const char* name = counter_name(static_cast<Counter>(i));
+      if (counters.find(name) == nullptr) {
+        return std::string("counters: missing \"") + name + "\"";
+      }
+    }
   }
 
   if (std::string err = check_member(doc, "phases", JsonValue::Kind::kArray, "root");
@@ -158,6 +242,125 @@ std::string validate_metrics_json(const JsonValue& doc) {
       return "phases: not sorted by name (\"" + name + "\" after \"" + prev_name + "\")";
     }
     prev_name = name;
+  }
+  if (!v2) return "";
+
+  if (std::string err =
+          check_member(doc, "histograms", JsonValue::Kind::kArray, "root");
+      !err.empty()) {
+    return err;
+  }
+  prev_name.clear();
+  for (const JsonValue& hist : doc.find("histograms")->as_array()) {
+    if (!hist.is_object()) return "histograms: entry is not an object";
+    if (std::string err =
+            check_member(hist, "name", JsonValue::Kind::kString, "histogram");
+        !err.empty()) {
+      return err;
+    }
+    for (const char* key : {"count", "sum", "min", "max", "p50", "p90", "p99"}) {
+      if (std::string err =
+              check_member(hist, key, JsonValue::Kind::kNumber, "histogram");
+          !err.empty()) {
+        return err;
+      }
+      if (!is_uint(*hist.find(key))) {
+        return std::string("histogram: member \"") + key +
+               "\" is not a non-negative integer";
+      }
+    }
+    const std::string& name = hist.find("name")->as_string();
+    const auto u = [&](const char* key) {
+      return static_cast<std::uint64_t>(hist.find(key)->as_number());
+    };
+    if (u("p50") > u("p90") || u("p90") > u("p99") || u("p99") > u("max")) {
+      return "histogram \"" + name + "\": quantiles not monotone";
+    }
+    if (u("count") > 0 && u("min") > u("max")) {
+      return "histogram \"" + name + "\": min exceeds max";
+    }
+    if (std::string err =
+            check_member(hist, "buckets", JsonValue::Kind::kArray, "histogram");
+        !err.empty()) {
+      return err;
+    }
+    std::uint64_t bucket_total = 0;
+    double prev_index = -1;
+    for (const JsonValue& bucket : hist.find("buckets")->as_array()) {
+      if (!bucket.is_array() || bucket.as_array().size() != 2 ||
+          !is_uint(bucket.as_array()[0]) || !is_uint(bucket.as_array()[1])) {
+        return "histogram \"" + name + "\": bucket is not an [index, count] pair";
+      }
+      const double index = bucket.as_array()[0].as_number();
+      if (index >= static_cast<double>(kHistBuckets)) {
+        return "histogram \"" + name + "\": bucket index out of range";
+      }
+      if (index <= prev_index) {
+        return "histogram \"" + name + "\": bucket indices not increasing";
+      }
+      prev_index = index;
+      bucket_total += static_cast<std::uint64_t>(bucket.as_array()[1].as_number());
+    }
+    if (bucket_total != u("count")) {
+      return "histogram \"" + name + "\": bucket counts do not sum to count";
+    }
+    if (name <= prev_name && !prev_name.empty()) {
+      return "histograms: not sorted by name (\"" + name + "\" after \"" +
+             prev_name + "\")";
+    }
+    prev_name = name;
+  }
+
+  if (std::string err =
+          check_member(doc, "scheduler", JsonValue::Kind::kObject, "root");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue& sched = *doc.find("scheduler");
+  for (const char* key : {"tasks_run", "tasks_stolen", "steal_attempts",
+                          "steal_failures", "pool_parallel_fors", "pool_tasks_run"}) {
+    if (std::string err =
+            check_member(sched, key, JsonValue::Kind::kNumber, "scheduler");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*sched.find(key))) {
+      return std::string("scheduler: member \"") + key +
+             "\" is not a non-negative integer";
+    }
+  }
+  for (const char* key : {"pool_busy_seconds", "pool_idle_seconds"}) {
+    if (std::string err =
+            check_member(sched, key, JsonValue::Kind::kNumber, "scheduler");
+        !err.empty()) {
+      return err;
+    }
+    if (sched.find(key)->as_number() < 0) {
+      return std::string("scheduler: member \"") + key + "\" is negative";
+    }
+  }
+
+  if (std::string err = check_member(doc, "memory", JsonValue::Kind::kObject, "root");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue& memory = *doc.find("memory");
+  if (std::string err =
+          check_member(memory, "alloc_hook", JsonValue::Kind::kBool, "memory");
+      !err.empty()) {
+    return err;
+  }
+  for (const char* key : {"peak_rss_bytes", "allocations", "bytes_allocated",
+                          "high_water_bytes"}) {
+    if (std::string err =
+            check_member(memory, key, JsonValue::Kind::kNumber, "memory");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*memory.find(key))) {
+      return std::string("memory: member \"") + key +
+             "\" is not a non-negative integer";
+    }
   }
   return "";
 }

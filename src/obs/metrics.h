@@ -8,18 +8,36 @@
 // a schema-versioned document comparable across commits exactly like the
 // BENCH_*.json artifacts:
 //
-//   { "schema": "merced-metrics-v1",
+//   { "schema": "merced-metrics-v2",
 //     "run": {"tool": "...", "circuit": "...", "lk": N, "jobs": N,
-//             "starts": N, "simd": N},
+//             "starts": N, "simd": N,
+//             "cpu": "...", "hardware_concurrency": N},   // host identity
 //     "counters": {"flow.iterations": 123, ...},          // every Counter
 //     "phases": [{"name": "...", "count": N,
-//                 "total_seconds": s, "max_seconds": s}, ...] }   // by name
+//                 "total_seconds": s, "max_seconds": s}, ...],    // by name
+//     "histograms": [{"name": "...", "count": N, "sum": N,
+//                     "min": N, "max": N,                 // exact, ns
+//                     "p50": N, "p90": N, "p99": N,       // bucket-rounded
+//                     "buckets": [[index, count], ...]}, ...],    // sparse
+//     "scheduler": {"tasks_run": N, "tasks_stolen": N,
+//                   "steal_attempts": N, "steal_failures": N,
+//                   "pool_parallel_fors": N, "pool_tasks_run": N,
+//                   "pool_busy_seconds": s, "pool_idle_seconds": s},
+//     "memory": {"peak_rss_bytes": N, "alloc_hook": bool,
+//                "allocations": N, "bytes_allocated": N,
+//                "high_water_bytes": N} }
 //
-// Counters appear in Counter declaration order, phases sorted by name, so
-// two runs of the same binary diff cleanly (timestamps aside). The schema
+// v2 is additive over v1: the v1 sections are unchanged (the run object
+// gains two members), so v1 readers that pick out counters/phases keep
+// working; validate_metrics_json accepts both versions, applying full v2
+// strictness (host identity, histograms/scheduler/memory present and
+// internally consistent) only when the schema says v2. Counters appear in
+// Counter declaration order, phases and histograms sorted by name, so two
+// runs of the same binary diff cleanly (timestamps aside). The schema
 // validators below are what obs_test and the CI observability job run
 // against freshly produced artifacts; EXPERIMENTS.md documents the diff
-// workflow.
+// workflow, and obs/metrics_diff.h turns two artifacts into a regression
+// verdict.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +50,8 @@
 
 namespace merced::obs {
 
-inline constexpr const char* kMetricsSchema = "merced-metrics-v1";
+inline constexpr const char* kMetricsSchema = "merced-metrics-v2";
+inline constexpr const char* kMetricsSchemaV1 = "merced-metrics-v1";
 
 /// Identity of the run being measured (the "run" JSON object).
 struct RunInfo {
@@ -44,6 +63,22 @@ struct RunInfo {
   /// Resolved coverage-kernel lane width (64/256/512), 0 when the run did
   /// not touch the coverage kernel.
   std::uint64_t simd = 0;
+  /// Host identity, so artifact diffs can refuse cross-host comparisons.
+  /// capture() fills both from the machine when left at their defaults.
+  std::string cpu;
+  std::uint64_t hardware_concurrency = 0;
+};
+
+/// The "memory" JSON section: OS-reported peak RSS plus the alloc channel
+/// (obs/resource.h). alloc_hook records whether the operator-new hook was
+/// linked into the producing binary — when false the alloc numbers are
+/// structurally present but meaningless zeros.
+struct MemoryStats {
+  std::uint64_t peak_rss_bytes = 0;
+  bool alloc_hook = false;
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t high_water_bytes = 0;
 };
 
 /// Wall-time statistics of one span name.
@@ -63,6 +98,10 @@ class MetricsRegistry {
   const RunInfo& run() const noexcept { return run_; }
   const std::vector<std::uint64_t>& counters() const noexcept { return counters_; }
   const std::vector<PhaseStat>& phases() const noexcept { return phases_; }
+  const std::vector<HistogramSnapshot>& histograms() const noexcept {
+    return histograms_;
+  }
+  const MemoryStats& memory() const noexcept { return memory_; }
 
   /// Serializes the versioned artifact described in the file comment.
   void write_json(std::ostream& os) const;
@@ -71,10 +110,15 @@ class MetricsRegistry {
   RunInfo run_;
   std::vector<std::uint64_t> counters_;  ///< indexed by Counter
   std::vector<PhaseStat> phases_;        ///< sorted by name
+  std::vector<HistogramSnapshot> histograms_;  ///< sorted by name
+  MemoryStats memory_;
 };
 
-/// Validates a parsed metrics artifact against merced-metrics-v1. Returns
-/// an empty string when valid, else a description of the first violation.
+/// Validates a parsed metrics artifact against merced-metrics-v2, or — when
+/// the document declares merced-metrics-v1 — against the historic v1 schema
+/// (v1 artifacts may omit counters added since, but unknown counter names
+/// are still rejected). Returns an empty string when valid, else a
+/// description of the first violation.
 std::string validate_metrics_json(const JsonValue& doc);
 
 /// Validates a parsed Chrome trace document as written by

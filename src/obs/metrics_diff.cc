@@ -1,0 +1,518 @@
+#include "obs/metrics_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace merced::obs {
+
+namespace {
+
+/// One artifact reduced to comparable measurements plus its identity.
+struct Measurement {
+  std::string name;
+  std::string cls;  ///< "timing", "ratio", or "info"
+  double value = 0;
+};
+
+struct Profile {
+  std::string kind;  ///< "metrics" or "bench"
+  std::string cpu;
+  std::uint64_t hardware_concurrency = 0;
+  std::string config;
+  std::vector<Measurement> measurements;
+};
+
+double num_or(const JsonValue& obj, const char* key, double fallback = 0) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string str_or(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+std::string extract_metrics_profile(const JsonValue& doc, Profile& p) {
+  p.kind = "metrics";
+  const JsonValue* run = doc.find("run");
+  if (run == nullptr || !run->is_object()) {
+    return "metrics artifact has no run object";
+  }
+  p.cpu = str_or(*run, "cpu");
+  p.hardware_concurrency =
+      static_cast<std::uint64_t>(num_or(*run, "hardware_concurrency"));
+  std::ostringstream config;
+  config << "tool=" << str_or(*run, "tool") << " circuit=" << str_or(*run, "circuit")
+         << " lk=" << num_or(*run, "lk") << " jobs=" << num_or(*run, "jobs")
+         << " starts=" << num_or(*run, "starts") << " simd=" << num_or(*run, "simd");
+  p.config = config.str();
+
+  const JsonValue* phases = doc.find("phases");
+  if (phases == nullptr || !phases->is_array()) {
+    return "metrics artifact has no phases array";
+  }
+  for (const JsonValue& phase : phases->as_array()) {
+    if (!phase.is_object()) continue;
+    const std::string name = str_or(phase, "name");
+    p.measurements.push_back({"phase " + name + " total_seconds", "timing",
+                              num_or(phase, "total_seconds")});
+    p.measurements.push_back(
+        {"phase " + name + " max_seconds", "timing", num_or(phase, "max_seconds")});
+  }
+  if (const JsonValue* hists = doc.find("histograms");
+      hists != nullptr && hists->is_array()) {
+    for (const JsonValue& hist : hists->as_array()) {
+      if (!hist.is_object()) continue;
+      const std::string name = str_or(hist, "name");
+      p.measurements.push_back(
+          {"hist " + name + " p50_seconds", "timing", num_or(hist, "p50") / 1e9});
+      p.measurements.push_back(
+          {"hist " + name + " p99_seconds", "timing", num_or(hist, "p99") / 1e9});
+    }
+  }
+  if (const JsonValue* memory = doc.find("memory");
+      memory != nullptr && memory->is_object()) {
+    p.measurements.push_back({"memory peak_rss_mib", "info",
+                              num_or(*memory, "peak_rss_bytes") / (1024.0 * 1024.0)});
+    p.measurements.push_back(
+        {"memory alloc_high_water_mib", "info",
+         num_or(*memory, "high_water_bytes") / (1024.0 * 1024.0)});
+  }
+  return "";
+}
+
+std::string extract_bench_profile(const JsonValue& doc, Profile& p) {
+  p.kind = "bench";
+  p.cpu = str_or(doc, "cpu");
+  p.hardware_concurrency =
+      static_cast<std::uint64_t>(num_or(doc, "hardware_concurrency"));
+  const JsonValue* generated = doc.find("generated");
+  const JsonValue* iscas = doc.find("iscas");
+  if (generated == nullptr || !generated->is_object() || iscas == nullptr ||
+      !iscas->is_object()) {
+    return "bench artifact is missing generated/iscas sections";
+  }
+  std::ostringstream config;
+  config << "gen_inputs=" << num_or(*generated, "inputs")
+         << " gen_gates=" << num_or(*generated, "gates")
+         << " circuit=" << str_or(*iscas, "circuit") << " lk=" << num_or(*iscas, "lk");
+  p.config = config.str();
+
+  p.measurements.push_back(
+      {"generated naive_seconds", "timing", num_or(*generated, "naive_seconds")});
+  p.measurements.push_back(
+      {"generated kernel_seconds", "timing", num_or(*generated, "kernel_seconds")});
+  p.measurements.push_back(
+      {"generated speedup", "ratio", num_or(*generated, "speedup")});
+  if (const JsonValue* simd = generated->find("simd");
+      simd != nullptr && simd->is_object()) {
+    if (const JsonValue* runs = simd->find("width_runs");
+        runs != nullptr && runs->is_array()) {
+      for (const JsonValue& run : runs->as_array()) {
+        if (!run.is_object()) continue;
+        std::ostringstream width;
+        width << "generated simd w" << num_or(run, "width");
+        p.measurements.push_back(
+            {width.str() + " seconds", "timing", num_or(run, "seconds")});
+        p.measurements.push_back({width.str() + " speedup_vs_u64", "ratio",
+                                  num_or(run, "speedup_vs_u64")});
+      }
+    }
+  }
+  if (const JsonValue* runs = generated->find("jobs_runs");
+      runs != nullptr && runs->is_array()) {
+    for (const JsonValue& run : runs->as_array()) {
+      if (!run.is_object()) continue;
+      std::ostringstream name;
+      name << "generated jobs=" << num_or(run, "jobs") << " seconds";
+      p.measurements.push_back({name.str(), "timing", num_or(run, "seconds")});
+    }
+  }
+  p.measurements.push_back(
+      {"iscas naive_seconds", "timing", num_or(*iscas, "naive_seconds")});
+  p.measurements.push_back(
+      {"iscas kernel_seconds", "timing", num_or(*iscas, "kernel_seconds")});
+  p.measurements.push_back(
+      {"iscas simd_seconds", "timing", num_or(*iscas, "simd_seconds")});
+  p.measurements.push_back({"iscas speedup", "ratio", num_or(*iscas, "speedup")});
+  p.measurements.push_back({"iscas simd_speedup_vs_u64", "ratio",
+                            num_or(*iscas, "simd_speedup_vs_u64")});
+  if (const JsonValue* obs = doc.find("obs_overhead");
+      obs != nullptr && obs->is_object()) {
+    p.measurements.push_back(
+        {"obs disabled_seconds", "timing", num_or(*obs, "disabled_seconds")});
+    p.measurements.push_back(
+        {"obs enabled_seconds", "timing", num_or(*obs, "enabled_seconds")});
+    p.measurements.push_back({"obs overhead_ratio", "info", num_or(*obs, "ratio")});
+  }
+  return "";
+}
+
+std::string extract_profile(const JsonValue& doc, Profile& p) {
+  if (!doc.is_object()) return "artifact is not a JSON object";
+  if (const JsonValue* schema = doc.find("schema");
+      schema != nullptr && schema->is_string()) {
+    const std::string& s = schema->as_string();
+    if (s == kMetricsSchema || s == kMetricsSchemaV1) {
+      return extract_metrics_profile(doc, p);
+    }
+    return "unknown artifact schema \"" + s + "\"";
+  }
+  if (doc.find("generated") != nullptr && doc.find("iscas") != nullptr) {
+    return extract_bench_profile(doc, p);
+  }
+  return "unrecognized artifact (neither a metrics document nor a "
+         "BENCH_simkernel document)";
+}
+
+}  // namespace
+
+std::size_t DiffResult::regressions() const {
+  std::size_t n = 0;
+  for (const DiffEntry& e : entries) {
+    if (e.direction == "slower" || e.direction == "lower") ++n;
+  }
+  return n;
+}
+
+std::size_t DiffResult::improvements() const {
+  std::size_t n = 0;
+  for (const DiffEntry& e : entries) {
+    if (e.direction == "faster") ++n;
+  }
+  return n;
+}
+
+DiffResult diff_artifacts(const JsonValue& baseline, const JsonValue& current,
+                          const DiffThresholds& thresholds) {
+  DiffResult result;
+  result.thresholds = thresholds;
+
+  Profile base, cur;
+  if (std::string err = extract_profile(baseline, base); !err.empty()) {
+    result.error = "baseline: " + err;
+    return result;
+  }
+  if (std::string err = extract_profile(current, cur); !err.empty()) {
+    result.error = "current: " + err;
+    return result;
+  }
+  if (base.kind != cur.kind) {
+    result.error = "artifact kind mismatch: baseline is a " + base.kind +
+                   " artifact, current is a " + cur.kind + " artifact";
+    return result;
+  }
+  if (base.config != cur.config) {
+    result.error = "config mismatch: baseline ran {" + base.config +
+                   "}, current ran {" + cur.config +
+                   "} — refusing an apples-to-oranges comparison";
+    return result;
+  }
+  const bool host_mismatch =
+      (!base.cpu.empty() && !cur.cpu.empty() && base.cpu != cur.cpu) ||
+      (base.hardware_concurrency != 0 && cur.hardware_concurrency != 0 &&
+       base.hardware_concurrency != cur.hardware_concurrency);
+  if (host_mismatch && !thresholds.ignore_host) {
+    std::ostringstream err;
+    err << "host mismatch: baseline ran on \"" << base.cpu << "\" ("
+        << base.hardware_concurrency << " threads), current on \"" << cur.cpu
+        << "\" (" << cur.hardware_concurrency
+        << " threads) — timing is not comparable across hosts; pass "
+           "--ignore-host to compare ratios only";
+    result.error = err.str();
+    return result;
+  }
+  if (host_mismatch) {
+    result.notes.push_back(
+        "host mismatch ignored: timing metrics demoted to informational, "
+        "only dimensionless ratios gate");
+  }
+
+  for (const Measurement& bm : base.measurements) {
+    const auto it = std::find_if(
+        cur.measurements.begin(), cur.measurements.end(),
+        [&](const Measurement& m) { return m.name == bm.name; });
+    if (it == cur.measurements.end()) {
+      result.notes.push_back("metric \"" + bm.name + "\" only in baseline");
+      continue;
+    }
+    DiffEntry e;
+    e.metric = bm.name;
+    e.cls = bm.cls;
+    e.baseline = bm.value;
+    e.current = it->value;
+    e.delta_rel = bm.value != 0 ? (it->value - bm.value) / bm.value : 0;
+    if (bm.cls == "timing" && !host_mismatch) {
+      e.gated = true;
+      const double threshold = thresholds.rel * bm.value + thresholds.abs_seconds;
+      if (it->value - bm.value > threshold) {
+        e.direction = "slower";
+      } else if (bm.value - it->value > threshold) {
+        e.direction = "faster";
+      }
+    } else if (bm.cls == "ratio") {
+      e.gated = true;
+      const double threshold = thresholds.rel * bm.value + thresholds.abs_ratio;
+      if (bm.value - it->value > threshold) e.direction = "lower";
+    }
+    result.entries.push_back(std::move(e));
+  }
+  for (const Measurement& cm : cur.measurements) {
+    const bool paired = std::any_of(
+        base.measurements.begin(), base.measurements.end(),
+        [&](const Measurement& m) { return m.name == cm.name; });
+    if (!paired) {
+      result.notes.push_back("metric \"" + cm.name + "\" only in current");
+    }
+  }
+  return result;
+}
+
+void write_diff_table(std::ostream& os, const DiffResult& result) {
+  if (!result.error.empty()) {
+    os << "error: " << result.error << "\n";
+    return;
+  }
+  os << std::left << std::setw(44) << "metric" << std::setw(8) << "class"
+     << std::right << std::setw(12) << "baseline" << std::setw(12) << "current"
+     << std::setw(10) << "delta" << "  verdict\n";
+  for (const DiffEntry& e : result.entries) {
+    std::ostringstream delta;
+    delta << std::showpos << std::fixed << std::setprecision(1)
+          << e.delta_rel * 100.0 << "%";
+    os << std::left << std::setw(44) << e.metric << std::setw(8) << e.cls
+       << std::right << std::setw(12) << std::setprecision(6) << std::defaultfloat
+       << e.baseline << std::setw(12) << e.current << std::setw(10) << delta.str()
+       << "  " << (e.gated ? e.direction : "-") << "\n";
+  }
+  for (const std::string& note : result.notes) os << "note: " << note << "\n";
+  const std::size_t reg = result.regressions();
+  const std::size_t imp = result.improvements();
+  if (result.ok()) {
+    os << "verdict: ok (" << result.entries.size() << " metrics within thresholds)\n";
+    return;
+  }
+  os << "verdict: REGRESSION —";
+  for (const DiffEntry& e : result.entries) {
+    if (e.direction == "ok") continue;
+    os << " [" << e.metric << " " << e.direction << " "
+       << std::showpos << std::fixed << std::setprecision(1) << e.delta_rel * 100.0
+       << std::defaultfloat << std::noshowpos << "%]";
+  }
+  os << "\n";
+  if (reg == 0 && imp > 0) {
+    os << "every gated drift is an improvement — if intentional, refresh the "
+          "committed baseline (see EXPERIMENTS.md)\n";
+  }
+}
+
+void write_diff_json(std::ostream& os, const DiffResult& result) {
+  const auto escape = [&](const std::string& s) {
+    for (char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c;
+      }
+    }
+  };
+  os << "{\n  \"schema\": \"" << kDiffSchema << "\",\n  \"baseline\": \"";
+  escape(result.baseline_label);
+  os << "\",\n  \"current\": \"";
+  escape(result.current_label);
+  os << "\",\n  \"thresholds\": {\"rel\": " << result.thresholds.rel
+     << ", \"abs_seconds\": " << result.thresholds.abs_seconds
+     << ", \"abs_ratio\": " << result.thresholds.abs_ratio << ", \"ignore_host\": "
+     << (result.thresholds.ignore_host ? "true" : "false")
+     << "},\n  \"verdict\": \"" << (result.ok() ? "ok" : "regression")
+     << "\",\n  \"summary\": {\"entries\": " << result.entries.size()
+     << ", \"gated\": "
+     << std::count_if(result.entries.begin(), result.entries.end(),
+                      [](const DiffEntry& e) { return e.gated; })
+     << ", \"regressions\": " << result.regressions()
+     << ", \"improvements\": " << result.improvements()
+     << "},\n  \"entries\": [";
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    const DiffEntry& e = result.entries[i];
+    if (i) os << ",";
+    os << "\n    {\"metric\": \"";
+    escape(e.metric);
+    os << "\", \"class\": \"" << e.cls << "\", \"baseline\": " << e.baseline
+       << ", \"current\": " << e.current << ", \"delta_rel\": " << e.delta_rel
+       << ", \"gated\": " << (e.gated ? "true" : "false") << ", \"direction\": \""
+       << e.direction << "\"}";
+  }
+  os << "\n  ],\n  \"notes\": [";
+  for (std::size_t i = 0; i < result.notes.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"";
+    escape(result.notes[i]);
+    os << "\"";
+  }
+  os << "]\n}\n";
+}
+
+namespace {
+
+bool diff_is_uint(const JsonValue& v) {
+  return v.is_number() && v.as_number() >= 0 &&
+         v.as_number() ==
+             static_cast<double>(static_cast<std::uint64_t>(v.as_number()));
+}
+
+std::string diff_check_member(const JsonValue& obj, const char* key,
+                              JsonValue::Kind kind, const char* where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    return std::string(where) + ": missing member \"" + key + "\"";
+  }
+  if (v->kind() != kind) {
+    return std::string(where) + ": member \"" + key + "\" has wrong type";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_diff_json(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err =
+          diff_check_member(doc, "schema", JsonValue::Kind::kString, "root");
+      !err.empty()) {
+    return err;
+  }
+  if (doc.find("schema")->as_string() != kDiffSchema) {
+    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  }
+  for (const char* key : {"baseline", "current", "verdict"}) {
+    if (std::string err =
+            diff_check_member(doc, key, JsonValue::Kind::kString, "root");
+        !err.empty()) {
+      return err;
+    }
+  }
+  const std::string& verdict = doc.find("verdict")->as_string();
+  if (verdict != "ok" && verdict != "regression") {
+    return "verdict: unexpected value \"" + verdict + "\"";
+  }
+  if (std::string err =
+          diff_check_member(doc, "thresholds", JsonValue::Kind::kObject, "root");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue& thresholds = *doc.find("thresholds");
+  for (const char* key : {"rel", "abs_seconds", "abs_ratio"}) {
+    if (std::string err =
+            diff_check_member(thresholds, key, JsonValue::Kind::kNumber, "thresholds");
+        !err.empty()) {
+      return err;
+    }
+    if (thresholds.find(key)->as_number() < 0) {
+      return std::string("thresholds: member \"") + key + "\" is negative";
+    }
+  }
+  if (std::string err = diff_check_member(thresholds, "ignore_host",
+                                          JsonValue::Kind::kBool, "thresholds");
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err =
+          diff_check_member(doc, "entries", JsonValue::Kind::kArray, "root");
+      !err.empty()) {
+    return err;
+  }
+  std::size_t gated = 0, regressions = 0, improvements = 0;
+  for (const JsonValue& entry : doc.find("entries")->as_array()) {
+    if (!entry.is_object()) return "entries: entry is not an object";
+    for (const char* key : {"metric", "class", "direction"}) {
+      if (std::string err =
+              diff_check_member(entry, key, JsonValue::Kind::kString, "entry");
+          !err.empty()) {
+        return err;
+      }
+    }
+    for (const char* key : {"baseline", "current", "delta_rel"}) {
+      if (std::string err =
+              diff_check_member(entry, key, JsonValue::Kind::kNumber, "entry");
+          !err.empty()) {
+        return err;
+      }
+    }
+    if (std::string err =
+            diff_check_member(entry, "gated", JsonValue::Kind::kBool, "entry");
+        !err.empty()) {
+      return err;
+    }
+    const std::string& cls = entry.find("class")->as_string();
+    if (cls != "timing" && cls != "ratio" && cls != "info") {
+      return "entry: unexpected class \"" + cls + "\"";
+    }
+    const std::string& direction = entry.find("direction")->as_string();
+    if (direction != "ok" && direction != "slower" && direction != "faster" &&
+        direction != "lower") {
+      return "entry: unexpected direction \"" + direction + "\"";
+    }
+    const bool is_gated = entry.find("gated")->as_bool();
+    if (!is_gated && direction != "ok") {
+      return "entry \"" + entry.find("metric")->as_string() +
+             "\": ungated entry carries a verdict";
+    }
+    if (is_gated) ++gated;
+    if (direction == "slower" || direction == "lower") ++regressions;
+    if (direction == "faster") ++improvements;
+  }
+  if (std::string err =
+          diff_check_member(doc, "summary", JsonValue::Kind::kObject, "root");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue& summary = *doc.find("summary");
+  for (const char* key : {"entries", "gated", "regressions", "improvements"}) {
+    if (std::string err =
+            diff_check_member(summary, key, JsonValue::Kind::kNumber, "summary");
+        !err.empty()) {
+      return err;
+    }
+    if (!diff_is_uint(*summary.find(key))) {
+      return std::string("summary: member \"") + key +
+             "\" is not a non-negative integer";
+    }
+  }
+  const auto summary_count = [&](const char* key) {
+    return static_cast<std::size_t>(summary.find(key)->as_number());
+  };
+  if (summary_count("entries") != doc.find("entries")->as_array().size()) {
+    return "summary: entry count does not match entries array";
+  }
+  if (summary_count("gated") != gated) {
+    return "summary: gated count does not match entries";
+  }
+  if (summary_count("regressions") != regressions) {
+    return "summary: regression count does not match entries";
+  }
+  if (summary_count("improvements") != improvements) {
+    return "summary: improvement count does not match entries";
+  }
+  const bool should_be_ok = regressions == 0 && improvements == 0;
+  if (should_be_ok != (verdict == "ok")) {
+    return "verdict: inconsistent with entry directions";
+  }
+  if (std::string err =
+          diff_check_member(doc, "notes", JsonValue::Kind::kArray, "root");
+      !err.empty()) {
+    return err;
+  }
+  for (const JsonValue& note : doc.find("notes")->as_array()) {
+    if (!note.is_string()) return "notes: entry is not a string";
+  }
+  return "";
+}
+
+}  // namespace merced::obs

@@ -1,0 +1,98 @@
+// Artifact differ: two runs' telemetry in, a regression verdict out.
+//
+// The metrics artifact (obs/metrics.h) and BENCH_simkernel.json record what
+// one run cost; neither can say whether a commit made things *worse*. This
+// module is the comparison: parse two artifacts of the same kind, pair up
+// their measurements, apply noise-aware thresholds, and produce a verdict
+// machine CI can gate on (examples/merced_metrics_diff.cpp is the CLI; the
+// perf-sentinel CI job runs it against a committed baseline).
+//
+// Measurement classes, because "worse" depends on the unit:
+//  * timing (seconds; phase totals, histogram quantiles, bench wall times)
+//    — lower is better, gated in BOTH directions. A current run slower than
+//    baseline is a regression; one faster beyond the same threshold is
+//    flagged too ("faster"), because a stale baseline silently raises the
+//    bar for every later commit — the fix is refreshing the baseline
+//    (EXPERIMENTS.md), not ignoring the drift.
+//  * ratio (dimensionless speedups) — higher is better, gated downward
+//    only; a kernel that got *more* ahead of its oracle is just good news.
+//  * info (memory, counters-derived rates) — reported, never gated.
+//
+// Thresholds are relative plus an absolute floor (threshold = rel * base +
+// abs): sub-millisecond phases live entirely inside scheduler noise, and a
+// pure percentage gate would flake on them forever.
+//
+// Identity refusal: timing comparisons across different hosts or different
+// run configurations are apples to oranges. Config mismatches (circuit, lk,
+// workload shape) are always an error; host mismatches (CPU model,
+// hardware_concurrency) are an error unless ignore_host is set, in which
+// case timing demotes to info and only dimensionless ratios keep gating —
+// the honest cross-host comparison.
+//
+// Scheduler counters (sched.*, pool.*) never gate: steal counts are
+// timing-dependent by design (runtime/work_steal.h documents the
+// non-determinism), so two correct runs legitimately differ.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace merced::obs {
+
+inline constexpr const char* kDiffSchema = "merced-diff-v1";
+
+struct DiffThresholds {
+  double rel = 0.35;          ///< relative fraction of the baseline value
+  double abs_seconds = 0.005; ///< absolute floor for timing metrics
+  double abs_ratio = 0.10;    ///< absolute floor for ratio metrics
+  bool ignore_host = false;   ///< demote timing to info on host mismatch
+};
+
+/// One paired measurement. direction is the verdict: "ok", "slower" /
+/// "faster" (timing gated both ways), or "lower" (ratio regression).
+struct DiffEntry {
+  std::string metric;
+  std::string cls;        ///< "timing", "ratio", or "info"
+  double baseline = 0;
+  double current = 0;
+  double delta_rel = 0;   ///< (current - baseline) / baseline, 0 if base==0
+  bool gated = false;
+  std::string direction = "ok";
+};
+
+struct DiffResult {
+  std::string baseline_label;  ///< caller-set (file paths in the CLI)
+  std::string current_label;
+  DiffThresholds thresholds;
+  std::vector<DiffEntry> entries;
+  std::vector<std::string> notes;  ///< unpaired metrics, demotions, etc.
+  std::string error;  ///< non-empty: artifacts incomparable (CLI exit 2)
+
+  std::size_t regressions() const;   ///< "slower" + "lower" entries
+  std::size_t improvements() const;  ///< "faster" entries
+  /// True when comparable and nothing tripped a gate (CLI exit 0).
+  bool ok() const { return error.empty() && regressions() == 0 && improvements() == 0; }
+};
+
+/// Compares two parsed artifacts of the same kind (both merced-metrics-v1/
+/// v2, or both BENCH_simkernel documents; kinds are auto-detected). On
+/// incomparable inputs only `error` is set.
+DiffResult diff_artifacts(const JsonValue& baseline, const JsonValue& current,
+                          const DiffThresholds& thresholds);
+
+/// Human-readable table plus verdict line.
+void write_diff_table(std::ostream& os, const DiffResult& result);
+
+/// The merced-diff-v1 JSON document.
+void write_diff_json(std::ostream& os, const DiffResult& result);
+
+/// Validates a parsed merced-diff-v1 document, including the summary
+/// cross-check (verdict and counts must agree with the entries). Returns
+/// an empty string when valid, else the first violation.
+std::string validate_diff_json(const JsonValue& doc);
+
+}  // namespace merced::obs

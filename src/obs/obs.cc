@@ -17,13 +17,45 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// One thread's shard of one named histogram. Buckets are relaxed atomics
+/// written only by the owning thread; the aggregator reads them at flush
+/// time (quiescent, like the counters). min/max/sum/count are single-writer
+/// too, so plain load-then-store updates are exact.
+struct HistShard {
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+
+  void record(std::uint64_t value) noexcept {
+    buckets[hist_bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(value, std::memory_order_relaxed);
+    if (value < min.load(std::memory_order_relaxed)) {
+      min.store(value, std::memory_order_relaxed);
+    }
+    if (value > max.load(std::memory_order_relaxed)) {
+      max.store(value, std::memory_order_relaxed);
+    }
+  }
+};
+
 /// Per-thread recording block. Counter slots are relaxed atomics (written
 /// by the owning thread, read by the aggregator); the span buffer is
 /// guarded by a per-thread mutex, uncontended except during a concurrent
 /// flush. Blocks are owned by the registry and outlive their threads, so a
 /// worker that exits before the flush still contributes its data.
+///
+/// Histogram slots are claimed lock-free by the owning thread: the shard
+/// payload is allocated first, then the name pointer published with a
+/// release store, so an aggregator that acquires a non-null name always
+/// sees a constructed shard. Payloads allocate lazily (first record of a
+/// name on this thread), keeping idle threads at a few hundred bytes.
 struct ThreadLog {
   std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+  std::array<std::atomic<const char*>, kMaxHistogramsPerThread> hist_names{};
+  std::array<std::unique_ptr<HistShard>, kMaxHistogramsPerThread> hist_shards;
   std::mutex mu;
   std::vector<SpanEvent> spans;
   std::uint32_t tid = 0;
@@ -80,9 +112,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "fault_sim.faults_detected",
     "pool.parallel_fors",
     "pool.tasks_run",
+    "pool.busy_ns",
+    "pool.idle_ns",
     "sched.tasks_run",
     "sched.tasks_stolen",
     "sched.steal_attempts",
+    "sched.steal_failures",
     "session.stations_swept",
     "session.cycles_run",
     "fuzz.runs",
@@ -137,6 +172,10 @@ void reset() {
   std::lock_guard lock(r.mu);
   for (auto& log : r.logs) {
     for (auto& c : log->counters) c.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMaxHistogramsPerThread; ++i) {
+      log->hist_names[i].store(nullptr, std::memory_order_relaxed);
+      log->hist_shards[i].reset();
+    }
     std::lock_guard span_lock(log->mu);
     log->spans.clear();
   }
@@ -163,6 +202,68 @@ std::vector<std::uint64_t> counter_values() {
 
 std::uint64_t counter_value(Counter c) {
   return counter_values()[static_cast<std::size_t>(c)];
+}
+
+void hist_record(const char* name, std::uint64_t value) noexcept {
+  ThreadLog& log = local_log();
+  for (std::size_t i = 0; i < kMaxHistogramsPerThread; ++i) {
+    const char* slot_name = log.hist_names[i].load(std::memory_order_relaxed);
+    if (slot_name == nullptr) {
+      // Only the owning thread writes its slots, so claim without a CAS:
+      // construct the shard first, publish the name second (release pairs
+      // with the aggregator's acquire).
+      log.hist_shards[i] = std::make_unique<HistShard>();
+      log.hist_shards[i]->record(value);
+      log.hist_names[i].store(name, std::memory_order_release);
+      return;
+    }
+    if (slot_name == name) {
+      log.hist_shards[i]->record(value);
+      return;
+    }
+  }
+  // More than kMaxHistogramsPerThread distinct names on one thread: drop.
+}
+
+std::vector<HistogramSnapshot> histogram_snapshots() {
+  // Merge by *string* (not pointer): the same name recorded from different
+  // translation units may live at different addresses.
+  std::vector<HistogramSnapshot> out;
+  const auto merged = [&](const char* name) -> HistogramSnapshot& {
+    for (HistogramSnapshot& h : out) {
+      if (h.name == name) return h;
+    }
+    out.emplace_back();
+    out.back().name = name;
+    out.back().min = ~std::uint64_t{0};
+    out.back().buckets.assign(kHistBuckets, 0);
+    return out.back();
+  };
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (const auto& log : r.logs) {
+    for (std::size_t i = 0; i < kMaxHistogramsPerThread; ++i) {
+      const char* name = log->hist_names[i].load(std::memory_order_acquire);
+      if (name == nullptr) continue;
+      const HistShard& shard = *log->hist_shards[i];
+      HistogramSnapshot& h = merged(name);
+      h.count += shard.count.load(std::memory_order_relaxed);
+      h.sum += shard.sum.load(std::memory_order_relaxed);
+      h.min = std::min(h.min, shard.min.load(std::memory_order_relaxed));
+      h.max = std::max(h.max, shard.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        h.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (HistogramSnapshot& h : out) {
+    if (h.count == 0) h.min = 0;  // claimed but empty shard: normalize
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 std::vector<SpanEvent> span_events() {
@@ -237,6 +338,9 @@ Span::~Span() {
   const std::int64_t end_ns = now_ns();
   ThreadLog& log = local_log();
   const std::uint32_t depth = --log.depth;
+  // Every span doubles as a histogram sample of its own name, so phase
+  // latency distributions fall out of existing instrumentation.
+  hist_record(name_, static_cast<std::uint64_t>(end_ns - start_ns_));
   std::lock_guard lock(log.mu);
   log.spans.push_back(SpanEvent{name_, log.tid, depth, start_ns_,
                                 end_ns - start_ns_, arg_, has_arg_});

@@ -13,8 +13,16 @@
 //    Each thread owns a cache-local slot block; increments are relaxed
 //    atomics with no cross-thread contention, and counter_values()
 //    aggregates all blocks on flush.
+//  * MERCED_HIST("kernel.range_events", v) — a named value distribution
+//    (obs/histogram.h). Each thread owns a fixed block of lock-free
+//    histogram slots keyed by the (static) name pointer; recording is a
+//    handful of relaxed RMWs on thread-local buckets, and
+//    histogram_snapshots() merges all shards on flush with exact bucket
+//    counts. Every completed span additionally records its duration into
+//    the histogram of its own name, so per-span-phase latency
+//    distributions (p50/p90/p99 in the metrics artifact) come for free.
 //
-// Null-sink contract: when no collector is enabled (the default), both
+// Null-sink contract: when no collector is enabled (the default), all three
 // macros cost exactly one branch on one relaxed atomic load — no clock
 // read, no allocation, no atomic RMW. Hot kernels therefore keep their
 // instrumentation compiled in unconditionally; bench_exhaustive_kernel's
@@ -33,6 +41,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace merced::obs {
 
@@ -60,9 +70,12 @@ enum class Counter : std::uint32_t {
   kFaultSimFaultsDetected,  ///< faults detected by sequential fault sim
   kPoolParallelFors,        ///< parallel_for invocations on any ThreadPool
   kPoolTasksRun,            ///< indices executed across all parallel_fors
+  kPoolBusyNs,              ///< wall ns pool workers spent inside bodies
+  kPoolIdleNs,              ///< wall ns pool workers spent parked
   kSchedTasksRun,           ///< tasks executed by the work-stealing scheduler
   kSchedTasksStolen,        ///< tasks migrated off their home worker queue
   kSchedStealAttempts,      ///< victim scans by idle scheduler workers
+  kSchedStealFailures,      ///< victim scans that came back empty-handed
   kSessionStationsSwept,    ///< CUT stations swept by PpetSession::run
   kSessionCyclesRun,        ///< TPG cycles executed across all stations
   kFuzzRuns,                ///< fuzz inputs generated and run through the oracles
@@ -118,6 +131,24 @@ std::vector<std::uint64_t> counter_values();
 /// One aggregated counter.
 std::uint64_t counter_value(Counter c);
 
+/// Per-thread histogram slots: a recording thread can use at most this many
+/// distinct histogram names (span names + MERCED_HIST sites). Names beyond
+/// the cap are silently dropped — raise the cap rather than relying on it.
+inline constexpr std::size_t kMaxHistogramsPerThread = 48;
+
+/// Records `value` into the calling thread's shard of the histogram named
+/// `name`. `name` must be a string with static storage duration (a literal,
+/// like span names): shards key on the pointer and the aggregator reads it
+/// at flush time. Callers must check enabled() first (the MERCED_HIST macro
+/// does). Lock-free: a few relaxed RMWs on thread-local slots.
+void hist_record(const char* name, std::uint64_t value) noexcept;
+
+/// All histograms, merged across thread shards (bucket-exact, see
+/// obs/histogram.h) and sorted by name. Shards recorded under the same name
+/// from different macro sites merge into one snapshot. Same quiescence rule
+/// as counter_values().
+std::vector<HistogramSnapshot> histogram_snapshots();
+
 /// A completed span, as exported to the trace.
 struct SpanEvent {
   const char* name;        ///< static string passed to MERCED_SPAN
@@ -170,6 +201,15 @@ class Span {
   do {                                                      \
     if (::merced::obs::enabled()) {                         \
       ::merced::obs::add((counter), (n));                   \
+    }                                                       \
+  } while (0)
+
+/// Histogram sample, free when disabled (one relaxed load + branch).
+/// `name` must be a string literal (static storage), like MERCED_SPAN.
+#define MERCED_HIST(name, value)                            \
+  do {                                                      \
+    if (::merced::obs::enabled()) {                         \
+      ::merced::obs::hist_record((name), (value));          \
     }                                                       \
   } while (0)
 

@@ -1,0 +1,82 @@
+#include "obs/resource.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace merced::obs {
+
+namespace detail {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_alloc_live{0};
+std::atomic<std::uint64_t> g_alloc_high_water{0};
+std::atomic<bool> g_alloc_hook_installed{false};
+}  // namespace detail
+
+std::uint64_t peak_rss_bytes() {
+  // Prefer /proc/self/status VmHWM: unambiguous units (kB) and reflects the
+  // true high-water mark even after madvise/free returns pages.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::uint64_t kb = 0;
+      fields >> kb;
+      if (kb > 0) return kb * 1024;
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+const std::string& cpu_model_string() {
+  static const std::string model = [] {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      if (line.rfind("model name", 0) == 0) {
+        std::string value = line.substr(colon + 1);
+        const auto first = value.find_first_not_of(" \t");
+        if (first != std::string::npos) return value.substr(first);
+      }
+    }
+    return std::string("unknown");
+  }();
+  return model;
+}
+
+AllocStats alloc_stats() {
+  AllocStats s;
+  s.allocations = detail::g_alloc_count.load(std::memory_order_relaxed);
+  s.bytes_allocated = detail::g_alloc_bytes.load(std::memory_order_relaxed);
+  s.live_bytes = detail::g_alloc_live.load(std::memory_order_relaxed);
+  s.high_water_bytes =
+      detail::g_alloc_high_water.load(std::memory_order_relaxed);
+  return s;
+}
+
+void alloc_reset() {
+  detail::g_alloc_count.store(0, std::memory_order_relaxed);
+  detail::g_alloc_bytes.store(0, std::memory_order_relaxed);
+  detail::g_alloc_live.store(0, std::memory_order_relaxed);
+  detail::g_alloc_high_water.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace merced::obs

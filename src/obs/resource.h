@@ -1,0 +1,104 @@
+// Resource telemetry: peak RSS, host identity, and the allocation
+// high-water channel.
+//
+// The metrics artifact (obs/metrics.h, "merced-metrics-v2") reports not just
+// where time went but what the run *cost*: peak resident set, total heap
+// traffic, and the live-byte high-water mark. ROADMAP item 1 (the
+// compile-as-a-service daemon) admits requests against memory budgets, so
+// these numbers need to be machine-readable per run, not eyeballed from
+// /usr/bin/time.
+//
+// Three channels, different mechanisms:
+//
+//  * peak_rss_bytes() asks the kernel (/proc/self/status VmHWM, falling
+//    back to getrusage ru_maxrss) — zero overhead during the run, sampled
+//    once at artifact-write time. Covers everything: heap, stacks, mapped
+//    files.
+//  * The alloc channel counts operator new/delete traffic. The counting
+//    hooks are *not* installed by this library: replacing the global
+//    operator new is a one-definition-per-program affair (sim_kernel_test
+//    already owns it in its own binary), so a binary opts in by including
+//    obs/alloc_hook.h in exactly one translation unit (merced_cli does).
+//    alloc_stats() then reports exact allocation count, cumulative bytes,
+//    and the live-byte high-water mark; alloc_hook_installed() tells the
+//    metrics writer whether the numbers exist at all.
+//  * cpu_model_string() / std::thread::hardware_concurrency() identify the
+//    host so merced_metrics_diff can refuse cross-host comparisons instead
+//    of producing a bogus verdict.
+//
+// Thread-safety: alloc_note_* are called from any thread (inside operator
+// new); everything is relaxed atomics plus a CAS loop for the high-water
+// mark. peak_rss_bytes() and cpu_model_string() are ordinary functions safe
+// from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace merced::obs {
+
+/// Peak resident set size of this process in bytes, as reported by the OS
+/// (Linux: VmHWM from /proc/self/status; fallback: getrusage ru_maxrss).
+/// Returns 0 if the platform offers neither. Monotonic over the process
+/// lifetime — it cannot be reset between phases.
+std::uint64_t peak_rss_bytes();
+
+/// Human-readable CPU model ("model name" from /proc/cpuinfo), or "unknown"
+/// when unavailable. Cached after the first call.
+const std::string& cpu_model_string();
+
+/// Aggregate operator-new traffic since the last alloc_reset(). All fields
+/// are exact when the hook is installed (see obs/alloc_hook.h) and zero
+/// otherwise.
+struct AllocStats {
+  std::uint64_t allocations = 0;      ///< operator new calls
+  std::uint64_t bytes_allocated = 0;  ///< cumulative requested bytes
+  std::uint64_t live_bytes = 0;       ///< currently outstanding bytes
+  std::uint64_t high_water_bytes = 0; ///< max of live_bytes since reset
+};
+
+namespace detail {
+extern std::atomic<std::uint64_t> g_alloc_count;
+extern std::atomic<std::uint64_t> g_alloc_bytes;
+extern std::atomic<std::uint64_t> g_alloc_live;
+extern std::atomic<std::uint64_t> g_alloc_high_water;
+extern std::atomic<bool> g_alloc_hook_installed;
+}  // namespace detail
+
+/// Called by the opt-in operator-new replacement for every allocation.
+inline void alloc_note_new(std::size_t bytes) noexcept {
+  detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  detail::g_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const std::uint64_t live =
+      detail::g_alloc_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t hw = detail::g_alloc_high_water.load(std::memory_order_relaxed);
+  while (live > hw && !detail::g_alloc_high_water.compare_exchange_weak(
+                          hw, live, std::memory_order_relaxed)) {
+  }
+}
+
+/// Called by the opt-in operator-delete replacement for every deallocation
+/// whose size is known (glibc malloc_usable_size; otherwise bytes == 0 and
+/// live_bytes drifts high — still a valid upper bound).
+inline void alloc_note_delete(std::size_t bytes) noexcept {
+  detail::g_alloc_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+/// True once some translation unit in this binary included obs/alloc_hook.h
+/// (the hook marks itself installed at static-init time).
+inline bool alloc_hook_installed() noexcept {
+  return detail::g_alloc_hook_installed.load(std::memory_order_relaxed);
+}
+
+/// Snapshot of the alloc channel. Exact under the flush-while-quiescent
+/// contract the counters already follow.
+AllocStats alloc_stats();
+
+/// Zeroes the alloc channel (count/bytes/high-water; live resets to 0 too,
+/// so call at a phase boundary where "live" should rebase). Does not touch
+/// the installed flag.
+void alloc_reset();
+
+}  // namespace merced::obs

@@ -59,6 +59,19 @@ ThreadPool::~ThreadPool() {
   }
   wake_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Lifetime flush into the obs counters (workers are joined, slots final):
+  // the metrics artifact's "scheduler" section reports these as
+  // pool_busy_seconds / pool_idle_seconds.
+  if (obs::enabled()) {
+    std::uint64_t busy = 0;
+    std::uint64_t idle = 0;
+    for (const auto& slot : stats_) {
+      busy += slot->busy_ns.load(std::memory_order_relaxed);
+      idle += slot->idle_ns.load(std::memory_order_relaxed);
+    }
+    obs::add(obs::Counter::kPoolBusyNs, busy);
+    obs::add(obs::Counter::kPoolIdleNs, idle);
+  }
 }
 
 std::vector<WorkerStats> ThreadPool::stats() const {

@@ -44,6 +44,7 @@ StealStats parallel_for_stealing(
   std::atomic<std::uint64_t> tasks_run{0};
   std::atomic<std::uint64_t> tasks_stolen{0};
   std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> steal_failures{0};
   std::atomic<bool> abort{false};
 
   pool.parallel_for(workers, [&](std::size_t w) {
@@ -75,7 +76,11 @@ StealStats parallel_for_stealing(
             victim_remaining = rem;
           }
         }
-        if (victim == workers) break;  // every queue empty — done
+        if (victim == workers) {
+          // Terminal scan: every queue empty, nothing left to take.
+          steal_failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
         std::vector<std::size_t> loot;
         {
           std::lock_guard lock(queues[victim].mu);
@@ -85,7 +90,11 @@ StealStats parallel_for_stealing(
           loot.assign(items.end() - static_cast<std::ptrdiff_t>(take), items.end());
           items.resize(items.size() - take);
         }
-        if (loot.empty()) continue;  // victim drained meanwhile; rescan
+        if (loot.empty()) {
+          // Victim drained between scan and lock; rescan.
+          steal_failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         tasks_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
         {
           std::lock_guard lock(own.mu);
@@ -108,10 +117,12 @@ StealStats parallel_for_stealing(
   stats.tasks_run = tasks_run.load(std::memory_order_relaxed);
   stats.tasks_stolen = tasks_stolen.load(std::memory_order_relaxed);
   stats.steal_attempts = steal_attempts.load(std::memory_order_relaxed);
+  stats.steal_failures = steal_failures.load(std::memory_order_relaxed);
   if (obs::enabled()) {
     obs::add(obs::Counter::kSchedTasksRun, stats.tasks_run);
     obs::add(obs::Counter::kSchedTasksStolen, stats.tasks_stolen);
     obs::add(obs::Counter::kSchedStealAttempts, stats.steal_attempts);
+    obs::add(obs::Counter::kSchedStealFailures, stats.steal_failures);
   }
   return stats;
 }

@@ -32,11 +32,23 @@
 
 namespace merced {
 
-/// Aggregate scheduler statistics of one parallel_for_stealing run.
+/// Aggregate scheduler statistics of one parallel_for_stealing run. The
+/// counts are exact but scheduling-dependent — two correct runs legitimately
+/// steal differently — so they are diagnostics (surfaced into the metrics
+/// artifact's "scheduler" section), never part of a determinism contract.
 struct StealStats {
   std::uint64_t tasks_run = 0;        ///< == n on success
   std::uint64_t tasks_stolen = 0;     ///< tasks that migrated queues
   std::uint64_t steal_attempts = 0;   ///< victim scans (successful or not)
+  std::uint64_t steal_failures = 0;   ///< scans that found nothing to take
+
+  StealStats& operator+=(const StealStats& other) noexcept {
+    tasks_run += other.tasks_run;
+    tasks_stolen += other.tasks_stolen;
+    steal_attempts += other.steal_attempts;
+    steal_failures += other.steal_failures;
+    return *this;
+  }
 };
 
 /// Runs body(task, worker_slot) for every task in [0, n) over the pool's

@@ -446,6 +446,9 @@ void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> f
     obs::add(obs::Counter::kKernelEventsPopped, ws.counters.events_popped);
     obs::add(obs::Counter::kKernelEventsSuppressed, ws.counters.events_suppressed);
     obs::add(obs::Counter::kKernelEarlyExits, ws.counters.early_exits);
+    // Per-range event-count distribution: the spread (not just the total)
+    // is what shows whether chunking keeps range costs balanced.
+    obs::hist_record("kernel.range_events", ws.counters.events_popped);
   }
 }
 
@@ -500,11 +503,12 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOpti
     } else {
       ThreadPool pool(std::min(jobs, ranges.size()));
       std::vector<ConeSimulator::Workspace> workspaces(pool.size());
-      parallel_for_stealing(pool, ranges.size(), [&](std::size_t r, std::size_t slot) {
-        MERCED_SPAN("fault_chunk", r);
-        exhaustive_detect_range_simd(cone, faults, ranges[r], detected.data(), width,
-                                     workspaces[slot]);
-      });
+      result.sched = parallel_for_stealing(
+          pool, ranges.size(), [&](std::size_t r, std::size_t slot) {
+            MERCED_SPAN("fault_chunk", r);
+            exhaustive_detect_range_simd(cone, faults, ranges[r], detected.data(),
+                                         width, workspaces[slot]);
+          });
     }
   }
 

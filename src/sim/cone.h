@@ -41,6 +41,7 @@
 #include "graph/circuit_graph.h"
 #include "partition/clustering.h"
 #include "runtime/thread_pool.h"
+#include "runtime/work_steal.h"
 #include "sim/fault.h"
 #include "sim/simd.h"
 
@@ -206,6 +207,12 @@ struct CoverageResult {
     return total_faults == 0 ? 1.0 : static_cast<double>(detected) / total_faults;
   }
   std::vector<Fault> undetected;  ///< combinationally redundant faults
+  /// Scheduler diagnostics of the sweep that produced this result (zeros on
+  /// the single-chunk and oracle paths, which never steal). NOT part of the
+  /// verdict: same_coverage-style comparisons and the bit-identical
+  /// determinism contract ignore it, because steal counts are
+  /// scheduling-dependent by design.
+  StealStats sched;
 };
 
 struct CoverageOptions {

@@ -481,6 +481,9 @@ void exhaustive_detect_range_simd(const ConeSimulator& cone, std::span<const Fau
     obs::add(obs::Counter::kKernelEventsSuppressed,
              after.events_suppressed - before.events_suppressed);
     obs::add(obs::Counter::kKernelEarlyExits, after.early_exits - before.early_exits);
+    // Per-range event-count distribution, same name as the u64 oracle's so
+    // either kernel feeds one "kernel.range_events" histogram.
+    obs::hist_record("kernel.range_events", after.events_popped - before.events_popped);
   }
 }
 

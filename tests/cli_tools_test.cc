@@ -353,6 +353,90 @@ TEST(CliExitCodeTest, MercedCliSimdFlagGrammarIsPinned) {
 
 #endif  // MERCED_CLI_BIN
 
+#ifdef MERCED_DIFF_BIN
+
+/// Runs a command, returning its exit code and captured stdout (the diff
+/// table, whose verdict line names regressed metrics, goes to stdout).
+std::pair<int, std::string> run_stdout(const std::string& cmd) {
+  const std::string out_path = std::string(::testing::TempDir()) + "cli_stdout.txt";
+  const int status = std::system((cmd + " 2>/dev/null >" + out_path).c_str());
+  std::ifstream in(out_path);
+  std::stringstream text;
+  text << in.rdbuf();
+  return {WEXITSTATUS(status), text.str()};
+}
+
+/// Minimal metrics artifact with a controlled phase time and p99 (ns).
+std::string diff_metrics_doc(const std::string& cpu, double total_seconds,
+                             long long p99_ns) {
+  std::ostringstream os;
+  os << R"({"schema": "merced-metrics-v2", "run": {"tool": "t", "circuit": "c",)"
+     << R"( "lk": 8, "jobs": 1, "starts": 1, "simd": 64, "cpu": ")" << cpu
+     << R"(", "hardware_concurrency": 4}, "counters": {},)"
+     << R"( "phases": [{"name": "kernel", "count": 4, "total_seconds": )"
+     << total_seconds << R"(, "max_seconds": )" << total_seconds
+     << R"(}], "histograms": [{"name": "kernel", "count": 4, "sum": 4000,)"
+     << R"( "min": 500, "max": )" << p99_ns << R"(, "p50": 800, "p90": 900,)"
+     << R"( "p99": )" << p99_ns << R"(, "buckets": []}]})";
+  return os.str();
+}
+
+TEST(CliExitCodeTest, MercedMetricsDiffExitCodes) {
+  const std::string diff = MERCED_DIFF_BIN;
+  const std::string same = write_temp("diff_same.json", diff_metrics_doc("x", 1.0, 1000));
+  const std::string slow = write_temp("diff_slow.json", diff_metrics_doc("x", 2.5, 1000));
+  const std::string stale =
+      write_temp("diff_stale.json", diff_metrics_doc("x", 1.0, 2000000000LL));
+  const std::string fast =
+      write_temp("diff_fast.json", diff_metrics_doc("x", 1.0, 1000000000LL));
+  const std::string other_host =
+      write_temp("diff_host.json", diff_metrics_doc("y", 1.0, 1000));
+
+  // Usage and unreadable inputs: exit 2.
+  EXPECT_EQ(run(diff), 2);
+  EXPECT_EQ(run(diff + " " + same), 2);
+  EXPECT_EQ(run(diff + " --bogus " + same + " " + same), 2);
+  EXPECT_EQ(run(diff + " --rel banana " + same + " " + same), 2);
+  EXPECT_EQ(run(diff + " " + same + " /nonexistent.json"), 2);
+
+  // Same binary, same config: exit 0.
+  EXPECT_EQ(run(diff + " " + same + " " + same), 0);
+
+  // A slower current run: exit 1, verdict naming the phase and direction.
+  const auto [slow_code, slow_out] = run_stdout(diff + " " + same + " " + slow);
+  EXPECT_EQ(slow_code, 1);
+  EXPECT_NE(slow_out.find("verdict: REGRESSION"), std::string::npos) << slow_out;
+  EXPECT_NE(slow_out.find("phase kernel total_seconds slower"), std::string::npos)
+      << slow_out;
+
+  // The acceptance scenario: baseline p99 inflated 2x relative to current.
+  // The current run is "faster" beyond threshold — stale baseline, exit 1.
+  const auto [fast_code, fast_out] = run_stdout(diff + " " + stale + " " + fast);
+  EXPECT_EQ(fast_code, 1);
+  EXPECT_NE(fast_out.find("hist kernel p99_seconds faster"), std::string::npos)
+      << fast_out;
+  EXPECT_NE(fast_out.find("refresh the committed baseline"), std::string::npos)
+      << fast_out;
+
+  // Cross-host timing comparison refuses (exit 2) unless --ignore-host.
+  EXPECT_EQ(run(diff + " " + same + " " + other_host), 2);
+  EXPECT_EQ(run(diff + " --ignore-host " + same + " " + other_host), 0);
+}
+
+TEST(CliExitCodeTest, MetricsCheckValidatesDiffArtifacts) {
+  const std::string same = write_temp("chk_same.json", diff_metrics_doc("x", 1.0, 1000));
+  const std::string out = std::string(::testing::TempDir()) + "chk_diff_out.json";
+  EXPECT_EQ(run(std::string(MERCED_DIFF_BIN) + " " + same + " " + same +
+                " --json " + out),
+            0);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --diff " + out), 0);
+  // A metrics artifact is not a diff artifact, and vice versa.
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --diff " + same), 1);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --metrics " + out), 1);
+}
+
+#endif  // MERCED_DIFF_BIN
+
 #endif  // METRICS_CHECK_BIN && MERCED_FUZZ_BIN
 
 }  // namespace

@@ -1,0 +1,278 @@
+// Unit tests for the artifact differ (obs/metrics_diff.h): measurement
+// pairing, noise-aware gating in both directions, identity refusal, and the
+// merced-diff-v1 document round-trip plus its validator's error paths.
+//
+// The differ consumes artifacts, so the fixtures here are hand-built JSON
+// documents with controlled values — big enough that the default absolute
+// floors are negligible and the relative gates dominate, making every
+// expected verdict a matter of arithmetic rather than timing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics_diff.h"
+
+namespace merced {
+namespace {
+
+obs::JsonValue parse(const std::string& text) { return obs::JsonValue::parse(text); }
+
+/// A minimal metrics artifact: one phase, one histogram, a memory section.
+std::string metrics_doc(const std::string& cpu, int hardware_concurrency,
+                        double total_seconds, long long p99_ns, int lk = 8) {
+  std::ostringstream os;
+  os << R"({"schema": "merced-metrics-v2", "run": {"tool": "t", "circuit": "c",)"
+     << R"( "lk": )" << lk
+     << R"(, "jobs": 1, "starts": 1, "simd": 64, "cpu": ")" << cpu
+     << R"(", "hardware_concurrency": )" << hardware_concurrency << R"(},)"
+     << R"( "counters": {}, "phases": [{"name": "kernel", "count": 4,)"
+     << R"( "total_seconds": )" << total_seconds << R"(, "max_seconds": )"
+     << total_seconds << R"(}], "histograms": [{"name": "kernel", "count": 4,)"
+     << R"( "sum": 4000, "min": 500, "max": )" << p99_ns
+     << R"(, "p50": 800, "p90": 900, "p99": )" << p99_ns
+     << R"(, "buckets": []}], "memory": {"peak_rss_bytes": 1048576,)"
+     << R"( "alloc_hook": true, "allocations": 10, "bytes_allocated": 1000,)"
+     << R"( "high_water_bytes": 500}})";
+  return os.str();
+}
+
+/// A minimal BENCH_simkernel artifact with a controlled kernel speedup.
+std::string bench_doc(const std::string& cpu, double speedup) {
+  std::ostringstream os;
+  os << R"({"cpu": ")" << cpu << R"(", "hardware_concurrency": 4,)"
+     << R"( "generated": {"inputs": 36, "gates": 600, "naive_seconds": 10.0,)"
+     << R"( "kernel_seconds": )" << 10.0 / speedup << R"(, "speedup": )" << speedup
+     << R"(}, "iscas": {"circuit": "c880", "lk": 8, "naive_seconds": 5.0,)"
+     << R"( "kernel_seconds": 1.0, "simd_seconds": 0.5, "speedup": 5.0,)"
+     << R"( "simd_speedup_vs_u64": 2.0}})";
+  return os.str();
+}
+
+const obs::DiffEntry* find_entry(const obs::DiffResult& result,
+                                 const std::string& metric) {
+  for (const obs::DiffEntry& e : result.entries) {
+    if (e.metric == metric) return &e;
+  }
+  return nullptr;
+}
+
+TEST(MetricsDiffTest, IdenticalArtifactsCompareOk) {
+  const obs::JsonValue doc = parse(metrics_doc("cpu0", 4, 1.0, 1000));
+  const obs::DiffResult result = obs::diff_artifacts(doc, doc, {});
+  EXPECT_EQ(result.error, "");
+  EXPECT_TRUE(result.ok());
+  ASSERT_FALSE(result.entries.empty());
+  for (const obs::DiffEntry& e : result.entries) {
+    EXPECT_EQ(e.direction, "ok") << e.metric;
+    EXPECT_EQ(e.delta_rel, 0.0) << e.metric;
+  }
+  // Timing gates, memory is informational.
+  EXPECT_TRUE(find_entry(result, "phase kernel total_seconds")->gated);
+  EXPECT_TRUE(find_entry(result, "hist kernel p99_seconds")->gated);
+  EXPECT_FALSE(find_entry(result, "memory peak_rss_mib")->gated);
+}
+
+TEST(MetricsDiffTest, InflatedTimingIsSlowerAndNamesThePhase) {
+  // Current runs 2x the baseline: well past rel=0.35 + 5 ms on a 1 s phase.
+  const obs::JsonValue base = parse(metrics_doc("cpu0", 4, 1.0, 1000));
+  const obs::JsonValue cur = parse(metrics_doc("cpu0", 4, 2.0, 1000));
+  const obs::DiffResult result = obs::diff_artifacts(base, cur, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions(), 2u);  // total_seconds and max_seconds
+  const obs::DiffEntry* e = find_entry(result, "phase kernel total_seconds");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->direction, "slower");
+  EXPECT_DOUBLE_EQ(e->delta_rel, 1.0);
+}
+
+TEST(MetricsDiffTest, InflatedBaselineQuantileFlagsCurrentAsFaster) {
+  // The acceptance scenario: the baseline's p99 is 2x the current run's.
+  // "Faster" still fails the gate — a stale baseline must be refreshed, not
+  // silently raise the bar for every later commit.
+  const obs::JsonValue base = parse(metrics_doc("cpu0", 4, 1.0, 2000000000LL));
+  const obs::JsonValue cur = parse(metrics_doc("cpu0", 4, 1.0, 1000000000LL));
+  const obs::DiffResult result = obs::diff_artifacts(base, cur, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions(), 0u);
+  EXPECT_GE(result.improvements(), 1u);
+  const obs::DiffEntry* e = find_entry(result, "hist kernel p99_seconds");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->direction, "faster");
+}
+
+TEST(MetricsDiffTest, RatioGatesDownwardOnly) {
+  // speedup 50 -> 20 trips the gate (threshold 0.35*50 + 0.10 = 17.6 < 30).
+  const obs::DiffResult drop = obs::diff_artifacts(
+      parse(bench_doc("cpu0", 50.0)), parse(bench_doc("cpu0", 20.0)), {});
+  EXPECT_FALSE(drop.ok());
+  const obs::DiffEntry* e = find_entry(drop, "generated speedup");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->cls, "ratio");
+  EXPECT_EQ(e->direction, "lower");
+
+  // A kernel that got *more* ahead of its oracle is just good news — but
+  // its kernel_seconds drop is a timing improvement, which still flags.
+  const obs::DiffResult rise = obs::diff_artifacts(
+      parse(bench_doc("cpu0", 20.0)), parse(bench_doc("cpu0", 50.0)), {});
+  const obs::DiffEntry* up = find_entry(rise, "generated speedup");
+  ASSERT_NE(up, nullptr);
+  EXPECT_TRUE(up->gated);
+  EXPECT_EQ(up->direction, "ok");
+}
+
+TEST(MetricsDiffTest, ConfigMismatchRefuses) {
+  const obs::DiffResult result =
+      obs::diff_artifacts(parse(metrics_doc("cpu0", 4, 1.0, 1000, /*lk=*/8)),
+                          parse(metrics_doc("cpu0", 4, 1.0, 1000, /*lk=*/16)), {});
+  EXPECT_NE(result.error.find("config mismatch"), std::string::npos);
+  EXPECT_NE(result.error.find("apples-to-oranges"), std::string::npos);
+  EXPECT_TRUE(result.entries.empty());
+}
+
+TEST(MetricsDiffTest, KindMismatchRefuses) {
+  const obs::DiffResult result = obs::diff_artifacts(
+      parse(metrics_doc("cpu0", 4, 1.0, 1000)), parse(bench_doc("cpu0", 50.0)), {});
+  EXPECT_NE(result.error.find("artifact kind mismatch"), std::string::npos);
+}
+
+TEST(MetricsDiffTest, HostMismatchRefusesUnlessIgnored) {
+  const obs::JsonValue base = parse(metrics_doc("cpu0", 4, 1.0, 1000));
+  const obs::JsonValue cur = parse(metrics_doc("cpu1", 8, 9.0, 1000));
+  const obs::DiffResult refused = obs::diff_artifacts(base, cur, {});
+  EXPECT_NE(refused.error.find("host mismatch"), std::string::npos);
+  EXPECT_NE(refused.error.find("--ignore-host"), std::string::npos);
+
+  // With ignore_host, timing demotes to informational: the 9x inflation no
+  // longer gates, and the demotion is called out in the notes.
+  obs::DiffThresholds thresholds;
+  thresholds.ignore_host = true;
+  const obs::DiffResult demoted = obs::diff_artifacts(base, cur, thresholds);
+  EXPECT_EQ(demoted.error, "");
+  EXPECT_TRUE(demoted.ok());
+  const obs::DiffEntry* e = find_entry(demoted, "phase kernel total_seconds");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->gated);
+  EXPECT_EQ(e->direction, "ok");
+  bool noted = false;
+  for (const std::string& note : demoted.notes) {
+    noted = noted || note.find("demoted to informational") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(MetricsDiffTest, UnpairedMetricsLandInNotes) {
+  // Strip the histogram from the current artifact: its metrics appear only
+  // in the baseline and must be reported, not silently dropped.
+  std::string cur = metrics_doc("cpu0", 4, 1.0, 1000);
+  const std::size_t at = cur.find("\"histograms\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = cur.find("}]", at);  // close of the histograms array
+  ASSERT_NE(end, std::string::npos);
+  cur.replace(at, end + 2 - at, "\"histograms\": []");
+  const obs::DiffResult result = obs::diff_artifacts(
+      parse(metrics_doc("cpu0", 4, 1.0, 1000)), parse(cur), {});
+  bool noted = false;
+  for (const std::string& note : result.notes) {
+    noted = noted ||
+            note.find("\"hist kernel p99_seconds\" only in baseline") !=
+                std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+// ---- merced-diff-v1 document --------------------------------------------
+
+std::string render_diff_json(const obs::DiffResult& result) {
+  std::ostringstream os;
+  obs::write_diff_json(os, result);
+  return os.str();
+}
+
+obs::DiffResult regression_result() {
+  obs::DiffResult result = obs::diff_artifacts(
+      parse(metrics_doc("cpu0", 4, 1.0, 1000)),
+      parse(metrics_doc("cpu0", 4, 2.0, 1000)), {});
+  result.baseline_label = "base.json";
+  result.current_label = "cur.json";
+  return result;
+}
+
+TEST(DiffJsonTest, DocumentRoundTripsThroughValidator) {
+  const obs::JsonValue doc = parse(render_diff_json(regression_result()));
+  EXPECT_EQ(obs::validate_diff_json(doc), "");
+  EXPECT_EQ(doc.find("schema")->as_string(), "merced-diff-v1");
+  EXPECT_EQ(doc.find("verdict")->as_string(), "regression");
+  EXPECT_EQ(doc.find("baseline")->as_string(), "base.json");
+
+  obs::DiffResult ok = obs::diff_artifacts(parse(metrics_doc("cpu0", 4, 1.0, 1000)),
+                                           parse(metrics_doc("cpu0", 4, 1.0, 1000)), {});
+  const obs::JsonValue ok_doc = parse(render_diff_json(ok));
+  EXPECT_EQ(obs::validate_diff_json(ok_doc), "");
+  EXPECT_EQ(ok_doc.find("verdict")->as_string(), "ok");
+}
+
+TEST(DiffJsonTest, ValidatorRejectsSchemaDrift) {
+  std::string text = render_diff_json(regression_result());
+  const std::size_t at = text.find("merced-diff-v1");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, std::string("merced-diff-v1").size(), "merced-diff-v2");
+  EXPECT_EQ(obs::validate_diff_json(parse(text)),
+            "unknown schema \"merced-diff-v2\"");
+}
+
+TEST(DiffJsonTest, ValidatorRejectsVerdictInconsistentWithEntries) {
+  std::string text = render_diff_json(regression_result());
+  const std::size_t at = text.find("\"verdict\": \"regression\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, std::string("\"verdict\": \"regression\"").size(),
+               "\"verdict\": \"ok\"");
+  EXPECT_EQ(obs::validate_diff_json(parse(text)),
+            "verdict: inconsistent with entry directions");
+}
+
+TEST(DiffJsonTest, ValidatorRejectsSummaryCountDrift) {
+  std::string text = render_diff_json(regression_result());
+  const std::size_t at = text.find("\"regressions\": 2");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, std::string("\"regressions\": 2").size(), "\"regressions\": 0");
+  EXPECT_EQ(obs::validate_diff_json(parse(text)),
+            "summary: regression count does not match entries");
+}
+
+TEST(DiffJsonTest, ValidatorRejectsUngatedVerdict) {
+  std::string text = render_diff_json(regression_result());
+  const std::string ungated = "\"gated\": false, \"direction\": \"ok\"";
+  const std::size_t at = text.find(ungated);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, ungated.size(), "\"gated\": false, \"direction\": \"slower\"");
+  EXPECT_EQ(obs::validate_diff_json(parse(text)),
+            "entry \"memory peak_rss_mib\": ungated entry carries a verdict");
+}
+
+TEST(DiffJsonTest, ValidatorNamesMissingMembers) {
+  EXPECT_EQ(obs::validate_diff_json(parse(R"({"x": 1})")),
+            "root: missing member \"schema\"");
+  EXPECT_EQ(obs::validate_diff_json(parse(R"({"schema": 7})")),
+            "root: member \"schema\" has wrong type");
+}
+
+TEST(DiffJsonTest, TableNamesRegressionsAndSuggestsBaselineRefresh) {
+  std::ostringstream os;
+  obs::write_diff_table(os, regression_result());
+  const std::string table = os.str();
+  EXPECT_NE(table.find("verdict: REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("phase kernel total_seconds slower"), std::string::npos);
+
+  // An improvement-only drift points at the baseline-refresh workflow.
+  obs::DiffResult faster = obs::diff_artifacts(
+      parse(metrics_doc("cpu0", 4, 2.0, 1000)),
+      parse(metrics_doc("cpu0", 4, 1.0, 1000)), {});
+  std::ostringstream os2;
+  obs::write_diff_table(os2, faster);
+  EXPECT_NE(os2.str().find("refresh the committed baseline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merced

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -199,6 +203,22 @@ TEST_F(ObsTest, MetricsArtifactRoundTripsThroughValidator) {
   ASSERT_EQ(ph->as_array().size(), 1u);
   EXPECT_EQ(ph->as_array()[0].find("name")->as_string(), "phase_a");
   EXPECT_EQ(ph->as_array()[0].find("count")->as_number(), 2.0);
+
+  // v2 sections: capture() auto-fills the host identity, every completed
+  // span feeds the histogram of its own name, and the scheduler/memory
+  // sections are always present.
+  EXPECT_FALSE(doc.find("run")->find("cpu")->as_string().empty());
+  const obs::JsonValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->as_array().size(), 1u);
+  EXPECT_EQ(hists->as_array()[0].find("name")->as_string(), "phase_a");
+  EXPECT_EQ(hists->as_array()[0].find("count")->as_number(), 2.0);
+  const obs::JsonValue* sched = doc.find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  ASSERT_NE(sched->find("steal_failures"), nullptr);
+  const obs::JsonValue* memory = doc.find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_GT(memory->find("peak_rss_bytes")->as_number(), 0.0);
 }
 
 TEST_F(ObsTest, ValidatorRejectsSchemaDrift) {
@@ -210,15 +230,255 @@ TEST_F(ObsTest, ValidatorRejectsSchemaDrift) {
   std::string text = os.str();
 
   const std::string wrong = text;
-  text.replace(text.find("merced-metrics-v1"), 17, "merced-metrics-v9");
-  EXPECT_NE(obs::validate_metrics_json(obs::JsonValue::parse(text)), "");
+  text.replace(text.find("merced-metrics-v2"), 17, "merced-metrics-v9");
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(text)),
+            "unknown schema \"merced-metrics-v9\"");
 
-  // Dropping a counter must also fail: every Counter is part of the schema.
-  std::string missing = wrong;
-  const std::size_t at = missing.find("\"flow.iterations\"");
+  // Renaming a counter must also fail: every Counter is part of the schema.
+  std::string renamed = wrong;
+  const std::size_t at = renamed.find("\"flow.iterations\"");
   ASSERT_NE(at, std::string::npos);
-  missing.replace(at, 17, "\"flow.bogus\"");
-  EXPECT_NE(obs::validate_metrics_json(obs::JsonValue::parse(missing)), "");
+  renamed.replace(at, 17, "\"flow.bogus\"");
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(renamed)),
+            "counters: unknown counter \"flow.bogus\"");
+
+  // So must dropping one: v2 artifacts carry the full current counter set.
+  std::string dropped = wrong;
+  const std::string line = "\n    \"flow.iterations\": 0,";
+  const std::size_t drop_at = dropped.find(line);
+  ASSERT_NE(drop_at, std::string::npos);
+  dropped.erase(drop_at, line.size());
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(dropped)),
+            "counters: missing \"flow.iterations\"");
+}
+
+TEST_F(ObsTest, ValidatorAcceptsV1CounterSubsetButNotUnknownNames) {
+  // A v1 artifact written before newer counters existed stays valid
+  // (subset semantics), but an unknown counter name is still schema drift.
+  const std::string v1 = R"({"schema": "merced-metrics-v1",
+    "run": {"tool": "t", "circuit": "c", "lk": 8, "jobs": 1, "starts": 1, "simd": 0},
+    "counters": {"flow.iterations": 3},
+    "phases": []})";
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(v1)), "");
+
+  std::string unknown = v1;
+  const std::size_t at = unknown.find("flow.iterations");
+  ASSERT_NE(at, std::string::npos);
+  unknown.replace(at, std::string("flow.iterations").size(), "flow.bogus_name");
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(unknown)),
+            "counters: unknown counter \"flow.bogus_name\"");
+}
+
+// ---- histograms ---------------------------------------------------------
+
+TEST(HistogramMathTest, BucketGridIsExactBelowSubRangeAndTilesWithoutGaps) {
+  // Values below 2^kHistSubBits land in singleton buckets — exact.
+  for (std::uint64_t v = 0; v < obs::kHistSub; ++v) {
+    EXPECT_EQ(obs::hist_bucket_index(v), v);
+    EXPECT_EQ(obs::hist_bucket_lower(v), v);
+    EXPECT_EQ(obs::hist_bucket_upper(v), v);
+  }
+  // The grid tiles [0, 2^kHistMaxBits) with no gaps or overlaps: both
+  // bounds map back to their own index, and each upper bound is one below
+  // the next bucket's lower bound (index continuity at octave seams).
+  for (std::size_t i = 0; i < obs::kHistBuckets; ++i) {
+    EXPECT_EQ(obs::hist_bucket_index(obs::hist_bucket_lower(i)), i);
+    EXPECT_EQ(obs::hist_bucket_index(obs::hist_bucket_upper(i)), i);
+    if (i + 1 < obs::kHistBuckets) {
+      EXPECT_EQ(obs::hist_bucket_upper(i) + 1, obs::hist_bucket_lower(i + 1));
+    }
+  }
+  // Out-of-range values clamp into the top bucket instead of overflowing.
+  EXPECT_EQ(obs::hist_bucket_index(std::uint64_t{1} << obs::kHistMaxBits),
+            obs::kHistBuckets - 1);
+  EXPECT_EQ(obs::hist_bucket_index(~std::uint64_t{0}), obs::kHistBuckets - 1);
+  // Relative bucket width stays within the sub-bucket resolution bound.
+  for (std::size_t i = obs::kHistSub; i < obs::kHistBuckets; ++i) {
+    const double lower = static_cast<double>(obs::hist_bucket_lower(i));
+    const double width = static_cast<double>(obs::hist_bucket_upper(i) -
+                                             obs::hist_bucket_lower(i) + 1);
+    EXPECT_LE(width / lower, 1.0 / static_cast<double>(obs::kHistSub) + 1e-12);
+  }
+}
+
+TEST_F(ObsTest, HistogramEightThreadMergeIsExactAndDeterministic) {
+  // The merged histogram is a pure function of the multiset of recorded
+  // values, never of which thread recorded what: record a known multiset
+  // from 8 threads, twice, and demand identical bucket-exact snapshots.
+  const auto record = [] {
+    obs::reset();
+    obs::enable();
+    {
+      ThreadPool pool(8);
+      pool.parallel_for(800, [](std::size_t i) {
+        MERCED_HIST("merge_test", static_cast<std::uint64_t>(i) * 37 % 1000);
+      });
+    }
+    obs::disable();
+    return obs::histogram_snapshots();
+  };
+  const std::vector<obs::HistogramSnapshot> first = record();
+  const std::vector<obs::HistogramSnapshot> second = record();
+
+  ASSERT_EQ(first.size(), 1u);
+  const obs::HistogramSnapshot& h = first[0];
+  EXPECT_EQ(h.name, "merge_test");
+  EXPECT_EQ(h.count, 800u);
+  std::uint64_t sum = 0, mn = ~std::uint64_t{0}, mx = 0;
+  std::vector<std::uint64_t> oracle(obs::kHistBuckets, 0);
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    const std::uint64_t v = i * 37 % 1000;
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    ++oracle[obs::hist_bucket_index(v)];
+  }
+  EXPECT_EQ(h.sum, sum);
+  EXPECT_EQ(h.min, mn);
+  EXPECT_EQ(h.max, mx);
+  EXPECT_EQ(h.buckets, oracle);
+
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].count, h.count);
+  EXPECT_EQ(second[0].sum, h.sum);
+  EXPECT_EQ(second[0].min, h.min);
+  EXPECT_EQ(second[0].max, h.max);
+  EXPECT_EQ(second[0].buckets, h.buckets);
+}
+
+TEST_F(ObsTest, HistogramsMergeByNameStringNotPointer) {
+  // Two distinct static strings with equal contents — the situation when
+  // the same literal appears in different TUs, e.g. the scalar and SIMD
+  // kernels both recording "kernel.range_events" — merge into one snapshot.
+  static const char site_a[] = "shared.name";
+  static const char site_b[] = "shared.name";
+  ASSERT_NE(static_cast<const void*>(site_a), static_cast<const void*>(site_b));
+  obs::enable();
+  obs::hist_record(site_a, 5);
+  obs::hist_record(site_b, 7);
+  obs::disable();
+  const std::vector<obs::HistogramSnapshot> snaps = obs::histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "shared.name");
+  EXPECT_EQ(snaps[0].count, 2u);
+  EXPECT_EQ(snaps[0].sum, 12u);
+  EXPECT_EQ(snaps[0].min, 5u);
+  EXPECT_EQ(snaps[0].max, 7u);
+}
+
+TEST_F(ObsTest, HistogramEmptyFlushAndNullSink) {
+  // Nothing recorded: the snapshot list is empty, not a zero-count entry.
+  obs::enable();
+  EXPECT_TRUE(obs::histogram_snapshots().empty());
+  obs::disable();
+  obs::reset();
+
+  // Disabled recording is a no-op (the macro's single-branch contract).
+  ASSERT_FALSE(obs::enabled());
+  MERCED_HIST("ghost", 42);
+  EXPECT_TRUE(obs::histogram_snapshots().empty());
+}
+
+TEST_F(ObsTest, SpanDurationsFeedTheHistogramOfTheSpanName) {
+  obs::enable();
+  { MERCED_SPAN("timed_phase"); }
+  { MERCED_SPAN("timed_phase"); }
+  { MERCED_SPAN("timed_phase"); }
+  obs::disable();
+
+  const std::vector<obs::HistogramSnapshot> snaps = obs::histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "timed_phase");
+  EXPECT_EQ(snaps[0].count, 3u);
+  EXPECT_GE(snaps[0].max, snaps[0].min);
+  // The histogram's sum is exactly the sum of the span durations.
+  std::uint64_t span_sum = 0;
+  for (const obs::SpanEvent& e : obs::span_events()) {
+    span_sum += static_cast<std::uint64_t>(e.dur_ns);
+  }
+  EXPECT_EQ(snaps[0].sum, span_sum);
+}
+
+TEST_F(ObsTest, QuantilesMatchSortedVectorOracleWithinOneBucket) {
+  // Deterministic pseudo-random values spanning several octaves.
+  std::vector<std::uint64_t> values;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    values.push_back((state >> 33) % 2000000);
+  }
+  obs::enable();
+  for (std::uint64_t v : values) MERCED_HIST("quantiles", v);
+  obs::disable();
+  const std::vector<obs::HistogramSnapshot> snaps = obs::histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  const obs::HistogramSnapshot& h = snaps[0];
+
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const auto rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(values.size()))));
+    const std::uint64_t truth = values[rank - 1];
+    const std::uint64_t reported = obs::hist_quantile(h, q);
+    // The estimate never undershoots and lives in the same bucket as the
+    // true quantile — within one sub-bucket (<= 6.25% relative error).
+    EXPECT_GE(reported, truth) << "q=" << q;
+    EXPECT_EQ(obs::hist_bucket_index(reported), obs::hist_bucket_index(truth))
+        << "q=" << q;
+  }
+  EXPECT_EQ(obs::hist_quantile(h, 1.0), h.max);
+  EXPECT_EQ(obs::hist_quantile(obs::HistogramSnapshot{}, 0.5), 0u);
+}
+
+// Rewrites the numeric token that follows `anchor` (searching from `from`).
+std::string patch_number_after(std::string text, const std::string& anchor,
+                               std::size_t from, const std::string& digits) {
+  const std::size_t at = text.find(anchor, from);
+  EXPECT_NE(at, std::string::npos) << anchor;
+  const std::size_t begin = at + anchor.size();
+  std::size_t end = begin;
+  while (end < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[end])) != 0) {
+    ++end;
+  }
+  text.replace(begin, end - begin, digits);
+  return text;
+}
+
+TEST_F(ObsTest, ValidatorRejectsInconsistentHistogramSections) {
+  obs::enable();
+  { MERCED_SPAN("alpha"); }
+  { MERCED_SPAN("beta"); }
+  obs::disable();
+  obs::RunInfo run;
+  run.tool = "obs_test";
+  std::ostringstream os;
+  obs::MetricsRegistry::capture(run).write_json(os);
+  const std::string text = os.str();
+  ASSERT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(text)), "");
+  const std::size_t hists_at = text.find("\"histograms\"");
+  ASSERT_NE(hists_at, std::string::npos);
+
+  // p50 pushed above p99: quantile monotonicity violated.
+  const std::string bad_q =
+      patch_number_after(text, "\"p50\": ", hists_at, "99999999999");
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(bad_q)),
+            "histogram \"alpha\": quantiles not monotone");
+
+  // Count no longer equal to the bucket sum: the exactness contract broke.
+  const std::string bad_count =
+      patch_number_after(text, "\"count\": ", hists_at, "999");
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(bad_count)),
+            "histogram \"alpha\": bucket counts do not sum to count");
+
+  // Histograms must stay sorted by name (deterministic artifact order).
+  std::string unsorted = text;
+  const std::size_t name_at = unsorted.find("\"alpha\"", hists_at);
+  ASSERT_NE(name_at, std::string::npos);
+  unsorted.replace(name_at, 7, "\"gamma\"");
+  EXPECT_EQ(obs::validate_metrics_json(obs::JsonValue::parse(unsorted)),
+            "histograms: not sorted by name (\"beta\" after \"gamma\")");
 }
 
 TEST(JsonParserTest, ParsesScalarsArraysAndObjects) {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "runtime/work_steal.h"
 
@@ -247,6 +248,52 @@ TEST(WorkStealTest, ExceptionPropagatesAndPoolSurvives) {
   std::atomic<int> total{0};
   (void)parallel_for_stealing(pool, 10, [&](std::size_t, std::size_t) { total++; });
   EXPECT_EQ(total.load(), 10);
+}
+
+TEST(WorkStealTest, StealStatsCountTerminalScansAsFailures) {
+  // Every stealing run ends with each idle worker scanning all victims and
+  // coming back empty-handed at least once (the termination path), so
+  // steal_failures is nonzero whenever steal_attempts is — and both are
+  // diagnostics, never part of the determinism contract.
+  ThreadPool pool(4);
+  const StealStats stats =
+      parallel_for_stealing(pool, 64, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(stats.tasks_run, 64u);
+  if (stats.steal_attempts > 0) {
+    EXPECT_GE(stats.steal_failures, 1u);
+  }
+  // One successful scan loots a batch, so tasks_stolen is not bounded by
+  // steal_attempts — but failures are a subset of attempts by definition.
+  EXPECT_LE(stats.steal_failures, stats.steal_attempts);
+
+  // operator+= accumulates every field, including the new one.
+  StealStats sum;
+  sum += stats;
+  sum += stats;
+  EXPECT_EQ(sum.tasks_run, 2 * stats.tasks_run);
+  EXPECT_EQ(sum.steal_failures, 2 * stats.steal_failures);
+}
+
+TEST(WorkStealTest, StealStatsFlushToObsCounters) {
+  obs::disable();
+  obs::reset();
+  obs::enable();
+  StealStats stats;
+  {
+    ThreadPool pool(2);
+    stats = parallel_for_stealing(pool, 128, [](std::size_t, std::size_t) {});
+  }
+  obs::disable();
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedTasksRun), 128u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedTasksStolen), stats.tasks_stolen);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedStealAttempts),
+            stats.steal_attempts);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedStealFailures),
+            stats.steal_failures);
+  // The destroyed pool flushed its per-worker busy time: 128 tasks ran, so
+  // some nonzero wall time was spent inside bodies.
+  EXPECT_GT(obs::counter_value(obs::Counter::kPoolBusyNs), 0u);
+  obs::reset();
 }
 
 TEST(WorkStealTest, IndexAddressedResultsAreOrderIndependent) {

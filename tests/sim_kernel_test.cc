@@ -222,6 +222,15 @@ TEST(SimKernelTest, IntraCutShardingIsDeterministic) {
     expect_same_coverage(exhaustive_coverage(cone, opt), r1,
                          "jobs " + std::to_string(jobs));
   }
+
+  // The multi-chunk path surfaces scheduler diagnostics; the serial path
+  // leaves them zero. Neither is part of the coverage verdict (and
+  // expect_same_coverage above already ignored them).
+  EXPECT_EQ(r1.sched.tasks_run, 0u);
+  opt.jobs = 4;
+  const CoverageResult sharded = exhaustive_coverage(cone, opt);
+  EXPECT_GE(sharded.sched.tasks_run, 2u);
+  EXPECT_LE(sharded.sched.tasks_stolen, sharded.sched.tasks_run);
 }
 
 // The workspace eval path computes the same outputs as the allocating path,
@@ -499,6 +508,11 @@ TEST(SimKernelTest, SessionMeasureCoverageMatchesPerConeAndIsDeterministic) {
                            "jobs " + std::to_string(jobs) + " station " +
                                std::to_string(s));
     }
+    // The sweep surfaces its scheduler diagnostics: every (station x
+    // fault-range) shard ran exactly once.
+    EXPECT_GT(wide.last_steal_stats().tasks_run, 0u);
+    EXPECT_LE(wide.last_steal_stats().tasks_stolen,
+              wide.last_steal_stats().tasks_run);
   }
 }
 
