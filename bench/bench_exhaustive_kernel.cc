@@ -36,7 +36,15 @@
 //                        "lanes_swept": N, "fault_groups": N,
 //                        "events_popped": N, "events_suppressed": N,
 //                        "early_exits": N, "faults_dropped": N,
-//                        "faults_dropped_per_batch": x } },
+//                        "faults_dropped_per_batch": x },
+//                    "analyzed": { "analyze_seconds": s, "planned_seconds": s,
+//                        "swept": N, "copied": N, "inferred": N,
+//                        "untestable": N, "collapse_ratio": x,
+//                        "untestable_share": x, "collapsed_faults": N,
+//                        "proved_untestable": N, "residue_resims": N,
+//                        "sweep_speedup": x, "min_sweep_speedup": x,
+//                        "with_analysis_speedup": x,
+//                        "break_even_sweeps": x } },
 //     "iscas": { "circuit": ..., "lk": N, "cuts": N, "collapsed_faults": N,
 //                "naive_seconds": s, "kernel_seconds": s, "speedup": x,
 //                "simd_seconds": s, "simd_width": N, "simd_speedup_vs_u64": x },
@@ -48,7 +56,7 @@
 // kernel vs naive — so the artifact stays comparable across commits; the
 // SIMD gains are reported relative to that same u64 baseline.
 //
-// Three guardrails fail the bench (exit 1):
+// Four guardrails fail the bench (exit 1):
 //  * obs_overhead: the production sweep is timed (min of several reps) with
 //    the obs layer disabled — the null-sink path — and enabled; enabled
 //    must stay <= disabled * 1.02 + 2 ms, so instrumentation cost can
@@ -56,6 +64,16 @@
 //  * simd width: when a backend wider than 64 is supported, the widest
 //    backend must beat the u64 kernel by min_widest_speedup_vs_u64 — the
 //    lanes have to actually pay for themselves.
+//  * collapsed sweep: the planned sweep over the analyzer's FaultPlan —
+//    end-to-end, i.e. compacted kernel plus representative expansion plus
+//    residue re-simulation, producing the full per-fault verdict set —
+//    must beat the plain production sweep by min_sweep_speedup, and the
+//    planned verdicts must stay bit-identical to the naive oracle's. The
+//    one-time analyze_cut cost is reported alongside (analyze_seconds,
+//    with_analysis_speedup, break_even_sweeps — how many sweeps of the
+//    same CUT amortize the analysis) but is not part of the floor: the
+//    plan is computed once per CUT and reused across every session sweep,
+//    while this floor protects the per-sweep win (collapse x skip ratio).
 //  * jobs scaling: jobs_runs rows with jobs > hardware_concurrency are
 //    recorded but marked "within_cores": false and assert nothing (a
 //    1-core CI box cannot "speed up" at jobs=8 and pretending otherwise
@@ -90,6 +108,7 @@
 #include <thread>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "circuits/registry.h"
 #include "core/merced.h"
 #include "graph/circuit_graph.h"
@@ -395,6 +414,58 @@ int main(int argc, char** argv) {
   }
   const std::size_t best_width = simd_lanes(best_simd_width());
 
+  // Collapsed sweep: static analysis (analyze/analyze.h) shrinks the fault
+  // list before the kernel runs — equivalence classes copy their
+  // representative's verdict, dominance-skipped faults infer theirs from
+  // witnesses, statically-untestable faults are skipped outright. The
+  // planned sweep timed here is *end-to-end*: fault compaction, the
+  // kernel over the swept subset, representative expansion, witness
+  // inference and residue re-simulation, finishing with the full
+  // per-fault verdict set — which must stay bit-identical to the naive
+  // oracle. That end-to-end sweep must beat the plain production sweep by
+  // the floor below: the untestable faults the plan skips are exactly the
+  // ones the event kernel can never drop (no detection event ever fires),
+  // which is where the savings live. analyze_cut itself is timed and
+  // reported but sits outside the floor — the plan is computed once per
+  // CUT and reused across every subsequent sweep of it, so its cost
+  // amortizes (break_even_sweeps records how fast) while the per-sweep
+  // win is what the guardrail protects.
+  const double plain_s = width_runs.back().seconds;
+  analyze::CutAnalysis gen_analysis;
+  const double analyze_s = min_time_seconds(
+      kKernelReps, [&] { gen_analysis = analyze::analyze_cut(gen_cone, 0); });
+  CoverageOptions planned_opt = opt;
+  planned_opt.plan = &gen_analysis.plan;
+  CoverageResult planned_result;
+  const double planned_s = min_time_seconds(
+      kKernelReps, [&] { planned_result = exhaustive_coverage(gen_cone, planned_opt); });
+  if (!same_coverage(planned_result, naive_result)) {
+    std::cerr << "FATAL: collapsed planned CoverageResult differs from naive "
+                 "oracle on the generated cone\n";
+    return 1;
+  }
+  const double planned_speedup = plain_s / planned_s;
+  const double with_analysis_speedup = plain_s / (analyze_s + planned_s);
+  // Sweeps of the same CUT needed before analysis has paid for itself:
+  // analyze_s / (per-sweep saving). Infinite when the plan saves nothing.
+  const double sweep_saving = plain_s - planned_s;
+  const double break_even_sweeps =
+      sweep_saving > 0 ? analyze_s / sweep_saving : -1.0;
+  const double kMinSweepSpeedup = smoke ? 1.05 : 1.2;
+  std::cout << "  analyzed: " << analyze_s << " s analysis + " << planned_s
+            << " s planned sweep (" << gen_analysis.swept << " swept, "
+            << gen_analysis.copied << " copied, " << gen_analysis.inferred
+            << " inferred, " << gen_analysis.untestable
+            << " untestable; end-to-end sweep speedup " << planned_speedup
+            << "x, with analysis " << with_analysis_speedup
+            << "x, break-even " << break_even_sweeps << " sweeps)\n";
+  if (planned_speedup < kMinSweepSpeedup) {
+    std::cerr << "FATAL: collapsed-sweep end-to-end speedup " << planned_speedup
+              << "x is below the " << kMinSweepSpeedup
+              << "x floor vs the plain production sweep\n";
+    return 1;
+  }
+
   // Work-stealing sweep at 1/2/4/8 jobs on the production (widest) kernel:
   // identical result required at each.
   std::vector<Run> jobs_runs;
@@ -426,11 +497,24 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> counters_before = obs::counter_values();
   (void)exhaustive_coverage(gen_cone, opt);
   const std::vector<std::uint64_t> counters_after = obs::counter_values();
+  // Same delta idiom for the planned sweep, whose plan-resolution counters
+  // (analyze.*) land in the artifact's "analyzed" block.
+  (void)exhaustive_coverage(gen_cone, planned_opt);
+  const std::vector<std::uint64_t> counters_planned = obs::counter_values();
   if (!was_enabled) obs::disable();
   const auto counter_delta = [&](obs::Counter c) {
     const auto idx = static_cast<std::size_t>(c);
     return counters_after[idx] - counters_before[idx];
   };
+  const auto planned_delta = [&](obs::Counter c) {
+    const auto idx = static_cast<std::size_t>(c);
+    return counters_planned[idx] - counters_after[idx];
+  };
+  const std::uint64_t ac_collapsed =
+      planned_delta(obs::Counter::kAnalyzeCollapsedFaults);
+  const std::uint64_t ac_untestable =
+      planned_delta(obs::Counter::kAnalyzeProvedUntestable);
+  const std::uint64_t ac_residue = planned_delta(obs::Counter::kAnalyzeResidueResims);
   const std::uint64_t kc_ranges = counter_delta(obs::Counter::kKernelRangesRun);
   const std::uint64_t kc_batches = counter_delta(obs::Counter::kKernelBatches);
   const std::uint64_t kc_lanes = counter_delta(obs::Counter::kKernelLanesSwept);
@@ -616,7 +700,22 @@ int main(int argc, char** argv) {
        << ", \"events_suppressed\": " << kc_suppressed
        << ", \"early_exits\": " << kc_early
        << ", \"faults_dropped\": " << kc_dropped
-       << ", \"faults_dropped_per_batch\": " << kc_dropped_per_batch << "}"
+       << ", \"faults_dropped_per_batch\": " << kc_dropped_per_batch << "},\n"
+       << "    \"analyzed\": {\"analyze_seconds\": " << analyze_s
+       << ", \"planned_seconds\": " << planned_s
+       << ", \"swept\": " << gen_analysis.swept
+       << ", \"copied\": " << gen_analysis.copied
+       << ", \"inferred\": " << gen_analysis.inferred
+       << ", \"untestable\": " << gen_analysis.untestable
+       << ", \"collapse_ratio\": " << gen_analysis.collapse_ratio()
+       << ", \"untestable_share\": " << gen_analysis.untestable_share()
+       << ", \"collapsed_faults\": " << ac_collapsed
+       << ", \"proved_untestable\": " << ac_untestable
+       << ", \"residue_resims\": " << ac_residue
+       << ", \"sweep_speedup\": " << planned_speedup
+       << ", \"min_sweep_speedup\": " << kMinSweepSpeedup
+       << ", \"with_analysis_speedup\": " << with_analysis_speedup
+       << ", \"break_even_sweeps\": " << break_even_sweeps << "}"
        << "},\n  \"iscas\": {\"circuit\": \"" << circuit << "\", \"lk\": " << lk
        << ", \"cuts\": " << cones.size()
        << ", \"collapsed_faults\": " << iscas_faults
@@ -650,6 +749,7 @@ int main(int argc, char** argv) {
             << ", \"kernel_seconds\": " << kernel_s << ", \"speedup\": " << speedup
             << ", \"best_width\": " << best_width << ", \"widest_speedup_vs_u64\": "
             << (width_runs.empty() ? 0.0 : width_runs.back().speedup_vs_u64)
+            << ", \"sweep_speedup_planned\": " << planned_speedup
             << ", \"iscas_kernel_seconds\": " << iscas_kernel_s
             << ", \"iscas_speedup\": " << iscas_speedup
             << ", \"obs_ratio\": " << obs_ratio

@@ -7,6 +7,7 @@
 //              [--trace FILE] [--metrics FILE]
 //              [--verify] [--verify-json FILE] [--inject-defect KIND]
 //              [--prove-coverage] [--prove-json FILE]
+//              [--analyze] [--analyze-json FILE] [--no-collapse]
 //
 // <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
 // or a path to an ISCAS89 .bench file. Every flag accepts both
@@ -54,6 +55,21 @@
 // --prove-coverage); metrics_check --prove validates it. The proofs run on
 // the *post-injection* artifact, so --inject-defect skew-rho is flagged by
 // the equivalence checker as well as the structural verifier.
+//
+// --analyze runs the static netlist analyzer (DESIGN.md "Static analysis
+// layer") over every CUT: constant propagation, fault equivalence/
+// dominance collapsing, and implication-based untestability proofs — no
+// simulation involved. Every untestability claim is then cross-examined by
+// the SAT redundancy prover; a refutation or an out-of-budget unknown
+// exits 1 (an unsound static proof is a bug, never a warning). When a
+// traced/metered run sweeps coverage, the analysis plans are installed
+// into the session so the sweep only simulates each plan's kSweep faults
+// (verdicts stay bit-identical — the plan resolution expands copies,
+// inferences, and untestable skips back over the full universe).
+// --analyze-json FILE writes the merced-analyze-v1 artifact (implies
+// --analyze); metrics_check --analyze validates it. --no-collapse keeps
+// the untestability proofs but disables equivalence/dominance collapsing
+// (every testable fault is swept) — the A/B knob for the collapse engine.
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
@@ -62,6 +78,8 @@
 #include <string>
 #include <string_view>
 
+#include "analyze/analyze.h"
+#include "analyze/analyze_json.h"
 #include "circuits/registry.h"
 #include "core/merced.h"
 #include "core/ppet_session.h"
@@ -85,6 +103,7 @@ void usage() {
                "                  [--trace FILE] [--metrics FILE]\n"
                "                  [--verify] [--verify-json FILE] [--inject-defect KIND]\n"
                "                  [--prove-coverage] [--prove-json FILE]\n"
+               "                  [--analyze] [--analyze-json FILE] [--no-collapse]\n"
                "defect kinds (for --inject-defect): drop-cut, skew-rho\n"
                "bundled circuits:";
   for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
@@ -139,6 +158,9 @@ int main(int argc, char** argv) {
   std::optional<std::string> inject_defect;
   bool run_prove = false;
   std::optional<std::string> prove_json_path;
+  bool run_analyze = false;
+  std::optional<std::string> analyze_json_path;
+  bool no_collapse = false;
   SimdWidth simd = SimdWidth::kAuto;
   SimdWidth simd_resolved = SimdWidth::k64;
   try {
@@ -152,6 +174,15 @@ int main(int argc, char** argv) {
       }
       if (flag == "--prove-coverage") {
         run_prove = true;
+        continue;
+      }
+      if (flag == "--analyze") {
+        run_analyze = true;
+        continue;
+      }
+      if (flag == "--no-collapse") {
+        no_collapse = true;
+        run_analyze = true;
         continue;
       }
       // Accept "--flag=value" and "--flag value".
@@ -195,6 +226,9 @@ int main(int argc, char** argv) {
       } else if (flag == "--prove-json") {
         prove_json_path = std::string(value);
         run_prove = true;
+      } else if (flag == "--analyze-json") {
+        analyze_json_path = std::string(value);
+        run_analyze = true;
       } else if (flag == "--inject-defect") {
         if (value != "drop-cut" && value != "skew-rho") {
           throw BadFlag{"--inject-defect expects drop-cut or skew-rho, got '" +
@@ -323,6 +357,61 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Static analysis: the pre-simulation layer. Runs on the clean
+    // partitions (never the injected-defect view — the analyzer feeds the
+    // coverage sweep, not the verifier under test).
+    bool analyze_clean = true;
+    analyze::CircuitAnalysis analysis;
+    if (run_analyze) {
+      const CircuitGraph graph(netlist);
+      analyze::AnalyzeOptions aopt;
+      aopt.enable_collapse = !no_collapse;
+      analysis = analyze::analyze_circuit(graph, result.partitions, aopt);
+      std::cout << "  analyze: " << analysis.total_faults() << " faults -> "
+                << analysis.swept() << " swept, " << analysis.copied() << " copied, "
+                << analysis.inferred() << " inferred, " << analysis.untestable()
+                << " proved untestable (collapse ratio " << analysis.collapse_ratio()
+                << ", untestable share " << analysis.untestable_share() << ")\n";
+
+      // Every untestability claim faces the SAT redundancy prover. A
+      // refutation means the implication engine proved a detectable fault
+      // untestable — unsound, exit 1. An unconfirmable claim (solver
+      // budget exhausted) is equally fatal: an unverified proof is not a
+      // proof.
+      std::size_t checked = 0, confirmed = 0, unknown = 0, refuted = 0;
+      for (std::size_t ci = 0; ci < result.partitions.count(); ++ci) {
+        const analyze::CutAnalysis& cut = analysis.cuts[ci];
+        if (cut.untestable == 0) continue;
+        const ConeSimulator cone(graph, result.partitions, ci);
+        const std::vector<Fault> faults = cone.cluster_faults();
+        const sat::UntestableCrossCheck cc =
+            sat::cross_check_untestable(cone, faults, cut.untestable_fault);
+        checked += cc.checked;
+        confirmed += cc.confirmed;
+        unknown += cc.unknown;
+        refuted += cc.disagreements.size();
+        for (const std::size_t fi : cc.disagreements) {
+          std::cerr << "  analyze: SAT prover REFUTED static untestability of fault "
+                    << fi << " in cluster " << ci << "\n";
+        }
+      }
+      std::cout << "  analyze cross-check: " << confirmed << "/" << checked
+                << " untestable claims SAT-confirmed, " << unknown << " unknown, "
+                << refuted << " refuted\n";
+      if (refuted != 0 || unknown != 0) analyze_clean = false;
+
+      if (analyze_json_path) {
+        analyze::AnalyzeRunInfo run;
+        run.tool = "merced_cli";
+        run.circuit = target;
+        run.lk = config.lk;
+        std::ofstream out(*analyze_json_path);
+        if (!out) throw std::runtime_error("cannot write analyze file " + *analyze_json_path);
+        analyze::write_analyze_json(out, analysis, run);
+        std::cout << "  wrote analyze report: " << *analyze_json_path << "\n";
+      }
+    }
+
     if (observing) {
       // Sweep every CUT pseudo-exhaustively so the trace shows the
       // per-CUT coverage phase, not just the compile. Skipped (with a
@@ -335,15 +424,29 @@ int main(int argc, char** argv) {
         const CircuitGraph graph(netlist);
         PpetSession session(graph, result, /*psa_width=*/16, config.jobs);
         session.set_simd(simd_resolved);
+        if (run_analyze) {
+          // Collapsed sweep: only each plan's kSweep faults are simulated;
+          // plan resolution expands the rest. Verdicts are bit-identical
+          // to the plan-free sweep (fuzz oracle 6 enforces this).
+          std::vector<FaultPlan> plans;
+          plans.reserve(session.num_stations());
+          for (std::size_t s = 0; s < session.num_stations(); ++s) {
+            plans.push_back(analysis.cuts[session.station(s).partition_index].plan);
+          }
+          session.set_fault_plans(std::move(plans));
+        }
         const auto coverage = session.measure_coverage(kSweepCap);
-        std::size_t total = 0, detected = 0;
+        std::size_t total = 0, detected = 0, swept = 0;
         for (const CoverageResult& c : coverage) {
           total += c.total_faults;
           detected += c.detected;
+          swept += c.swept_faults;
         }
         std::cout << "  coverage sweep: " << detected << "/" << total
                   << " faults detected across " << coverage.size()
-                  << " stations (simd " << to_string(simd_resolved) << ")\n";
+                  << " stations (simd " << to_string(simd_resolved);
+        if (session.has_fault_plans()) std::cout << ", " << swept << " swept";
+        std::cout << ")\n";
         simd_used = simd_lanes(simd_resolved);
       } else {
         std::cout << "  coverage sweep: skipped (widest CUT has " << widest
@@ -371,7 +474,7 @@ int main(int argc, char** argv) {
         std::cout << "  wrote metrics: " << *metrics_path << "\n";
       }
     }
-    if (!verify_clean || !prove_clean) return 1;
+    if (!verify_clean || !prove_clean || !analyze_clean) return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -3,14 +3,17 @@
 // Usage:
 //   merced_fuzz [--seed N] [--runs N] [--time-budget SECONDS] [--jobs N]
 //               [--minimize on|off] [--corpus DIR] [--inject-defect KIND]
-//               [--report FILE] [--metrics FILE] [--replay]
+//               [--report FILE] [--metrics FILE] [--trace FILE]
+//               [--static-analysis on|off] [--replay]
 //
 // Default mode generates --runs structured inputs (seeded synthetic
 // circuits alternating with semantically mutated variants) and pushes each
 // through the full oracle stack: serial-vs-parallel compile parity, the
 // independent static verifier, event-driven-kernel vs naive coverage
-// conformance, PpetSession coverage vs direct fault simulation, and the
-// SAT equivalence miter of the retiming plan.
+// conformance, PpetSession coverage vs direct fault simulation, the SAT
+// equivalence miter of the retiming plan, and the static-analysis
+// three-way agreement check (static analyzer vs naive sweep vs SAT
+// redundancy prover; --static-analysis off disables just that oracle).
 // Failures are minimized (delta debugging preserving the exact failing
 // oracle signature) and stored in --corpus DIR, deduplicated by signature.
 // Exit is 0 when every run passed clean, 1 otherwise.
@@ -30,7 +33,10 @@
 //
 // --report FILE writes the merced-fuzz-v1 JSON campaign report
 // (metrics_check --fuzz validates it); --metrics FILE writes the standard
-// merced-metrics-v1 counters artifact of the campaign.
+// merced-metrics-v1 counters artifact of the campaign; --trace FILE writes
+// the Chrome-tracing span document, with one span per oracle
+// ("oracle_compile_parity" ... "oracle_static_analysis") so campaign wall
+// time is attributable per oracle.
 #include <charconv>
 #include <fstream>
 #include <iostream>
@@ -50,7 +56,8 @@ void usage() {
   std::cerr
       << "usage: merced_fuzz [--seed N] [--runs N] [--time-budget SECONDS] [--jobs N]\n"
          "                   [--minimize on|off] [--corpus DIR] [--inject-defect KIND]\n"
-         "                   [--report FILE] [--metrics FILE] [--replay]\n"
+         "                   [--report FILE] [--metrics FILE] [--trace FILE]\n"
+         "                   [--static-analysis on|off] [--replay]\n"
          "defect kinds (for --inject-defect): drop-cut, skew-rho, lane-mask, skew-tap\n";
 }
 
@@ -118,6 +125,7 @@ int main(int argc, char** argv) {
   bool replay = false;
   std::optional<std::string> report_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> trace_path;
   try {
     for (int i = 1; i < argc; ++i) {
       std::string_view flag = argv[i];
@@ -164,6 +172,17 @@ int main(int argc, char** argv) {
         report_path = std::string(value);
       } else if (flag == "--metrics") {
         metrics_path = std::string(value);
+      } else if (flag == "--trace") {
+        trace_path = std::string(value);
+      } else if (flag == "--static-analysis") {
+        if (value == "on") {
+          cfg.oracle.static_analysis = true;
+        } else if (value == "off") {
+          cfg.oracle.static_analysis = false;
+        } else {
+          throw BadFlag{"--static-analysis expects on or off, got '" +
+                        std::string(value) + "'"};
+        }
       } else {
         usage();
         return 2;
@@ -178,7 +197,7 @@ int main(int argc, char** argv) {
   try {
     if (replay) return run_replay(cfg);
 
-    if (metrics_path) obs::enable();
+    if (metrics_path || trace_path) obs::enable();
     const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
 
     std::cout << "merced_fuzz: seed " << cfg.seed << ", " << report.runs_executed << "/"
@@ -203,8 +222,14 @@ int main(int argc, char** argv) {
       fuzz::write_fuzz_json(out, report);
       std::cout << "  wrote fuzz report: " << *report_path << "\n";
     }
+    if (metrics_path || trace_path) obs::disable();
+    if (trace_path) {
+      std::ofstream out(*trace_path);
+      if (!out) throw std::runtime_error("cannot write trace file " + *trace_path);
+      obs::write_chrome_trace(out);
+      std::cout << "  wrote trace: " << *trace_path << "\n";
+    }
     if (metrics_path) {
-      obs::disable();
       obs::RunInfo run;
       run.tool = "merced_fuzz";
       run.circuit = "fuzz-campaign";

@@ -2,12 +2,14 @@
 //
 // Usage:
 //   metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]...
-//                 [--fuzz FILE]... [--prove FILE]... [--diff FILE]...
+//                 [--fuzz FILE]... [--prove FILE]... [--analyze FILE]...
+//                 [--diff FILE]...
 //
 // Parses each file with the obs JSON reader and validates it against the
 // corresponding schema (merced-metrics-v1 or -v2 for --metrics, the Chrome
 // trace event shape for --trace, merced-verify-v1 for --verify,
-// merced-fuzz-v1 for --fuzz, merced-prove-v1 for --prove, merced-diff-v1
+// merced-fuzz-v1 for --fuzz, merced-prove-v1 for --prove,
+// merced-analyze-v1 for --analyze, merced-diff-v1
 // for --diff). Prints one line per file;
 // exits non-zero on the first unreadable or invalid artifact. CI runs this against freshly produced
 // merced_cli and merced_fuzz output so a schema drift fails the build
@@ -17,6 +19,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/analyze_json.h"
 #include "fuzz/fuzz_json.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -46,7 +49,9 @@ int check(const std::string& kind, const std::string& path) {
                           : kind == "--diff"  ? merced::obs::validate_diff_json(doc)
                           : kind == "--fuzz"  ? merced::fuzz::validate_fuzz_json(doc)
                           : kind == "--prove" ? merced::sat::validate_prove_json(doc)
-                                              : merced::verify::validate_verify_json(doc);
+                          : kind == "--analyze"
+                              ? merced::analyze::validate_analyze_json(doc)
+                              : merced::verify::validate_verify_json(doc);
   if (!err.empty()) {
     std::cerr << "error: " << path << ": " << err << "\n";
     return 1;
@@ -60,7 +65,7 @@ int check(const std::string& kind, const std::string& path) {
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: metrics_check [--metrics FILE]... [--trace FILE]... [--verify FILE]... "
-      "[--fuzz FILE]... [--prove FILE]... [--diff FILE]...\n";
+      "[--fuzz FILE]... [--prove FILE]... [--analyze FILE]... [--diff FILE]...\n";
   if (argc < 3) {
     std::cerr << kUsage;
     return 2;
@@ -68,7 +73,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string kind = argv[i];
     if (kind != "--metrics" && kind != "--trace" && kind != "--verify" &&
-        kind != "--fuzz" && kind != "--prove" && kind != "--diff") {
+        kind != "--fuzz" && kind != "--prove" && kind != "--analyze" &&
+        kind != "--diff") {
       std::cerr << kUsage;
       return 2;
     }

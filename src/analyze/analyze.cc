@@ -1,0 +1,924 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netlist/netlist.h"
+#include "obs/obs.h"
+
+namespace merced::analyze {
+
+namespace {
+
+// Ternary values of the implication engine: 0/1 are the logic constants,
+// kTX is "unconstrained". SlotConst maps back out via const_of.
+constexpr std::uint8_t kT0 = 0, kT1 = 1, kTX = 2;
+
+SlotConst const_of(std::uint8_t t) noexcept {
+  return t == kT0 ? SlotConst::kZero : t == kT1 ? SlotConst::kOne : SlotConst::kFree;
+}
+
+/// The analyzer's flat mirror of one cone, rebuilt from ConeSimulator's
+/// public API (same value-slot space: ι inputs, then topo gates). Carries
+/// the one extra piece the kernel CSR drops: per-slot sink (gate, pin)
+/// pairs, which backward implications and the D-frontier walk need.
+struct ConeView {
+  std::size_t num_inputs = 0;
+  std::size_t num_gates = 0;
+  std::size_t num_slots = 0;
+  std::vector<NodeId> node;                  ///< per gate: graph node
+  std::vector<GateType> type;                ///< per gate
+  std::vector<std::uint32_t> fanin_offset;   ///< per gate, into fanin_slot
+  std::vector<std::uint32_t> fanin_slot;
+  std::vector<std::int32_t> observed_index;  ///< per gate: output index or -1
+  std::vector<std::uint8_t> single_sink;     ///< per gate: exactly one graph branch
+  std::vector<std::uint32_t> sink_offset;    ///< per slot, into sink_gate/sink_pin
+  std::vector<std::uint32_t> sink_gate;
+  std::vector<std::uint16_t> sink_pin;
+
+  std::size_t fanin_count(std::size_t t) const noexcept {
+    return fanin_offset[t + 1] - fanin_offset[t];
+  }
+  const std::uint32_t* fanins(std::size_t t) const noexcept {
+    return fanin_slot.data() + fanin_offset[t];
+  }
+  std::size_t out_slot(std::size_t t) const noexcept { return num_inputs + t; }
+};
+
+ConeView build_view(const ConeSimulator& cone) {
+  const CircuitGraph& g = cone.graph();
+  const Netlist& nl = g.netlist();
+  const auto inputs = cone.cut_inputs();
+  const auto gates = cone.gates();
+
+  ConeView v;
+  v.num_inputs = inputs.size();
+  v.num_gates = gates.size();
+  v.num_slots = inputs.size() + gates.size();
+
+  std::vector<std::int32_t> input_slot(g.num_nodes(), -1);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_slot[g.driver(inputs[i])] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::int32_t> pos(g.num_nodes(), -1);
+  for (std::size_t t = 0; t < gates.size(); ++t) {
+    pos[gates[t]] = static_cast<std::int32_t>(t);
+  }
+
+  v.node.assign(gates.begin(), gates.end());
+  v.type.reserve(gates.size());
+  v.fanin_offset.reserve(gates.size() + 1);
+  v.fanin_offset.push_back(0);
+  v.observed_index.assign(gates.size(), -1);
+  v.single_sink.assign(gates.size(), 0);
+  for (std::size_t t = 0; t < gates.size(); ++t) {
+    const Gate& gate = nl.gate(gates[t]);
+    v.type.push_back(gate.type);
+    for (GateId f : gate.fanins) {
+      if (input_slot[f] >= 0) {
+        v.fanin_slot.push_back(static_cast<std::uint32_t>(input_slot[f]));
+      } else if (pos[f] >= 0) {
+        v.fanin_slot.push_back(static_cast<std::uint32_t>(v.num_inputs) +
+                               static_cast<std::uint32_t>(pos[f]));
+      } else {
+        throw std::logic_error("analyze: fanin is neither CUT input nor cluster gate");
+      }
+    }
+    v.fanin_offset.push_back(static_cast<std::uint32_t>(v.fanin_slot.size()));
+    v.single_sink[t] = g.out_branches(gates[t]).size() == 1 ? 1 : 0;
+  }
+  const auto outputs = cone.observed_outputs();
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    const std::int32_t p = pos[g.driver(outputs[o])];
+    v.observed_index[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(o);
+  }
+
+  // Per-slot sink CSR (counting sort over fanin pins).
+  std::vector<std::uint32_t> counts(v.num_slots + 1, 0);
+  for (const std::uint32_t s : v.fanin_slot) ++counts[s + 1];
+  for (std::size_t s = 0; s < v.num_slots; ++s) counts[s + 1] += counts[s];
+  v.sink_offset = counts;
+  v.sink_gate.resize(v.fanin_slot.size());
+  v.sink_pin.resize(v.fanin_slot.size());
+  for (std::size_t t = 0; t < gates.size(); ++t) {
+    for (std::uint32_t k = v.fanin_offset[t]; k < v.fanin_offset[t + 1]; ++k) {
+      const std::uint32_t s = v.fanin_slot[k];
+      const std::uint32_t at = counts[s]++;
+      v.sink_gate[at] = static_cast<std::uint32_t>(t);
+      v.sink_pin[at] = static_cast<std::uint16_t>(k - v.fanin_offset[t]);
+    }
+  }
+  return v;
+}
+
+/// Ternary gate evaluation (the forward implication rule).
+template <typename GetPin>
+std::uint8_t eval_tern(GateType type, std::size_t nf, GetPin&& get) {
+  switch (type) {
+    case GateType::kConst0: return kT0;
+    case GateType::kConst1: return kT1;
+    case GateType::kBuf: return get(0);
+    case GateType::kNot: {
+      const std::uint8_t a = get(0);
+      return a == kTX ? kTX : a ^ 1;
+    }
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool any_x = false;
+      for (std::size_t k = 0; k < nf; ++k) {
+        const std::uint8_t a = get(k);
+        if (a == kT0) return type == GateType::kAnd ? kT0 : kT1;
+        if (a == kTX) any_x = true;
+      }
+      if (any_x) return kTX;
+      return type == GateType::kAnd ? kT1 : kT0;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool any_x = false;
+      for (std::size_t k = 0; k < nf; ++k) {
+        const std::uint8_t a = get(k);
+        if (a == kT1) return type == GateType::kOr ? kT1 : kT0;
+        if (a == kTX) any_x = true;
+      }
+      if (any_x) return kTX;
+      return type == GateType::kOr ? kT0 : kT1;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint8_t acc = type == GateType::kXor ? kT0 : kT1;
+      for (std::size_t k = 0; k < nf; ++k) {
+        const std::uint8_t a = get(k);
+        if (a == kTX) return kTX;
+        acc ^= a;
+      }
+      return acc;
+    }
+    case GateType::kMux: {
+      const std::uint8_t sel = get(0);
+      if (sel == kT0) return get(1);
+      if (sel == kT1) return get(2);
+      const std::uint8_t a = get(1), b = get(2);
+      return (a != kTX && a == b) ? a : kTX;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  throw std::logic_error("analyze: non-evaluable gate type in cone");
+}
+
+/// Controlling input value of the AND/OR families; false for types without
+/// one (which can never block a fault effect on a side input).
+bool controlling_value(GateType t, std::uint8_t& c) noexcept {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand: c = kT0; return true;
+    case GateType::kOr:
+    case GateType::kNor: c = kT1; return true;
+    default: return false;
+  }
+}
+
+/// Output value of an AND-family gate when all inputs sit at the
+/// non-controlling value (the "uncontrolled output").
+std::uint8_t uncontrolled_output(GateType t) noexcept {
+  return (t == GateType::kAnd || t == GateType::kNor) ? kT1 : kT0;
+}
+
+/// The FIRE-style implication engine: direct forward/backward implications
+/// over the cone's gate functions, a baseline of statically-proved
+/// constants, and learned contrapositive edges from single-assignment
+/// learning. One assume() call seeds a single (slot = value) assignment and
+/// propagates to fixpoint; a conflict proves the assignment unachievable by
+/// any input pattern.
+class ImplicationEngine {
+ public:
+  explicit ImplicationEngine(const ConeView& view)
+      : v_(&view), base_(view.num_slots, kTX), val_(view.num_slots, kTX) {}
+
+  std::uint8_t base(std::size_t slot) const noexcept { return base_[slot]; }
+
+  /// Installs a proved fact (the slot is constant) together with its full
+  /// implication closure into the baseline every assume() starts from.
+  void add_base_fact(std::size_t slot, std::uint8_t tv) {
+    if (base_[slot] == tv) return;
+    if (!assume(slot, tv)) {
+      // A fact cannot conflict: gate constraints are satisfiable for every
+      // input assignment. Reaching this means the caller's fact was wrong.
+      throw std::logic_error("analyze: baseline fact conflicts with the cone");
+    }
+    base_ = val_;
+  }
+
+  /// Single-assignment learning: for every free slot and value, propagate
+  /// once; a conflict proves the slot constant (folded into the baseline),
+  /// otherwise every implied literal contributes its contrapositive edge.
+  /// Returns the number of learned edges.
+  std::size_t learn() {
+    learned_.assign(2 * v_->num_slots, {});
+    std::size_t edges = 0;
+    for (std::size_t s = 0; s < v_->num_slots; ++s) {
+      for (std::uint8_t tv : {kT0, kT1}) {
+        if (base_[s] != kTX) break;
+        if (!assume(s, tv)) {
+          add_base_fact(s, tv ^ 1);
+          continue;
+        }
+        for (const std::uint32_t a : trail_) {
+          if (a == s) continue;
+          // (s = tv) ⇒ (a = val[a]), so (a = ¬val[a]) ⇒ (s = ¬tv).
+          learned_[lit(a, val_[a] ^ 1)].push_back(lit(s, tv ^ 1));
+        }
+      }
+    }
+    for (auto& list : learned_) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      edges += list.size();
+    }
+    return edges;
+  }
+
+  /// Seeds (slot = tv) on top of the constant baseline and propagates to
+  /// fixpoint. Returns false on conflict (the assignment is unachievable).
+  /// Implied values are readable through value() until the next assume().
+  bool assume(std::size_t slot, std::uint8_t tv) {
+    val_ = base_;
+    trail_.clear();
+    queue_.clear();
+    if (!enqueue(static_cast<std::uint32_t>(slot), tv)) return false;
+    return propagate();
+  }
+
+  std::uint8_t value(std::size_t slot) const noexcept { return val_[slot]; }
+
+ private:
+  static std::uint32_t lit(std::uint32_t slot, std::uint8_t tv) noexcept {
+    return 2 * slot + tv;
+  }
+
+  bool enqueue(std::uint32_t slot, std::uint8_t tv) {
+    const std::uint8_t cur = val_[slot];
+    if (cur == tv) return true;
+    if (cur != kTX) return false;  // conflict
+    val_[slot] = tv;
+    trail_.push_back(slot);
+    queue_.push_back(slot);
+    return true;
+  }
+
+  bool propagate() {
+    while (!queue_.empty()) {
+      const std::uint32_t s = queue_.back();
+      queue_.pop_back();
+      if (!learned_.empty()) {
+        for (const std::uint32_t l : learned_[lit(s, val_[s])]) {
+          if (!enqueue(l >> 1, static_cast<std::uint8_t>(l & 1))) return false;
+        }
+      }
+      for (std::uint32_t i = v_->sink_offset[s]; i < v_->sink_offset[s + 1]; ++i) {
+        if (!try_gate(v_->sink_gate[i])) return false;
+      }
+      if (s >= v_->num_inputs && !try_gate(s - static_cast<std::uint32_t>(v_->num_inputs))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Re-derives everything derivable at gate `t` from the current values:
+  /// the forward ternary evaluation plus the per-type backward rules. Every
+  /// rule is a *necessary* consequence, so soundness of untestability
+  /// proofs only needs each implemented rule to be correct, not complete.
+  bool try_gate(std::uint32_t t) {
+    const std::uint32_t* fin = v_->fanins(t);
+    const std::size_t nf = v_->fanin_count(t);
+    const auto out = static_cast<std::uint32_t>(v_->out_slot(t));
+    const GateType type = v_->type[t];
+
+    const std::uint8_t fv =
+        eval_tern(type, nf, [&](std::size_t k) { return val_[fin[k]]; });
+    if (fv != kTX && !enqueue(out, fv)) return false;
+    const std::uint8_t ov = val_[out];
+    if (ov == kTX) return true;
+
+    switch (type) {
+      case GateType::kBuf:
+        return enqueue(fin[0], ov);
+      case GateType::kNot:
+        return enqueue(fin[0], ov ^ 1);
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint8_t c = 0;
+        controlling_value(type, c);
+        if (ov == uncontrolled_output(type)) {
+          for (std::size_t k = 0; k < nf; ++k) {
+            if (!enqueue(fin[k], c ^ 1)) return false;
+          }
+          return true;
+        }
+        // Controlled output: if no input is at the controlling value yet
+        // and exactly one is free, that one must control.
+        std::int64_t unknown = -1;
+        for (std::size_t k = 0; k < nf; ++k) {
+          const std::uint8_t a = val_[fin[k]];
+          if (a == c) return true;  // already justified
+          if (a == kTX) {
+            if (unknown >= 0) return true;  // two candidates, nothing forced
+            unknown = static_cast<std::int64_t>(k);
+          }
+        }
+        if (unknown >= 0) return enqueue(fin[static_cast<std::size_t>(unknown)], c);
+        return true;  // all non-controlling: forward eval raised the conflict
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::int64_t unknown = -1;
+        std::uint8_t parity = ov ^ (type == GateType::kXnor ? 1 : 0);
+        for (std::size_t k = 0; k < nf; ++k) {
+          const std::uint8_t a = val_[fin[k]];
+          if (a == kTX) {
+            if (unknown >= 0) return true;
+            unknown = static_cast<std::int64_t>(k);
+          } else {
+            parity ^= a;
+          }
+        }
+        if (unknown >= 0) return enqueue(fin[static_cast<std::size_t>(unknown)], parity);
+        return true;
+      }
+      case GateType::kMux: {
+        const std::uint8_t sel = val_[fin[0]];
+        if (sel == kT0) return enqueue(fin[1], ov);
+        if (sel == kT1) return enqueue(fin[2], ov);
+        const std::uint8_t a = val_[fin[1]], b = val_[fin[2]];
+        if (a != kTX && a != ov) {
+          return enqueue(fin[0], kT1) && enqueue(fin[2], ov);
+        }
+        if (b != kTX && b != ov) {
+          return enqueue(fin[0], kT0) && enqueue(fin[1], ov);
+        }
+        return true;
+      }
+      default:
+        return true;  // constants: forward eval is the whole story
+    }
+  }
+
+  const ConeView* v_;
+  std::vector<std::uint8_t> base_;  ///< constant baseline (closure of facts)
+  std::vector<std::uint8_t> val_;   ///< working assignment of one assume()
+  std::vector<std::uint32_t> trail_;
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::vector<std::uint32_t>> learned_;  ///< per literal (2s+v)
+};
+
+/// Can a fault effect (D) pass through gate `t`? `has_d(k)` says whether
+/// fanin pin k carries a potential effect; D-free pins hold the *same*
+/// value in both machines (by induction over the frontier walk), so a
+/// D-free side pin implied to the controlling value kills every effect.
+/// Conservative in the detectable direction: multi-D gates always pass.
+template <typename HasD>
+bool passes_gate(const ConeView& v, const ImplicationEngine& eng, std::uint32_t t,
+                 HasD&& has_d) {
+  const std::uint32_t* fin = v.fanins(t);
+  const std::size_t nf = v.fanin_count(t);
+  const GateType type = v.type[t];
+  std::uint8_t c = 0;
+  if (controlling_value(type, c)) {
+    for (std::size_t k = 0; k < nf; ++k) {
+      if (!has_d(k) && eng.value(fin[k]) == c) return false;
+    }
+    return true;
+  }
+  if (type == GateType::kMux) {
+    if (has_d(0)) return true;
+    const std::uint8_t sel = eng.value(fin[0]);
+    if (sel == kT0) return has_d(1);
+    if (sel == kT1) return has_d(2);
+    return has_d(1) || has_d(2);
+  }
+  return true;  // NOT/BUF/XOR family: no controlling side value exists
+}
+
+/// Walks the D-frontier from the fault site forward under the excitation
+/// implications held by `eng`. Returns true when some observed output may
+/// see the effect (the fault is possibly detectable); false is a static
+/// proof of untestability.
+///
+/// The walk is a worklist over the sink CSR: whenever a slot gains D its
+/// sink gates are retried, so the cost is proportional to the fault's
+/// D-cone, not the whole cut. passes_gate is monotone in has_d (a D pin is
+/// exempt from the controlling-value check), so retry-on-new-fanin reaches
+/// the same fixpoint as a finalized topo scan. A slot carries D iff
+/// d_mark[slot] == gen; bumping gen resets the marking without a clear.
+bool effect_reaches_observed(const ConeView& v, const ImplicationEngine& eng,
+                             const Fault& fault, std::uint32_t t0,
+                             std::vector<std::uint32_t>& d_mark,
+                             std::uint32_t gen,
+                             std::vector<std::uint32_t>& work) {
+  if (fault.site == Fault::Site::kInputPin) {
+    // The effect enters through one pin of the faulty gate only; the other
+    // branches of the stem keep their good value.
+    if (!passes_gate(v, eng, t0, [&](std::size_t k) { return k == fault.pin; })) {
+      return false;
+    }
+  }
+  if (v.observed_index[t0] >= 0) return true;
+  const auto seed = static_cast<std::uint32_t>(v.out_slot(t0));
+  d_mark[seed] = gen;
+  work.clear();
+  work.push_back(seed);
+  while (!work.empty()) {
+    const std::uint32_t s = work.back();
+    work.pop_back();
+    for (std::uint32_t i = v.sink_offset[s]; i < v.sink_offset[s + 1]; ++i) {
+      const std::uint32_t t = v.sink_gate[i];
+      const auto o = static_cast<std::uint32_t>(v.out_slot(t));
+      if (d_mark[o] == gen) continue;
+      const std::uint32_t* fin = v.fanins(t);
+      if (!passes_gate(v, eng, t, [&](std::size_t k) { return d_mark[fin[k]] == gen; })) {
+        continue;
+      }
+      d_mark[o] = gen;
+      if (v.observed_index[t] >= 0) return true;
+      work.push_back(o);
+    }
+  }
+  return false;
+}
+
+std::uint32_t uf_find(std::vector<std::uint32_t>& parent, std::uint32_t x) noexcept {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+/// Union keeping the smaller fault index as root, so every class
+/// representative is its first member in cluster_faults() order.
+void uf_unite(std::vector<std::uint32_t>& parent, std::uint32_t a, std::uint32_t b) noexcept {
+  a = uf_find(parent, a);
+  b = uf_find(parent, b);
+  if (a == b) return;
+  if (b < a) std::swap(a, b);
+  parent[b] = a;
+}
+
+std::uint64_t fault_key(const Fault& f) noexcept {
+  return (static_cast<std::uint64_t>(f.gate) << 18) |
+         (static_cast<std::uint64_t>(f.site == Fault::Site::kInputPin) << 17) |
+         (static_cast<std::uint64_t>(f.pin) << 1) |
+         static_cast<std::uint64_t>(f.stuck_value ? 1 : 0);
+}
+
+constexpr std::uint32_t kNoFault = ~std::uint32_t{0};
+
+std::uint32_t saturating_add(std::uint32_t a, std::uint32_t b) noexcept {
+  const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+  return s >= kScoreInf ? kScoreInf : static_cast<std::uint32_t>(s);
+}
+
+/// SCOAP combinational controllabilities, one forward topo pass, then the
+/// observabilities in one reverse pass. Saturates at kScoreInf; slots the
+/// implication layer proved constant get the impossible side pinned to
+/// kScoreInf so scores and proofs tell one story.
+void scoap_scores(const ConeView& v, const ImplicationEngine& eng, CutAnalysis& out) {
+  out.cc0.assign(v.num_slots, kScoreInf);
+  out.cc1.assign(v.num_slots, kScoreInf);
+  out.co.assign(v.num_slots, kScoreInf);
+  for (std::size_t i = 0; i < v.num_inputs; ++i) {
+    out.cc0[i] = 1;
+    out.cc1[i] = 1;
+  }
+  for (std::size_t t = 0; t < v.num_gates; ++t) {
+    const std::uint32_t* fin = v.fanins(t);
+    const std::size_t nf = v.fanin_count(t);
+    const std::size_t o = v.out_slot(t);
+    std::uint32_t c0 = kScoreInf, c1 = kScoreInf;
+    switch (v.type[t]) {
+      case GateType::kConst0: c0 = 1; break;
+      case GateType::kConst1: c1 = 1; break;
+      case GateType::kBuf:
+        c0 = out.cc0[fin[0]];
+        c1 = out.cc1[fin[0]];
+        break;
+      case GateType::kNot:
+        c0 = out.cc1[fin[0]];
+        c1 = out.cc0[fin[0]];
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::uint32_t all = 0, one = kScoreInf;
+        for (std::size_t k = 0; k < nf; ++k) {
+          all = saturating_add(all, out.cc1[fin[k]]);
+          one = std::min(one, out.cc0[fin[k]]);
+        }
+        c1 = v.type[t] == GateType::kAnd ? all : one;
+        c0 = v.type[t] == GateType::kAnd ? one : all;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint32_t all = 0, one = kScoreInf;
+        for (std::size_t k = 0; k < nf; ++k) {
+          all = saturating_add(all, out.cc0[fin[k]]);
+          one = std::min(one, out.cc1[fin[k]]);
+        }
+        c1 = v.type[t] == GateType::kOr ? one : all;
+        c0 = v.type[t] == GateType::kOr ? all : one;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::uint32_t even = 0, odd = kScoreInf;  // cost of parity-0 / parity-1
+        for (std::size_t k = 0; k < nf; ++k) {
+          const std::uint32_t i0 = out.cc0[fin[k]], i1 = out.cc1[fin[k]];
+          const std::uint32_t ne = std::min(saturating_add(even, i0), saturating_add(odd, i1));
+          const std::uint32_t no = std::min(saturating_add(even, i1), saturating_add(odd, i0));
+          even = ne;
+          odd = no;
+        }
+        c0 = v.type[t] == GateType::kXor ? even : odd;
+        c1 = v.type[t] == GateType::kXor ? odd : even;
+        break;
+      }
+      case GateType::kMux: {
+        const std::uint32_t s0 = out.cc0[fin[0]], s1 = out.cc1[fin[0]];
+        c0 = std::min(saturating_add(s0, out.cc0[fin[1]]),
+                      saturating_add(s1, out.cc0[fin[2]]));
+        c1 = std::min(saturating_add(s0, out.cc1[fin[1]]),
+                      saturating_add(s1, out.cc1[fin[2]]));
+        break;
+      }
+      case GateType::kInput:
+      case GateType::kDff:
+        break;
+    }
+    out.cc0[o] = saturating_add(c0, c0 == kScoreInf ? 0 : 1);
+    out.cc1[o] = saturating_add(c1, c1 == kScoreInf ? 0 : 1);
+  }
+  // Pin impossible sides of proved constants.
+  for (std::size_t s = 0; s < v.num_slots; ++s) {
+    if (eng.base(s) == kT0) out.cc1[s] = kScoreInf;
+    if (eng.base(s) == kT1) out.cc0[s] = kScoreInf;
+  }
+
+  for (std::size_t t = 0; t < v.num_gates; ++t) {
+    if (v.observed_index[t] >= 0) out.co[v.out_slot(t)] = 0;
+  }
+  for (std::size_t ti = v.num_gates; ti-- > 0;) {
+    const std::uint32_t oc = out.co[v.out_slot(ti)];
+    if (oc == kScoreInf) continue;
+    const std::uint32_t* fin = v.fanins(ti);
+    const std::size_t nf = v.fanin_count(ti);
+    for (std::size_t k = 0; k < nf; ++k) {
+      std::uint32_t side = 0;
+      switch (v.type[ti]) {
+        case GateType::kAnd:
+        case GateType::kNand:
+          for (std::size_t j = 0; j < nf; ++j) {
+            if (j != k) side = saturating_add(side, out.cc1[fin[j]]);
+          }
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          for (std::size_t j = 0; j < nf; ++j) {
+            if (j != k) side = saturating_add(side, out.cc0[fin[j]]);
+          }
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          for (std::size_t j = 0; j < nf; ++j) {
+            if (j != k) {
+              side = saturating_add(side, std::min(out.cc0[fin[j]], out.cc1[fin[j]]));
+            }
+          }
+          break;
+        case GateType::kMux:
+          if (k == 0) {
+            // Observing the select needs the data inputs to differ.
+            side = std::min(saturating_add(out.cc0[fin[1]], out.cc1[fin[2]]),
+                            saturating_add(out.cc1[fin[1]], out.cc0[fin[2]]));
+          } else {
+            side = k == 1 ? out.cc0[fin[0]] : out.cc1[fin[0]];
+          }
+          break;
+        default:
+          break;  // NOT/BUF/constants: free side
+      }
+      const std::uint32_t cost = saturating_add(saturating_add(oc, side), 1);
+      out.co[fin[k]] = std::min(out.co[fin[k]], cost);
+    }
+  }
+}
+
+}  // namespace
+
+CutAnalysis analyze_cut(const ConeSimulator& cone, std::size_t cluster_index,
+                        const AnalyzeOptions& opt) {
+  MERCED_SPAN("analyze_cut", cluster_index);
+  const ConeView v = build_view(cone);
+
+  CutAnalysis out;
+  out.cluster_index = cluster_index;
+  out.num_inputs = v.num_inputs;
+  out.num_gates = v.num_gates;
+  out.num_outputs = cone.observed_outputs().size();
+
+  // --- constant/X propagation, then implication-discovered ties ---------
+  ImplicationEngine eng(v);
+  {
+    std::vector<std::uint8_t> konst(v.num_slots, kTX);
+    for (std::size_t t = 0; t < v.num_gates; ++t) {
+      const std::uint8_t fv = eval_tern(v.type[t], v.fanin_count(t), [&](std::size_t k) {
+        return konst[v.fanins(t)[k]];
+      });
+      konst[v.out_slot(t)] = fv;
+    }
+    for (std::size_t s = 0; s < v.num_slots; ++s) {
+      if (konst[s] != kTX) eng.add_base_fact(s, konst[s]);
+    }
+  }
+  if (opt.enable_untestable && v.num_slots <= opt.learn_max_slots) {
+    out.learned_implications = eng.learn();
+  }
+  out.constant.resize(v.num_slots);
+  for (std::size_t s = 0; s < v.num_slots; ++s) {
+    out.constant[s] = const_of(eng.base(s));
+    if (out.constant[s] != SlotConst::kFree) ++out.constant_slots;
+  }
+
+  // --- structural observability sweep (reverse reachability) ------------
+  out.observable.assign(v.num_gates, 0);
+  for (std::size_t ti = v.num_gates; ti-- > 0;) {
+    bool reach = v.observed_index[ti] >= 0;
+    const std::size_t o = v.out_slot(ti);
+    for (std::uint32_t i = v.sink_offset[o]; !reach && i < v.sink_offset[o + 1]; ++i) {
+      reach = out.observable[v.sink_gate[i]] != 0;
+    }
+    out.observable[ti] = reach ? 1 : 0;
+    if (!reach) ++out.unobservable_gates;
+  }
+
+  scoap_scores(v, eng, out);
+
+  // --- the fault universe ----------------------------------------------
+  const std::vector<Fault> faults = cone.cluster_faults();
+  const auto num_faults = static_cast<std::uint32_t>(faults.size());
+  out.total_faults = faults.size();
+
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(faults.size());
+  std::vector<std::int32_t> pos_of_node(cone.graph().num_nodes(), -1);
+  for (std::size_t t = 0; t < v.num_gates; ++t) {
+    pos_of_node[v.node[t]] = static_cast<std::int32_t>(t);
+  }
+  for (std::uint32_t i = 0; i < num_faults; ++i) index.emplace(fault_key(faults[i]), i);
+  const auto lookup = [&](NodeId gate, Fault::Site site, std::uint16_t pin,
+                          bool sv) -> std::uint32_t {
+    const auto it = index.find(fault_key(Fault{gate, site, pin, sv}));
+    return it == index.end() ? kNoFault : it->second;
+  };
+
+  // --- per-fault static untestability ------------------------------------
+  // Faults sharing an excitation literal (site slot, excite value) see the
+  // exact same implied assignment, so group them and run one assume() per
+  // distinct literal instead of one per fault; only the D-frontier walk is
+  // per fault. The verdicts are identical to the one-assume-per-fault loop.
+  out.untestable_fault.assign(faults.size(), 0);
+  if (opt.enable_untestable) {
+    struct ExciteJob {
+      std::uint32_t lit;  ///< 2 * site slot + excite value
+      std::uint32_t fault;
+      std::uint32_t t0;
+    };
+    std::vector<ExciteJob> excite_jobs;
+    excite_jobs.reserve(faults.size());
+    for (std::uint32_t i = 0; i < num_faults; ++i) {
+      const Fault& f = faults[i];
+      const auto t0 = static_cast<std::uint32_t>(pos_of_node[f.gate]);
+      if (!out.observable[t0]) {
+        out.untestable_fault[i] = 1;  // no path to any observed output
+        continue;
+      }
+      const std::size_t site = f.site == Fault::Site::kOutput
+                                   ? v.out_slot(t0)
+                                   : v.fanins(t0)[f.pin];
+      const std::uint8_t excite = f.stuck_value ? kT0 : kT1;
+      excite_jobs.push_back(
+          {static_cast<std::uint32_t>(2 * site + excite), i, t0});
+    }
+    std::sort(excite_jobs.begin(), excite_jobs.end(),
+              [](const ExciteJob& a, const ExciteJob& b) {
+                return a.lit != b.lit ? a.lit < b.lit : a.fault < b.fault;
+              });
+    std::vector<std::uint32_t> d_mark(v.num_slots, 0);
+    std::vector<std::uint32_t> d_work;
+    std::uint32_t d_gen = 0;
+    for (std::size_t j = 0; j < excite_jobs.size();) {
+      const std::uint32_t group_lit = excite_jobs[j].lit;
+      const bool excitable = eng.assume(group_lit >> 1,
+                                        static_cast<std::uint8_t>(group_lit & 1));
+      for (; j < excite_jobs.size() && excite_jobs[j].lit == group_lit; ++j) {
+        const ExciteJob& job = excite_jobs[j];
+        if (!excitable) {
+          out.untestable_fault[job.fault] = 1;  // site is tied to the stuck value
+        } else if (!effect_reaches_observed(v, eng, faults[job.fault], job.t0,
+                                            d_mark, ++d_gen, d_work)) {
+          out.untestable_fault[job.fault] = 1;  // every path is blocked
+        }
+      }
+    }
+  }
+
+  // --- equivalence classes over single-fanout chains ---------------------
+  std::vector<std::uint32_t> parent(faults.size());
+  for (std::uint32_t i = 0; i < num_faults; ++i) parent[i] = i;
+  const auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    if (a != kNoFault && b != kNoFault) uf_unite(parent, a, b);
+  };
+  if (opt.enable_collapse) {
+    for (std::uint32_t t = 0; t < v.num_gates; ++t) {
+      const std::uint32_t* fin = v.fanins(t);
+      const std::size_t nf = v.fanin_count(t);
+      for (std::size_t k = 0; k < nf; ++k) {
+        if (fin[k] < v.num_inputs) continue;
+        const std::uint32_t d = fin[k] - static_cast<std::uint32_t>(v.num_inputs);
+        if (!v.single_sink[d] || v.observed_index[d] >= 0) continue;
+        // The driver feeds exactly this pin and nothing observes it, so a
+        // stuck driver and the corresponding stuck output are the same
+        // faulty machine.
+        const NodeId gd = v.node[d], gt = v.node[t];
+        switch (v.type[t]) {
+          case GateType::kBuf:
+            for (const bool sv : {false, true}) {
+              unite(lookup(gt, Fault::Site::kOutput, 0, sv),
+                    lookup(gd, Fault::Site::kOutput, 0, sv));
+            }
+            break;
+          case GateType::kNot:
+            for (const bool sv : {false, true}) {
+              unite(lookup(gt, Fault::Site::kOutput, 0, sv),
+                    lookup(gd, Fault::Site::kOutput, 0, !sv));
+            }
+            break;
+          case GateType::kAnd:
+          case GateType::kNand:
+          case GateType::kOr:
+          case GateType::kNor: {
+            std::uint8_t c = 0;
+            controlling_value(v.type[t], c);
+            // Driver stuck at the controlling value ≡ controlled output.
+            const bool out_sv = uncontrolled_output(v.type[t]) == kT0;
+            unite(lookup(gt, Fault::Site::kOutput, 0, out_sv),
+                  lookup(gd, Fault::Site::kOutput, 0, c == kT1));
+            break;
+          }
+          default:
+            break;  // XOR/XNOR/MUX: no exact cross-gate equivalence
+        }
+      }
+    }
+  }
+
+  // Untestability is a property of the faulty machine, so it extends to the
+  // whole equivalence class.
+  std::vector<std::uint8_t> class_untestable(faults.size(), 0);
+  for (std::uint32_t i = 0; i < num_faults; ++i) {
+    if (out.untestable_fault[i]) class_untestable[uf_find(parent, i)] = 1;
+  }
+
+  // --- plan assembly -----------------------------------------------------
+  FaultPlan& plan = out.plan;
+  plan.action.assign(faults.size(), FaultPlan::Action::kSweep);
+  plan.rep.assign(faults.size(), 0);
+  for (std::uint32_t i = 0; i < num_faults; ++i) {
+    const std::uint32_t root = uf_find(parent, i);
+    if (root == i) ++out.classes;
+    if (class_untestable[root]) {
+      plan.action[i] = FaultPlan::Action::kUntestable;
+      out.untestable_fault[i] = 1;  // report the whole class as proved
+    } else if (root != i) {
+      plan.action[i] = FaultPlan::Action::kCopyRep;
+      plan.rep[i] = root;
+    }
+  }
+
+  // Dominance: the uncontrolled-output fault of an AND-family gate is
+  // detected by every test of any of its ¬c pin faults (and of a qualifying
+  // single-fanout driver's ¬c stem fault) — under an exhaustive sweep a
+  // detected witness therefore proves detection. Witnesses must stay
+  // kSweep; gates are visited in topo order so driver-side reps are
+  // already decided.
+  std::vector<std::vector<std::uint32_t>> witnesses(faults.size());
+  if (opt.enable_collapse) {
+    for (std::uint32_t t = 0; t < v.num_gates; ++t) {
+      std::uint8_t c = 0;
+      if (!controlling_value(v.type[t], c)) continue;
+      const bool a_sv = uncontrolled_output(v.type[t]) == kT1;
+      const std::uint32_t a = lookup(v.node[t], Fault::Site::kOutput, 0, a_sv);
+      if (a == kNoFault || plan.action[a] != FaultPlan::Action::kSweep) continue;
+      const std::uint32_t* fin = v.fanins(t);
+      const std::size_t nf = v.fanin_count(t);
+      std::vector<std::uint32_t>& w = witnesses[a];
+      const auto add_witness = [&](std::uint32_t j) {
+        if (j == kNoFault) return;
+        const std::uint32_t r = uf_find(parent, j);
+        if (r == a || plan.action[r] != FaultPlan::Action::kSweep) return;
+        if (std::find(w.begin(), w.end(), r) != w.end()) return;
+        if (w.size() < opt.max_witnesses) w.push_back(r);
+      };
+      for (std::size_t k = 0; k < nf; ++k) {
+        add_witness(lookup(v.node[t], Fault::Site::kInputPin,
+                           static_cast<std::uint16_t>(k), c == kT0));
+        if (fin[k] >= v.num_inputs) {
+          const std::uint32_t d = fin[k] - static_cast<std::uint32_t>(v.num_inputs);
+          if (v.single_sink[d] && v.observed_index[d] < 0) {
+            add_witness(lookup(v.node[d], Fault::Site::kOutput, 0, c == kT0));
+          }
+        }
+      }
+      if (!w.empty()) plan.action[a] = FaultPlan::Action::kInfer;
+    }
+  }
+
+  plan.witness_offset.assign(faults.size() + 1, 0);
+  for (std::uint32_t i = 0; i < num_faults; ++i) {
+    plan.witness_offset[i + 1] =
+        plan.witness_offset[i] + static_cast<std::uint32_t>(witnesses[i].size());
+    for (const std::uint32_t r : witnesses[i]) plan.witness.push_back(r);
+  }
+
+  for (const FaultPlan::Action a : plan.action) {
+    switch (a) {
+      case FaultPlan::Action::kSweep: ++out.swept; break;
+      case FaultPlan::Action::kCopyRep: ++out.copied; break;
+      case FaultPlan::Action::kInfer: ++out.inferred; break;
+      case FaultPlan::Action::kUntestable: ++out.untestable; break;
+    }
+  }
+  if (!plan.valid_for(faults.size())) {
+    throw std::logic_error("analyze: assembled FaultPlan failed validation");
+  }
+  return out;
+}
+
+CircuitAnalysis analyze_circuit(const CircuitGraph& graph, const Clustering& clustering,
+                                const AnalyzeOptions& opt) {
+  MERCED_SPAN("analyze_circuit");
+  CircuitAnalysis out;
+  out.cuts.reserve(clustering.count());
+  for (std::size_t ci = 0; ci < clustering.count(); ++ci) {
+    const ConeSimulator cone(graph, clustering, ci);
+    out.cuts.push_back(analyze_cut(cone, ci, opt));
+  }
+  return out;
+}
+
+std::size_t CircuitAnalysis::total_faults() const noexcept {
+  std::size_t n = 0;
+  for (const CutAnalysis& c : cuts) n += c.total_faults;
+  return n;
+}
+
+std::size_t CircuitAnalysis::swept() const noexcept {
+  std::size_t n = 0;
+  for (const CutAnalysis& c : cuts) n += c.swept;
+  return n;
+}
+
+std::size_t CircuitAnalysis::copied() const noexcept {
+  std::size_t n = 0;
+  for (const CutAnalysis& c : cuts) n += c.copied;
+  return n;
+}
+
+std::size_t CircuitAnalysis::inferred() const noexcept {
+  std::size_t n = 0;
+  for (const CutAnalysis& c : cuts) n += c.inferred;
+  return n;
+}
+
+std::size_t CircuitAnalysis::untestable() const noexcept {
+  std::size_t n = 0;
+  for (const CutAnalysis& c : cuts) n += c.untestable;
+  return n;
+}
+
+double CircuitAnalysis::collapse_ratio() const noexcept {
+  const std::size_t total = total_faults();
+  return total == 0 ? 0.0 : static_cast<double>(copied() + inferred()) / static_cast<double>(total);
+}
+
+double CircuitAnalysis::untestable_share() const noexcept {
+  const std::size_t total = total_faults();
+  return total == 0 ? 0.0 : static_cast<double>(untestable()) / static_cast<double>(total);
+}
+
+}  // namespace merced::analyze

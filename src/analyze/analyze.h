@@ -1,0 +1,141 @@
+// Static netlist analysis over a compiled CUT — no simulation, no SAT.
+//
+// The coverage pipeline sweeps every collapsed-naive fault with 2^ι
+// patterns and only learns a fault is redundant after the SAT prover fails
+// to find one. Classic ATPG practice inverts that order: purely structural
+// reasoning on the cone shrinks the fault list and proves untestability
+// before the hot path starts. This module implements that layer over the
+// ConeSimulator's public view of a cluster (value slots = [cut inputs |
+// topo gates], exactly the kernel's CSR space):
+//
+//  * constant/X propagation + structural sweep — ternary evaluation folds
+//    constant nets (Const0/Const1 sources and implication-discovered ties);
+//    a reverse reachability pass finds gates that cannot reach any
+//    observed output (unobservable stubs);
+//  * fault equivalence and dominance collapsing — output faults chain
+//    through single-fanout nets into the driving gate's output fault
+//    (identical faulty machines, so verdicts copy exactly), and the
+//    uncontrolled-output fault of an AND/NAND/OR/NOR gate is dominance-
+//    skipped with its pin/driver faults as witnesses (under an exhaustive
+//    sweep, a detected witness proves detection; an all-undetected witness
+//    set proves nothing and the fault is re-simulated);
+//  * a FIRE-style fault-independent implication engine — direct forward/
+//    backward implications plus single-assignment learning (contrapositive
+//    edges harvested from one propagation per literal). A fault is proved
+//    untestable when its excitation assignment conflicts (the site is
+//    tied), when its gate cannot reach an observed output, or when the
+//    excitation's implied side-input values block every propagation path
+//    (the D-frontier dies before any observed output);
+//  * SCOAP-like controllability/observability scores per value slot,
+//    saturating at kScoreInf.
+//
+// Everything lands in a FaultPlan (sim/fault.h) the kernels resolve to
+// verdicts bit-identical to the full sweep, and in a per-CUT report
+// serialized as the merced-analyze-v1 artifact (analyze_json.h). The
+// untestability claims are cross-checked fault-by-fault against the SAT
+// redundancy prover (sat/redundancy.h) by merced_cli --analyze and by
+// fuzz oracle 6 — a disagreement is a hard failure, never a warning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+#include "partition/clustering.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+
+namespace merced::analyze {
+
+/// SCOAP score saturation bound; a controllability of kScoreInf means "no
+/// input assignment produces this value" (e.g. CC1 of a tied-low net) and
+/// an observability of kScoreInf means "no path to an observed output".
+inline constexpr std::uint32_t kScoreInf = 1u << 24;
+
+struct AnalyzeOptions {
+  /// Slot-count cap above which single-assignment learning is skipped
+  /// (direct implications still run; learning is quadratic in slots).
+  std::size_t learn_max_slots = 4096;
+  /// Witness cap per dominance-skipped fault (more witnesses only improve
+  /// inference odds, at plan-size cost).
+  std::size_t max_witnesses = 8;
+  /// Equivalence + dominance collapsing (off = every testable fault is
+  /// swept; used for A/B and by the fuzzer to isolate engines).
+  bool enable_collapse = true;
+  /// Implication-based untestability proofs (off = only sweep/copy/infer).
+  bool enable_untestable = true;
+};
+
+/// Ternary good-machine value of a slot proved by static analysis.
+enum class SlotConst : std::uint8_t { kFree = 0, kZero = 1, kOne = 2 };
+
+/// The full static-analysis result of one CUT. Vectors indexed "per slot"
+/// follow the cone's value-slot space (ι inputs, then topo gates); "per
+/// fault" vectors follow cone.cluster_faults() order, as does `plan`.
+struct CutAnalysis {
+  std::size_t cluster_index = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_gates = 0;
+  std::size_t num_outputs = 0;
+
+  // --- constant/X propagation + structural sweep -----------------------
+  std::vector<SlotConst> constant;    ///< per slot
+  std::vector<std::uint8_t> observable;  ///< per gate: reaches an observed output
+  std::size_t constant_slots = 0;
+  std::size_t unobservable_gates = 0;
+  std::size_t learned_implications = 0;  ///< contrapositive edges harvested
+
+  // --- SCOAP-like scores -----------------------------------------------
+  std::vector<std::uint32_t> cc0;  ///< per slot: cost of driving it to 0
+  std::vector<std::uint32_t> cc1;  ///< per slot: cost of driving it to 1
+  std::vector<std::uint32_t> co;   ///< per slot: cost of observing it
+
+  // --- fault collapsing + untestability --------------------------------
+  std::size_t total_faults = 0;
+  std::size_t classes = 0;       ///< equivalence classes over the universe
+  std::size_t swept = 0;         ///< plan kSweep entries
+  std::size_t copied = 0;        ///< plan kCopyRep entries
+  std::size_t inferred = 0;      ///< plan kInfer entries
+  std::size_t untestable = 0;    ///< plan kUntestable entries
+  std::vector<std::uint8_t> untestable_fault;  ///< per fault: statically proved
+  FaultPlan plan;                ///< consumed by exhaustive_coverage/PpetSession
+
+  /// Share of the universe whose verdict needs no dedicated simulation.
+  double collapse_ratio() const noexcept {
+    return total_faults == 0
+               ? 0.0
+               : static_cast<double>(copied + inferred) / static_cast<double>(total_faults);
+  }
+  /// Share of the universe statically proved untestable.
+  double untestable_share() const noexcept {
+    return total_faults == 0
+               ? 0.0
+               : static_cast<double>(untestable) / static_cast<double>(total_faults);
+  }
+};
+
+/// Analyzes one compiled CUT. Pure function of the cone structure and the
+/// options — no simulation, no SAT, deterministic.
+CutAnalysis analyze_cut(const ConeSimulator& cone, std::size_t cluster_index,
+                        const AnalyzeOptions& opt = {});
+
+/// Per-circuit aggregate: one CutAnalysis per cluster, cluster order.
+struct CircuitAnalysis {
+  std::vector<CutAnalysis> cuts;
+
+  std::size_t total_faults() const noexcept;
+  std::size_t swept() const noexcept;
+  std::size_t copied() const noexcept;
+  std::size_t inferred() const noexcept;
+  std::size_t untestable() const noexcept;
+  double collapse_ratio() const noexcept;
+  double untestable_share() const noexcept;
+};
+
+/// Analyzes every cluster of `clustering` (register-only clusters yield
+/// degenerate empty entries, kept so indices line up with cluster indices).
+CircuitAnalysis analyze_circuit(const CircuitGraph& graph, const Clustering& clustering,
+                                const AnalyzeOptions& opt = {});
+
+}  // namespace merced::analyze

@@ -1,0 +1,219 @@
+#include "analyze/analyze_json.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace merced::analyze {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_analyze_json(std::ostream& os, const CircuitAnalysis& analysis,
+                        const AnalyzeRunInfo& run) {
+  std::uint64_t classes = 0, constant_slots = 0, unobservable = 0, learned = 0;
+  for (const CutAnalysis& c : analysis.cuts) {
+    classes += c.classes;
+    constant_slots += c.constant_slots;
+    unobservable += c.unobservable_gates;
+    learned += c.learned_implications;
+  }
+  const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+
+  os << "{\n  \"schema\": \"" << kAnalyzeSchema << "\",\n  \"run\": {\"tool\": \"";
+  json_escape(os, run.tool);
+  os << "\", \"circuit\": \"";
+  json_escape(os, run.circuit);
+  os << "\", \"lk\": " << run.lk << "},\n  \"summary\": {\"cuts\": "
+     << analysis.cuts.size() << ", \"total_faults\": " << analysis.total_faults()
+     << ", \"classes\": " << classes << ", \"swept\": " << analysis.swept()
+     << ", \"copied\": " << analysis.copied() << ", \"inferred\": " << analysis.inferred()
+     << ", \"untestable\": " << analysis.untestable()
+     << ", \"constant_slots\": " << constant_slots
+     << ", \"unobservable_gates\": " << unobservable
+     << ", \"learned_implications\": " << learned
+     << ", \"collapse_ratio\": " << analysis.collapse_ratio()
+     << ", \"untestable_share\": " << analysis.untestable_share() << "},\n  \"cuts\": [";
+  for (std::size_t i = 0; i < analysis.cuts.size(); ++i) {
+    const CutAnalysis& c = analysis.cuts[i];
+    if (i) os << ",";
+    os << "\n    {\"cluster\": " << c.cluster_index << ", \"inputs\": " << c.num_inputs
+       << ", \"gates\": " << c.num_gates << ", \"outputs\": " << c.num_outputs
+       << ", \"total_faults\": " << c.total_faults << ", \"classes\": " << c.classes
+       << ", \"swept\": " << c.swept << ", \"copied\": " << c.copied
+       << ", \"inferred\": " << c.inferred << ", \"untestable\": " << c.untestable
+       << ", \"constant_slots\": " << c.constant_slots
+       << ", \"unobservable_gates\": " << c.unobservable_gates
+       << ", \"learned_implications\": " << c.learned_implications << "}";
+  }
+  os << "\n  ]\n}\n";
+  os.precision(old_precision);
+}
+
+namespace {
+
+bool is_uint(const obs::JsonValue& v) {
+  return v.is_number() && v.as_number() >= 0 &&
+         v.as_number() == static_cast<double>(static_cast<std::uint64_t>(v.as_number()));
+}
+
+std::string check_member(const obs::JsonValue& obj, const char* key,
+                         obs::JsonValue::Kind kind, const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return std::string(where) + ": missing member \"" + key + "\"";
+  if (v->kind() != kind) {
+    return std::string(where) + ": member \"" + key + "\" has wrong type";
+  }
+  return "";
+}
+
+constexpr std::array<const char*, 12> kCutCounters = {
+    "inputs",         "gates",          "outputs",
+    "total_faults",   "classes",        "swept",
+    "copied",         "inferred",       "untestable",
+    "constant_slots", "unobservable_gates", "learned_implications",
+};
+
+}  // namespace
+
+std::string validate_analyze_json(const obs::JsonValue& doc) {
+  using Kind = obs::JsonValue::Kind;
+  if (!doc.is_object()) return "document is not an object";
+  if (std::string err = check_member(doc, "schema", Kind::kString, "root"); !err.empty()) {
+    return err;
+  }
+  if (doc.find("schema")->as_string() != kAnalyzeSchema) {
+    return "unknown schema \"" + doc.find("schema")->as_string() + "\"";
+  }
+
+  if (std::string err = check_member(doc, "run", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& run = *doc.find("run");
+  for (const char* key : {"tool", "circuit"}) {
+    if (std::string err = check_member(run, key, Kind::kString, "run"); !err.empty()) {
+      return err;
+    }
+  }
+  if (std::string err = check_member(run, "lk", Kind::kNumber, "run"); !err.empty()) {
+    return err;
+  }
+  if (!is_uint(*run.find("lk"))) return "run: member \"lk\" is not a non-negative integer";
+
+  if (std::string err = check_member(doc, "summary", Kind::kObject, "root"); !err.empty()) {
+    return err;
+  }
+  const obs::JsonValue& summary = *doc.find("summary");
+  for (const char* key : {"cuts", "total_faults", "classes", "swept", "copied",
+                          "inferred", "untestable", "constant_slots",
+                          "unobservable_gates", "learned_implications"}) {
+    if (std::string err = check_member(summary, key, Kind::kNumber, "summary");
+        !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*summary.find(key))) {
+      return std::string("summary: member \"") + key + "\" is not a non-negative integer";
+    }
+  }
+  for (const char* key : {"collapse_ratio", "untestable_share"}) {
+    if (std::string err = check_member(summary, key, Kind::kNumber, "summary");
+        !err.empty()) {
+      return err;
+    }
+    const double r = summary.find(key)->as_number();
+    if (!(r >= 0.0 && r <= 1.0)) {
+      return std::string("summary: member \"") + key + "\" is not in [0, 1]";
+    }
+  }
+
+  if (std::string err = check_member(doc, "cuts", Kind::kArray, "root"); !err.empty()) {
+    return err;
+  }
+  const auto& cuts = doc.find("cuts")->as_array();
+  std::array<std::uint64_t, kCutCounters.size()> sums{};
+  for (const obs::JsonValue& c : cuts) {
+    if (!c.is_object()) return "cuts: entry is not an object";
+    if (std::string err = check_member(c, "cluster", Kind::kNumber, "cut"); !err.empty()) {
+      return err;
+    }
+    if (!is_uint(*c.find("cluster"))) {
+      return "cut: member \"cluster\" is not a non-negative integer";
+    }
+    std::array<std::uint64_t, kCutCounters.size()> v{};
+    for (std::size_t k = 0; k < kCutCounters.size(); ++k) {
+      if (std::string err = check_member(c, kCutCounters[k], Kind::kNumber, "cut");
+          !err.empty()) {
+        return err;
+      }
+      if (!is_uint(*c.find(kCutCounters[k]))) {
+        return std::string("cut: member \"") + kCutCounters[k] +
+               "\" is not a non-negative integer";
+      }
+      v[k] = static_cast<std::uint64_t>(c.find(kCutCounters[k])->as_number());
+      sums[k] += v[k];
+    }
+    // Per-cut arithmetic: the plan actions partition the fault universe,
+    // every kSweep/kInfer entry is a class representative, and the
+    // structural counts stay within their spaces.
+    const std::uint64_t gates = v[1], total = v[3], classes = v[4];
+    const std::uint64_t swept = v[5], copied = v[6], inferred = v[7], unt = v[8];
+    if (swept + copied + inferred + unt != total) {
+      return "cut: plan actions do not partition \"total_faults\"";
+    }
+    if (classes > total) return "cut: \"classes\" exceeds \"total_faults\"";
+    if (swept + inferred > classes) {
+      return "cut: \"swept\" + \"inferred\" exceeds \"classes\"";
+    }
+    if (v[9] > v[0] + gates) return "cut: \"constant_slots\" exceeds the slot count";
+    if (v[10] > gates) return "cut: \"unobservable_gates\" exceeds \"gates\"";
+  }
+
+  // Cross-check the summary against the cuts array.
+  auto num = [&](const char* key) {
+    return static_cast<std::uint64_t>(summary.find(key)->as_number());
+  };
+  if (num("cuts") != cuts.size()) {
+    return "summary: \"cuts\" disagrees with the cuts array";
+  }
+  const std::array<const char*, 9> totals = {
+      "total_faults",   "classes",        "swept",
+      "copied",         "inferred",       "untestable",
+      "constant_slots", "unobservable_gates", "learned_implications",
+  };
+  for (std::size_t k = 0; k < totals.size(); ++k) {
+    if (num(totals[k]) != sums[k + 3]) {
+      return std::string("summary: \"") + totals[k] + "\" disagrees with the cuts array";
+    }
+  }
+  const std::uint64_t total = num("total_faults");
+  const double collapse =
+      total == 0 ? 0.0
+                 : static_cast<double>(num("copied") + num("inferred")) /
+                       static_cast<double>(total);
+  const double share = total == 0 ? 0.0
+                                  : static_cast<double>(num("untestable")) /
+                                        static_cast<double>(total);
+  if (std::abs(summary.find("collapse_ratio")->as_number() - collapse) > 1e-9) {
+    return "summary: \"collapse_ratio\" disagrees with the counts";
+  }
+  if (std::abs(summary.find("untestable_share")->as_number() - share) > 1e-9) {
+    return "summary: \"untestable_share\" disagrees with the counts";
+  }
+  return "";
+}
+
+}  // namespace merced::analyze

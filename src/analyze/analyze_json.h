@@ -1,0 +1,51 @@
+// merced-analyze-v1 — the static-analysis report as a versioned JSON
+// artifact, sibling of merced-metrics-v2 / merced-verify-v1 /
+// merced-prove-v1:
+//
+//   { "schema": "merced-analyze-v1",
+//     "run": {"tool": "...", "circuit": "...", "lk": N},
+//     "summary": {"cuts": N, "total_faults": N, "classes": N, "swept": N,
+//                 "copied": N, "inferred": N, "untestable": N,
+//                 "constant_slots": N, "unobservable_gates": N,
+//                 "learned_implications": N, "collapse_ratio": R,
+//                 "untestable_share": R},
+//     "cuts": [{"cluster": i, "inputs": I, "gates": G, "outputs": O,
+//               "total_faults": N, "classes": N, "swept": N, "copied": N,
+//               "inferred": N, "untestable": N, "constant_slots": N,
+//               "unobservable_gates": N, "learned_implications": N}, ...] }
+//
+// Cuts keep cluster order. The validator enforces the internal arithmetic
+// (per-cut plan actions partition the fault universe, every kSweep/kInfer
+// entry is a class representative so classes >= swept + inferred, summary
+// totals equal the per-cut sums, ratios recompute from the counts), so a
+// hand-edited or drifted artifact is rejected rather than trusted —
+// merced_cli --analyze writes these and metrics_check --analyze validates
+// them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analyze/analyze.h"
+#include "obs/json.h"
+
+namespace merced::analyze {
+
+inline constexpr const char* kAnalyzeSchema = "merced-analyze-v1";
+
+/// Identity of the analysis run (the "run" JSON object).
+struct AnalyzeRunInfo {
+  std::string tool;     ///< producing binary, e.g. "merced_cli"
+  std::string circuit;  ///< circuit name or .bench path
+  std::uint64_t lk = 0;
+};
+
+/// Serializes the versioned artifact described in the file comment.
+void write_analyze_json(std::ostream& os, const CircuitAnalysis& analysis,
+                        const AnalyzeRunInfo& run);
+
+/// Validates a parsed analyze artifact against merced-analyze-v1. Returns an
+/// empty string when valid, else a description of the first violation.
+std::string validate_analyze_json(const obs::JsonValue& doc);
+
+}  // namespace merced::analyze

@@ -133,10 +133,38 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
 
   std::vector<std::vector<Fault>> faults(stations_.size());
   std::vector<std::vector<std::uint8_t>> detected(stations_.size());
+  // With installed fault plans, only each station's kSweep faults enter the
+  // task grid; sweep_faults/sweep_index hold the compacted list and its
+  // mapping back into the universe (unused and empty when plan-free).
+  const bool planned = !plans_.empty();
+  std::vector<std::vector<Fault>> sweep_faults(stations_.size());
+  std::vector<std::vector<std::uint32_t>> sweep_index(stations_.size());
+  std::vector<std::vector<std::uint8_t>> sub_detected(stations_.size());
   for (std::size_t s = 0; s < stations_.size(); ++s) {
     faults[s] = cones_[s].cluster_faults();
     detected[s].assign(faults[s].size(), 0);
+    if (planned) {
+      if (!plans_[s].valid_for(faults[s].size())) {
+        throw std::invalid_argument(
+            "PpetSession::measure_coverage: fault plan does not fit station " +
+            std::to_string(s));
+      }
+      sweep_index[s].reserve(plans_[s].sweep_count());
+      for (std::size_t i = 0; i < faults[s].size(); ++i) {
+        if (plans_[s].action[i] == FaultPlan::Action::kSweep) {
+          sweep_faults[s].push_back(faults[s][i]);
+          sweep_index[s].push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      sub_detected[s].assign(sweep_faults[s].size(), 0);
+    }
   }
+  const auto station_faults = [&](std::size_t s) -> const std::vector<Fault>& {
+    return planned ? sweep_faults[s] : faults[s];
+  };
+  const auto station_detected = [&](std::size_t s) {
+    return planned ? sub_detected[s].data() : detected[s].data();
+  };
 
   // Two-level task grid: every station's fault list splits into
   // coverage_chunks(faults, jobs) contiguous ranges, and every
@@ -154,8 +182,9 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
   const std::size_t jobs = resolve_jobs(jobs_);
   std::vector<Item> items;
   for (std::size_t s = 0; s < stations_.size(); ++s) {
-    const std::size_t chunks = coverage_chunks(faults[s].size(), jobs);
-    for (const IndexRange& r : split_ranges(faults[s].size(), chunks)) {
+    const std::size_t n = station_faults(s).size();
+    const std::size_t chunks = coverage_chunks(n, jobs);
+    for (const IndexRange& r : split_ranges(n, chunks)) {
       items.push_back(Item{s, r, stations_[s].cycles * (r.end - r.begin)});
     }
   }
@@ -172,15 +201,33 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
       pool, items.size(), [&](std::size_t i, std::size_t slot) {
         const Item& it = items[i];
         MERCED_SPAN("cut_sweep", it.station);
-        exhaustive_detect_range_simd(cones_[it.station], faults[it.station],
-                                     it.range, detected[it.station].data(), width,
+        exhaustive_detect_range_simd(cones_[it.station], station_faults(it.station),
+                                     it.range, station_detected(it.station), width,
                                      workspaces[slot]);
       });
 
-  // Deterministic reduction in station order, then fault order.
+  // Plan resolution per station: scatter the compacted verdicts back into
+  // the universe, then infer/residue/copy (sim/cone.h resolve_fault_plan).
+  // Residue re-simulation runs per station on one thread — the residue is
+  // the rare all-witnesses-undetected tail, not a bulk workload.
   std::vector<CoverageResult> out(stations_.size());
+  if (planned) {
+    CoverageOptions residue_opt;
+    residue_opt.jobs = 1;
+    residue_opt.simd = simd_;
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      for (std::size_t j = 0; j < sweep_index[s].size(); ++j) {
+        detected[s][sweep_index[s][j]] = sub_detected[s][j];
+      }
+      resolve_fault_plan(cones_[s], plans_[s], faults[s], detected[s].data(),
+                         residue_opt, out[s]);
+    }
+  }
+
+  // Deterministic reduction in station order, then fault order.
   for (std::size_t s = 0; s < stations_.size(); ++s) {
     out[s].total_faults = faults[s].size();
+    if (!planned) out[s].swept_faults = faults[s].size();
     for (std::size_t fi = 0; fi < faults[s].size(); ++fi) {
       if (detected[s][fi]) {
         ++out[s].detected;
@@ -190,6 +237,21 @@ std::vector<CoverageResult> PpetSession::measure_coverage(std::size_t max_inputs
     }
   }
   return out;
+}
+
+void PpetSession::set_fault_plans(std::vector<FaultPlan> plans) {
+  if (!plans.empty() && plans.size() != stations_.size()) {
+    throw std::invalid_argument("PpetSession::set_fault_plans: expected " +
+                                std::to_string(stations_.size()) + " plans, got " +
+                                std::to_string(plans.size()));
+  }
+  for (std::size_t s = 0; s < plans.size(); ++s) {
+    if (!plans[s].valid_for(cones_[s].cluster_faults().size())) {
+      throw std::invalid_argument(
+          "PpetSession::set_fault_plans: plan does not fit station " + std::to_string(s));
+    }
+  }
+  plans_ = std::move(plans);
 }
 
 }  // namespace merced

@@ -63,6 +63,17 @@ class PpetSession {
   void set_simd(SimdWidth simd) noexcept { simd_ = simd; }
   SimdWidth simd() const noexcept { return simd_; }
 
+  /// Installs one static FaultPlan per station (station order; see
+  /// sim/fault.h), as produced by analyze::analyze_circuit over the same
+  /// clustering. measure_coverage then sweeps only each plan's kSweep
+  /// faults and resolves the rest (equivalence copy, dominance inference
+  /// with residue re-simulation, untestable skip) — verdicts stay
+  /// bit-identical to the plan-free sweep. Pass an empty vector to clear.
+  /// Throws std::invalid_argument if the count or any plan's shape does not
+  /// match the stations' fault universes.
+  void set_fault_plans(std::vector<FaultPlan> plans);
+  bool has_fault_plans() const noexcept { return !plans_.empty(); }
+
   std::size_t num_stations() const noexcept { return stations_.size(); }
   const CutStation& station(std::size_t i) const { return stations_.at(i); }
 
@@ -107,6 +118,7 @@ class PpetSession {
   unsigned psa_width_;
   std::size_t jobs_ = 1;
   SimdWidth simd_ = SimdWidth::kAuto;
+  std::vector<FaultPlan> plans_;         ///< per station, empty = plan-free
   mutable StealStats last_steal_stats_;  ///< measure_coverage is const
 };
 

@@ -4,12 +4,14 @@
 #include <span>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "core/merced.h"
 #include "core/ppet_session.h"
 #include "graph/circuit_graph.h"
 #include "obs/obs.h"
 #include "retiming/retime_graph.h"
 #include "sat/equivalence.h"
+#include "sat/redundancy.h"
 #include "sim/cone.h"
 #include "sim/fault.h"
 #include "verify/diagnostic.h"
@@ -101,6 +103,7 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
   const MercedConfig serial_config = make_config(opt, /*jobs=*/1);
   MercedResult result = compile(netlist, serial_config);
   {
+    MERCED_SPAN("oracle_compile_parity");
     const MercedResult parallel = compile(netlist, make_config(opt, opt.parallel_jobs));
     auto fail = [&](const char* field, std::string detail) -> OracleFailure {
       return {"compile-parity", std::string("compile-parity:") + field,
@@ -134,6 +137,7 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
 
   // ---- oracle 2: independent static verification ------------------------
   {
+    MERCED_SPAN("oracle_verify");
     const verify::Report report = verify_result(netlist, result, serial_config);
     for (const verify::Diagnostic& d : report.findings) {
       if (d.severity != verify::Severity::kError) continue;
@@ -141,7 +145,7 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
     }
   }
 
-  // ---- oracle 3 + 4 need per-CUT cones ----------------------------------
+  // ---- oracle 3 + 6 need per-CUT cones ----------------------------------
   const CircuitGraph graph(netlist);
   bool all_sweepable = result.partitions.count() > 0;
 
@@ -159,61 +163,130 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
     CoverageOptions naive_opt = kernel_opt;
     naive_opt.naive = true;
 
-    // 3a: the production event-driven kernel vs the naive oracle.
-    const CoverageResult kernel = exhaustive_coverage(cone, kernel_opt);
-    const CoverageResult naive = exhaustive_coverage(cone, naive_opt);
-    if (!same_coverage(kernel, naive)) {
-      return OracleFailure{
-          "kernel-conformance", "kernel-conformance:coverage",
-          "event-driven kernel and naive oracle disagree on " + cluster_tag(ci) + " (" +
-              std::to_string(kernel.detected) + " vs " + std::to_string(naive.detected) +
-              " of " + std::to_string(naive.total_faults) + " faults detected)"};
-    }
-
-    // 3b: a from-scratch masked sweep vs the naive verdicts. The lane-mask
-    // defect corrupts exactly this sweep's mask.
+    // The naive verdicts are the shared reference of oracles 3 and 6.
     const std::vector<Fault> faults = cone.cluster_faults();
-    const std::size_t n = cone.cut_inputs().size();
-    const std::uint64_t mask =
-        opt.defect == FuzzDefect::kLaneMask ? off_by_one_mask(n) : lane_mask(n);
-    const std::vector<std::uint8_t> sweep = masked_sweep_verdicts(cone, faults, mask);
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      const bool naive_detected =
-          std::find(naive.undetected.begin(), naive.undetected.end(), faults[i]) ==
-          naive.undetected.end();
-      if ((sweep[i] != 0) != naive_detected) {
+    CoverageResult naive;
+    {
+      MERCED_SPAN("oracle_kernel_conformance", ci);
+
+      // 3a: the production event-driven kernel vs the naive oracle.
+      const CoverageResult kernel = exhaustive_coverage(cone, kernel_opt);
+      naive = exhaustive_coverage(cone, naive_opt);
+      if (!same_coverage(kernel, naive)) {
         return OracleFailure{
-            "kernel-conformance", "kernel-conformance:mask",
-            "masked sweep and naive oracle disagree on fault " + std::to_string(i) +
-                " of " + cluster_tag(ci) + " (sweep says " +
-                (sweep[i] != 0 ? "detected" : "undetected") + ", naive says " +
-                (naive_detected ? "detected" : "undetected") + ")"};
+            "kernel-conformance", "kernel-conformance:coverage",
+            "event-driven kernel and naive oracle disagree on " + cluster_tag(ci) +
+                " (" + std::to_string(kernel.detected) + " vs " +
+                std::to_string(naive.detected) + " of " +
+                std::to_string(naive.total_faults) + " faults detected)"};
+      }
+
+      // 3b: a from-scratch masked sweep vs the naive verdicts. The lane-mask
+      // defect corrupts exactly this sweep's mask.
+      const std::size_t n = cone.cut_inputs().size();
+      const std::uint64_t mask =
+          opt.defect == FuzzDefect::kLaneMask ? off_by_one_mask(n) : lane_mask(n);
+      const std::vector<std::uint8_t> sweep = masked_sweep_verdicts(cone, faults, mask);
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        const bool naive_detected =
+            std::find(naive.undetected.begin(), naive.undetected.end(), faults[i]) ==
+            naive.undetected.end();
+        if ((sweep[i] != 0) != naive_detected) {
+          return OracleFailure{
+              "kernel-conformance", "kernel-conformance:mask",
+              "masked sweep and naive oracle disagree on fault " + std::to_string(i) +
+                  " of " + cluster_tag(ci) + " (sweep says " +
+                  (sweep[i] != 0 ? "detected" : "undetected") + ", naive says " +
+                  (naive_detected ? "detected" : "undetected") + ")"};
+        }
+      }
+
+      // 3c: every SIMD backend this host supports vs the naive oracle. The
+      // production run in 3a already exercised the auto-resolved width; this
+      // sweep pins each backend explicitly, so a lane-contract break in one
+      // instantiation (say the AVX2 word masks) cannot hide behind the
+      // widest backend being the one auto picks.
+      for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
+        if (!simd_width_supported(w)) continue;
+        CoverageOptions width_opt = kernel_opt;
+        width_opt.simd = w;
+        const CoverageResult wide = exhaustive_coverage(cone, width_opt);
+        if (!same_coverage(wide, naive)) {
+          return OracleFailure{
+              "kernel-conformance", "kernel-conformance:width",
+              "SIMD kernel at width " + std::to_string(simd_lanes(w)) +
+                  " and naive oracle disagree on " + cluster_tag(ci) + " (" +
+                  std::to_string(wide.detected) + " vs " +
+                  std::to_string(naive.detected) + " of " +
+                  std::to_string(naive.total_faults) + " faults detected)"};
+        }
       }
     }
 
-    // 3c: every SIMD backend this host supports vs the naive oracle. The
-    // production run in 3a already exercised the auto-resolved width; this
-    // sweep pins each backend explicitly, so a lane-contract break in one
-    // instantiation (say the AVX2 word masks) cannot hide behind the
-    // widest backend being the one auto picks.
-    for (SimdWidth w : {SimdWidth::k64, SimdWidth::k256, SimdWidth::k512}) {
-      if (!simd_width_supported(w)) continue;
-      CoverageOptions width_opt = kernel_opt;
-      width_opt.simd = w;
-      const CoverageResult wide = exhaustive_coverage(cone, width_opt);
-      if (!same_coverage(wide, naive)) {
+    // ---- oracle 6: static analyzer vs naive sweep vs SAT prover ----------
+    // Three independent judgments of the same fault universe must agree:
+    // the static analyzer's plan (pure structural reasoning), the naive
+    // sweep (pure simulation), and the SAT prover (pure deduction).
+    if (opt.static_analysis) {
+      MERCED_SPAN("oracle_static_analysis", ci);
+      const analyze::CutAnalysis an = analyze::analyze_cut(cone, ci);
+
+      // 6a: a statically-untestable fault the naive sweep detects is an
+      // unsound proof — the crispest possible signature, checked first.
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (an.untestable_fault[i] == 0) continue;
+        const bool naive_detected =
+            std::find(naive.undetected.begin(), naive.undetected.end(), faults[i]) ==
+            naive.undetected.end();
+        if (naive_detected) {
+          return OracleFailure{
+              "static-analysis", "static-analysis:untestable-detected",
+              "static analysis proved fault " + std::to_string(i) + " of " +
+                  cluster_tag(ci) + " untestable, but the naive sweep detects it"};
+        }
+      }
+
+      // 6b: the collapsed planned sweep must expand back to the naive
+      // verdicts bit-for-bit.
+      CoverageOptions planned_opt = kernel_opt;
+      planned_opt.plan = &an.plan;
+      const CoverageResult planned = exhaustive_coverage(cone, planned_opt);
+      if (!same_coverage(planned, naive)) {
         return OracleFailure{
-            "kernel-conformance", "kernel-conformance:width",
-            "SIMD kernel at width " + std::to_string(simd_lanes(w)) +
-                " and naive oracle disagree on " + cluster_tag(ci) + " (" +
-                std::to_string(wide.detected) + " vs " + std::to_string(naive.detected) +
-                " of " + std::to_string(naive.total_faults) + " faults detected)"};
+            "static-analysis", "static-analysis:collapse",
+            "collapsed planned sweep and naive oracle disagree on " + cluster_tag(ci) +
+                " (" + std::to_string(planned.detected) + " vs " +
+                std::to_string(naive.detected) + " of " +
+                std::to_string(naive.total_faults) + " faults detected)"};
+      }
+
+      // 6c: every untestability claim is cross-examined by the SAT
+      // redundancy prover. A refutation means the implication engine is
+      // unsound; an unknown means the proof cannot be independently
+      // confirmed — both are hard failures.
+      const sat::UntestableCrossCheck cc =
+          sat::cross_check_untestable(cone, faults, an.untestable_fault);
+      if (!cc.disagreements.empty()) {
+        return OracleFailure{
+            "static-analysis", "static-analysis:sat-refuted",
+            "SAT prover refuted " + std::to_string(cc.disagreements.size()) + " of " +
+                std::to_string(cc.checked) + " static untestability proofs on " +
+                cluster_tag(ci) + " (first at fault " +
+                std::to_string(cc.disagreements.front()) + ")"};
+      }
+      if (cc.unknown != 0) {
+        return OracleFailure{
+            "static-analysis", "static-analysis:sat-unknown",
+            "SAT prover exhausted its conflict budget on " + std::to_string(cc.unknown) +
+                " of " + std::to_string(cc.checked) + " static untestability proofs on " +
+                cluster_tag(ci)};
       }
     }
   }
 
   // ---- oracle 4: session coverage vs direct per-CUT fault sim -----------
   if (result.feasible && all_sweepable) {
+    MERCED_SPAN("oracle_session_coverage");
     PpetSession session(graph, result, /*psa_width=*/16, /*jobs=*/1);
     const std::vector<CoverageResult> coverage =
         session.measure_coverage(opt.coverage_max_inputs);
@@ -242,6 +315,7 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
   // corrupts exactly this oracle's warm-up tap formula — the plan stays
   // legal, so only the miter can notice.
   {
+    MERCED_SPAN("oracle_sat_equivalence");
     sat::EquivalenceOptions eq_opt;
     if (opt.defect == FuzzDefect::kSkewTap) eq_opt.tap_skew = 1;
     Retiming rho = result.retiming.rho;

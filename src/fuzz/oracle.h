@@ -27,7 +27,23 @@
 //                           cycle-exact equivalent to the original machine
 //                           by the SAT miter (sat/equivalence.h), an
 //                           engine that shares no code with the retiming
-//                           pipeline it judges.
+//                           pipeline it judges;
+//   6. static-analysis    — per cluster, the static analyzer
+//                           (analyze/analyze.h) produces a FaultPlan and
+//                           untestability verdicts; the oracle checks
+//                           three-way agreement: no statically-untestable
+//                           fault may be detected by the naive sweep, the
+//                           collapsed planned sweep must reproduce the
+//                           naive coverage bit-for-bit, and every
+//                           untestability claim must be confirmed by the
+//                           SAT redundancy prover (sat/redundancy.h) —
+//                           a refutation or an out-of-budget unknown is a
+//                           hard failure either way.
+//
+// Each oracle runs under its own trace span ("oracle_compile_parity",
+// "oracle_verify", "oracle_kernel_conformance", "oracle_session_coverage",
+// "oracle_sat_equivalence", "oracle_static_analysis") so a campaign traced
+// with merced_fuzz --trace attributes wall time per oracle.
 //
 // A failure carries a stable *signature* (oracle name + the most specific
 // stable detail, e.g. the verify rule ID) used for corpus deduplication
@@ -82,6 +98,8 @@ struct OracleOptions {
   std::size_t coverage_max_inputs = 10;  ///< skip coverage of wider CUTs
   std::uint64_t flow_seed = 0x9e3779b97f4a7c15ULL;
   FuzzDefect defect = FuzzDefect::kNone;
+  /// Oracle 6: static analyzer vs naive sweep vs SAT prover agreement.
+  bool static_analysis = true;
 };
 
 /// Runs the full stack; returns the first failure, or nullopt when the

@@ -45,6 +45,10 @@ inline std::size_t alloc_usable_size(void* p) noexcept {
 }
 }  // namespace merced::obs::detail
 
+// Replacement allocation functions must have external linkage and exactly
+// one definition per program — non-inline in a single-inclusion header is
+// the point, not an oversight.
+// NOLINTBEGIN(misc-definitions-in-headers)
 void* operator new(std::size_t size) {
   void* p = std::malloc(size == 0 ? 1 : size);
   if (p == nullptr) throw std::bad_alloc();
@@ -85,3 +89,4 @@ void operator delete(void* p, const std::nothrow_t&) noexcept {
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
   ::operator delete(p);
 }
+// NOLINTEND(misc-definitions-in-headers)

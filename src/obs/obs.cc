@@ -133,6 +133,9 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "prove.redundant_proved",
     "prove.vectors_replayed",
     "equiv.checks",
+    "analyze.collapsed_faults",
+    "analyze.proved_untestable",
+    "analyze.residue_resims",
 };
 
 void json_escape(std::ostream& os, const char* s) {

@@ -91,6 +91,9 @@ enum class Counter : std::uint32_t {
   kProveRedundantProved,    ///< undetected faults proved redundant (UNSAT)
   kProveVectorsReplayed,    ///< SAT detecting vectors confirmed on the kernel
   kEquivChecks,             ///< retiming equivalence miters solved
+  kAnalyzeCollapsedFaults,  ///< verdicts resolved by FaultPlan copy/inference
+  kAnalyzeProvedUntestable, ///< faults skipped as statically untestable
+  kAnalyzeResidueResims,    ///< dominance-skipped faults re-simulated
   kCount                    ///< sentinel, not a counter
 };
 

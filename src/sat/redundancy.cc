@@ -104,4 +104,67 @@ CutProof prove_cut_coverage(const CircuitGraph& graph, const Clustering& cluster
   return prove_cone_coverage(cone, cluster_index, opt);
 }
 
+FaultVerdict prove_fault(const ConeSimulator& cone, const Fault& fault,
+                         std::uint64_t max_conflicts) {
+  FaultVerdict v;
+  v.fault = fault;
+
+  Solver solver;
+  CircuitEncoder enc(solver);
+  const std::vector<Lit> inputs = encode_fault_miter(enc, cone, fault);
+  const Verdict verdict = solver.solve(max_conflicts);
+
+  switch (verdict) {
+    case Verdict::kUnsat:
+      v.proof = FaultVerdict::Proof::kRedundant;
+      break;
+    case Verdict::kSat:
+      v.proof = FaultVerdict::Proof::kDetectable;
+      v.pattern.reserve(inputs.size());
+      for (const Lit l : inputs) v.pattern.push_back(solver.model_holds(l));
+      v.replayed = detects_pattern(cone, fault, v.pattern);
+      break;
+    case Verdict::kUnknown:
+      break;
+  }
+
+  const SolverStats& s = solver.stats();
+  MERCED_COUNT(obs::Counter::kSatSolves, 1);
+  MERCED_COUNT(obs::Counter::kSatConflicts, s.conflicts);
+  MERCED_COUNT(obs::Counter::kSatDecisions, s.decisions);
+  MERCED_COUNT(obs::Counter::kSatPropagations, s.propagations);
+  MERCED_COUNT(obs::Counter::kSatLearnedClauses, s.learned_clauses);
+  return v;
+}
+
+UntestableCrossCheck cross_check_untestable(const ConeSimulator& cone,
+                                            std::span<const Fault> faults,
+                                            std::span<const std::uint8_t> untestable,
+                                            std::uint64_t max_conflicts) {
+  MERCED_SPAN("cross_check_untestable");
+  UntestableCrossCheck result;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (untestable[i] == 0) continue;
+    ++result.checked;
+    const FaultVerdict v = prove_fault(cone, faults[i], max_conflicts);
+    switch (v.proof) {
+      case FaultVerdict::Proof::kRedundant:
+        ++result.confirmed;
+        MERCED_COUNT(obs::Counter::kProveRedundantProved, 1);
+        break;
+      case FaultVerdict::Proof::kDetectable:
+        // The solver found a pattern the static proof says cannot exist —
+        // record it whether or not the kernel replay also confirms it (a
+        // non-replaying pattern would indict the kernel instead, equally
+        // fatal).
+        result.disagreements.push_back(i);
+        break;
+      case FaultVerdict::Proof::kUnknown:
+        ++result.unknown;
+        break;
+    }
+  }
+  return result;
+}
+
 }  // namespace merced::sat

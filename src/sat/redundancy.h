@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/circuit_graph.h"
@@ -84,5 +85,39 @@ CutProof prove_cut_coverage(const CircuitGraph& graph, const Clustering& cluster
 /// Same, over an already-built cone (avoids rebuilding the CSR form).
 CutProof prove_cone_coverage(const ConeSimulator& cone, std::size_t cluster_index,
                              const ProveOptions& opt = {});
+
+/// Single-fault proof: builds the good-vs-faulty miter over `cone` and runs
+/// CDCL. kRedundant carries an UNSAT certificate; kDetectable fills
+/// `pattern` and replays it on the event-driven kernel (`replayed`).
+/// `detected_by_sweep` and `consistent` are left default — this entry point
+/// has no sweep verdict to compare against. Publishes sat.* obs counters.
+FaultVerdict prove_fault(const ConeSimulator& cone, const Fault& fault,
+                         std::uint64_t max_conflicts = 1u << 20);
+
+/// Verdict of cross-checking one static-analysis untestability claim set
+/// against the SAT prover, fault by fault (see cross_check_untestable).
+struct UntestableCrossCheck {
+  std::size_t checked = 0;    ///< claims put to the solver
+  std::size_t confirmed = 0;  ///< UNSAT: the static proof stands
+  std::size_t unknown = 0;    ///< conflict budget exhausted (inconclusive)
+  /// Indices (into the fault list) of claims the solver REFUTED with a
+  /// replayed detecting pattern. Any entry is a hard bug in the static
+  /// analyzer — never a tolerable approximation.
+  std::vector<std::size_t> disagreements;
+
+  bool all_confirmed() const noexcept {
+    return disagreements.empty() && unknown == 0;
+  }
+};
+
+/// Proves every fault `i` of `faults` with `untestable[i] != 0` on the SAT
+/// miter, one solve per claim. The static analyzer only ever *skips* faults
+/// it proved untestable, so a SAT+replayed verdict here means the skip was
+/// wrong — callers treat a non-empty `disagreements` as a hard failure.
+/// `untestable` must be at least faults.size() long.
+UntestableCrossCheck cross_check_untestable(const ConeSimulator& cone,
+                                            std::span<const Fault> faults,
+                                            std::span<const std::uint8_t> untestable,
+                                            std::uint64_t max_conflicts = 1u << 20);
 
 }  // namespace merced::sat

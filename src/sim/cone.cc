@@ -408,7 +408,168 @@ CoverageResult naive_coverage(const ConeSimulator& cone) {
   return result;
 }
 
+/// The kernel-dispatch core shared by the plain and planned coverage paths:
+/// decides every verdict in `faults` into `detected` using the options'
+/// kernel selection (u64 oracle or SIMD production kernel) and job count.
+/// `detected` must have faults.size() zero-initialized slots.
+StealStats run_kernel_sweep(const ConeSimulator& cone, std::span<const Fault> faults,
+                            const CoverageOptions& opt, std::uint8_t* detected) {
+  StealStats sched;
+  if (faults.empty()) return sched;
+  const std::size_t jobs = resolve_jobs(opt.jobs);
+  if (opt.u64_oracle) {
+    // Legacy 64-lane, one-fault-at-a-time kernel: contiguous ranges on the
+    // shared-counter pool. Retained as the conformance oracle.
+    const auto ranges = split_ranges(faults.size(), jobs);
+    if (ranges.size() <= 1) {
+      exhaustive_detect_range(cone, faults, ranges[0], detected);
+    } else {
+      ThreadPool pool(ranges.size());
+      pool.parallel_for(ranges.size(), [&](std::size_t r) {
+        MERCED_SPAN("fault_range", r);
+        exhaustive_detect_range(cone, faults, ranges[r], detected);
+      });
+    }
+    return sched;
+  }
+  // Production path: SIMD fault-group kernel over work-stolen fault
+  // chunks. Per-fault verdict slots are disjoint across chunks and
+  // verdicts are chunk-independent, so the result is bit-identical for
+  // every jobs value and every width.
+  const SimdWidth width = resolve_simd_width(opt.simd);
+  const auto ranges = split_ranges(faults.size(), coverage_chunks(faults.size(), jobs));
+  if (ranges.size() <= 1) {
+    ConeSimulator::Workspace ws;
+    exhaustive_detect_range_simd(cone, faults, ranges[0], detected, width, ws);
+  } else {
+    ThreadPool pool(std::min(jobs, ranges.size()));
+    std::vector<ConeSimulator::Workspace> workspaces(pool.size());
+    sched = parallel_for_stealing(
+        pool, ranges.size(), [&](std::size_t r, std::size_t slot) {
+          MERCED_SPAN("fault_chunk", r);
+          exhaustive_detect_range_simd(cone, faults, ranges[r], detected,
+                                       width, workspaces[slot]);
+        });
+  }
+  return sched;
+}
+
+/// Resolves a FaultPlan: sweeps the compacted kSweep list, expands
+/// equivalence-class verdicts, applies dominance inference (re-simulating
+/// the residue whose witnesses all came back undetected), and skips
+/// statically-proved-untestable faults. The verdict triple
+/// (total, detected, undetected) is bit-identical to the plain sweep —
+/// see DESIGN.md "Static analysis layer" for the collapse theorem.
+CoverageResult planned_coverage(const ConeSimulator& cone, const CoverageOptions& opt,
+                                const std::vector<Fault>& faults) {
+  const FaultPlan& plan = *opt.plan;
+  if (!plan.valid_for(faults.size())) {
+    throw std::invalid_argument(
+        "exhaustive_coverage: FaultPlan does not fit this cone's fault universe");
+  }
+  using Action = FaultPlan::Action;
+
+  std::vector<Fault> sweep_faults;
+  std::vector<std::uint32_t> sweep_index;  // sweep slot -> universe index
+  sweep_faults.reserve(plan.sweep_count());
+  sweep_index.reserve(plan.sweep_count());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (plan.action[i] == Action::kSweep) {
+      sweep_faults.push_back(faults[i]);
+      sweep_index.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  CoverageResult result;
+  result.total_faults = faults.size();
+  std::vector<std::uint8_t> sub(sweep_faults.size(), 0);
+  result.sched = run_kernel_sweep(cone, sweep_faults, opt, sub.data());
+
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+  for (std::size_t s = 0; s < sweep_index.size(); ++s) detected[sweep_index[s]] = sub[s];
+
+  resolve_fault_plan(cone, plan, faults, detected.data(), opt, result);
+
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) {
+      ++result.detected;
+    } else {
+      result.undetected.push_back(faults[fi]);
+    }
+  }
+  return result;
+}
+
 }  // namespace
+
+void resolve_fault_plan(const ConeSimulator& cone, const FaultPlan& plan,
+                        std::span<const Fault> faults, std::uint8_t* detected,
+                        const CoverageOptions& residue_opt, CoverageResult& out) {
+  using Action = FaultPlan::Action;
+
+  // Dominance inference: a detected witness proves detection (the witness's
+  // detecting pattern is in the exhaustive pattern set and detects this
+  // fault too). All-undetected witnesses prove nothing — re-simulate.
+  std::vector<Fault> residue;
+  std::vector<std::uint32_t> residue_index;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (plan.action[i] != Action::kInfer) continue;
+    bool inferred = false;
+    for (std::uint32_t w = plan.witness_offset[i]; w < plan.witness_offset[i + 1]; ++w) {
+      if (detected[plan.witness[w]] != 0) {
+        inferred = true;
+        break;
+      }
+    }
+    if (inferred) {
+      detected[i] = 1;
+    } else {
+      residue.push_back(faults[i]);
+      residue_index.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (!residue.empty()) {
+    std::vector<std::uint8_t> rsub(residue.size(), 0);
+    run_kernel_sweep(cone, residue, residue_opt, rsub.data());
+    for (std::size_t r = 0; r < residue_index.size(); ++r) {
+      detected[residue_index[r]] = rsub[r];
+    }
+  }
+
+  // Equivalence expansion last: reps are kSweep or kInfer, both decided now.
+  std::size_t copied = 0, inferred_count = 0, untestable = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    switch (plan.action[i]) {
+      case Action::kCopyRep:
+        detected[i] = detected[plan.rep[i]];
+        ++copied;
+        break;
+      case Action::kInfer:
+        ++inferred_count;
+        break;
+      case Action::kUntestable:
+        ++untestable;
+        break;
+      case Action::kSweep:
+        break;
+    }
+  }
+
+  out.swept_faults = plan.sweep_count();
+  out.collapsed_faults = copied + (inferred_count - residue.size());
+  out.proved_untestable = untestable;
+  out.residue_resims = residue.size();
+  // One KernelCounters flush for the whole resolution, mirroring the
+  // per-range flush style of the kernels themselves.
+  ConeSimulator::Workspace::KernelCounters plan_counters;
+  plan_counters.collapsed_faults = out.collapsed_faults;
+  plan_counters.proved_untestable = out.proved_untestable;
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kAnalyzeCollapsedFaults, plan_counters.collapsed_faults);
+    obs::add(obs::Counter::kAnalyzeProvedUntestable, plan_counters.proved_untestable);
+    obs::add(obs::Counter::kAnalyzeResidueResims, out.residue_resims);
+  }
+}
 
 void exhaustive_detect_range(const ConeSimulator& cone, std::span<const Fault> faults,
                              IndexRange range, std::uint8_t* detected) {
@@ -470,47 +631,15 @@ CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOpti
   if (opt.naive) return naive_coverage(cone);
 
   const std::vector<Fault> faults = cone.cluster_faults();
+  if (opt.plan != nullptr) {
+    return planned_coverage(cone, opt, faults);
+  }
+
   CoverageResult result;
   result.total_faults = faults.size();
+  result.swept_faults = faults.size();
   std::vector<std::uint8_t> detected(faults.size(), 0);
-
-  const std::size_t jobs = resolve_jobs(opt.jobs);
-  if (opt.u64_oracle) {
-    // Legacy 64-lane, one-fault-at-a-time kernel: contiguous ranges on the
-    // shared-counter pool. Retained as the conformance oracle.
-    const auto ranges = split_ranges(faults.size(), jobs);
-    if (ranges.size() <= 1) {
-      if (!ranges.empty()) exhaustive_detect_range(cone, faults, ranges[0], detected.data());
-    } else {
-      ThreadPool pool(ranges.size());
-      pool.parallel_for(ranges.size(), [&](std::size_t r) {
-        MERCED_SPAN("fault_range", r);
-        exhaustive_detect_range(cone, faults, ranges[r], detected.data());
-      });
-    }
-  } else {
-    // Production path: SIMD fault-group kernel over work-stolen fault
-    // chunks. Per-fault verdict slots are disjoint across chunks and
-    // verdicts are chunk-independent, so the result is bit-identical for
-    // every jobs value and every width.
-    const SimdWidth width = resolve_simd_width(opt.simd);
-    const auto ranges = split_ranges(faults.size(), coverage_chunks(faults.size(), jobs));
-    if (ranges.size() <= 1) {
-      ConeSimulator::Workspace ws;
-      if (!ranges.empty()) {
-        exhaustive_detect_range_simd(cone, faults, ranges[0], detected.data(), width, ws);
-      }
-    } else {
-      ThreadPool pool(std::min(jobs, ranges.size()));
-      std::vector<ConeSimulator::Workspace> workspaces(pool.size());
-      result.sched = parallel_for_stealing(
-          pool, ranges.size(), [&](std::size_t r, std::size_t slot) {
-            MERCED_SPAN("fault_chunk", r);
-            exhaustive_detect_range_simd(cone, faults, ranges[r], detected.data(),
-                                         width, workspaces[slot]);
-          });
-    }
-  }
+  result.sched = run_kernel_sweep(cone, faults, opt, detected.data());
 
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     if (detected[fi]) {

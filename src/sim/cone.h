@@ -96,6 +96,9 @@ class ConeSimulator {
       std::uint64_t lanes_swept = 0;       ///< pattern lanes swept (batches x width)
       std::uint64_t fault_groups = 0;      ///< same-gate groups probed by one wave
       std::uint64_t faults_dropped = 0;    ///< faults detected (SIMD kernel)
+      std::uint64_t collapsed_faults = 0;  ///< verdicts resolved without simulation
+                                           ///  (FaultPlan copy/inference)
+      std::uint64_t proved_untestable = 0; ///< faults skipped as statically untestable
     };
     KernelCounters counters;
 
@@ -207,6 +210,13 @@ struct CoverageResult {
     return total_faults == 0 ? 1.0 : static_cast<double>(detected) / total_faults;
   }
   std::vector<Fault> undetected;  ///< combinationally redundant faults
+  /// Static-plan resolution stats (all zero when no FaultPlan was supplied).
+  /// NOT part of the verdict: same_coverage-style comparisons ignore them —
+  /// the bit-identity contract is about total/detected/undetected only.
+  std::size_t swept_faults = 0;      ///< faults actually simulated
+  std::size_t collapsed_faults = 0;  ///< verdicts copied or inferred, no simulation
+  std::size_t proved_untestable = 0; ///< faults skipped as statically untestable
+  std::size_t residue_resims = 0;    ///< kInfer faults re-simulated individually
   /// Scheduler diagnostics of the sweep that produced this result (zeros on
   /// the single-chunk and oracle paths, which never steal). NOT part of the
   /// verdict: same_coverage-style comparisons and the bit-identical
@@ -232,9 +242,33 @@ struct CoverageOptions {
   /// (exhaustive_detect_range). Kept as the second conformance oracle; the
   /// SIMD fault-group kernel must match it verdict-for-verdict.
   bool u64_oracle = false;
+  /// Optional static sweep plan over this cone's cluster_faults() universe
+  /// (see FaultPlan in sim/fault.h). When set, only the plan's kSweep
+  /// faults are simulated; the remaining verdicts are expanded back
+  /// (equivalence copy, dominance inference with residue re-simulation,
+  /// untestable skip), producing total/detected/undetected bit-identical
+  /// to the full sweep. The plan must outlive the call; an invalid plan
+  /// throws. Ignored on the naive oracle path, which stays the
+  /// plan-free conformance reference.
+  const FaultPlan* plan = nullptr;
 };
 
 CoverageResult exhaustive_coverage(const ConeSimulator& cone, const CoverageOptions& opt);
+
+/// Post-sweep FaultPlan resolution, shared by exhaustive_coverage and
+/// PpetSession::measure_coverage. On entry `detected` (slots indexed like
+/// `faults`, which must be the cone's cluster_faults() universe) holds the
+/// sweep verdicts of the plan's kSweep entries and zeros everywhere else.
+/// Resolves the remaining actions in place: dominance inference (witness
+/// OR; the all-undetected residue is re-simulated through `residue_opt`'s
+/// kernel selection), then equivalence copies, with untestable slots left
+/// undetected. Fills the stats fields of `out` (swept_faults,
+/// collapsed_faults, proved_untestable, residue_resims — total/detected/
+/// undetected are untouched) and flushes the analyze.* obs counters. The
+/// plan must be valid_for(faults.size()); callers validate before sweeping.
+void resolve_fault_plan(const ConeSimulator& cone, const FaultPlan& plan,
+                        std::span<const Fault> faults, std::uint8_t* detected,
+                        const CoverageOptions& residue_opt, CoverageResult& out);
 
 /// Number of chunks a fault list is split into for the work-stealing sweep:
 /// 1 for jobs <= 1, else clamped to [jobs, 4*jobs] targeting >= 64 faults

@@ -60,4 +60,42 @@ std::vector<Fault> collapse_faults(const Netlist& nl, std::vector<Fault> faults)
   return kept;
 }
 
+std::size_t FaultPlan::sweep_count() const noexcept {
+  std::size_t n = 0;
+  for (const Action a : action) {
+    if (a == Action::kSweep) ++n;
+  }
+  return n;
+}
+
+bool FaultPlan::valid_for(std::size_t num_faults) const noexcept {
+  if (action.size() != num_faults || rep.size() != num_faults) return false;
+  if (witness_offset.size() != num_faults + 1 || witness_offset[0] != 0) return false;
+  if (witness_offset[num_faults] != witness.size()) return false;
+  for (std::size_t i = 0; i < num_faults; ++i) {
+    if (witness_offset[i] > witness_offset[i + 1]) return false;
+    switch (action[i]) {
+      case Action::kSweep:
+      case Action::kUntestable:
+        break;
+      case Action::kCopyRep: {
+        const std::uint32_t r = rep[i];
+        if (r >= num_faults || r == i) return false;
+        if (action[r] != Action::kSweep && action[r] != Action::kInfer) return false;
+        break;
+      }
+      case Action::kInfer: {
+        if (witness_offset[i] == witness_offset[i + 1]) return false;
+        for (std::uint32_t w = witness_offset[i]; w < witness_offset[i + 1]; ++w) {
+          if (witness[w] >= num_faults || action[witness[w]] != Action::kSweep) {
+            return false;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace merced

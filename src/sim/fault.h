@@ -37,4 +37,37 @@ std::vector<Fault> enumerate_faults(const Netlist& netlist);
 /// that still detects the same fault set.
 std::vector<Fault> collapse_faults(const Netlist& netlist, std::vector<Fault> faults);
 
+/// A static sweep plan over one CUT's cluster_faults() universe, produced
+/// by the analyzer (src/analyze) and consumed by exhaustive_coverage /
+/// PpetSession::measure_coverage. Every entry prescribes how that fault's
+/// verdict is obtained; the plan's soundness contract is that resolving it
+/// yields verdicts bit-identical to sweeping the full list:
+///
+///  * kSweep      — simulate the fault (it is on the compacted sweep list);
+///  * kCopyRep    — the fault is functionally equivalent (as a faulty
+///                  machine) to fault rep[i]; copy that verdict;
+///  * kUntestable — statically proved untestable: verdict is "undetected"
+///                  with no simulation (cross-checked against the SAT
+///                  redundancy prover by the callers that trust it);
+///  * kInfer      — fault dominance under an *exhaustive* sweep: if any
+///                  witness fault is detected, this fault is detected too.
+///                  If every witness comes back undetected nothing is
+///                  implied, and the fault joins a residue re-simulation —
+///                  inference never weakens the verdict.
+struct FaultPlan {
+  enum class Action : std::uint8_t { kSweep, kCopyRep, kUntestable, kInfer };
+  std::vector<Action> action;            ///< one per cluster_faults() entry
+  std::vector<std::uint32_t> rep;        ///< kCopyRep: fault index to copy from
+  std::vector<std::uint32_t> witness_offset;  ///< CSR (size()+1) into witness
+  std::vector<std::uint32_t> witness;    ///< kSweep fault indices
+
+  std::size_t size() const noexcept { return action.size(); }
+  /// Number of kSweep entries (the compacted sweep list length).
+  std::size_t sweep_count() const noexcept;
+  /// Structural validity against a fault universe of `num_faults` entries:
+  /// sizes line up, every rep targets a kSweep or kInfer fault, every
+  /// witness targets a kSweep fault, and the witness CSR is monotone.
+  bool valid_for(std::size_t num_faults) const noexcept;
+};
+
 }  // namespace merced

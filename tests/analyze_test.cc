@@ -1,0 +1,404 @@
+// Conformance tests for the static netlist analyzer (src/analyze).
+//
+// The analyzer's whole value is that its FaultPlan is a *proof sketch* the
+// kernels replay without re-deriving: a wrong-but-plausible plan still
+// yields a plausible coverage table. These tests pin the contracts that
+// make the plan trustworthy:
+//
+//  * plan actions partition the fault universe and valid_for() holds on
+//    every analyzed CUT, hand-built or random;
+//  * constant propagation finds provably tied nets, and the faults it
+//    proves untestable (tied sites, dead D-frontiers, unobservable stubs)
+//    are confirmed fault-by-fault by the SAT redundancy prover — a refuted
+//    claim is a bug in the analyzer, never a tolerable approximation;
+//  * collapsed-then-expanded verdicts are bit-identical to the full sweep
+//    on random compiled CUTs, at jobs 1 and 8, at every SIMD width this
+//    host supports, and on the u64 oracle path;
+//  * PpetSession::set_fault_plans reproduces the plan-free
+//    measure_coverage result station-for-station;
+//  * the merced-analyze-v1 artifact round-trips through the validator and
+//    corrupted artifacts (schema drift, broken arithmetic) are rejected;
+//  * the analyze.* observability counters carry the plan's numbers.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "analyze/analyze_json.h"
+#include "circuits/generator.h"
+#include "core/merced.h"
+#include "core/ppet_session.h"
+#include "graph/circuit_graph.h"
+#include "netlist/bench_io.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "partition/clustering.h"
+#include "sat/redundancy.h"
+#include "sim/cone.h"
+#include "sim/fault.h"
+#include "sim/simd.h"
+
+namespace merced {
+namespace {
+
+using analyze::analyze_circuit;
+using analyze::analyze_cut;
+using analyze::AnalyzeOptions;
+using analyze::CutAnalysis;
+
+/// One cluster holding every non-PI node: the whole circuit as a single CUT.
+Clustering whole_circuit_cluster(const CircuitGraph& g) {
+  Clustering c;
+  c.cluster_of.assign(g.num_nodes(), kNoCluster);
+  c.clusters.emplace_back();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.is_pi(v)) {
+      c.cluster_of[v] = 0;
+      c.clusters[0].push_back(v);
+    }
+  }
+  return c;
+}
+
+void expect_same_coverage(const CoverageResult& planned, const CoverageResult& plain,
+                          const std::string& context) {
+  EXPECT_EQ(planned.total_faults, plain.total_faults) << context;
+  EXPECT_EQ(planned.detected, plain.detected) << context;
+  ASSERT_EQ(planned.undetected.size(), plain.undetected.size()) << context;
+  for (std::size_t i = 0; i < planned.undetected.size(); ++i) {
+    EXPECT_EQ(planned.undetected[i], plain.undetected[i]) << context << " fault " << i;
+  }
+}
+
+std::vector<SimdWidth> supported_widths() {
+  std::vector<SimdWidth> widths{SimdWidth::k64};
+  if (simd_width_supported(SimdWidth::k256)) widths.push_back(SimdWidth::k256);
+  if (simd_width_supported(SimdWidth::k512)) widths.push_back(SimdWidth::k512);
+  return widths;
+}
+
+/// Same random spec family as property_test.cc: every field derives from
+/// the seed alone, so a failing instance reproduces from its parameter.
+SyntheticSpec random_spec(std::uint64_t seed) {
+  std::mt19937_64 rng(0xabcdef1234567890ULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+  auto in = [&](std::size_t lo, std::size_t hi) { return lo + rng() % (hi - lo + 1); };
+  SyntheticSpec s;
+  s.name = "an" + std::to_string(seed);
+  s.num_pis = in(4, 12);
+  s.num_dffs = in(3, 16);
+  s.num_gates = in(30, 120);
+  s.num_invs = in(5, 30);
+  s.target_area = (s.num_gates + s.num_invs) * in(3, 5);
+  s.scc_dff_fraction = static_cast<double>(in(5, 10)) / 10.0;
+  s.seed = seed * 7 + 1;
+  return s;
+}
+
+/// Hand-built cone with known redundancy: red = OR(a, NOT a) is constant 1,
+/// z = OR(red, k1) is constant 1, and y = NOR(m, red) is constant 0.
+Netlist redundant_netlist() {
+  return parse_bench(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n"
+      "OUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n"
+      "xn = NOT(a)\n"
+      "red = OR(a, xn)\n"
+      "k1 = CONST1()\n"
+      "par = XOR(b, c, d)\n"
+      "m = MUX(a, par, b)\n"
+      "y = NOR(m, red)\n"
+      "z = OR(red, k1)\n"
+      "w = XNOR(m, par)\n");
+}
+
+void expect_plan_partitions_universe(const CutAnalysis& an, std::size_t num_faults,
+                                     const std::string& context) {
+  EXPECT_TRUE(an.plan.valid_for(num_faults)) << context;
+  EXPECT_EQ(an.total_faults, num_faults) << context;
+  EXPECT_EQ(an.swept + an.copied + an.inferred + an.untestable, an.total_faults)
+      << context;
+  EXPECT_GE(an.classes, an.swept + an.inferred) << context;
+  ASSERT_EQ(an.untestable_fault.size(), num_faults) << context;
+  std::size_t flagged = 0;
+  for (const std::uint8_t u : an.untestable_fault) flagged += u != 0;
+  EXPECT_EQ(flagged, an.untestable) << context;
+}
+
+// ------------------------------------------------ hand-built constants ---
+
+TEST(AnalyzeTest, ConstantPropagationFindsTiedNetsAndTiedFaults) {
+  const Netlist nl = redundant_netlist();
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const std::vector<Fault> faults = cone.cluster_faults();
+  const CutAnalysis an = analyze_cut(cone, 0);
+
+  expect_plan_partitions_universe(an, faults.size(), "redundant cone");
+  // k1 is a Const1 source; red and z are implication-provable ties.
+  EXPECT_GE(an.constant_slots, 3u);
+
+  // Tied nets make their stuck-at-the-tied-value faults untestable: the
+  // faulty machine equals the good machine on every pattern.
+  auto untestable_of = [&](const char* net, bool stuck) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (faults[i].site == Fault::Site::kOutput &&
+          nl.gate(faults[i].gate).name == net &&
+          faults[i].stuck_value == stuck) {
+        return an.untestable_fault[i] != 0;
+      }
+    }
+    ADD_FAILURE() << "fault " << net << " stuck-at-" << stuck << " not in universe";
+    return false;
+  };
+  EXPECT_TRUE(untestable_of("red", true));   // red is tied to 1
+  EXPECT_TRUE(untestable_of("z", true));     // z is tied to 1
+  EXPECT_TRUE(untestable_of("y", false));    // y = NOR(m, 1) is tied to 0
+  EXPECT_FALSE(untestable_of("z", false));   // any pattern detects z s-a-0
+  EXPECT_FALSE(untestable_of("w", false));
+  EXPECT_FALSE(untestable_of("w", true));
+}
+
+TEST(AnalyzeTest, UntestabilityClaimsConfirmedBySatProver) {
+  const Netlist nl = redundant_netlist();
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const std::vector<Fault> faults = cone.cluster_faults();
+  const CutAnalysis an = analyze_cut(cone, 0);
+  ASSERT_GT(an.untestable, 0u);
+
+  const sat::UntestableCrossCheck check =
+      sat::cross_check_untestable(cone, faults, an.untestable_fault);
+  EXPECT_EQ(check.checked, an.untestable);
+  EXPECT_TRUE(check.all_confirmed())
+      << check.disagreements.size() << " disagreements, " << check.unknown
+      << " unknown";
+}
+
+TEST(AnalyzeTest, PlannedVerdictsMatchPlainSweepOnHandBuiltCone) {
+  const Netlist nl = redundant_netlist();
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const CutAnalysis an = analyze_cut(cone, 0);
+
+  CoverageOptions plain;
+  const CoverageResult reference = exhaustive_coverage(cone, plain);
+  for (const SimdWidth width : supported_widths()) {
+    for (const std::size_t jobs : {1u, 8u}) {
+      CoverageOptions opt;
+      opt.jobs = jobs;
+      opt.simd = width;
+      opt.plan = &an.plan;
+      expect_same_coverage(exhaustive_coverage(cone, opt), reference,
+                           "width " + std::to_string(static_cast<int>(width)) +
+                               " jobs " + std::to_string(jobs));
+    }
+  }
+  CoverageOptions u64;
+  u64.u64_oracle = true;
+  u64.plan = &an.plan;
+  expect_same_coverage(exhaustive_coverage(cone, u64), reference, "u64 oracle");
+}
+
+TEST(AnalyzeTest, CollapseDisabledStillPartitionsAndMatches) {
+  const Netlist nl = redundant_netlist();
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+
+  AnalyzeOptions opt;
+  opt.enable_collapse = false;
+  const CutAnalysis an = analyze_cut(cone, 0, opt);
+  expect_plan_partitions_universe(an, cone.cluster_faults().size(), "no-collapse");
+  EXPECT_EQ(an.copied, 0u);
+  EXPECT_EQ(an.inferred, 0u);
+
+  CoverageOptions planned;
+  planned.plan = &an.plan;
+  expect_same_coverage(exhaustive_coverage(cone, planned),
+                       exhaustive_coverage(cone, CoverageOptions{}), "no-collapse");
+}
+
+TEST(AnalyzeTest, ObsCountersCarryThePlanNumbers) {
+  const Netlist nl = redundant_netlist();
+  const CircuitGraph g(nl);
+  const Clustering c = whole_circuit_cluster(g);
+  const ConeSimulator cone(g, c, 0);
+  const CutAnalysis an = analyze_cut(cone, 0);
+
+  obs::reset();
+  obs::enable();
+  CoverageOptions opt;
+  opt.plan = &an.plan;
+  (void)exhaustive_coverage(cone, opt);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kAnalyzeCollapsedFaults),
+            an.copied + an.inferred);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kAnalyzeProvedUntestable), an.untestable);
+  obs::disable();
+  obs::reset();
+
+  EXPECT_STREQ(obs::counter_name(obs::Counter::kAnalyzeCollapsedFaults),
+               "analyze.collapsed_faults");
+  EXPECT_STREQ(obs::counter_name(obs::Counter::kAnalyzeProvedUntestable),
+               "analyze.proved_untestable");
+  EXPECT_STREQ(obs::counter_name(obs::Counter::kAnalyzeResidueResims),
+               "analyze.residue_resims");
+}
+
+// --------------------------------------------- random compiled circuits ---
+
+class AnalyzedCircuitProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyzedCircuitProperty, CollapsedThenExpandedVerdictsBitIdentical) {
+  const Netlist nl = generate_circuit(random_spec(GetParam()));
+  MercedConfig config;
+  config.lk = 8;
+  config.multi_start = 2;
+  const PreparedCircuit prepared(nl, config.flow, config.multi_start, config.jobs);
+  const MercedResult r = compile(prepared, config);
+
+  const std::vector<SimdWidth> widths = supported_widths();
+  std::size_t cones_checked = 0;
+  for (std::size_t ci = 0; ci < r.partitions.count(); ++ci) {
+    if (r.partitions.clusters[ci].empty()) continue;
+    const ConeSimulator cone(prepared.graph, r.partitions, ci);
+    if (cone.cut_inputs().size() > 10 || cone.cluster_faults().empty()) continue;
+    const CutAnalysis an = analyze_cut(cone, ci);
+    expect_plan_partitions_universe(an, cone.cluster_faults().size(),
+                                    "cluster " + std::to_string(ci));
+
+    const CoverageResult reference = exhaustive_coverage(cone, CoverageOptions{});
+    for (const SimdWidth width : widths) {
+      for (const std::size_t jobs : {1u, 8u}) {
+        CoverageOptions opt;
+        opt.jobs = jobs;
+        opt.simd = width;
+        opt.plan = &an.plan;
+        expect_same_coverage(
+            exhaustive_coverage(cone, opt), reference,
+            "seed " + std::to_string(GetParam()) + " cluster " + std::to_string(ci) +
+                " width " + std::to_string(static_cast<int>(width)) + " jobs " +
+                std::to_string(jobs));
+      }
+    }
+    CoverageOptions u64;
+    u64.u64_oracle = true;
+    u64.plan = &an.plan;
+    expect_same_coverage(exhaustive_coverage(cone, u64), reference,
+                         "seed " + std::to_string(GetParam()) + " cluster " +
+                             std::to_string(ci) + " u64");
+    ++cones_checked;
+  }
+  EXPECT_GT(cones_checked, 0u) << "spec produced no analyzable cones";
+}
+
+TEST_P(AnalyzedCircuitProperty, StaticClaimsAgreeWithSatOnCompiledCuts) {
+  const Netlist nl = generate_circuit(random_spec(GetParam()));
+  MercedConfig config;
+  config.lk = 8;
+  const PreparedCircuit prepared(nl, config.flow);
+  const MercedResult r = compile(prepared, config);
+
+  for (std::size_t ci = 0; ci < r.partitions.count(); ++ci) {
+    if (r.partitions.clusters[ci].empty()) continue;
+    const ConeSimulator cone(prepared.graph, r.partitions, ci);
+    const std::vector<Fault> faults = cone.cluster_faults();
+    if (faults.empty()) continue;
+    const CutAnalysis an = analyze_cut(cone, ci);
+    if (an.untestable == 0) continue;
+    const sat::UntestableCrossCheck check =
+        sat::cross_check_untestable(cone, faults, an.untestable_fault);
+    EXPECT_TRUE(check.all_confirmed())
+        << "seed " << GetParam() << " cluster " << ci << ": "
+        << check.disagreements.size() << " disagreements, " << check.unknown
+        << " unknown";
+  }
+}
+
+TEST_P(AnalyzedCircuitProperty, SessionFaultPlansReproducePlanFreeCoverage) {
+  const Netlist nl = generate_circuit(random_spec(GetParam()));
+  MercedConfig config;
+  config.lk = 8;
+  const PreparedCircuit prepared(nl, config.flow);
+  const MercedResult r = compile(prepared, config);
+  if (!r.feasible) GTEST_SKIP() << "infeasible partition; session needs ι ≤ 32";
+
+  const analyze::CircuitAnalysis ca = analyze_circuit(prepared.graph, r.partitions);
+  ASSERT_EQ(ca.cuts.size(), r.partitions.count());
+
+  for (const std::size_t jobs : {1u, 8u}) {
+    PpetSession plain(prepared.graph, r, 16, jobs);
+    PpetSession planned(prepared.graph, r, 16, jobs);
+    std::vector<FaultPlan> plans;
+    plans.reserve(planned.num_stations());
+    for (std::size_t s = 0; s < planned.num_stations(); ++s) {
+      plans.push_back(ca.cuts[planned.station(s).partition_index].plan);
+    }
+    planned.set_fault_plans(std::move(plans));
+    ASSERT_TRUE(planned.has_fault_plans());
+
+    const std::vector<CoverageResult> want = plain.measure_coverage(10);
+    const std::vector<CoverageResult> got = planned.measure_coverage(10);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_coverage(got[i], want[i],
+                           "seed " + std::to_string(GetParam()) + " station " +
+                               std::to_string(i) + " jobs " + std::to_string(jobs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetlists, AnalyzedCircuitProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ----------------------------------------------------- artifact schema ---
+
+TEST(AnalyzeJsonTest, ArtifactRoundTripsThroughValidator) {
+  const Netlist nl = generate_circuit(random_spec(2));
+  MercedConfig config;
+  config.lk = 8;
+  const PreparedCircuit prepared(nl, config.flow);
+  const MercedResult r = compile(prepared, config);
+  const analyze::CircuitAnalysis ca = analyze_circuit(prepared.graph, r.partitions);
+
+  analyze::AnalyzeRunInfo run;
+  run.tool = "analyze_test";
+  run.circuit = "an2";
+  run.lk = config.lk;
+  std::ostringstream os;
+  analyze::write_analyze_json(os, ca, run);
+  const std::string text = os.str();
+
+  const obs::JsonValue doc = obs::JsonValue::parse(text);
+  EXPECT_EQ(analyze::validate_analyze_json(doc), "");
+
+  // Schema drift is rejected by name.
+  std::string wrong_schema = text;
+  const std::size_t at = wrong_schema.find("merced-analyze-v1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_schema.replace(at, 17, "merced-analyze-v9");
+  EXPECT_NE(analyze::validate_analyze_json(obs::JsonValue::parse(wrong_schema)), "");
+
+  // Broken internal arithmetic is rejected: inflate the summary's swept
+  // count so the per-cut sums no longer reproduce it.
+  std::string broken = text;
+  const std::string key = "\"swept\": " + std::to_string(ca.swept());
+  const std::size_t swept_at = broken.find(key);
+  ASSERT_NE(swept_at, std::string::npos);
+  broken.replace(swept_at, key.size(),
+                 "\"swept\": " + std::to_string(ca.swept() + 1));
+  EXPECT_NE(analyze::validate_analyze_json(obs::JsonValue::parse(broken)), "");
+}
+
+}  // namespace
+}  // namespace merced

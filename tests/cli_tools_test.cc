@@ -307,6 +307,30 @@ TEST(CliExitCodeTest, MercedFuzzExitCodes) {
             1);
 }
 
+TEST(CliExitCodeTest, MercedFuzzTraceAndStaticAnalysisFlags) {
+  // Flag grammar: --static-analysis takes on/off, --trace needs a path.
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --static-analysis bogus"), 2);
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) + " --trace"), 2);
+
+  // A traced campaign writes a Chrome trace metrics_check accepts, with
+  // the per-oracle spans named after their oracle.
+  const std::string trace = std::string(::testing::TempDir()) + "fuzz_trace.json";
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) +
+                " --seed 2 --runs 2 --minimize off --trace " + trace),
+            0);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --trace " + trace), 0);
+  std::ifstream in(trace);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("oracle_static_analysis"), std::string::npos);
+  EXPECT_NE(text.str().find("oracle_compile_parity"), std::string::npos);
+
+  // Oracle 6 can be toggled off without changing the campaign verdict.
+  EXPECT_EQ(run(std::string(MERCED_FUZZ_BIN) +
+                " --seed 2 --runs 2 --minimize off --static-analysis off"),
+            0);
+}
+
 #ifdef MERCED_CLI_BIN
 
 /// Runs a command, returning its exit code and captured stderr — the
@@ -349,6 +373,32 @@ TEST(CliExitCodeTest, MercedCliSimdFlagGrammarIsPinned) {
 
   // Width 64 is supported everywhere: a pinned-width run must succeed.
   EXPECT_EQ(run(std::string(MERCED_CLI_BIN) + " s27 --lk 8 --simd 64"), 0);
+}
+
+TEST(CliExitCodeTest, MercedCliAnalyzeArtifactValidatesAndCorruptionIsRejected) {
+  // --analyze-json runs the analyzer (SAT cross-check included) and writes
+  // a merced-analyze-v1 artifact metrics_check accepts.
+  const std::string art = std::string(::testing::TempDir()) + "analyze_s27.json";
+  EXPECT_EQ(run(std::string(MERCED_CLI_BIN) + " s27 --lk 8 --analyze-json " + art),
+            0);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --analyze " + art), 0);
+  // Kind confusion both ways: an analyze artifact is not a fuzz artifact.
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --fuzz " + art), 1);
+
+  // A corrupted artifact (schema drift) is rejected, not trusted.
+  std::ifstream in(art);
+  std::stringstream text;
+  text << in.rdbuf();
+  std::string corrupt = text.str();
+  const std::size_t at = corrupt.find("merced-analyze-v1");
+  ASSERT_NE(at, std::string::npos);
+  corrupt.replace(at, 17, "merced-analyze-v9");
+  const std::string bad = write_temp("analyze_corrupt.json", corrupt);
+  EXPECT_EQ(run(std::string(METRICS_CHECK_BIN) + " --analyze " + bad), 1);
+
+  // --no-collapse (A/B: every testable fault swept) still exits clean.
+  EXPECT_EQ(run(std::string(MERCED_CLI_BIN) + " s27 --lk 8 --analyze --no-collapse"),
+            0);
 }
 
 #endif  // MERCED_CLI_BIN
