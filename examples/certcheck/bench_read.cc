@@ -1,0 +1,180 @@
+#include "bench_read.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace certcheck {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw BenchError("bench line " + std::to_string(line_no) + ": " + msg);
+}
+
+}  // namespace
+
+std::uint32_t BNetlist::find(const std::string& name) const {
+  const auto it = by_name.find(name);
+  return it == by_name.end() ? UINT32_MAX : it->second;
+}
+
+BNetlist parse_bench(const std::string& text) {
+  BNetlist nl;
+  struct Pending {
+    std::uint32_t gate;
+    std::vector<std::string> fanins;
+    std::size_t line_no;
+  };
+  std::vector<Pending> pending;
+  std::vector<std::pair<std::string, std::size_t>> output_names;
+
+  auto add_gate = [&](const std::string& name, std::string type, std::size_t line_no) {
+    if (nl.by_name.count(name) != 0) fail(line_no, "duplicate net '" + name + "'");
+    const auto id = static_cast<std::uint32_t>(nl.gates.size());
+    nl.by_name.emplace(name, id);
+    nl.gates.push_back(BGate{name, std::move(type), {}});
+    return id;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl_pos = text.find('\n', pos);
+    std::string line = text.substr(pos, nl_pos == std::string::npos ? std::string::npos
+                                                                    : nl_pos - pos);
+    pos = nl_pos == std::string::npos ? text.size() + 1 : nl_pos + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        fail(line_no, "expected INPUT(...), OUTPUT(...) or an assignment");
+      }
+      const std::string kw = upper(trim(line.substr(0, open)));
+      const std::string arg = trim(line.substr(open + 1, close - open - 1));
+      if (arg.empty()) fail(line_no, kw + " with empty name");
+      if (kw == "INPUT") {
+        add_gate(arg, "INPUT", line_no);
+      } else if (kw == "OUTPUT") {
+        output_names.emplace_back(arg, line_no);
+      } else {
+        fail(line_no, "unknown declaration '" + kw + "'");
+      }
+      continue;
+    }
+
+    const std::string name = trim(line.substr(0, eq));
+    if (name.empty()) fail(line_no, "assignment with empty net name");
+    const std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      fail(line_no, "malformed gate expression '" + rhs + "'");
+    }
+    const std::string type = upper(trim(rhs.substr(0, open)));
+    if (type.empty() || type == "INPUT" || type == "OUTPUT") {
+      fail(line_no, "invalid gate type '" + type + "'");
+    }
+    const std::uint32_t id = add_gate(name, type, line_no);
+    Pending p{id, {}, line_no};
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::size_t start = 0;
+    while (start <= args.size()) {
+      const std::size_t comma = args.find(',', start);
+      const std::string tok = trim(args.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start));
+      if (!tok.empty()) p.fanins.push_back(tok);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    pending.push_back(std::move(p));
+  }
+
+  for (const Pending& p : pending) {
+    for (const std::string& fi : p.fanins) {
+      const std::uint32_t src = nl.find(fi);
+      if (src == UINT32_MAX) fail(p.line_no, "undefined fanin '" + fi + "'");
+      nl.gates[p.gate].fanins.push_back(src);
+    }
+    if (nl.gates[p.gate].fanins.empty() && nl.gates[p.gate].type != "CONST0" &&
+        nl.gates[p.gate].type != "CONST1") {
+      fail(p.line_no, "gate '" + nl.gates[p.gate].name + "' has no fanins");
+    }
+  }
+  for (const auto& [name, out_line] : output_names) {
+    const std::uint32_t id = nl.find(name);
+    if (id == UINT32_MAX) fail(out_line, "undefined output '" + name + "'");
+    if (std::find(nl.outputs.begin(), nl.outputs.end(), id) == nl.outputs.end()) {
+      nl.outputs.push_back(id);
+    }
+  }
+  for (std::uint32_t g = 0; g < nl.gates.size(); ++g) {
+    if (nl.is_pi(g)) nl.inputs.push_back(g);
+    if (nl.is_dff(g)) nl.dffs.push_back(g);
+  }
+  nl.fanouts.assign(nl.gates.size(), {});
+  for (std::uint32_t g = 0; g < nl.gates.size(); ++g) {
+    for (std::uint32_t src : nl.gates[g].fanins) {
+      auto& sinks = nl.fanouts[src];
+      if (std::find(sinks.begin(), sinks.end(), g) == sinks.end()) sinks.push_back(g);
+    }
+  }
+  return nl;
+}
+
+std::uint64_t structural_hash(const BNetlist& nl) {
+  std::vector<std::string> lines;
+  lines.reserve(nl.gates.size() + nl.outputs.size());
+  for (const BGate& gate : nl.gates) {
+    if (gate.type == "INPUT") {
+      lines.push_back("INPUT(" + gate.name + ")");
+      continue;
+    }
+    std::string line = gate.name + " = " + gate.type + "(";
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i) line += ',';
+      line += nl.gates[gate.fanins[i]].name;
+    }
+    line += ')';
+    lines.push_back(std::move(line));
+  }
+  for (std::uint32_t id : nl.outputs) {
+    lines.push_back("OUTPUT(" + nl.gates[id].name + ")");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t h = 14695981039346656037ULL;
+  bool first = true;
+  for (const std::string& line : lines) {
+    if (!first) {
+      h ^= static_cast<unsigned char>('\n');
+      h *= 1099511628211ULL;
+    }
+    first = false;
+    for (char c : line) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace certcheck

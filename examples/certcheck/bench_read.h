@@ -1,0 +1,55 @@
+// Self-contained .bench reader for the certificate checker.
+//
+// merced_certcheck must not trust — or link — any compiler library, so this
+// is an independent implementation of the ISCAS89 grammar the toolchain
+// uses (INPUT(x) / OUTPUT(x) / name = TYPE(a, b) / # comments, forward
+// references allowed). Shared with the emitter only through the documented
+// canonical-line structural hash (see src/core/certificate.h).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace certcheck {
+
+struct BenchError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct BGate {
+  std::string name;
+  std::string type;  ///< canonical upper-case token, e.g. "NAND", "DFF", "INPUT"
+  std::vector<std::uint32_t> fanins;
+};
+
+struct BNetlist {
+  std::vector<BGate> gates;
+  std::vector<std::uint32_t> inputs;   ///< ids of INPUT gates, in id order
+  std::vector<std::uint32_t> dffs;     ///< ids of DFF gates, in id order
+  std::vector<std::uint32_t> outputs;  ///< ids of OUTPUT-marked gates, deduplicated
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  /// Per gate: sinks of the net it drives (distinct (sink,pin) collapsed to
+  /// one entry per sink gate), built after parsing.
+  std::vector<std::vector<std::uint32_t>> fanouts;
+
+  bool is_pi(std::uint32_t g) const { return gates[g].type == "INPUT"; }
+  bool is_dff(std::uint32_t g) const { return gates[g].type == "DFF"; }
+  /// The predicate all ι/cut accounting shares: partitionable and able to
+  /// consume test inputs / anchor cuts (includes CONST0/CONST1).
+  bool is_comb(std::uint32_t g) const { return !is_pi(g) && !is_dff(g); }
+
+  /// Gate id by name, or UINT32_MAX.
+  std::uint32_t find(const std::string& name) const;
+};
+
+/// Parses .bench text. Throws BenchError with a line diagnostic.
+BNetlist parse_bench(const std::string& text);
+
+/// FNV-1a over the sorted canonical line set — the checker's half of the
+/// structural-hash contract in src/core/certificate.h.
+std::uint64_t structural_hash(const BNetlist& nl);
+
+}  // namespace certcheck

@@ -1,0 +1,567 @@
+#include "check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "json_read.h"
+
+namespace certcheck {
+
+namespace {
+
+constexpr const char* kSchema = "merced-cert-v1";
+constexpr std::uint64_t kACellFromDffArea = 9;
+constexpr std::uint64_t kACellWithMuxArea = 23;
+constexpr std::int32_t kNoCluster = -1;
+constexpr std::int32_t kNoScc = -1;
+
+/// Thrown inside the schema walk; caught and turned into CERT-SCHEMA.
+struct SchemaError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void schema_fail(const std::string& msg) { throw SchemaError(msg); }
+
+const JValue& need(const JValue& obj, const std::string& key, JValue::Kind kind,
+                   const char* what) {
+  const JValue* v = obj.find(key);
+  if (v == nullptr) schema_fail(std::string("missing \"") + key + "\" in " + what);
+  if (v->kind != kind) schema_fail(std::string("\"") + key + "\" in " + what +
+                                   " has the wrong type");
+  return *v;
+}
+
+std::uint64_t need_uint(const JValue& obj, const std::string& key, const char* what) {
+  const JValue& v = need(obj, key, JValue::Kind::kNumber, what);
+  if (!v.is_uint()) schema_fail(std::string("\"") + key + "\" in " + what +
+                                " is not a non-negative integer");
+  return v.as_uint();
+}
+
+std::vector<std::string> need_names(const JValue& obj, const std::string& key,
+                                    const char* what) {
+  const JValue& arr = need(obj, key, JValue::Kind::kArray, what);
+  std::vector<std::string> out;
+  out.reserve(arr.array.size());
+  for (const JValue& e : arr.array) {
+    if (!e.is_string()) schema_fail(std::string("\"") + key + "\" in " + what +
+                                    " contains a non-string entry");
+    out.push_back(e.string);
+  }
+  return out;
+}
+
+/// Everything the checker needs out of the document, schema-validated.
+struct Cert {
+  std::uint64_t lk = 0;
+  std::uint64_t pis = 0, dffs = 0, gates = 0;
+  std::string hash;  ///< full "fnv1a:<16 hex>" string
+  std::vector<std::pair<std::uint64_t, std::vector<std::string>>> clusters;
+  std::vector<std::string> cuts;
+  std::vector<std::pair<std::string, std::int64_t>> rho;
+  std::vector<std::string> retimable;
+  std::vector<std::string> multiplexed;
+  struct Eq2Row {
+    std::string scc;
+    std::uint64_t dffs = 0;
+    std::uint64_t cuts = 0;
+  };
+  std::vector<Eq2Row> eq2;
+  std::uint64_t area_retimable = 0, area_multiplexed = 0;
+  std::uint64_t area_with = 0, area_without = 0;
+};
+
+Cert read_schema(const JValue& doc) {
+  Cert c;
+  if (!doc.is_object()) schema_fail("top level is not an object");
+  const JValue& schema = need(doc, "schema", JValue::Kind::kString, "document");
+  if (schema.string != kSchema) {
+    schema_fail("unknown schema \"" + schema.string + "\" (expected " + kSchema + ")");
+  }
+  const JValue& run = need(doc, "run", JValue::Kind::kObject, "document");
+  c.lk = need_uint(run, "lk", "run");
+
+  const JValue& nl = need(doc, "netlist", JValue::Kind::kObject, "document");
+  c.pis = need_uint(nl, "pis", "netlist");
+  c.dffs = need_uint(nl, "dffs", "netlist");
+  c.gates = need_uint(nl, "gates", "netlist");
+  c.hash = need(nl, "hash", JValue::Kind::kString, "netlist").string;
+
+  const JValue& clusters = need(doc, "clusters", JValue::Kind::kArray, "document");
+  for (const JValue& cl : clusters.array) {
+    if (!cl.is_object()) schema_fail("\"clusters\" contains a non-object entry");
+    c.clusters.emplace_back(need_uint(cl, "iota", "cluster"),
+                            need_names(cl, "members", "cluster"));
+  }
+
+  c.cuts = need_names(doc, "cuts", "document");
+
+  const JValue& ret = need(doc, "retiming", JValue::Kind::kObject, "document");
+  const JValue& rho = need(ret, "rho", JValue::Kind::kObject, "retiming");
+  for (const auto& [name, value] : rho.object) {
+    if (!value.is_int()) schema_fail("\"rho\" entry \"" + name + "\" is not an integer");
+    c.rho.emplace_back(name, value.as_int());
+  }
+  c.retimable = need_names(ret, "retimable", "retiming");
+  c.multiplexed = need_names(ret, "multiplexed", "retiming");
+
+  const JValue& eq2 = need(doc, "eq2", JValue::Kind::kArray, "document");
+  for (const JValue& row : eq2.array) {
+    if (!row.is_object()) schema_fail("\"eq2\" contains a non-object entry");
+    Cert::Eq2Row r;
+    r.scc = need(row, "scc", JValue::Kind::kString, "eq2 row").string;
+    r.dffs = need_uint(row, "dffs", "eq2 row");
+    r.cuts = need_uint(row, "cuts_on_scc", "eq2 row");
+    c.eq2.push_back(std::move(r));
+  }
+
+  const JValue& area = need(doc, "area", JValue::Kind::kObject, "document");
+  c.area_retimable = need_uint(area, "retimable_cuts", "area");
+  c.area_multiplexed = need_uint(area, "multiplexed_cuts", "area");
+  c.area_with = need_uint(area, "cbit_area_with_retiming", "area");
+  c.area_without = need_uint(area, "cbit_area_without_retiming", "area");
+  return c;
+}
+
+/// A connection of the Leiserson–Saxe view: DFF chains collapsed to a
+/// weight, endpoints are non-DFF gates (combinational gates and PIs).
+struct REdge {
+  std::uint32_t from = 0;  ///< source gate id (drives the edge's net)
+  std::uint32_t to = 0;    ///< sink gate id
+  std::int32_t weight = 0;
+};
+
+/// Mirrors RetimeGraph's construction: per (non-DFF sink, fanin pin), walk
+/// the register chain back to its non-DFF source. Throws BenchError on a
+/// pure DFF ring (the netlist itself is broken, not the certificate).
+std::vector<REdge> build_retime_edges(const BNetlist& nl) {
+  std::vector<REdge> edges;
+  for (std::uint32_t sink = 0; sink < nl.gates.size(); ++sink) {
+    if (nl.is_dff(sink)) continue;
+    for (std::uint32_t src : nl.gates[sink].fanins) {
+      std::int32_t weight = 0;
+      std::size_t guard = nl.gates.size() + 1;
+      while (nl.is_dff(src)) {
+        ++weight;
+        src = nl.gates[src].fanins.at(0);
+        if (guard-- == 0) {
+          throw BenchError("pure DFF ring feeding gate '" + nl.gates[sink].name + "'");
+        }
+      }
+      edges.push_back(REdge{src, sink, weight});
+    }
+  }
+  return edges;
+}
+
+/// Iterative Tarjan over the full gate graph (edges fanin -> gate), keeping
+/// only non-trivial SCCs (size >= 2 or a self-loop), numbered as found.
+struct Sccs {
+  std::vector<std::int32_t> component_of;  ///< per gate; kNoScc when trivial
+  std::vector<std::vector<std::uint32_t>> components;
+  std::vector<std::uint64_t> dff_count;
+};
+
+Sccs find_sccs(const BNetlist& nl) {
+  const std::size_t n = nl.gates.size();
+  constexpr std::uint32_t kUnvisited = UINT32_MAX;
+  Sccs info;
+  info.component_of.assign(n, kNoScc);
+  std::vector<std::uint32_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& out = nl.fanouts[f.node];
+      if (f.edge_pos < out.size()) {
+        const std::uint32_t w = out[f.edge_pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+        continue;
+      }
+      const std::uint32_t v = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<std::uint32_t> comp;
+        std::uint32_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.push_back(w);
+        } while (w != v);
+        bool nontrivial = comp.size() >= 2;
+        if (!nontrivial) {
+          const auto& sinks = nl.fanouts[comp[0]];
+          nontrivial = std::find(sinks.begin(), sinks.end(), comp[0]) != sinks.end();
+        }
+        if (nontrivial) {
+          const auto cid = static_cast<std::int32_t>(info.components.size());
+          std::uint64_t dffs = 0;
+          for (std::uint32_t m : comp) {
+            info.component_of[m] = cid;
+            if (nl.is_dff(m)) ++dffs;
+          }
+          info.components.push_back(std::move(comp));
+          info.dff_count.push_back(dffs);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+CheckResult fail(const char* rule, std::string msg) {
+  return CheckResult{false, rule, std::move(msg)};
+}
+
+}  // namespace
+
+CheckResult check_certificate(const BNetlist& nl, const std::string& cert_text) {
+  // -- CERT-PARSE ----------------------------------------------------------
+  JValue doc;
+  try {
+    doc = json_parse(cert_text);
+  } catch (const JsonError& e) {
+    return fail("CERT-PARSE", e.what());
+  }
+
+  // -- CERT-SCHEMA ---------------------------------------------------------
+  Cert cert;
+  try {
+    cert = read_schema(doc);
+  } catch (const SchemaError& e) {
+    return fail("CERT-SCHEMA", e.what());
+  }
+
+  // -- CERT-NETLIST --------------------------------------------------------
+  const std::uint64_t n_pis = nl.inputs.size();
+  const std::uint64_t n_dffs = nl.dffs.size();
+  const std::uint64_t n_gates = nl.gates.size() - n_pis - n_dffs;
+  if (cert.pis != n_pis || cert.dffs != n_dffs || cert.gates != n_gates) {
+    return fail("CERT-NETLIST",
+                "certificate claims pis=" + std::to_string(cert.pis) +
+                    " dffs=" + std::to_string(cert.dffs) +
+                    " gates=" + std::to_string(cert.gates) + ", netlist has pis=" +
+                    std::to_string(n_pis) + " dffs=" + std::to_string(n_dffs) +
+                    " gates=" + std::to_string(n_gates));
+  }
+  char hash_hex[24];
+  std::snprintf(hash_hex, sizeof hash_hex, "fnv1a:%016llx",
+                static_cast<unsigned long long>(structural_hash(nl)));
+  if (cert.hash != hash_hex) {
+    return fail("CERT-NETLIST", "certificate hash " + cert.hash +
+                                    " does not match netlist hash " + hash_hex);
+  }
+
+  // -- CERT-COVERAGE -------------------------------------------------------
+  const std::size_t num_clusters = cert.clusters.size();
+  std::vector<std::int32_t> cluster_of(nl.gates.size(), kNoCluster);
+  std::vector<std::vector<std::uint32_t>> members(num_clusters);
+  for (std::size_t ci = 0; ci < num_clusters; ++ci) {
+    for (const std::string& name : cert.clusters[ci].second) {
+      const std::uint32_t id = nl.find(name);
+      if (id == UINT32_MAX) {
+        return fail("CERT-COVERAGE", "cluster " + std::to_string(ci) +
+                                         " member '" + name +
+                                         "' is not a net of the circuit");
+      }
+      if (nl.is_pi(id)) {
+        return fail("CERT-COVERAGE",
+                    "primary input '" + name + "' listed as a cluster member");
+      }
+      if (cluster_of[id] != kNoCluster) {
+        return fail("CERT-COVERAGE", "'" + name + "' appears in cluster " +
+                                         std::to_string(cluster_of[id]) +
+                                         " and again in cluster " + std::to_string(ci));
+      }
+      cluster_of[id] = static_cast<std::int32_t>(ci);
+      members[ci].push_back(id);
+    }
+  }
+  for (std::uint32_t g = 0; g < nl.gates.size(); ++g) {
+    if (!nl.is_pi(g) && cluster_of[g] == kNoCluster) {
+      return fail("CERT-COVERAGE",
+                  "'" + nl.gates[g].name + "' is not covered by any cluster");
+    }
+  }
+
+  // -- CERT-IOTA -----------------------------------------------------------
+  // ι(cluster) = distinct nets feeding its combinational members from PIs,
+  // DFFs, or gates of other clusters (a net is its driver gate).
+  for (std::size_t ci = 0; ci < num_clusters; ++ci) {
+    std::vector<std::uint32_t> sources;
+    for (std::uint32_t g : members[ci]) {
+      if (!nl.is_comb(g)) continue;
+      for (std::uint32_t src : nl.gates[g].fanins) {
+        if (nl.is_pi(src) || nl.is_dff(src) ||
+            cluster_of[src] != static_cast<std::int32_t>(ci)) {
+          sources.push_back(src);
+        }
+      }
+    }
+    std::sort(sources.begin(), sources.end());
+    sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+    if (sources.size() != cert.clusters[ci].first) {
+      return fail("CERT-IOTA", "cluster " + std::to_string(ci) + " claims iota=" +
+                                   std::to_string(cert.clusters[ci].first) +
+                                   ", recomputation gives " +
+                                   std::to_string(sources.size()));
+    }
+  }
+
+  // -- CERT-IOTA-BOUND -----------------------------------------------------
+  for (std::size_t ci = 0; ci < num_clusters; ++ci) {
+    if (cert.clusters[ci].first > cert.lk) {
+      return fail("CERT-IOTA-BOUND", "cluster " + std::to_string(ci) + " has iota=" +
+                                         std::to_string(cert.clusters[ci].first) +
+                                         " > lk=" + std::to_string(cert.lk));
+    }
+  }
+
+  // -- CERT-CUT ------------------------------------------------------------
+  // A net is cut when its combinational driver has a combinational fanout
+  // sink in another cluster (one A_CELL per net).
+  std::vector<std::uint32_t> actual_cuts;
+  for (std::uint32_t d = 0; d < nl.gates.size(); ++d) {
+    if (!nl.is_comb(d)) continue;
+    for (std::uint32_t s : nl.fanouts[d]) {
+      if (nl.is_comb(s) && cluster_of[s] != cluster_of[d]) {
+        actual_cuts.push_back(d);
+        break;
+      }
+    }
+  }
+  std::vector<std::uint32_t> claimed_cuts;
+  claimed_cuts.reserve(cert.cuts.size());
+  for (const std::string& name : cert.cuts) {
+    const std::uint32_t id = nl.find(name);
+    if (id == UINT32_MAX) {
+      return fail("CERT-CUT", "cut net '" + name + "' is not a net of the circuit");
+    }
+    claimed_cuts.push_back(id);
+  }
+  std::sort(claimed_cuts.begin(), claimed_cuts.end());
+  if (std::adjacent_find(claimed_cuts.begin(), claimed_cuts.end()) !=
+      claimed_cuts.end()) {
+    return fail("CERT-CUT", "certificate lists a cut net twice");
+  }
+  if (claimed_cuts != actual_cuts) {  // actual_cuts is built in id order
+    for (std::uint32_t id : actual_cuts) {
+      if (!std::binary_search(claimed_cuts.begin(), claimed_cuts.end(), id)) {
+        return fail("CERT-CUT", "net '" + nl.gates[id].name +
+                                    "' is cut by the partition but missing "
+                                    "from the certificate");
+      }
+    }
+    for (std::uint32_t id : claimed_cuts) {
+      if (!std::binary_search(actual_cuts.begin(), actual_cuts.end(), id)) {
+        return fail("CERT-CUT", "certificate claims net '" + nl.gates[id].name +
+                                    "' is cut, but it never crosses clusters");
+      }
+    }
+  }
+
+  // -- CERT-RET-PARTITION --------------------------------------------------
+  std::vector<std::uint32_t> ret_ids, mux_ids;
+  for (const std::string& name : cert.retimable) {
+    const std::uint32_t id = nl.find(name);
+    if (id == UINT32_MAX) {
+      return fail("CERT-RET-PARTITION",
+                  "retimable net '" + name + "' is not a net of the circuit");
+    }
+    ret_ids.push_back(id);
+  }
+  for (const std::string& name : cert.multiplexed) {
+    const std::uint32_t id = nl.find(name);
+    if (id == UINT32_MAX) {
+      return fail("CERT-RET-PARTITION",
+                  "multiplexed net '" + name + "' is not a net of the circuit");
+    }
+    mux_ids.push_back(id);
+  }
+  std::vector<std::uint32_t> split = ret_ids;
+  split.insert(split.end(), mux_ids.begin(), mux_ids.end());
+  std::sort(split.begin(), split.end());
+  if (std::adjacent_find(split.begin(), split.end()) != split.end()) {
+    return fail("CERT-RET-PARTITION",
+                "retimable and multiplexed sets overlap or repeat a net");
+  }
+  if (split != actual_cuts) {
+    return fail("CERT-RET-PARTITION",
+                "retimable (" + std::to_string(ret_ids.size()) + ") + multiplexed (" +
+                    std::to_string(mux_ids.size()) +
+                    ") does not partition the cut set (" +
+                    std::to_string(actual_cuts.size()) + " nets)");
+  }
+
+  // -- CERT-RET-LEGAL ------------------------------------------------------
+  std::vector<REdge> edges = build_retime_edges(nl);
+  std::vector<std::int64_t> rho(nl.gates.size(), 0);
+  for (const auto& [name, lag] : cert.rho) {
+    const std::uint32_t id = nl.find(name);
+    if (id == UINT32_MAX || nl.is_dff(id)) {
+      return fail("CERT-RET-LEGAL",
+                  "rho key '" + name + "' is not a retime-graph vertex");
+    }
+    rho[id] = lag;
+  }
+  for (const REdge& e : edges) {
+    const std::int64_t w = e.weight + rho[e.to] - rho[e.from];
+    if (w < 0) {
+      return fail("CERT-RET-LEGAL", "connection " + nl.gates[e.from].name + " -> " +
+                                        nl.gates[e.to].name +
+                                        " has retimed register count " +
+                                        std::to_string(w));
+    }
+  }
+
+  // -- CERT-RET-SEALED -----------------------------------------------------
+  // Every cluster-crossing connection of a retimable cut net must carry a
+  // register after retiming; multiplexed nets are sealed by hardware
+  // (A_CELL + MUX) instead.
+  std::unordered_set<std::uint32_t> retimable_set(ret_ids.begin(), ret_ids.end());
+  for (const REdge& e : edges) {
+    if (!retimable_set.count(e.from)) continue;
+    if (cluster_of[e.from] == kNoCluster || cluster_of[e.to] == kNoCluster) continue;
+    if (cluster_of[e.from] == cluster_of[e.to]) continue;
+    const std::int64_t w = e.weight + rho[e.to] - rho[e.from];
+    if (w < 1) {
+      return fail("CERT-RET-SEALED",
+                  "retimable cut '" + nl.gates[e.from].name + "' crossing to '" +
+                      nl.gates[e.to].name + "' carries " + std::to_string(w) +
+                      " registers after retiming");
+    }
+  }
+
+  // -- CERT-EQ2 ------------------------------------------------------------
+  const Sccs sccs = find_sccs(nl);
+  // χ(λ): cut nets whose driver is in λ with a combinational crossing sink
+  // also in λ — the paper's Eq. 2 demand against the f(λ) register supply.
+  std::vector<std::uint64_t> chi(sccs.components.size(), 0);
+  for (std::uint32_t d : actual_cuts) {
+    const std::int32_t scc = sccs.component_of[d];
+    if (scc == kNoScc) continue;
+    for (std::uint32_t s : nl.fanouts[d]) {
+      if (nl.is_comb(s) && cluster_of[s] != cluster_of[d] &&
+          sccs.component_of[s] == scc) {
+        ++chi[static_cast<std::size_t>(scc)];
+        break;
+      }
+    }
+  }
+  struct Row {
+    std::string rep;
+    std::uint64_t dffs;
+    std::uint64_t cuts;
+  };
+  std::vector<Row> expected(sccs.components.size());
+  for (std::size_t s = 0; s < sccs.components.size(); ++s) {
+    for (std::uint32_t m : sccs.components[s]) {
+      const std::string& name = nl.gates[m].name;
+      if (expected[s].rep.empty() || name < expected[s].rep) expected[s].rep = name;
+    }
+    expected[s].dffs = sccs.dff_count[s];
+    expected[s].cuts = chi[s];
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const Row& a, const Row& b) { return a.rep < b.rep; });
+  std::vector<Cert::Eq2Row> claimed = cert.eq2;
+  std::sort(claimed.begin(), claimed.end(),
+            [](const Cert::Eq2Row& a, const Cert::Eq2Row& b) { return a.scc < b.scc; });
+  if (claimed.size() != expected.size()) {
+    return fail("CERT-EQ2", "certificate has " + std::to_string(claimed.size()) +
+                                " eq2 rows, netlist has " +
+                                std::to_string(expected.size()) + " non-trivial SCCs");
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (claimed[i].scc != expected[i].rep) {
+      return fail("CERT-EQ2", "eq2 row names scc '" + claimed[i].scc +
+                                  "', expected '" + expected[i].rep + "'");
+    }
+    if (claimed[i].dffs != expected[i].dffs || claimed[i].cuts != expected[i].cuts) {
+      return fail("CERT-EQ2", "scc '" + expected[i].rep + "': certificate claims dffs=" +
+                                  std::to_string(claimed[i].dffs) + " cuts_on_scc=" +
+                                  std::to_string(claimed[i].cuts) +
+                                  ", recomputation gives dffs=" +
+                                  std::to_string(expected[i].dffs) + " cuts_on_scc=" +
+                                  std::to_string(expected[i].cuts));
+    }
+  }
+
+  // -- CERT-AREA -----------------------------------------------------------
+  // Paper aggregate (Table 12): Σ_λ max(0, χ(λ) − f(λ)) cuts need the
+  // multiplexed A_CELL; the rest convert existing DFFs.
+  const std::uint64_t total_cuts = actual_cuts.size();
+  std::uint64_t demand = 0;
+  for (std::size_t s = 0; s < sccs.components.size(); ++s) {
+    if (chi[s] > sccs.dff_count[s]) demand += chi[s] - sccs.dff_count[s];
+  }
+  const std::uint64_t exp_mux = std::min(total_cuts, demand);
+  const std::uint64_t exp_ret = total_cuts - exp_mux;
+  if (cert.area_retimable + cert.area_multiplexed != total_cuts) {
+    return fail("CERT-AREA", "retimable_cuts + multiplexed_cuts = " +
+                                 std::to_string(cert.area_retimable +
+                                                cert.area_multiplexed) +
+                                 " but the cut set has " + std::to_string(total_cuts) +
+                                 " nets");
+  }
+  if (cert.area_retimable != exp_ret || cert.area_multiplexed != exp_mux) {
+    return fail("CERT-AREA",
+                "certificate claims retimable_cuts=" +
+                    std::to_string(cert.area_retimable) + " multiplexed_cuts=" +
+                    std::to_string(cert.area_multiplexed) +
+                    ", Eq. 2 aggregate gives retimable_cuts=" + std::to_string(exp_ret) +
+                    " multiplexed_cuts=" + std::to_string(exp_mux));
+  }
+  const std::uint64_t exp_with =
+      exp_ret * kACellFromDffArea + exp_mux * kACellWithMuxArea;
+  const std::uint64_t exp_without = total_cuts * kACellWithMuxArea;
+  if (cert.area_with != exp_with) {
+    return fail("CERT-AREA", "cbit_area_with_retiming=" +
+                                 std::to_string(cert.area_with) + ", arithmetic gives " +
+                                 std::to_string(exp_with));
+  }
+  if (cert.area_without != exp_without) {
+    return fail("CERT-AREA", "cbit_area_without_retiming=" +
+                                 std::to_string(cert.area_without) +
+                                 ", arithmetic gives " + std::to_string(exp_without));
+  }
+
+  CheckResult ok;
+  ok.ok = true;
+  ok.message = std::to_string(num_clusters) + " clusters, " +
+               std::to_string(total_cuts) + " cuts, " +
+               std::to_string(expected.size()) + " sccs verified";
+  return ok;
+}
+
+}  // namespace certcheck

@@ -1,0 +1,37 @@
+// The merced-cert-v1 rule engine. check_certificate() re-derives every
+// claim in the certificate from the netlist alone and stops at the first
+// violated rule. Rules run in a fixed order so a given defect always pins
+// the same diagnostic:
+//
+//   CERT-PARSE          certificate is well-formed JSON
+//   CERT-SCHEMA         document structure and types match merced-cert-v1
+//   CERT-NETLIST        PI/DFF/gate counts and the structural hash match
+//   CERT-COVERAGE       clusters partition exactly the non-PI nodes
+//   CERT-IOTA           each claimed per-cluster ι equals the recomputed ι
+//   CERT-IOTA-BOUND     every ι is within run.lk
+//   CERT-CUT            claimed cut set equals the recomputed cut set
+//   CERT-RET-PARTITION  retimable ⊎ multiplexed is exactly the cut set
+//   CERT-RET-LEGAL      ρ keeps every connection's register count >= 0
+//   CERT-RET-SEALED     every crossing of a retimable cut carries >= 1 DFF
+//   CERT-EQ2            per-SCC (f, χ) witnesses match recomputation
+//   CERT-AREA           retimable/multiplexed split and CBIT areas add up
+#pragma once
+
+#include <string>
+
+#include "bench_read.h"
+
+namespace certcheck {
+
+struct CheckResult {
+  bool ok = false;
+  std::string rule;     ///< violated rule id, empty when ok
+  std::string message;  ///< human diagnostic
+};
+
+/// Validates `cert_text` (merced-cert-v1 JSON) against the parsed netlist.
+/// Never throws on certificate problems — those become CheckResults; throws
+/// BenchError only if the *netlist* itself is malformed (register ring).
+CheckResult check_certificate(const BNetlist& nl, const std::string& cert_text);
+
+}  // namespace certcheck

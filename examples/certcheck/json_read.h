@@ -1,0 +1,46 @@
+// Self-contained JSON reader for the certificate checker (strict RFC 8259
+// subset: no comments, no trailing commas). Deliberately independent of the
+// compiler's obs/json.h — the checker trusts nothing it verifies.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace certcheck {
+
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;  ///< document order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// True when the value is a non-negative integral number.
+  bool is_uint() const;
+  std::uint64_t as_uint() const { return static_cast<std::uint64_t>(number); }
+  /// True when the value is an integral number (possibly negative).
+  bool is_int() const;
+  std::int64_t as_int() const { return static_cast<std::int64_t>(number); }
+
+  /// Member by key (first match), or nullptr.
+  const JValue* find(const std::string& key) const;
+};
+
+/// Parses a complete document; trailing non-space input throws JsonError.
+JValue json_parse(const std::string& text);
+
+}  // namespace certcheck

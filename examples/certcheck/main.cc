@@ -1,0 +1,54 @@
+// merced_certcheck — independent validator for merced-cert-v1 artifacts.
+//
+// Usage: merced_certcheck <netlist.bench> <certificate.json>
+// Exit:  0 certificate verified, 1 certificate rejected (rule on stderr),
+//        2 usage / IO / netlist error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_read.h"
+#include "check.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: merced_certcheck <netlist.bench> <certificate.json>\n";
+    return 2;
+  }
+  std::string bench_text, cert_text;
+  if (!read_file(argv[1], bench_text)) {
+    std::cerr << "merced_certcheck: cannot read netlist '" << argv[1] << "'\n";
+    return 2;
+  }
+  if (!read_file(argv[2], cert_text)) {
+    std::cerr << "merced_certcheck: cannot read certificate '" << argv[2] << "'\n";
+    return 2;
+  }
+  try {
+    const certcheck::BNetlist nl = certcheck::parse_bench(bench_text);
+    const certcheck::CheckResult r = certcheck::check_certificate(nl, cert_text);
+    if (!r.ok) {
+      std::cerr << r.rule << ": " << r.message << "\n";
+      return 1;
+    }
+    std::cout << "OK: " << r.message << "\n";
+    return 0;
+  } catch (const certcheck::BenchError& e) {
+    std::cerr << "merced_certcheck: " << e.what() << "\n";
+    return 2;
+  }
+}

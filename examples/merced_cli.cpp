@@ -8,6 +8,7 @@
 //              [--verify] [--verify-json FILE] [--inject-defect KIND]
 //              [--prove-coverage] [--prove-json FILE]
 //              [--analyze] [--analyze-json FILE] [--no-collapse]
+//              [--exact] [--exact-nodes N] [--cert FILE] [--write-bench FILE]
 //
 // <circuit> is either a bundled benchmark name (s27, s510, ... s38584.1)
 // or a path to an ISCAS89 .bench file. Every flag accepts both
@@ -56,6 +57,23 @@
 // the *post-injection* artifact, so --inject-defect skew-rho is flagged by
 // the equivalence checker as well as the structural verifier.
 //
+// --exact chases the heuristic with the branch-and-bound exact PIC solver
+// (DESIGN.md "Exact solver and certifying compilation"): the multi-start
+// result seeds the incumbent, and the run either *proves* the cut count
+// optimal, finds a strictly better partition (which then replaces the
+// artifact), or reports an honest bounded gap — never a silent "good
+// enough". --exact-nodes N caps the decision-node budget (wall-clock is
+// deliberately not a default throttle so outcomes are machine-independent).
+//
+// --cert FILE writes the merced-cert-v1 certificate (DESIGN.md, same
+// section): a self-contained restatement of every claim of the compile —
+// partition, per-cluster ι, cut set, retiming ρ, Eq. 2 witnesses, area
+// arithmetic — validated by the independent merced_certcheck binary from
+// the netlist alone. The certificate is emitted *after* --inject-defect
+// corrupts the artifact, so CI can prove the checker rejects a defective
+// certificate rather than rubber-stamping it. --write-bench FILE dumps the
+// netlist in .bench form (the checker's input for generated circuits).
+//
 // --analyze runs the static netlist analyzer (DESIGN.md "Static analysis
 // layer") over every CUT: constant propagation, fault equivalence/
 // dominance collapsing, and implication-based untestability proofs — no
@@ -81,7 +99,9 @@
 #include "analyze/analyze.h"
 #include "analyze/analyze_json.h"
 #include "circuits/registry.h"
+#include "core/certificate.h"
 #include "core/merced.h"
+#include "exact/exact_solver.h"
 #include "core/ppet_session.h"
 #include "graph/circuit_graph.h"
 #include "netlist/bench_io.h"
@@ -104,6 +124,8 @@ void usage() {
                "                  [--verify] [--verify-json FILE] [--inject-defect KIND]\n"
                "                  [--prove-coverage] [--prove-json FILE]\n"
                "                  [--analyze] [--analyze-json FILE] [--no-collapse]\n"
+               "                  [--exact] [--exact-nodes N] [--cert FILE]\n"
+               "                  [--write-bench FILE]\n"
                "defect kinds (for --inject-defect): drop-cut, skew-rho\n"
                "bundled circuits:";
   for (const auto& e : merced::benchmark_suite()) std::cerr << " " << e.spec.name;
@@ -161,6 +183,10 @@ int main(int argc, char** argv) {
   bool run_analyze = false;
   std::optional<std::string> analyze_json_path;
   bool no_collapse = false;
+  bool run_exact = false;
+  exact::ExactOptions exact_opt;
+  std::optional<std::string> cert_path;
+  std::optional<std::string> write_bench_path;
   SimdWidth simd = SimdWidth::kAuto;
   SimdWidth simd_resolved = SimdWidth::k64;
   try {
@@ -183,6 +209,10 @@ int main(int argc, char** argv) {
       if (flag == "--no-collapse") {
         no_collapse = true;
         run_analyze = true;
+        continue;
+      }
+      if (flag == "--exact") {
+        run_exact = true;
         continue;
       }
       // Accept "--flag=value" and "--flag value".
@@ -229,6 +259,14 @@ int main(int argc, char** argv) {
       } else if (flag == "--analyze-json") {
         analyze_json_path = std::string(value);
         run_analyze = true;
+      } else if (flag == "--exact-nodes") {
+        exact_opt.max_nodes = parse_strict<std::uint64_t>(flag, value,
+                                                          "non-negative integer");
+        run_exact = true;
+      } else if (flag == "--cert") {
+        cert_path = std::string(value);
+      } else if (flag == "--write-bench") {
+        write_bench_path = std::string(value);
       } else if (flag == "--inject-defect") {
         if (value != "drop-cut" && value != "skew-rho") {
           throw BadFlag{"--inject-defect expects drop-cut or skew-rho, got '" +
@@ -260,7 +298,36 @@ int main(int argc, char** argv) {
   try {
     const Netlist netlist = target.ends_with(".bench") ? parse_bench_file(target)
                                                        : load_benchmark(target);
-    MercedResult result = compile(netlist, config);
+    if (write_bench_path) {
+      std::ofstream out(*write_bench_path);
+      if (!out) throw std::runtime_error("cannot write bench file " + *write_bench_path);
+      out << write_bench(netlist);
+      std::cout << "wrote netlist: " << *write_bench_path << "\n";
+    }
+
+    MercedResult result;
+    std::string cert_source = "heuristic";
+    if (run_exact) {
+      exact_opt.lk = config.lk;
+      const exact::ExactCompileResult ec = exact_compile(netlist, config, exact_opt);
+      result = ec.result;
+      if (ec.proof.improved_incumbent) cert_source = "exact";
+      std::cout << "exact: status=" << exact::to_string(ec.proof.status);
+      if (ec.proof.found_solution) {
+        std::cout << " best=" << ec.proof.best_cost;
+      }
+      std::cout << " lower-bound=" << ec.proof.lower_bound;
+      if (ec.heuristic_feasible) {
+        std::cout << " heuristic=" << ec.heuristic_cost << " gap=" << ec.heuristic_gap();
+      } else {
+        std::cout << " heuristic=infeasible";
+      }
+      std::cout << " nodes=" << ec.proof.nodes << " components=" << ec.proof.components;
+      if (ec.proof.improved_incumbent) std::cout << " (exact partition adopted)";
+      std::cout << "\n";
+    } else {
+      result = compile(netlist, config);
+    }
     print_report(std::cout, result);
 
     // Verification runs before the observability teardown so a traced run
@@ -299,6 +366,27 @@ int main(int argc, char** argv) {
         std::cout << "  wrote verify report: " << *verify_json_path << "\n";
       }
       verify_clean = report.clean();
+    }
+
+    // Certificate emission sits *after* defect injection on purpose: a
+    // corrupted artifact yields a corrupted certificate, and merced_certcheck
+    // must reject it (CI pins the rule each defect trips).
+    if (cert_path) {
+      if (!result.feasible) {
+        std::cerr << "error: --cert needs a feasible compile (no certifiable claims)\n";
+        return 2;
+      }
+      const CircuitGraph cert_graph(netlist);
+      const SccInfo cert_sccs = find_sccs(cert_graph);
+      CertificateInfo info;
+      info.circuit = target;
+      info.source = cert_source;
+      info.lk = config.lk;
+      info.beta = config.beta;
+      std::ofstream out(*cert_path);
+      if (!out) throw std::runtime_error("cannot write certificate file " + *cert_path);
+      write_certificate(out, netlist, cert_graph, cert_sccs, result, info);
+      std::cout << "  wrote certificate: " << *cert_path << "\n";
     }
 
     // SAT oracles run on the post-injection artifact, so a skewed rho is

@@ -23,9 +23,11 @@
 // --time-budget caps wall time instead (content-reproducible but not
 // length-reproducible; see EXPERIMENTS.md "Fuzzing").
 //
-// --inject-defect KIND (drop-cut, skew-rho, lane-mask, skew-tap) corrupts
-// one pipeline stage on purpose so CI can prove the oracle stack catches it —
-// in this mode exit 1 (failures found) is the *expected* outcome.
+// --inject-defect KIND (drop-cut, skew-rho, lane-mask, skew-tap,
+// cert-iota, cert-area) corrupts one pipeline stage on purpose so CI can
+// prove the oracle stack catches it — in this mode exit 1 (failures found)
+// is the *expected* outcome. The cert-* kinds corrupt only the emitted
+// certificate text, so only oracle 7's independent checker can object.
 //
 // --replay re-runs every entry of --corpus DIR against the current tree
 // instead of fuzzing: expect-fail entries must fail with their recorded
@@ -58,7 +60,8 @@ void usage() {
          "                   [--minimize on|off] [--corpus DIR] [--inject-defect KIND]\n"
          "                   [--report FILE] [--metrics FILE] [--trace FILE]\n"
          "                   [--static-analysis on|off] [--replay]\n"
-         "defect kinds (for --inject-defect): drop-cut, skew-rho, lane-mask, skew-tap\n";
+         "defect kinds (for --inject-defect): drop-cut, skew-rho, lane-mask,\n"
+         "                                    skew-tap, cert-iota, cert-area\n";
 }
 
 /// A flag value that failed strict parsing; caught in main → usage error.
@@ -165,7 +168,8 @@ int main(int argc, char** argv) {
       } else if (flag == "--inject-defect") {
         if (!fuzz::defect_from_string(value, cfg.oracle.defect) ||
             cfg.oracle.defect == fuzz::FuzzDefect::kNone) {
-          throw BadFlag{"--inject-defect expects drop-cut, skew-rho, lane-mask or skew-tap, got '" +
+          throw BadFlag{"--inject-defect expects drop-cut, skew-rho, lane-mask, "
+                        "skew-tap, cert-iota or cert-area, got '" +
                         std::string(value) + "'"};
         }
       } else if (flag == "--report") {

@@ -1,0 +1,208 @@
+#include "core/certificate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace merced {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+void write_name_array(std::ostream& os, const std::vector<std::string>& names) {
+  os << '[';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) os << ',';
+    os << '"';
+    json_escape(os, names[i]);
+    os << '"';
+  }
+  os << ']';
+}
+
+std::string net_name(const Netlist& nl, const CircuitGraph& g, NetId net) {
+  return nl.gate(g.driver(net)).name;
+}
+
+}  // namespace
+
+std::uint64_t structural_hash(const Netlist& nl) {
+  std::vector<std::string> lines;
+  lines.reserve(nl.size() + nl.outputs().size());
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& gate = nl.gate(id);
+    if (gate.type == GateType::kInput) {
+      lines.push_back("INPUT(" + gate.name + ")");
+      continue;
+    }
+    std::string line = gate.name;
+    line += " = ";
+    line += to_string(gate.type);
+    line += '(';
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i) line += ',';
+      line += nl.gate(gate.fanins[i]).name;
+    }
+    line += ')';
+    lines.push_back(std::move(line));
+  }
+  for (GateId id : nl.outputs()) {
+    lines.push_back("OUTPUT(" + nl.gate(id).name + ")");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t h = kFnvOffset;
+  bool first = true;
+  for (const std::string& line : lines) {
+    if (!first) {
+      h ^= static_cast<unsigned char>('\n');
+      h *= kFnvPrime;
+    }
+    first = false;
+    for (char c : line) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+void write_certificate(std::ostream& os, const Netlist& nl, const CircuitGraph& g,
+                       const SccInfo& sccs, const MercedResult& r,
+                       const CertificateInfo& info) {
+  if (!r.feasible) {
+    throw std::invalid_argument(
+        "write_certificate: an infeasible compile makes no certifiable claims");
+  }
+
+  os << "{\n  \"schema\": \"" << kCertificateSchema << "\",\n";
+  os << "  \"run\": {\"tool\": \"";
+  json_escape(os, info.tool);
+  os << "\", \"circuit\": \"";
+  json_escape(os, info.circuit);
+  os << "\", \"source\": \"";
+  json_escape(os, info.source);
+  os << "\", \"lk\": " << info.lk << ", \"beta\": " << info.beta << "},\n";
+
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(structural_hash(nl)));
+  os << "  \"netlist\": {\"name\": \"";
+  json_escape(os, nl.name());
+  os << "\", \"pis\": " << nl.inputs().size() << ", \"dffs\": " << nl.dffs().size()
+     << ", \"gates\": " << (nl.size() - nl.inputs().size() - nl.dffs().size())
+     << ", \"hash\": \"fnv1a:" << hash_hex << "\"},\n";
+
+  // Clusters: claimed ι plus members by name. PIs are never members.
+  os << "  \"clusters\": [";
+  for (std::size_t ci = 0; ci < r.partitions.clusters.size(); ++ci) {
+    if (ci) os << ',';
+    os << "\n    {\"iota\": " << r.partition_inputs.at(ci) << ", \"members\": ";
+    std::vector<std::string> members;
+    members.reserve(r.partitions.clusters[ci].size());
+    for (NodeId v : r.partitions.clusters[ci]) members.push_back(nl.gate(v).name);
+    write_name_array(os, members);
+    os << '}';
+  }
+  os << "\n  ],\n";
+
+  // Cut nets by name (net = driver gate name).
+  std::vector<std::string> cut_names;
+  cut_names.reserve(r.cut_net_ids.size());
+  for (NetId net : r.cut_net_ids) cut_names.push_back(net_name(nl, g, net));
+  os << "  \"cuts\": ";
+  write_name_array(os, cut_names);
+  os << ",\n";
+
+  // Retiming: ρ keyed by vertex (non-register node) name, zero entries
+  // omitted; the retimable/multiplexed split of the exact plan. The vertex
+  // order of RetimeGraph is the non-register nodes in node-id order.
+  os << "  \"retiming\": {\"rho\": {";
+  {
+    std::size_t vertex = 0;
+    bool first = true;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.is_register(v)) continue;
+      const std::size_t idx = vertex++;
+      if (idx >= r.retiming.rho.size()) break;
+      const std::int32_t value = r.retiming.rho[idx];
+      if (value == 0) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"';
+      json_escape(os, nl.gate(v).name);
+      os << "\":" << value;
+    }
+  }
+  os << "},\n   \"retimable\": ";
+  std::vector<std::string> retimable;
+  for (NetId net : r.retiming.retimable) retimable.push_back(net_name(nl, g, net));
+  write_name_array(os, retimable);
+  os << ",\n   \"multiplexed\": ";
+  std::vector<std::string> multiplexed;
+  for (NetId net : r.retiming.multiplexed) multiplexed.push_back(net_name(nl, g, net));
+  write_name_array(os, multiplexed);
+  os << "},\n";
+
+  // Eq. 2 witnesses: one row per non-trivial SCC λ, keyed by the
+  // lexicographically smallest member name; f(λ) = functional DFFs on λ,
+  // χ(λ) = cut nets on λ (make_cut_report census).
+  struct Eq2Row {
+    std::string rep;
+    std::uint64_t dffs = 0;
+    std::uint64_t cuts = 0;
+  };
+  std::vector<Eq2Row> rows(sccs.count());
+  for (std::size_t s = 0; s < sccs.count(); ++s) {
+    Eq2Row& row = rows[s];
+    for (NodeId v : sccs.components[s]) {
+      const std::string& name = nl.gate(v).name;
+      if (row.rep.empty() || name < row.rep) row.rep = name;
+    }
+    row.dffs = sccs.dff_count[s];
+    row.cuts = r.cuts.cuts_per_scc.at(s);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Eq2Row& a, const Eq2Row& b) { return a.rep < b.rep; });
+  os << "  \"eq2\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) os << ',';
+    os << "\n    {\"scc\": \"";
+    json_escape(os, rows[i].rep);
+    os << "\", \"dffs\": " << rows[i].dffs << ", \"cuts_on_scc\": " << rows[i].cuts
+       << '}';
+  }
+  os << "\n  ],\n";
+
+  os << "  \"area\": {\"retimable_cuts\": " << r.area.retimable_cuts
+     << ", \"multiplexed_cuts\": " << r.area.multiplexed_cuts
+     << ", \"cbit_area_with_retiming\": " << r.area.cbit_area_with_retiming()
+     << ", \"cbit_area_without_retiming\": " << r.area.cbit_area_without_retiming()
+     << "}\n}\n";
+}
+
+std::string make_certificate(const Netlist& nl, const CircuitGraph& g,
+                             const SccInfo& sccs, const MercedResult& r,
+                             const CertificateInfo& info) {
+  std::ostringstream os;
+  write_certificate(os, nl, g, sccs, r, info);
+  return os.str();
+}
+
+}  // namespace merced

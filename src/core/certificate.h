@@ -1,0 +1,64 @@
+// merced-cert-v1 — the certifying-compilation artifact.
+//
+// Every feasible compile can emit a certificate: a self-contained JSON
+// document restating every claim the compiler makes about its output —
+// the partition and its per-cluster ι, the cut set, the retiming plan ρ
+// with the retimable/multiplexed split, the per-SCC Eq. 2 witnesses
+// (f(λ), χ(λ)), and the CBIT area arithmetic. The certificate references
+// everything by *name* (gate names, net = driver-gate name, SCCs by their
+// lexicographically smallest member), never by internal ids, so a totally
+// independent program can re-derive each claim from the netlist alone.
+//
+// That independent program is examples/merced_certcheck: a deliberately
+// tiny checker with its own .bench parser, its own JSON reader, its own
+// Tarjan SCC and retime-graph construction, and zero linkage against any
+// compiler library. The emitter here and the checker share only this
+// documented format and the structural hash definition below.
+//
+// Structural hash: FNV-1a (64-bit, offset 14695981039346656037,
+// prime 1099511628211) over the canonical line set of the netlist —
+// "INPUT(<name>)" per PI, "OUTPUT(<name>)" per PO, and
+// "<name> = <TYPE>(<fanin>,<fanin>,...)" per non-input gate with canonical
+// upper-case type names and no spaces in the fanin list — sorted
+// lexicographically and joined with '\n'. The hash is independent of file
+// formatting, comment placement, and declaration order, but pins the
+// structure: both sides compute it from their own parse.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/merced.h"
+
+namespace merced {
+
+inline constexpr const char* kCertificateSchema = "merced-cert-v1";
+
+/// Identity block for the "run" object.
+struct CertificateInfo {
+  std::string tool = "merced_cli";
+  std::string circuit;               ///< circuit name or .bench path
+  std::string source = "heuristic";  ///< "heuristic" or "exact"
+  std::uint64_t lk = 0;
+  std::int64_t beta = 0;
+};
+
+/// Formatting-independent structural hash of a finalized netlist (see the
+/// file comment for the exact definition the checker mirrors).
+std::uint64_t structural_hash(const Netlist& netlist);
+
+/// Serializes the merced-cert-v1 document for a *feasible* compile result.
+/// `graph` and `sccs` must be the ones the compile ran on. Throws
+/// std::invalid_argument when the result is infeasible (an infeasible
+/// compile makes no certifiable claims).
+void write_certificate(std::ostream& os, const Netlist& netlist,
+                       const CircuitGraph& graph, const SccInfo& sccs,
+                       const MercedResult& result, const CertificateInfo& info);
+
+/// Convenience overload returning the document as a string.
+std::string make_certificate(const Netlist& netlist, const CircuitGraph& graph,
+                             const SccInfo& sccs, const MercedResult& result,
+                             const CertificateInfo& info);
+
+}  // namespace merced

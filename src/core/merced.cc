@@ -131,11 +131,20 @@ MercedResult compile(const PreparedCircuit& prepared, const MercedConfig& config
       });
 
   // Deterministic merge: feasible beats infeasible, then fewest cut nets,
-  // then smallest worst-case ι (the lk slack), then lowest start index.
+  // then fewest cut nets on SCCs, then smallest worst-case ι (the lk
+  // slack), then lowest start index. The SCC tie-break was added after the
+  // exact-solver gap study (EXPERIMENTS.md "Heuristic vs exact"): among
+  // equal-cut candidates, cuts that land on feedback loops are the ones
+  // Eq. 2 may force into the 23-unit multiplexed A_CELL instead of a
+  // 9-unit retimed conversion, so preferring the candidate with fewer
+  // SCC cuts lowers CBIT area at identical cut count.
   std::size_t best = 0;
   auto better = [](const Candidate& a, const Candidate& b) {
     if (a.feasible != b.feasible) return a.feasible;
     if (a.cuts.nets_cut != b.cuts.nets_cut) return a.cuts.nets_cut < b.cuts.nets_cut;
+    if (a.cuts.cut_nets_on_scc != b.cuts.cut_nets_on_scc) {
+      return a.cuts.cut_nets_on_scc < b.cuts.cut_nets_on_scc;
+    }
     return a.max_iota < b.max_iota;
   };
   for (std::size_t k = 1; k < candidates.size(); ++k) {

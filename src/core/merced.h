@@ -31,9 +31,12 @@ struct MercedConfig {
 
   /// Multi-start width K: run K independent saturations (seeded via
   /// multi_start_seed) and keep the congestion ranking whose Make_Group
-  /// output wins on (feasible, fewest cut nets, smallest max ι, lowest
-  /// start index) — the documented deterministic tie-break. K=1 reproduces
-  /// the historical single-start pipeline exactly.
+  /// output wins on (feasible, fewest cut nets, fewest cut nets on SCCs,
+  /// smallest max ι, lowest start index) — the documented deterministic
+  /// tie-break. The SCC term prefers, at equal cut count, the candidate
+  /// whose cuts avoid feedback loops (cheaper to seal by retiming; see
+  /// EXPERIMENTS.md "Heuristic vs exact"). K=1 reproduces the historical
+  /// single-start pipeline exactly.
   std::size_t multi_start = 1;
   /// Worker threads for the saturation/evaluation fan-out (0 = hardware).
   std::size_t jobs = 1;

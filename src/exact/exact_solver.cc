@@ -1,0 +1,790 @@
+#include "exact/exact_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "obs/obs.h"
+#include "retiming/retime_graph.h"
+
+namespace merced::exact {
+
+namespace {
+
+constexpr std::size_t kNoCost = std::numeric_limits<std::size_t>::max();
+constexpr std::uint32_t kNone32 = std::numeric_limits<std::uint32_t>::max();
+
+template <typename T>
+std::size_t union_size(const std::vector<T>& a, const std::vector<T>& b) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    ++n;
+    if (a[i] < b[j]) ++i;
+    else if (b[j] < a[i]) ++j;
+    else { ++i; ++j; }
+  }
+  return n + (a.size() - i) + (b.size() - j);
+}
+
+template <typename T>
+std::vector<T> merge_sorted(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Per union-find root: the cluster-in-progress. `fixed` and `in_nets`
+/// together are the cluster's admissible ι floor — both only ever grow on
+/// the way down the search tree, which is what makes pruning on them sound.
+struct Group {
+  std::vector<NetId> fixed;            ///< sorted distinct PI/DFF input nets
+  std::vector<std::uint32_t> in_nets;  ///< sorted net indices separated into the group
+  std::vector<std::uint32_t> sep;      ///< separated branch ids touching the group
+};
+
+enum class Opt : std::uint8_t { kMerge, kSeparate, kNone };
+
+struct MergeUndo {
+  std::uint32_t child = kNone32;
+  std::uint32_t parent = kNone32;
+  Group saved;  ///< parent's group before the merge
+};
+
+struct SepUndo {
+  std::uint32_t net = kNone32;
+  std::uint32_t ru = kNone32, rv = kNone32;
+  bool inserted = false;  ///< net was new in rv's in_nets
+  bool first_cut = false; ///< this separation made the net a cut
+};
+
+struct Frame {
+  std::uint32_t depth = 0;
+  std::uint8_t next_opt = 0;
+  std::uint8_t n_opts = 0;
+  Opt opts[2] = {Opt::kNone, Opt::kNone};
+  Opt applied = Opt::kNone;
+  bool forced = false;  ///< endpoints already in one component (no-op merge)
+  std::size_t lb = 0;   ///< admissible bound on any leaf below this frame
+  MergeUndo mu;
+  SepUndo su;
+};
+
+/// One DFS over all components, sequentially, sharing the union-find and
+/// group state (components are disjoint, and every decision is undone on
+/// backtrack, so state never leaks between components).
+class Search {
+ public:
+  Search(const PicInstance& inst, const ExactOptions& opt,
+         const std::vector<std::int32_t>* inc_label)
+      : inst_(inst), opt_(opt), inc_label_(inc_label) {
+    const std::size_t n = inst_.num_gates();
+    uf_parent_.resize(n);
+    uf_size_.assign(n, 1);
+    group_.resize(n);
+    for (std::uint32_t g = 0; g < n; ++g) {
+      uf_parent_[g] = g;
+      group_[g].fixed = inst_.fixed_inputs[g];
+    }
+    net_sep_count_.assign(inst_.nets.size(), 0);
+    lb_mark_.assign(inst_.nets.size(), 0);
+    if (opt_.max_seconds > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(opt_.max_seconds));
+      have_deadline_ = true;
+    }
+  }
+
+  std::uint64_t nodes() const noexcept { return nodes_; }
+
+  struct RunOutcome {
+    bool completed = false;       ///< search exhausted (not budget-stopped)
+    bool have_leaf = false;       ///< a real solution was reached
+    std::size_t best = kNoCost;   ///< final upper bound (artificial or real)
+    std::size_t open_lb = kNoCost;///< min bound over abandoned subtrees
+    std::vector<std::uint32_t> label;  ///< per member (valid when have_leaf)
+  };
+
+  /// One bounded B&B pass over a component. `initial_best` seeds the
+  /// pruning bound: the heuristic incumbent's cost in an optimization pass,
+  /// or an artificial bound L in a destructive "is there a solution < L?"
+  /// pass (a completed run with no leaf then proves optimum ≥ L, and a
+  /// completed run is always exhaustive below its final bound). `node_cap`
+  /// is an absolute cap on the shared node counter.
+  RunOutcome run(const std::vector<std::uint32_t>& members,
+                 const std::vector<std::uint32_t>& order,
+                 std::size_t initial_best, std::uint64_t node_cap) {
+    best_ = initial_best;
+    have_leaf_ = false;
+    open_lb_ = kNoCost;
+    best_label_.clear();
+    node_cap_ = node_cap;
+    aborted_ = false;
+    assert(cost_ == 0);
+
+    std::vector<Frame> stack;
+    stack.reserve(order.size() + 1);
+    try_push(stack, order, 0);
+    while (!stack.empty()) {
+      {
+        Frame& f = stack.back();
+        if (f.applied != Opt::kNone) {
+          undo(f);
+          f.applied = Opt::kNone;
+        }
+        if (aborted_) {
+          // Every untried alternative of this frame roots an unexplored
+          // subtree; its cost floor joins the proven lower bound.
+          for (std::uint8_t i = f.next_opt; i < f.n_opts; ++i) {
+            open_lb_ = std::min(
+                open_lb_, std::max(f.lb, cost_ + opt_delta(f, f.opts[i])));
+          }
+          stack.pop_back();
+          continue;
+        }
+        if (f.next_opt >= f.n_opts) {
+          stack.pop_back();
+          continue;
+        }
+      }
+      const std::size_t fi = stack.size() - 1;
+      const Opt o = stack[fi].opts[stack[fi].next_opt++];
+      // Re-check the bound: `best_` may have improved since enumeration.
+      if (best_ != kNoCost &&
+          std::max(stack[fi].lb, cost_ + opt_delta(stack[fi], o)) >= best_) {
+        continue;
+      }
+      apply(stack[fi], o);
+      stack[fi].applied = o;
+      const std::uint32_t next_depth = stack[fi].depth + 1;
+      if (next_depth == order.size()) {
+        record_leaf(members);
+        continue;  // the applied decision is undone on the next iteration
+      }
+      try_push(stack, order, next_depth);
+    }
+
+    RunOutcome out;
+    out.completed = !aborted_;
+    out.have_leaf = have_leaf_;
+    out.best = best_;
+    out.open_lb = open_lb_;
+    if (have_leaf_) out.label = std::move(best_label_);
+    return out;
+  }
+
+  std::vector<std::uint32_t> incumbent_labels(
+      const std::vector<std::uint32_t>& members) const {
+    std::vector<std::uint32_t> label(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      label[i] = static_cast<std::uint32_t>((*inc_label_)[members[i]]);
+    }
+    return label;
+  }
+
+ private:
+  std::uint32_t find(std::uint32_t g) const {
+    while (uf_parent_[g] != g) g = uf_parent_[g];
+    return g;
+  }
+
+  std::size_t opt_delta(const Frame& f, Opt o) const {
+    if (o != Opt::kSeparate) return 0;
+    return net_sep_count_[inst_.branches[f_branch(f)].net] > 0 ? 0 : 1;
+  }
+
+  std::uint32_t f_branch(const Frame& f) const { return order_ptr_[f.depth]; }
+
+  bool merge_allowed(std::uint32_t ru, std::uint32_t rv) const {
+    const Group& a = group_[ru];
+    const Group& b = group_[rv];
+    const Group& small = a.sep.size() <= b.sep.size() ? a : b;
+    for (std::uint32_t bid : small.sep) {
+      const PicBranch& br = inst_.branches[bid];
+      const std::uint32_t x = find(br.from);
+      const std::uint32_t y = find(br.to);
+      if ((x == ru && y == rv) || (x == rv && y == ru)) return false;
+    }
+    return union_size(a.fixed, b.fixed) + union_size(a.in_nets, b.in_nets) <= opt_.lk;
+  }
+
+  /// Admissible lower bound on *additional* cuts below the current node:
+  /// counts distinct uncut nets with an already-merge-impossible branch.
+  /// Both refusal conditions are monotone down the tree (separation pairs
+  /// only accumulate, fixed∪in_cut floors only grow), so such a net is cut
+  /// at every descendant leaf. Stops counting at `threshold` (enough to
+  /// prune). `lb_mark_` keeps each net counted at most once per scan.
+  std::size_t forced_extra(const std::vector<std::uint32_t>& order,
+                           std::uint32_t depth, std::size_t threshold) {
+    std::size_t forced = 0;
+    ++lb_epoch_;
+    for (std::size_t i = depth; i < order.size(); ++i) {
+      const PicBranch& br = inst_.branches[order[i]];
+      if (lb_mark_[br.net] == lb_epoch_) continue;  // resolved this scan
+      if (net_sep_count_[br.net] > 0) {
+        lb_mark_[br.net] = lb_epoch_;  // already in cost_
+        continue;
+      }
+      const std::uint32_t ru = find(br.from);
+      const std::uint32_t rv = find(br.to);
+      if (ru == rv) continue;
+      if (!merge_allowed(ru, rv)) {
+        lb_mark_[br.net] = lb_epoch_;
+        if (++forced >= threshold) return forced;
+      }
+    }
+    return forced;
+  }
+
+  void try_push(std::vector<Frame>& stack, const std::vector<std::uint32_t>& order,
+                std::uint32_t depth) {
+    order_ptr_ = order.data();
+    ++nodes_;
+    if (nodes_ > node_cap_ || time_exceeded()) {
+      aborted_ = true;
+      open_lb_ = std::min(open_lb_, cost_);
+      return;
+    }
+    Frame f;
+    f.depth = depth;
+    if (best_ != kNoCost && cost_ >= best_) {
+      f.lb = cost_;
+      stack.push_back(std::move(f));  // bound-pruned: no options, pops at once
+      return;
+    }
+    const std::size_t threshold = best_ == kNoCost ? kNoCost : best_ - cost_;
+    f.lb = cost_ + forced_extra(order, depth, threshold);
+    if (best_ != kNoCost && f.lb >= best_) {
+      f.n_opts = 0;  // bound-pruned by the admissible lower bound
+      stack.push_back(std::move(f));
+      return;
+    }
+    const PicBranch& br = inst_.branches[order[depth]];
+    const std::uint32_t ru = find(br.from);
+    const std::uint32_t rv = find(br.to);
+    if (ru == rv) {
+      f.forced = true;
+      f.opts[f.n_opts++] = Opt::kMerge;
+      stack.push_back(std::move(f));
+      return;
+    }
+    const bool merge_ok = merge_allowed(ru, rv);
+    const Group& sink = group_[rv];
+    const bool in_already =
+        std::binary_search(sink.in_nets.begin(), sink.in_nets.end(), br.net);
+    const bool sep_fits =
+        sink.fixed.size() + sink.in_nets.size() + (in_already ? 0 : 1) <= opt_.lk;
+    const std::size_t sep_delta = net_sep_count_[br.net] > 0 ? 0 : 1;
+    const bool sep_ok =
+        sep_fits && !(best_ != kNoCost && cost_ + sep_delta >= best_);
+    // Value ordering: follow the incumbent where there is one (merge first
+    // where the heuristic merged), otherwise merge-first greed.
+    const bool merge_first =
+        inc_label_ == nullptr ||
+        (*inc_label_)[br.from] == (*inc_label_)[br.to];
+    auto push_opt = [&](Opt o) { f.opts[f.n_opts++] = o; };
+    if (merge_first) {
+      if (merge_ok) push_opt(Opt::kMerge);
+      if (sep_ok) push_opt(Opt::kSeparate);
+    } else {
+      if (sep_ok) push_opt(Opt::kSeparate);
+      if (merge_ok) push_opt(Opt::kMerge);
+    }
+    stack.push_back(std::move(f));
+  }
+
+  void apply(Frame& f, Opt o) {
+    const PicBranch& br = inst_.branches[f_branch(f)];
+    if (o == Opt::kMerge) {
+      if (f.forced) return;
+      std::uint32_t ru = find(br.from);
+      std::uint32_t rv = find(br.to);
+      if (uf_size_[ru] < uf_size_[rv]) std::swap(ru, rv);
+      f.mu.parent = ru;
+      f.mu.child = rv;
+      f.mu.saved = std::move(group_[ru]);
+      Group merged;
+      merged.fixed = merge_sorted(f.mu.saved.fixed, group_[rv].fixed);
+      merged.in_nets = merge_sorted(f.mu.saved.in_nets, group_[rv].in_nets);
+      merged.sep = f.mu.saved.sep;
+      merged.sep.insert(merged.sep.end(), group_[rv].sep.begin(), group_[rv].sep.end());
+      group_[ru] = std::move(merged);
+      uf_parent_[rv] = ru;
+      uf_size_[ru] += uf_size_[rv];
+      return;
+    }
+    SepUndo& su = f.su;
+    su.net = br.net;
+    su.ru = find(br.from);
+    su.rv = find(br.to);
+    group_[su.ru].sep.push_back(f_branch(f));
+    group_[su.rv].sep.push_back(f_branch(f));
+    auto& in = group_[su.rv].in_nets;
+    const auto it = std::lower_bound(in.begin(), in.end(), br.net);
+    su.inserted = (it == in.end() || *it != br.net);
+    if (su.inserted) in.insert(it, br.net);
+    su.first_cut = (net_sep_count_[br.net]++ == 0);
+    if (su.first_cut) ++cost_;
+  }
+
+  void undo(Frame& f) {
+    if (f.applied == Opt::kMerge) {
+      if (f.forced) return;
+      uf_size_[f.mu.parent] -= uf_size_[f.mu.child];
+      uf_parent_[f.mu.child] = f.mu.child;
+      group_[f.mu.parent] = std::move(f.mu.saved);
+      return;
+    }
+    SepUndo& su = f.su;
+    if (su.first_cut) --cost_;
+    --net_sep_count_[su.net];
+    if (su.inserted) {
+      auto& in = group_[su.rv].in_nets;
+      in.erase(std::lower_bound(in.begin(), in.end(), su.net));
+    }
+    group_[su.rv].sep.pop_back();
+    group_[su.ru].sep.pop_back();
+  }
+
+  void record_leaf(const std::vector<std::uint32_t>& members) {
+    // Reaching a leaf implies cost_ < best_ (both pushes and applies prune
+    // at >=), so this is always a strict improvement.
+    best_ = cost_;
+    have_leaf_ = true;
+    best_label_.resize(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) best_label_[i] = find(members[i]);
+  }
+
+  bool time_exceeded() {
+    if (!have_deadline_ || (nodes_ & 0xfff) != 0) return false;
+    return std::chrono::steady_clock::now() > deadline_;
+  }
+
+  const PicInstance& inst_;
+  const ExactOptions& opt_;
+  const std::vector<std::int32_t>* inc_label_;
+  const std::uint32_t* order_ptr_ = nullptr;
+
+  std::vector<std::uint32_t> uf_parent_;
+  std::vector<std::uint32_t> uf_size_;
+  std::vector<Group> group_;
+  std::vector<std::uint32_t> net_sep_count_;
+  std::vector<std::uint64_t> lb_mark_;
+  std::uint64_t lb_epoch_ = 0;
+  std::size_t cost_ = 0;
+
+  std::size_t best_ = kNoCost;
+  bool have_leaf_ = false;
+  std::size_t open_lb_ = kNoCost;
+  std::vector<std::uint32_t> best_label_;
+
+  std::uint64_t nodes_ = 0;
+  std::uint64_t node_cap_ = 0;
+  bool aborted_ = false;
+  bool have_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+/// Weak components of the comb→comb branch graph, each with its members and
+/// its branch decision order (nets by congestion rank, branches CSR-order
+/// within a net). Deterministic: components keyed by smallest member.
+struct Component {
+  std::vector<std::uint32_t> members;   ///< comb indices, ascending
+  std::vector<std::uint32_t> order;     ///< branch ids in decision order
+  std::vector<std::uint32_t> nets;      ///< net indices, in decision order
+};
+
+std::vector<Component> split_components(const PicInstance& inst,
+                                        const SaturationResult* congestion) {
+  const std::size_t n = inst.num_gates();
+  std::vector<std::uint32_t> comp_of(n, kNone32);
+  std::vector<Component> comps;
+  std::vector<std::vector<std::uint32_t>> adj(n);  // branch ids per endpoint
+  for (std::uint32_t b = 0; b < inst.branches.size(); ++b) {
+    adj[inst.branches[b].from].push_back(b);
+    adj[inst.branches[b].to].push_back(b);
+  }
+  std::vector<std::uint32_t> dfs;
+  for (std::uint32_t g = 0; g < n; ++g) {
+    if (comp_of[g] != kNone32) continue;
+    const auto ci = static_cast<std::uint32_t>(comps.size());
+    comps.emplace_back();
+    comp_of[g] = ci;
+    dfs.push_back(g);
+    while (!dfs.empty()) {
+      const std::uint32_t v = dfs.back();
+      dfs.pop_back();
+      comps[ci].members.push_back(v);
+      for (std::uint32_t b : adj[v]) {
+        const PicBranch& br = inst.branches[b];
+        for (std::uint32_t w : {br.from, br.to}) {
+          if (comp_of[w] == kNone32) {
+            comp_of[w] = ci;
+            dfs.push_back(w);
+          }
+        }
+      }
+    }
+    std::sort(comps[ci].members.begin(), comps[ci].members.end());
+  }
+
+  // Net rank: congestion distance (descending) when available, id order
+  // otherwise. congestion_ranking is the same ordering Make_Group cuts by.
+  std::vector<std::uint32_t> rank(inst.nets.size());
+  for (std::uint32_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  if (congestion != nullptr) {
+    std::vector<std::uint32_t> net_rank_by_id(congestion->distance.size(), 0);
+    const std::vector<NetId> ranked = congestion_ranking(*congestion);
+    for (std::uint32_t pos = 0; pos < ranked.size(); ++pos) {
+      net_rank_by_id[ranked[pos]] = pos;
+    }
+    std::sort(rank.begin(), rank.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const std::uint32_t ra = net_rank_by_id[inst.nets[a].id];
+      const std::uint32_t rb = net_rank_by_id[inst.nets[b].id];
+      if (ra != rb) return ra < rb;
+      return a < b;
+    });
+  }
+  std::vector<std::uint32_t> net_prio(inst.nets.size(), 0);
+  for (std::uint32_t pos = 0; pos < rank.size(); ++pos) net_prio[rank[pos]] = pos;
+  for (std::uint32_t net_idx : rank) {
+    const std::uint32_t owner = comp_of[inst.branches[inst.nets[net_idx].first_branch].from];
+    comps[owner].nets.push_back(net_idx);  // rank order
+  }
+
+  // Decision order: frontier growth. Each next branch touches the already-
+  // ordered region, so cluster ι floors accumulate quickly and the search
+  // hits merge-impossible contradictions early — that is what powers both
+  // pruning and the forced-cut lower bound. The congestion rank picks which
+  // frontier branch comes next (most contended first). Branches and gates
+  // belong to exactly one component, so the scratch arrays need no reset.
+  std::vector<char> added(inst.branches.size(), 0);
+  std::vector<char> in_region(n, 0);
+  using Prio = std::pair<std::uint32_t, std::uint32_t>;  // (net rank pos, branch)
+  std::priority_queue<Prio, std::vector<Prio>, std::greater<>> frontier;
+  for (auto& comp : comps) {
+    if (comp.nets.empty()) continue;
+    const std::uint32_t seed = inst.nets[comp.nets.front()].first_branch;
+    added[seed] = 1;
+    frontier.push({net_prio[inst.branches[seed].net], seed});
+    auto add_gate = [&](std::uint32_t g) {
+      if (in_region[g]) return;
+      in_region[g] = 1;
+      for (std::uint32_t b : adj[g]) {
+        if (!added[b]) {
+          added[b] = 1;
+          frontier.push({net_prio[inst.branches[b].net], b});
+        }
+      }
+    };
+    while (!frontier.empty()) {
+      const auto [prio, b] = frontier.top();
+      frontier.pop();
+      comp.order.push_back(b);
+      add_gate(inst.branches[b].from);
+      add_gate(inst.branches[b].to);
+    }
+  }
+  return comps;
+}
+
+}  // namespace
+
+std::string_view to_string(ExactStatus status) noexcept {
+  switch (status) {
+    case ExactStatus::kOptimal: return "optimal";
+    case ExactStatus::kInfeasible: return "infeasible";
+    case ExactStatus::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "unknown";
+}
+
+ExactResult solve_exact(const CircuitGraph& graph, const ExactOptions& opt,
+                        const Clustering* incumbent,
+                        const SaturationResult* congestion) {
+  MERCED_SPAN("solve_exact");
+  const auto t0 = std::chrono::steady_clock::now();
+  ExactResult r;
+  const PicInstance inst = build_pic_instance(graph);
+
+  if (opt.lk == 0 || inst.max_fixed > opt.lk) {
+    // Some gate's irreducible PI/DFF inputs already exceed lk: every
+    // cluster containing it violates Eq. 5, no matter the partition.
+    r.status = ExactStatus::kInfeasible;
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return r;
+  }
+
+  // Incumbent labels per comb gate (the value-ordering and upper-bound seed).
+  std::vector<std::int32_t> inc_label;
+  if (incumbent != nullptr) {
+    inc_label.resize(inst.num_gates());
+    for (std::size_t g = 0; g < inst.num_gates(); ++g) {
+      inc_label[g] = incumbent->cluster_of[inst.gate_of[g]];
+    }
+  }
+
+  std::vector<Component> comps = split_components(inst, congestion);
+  r.components = comps.size();
+
+  // Small components first: cheap optimality proofs land before the node
+  // budget runs out on the big ones. Deterministic tie-break by member id.
+  std::vector<std::size_t> comp_order(comps.size());
+  for (std::size_t i = 0; i < comp_order.size(); ++i) comp_order[i] = i;
+  std::sort(comp_order.begin(), comp_order.end(), [&](std::size_t a, std::size_t b) {
+    if (comps[a].order.size() != comps[b].order.size()) {
+      return comps[a].order.size() < comps[b].order.size();
+    }
+    return comps[a].members.front() < comps[b].members.front();
+  });
+
+  Search search(inst, opt, incumbent != nullptr ? &inc_label : nullptr);
+
+  struct CompOutcome {
+    bool completed = false;            ///< optimum proven (or infeasibility)
+    std::size_t best = kNoCost;        ///< best known cost (kNoCost = none)
+    std::size_t lower_bound = 0;       ///< proven: component optimum ≥ this
+    std::vector<std::uint32_t> label;  ///< per member (valid when best != kNoCost)
+  };
+  std::vector<CompOutcome> outcomes(comps.size());
+
+  // Phase 1 — optimization passes, seeded by the incumbent. Reserve a
+  // quarter of the node budget for phase 2's bound strengthening.
+  const std::uint64_t opt_budget = opt.max_nodes - opt.max_nodes / 4;
+  std::size_t inc_total = 0;
+  bool any_infeasible = false;
+  for (std::size_t oi : comp_order) {
+    const Component& comp = comps[oi];
+    std::size_t inc_cost = kNoCost;
+    if (incumbent != nullptr) {
+      inc_cost = 0;
+      for (std::uint32_t net_idx : comp.nets) {
+        const PicNet& net = inst.nets[net_idx];
+        for (std::uint32_t b = 0; b < net.num_branches; ++b) {
+          const PicBranch& br = inst.branches[net.first_branch + b];
+          if (inc_label[br.from] != inc_label[br.to]) {
+            ++inc_cost;
+            break;
+          }
+        }
+      }
+      inc_total += inc_cost;
+    }
+    CompOutcome& out = outcomes[oi];
+    if (comp.order.empty()) {
+      // Isolated gate (or batch of them): singleton clusters, zero cuts.
+      out.completed = true;
+      out.best = 0;
+      out.lower_bound = 0;
+      out.label = comp.members;
+      continue;
+    }
+    if (inc_cost != kNoCost) {
+      out.best = inc_cost;
+      out.label = search.incumbent_labels(comp.members);
+    }
+    if (search.nodes() >= opt_budget) continue;  // phase 2 may still bound it
+    const Search::RunOutcome run =
+        search.run(comp.members, comp.order, inc_cost, opt_budget);
+    if (run.have_leaf) {
+      out.best = run.best;
+      out.label = run.label;
+    }
+    if (run.completed) {
+      out.completed = true;
+      out.lower_bound = out.best == kNoCost ? 0 : out.best;
+      if (out.best == kNoCost) any_infeasible = true;
+    } else {
+      out.lower_bound = std::min(run.open_lb, out.best);
+      if (out.lower_bound == kNoCost) out.lower_bound = 0;
+    }
+  }
+
+  // Phase 2 — destructive bound strengthening for unproven components: a
+  // completed run with artificial bound L and no leaf proves optimum ≥ L.
+  // When L meets the known upper bound the component is proven optimal;
+  // when L passes the component's net count with no solution at all, it is
+  // proven infeasible. Budget slices keep one component from starving the
+  // rest; every run still draws from the one global node pool.
+  const std::uint64_t slice =
+      std::max<std::uint64_t>(4096, opt.max_nodes / 16);
+  for (std::size_t oi : comp_order) {
+    CompOutcome& out = outcomes[oi];
+    const Component& comp = comps[oi];
+    if (out.completed || any_infeasible) continue;
+    while (search.nodes() < opt.max_nodes) {
+      const std::size_t target = out.lower_bound + 1;
+      if (out.best != kNoCost && target > out.best) break;  // nothing to prove
+      if (out.best == kNoCost && target > comp.nets.size()) {
+        // Even cutting every net admits no partition: infeasible.
+        out.completed = true;
+        any_infeasible = true;
+        break;
+      }
+      const std::uint64_t cap =
+          std::min<std::uint64_t>(opt.max_nodes, search.nodes() + slice);
+      const Search::RunOutcome run =
+          search.run(comp.members, comp.order, target, cap);
+      if (!run.completed) break;
+      if (run.have_leaf) {
+        // Exhaustive below the final bound: run.best is the optimum.
+        out.best = run.best;
+        out.label = run.label;
+        out.lower_bound = run.best;
+        out.completed = true;
+        break;
+      }
+      out.lower_bound = target;
+      if (out.best != kNoCost && out.lower_bound >= out.best) {
+        out.completed = true;  // incumbent proven optimal
+        out.lower_bound = out.best;
+        break;
+      }
+    }
+  }
+  r.nodes = search.nodes();
+
+  bool all_solved = true;
+  bool all_optimal = true;
+  std::size_t total_best = 0;
+  std::size_t total_lb = 0;
+  for (const auto& out : outcomes) {
+    if (out.best == kNoCost) all_solved = false;
+    else total_best += out.best;
+    if (!out.completed) all_optimal = false;
+    total_lb += out.lower_bound;
+  }
+
+  if (any_infeasible) {
+    r.status = ExactStatus::kInfeasible;
+  } else if (all_optimal) {
+    r.status = all_solved ? ExactStatus::kOptimal : ExactStatus::kBudgetExhausted;
+    // all_optimal && !all_solved cannot happen: a completed component
+    // without a solution is infeasible, caught above.
+  } else {
+    r.status = ExactStatus::kBudgetExhausted;
+  }
+  r.found_solution = all_solved && !any_infeasible;
+  r.best_cost = r.found_solution ? total_best : 0;
+  r.lower_bound = any_infeasible ? 0 : total_lb;
+  r.improved_incumbent =
+      incumbent != nullptr && r.found_solution && r.best_cost < inc_total;
+
+  if (r.found_solution) {
+    // Assemble the full clustering: (component, label) pairs become
+    // clusters in order of first appearance by node id; DFFs re-attach to
+    // the cluster of their D driver (or first comb fanout, or cluster 0).
+    std::vector<std::int32_t> comb_cluster(inst.num_gates(), kNoCluster);
+    Clustering& c = r.partitions;
+    c.cluster_of.assign(graph.num_nodes(), kNoCluster);
+    c.clusters.clear();
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      // label → cluster index, scoped to this component.
+      std::vector<std::pair<std::uint32_t, std::int32_t>> local;
+      for (std::size_t i = 0; i < comps[ci].members.size(); ++i) {
+        const std::uint32_t label = outcomes[ci].label[i];
+        std::int32_t cluster = kNoCluster;
+        for (const auto& [l, cl] : local) {
+          if (l == label) { cluster = cl; break; }
+        }
+        if (cluster == kNoCluster) {
+          cluster = static_cast<std::int32_t>(c.clusters.size());
+          c.clusters.emplace_back();
+          local.emplace_back(label, cluster);
+        }
+        comb_cluster[comps[ci].members[i]] = cluster;
+      }
+    }
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (inst.comb_of[v] >= 0) c.cluster_of[v] = comb_cluster[inst.comb_of[v]];
+    }
+    std::vector<NodeId> orphan_dffs;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (!graph.is_register(v)) continue;
+      std::int32_t home = kNoCluster;
+      for (BranchId b : graph.in_branches(v)) {
+        const NodeId d = graph.branch(b).source;
+        if (inst.comb_of[d] >= 0) home = comb_cluster[inst.comb_of[d]];
+      }
+      if (home == kNoCluster) {
+        for (BranchId b : graph.out_branches(v)) {
+          const NodeId s = graph.branch(b).sink;
+          if (inst.comb_of[s] >= 0) { home = comb_cluster[inst.comb_of[s]]; break; }
+        }
+      }
+      if (home == kNoCluster) {
+        if (!c.clusters.empty()) home = 0;
+        else { orphan_dffs.push_back(v); continue; }
+      }
+      c.cluster_of[v] = home;
+    }
+    if (!orphan_dffs.empty()) {
+      const auto idx = static_cast<std::int32_t>(c.clusters.size());
+      c.clusters.emplace_back();
+      for (NodeId v : orphan_dffs) c.cluster_of[v] = idx;
+    }
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (c.cluster_of[v] != kNoCluster) {
+        c.clusters[static_cast<std::size_t>(c.cluster_of[v])].push_back(v);
+      }
+    }
+    c.validate(graph);
+
+    // Recompute ι and the cut set with the authoritative clustering.h
+    // accounting — the solver's incremental counts must agree exactly.
+    r.partition_inputs.resize(c.count());
+    for (std::size_t ci = 0; ci < c.count(); ++ci) {
+      r.partition_inputs[ci] = input_count(graph, c, ci);
+      assert(r.partition_inputs[ci] <= opt.lk);
+    }
+    r.cut_net_ids = cut_nets(graph, c);
+    assert(r.cut_net_ids.size() == r.best_cost);
+  }
+
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return r;
+}
+
+ExactCompileResult exact_compile(const Netlist& netlist, const MercedConfig& config,
+                                 const ExactOptions& opt) {
+  MERCED_SPAN("exact_compile");
+  ExactCompileResult out;
+  const PreparedCircuit prepared(netlist, config.flow, config.multi_start, config.jobs);
+  out.result = compile(prepared, config);
+  out.heuristic_cost = out.result.cuts.nets_cut;
+  out.heuristic_feasible = out.result.feasible;
+
+  ExactOptions eopt = opt;
+  eopt.lk = config.lk;
+  out.proof = solve_exact(prepared.graph, eopt,
+                          out.heuristic_feasible ? &out.result.partitions : nullptr,
+                          &prepared.saturation());
+
+  if (out.proof.found_solution &&
+      (!out.heuristic_feasible || out.proof.improved_incumbent)) {
+    // Adopt the exact partition and rebuild the standard artifact around it.
+    MercedResult& r = out.result;
+    r.feasible = true;
+    r.partitions = out.proof.partitions;
+    r.partition_inputs = out.proof.partition_inputs;
+    r.cut_net_ids = out.proof.cut_net_ids;
+    r.cuts = make_cut_report(prepared.graph, r.partitions, prepared.sccs);
+    const RetimeGraph rgraph(prepared.graph);
+    r.retiming = plan_cut_retiming(prepared.graph, rgraph, prepared.sccs,
+                                   r.cut_net_ids, r.partitions);
+    const std::size_t total = r.cut_net_ids.size();
+    r.area.multiplexed_cuts = std::min(total, r.retiming.scc_aggregate_demotions);
+    r.area.retimable_cuts = total - r.area.multiplexed_cuts;
+    r.area.exact_retimable_cuts = r.retiming.retimable.size();
+    r.area.exact_multiplexed_cuts = r.retiming.multiplexed.size();
+    r.cbit_cost = assign_cbit_cost(r.partition_inputs);
+  }
+  return out;
+}
+
+}  // namespace merced::exact

@@ -1,0 +1,106 @@
+// merced_exact — branch-and-bound exact PIC solver and optimality prover
+// (ROADMAP item 2; DESIGN.md "Exact solver and certifying compilation").
+//
+// Solves the partition-with-input-constraint problem exactly: minimize the
+// number of cut nets subject to ι(π) ≤ lk for every cluster π, over the
+// same ι/cut semantics as partition/clustering.h. Note the Eq. 6 SCC cut
+// *budget* is deliberately NOT a constraint here — it is a heuristic
+// throttle on Make_Group, not part of the problem statement — so every
+// heuristic result lies inside the exact solver's feasible space and
+// "heuristic cost ≥ exact cost" is a sound fuzzing oracle.
+//
+// Search design (see pic_instance.h for the two loss-free reductions):
+//  * decisions are merge/separate per comb→comb branch, clusters are
+//    union-find components; cost counts nets with ≥ 1 separated branch;
+//  * each component of the branch graph is an independent subproblem —
+//    optimal costs and lower bounds add across components;
+//  * incremental pruning: a merge is refused when the merged cluster's
+//    admissible ι floor (fixed PI/DFF inputs ∪ nets already separated into
+//    it) exceeds lk or when a separated branch forbids it; a separate is
+//    refused when it overflows the sink's ι floor, and pruned when the cut
+//    count reaches the incumbent;
+//  * the multi-start heuristic result seeds the incumbent and the value
+//    ordering (merge first where the heuristic merged), so a completed
+//    search is an optimality *proof* for the heuristic cost;
+//  * budgets are honest: exhausting the node/time budget reports
+//    kBudgetExhausted plus a proven lower bound (the cheapest abandoned
+//    subtree), never a silent "optimal".
+//
+// Determinism: with max_seconds == 0 the outcome depends only on
+// (netlist, options, incumbent) — the node budget is the only throttle.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/merced.h"
+#include "exact/pic_instance.h"
+#include "flow/saturate_network.h"
+#include "partition/clustering.h"
+
+namespace merced::exact {
+
+struct ExactOptions {
+  std::size_t lk = 16;                  ///< input constraint (Eq. 5)
+  std::uint64_t max_nodes = 1'000'000;  ///< B&B decision-node budget
+  /// Wall-clock cap in seconds; 0 disables it. Tests and oracles keep this
+  /// at 0 so outcomes are node-bounded and machine-independent.
+  double max_seconds = 0;
+};
+
+enum class ExactStatus : std::uint8_t {
+  kOptimal,          ///< best_cost is the proven optimum
+  kInfeasible,       ///< proven: no partition satisfies ι ≤ lk
+  kBudgetExhausted,  ///< bounded gap: optimum ∈ [lower_bound, best_cost]
+};
+
+std::string_view to_string(ExactStatus status) noexcept;
+
+struct ExactResult {
+  ExactStatus status = ExactStatus::kBudgetExhausted;
+  bool found_solution = false;   ///< partitions/cut_net_ids are valid
+  std::size_t best_cost = 0;     ///< cut nets of the best found partition
+  std::size_t lower_bound = 0;   ///< proven: optimum ≥ lower_bound
+  Clustering partitions;         ///< full node space (DFFs re-attached)
+  std::vector<std::size_t> partition_inputs;  ///< ι(π), recomputed via clustering.h
+  std::vector<NetId> cut_net_ids;             ///< sorted, via clustering.h
+  std::uint64_t nodes = 0;       ///< decision nodes explored
+  std::uint64_t components = 0;  ///< independent branch-graph components solved
+  double seconds = 0;
+  bool improved_incumbent = false;  ///< found strictly fewer cuts than the seed
+
+  bool optimal() const noexcept { return status == ExactStatus::kOptimal; }
+};
+
+/// Solves the instance exactly (or up to the budget). `incumbent` seeds the
+/// upper bound and the value ordering; pass the heuristic's partitions only
+/// when that compile was feasible. `congestion` orders the branch decisions
+/// by saturation distance (most contended nets first); nullptr falls back
+/// to net-id order.
+ExactResult solve_exact(const CircuitGraph& graph, const ExactOptions& opt,
+                        const Clustering* incumbent = nullptr,
+                        const SaturationResult* congestion = nullptr);
+
+/// Heuristic-then-exact compile: runs the standard multi-start compile,
+/// uses it as the incumbent for the B&B, and returns the winning artifact
+/// in the standard result shape so verify/certificate tooling applies
+/// unchanged. `proof` carries the optimality status and the bound.
+struct ExactCompileResult {
+  MercedResult result;          ///< best known artifact
+  ExactResult proof;
+  std::size_t heuristic_cost = 0;
+  bool heuristic_feasible = false;
+
+  /// Proven optimality gap of the *heuristic*: heuristic_cost − lower_bound
+  /// (0 when the heuristic is proven optimal). Meaningless when the
+  /// heuristic was infeasible.
+  std::size_t heuristic_gap() const noexcept {
+    return heuristic_cost > proof.lower_bound ? heuristic_cost - proof.lower_bound : 0;
+  }
+};
+
+ExactCompileResult exact_compile(const Netlist& netlist, const MercedConfig& config,
+                                 const ExactOptions& opt);
+
+}  // namespace merced::exact

@@ -1,0 +1,57 @@
+#include "exact/pic_instance.h"
+
+#include <algorithm>
+
+#include "partition/clustering.h"
+
+namespace merced::exact {
+
+PicInstance build_pic_instance(const CircuitGraph& g) {
+  PicInstance inst;
+  inst.comb_of.assign(g.num_nodes(), -1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!is_comb_node(g, v)) continue;
+    inst.comb_of[v] = static_cast<std::int32_t>(inst.gate_of.size());
+    inst.gate_of.push_back(v);
+  }
+
+  inst.fixed_inputs.resize(inst.num_gates());
+  for (std::size_t ci = 0; ci < inst.num_gates(); ++ci) {
+    const NodeId v = inst.gate_of[ci];
+    std::vector<NetId>& fixed = inst.fixed_inputs[ci];
+    for (BranchId b : g.in_branches(v)) {
+      const Branch& br = g.branch(b);
+      if (g.is_pi(br.source) || g.is_register(br.source)) fixed.push_back(br.net);
+    }
+    std::sort(fixed.begin(), fixed.end());
+    fixed.erase(std::unique(fixed.begin(), fixed.end()), fixed.end());
+    inst.max_fixed = std::max(inst.max_fixed, fixed.size());
+  }
+
+  // Cuttable nets and their comb→comb branches, deduplicated per sink.
+  for (NodeId d = 0; d < g.num_nodes(); ++d) {
+    if (inst.comb_of[d] < 0) continue;
+    std::vector<std::uint32_t> sinks;
+    for (BranchId b : g.out_branches(d)) {
+      const Branch& br = g.branch(b);
+      if (inst.comb_of[br.sink] >= 0) sinks.push_back(static_cast<std::uint32_t>(
+          inst.comb_of[br.sink]));
+    }
+    if (sinks.empty()) continue;
+    std::sort(sinks.begin(), sinks.end());
+    sinks.erase(std::unique(sinks.begin(), sinks.end()), sinks.end());
+    PicNet net;
+    net.id = g.net_of(d);
+    net.first_branch = static_cast<std::uint32_t>(inst.branches.size());
+    net.num_branches = static_cast<std::uint32_t>(sinks.size());
+    const auto net_idx = static_cast<std::uint32_t>(inst.nets.size());
+    for (std::uint32_t s : sinks) {
+      inst.branches.push_back(
+          {net_idx, static_cast<std::uint32_t>(inst.comb_of[d]), s});
+    }
+    inst.nets.push_back(net);
+  }
+  return inst;
+}
+
+}  // namespace merced::exact

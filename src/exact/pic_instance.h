@@ -1,0 +1,62 @@
+// Reduced PIC instance for the exact solver — the input of src/exact's
+// branch-and-bound (DESIGN.md "Exact solver and certifying compilation").
+//
+// Two loss-free reductions shrink the NP-complete partition-with-input-
+// constraint problem (paper §2.3, Eq. 5) before any search happens:
+//
+//  * Registers are irrelevant to both the objective and the constraint: a
+//    DFF inside a cluster neither consumes test inputs (only combinational
+//    gates do — partition/clustering.h) nor changes any net's cut status
+//    (DFF-driven nets and nets into DFF D-pins are never cuts). Only the
+//    combinational gates need to be partitioned; DFFs re-attach to any
+//    cluster afterwards without changing a single count.
+//
+//  * An optimal partition exists whose clusters are weakly connected over
+//    comb→comb branches: splitting a disconnected cluster into its
+//    connected parts changes no net's cut status (no branch runs between
+//    the parts) and can only shrink each part's ι. The solver therefore
+//    decides merge/separate per comb→comb branch and reads clusters off a
+//    union-find — and the branch graph's weak components are fully
+//    independent subproblems whose optimal costs add up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.h"
+
+namespace merced::exact {
+
+/// One comb→comb fanout branch, deduplicated per (net, sink) pair (a gate
+/// using the same net on two pins is one merge/separate decision, and ι
+/// counts distinct nets).
+struct PicBranch {
+  std::uint32_t net = 0;   ///< index into PicInstance::nets
+  std::uint32_t from = 0;  ///< comb index of the driving gate
+  std::uint32_t to = 0;    ///< comb index of the sink gate
+};
+
+/// One cuttable net: a comb-driven net with at least one comb sink.
+struct PicNet {
+  NetId id = kNoNet;
+  std::uint32_t first_branch = 0;  ///< CSR range into PicInstance::branches
+  std::uint32_t num_branches = 0;
+};
+
+struct PicInstance {
+  std::vector<NodeId> gate_of;        ///< comb index → circuit node
+  std::vector<std::int32_t> comb_of;  ///< circuit node → comb index, −1 otherwise
+  /// Per comb gate: sorted distinct PI/DFF source nets feeding it. These
+  /// count toward ι of every cluster containing the gate, no matter how the
+  /// partition falls — the irreducible part of the input count.
+  std::vector<std::vector<NetId>> fixed_inputs;
+  std::vector<PicNet> nets;        ///< cuttable nets
+  std::vector<PicBranch> branches; ///< grouped by net (CSR via PicNet)
+  std::size_t max_fixed = 0;       ///< max |fixed_inputs[g]| (root feasibility test)
+
+  std::size_t num_gates() const noexcept { return gate_of.size(); }
+};
+
+PicInstance build_pic_instance(const CircuitGraph& graph);
+
+}  // namespace merced::exact

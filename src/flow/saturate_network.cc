@@ -119,6 +119,16 @@ std::uint64_t multi_start_seed(std::uint64_t base_seed, std::size_t start_index)
   return z ^ (z >> 31);
 }
 
+std::vector<NetId> congestion_ranking(const SaturationResult& sat) {
+  std::vector<NetId> order(sat.distance.size());
+  for (NetId n = 0; n < order.size(); ++n) order[n] = n;
+  std::sort(order.begin(), order.end(), [&](NetId a, NetId b) {
+    if (sat.distance[a] != sat.distance[b]) return sat.distance[a] > sat.distance[b];
+    return a < b;
+  });
+  return order;
+}
+
 std::vector<SaturationResult> saturate_network_multistart(const CircuitGraph& graph,
                                                           const SaturateParams& params,
                                                           std::size_t num_starts,

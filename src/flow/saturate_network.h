@@ -70,6 +70,13 @@ SaturationResult saturate_network(const CircuitGraph& graph, const SaturateParam
 /// thread count or scheduling.
 std::uint64_t multi_start_seed(std::uint64_t base_seed, std::size_t start_index) noexcept;
 
+/// Nets ranked by descending congestion distance, ties broken by ascending
+/// net id. The head of the ranking is where the saturation says the circuit
+/// is most contended: Make_Group prefers to cut there, and the exact PIC
+/// solver branches there first so the most consequential merge/separate
+/// decisions sit at the top of its search tree (src/exact).
+std::vector<NetId> congestion_ranking(const SaturationResult& sat);
+
 /// Runs `num_starts` independent saturations of the same graph concurrently
 /// on `pool`, start k seeded with multi_start_seed(params.seed, k). The
 /// result vector is indexed by start, so any downstream selection that

@@ -5,9 +5,14 @@
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "bench_read.h"  // examples/certcheck — the independent checker
+#include "check.h"       // examples/certcheck
+#include "core/certificate.h"
 #include "core/merced.h"
 #include "core/ppet_session.h"
+#include "exact/exact_solver.h"
 #include "graph/circuit_graph.h"
+#include "netlist/bench_io.h"
 #include "obs/obs.h"
 #include "retiming/retime_graph.h"
 #include "sat/equivalence.h"
@@ -73,6 +78,23 @@ bool same_coverage(const CoverageResult& a, const CoverageResult& b) {
 
 std::string cluster_tag(std::size_t index) { return "cluster " + std::to_string(index); }
 
+/// Bumps the first `"key": N` in the certificate text by one — a purely
+/// textual corruption: the in-memory artifact all other oracles see stays
+/// pristine, so only the independent checker can catch it. Returns false
+/// when the key is absent (nothing to corrupt).
+bool bump_json_uint(std::string& text, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\": ";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t digits = at + needle.size();
+  std::size_t end = digits;
+  while (end < text.size() && text[end] >= '0' && text[end] <= '9') ++end;
+  if (end == digits) return false;
+  const unsigned long long value = std::stoull(text.substr(digits, end - digits));
+  text.replace(digits, end - digits, std::to_string(value + 1));
+  return true;
+}
+
 }  // namespace
 
 std::string_view to_string(FuzzDefect defect) noexcept {
@@ -82,13 +104,16 @@ std::string_view to_string(FuzzDefect defect) noexcept {
     case FuzzDefect::kSkewRho: return "skew-rho";
     case FuzzDefect::kLaneMask: return "lane-mask";
     case FuzzDefect::kSkewTap: return "skew-tap";
+    case FuzzDefect::kCertIota: return "cert-iota";
+    case FuzzDefect::kCertArea: return "cert-area";
   }
   return "unknown";
 }
 
 bool defect_from_string(std::string_view name, FuzzDefect& out) noexcept {
   for (FuzzDefect d : {FuzzDefect::kNone, FuzzDefect::kDropCut, FuzzDefect::kSkewRho,
-                       FuzzDefect::kLaneMask, FuzzDefect::kSkewTap}) {
+                       FuzzDefect::kLaneMask, FuzzDefect::kSkewTap,
+                       FuzzDefect::kCertIota, FuzzDefect::kCertArea}) {
     if (name == to_string(d)) {
       out = d;
       return true;
@@ -341,6 +366,70 @@ std::optional<OracleFailure> run_oracles(const Netlist& netlist,
       case sat::EquivStatus::kBuildFailed:
         return OracleFailure{"sat-equivalence", "sat-equivalence:build",
                              "retimed machine failed to build: " + eq.error};
+    }
+  }
+
+  // ---- oracle 7: exact-solver bound check + certificate round-trip -------
+  // The exact solver is a *cold-start* run — no incumbent, so its search is
+  // fully independent of the heuristic whose cost it bounds. Any budget is
+  // sound: kBudgetExhausted still carries a proven lower bound.
+  if (opt.exact_certificate) {
+    MERCED_SPAN("oracle_exact_certificate");
+    exact::ExactOptions ex_opt;
+    ex_opt.lk = opt.lk;
+    ex_opt.max_nodes = opt.exact_nodes;
+    const exact::ExactResult ex = exact::solve_exact(graph, ex_opt);
+    const std::size_t heuristic_cuts = result.cut_net_ids.size();
+    if (result.feasible) {
+      if (ex.status == exact::ExactStatus::kInfeasible) {
+        return OracleFailure{
+            "exact-certificate", "exact-certificate:infeasible",
+            "exact solver proved the instance infeasible at lk=" +
+                std::to_string(opt.lk) + ", but the heuristic compiled it with " +
+                std::to_string(heuristic_cuts) + " cuts"};
+      }
+      if (heuristic_cuts < ex.lower_bound) {
+        return OracleFailure{
+            "exact-certificate", "exact-certificate:lower-bound",
+            "heuristic cut count " + std::to_string(heuristic_cuts) +
+                " undercuts the exact solver's proven lower bound " +
+                std::to_string(ex.lower_bound)};
+      }
+      if (ex.optimal() && ex.found_solution && heuristic_cuts < ex.best_cost) {
+        return OracleFailure{
+            "exact-certificate", "exact-certificate:optimum",
+            "heuristic cut count " + std::to_string(heuristic_cuts) +
+                " beats the claimed optimum " + std::to_string(ex.best_cost)};
+      }
+    }
+
+    // Certify the (clean) compile and validate via the independent checker.
+    // The cert-iota / cert-area defects corrupt only this JSON text.
+    if (result.feasible) {
+      CertificateInfo info;
+      info.tool = "merced_fuzz";
+      info.circuit = netlist.name();
+      info.lk = opt.lk;
+      info.beta = opt.beta;
+      const SccInfo sccs = find_sccs(graph);
+      std::string cert = make_certificate(netlist, graph, sccs, result, info);
+      if (opt.defect == FuzzDefect::kCertIota) {
+        (void)bump_json_uint(cert, "iota");
+      } else if (opt.defect == FuzzDefect::kCertArea) {
+        (void)bump_json_uint(cert, "cbit_area_with_retiming");
+      }
+      try {
+        const certcheck::BNetlist bn = certcheck::parse_bench(write_bench(netlist));
+        const certcheck::CheckResult cr = certcheck::check_certificate(bn, cert);
+        if (!cr.ok) {
+          return OracleFailure{"certificate", "certificate:" + cr.rule,
+                               "independent certificate checker rejected the compile: " +
+                                   cr.rule + ": " + cr.message};
+        }
+      } catch (const std::exception& e) {
+        return OracleFailure{"certificate", "certificate:roundtrip",
+                             std::string("certificate round-trip failed: ") + e.what()};
+      }
     }
   }
 

@@ -38,11 +38,26 @@
 //                           untestability claim must be confirmed by the
 //                           SAT redundancy prover (sat/redundancy.h) —
 //                           a refutation or an out-of-budget unknown is a
-//                           hard failure either way.
+//                           hard failure either way;
+//   7. exact-certificate  — the branch-and-bound exact PIC solver
+//                           (exact/exact_solver.h) runs cold-start (no
+//                           incumbent, node-budgeted) and its verdict must
+//                           cohere with the heuristic: a feasible compile
+//                           can never undercut the proven lower bound, a
+//                           proven optimum can never exceed the heuristic
+//                           cost, and the exact solver may never declare a
+//                           feasibly-compiled instance infeasible. The
+//                           compile is then *certified*: the merced-cert-v1
+//                           artifact is emitted (core/certificate.h) and
+//                           validated in-process by the independent checker
+//                           (examples/certcheck — its own .bench parser,
+//                           JSON reader, SCC and retime-graph code), which
+//                           must accept every clean compile.
 //
 // Each oracle runs under its own trace span ("oracle_compile_parity",
 // "oracle_verify", "oracle_kernel_conformance", "oracle_session_coverage",
-// "oracle_sat_equivalence", "oracle_static_analysis") so a campaign traced
+// "oracle_sat_equivalence", "oracle_static_analysis",
+// "oracle_exact_certificate") so a campaign traced
 // with merced_fuzz --trace attributes wall time per oracle.
 //
 // A failure carries a stable *signature* (oracle name + the most specific
@@ -57,7 +72,11 @@
 // off-by-one in lane_mask()'s exponent), and skew-tap shifts the
 // equivalence miter's warm-up tap frames by one cycle (the off-by-one in
 // the RegisterOrigin correspondence that only oracle 5 can see — the plan
-// itself stays legal, so verify waves it through). CI and fuzz_driver_test
+// itself stays legal, so verify waves it through), and cert-iota /
+// cert-area corrupt only the emitted certificate *text* (a drifted ι
+// claim, a miscounted CBIT area) so only oracle 7's independent checker
+// can notice — the in-memory artifact every other oracle sees stays
+// pristine. CI and fuzz_driver_test
 // assert each defect yields a failure whose minimized corpus entry replays.
 #pragma once
 
@@ -71,12 +90,20 @@
 namespace merced::fuzz {
 
 /// Canned pipeline defects (see file comment).
-enum class FuzzDefect : std::uint8_t { kNone, kDropCut, kSkewRho, kLaneMask, kSkewTap };
+enum class FuzzDefect : std::uint8_t {
+  kNone,
+  kDropCut,
+  kSkewRho,
+  kLaneMask,
+  kSkewTap,
+  kCertIota,
+  kCertArea,
+};
 
 std::string_view to_string(FuzzDefect defect) noexcept;
 
-/// Parses "none" / "drop-cut" / "skew-rho" / "lane-mask" / "skew-tap".
-/// Returns false on unknown names.
+/// Parses "none" / "drop-cut" / "skew-rho" / "lane-mask" / "skew-tap" /
+/// "cert-iota" / "cert-area". Returns false on unknown names.
 bool defect_from_string(std::string_view name, FuzzDefect& out) noexcept;
 
 /// One oracle failure. `signature` is stable across runs and across
@@ -100,6 +127,11 @@ struct OracleOptions {
   FuzzDefect defect = FuzzDefect::kNone;
   /// Oracle 6: static analyzer vs naive sweep vs SAT prover agreement.
   bool static_analysis = true;
+  /// Oracle 7: cold-start exact-solver bound check + certificate round-trip.
+  bool exact_certificate = true;
+  /// Node budget of oracle 7's cold-start B&B (small circuits; honest
+  /// kBudgetExhausted verdicts keep the bound check sound at any budget).
+  std::uint64_t exact_nodes = 50'000;
 };
 
 /// Runs the full stack; returns the first failure, or nullopt when the

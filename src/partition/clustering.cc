@@ -9,9 +9,7 @@ namespace merced {
 
 namespace {
 
-bool is_comb_gate(const CircuitGraph& g, NodeId v) {
-  return !g.is_pi(v) && !g.is_register(v);
-}
+bool is_comb_gate(const CircuitGraph& g, NodeId v) { return is_comb_node(g, v); }
 
 }  // namespace
 

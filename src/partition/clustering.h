@@ -35,6 +35,16 @@ namespace merced {
 /// Cluster index sentinel for nodes outside all clusters (PIs).
 inline constexpr std::int32_t kNoCluster = -1;
 
+/// True for nodes that consume test inputs and can anchor cut nets: every
+/// partitionable node that is neither a PI source nor a register. Note this
+/// deliberately includes CONST0/CONST1 cells — they are clustered and their
+/// nets are cuttable, unlike gate.h's is_combinational() which excludes
+/// constants from *evaluation*. All ι/cut accounting (here, in Make_Group
+/// and in the exact solver) must share this one predicate.
+inline bool is_comb_node(const CircuitGraph& g, NodeId v) {
+  return !g.is_pi(v) && !g.is_register(v);
+}
+
 /// A partition of the non-PI nodes into disjoint clusters.
 struct Clustering {
   std::vector<std::int32_t> cluster_of;        ///< per node; PIs = kNoCluster

@@ -10,11 +10,7 @@ namespace merced::verify {
 
 namespace {
 
-// Mirrors clustering.cc's notion: CONST sources count as combinational for
-// partition purposes (they sit inside clusters and their nets can be cut).
-bool is_comb_node(const CircuitGraph& g, NodeId v) {
-  return !g.is_pi(v) && !g.is_register(v);
-}
+using merced::is_comb_node;  // the shared predicate from partition/clustering.h
 
 Diagnostic make(const char* rule, Severity sev, std::string msg, std::string obj = {},
                 std::size_t line = 0) {

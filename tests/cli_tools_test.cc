@@ -11,6 +11,7 @@
 // the real executables.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -400,6 +401,172 @@ TEST(CliExitCodeTest, MercedCliAnalyzeArtifactValidatesAndCorruptionIsRejected) 
   EXPECT_EQ(run(std::string(MERCED_CLI_BIN) + " s27 --lk 8 --analyze --no-collapse"),
             0);
 }
+
+#ifdef MERCED_CERTCHECK_BIN
+
+/// Reads a whole file (certificate or netlist dump) into a string.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Compiles `s510 --lk 16` through the real CLI and returns the paths of the
+/// dumped netlist and emitted certificate. `extra` appends CLI flags (defect
+/// injection, --jobs); `tag` keeps parallel tests from sharing files.
+/// A defect-injecting run makes the CLI itself exit 1 (its own verifier
+/// flags the corrupted artifact) while still emitting the certificate —
+/// `expect_exit` pins that.
+std::pair<std::string, std::string> cli_certify(const std::string& tag,
+                                                const std::string& extra,
+                                                int expect_exit = 0) {
+  const std::string bench = std::string(::testing::TempDir()) + tag + ".bench";
+  const std::string cert = std::string(::testing::TempDir()) + tag + ".cert.json";
+  EXPECT_EQ(run(std::string(MERCED_CLI_BIN) + " s510 --lk 16 " + extra +
+                " --write-bench " + bench + " --cert " + cert),
+            expect_exit);
+  return {bench, cert};
+}
+
+TEST(CertcheckTest, UsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(run(std::string(MERCED_CERTCHECK_BIN)), 2);
+  EXPECT_EQ(run(std::string(MERCED_CERTCHECK_BIN) + " one_arg_only"), 2);
+  EXPECT_EQ(run(std::string(MERCED_CERTCHECK_BIN) +
+                " /nonexistent.bench /nonexistent.json"),
+            2);
+}
+
+TEST(CertcheckTest, AcceptsCleanCompileIdenticallyAtJobsOneAndEight) {
+  // The certificate must not depend on worker count: same bytes at --jobs 1
+  // and --jobs 8, and the independent checker accepts both.
+  const auto [bench1, cert1] = cli_certify("cert_j1", "--jobs 1");
+  const auto [bench8, cert8] = cli_certify("cert_j8", "--jobs 8");
+  EXPECT_EQ(slurp(cert1), slurp(cert8)) << "certificate depends on --jobs";
+  EXPECT_EQ(run(std::string(MERCED_CERTCHECK_BIN) + " " + bench1 + " " + cert1), 0);
+  EXPECT_EQ(run(std::string(MERCED_CERTCHECK_BIN) + " " + bench8 + " " + cert8), 0);
+}
+
+TEST(CertcheckTest, RejectsEachInjectedDefectWithPinnedRule) {
+  // merced_cli emits the certificate *after* --inject-defect corrupts the
+  // artifact, so the emitted document faithfully restates the defective
+  // claims — and the checker must refuse each with its specific rule.
+  const auto [bench_dc, cert_dc] =
+      cli_certify("cert_dropcut", "--inject-defect drop-cut", /*expect_exit=*/1);
+  const auto [dc_code, dc_err] = run_stderr(std::string(MERCED_CERTCHECK_BIN) +
+                                            " " + bench_dc + " " + cert_dc);
+  EXPECT_EQ(dc_code, 1);
+  EXPECT_EQ(dc_err.substr(0, 9), "CERT-CUT:") << dc_err;
+
+  const auto [bench_sr, cert_sr] =
+      cli_certify("cert_skewrho", "--inject-defect skew-rho", /*expect_exit=*/1);
+  const auto [sr_code, sr_err] = run_stderr(std::string(MERCED_CERTCHECK_BIN) +
+                                            " " + bench_sr + " " + cert_sr);
+  EXPECT_EQ(sr_code, 1);
+  EXPECT_EQ(sr_err.substr(0, 15), "CERT-RET-LEGAL:") << sr_err;
+}
+
+// ---- checker mutation tests ---------------------------------------------
+//
+// One hand-corrupted certificate per checker rule family, each asserting
+// the EXACT diagnostic: if someone breaks a recomputation in the checker,
+// the corresponding fixture stops rejecting (or the message drifts) and
+// this suite fails. The corruptions edit only the certificate TEXT — the
+// netlist stays pristine — mirroring how a buggy emitter would lie.
+
+/// The clean s510/lk16 CLI certificate the corruptions start from.
+struct CertFixture {
+  std::string bench;
+  std::string cert_text;
+};
+
+const CertFixture& s510_fixture() {
+  static const CertFixture* fx = [] {
+    auto* f = new CertFixture;
+    const auto [bench, cert] = cli_certify("cert_fixture", "");
+    f->bench = bench;
+    f->cert_text = slurp(cert);
+    return f;
+  }();
+  return *fx;
+}
+
+/// Writes a corrupted certificate and returns (exit code, stderr) of the
+/// checker on it.
+std::pair<int, std::string> check_mutant(const std::string& name,
+                                         const std::string& text) {
+  const std::string path = write_temp("cert_mut_" + name + ".json", text);
+  return run_stderr(std::string(MERCED_CERTCHECK_BIN) + " " +
+                    s510_fixture().bench + " " + path);
+}
+
+/// Replaces the first `key": N` at or after `from` with N+1 — the canonical
+/// "off by one lie". `from` lets callers target a repeated key inside a
+/// specific certificate section (e.g. the eq2 block's "dffs", not the
+/// netlist summary's).
+std::string bump_first_uint(std::string text, const std::string& key,
+                            std::size_t from = 0) {
+  const std::size_t at = text.find("\"" + key + "\": ", from);
+  EXPECT_NE(at, std::string::npos) << key;
+  std::size_t digits = at + key.size() + 4;
+  std::size_t end = digits;
+  while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) ++end;
+  const unsigned long long v = std::stoull(text.substr(digits, end - digits));
+  return text.substr(0, digits) + std::to_string(v + 1) + text.substr(end);
+}
+
+TEST(CertcheckMutationTest, DriftedIotaIsRejectedWithExactDiagnostic) {
+  const auto [code, err] =
+      check_mutant("iota", bump_first_uint(s510_fixture().cert_text, "iota"));
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(err, "CERT-IOTA: cluster 0 claims iota=17, recomputation gives 16\n");
+}
+
+TEST(CertcheckMutationTest, UnsealedRetimableCutIsRejectedWithExactDiagnostic) {
+  // Zeroing rho leaves every retimed weight at its structural register
+  // count; the retimable cut n54 then crosses with 0 registers — unsealed.
+  std::string text = s510_fixture().cert_text;
+  const std::size_t at = text.find("\"rho\": {");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t close = text.find('}', at);
+  ASSERT_NE(close, std::string::npos);
+  text = text.substr(0, at) + "\"rho\": {" + text.substr(close);
+  const auto [code, err] = check_mutant("zero_rho", text);
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(err,
+            "CERT-RET-SEALED: retimable cut 'n54' crossing to 'n59' carries 0 "
+            "registers after retiming\n");
+}
+
+TEST(CertcheckMutationTest, BrokenEq2SumIsRejectedWithExactDiagnostic) {
+  // The netlist summary block also carries a "dffs" key; start the search at
+  // the eq2 section so the lie lands on the per-SCC witness.
+  const std::string& text = s510_fixture().cert_text;
+  const std::size_t eq2_at = text.find("\"eq2\"");
+  ASSERT_NE(eq2_at, std::string::npos);
+  const auto [code, err] =
+      check_mutant("eq2", bump_first_uint(text, "dffs", eq2_at));
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(err,
+            "CERT-EQ2: scc 'n0': certificate claims dffs=5 cuts_on_scc=9, "
+            "recomputation gives dffs=4 cuts_on_scc=9\n");
+}
+
+TEST(CertcheckMutationTest, AreaMiscountIsRejectedWithExactDiagnostic) {
+  const auto [code, err] = check_mutant(
+      "area", bump_first_uint(s510_fixture().cert_text, "cbit_area_with_retiming"));
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(err, "CERT-AREA: cbit_area_with_retiming=287, arithmetic gives 286\n");
+}
+
+TEST(CertcheckMutationTest, TruncatedJsonIsRejectedAsParseError) {
+  const std::string& text = s510_fixture().cert_text;
+  const auto [code, err] = check_mutant("trunc", text.substr(0, text.size() / 2));
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(err.substr(0, 25), "CERT-PARSE: json at byte ") << err;
+}
+
+#endif  // MERCED_CERTCHECK_BIN
 
 #endif  // MERCED_CLI_BIN
 

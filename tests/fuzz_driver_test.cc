@@ -1,12 +1,15 @@
 // End-to-end tests of the differential fuzzing subsystem: seed plumbing,
 // mutator validity, oracle-stack behaviour on pristine and defective
 // pipelines, the minimizer's signature-preservation contract, and corpus
-// dedup + replay. The four canned defects (drop-cut, skew-rho, lane-mask,
-// skew-tap) are the standing proof that the oracle stack rejects a broken
-// pipeline instead of rubber-stamping it.
+// dedup + replay. The six canned defects (drop-cut, skew-rho, lane-mask,
+// skew-tap, cert-iota, cert-area) are the standing proof that the oracle
+// stack rejects a broken pipeline instead of rubber-stamping it — the two
+// cert-* kinds corrupt only the emitted certificate text, so only the
+// independent certificate checker (oracle 7) can object.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <filesystem>
 #include <sstream>
@@ -170,7 +173,9 @@ INSTANTIATE_TEST_SUITE_P(
         DefectCase{fz::FuzzDefect::kLaneMask, "kernel-conformance",
                    "kernel-conformance:mask"},
         DefectCase{fz::FuzzDefect::kSkewTap, "sat-equivalence",
-                   "sat-equivalence:refuted"}),
+                   "sat-equivalence:refuted"},
+        DefectCase{fz::FuzzDefect::kCertIota, "certificate", "certificate:CERT-IOTA"},
+        DefectCase{fz::FuzzDefect::kCertArea, "certificate", "certificate:CERT-AREA"}),
     [](const ::testing::TestParamInfo<DefectCase>& info) {
       std::string name(fz::to_string(info.param.defect));
       for (char& ch : name) {
@@ -265,17 +270,37 @@ TEST(CorpusTest, ReplayFlagsSignatureMismatch) {
 }
 
 #ifdef MERCED_CORPUS_DIR
-TEST(CorpusTest, CommittedRegressionCorpusReplaysAsExpected) {
-  // The checked-in corpus (tests/corpus) is the standing regression set: 4
-  // expect-fail witnesses (one per canned defect) plus a fixed-clean guard.
-  const fz::Corpus corpus(MERCED_CORPUS_DIR);
-  const std::vector<fz::CorpusEntry> entries = corpus.load();
-  EXPECT_GE(entries.size(), 5u) << "committed corpus lost entries";
-  const auto outcomes = fz::replay_corpus(entries, fz::OracleOptions{});
-  for (const fz::ReplayOutcome& o : outcomes) {
-    EXPECT_TRUE(o.ok) << o.entry.path << ": " << o.detail;
-  }
+// The checked-in corpus (tests/corpus) is the standing regression set:
+// expect-fail witnesses (one per canned defect) plus a fixed-clean guard.
+// Each entry replays as its OWN ctest case — `ctest -R Replay` shows which
+// witness broke, and independent cases shard across ctest -j workers
+// instead of serializing inside one monolithic test body.
+std::vector<fz::CorpusEntry> committed_corpus_entries() {
+  return fz::Corpus(MERCED_CORPUS_DIR).load();
 }
+
+TEST(CorpusTest, CommittedRegressionCorpusIsComplete) {
+  EXPECT_GE(committed_corpus_entries().size(), 5u) << "committed corpus lost entries";
+}
+
+class CommittedCorpusReplayTest : public ::testing::TestWithParam<fz::CorpusEntry> {};
+
+TEST_P(CommittedCorpusReplayTest, EntryReplaysAsExpected) {
+  const auto outcomes = fz::replay_corpus({GetParam()}, fz::OracleOptions{});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].entry.path << ": " << outcomes[0].detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Committed, CommittedCorpusReplayTest,
+    ::testing::ValuesIn(committed_corpus_entries()),
+    [](const ::testing::TestParamInfo<fz::CorpusEntry>& info) {
+      std::string name = std::filesystem::path(info.param.path).stem().string();
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name.empty() ? "entry_" + std::to_string(info.index) : name;
+    });
 #endif
 
 // ---- campaign driver -----------------------------------------------------

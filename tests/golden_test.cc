@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -38,6 +39,7 @@ std::string golden_path(const std::string& file) {
 void check_golden(const std::string& file, const std::string& actual) {
   const std::string path = golden_path(file);
   if (std::getenv("MERCED_UPDATE_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(std::filesystem::path(path).parent_path());
     std::ofstream out(path);
     ASSERT_TRUE(out) << "cannot write " << path;
     out << actual;
@@ -95,35 +97,68 @@ TEST(GoldenTableTest, Table9CircuitInfo) {
   check_golden("table9_circuit_info.txt", out.str());
 }
 
-/// Compiles the small half of the suite at one lk and formats the
-/// Table 10/11 partition summary columns (all deterministic fields).
-std::string partition_summary(std::size_t lk) {
-  const std::vector<std::string> circuits = {"s27",  "s510", "s420.1", "s641",
-                                             "s713", "s820", "s832",   "s838.1"};
+// ---- Tables 10/11: per-circuit lk sweep ----------------------------------
+//
+// Each circuit × lk pair is its own ctest case with its own golden file
+// (tests/golden/partition_lk<lk>/<circuit>.txt). A paper-fidelity
+// regression therefore names the exact circuit that moved, and the sweep
+// shards across ctest -j workers instead of serializing eight compiles
+// inside one test body.
+
+struct PartitionCase {
+  const char* circuit;
+  std::size_t lk;
+};
+
+/// Compiles one suite circuit at one lk and formats the Table 10/11
+/// partition summary columns (all deterministic fields).
+std::string partition_summary(const PartitionCase& c) {
+  const Netlist nl = load_benchmark(c.circuit);
+  MercedConfig config;
+  config.lk = c.lk;
+  const MercedResult r = compile(nl, config);
   std::ostringstream out;
-  out << "# Tables 10/11 (lk=" << lk
+  out << "# Tables 10/11 (lk=" << c.lk
       << "): circuit partitions dffs_on_scc cuts_on_scc nets_cut feasible "
          "retimable multiplexed\n";
-  for (const std::string& name : circuits) {
-    const Netlist nl = load_benchmark(name);
-    MercedConfig config;
-    config.lk = lk;
-    const MercedResult r = compile(nl, config);
-    out << name << " " << r.partitions.count() << " " << r.dffs_on_scc << " "
-        << r.cuts.cut_nets_on_scc << " " << r.cuts.nets_cut << " "
-        << (r.feasible ? 1 : 0) << " " << r.area.retimable_cuts << " "
-        << r.area.multiplexed_cuts << "\n";
-  }
+  out << c.circuit << " " << r.partitions.count() << " " << r.dffs_on_scc << " "
+      << r.cuts.cut_nets_on_scc << " " << r.cuts.nets_cut << " "
+      << (r.feasible ? 1 : 0) << " " << r.area.retimable_cuts << " "
+      << r.area.multiplexed_cuts << "\n";
   return out.str();
 }
 
-TEST(GoldenTableTest, Table10PartitionLk16) {
-  check_golden("partition_lk16.txt", partition_summary(16));
+class GoldenPartitionTest : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(GoldenPartitionTest, MatchesSnapshot) {
+  const PartitionCase& c = GetParam();
+  const std::string file =
+      "partition_lk" + std::to_string(c.lk) + "/" + c.circuit + ".txt";
+  check_golden(file, partition_summary(c));
 }
 
-TEST(GoldenTableTest, Table11PartitionLk24) {
-  check_golden("partition_lk24.txt", partition_summary(24));
+constexpr const char* kPartitionCircuits[] = {"s27",  "s510", "s420.1", "s641",
+                                              "s713", "s820", "s832",   "s838.1"};
+
+std::vector<PartitionCase> partition_cases() {
+  std::vector<PartitionCase> cases;
+  for (std::size_t lk : {std::size_t{16}, std::size_t{24}}) {
+    for (const char* circuit : kPartitionCircuits) {
+      cases.push_back(PartitionCase{circuit, lk});
+    }
+  }
+  return cases;
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables10And11, GoldenPartitionTest, ::testing::ValuesIn(partition_cases()),
+    [](const ::testing::TestParamInfo<PartitionCase>& info) {
+      std::string name(info.param.circuit);
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name + "_lk" + std::to_string(info.param.lk);
+    });
 
 }  // namespace
 }  // namespace merced
